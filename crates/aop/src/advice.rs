@@ -1,0 +1,118 @@
+//! Advice and aspects.
+
+use crate::pointcut::Pointcut;
+use comet_codegen::Block;
+use std::fmt;
+
+/// When the advice body runs relative to the join point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdviceKind {
+    /// Before the join point.
+    Before,
+    /// After the join point, whether it returned or threw (finally).
+    After,
+    /// After the join point returned normally. The woven body may read
+    /// the result through the `__result` local (non-void methods only).
+    AfterReturning,
+    /// After the join point threw. The woven body may read the exception
+    /// through the `__error` local.
+    AfterThrowing,
+    /// Instead of the join point; the advice body must contain at least
+    /// one `proceed(...)` expression to invoke the original.
+    Around,
+}
+
+impl fmt::Display for AdviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AdviceKind::Before => "before",
+            AdviceKind::After => "after",
+            AdviceKind::AfterReturning => "afterReturning",
+            AdviceKind::AfterThrowing => "afterThrowing",
+            AdviceKind::Around => "around",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One piece of advice: a kind, a pointcut, and a body template.
+///
+/// Inside the body template the weaver makes these names available:
+/// * the original method's parameters, by name;
+/// * `__jp` — a string local `"Class.method"` identifying the join point;
+/// * `__result` — in `afterReturning` bodies of non-void methods;
+/// * `__error` — in `afterThrowing` bodies;
+/// * `proceed(...)` — in `around` bodies only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Advice {
+    /// When the body runs.
+    pub kind: AdviceKind,
+    /// Which join points it applies to.
+    pub pointcut: Pointcut,
+    /// The body template.
+    pub body: Block,
+}
+
+impl Advice {
+    /// Creates an advice.
+    pub fn new(kind: AdviceKind, pointcut: Pointcut, body: Block) -> Self {
+        Advice { kind, pointcut, body }
+    }
+}
+
+/// A named aspect: an ordered list of advice.
+///
+/// Precedence among aspects is positional in the weaver's aspect list —
+/// the paper's rule: the order in which concrete model transformations
+/// were applied at model level dictates the precedence of the concrete
+/// aspects at code level. Earlier aspects wrap *outside* later ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aspect {
+    /// Aspect name, e.g. `"transactions<isolation=serializable>"`.
+    pub name: String,
+    /// Advice, applied in declaration order within the aspect.
+    pub advices: Vec<Advice>,
+}
+
+impl Aspect {
+    /// Creates an empty aspect.
+    pub fn new(name: impl Into<String>) -> Self {
+        Aspect { name: name.into(), advices: Vec::new() }
+    }
+
+    /// Adds an advice, builder style.
+    pub fn with_advice(mut self, advice: Advice) -> Self {
+        self.advices.push(advice);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pointcut::parse_pointcut;
+
+    #[test]
+    fn builder_collects_advice_in_order() {
+        let a = Aspect::new("tx")
+            .with_advice(Advice::new(
+                AdviceKind::Before,
+                parse_pointcut("execution(*.a)").unwrap(),
+                Block::default(),
+            ))
+            .with_advice(Advice::new(
+                AdviceKind::After,
+                parse_pointcut("execution(*.b)").unwrap(),
+                Block::default(),
+            ));
+        assert_eq!(a.advices.len(), 2);
+        assert_eq!(a.advices[0].kind, AdviceKind::Before);
+        assert_eq!(a.name, "tx");
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(AdviceKind::AfterReturning.to_string(), "afterReturning");
+        assert_eq!(AdviceKind::Around.to_string(), "around");
+    }
+}

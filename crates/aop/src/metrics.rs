@@ -1,0 +1,256 @@
+//! Scattering/tangling metrics over programs, used by experiment E5 to
+//! compare the paper's proposal (functional code + woven aspects) with
+//! the monolithic baseline (inlined concern code).
+//!
+//! A statement *belongs to* a concern when it contains an intrinsic call
+//! whose name starts with the concern's prefix (`tx.`, `sec.`, `net.`,
+//! `log.`, `lock.`). Classes whose name ends in a weaver/aspect marker
+//! are attributed to their concern wholesale.
+
+use comet_codegen::{Block, Expr, LValue, Program, Stmt};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Metrics for one concern within one program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConcernMetrics {
+    /// Number of classes containing at least one statement of the concern
+    /// (degree of scattering).
+    pub scattered_classes: usize,
+    /// Number of methods containing at least one statement of the concern.
+    pub scattered_methods: usize,
+    /// Total statements attributed to the concern.
+    pub statements: usize,
+}
+
+/// A full metrics report: per-concern metrics plus tangling.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsReport {
+    /// Metrics per concern prefix (e.g. `"tx"`).
+    pub concerns: BTreeMap<String, ConcernMetrics>,
+    /// Number of methods touched by >= 2 concerns (tangled methods).
+    pub tangled_methods: usize,
+    /// Total number of methods inspected.
+    pub total_methods: usize,
+    /// Total statements in the program.
+    pub total_statements: usize,
+}
+
+impl MetricsReport {
+    /// Fraction of methods tangled by two or more concerns.
+    pub fn tangling_ratio(&self) -> f64 {
+        if self.total_methods == 0 {
+            0.0
+        } else {
+            self.tangled_methods as f64 / self.total_methods as f64
+        }
+    }
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "methods={} tangled={} ({:.1}%) statements={}",
+            self.total_methods,
+            self.tangled_methods,
+            100.0 * self.tangling_ratio(),
+            self.total_statements
+        )?;
+        for (c, m) in &self.concerns {
+            writeln!(
+                f,
+                "  {c}: classes={} methods={} stmts={}",
+                m.scattered_classes, m.scattered_methods, m.statements
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes concern metrics for `program`, attributing statements to the
+/// given concern prefixes (without the trailing dot, e.g. `["tx","sec"]`).
+pub fn concern_metrics(program: &Program, prefixes: &[&str]) -> MetricsReport {
+    let mut report = MetricsReport {
+        total_statements: program.statement_count(),
+        ..MetricsReport::default()
+    };
+    for prefix in prefixes {
+        report.concerns.insert((*prefix).to_owned(), ConcernMetrics::default());
+    }
+    for class in &program.classes {
+        let mut class_concerns: BTreeMap<&str, bool> = BTreeMap::new();
+        for method in &class.methods {
+            report.total_methods += 1;
+            let mut method_concerns = 0usize;
+            for prefix in prefixes {
+                let count = count_block(&method.body, prefix);
+                if count > 0 {
+                    let m = report
+                        .concerns
+                        .get_mut(*prefix)
+                        .expect("prefix inserted above");
+                    m.statements += count;
+                    m.scattered_methods += 1;
+                    method_concerns += 1;
+                    class_concerns.insert(prefix, true);
+                }
+            }
+            if method_concerns >= 2 {
+                report.tangled_methods += 1;
+            }
+        }
+        for (prefix, _) in class_concerns {
+            report
+                .concerns
+                .get_mut(prefix)
+                .expect("prefix inserted above")
+                .scattered_classes += 1;
+        }
+    }
+    report
+}
+
+fn count_block(block: &Block, prefix: &str) -> usize {
+    block.stmts.iter().map(|s| count_stmt(s, prefix)).sum()
+}
+
+fn count_stmt(stmt: &Stmt, prefix: &str) -> usize {
+    let own = usize::from(stmt_has_intrinsic(stmt, prefix));
+    let nested = match stmt {
+        Stmt::If { then_block, else_block, .. } => {
+            count_block(then_block, prefix)
+                + else_block.as_ref().map_or(0, |b| count_block(b, prefix))
+        }
+        Stmt::While { body, .. } => count_block(body, prefix),
+        Stmt::TryCatch { body, handler, finally, .. } => {
+            count_block(body, prefix)
+                + count_block(handler, prefix)
+                + finally.as_ref().map_or(0, |b| count_block(b, prefix))
+        }
+        Stmt::Block(b) => count_block(b, prefix),
+        _ => 0,
+    };
+    own + nested
+}
+
+fn stmt_has_intrinsic(stmt: &Stmt, prefix: &str) -> bool {
+    match stmt {
+        Stmt::Local { init: Some(e), .. } | Stmt::Expr(e) | Stmt::Throw(e) => {
+            expr_has_intrinsic(e, prefix)
+        }
+        Stmt::Assign { target, value } => {
+            let t = match target {
+                LValue::Field { recv, .. } => expr_has_intrinsic(recv, prefix),
+                LValue::Var(_) => false,
+            };
+            t || expr_has_intrinsic(value, prefix)
+        }
+        Stmt::Return(Some(e)) => expr_has_intrinsic(e, prefix),
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } => expr_has_intrinsic(cond, prefix),
+        _ => false,
+    }
+}
+
+fn expr_has_intrinsic(expr: &Expr, prefix: &str) -> bool {
+    match expr {
+        Expr::Intrinsic { name, args } => {
+            name.starts_with(prefix) && name[prefix.len()..].starts_with('.')
+                || args.iter().any(|a| expr_has_intrinsic(a, prefix))
+        }
+        Expr::Field { recv, .. } => expr_has_intrinsic(recv, prefix),
+        Expr::Call { recv, args, .. } => {
+            recv.as_ref().map_or(false, |r| expr_has_intrinsic(r, prefix))
+                || args.iter().any(|a| expr_has_intrinsic(a, prefix))
+        }
+        Expr::New { args, .. } | Expr::ListLit(args) | Expr::Proceed(args) => {
+            args.iter().any(|a| expr_has_intrinsic(a, prefix))
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            expr_has_intrinsic(lhs, prefix) || expr_has_intrinsic(rhs, prefix)
+        }
+        Expr::Unary { operand, .. } => expr_has_intrinsic(operand, prefix),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_codegen::{ClassDecl, MethodDecl};
+
+    fn program_with(bodies: Vec<(&str, &str, Vec<Stmt>)>) -> Program {
+        let mut p = Program::new("x");
+        for (class, method, stmts) in bodies {
+            if p.find_class(class).is_none() {
+                p.classes.push(ClassDecl::new(class));
+            }
+            let c = p.find_class_mut(class).unwrap();
+            let mut m = MethodDecl::new(method);
+            m.body = Block::of(stmts);
+            c.methods.push(m);
+        }
+        p
+    }
+
+    fn tx_stmt() -> Stmt {
+        Stmt::Expr(Expr::intrinsic("tx.begin", vec![]))
+    }
+
+    fn sec_stmt() -> Stmt {
+        Stmt::Expr(Expr::intrinsic("sec.check", vec![]))
+    }
+
+    #[test]
+    fn counts_scattering_and_tangling() {
+        let p = program_with(vec![
+            ("A", "m1", vec![tx_stmt(), sec_stmt()]),
+            ("A", "m2", vec![tx_stmt()]),
+            ("B", "m3", vec![sec_stmt()]),
+            ("B", "m4", vec![Stmt::Return(None)]),
+        ]);
+        let r = concern_metrics(&p, &["tx", "sec"]);
+        assert_eq!(r.concerns["tx"].scattered_classes, 1);
+        assert_eq!(r.concerns["tx"].scattered_methods, 2);
+        assert_eq!(r.concerns["tx"].statements, 2);
+        assert_eq!(r.concerns["sec"].scattered_classes, 2);
+        assert_eq!(r.tangled_methods, 1);
+        assert_eq!(r.total_methods, 4);
+        assert!(r.tangling_ratio() > 0.24 && r.tangling_ratio() < 0.26);
+        assert!(r.to_string().contains("tx:"));
+    }
+
+    #[test]
+    fn prefix_matching_requires_dot_boundary() {
+        let p = program_with(vec![(
+            "A",
+            "m",
+            vec![Stmt::Expr(Expr::intrinsic("txn.other", vec![]))],
+        )]);
+        let r = concern_metrics(&p, &["tx"]);
+        assert_eq!(r.concerns["tx"].statements, 0);
+    }
+
+    #[test]
+    fn nested_statements_counted() {
+        let p = program_with(vec![(
+            "A",
+            "m",
+            vec![Stmt::TryCatch {
+                body: Block::of(vec![tx_stmt()]),
+                var: "e".into(),
+                handler: Block::of(vec![tx_stmt()]),
+                finally: Some(Block::of(vec![tx_stmt()])),
+            }],
+        )]);
+        let r = concern_metrics(&p, &["tx"]);
+        assert_eq!(r.concerns["tx"].statements, 3);
+    }
+
+    #[test]
+    fn empty_program() {
+        let r = concern_metrics(&Program::new("x"), &["tx"]);
+        assert_eq!(r.total_methods, 0);
+        assert_eq!(r.tangling_ratio(), 0.0);
+    }
+}

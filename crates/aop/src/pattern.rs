@@ -1,0 +1,116 @@
+//! Glob-style name patterns used by pointcut designators.
+
+use std::fmt;
+
+/// A name pattern where `*` matches any (possibly empty) run of
+/// characters; all other characters match literally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamePattern {
+    source: String,
+}
+
+impl NamePattern {
+    /// Creates a pattern from its textual form.
+    pub fn new(source: impl Into<String>) -> Self {
+        NamePattern { source: source.into() }
+    }
+
+    /// The textual form of the pattern.
+    pub fn as_str(&self) -> &str {
+        &self.source
+    }
+
+    /// Returns true when the pattern matches the entire `name`.
+    pub fn matches(&self, name: &str) -> bool {
+        glob_match(self.source.as_bytes(), name.as_bytes())
+    }
+
+    /// True for the universal pattern `*`.
+    pub fn is_wildcard(&self) -> bool {
+        self.source == "*"
+    }
+}
+
+impl fmt::Display for NamePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+impl From<&str> for NamePattern {
+    fn from(s: &str) -> Self {
+        NamePattern::new(s)
+    }
+}
+
+/// Iterative glob matcher (no recursion, no backtracking blow-up):
+/// standard two-pointer algorithm with star backtracking.
+fn glob_match(pattern: &[u8], text: &[u8]) -> bool {
+    let (mut p, mut t) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while t < text.len() {
+        if p < pattern.len() && (pattern[p] == text[t]) {
+            p += 1;
+            t += 1;
+        } else if p < pattern.len() && pattern[p] == b'*' {
+            star = Some((p, t));
+            p += 1;
+        } else if let Some((sp, st)) = star {
+            p = sp + 1;
+            t = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while p < pattern.len() && pattern[p] == b'*' {
+        p += 1;
+    }
+    p == pattern.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_wildcard() {
+        assert!(NamePattern::new("deposit").matches("deposit"));
+        assert!(!NamePattern::new("deposit").matches("deposits"));
+        assert!(NamePattern::new("*").matches(""));
+        assert!(NamePattern::new("*").matches("anything"));
+        assert!(NamePattern::new("*").is_wildcard());
+        assert!(!NamePattern::new("a*").is_wildcard());
+    }
+
+    #[test]
+    fn prefix_suffix_infix() {
+        let p = NamePattern::new("get*");
+        assert!(p.matches("getBalance"));
+        assert!(p.matches("get"));
+        assert!(!p.matches("setBalance"));
+        let p = NamePattern::new("*Service");
+        assert!(p.matches("AuthService"));
+        assert!(!p.matches("ServiceAuth"));
+        let p = NamePattern::new("a*b*c");
+        assert!(p.matches("abc"));
+        assert!(p.matches("aXbYc"));
+        assert!(!p.matches("acb"));
+    }
+
+    #[test]
+    fn multiple_stars_backtrack() {
+        let p = NamePattern::new("*a*a*");
+        assert!(p.matches("banana"));
+        assert!(!p.matches("bnn"));
+        assert!(NamePattern::new("**").matches("x"));
+        assert!(NamePattern::new("**").matches(""));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let p = NamePattern::from("get*");
+        assert_eq!(p.to_string(), "get*");
+        assert_eq!(p.as_str(), "get*");
+    }
+}

@@ -1,0 +1,477 @@
+//! The pointcut language: designators, a hand-written parser, and the
+//! matcher over execution shadows (class, method).
+
+use crate::pattern::NamePattern;
+use comet_codegen::{ClassDecl, MethodDecl};
+use std::fmt;
+
+/// A pointcut expression selecting join-point shadows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pointcut {
+    /// `execution(Type.method)` — matches executions of matching methods.
+    Execution {
+        /// Class pattern.
+        class: NamePattern,
+        /// Method pattern.
+        method: NamePattern,
+    },
+    /// `call(Type.method)` — matches statement-position calls to matching
+    /// methods (receiver type is not statically known in the IR, so the
+    /// class pattern matches the *callee method name's* declaring class
+    /// when resolvable, and `*` otherwise).
+    Call {
+        /// Class pattern.
+        class: NamePattern,
+        /// Method pattern.
+        method: NamePattern,
+    },
+    /// `within(Type)` — restricts to shadows lexically inside classes
+    /// matching the pattern.
+    Within(NamePattern),
+    /// `@class(Annotation)` — the declaring class carries the annotation.
+    AnnotatedClass(String),
+    /// `@method(Annotation)` — the method carries the annotation.
+    AnnotatedMethod(String),
+    /// `args(n)` — the method takes exactly `n` parameters.
+    ArgsCount(usize),
+    /// `cflow(pointcut)` — matches join points occurring within the
+    /// dynamic control flow of a join point selected by the inner
+    /// pointcut. Statically matches *every* shadow; the weaver inserts a
+    /// runtime counter guard (the AspectJ implementation strategy).
+    /// Only valid as a top-level conjunct (not under `!` or `||`).
+    Cflow(Box<Pointcut>),
+    /// Conjunction.
+    And(Box<Pointcut>, Box<Pointcut>),
+    /// Disjunction.
+    Or(Box<Pointcut>, Box<Pointcut>),
+    /// Negation.
+    Not(Box<Pointcut>),
+}
+
+impl Pointcut {
+    /// Returns true when this pointcut selects the *execution* of
+    /// `method` declared in `class`.
+    pub fn matches_execution(&self, class: &ClassDecl, method: &MethodDecl) -> bool {
+        match self {
+            Pointcut::Execution { class: cp, method: mp } => {
+                cp.matches(&class.name) && mp.matches(&method.name)
+            }
+            // A `call` designator never matches an execution shadow.
+            Pointcut::Call { .. } => false,
+            // Dynamic residue: statically matches anywhere; the weaver
+            // guards the advice body with a runtime counter check.
+            Pointcut::Cflow(_) => true,
+            Pointcut::Within(cp) => cp.matches(&class.name),
+            Pointcut::AnnotatedClass(a) => class.has_annotation(a),
+            Pointcut::AnnotatedMethod(a) => method.has_annotation(a),
+            Pointcut::ArgsCount(n) => method.params.len() == *n,
+            Pointcut::And(l, r) => {
+                l.matches_execution(class, method) && r.matches_execution(class, method)
+            }
+            Pointcut::Or(l, r) => {
+                l.matches_execution(class, method) || r.matches_execution(class, method)
+            }
+            Pointcut::Not(p) => !p.matches_execution(class, method),
+        }
+    }
+
+    /// Returns true when this pointcut selects a *call* shadow: a call to
+    /// `callee_method` (declared in `callee_class` when resolvable)
+    /// occurring inside `within_class.within_method`.
+    pub fn matches_call(
+        &self,
+        within_class: &ClassDecl,
+        within_method: &MethodDecl,
+        callee_class: Option<&str>,
+        callee_method: &str,
+    ) -> bool {
+        match self {
+            Pointcut::Call { class: cp, method: mp } => {
+                let class_ok = match callee_class {
+                    Some(c) => cp.matches(c),
+                    None => cp.is_wildcard(),
+                };
+                class_ok && mp.matches(callee_method)
+            }
+            Pointcut::Execution { .. } => false,
+            Pointcut::Cflow(_) => true,
+            Pointcut::Within(cp) => cp.matches(&within_class.name),
+            Pointcut::AnnotatedClass(a) => within_class.has_annotation(a),
+            Pointcut::AnnotatedMethod(a) => within_method.has_annotation(a),
+            Pointcut::ArgsCount(_) => false,
+            Pointcut::And(l, r) => {
+                l.matches_call(within_class, within_method, callee_class, callee_method)
+                    && r.matches_call(within_class, within_method, callee_class, callee_method)
+            }
+            Pointcut::Or(l, r) => {
+                l.matches_call(within_class, within_method, callee_class, callee_method)
+                    || r.matches_call(within_class, within_method, callee_class, callee_method)
+            }
+            Pointcut::Not(p) => {
+                !p.matches_call(within_class, within_method, callee_class, callee_method)
+            }
+        }
+    }
+
+    /// True when the pointcut tree contains a `call(...)` designator.
+    pub fn selects_calls(&self) -> bool {
+        match self {
+            Pointcut::Call { .. } => true,
+            Pointcut::And(l, r) | Pointcut::Or(l, r) => l.selects_calls() || r.selects_calls(),
+            Pointcut::Not(p) => p.selects_calls() ,
+            Pointcut::Cflow(p) => p.selects_calls(),
+            _ => false,
+        }
+    }
+
+    /// Collects the inner pointcuts of every top-level `cflow(...)`
+    /// conjunct.
+    ///
+    /// # Errors
+    /// Returns the offending subtree's text when a `cflow` occurs under
+    /// `!` or `||` (dynamic residues there are not supported).
+    pub fn cflow_conjuncts(&self) -> Result<Vec<&Pointcut>, String> {
+        fn contains_cflow(p: &Pointcut) -> bool {
+            match p {
+                Pointcut::Cflow(_) => true,
+                Pointcut::And(l, r) | Pointcut::Or(l, r) => {
+                    contains_cflow(l) || contains_cflow(r)
+                }
+                Pointcut::Not(inner) => contains_cflow(inner),
+                _ => false,
+            }
+        }
+        match self {
+            Pointcut::Cflow(inner) => {
+                if contains_cflow(inner) {
+                    Err(format!("nested cflow in `{self}`"))
+                } else {
+                    Ok(vec![inner.as_ref()])
+                }
+            }
+            Pointcut::And(l, r) => {
+                let mut out = l.cflow_conjuncts()?;
+                out.extend(r.cflow_conjuncts()?);
+                Ok(out)
+            }
+            Pointcut::Or(l, r) => {
+                if contains_cflow(l) || contains_cflow(r) {
+                    Err(format!("cflow under `||` in `{self}`"))
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            Pointcut::Not(inner) => {
+                if contains_cflow(inner) {
+                    Err(format!("cflow under `!` in `{self}`"))
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            _ => Ok(Vec::new()),
+        }
+    }
+}
+
+impl fmt::Display for Pointcut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pointcut::Execution { class, method } => write!(f, "execution({class}.{method})"),
+            Pointcut::Call { class, method } => write!(f, "call({class}.{method})"),
+            Pointcut::Cflow(p) => write!(f, "cflow({p})"),
+            Pointcut::Within(c) => write!(f, "within({c})"),
+            Pointcut::AnnotatedClass(a) => write!(f, "@class({a})"),
+            Pointcut::AnnotatedMethod(a) => write!(f, "@method({a})"),
+            Pointcut::ArgsCount(n) => write!(f, "args({n})"),
+            Pointcut::And(l, r) => write!(f, "({l} && {r})"),
+            Pointcut::Or(l, r) => write!(f, "({l} || {r})"),
+            Pointcut::Not(p) => write!(f, "!{p}"),
+        }
+    }
+}
+
+/// Pointcut parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointcutParseError {
+    /// Explanation of the failure.
+    pub message: String,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+impl fmt::Display for PointcutParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for PointcutParseError {}
+
+/// Parses a pointcut expression, e.g.
+/// `execution(Bank.*) && @method(Transactional) && !within(Test*)`.
+///
+/// # Errors
+/// Returns [`PointcutParseError`] on malformed input.
+pub fn parse_pointcut(source: &str) -> Result<Pointcut, PointcutParseError> {
+    let mut p = PcParser { src: source.as_bytes(), pos: 0 };
+    let pc = p.or_expr()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(pc)
+}
+
+struct PcParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PcParser<'a> {
+    fn err(&self, message: &str) -> PointcutParseError {
+        PointcutParseError { message: message.to_owned(), offset: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && (self.src[self.pos] as char).is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Pointcut, PointcutParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat("||") {
+            let rhs = self.and_expr()?;
+            lhs = Pointcut::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Pointcut, PointcutParseError> {
+        let mut lhs = self.unary()?;
+        while self.eat("&&") {
+            let rhs = self.unary()?;
+            lhs = Pointcut::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Pointcut, PointcutParseError> {
+        self.skip_ws();
+        if self.eat("!") {
+            let inner = self.unary()?;
+            return Ok(Pointcut::Not(Box::new(inner)));
+        }
+        if self.eat("(") {
+            let inner = self.or_expr()?;
+            if !self.eat(")") {
+                return Err(self.err("expected `)`"));
+            }
+            return Ok(inner);
+        }
+        self.designator()
+    }
+
+    fn word(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos] as char;
+            if c.is_ascii_alphanumeric() || c == '_' || c == '*' || c == '@' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn designator(&mut self) -> Result<Pointcut, PointcutParseError> {
+        let name = self.word();
+        if name.is_empty() {
+            return Err(self.err("expected a pointcut designator"));
+        }
+        if !self.eat("(") {
+            return Err(self.err("expected `(` after designator"));
+        }
+        if name == "cflow" {
+            let inner = self.or_expr()?;
+            if !self.eat(")") {
+                return Err(self.err("expected `)` after cflow pointcut"));
+            }
+            return Ok(Pointcut::Cflow(Box::new(inner)));
+        }
+        let result = match name.as_str() {
+            "execution" | "call" => {
+                let class = self.word();
+                if !self.eat(".") {
+                    return Err(self.err("expected `.` between class and method pattern"));
+                }
+                let method = self.word();
+                if class.is_empty() || method.is_empty() {
+                    return Err(self.err("empty pattern"));
+                }
+                if name == "execution" {
+                    Pointcut::Execution {
+                        class: NamePattern::new(class),
+                        method: NamePattern::new(method),
+                    }
+                } else {
+                    Pointcut::Call {
+                        class: NamePattern::new(class),
+                        method: NamePattern::new(method),
+                    }
+                }
+            }
+            "within" => {
+                let class = self.word();
+                if class.is_empty() {
+                    return Err(self.err("empty pattern"));
+                }
+                Pointcut::Within(NamePattern::new(class))
+            }
+            "@class" => {
+                let ann = self.word();
+                if ann.is_empty() {
+                    return Err(self.err("empty annotation name"));
+                }
+                Pointcut::AnnotatedClass(ann)
+            }
+            "@method" => {
+                let ann = self.word();
+                if ann.is_empty() {
+                    return Err(self.err("empty annotation name"));
+                }
+                Pointcut::AnnotatedMethod(ann)
+            }
+            "args" => {
+                let n = self.word();
+                let count: usize =
+                    n.parse().map_err(|_| self.err("expected a number in args(...)"))?;
+                Pointcut::ArgsCount(count)
+            }
+            other => {
+                return Err(PointcutParseError {
+                    message: format!("unknown designator `{other}`"),
+                    offset: self.pos,
+                })
+            }
+        };
+        if !self.eat(")") {
+            return Err(self.err("expected `)`"));
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_codegen::{Annotation, Param, IrType};
+
+    fn class(name: &str) -> ClassDecl {
+        ClassDecl::new(name)
+    }
+
+    fn method(name: &str, params: usize) -> MethodDecl {
+        let mut m = MethodDecl::new(name);
+        for i in 0..params {
+            m.params.push(Param::new(format!("p{i}"), IrType::Int));
+        }
+        m
+    }
+
+    #[test]
+    fn parses_and_matches_execution() {
+        let pc = parse_pointcut("execution(Bank.transfer)").unwrap();
+        assert!(pc.matches_execution(&class("Bank"), &method("transfer", 3)));
+        assert!(!pc.matches_execution(&class("Bank"), &method("audit", 0)));
+        assert!(!pc.matches_execution(&class("Account"), &method("transfer", 3)));
+    }
+
+    #[test]
+    fn wildcards() {
+        let pc = parse_pointcut("execution(*.get*)").unwrap();
+        assert!(pc.matches_execution(&class("Account"), &method("getBalance", 0)));
+        assert!(!pc.matches_execution(&class("Account"), &method("setBalance", 1)));
+    }
+
+    #[test]
+    fn boolean_combinators_and_precedence() {
+        let pc = parse_pointcut("within(Bank) && !execution(*.audit) || args(9)").unwrap();
+        assert!(pc.matches_execution(&class("Bank"), &method("transfer", 3)));
+        assert!(!pc.matches_execution(&class("Bank"), &method("audit", 0)));
+        assert!(pc.matches_execution(&class("Other"), &method("x", 9)));
+    }
+
+    #[test]
+    fn annotations_and_args() {
+        let pc = parse_pointcut("@method(Transactional) && args(3)").unwrap();
+        let mut m = method("transfer", 3);
+        m.annotations.push(Annotation::new("Transactional"));
+        assert!(pc.matches_execution(&class("Bank"), &m));
+        assert!(!pc.matches_execution(&class("Bank"), &method("transfer", 3)));
+        let pc = parse_pointcut("@class(Remote)").unwrap();
+        let mut c = class("Bank");
+        c.annotations.push(Annotation::new("Remote"));
+        assert!(pc.matches_execution(&c, &method("x", 0)));
+    }
+
+    #[test]
+    fn call_designator_matches_call_shadows_only() {
+        let pc = parse_pointcut("call(Bank.transfer)").unwrap();
+        assert!(!pc.matches_execution(&class("Bank"), &method("transfer", 3)));
+        assert!(pc.matches_call(&class("Client"), &method("run", 0), Some("Bank"), "transfer"));
+        assert!(!pc.matches_call(&class("Client"), &method("run", 0), Some("Bank"), "audit"));
+        // Unresolvable callee class only matches the universal pattern.
+        assert!(!pc.matches_call(&class("Client"), &method("run", 0), None, "transfer"));
+        let pc = parse_pointcut("call(*.transfer)").unwrap();
+        assert!(pc.matches_call(&class("Client"), &method("run", 0), None, "transfer"));
+        assert!(pc.selects_calls());
+        assert!(!parse_pointcut("execution(A.b)").unwrap().selects_calls());
+    }
+
+    #[test]
+    fn parens_group() {
+        let pc = parse_pointcut("within(Bank) && (execution(*.a) || execution(*.b))").unwrap();
+        assert!(pc.matches_execution(&class("Bank"), &method("a", 0)));
+        assert!(pc.matches_execution(&class("Bank"), &method("b", 0)));
+        assert!(!pc.matches_execution(&class("Bank"), &method("c", 0)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_pointcut("bogus(A.b)").is_err());
+        assert!(parse_pointcut("execution(A)").is_err());
+        assert!(parse_pointcut("execution(A.b) &&").is_err());
+        assert!(parse_pointcut("execution(A.b) extra").is_err());
+        assert!(parse_pointcut("args(x)").is_err());
+        assert!(parse_pointcut("(execution(A.b)").is_err());
+        assert!(parse_pointcut("").is_err());
+    }
+
+    #[test]
+    fn display_reparses() {
+        for src in [
+            "execution(Bank.*)",
+            "call(*.transfer)",
+            "(within(A) && !args(2))",
+            "(@class(Remote) || @method(Logged))",
+        ] {
+            let pc = parse_pointcut(src).unwrap();
+            let printed = pc.to_string();
+            let re = parse_pointcut(&printed).unwrap();
+            assert_eq!(pc, re, "`{src}` -> `{printed}`");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! E1 (Fig. 1): cost of the generic→concrete pipeline — specializing a
+//! concern pair, applying the CMT (with condition checking), and
+//! generating + weaving the paired aspect.
+
+use comet_bench::{banking_bodies, executable_banking_pim, tx_si};
+use comet_concerns::transactions;
+use comet_workflow::WorkflowModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_fig1_pipeline");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("specialize_pair", |b| {
+        let pair = transactions::pair();
+        b.iter(|| pair.specialize(black_box(tx_si())).expect("valid Si"));
+    });
+
+    group.bench_function("apply_cmt_with_conditions", |b| {
+        let (cmt, _) = transactions::pair().specialize(tx_si()).expect("valid Si");
+        let pim = executable_banking_pim();
+        b.iter(|| {
+            let mut model = pim.clone();
+            cmt.apply(black_box(&mut model)).expect("applies")
+        });
+    });
+
+    group.bench_function("generate_and_weave_one_concern", |b| {
+        let workflow = WorkflowModel::new("e1").step("transactions", false);
+        let mut mda = comet::MdaLifecycle::new(executable_banking_pim(), workflow).expect("pim");
+        mda.apply_concern(&transactions::pair(), tx_si()).expect("applies");
+        let bodies = banking_bodies();
+        b.iter(|| mda.generate(black_box(&bodies)).expect("weaves"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! E3: the runtime cost of semantic coupling — a naive wrap-everything
+//! transactional aspect versus the `Si`-targeted aspect, measured on the
+//! concern-free `getBalance` query path.
+
+use comet_aop::{parse_pointcut, Advice, AdviceKind, Aspect, Weaver};
+use comet_bench::{banking_bodies, executable_banking_pim, ready_interp, tx_si};
+use comet_codegen::{Block, Expr, FunctionalGenerator, IrType, Program, Stmt};
+use comet_concerns::transactions;
+use comet_interp::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn functional() -> Program {
+    FunctionalGenerator::new().generate(&executable_banking_pim(), &banking_bodies())
+}
+
+fn naive_aspect() -> Aspect {
+    Aspect::new("naive").with_advice(Advice::new(
+        AdviceKind::Around,
+        parse_pointcut("execution(*.*)").expect("valid"),
+        Block::of(vec![
+            Stmt::If {
+                cond: Expr::intrinsic("tx.active", vec![]),
+                then_block: Block::of(vec![Stmt::ret(Expr::Proceed(vec![]))]),
+                else_block: None,
+            },
+            Stmt::Expr(Expr::intrinsic("tx.begin", vec![Expr::str("rc")])),
+            Stmt::TryCatch {
+                body: Block::of(vec![
+                    Stmt::Local {
+                        name: "__r".into(),
+                        ty: IrType::Str,
+                        init: Some(Expr::Proceed(vec![])),
+                    },
+                    Stmt::Expr(Expr::intrinsic("tx.commit", vec![])),
+                    Stmt::ret(Expr::var("__r")),
+                ]),
+                var: "__e".into(),
+                handler: Block::of(vec![
+                    Stmt::Expr(Expr::intrinsic("tx.rollback", vec![])),
+                    Stmt::Throw(Expr::var("__e")),
+                ]),
+                finally: None,
+            },
+        ]),
+    ))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_coupling");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    let query = |interp: &mut comet_interp::Interp, bank: &Value| {
+        interp
+            .call(bank.clone(), "getBalance", vec![Value::from("A-1")])
+            .expect("queries")
+    };
+
+    group.bench_function("query_no_aspect", |b| {
+        let (mut interp, bank) = ready_interp(functional());
+        b.iter(|| query(&mut interp, &bank));
+    });
+
+    group.bench_function("query_si_targeted_aspect", |b| {
+        let (_, aspect) = transactions::pair().specialize(tx_si()).expect("valid Si");
+        let woven = Weaver::new(vec![aspect]).weave(&functional()).expect("weaves").program;
+        let (mut interp, bank) = ready_interp(woven);
+        b.iter(|| query(&mut interp, &bank));
+    });
+
+    group.bench_function("query_naive_wrap_everything", |b| {
+        let woven = Weaver::new(vec![naive_aspect()]).weave(&functional()).expect("weaves").program;
+        let (mut interp, bank) = ready_interp(woven);
+        b.iter(|| query(&mut interp, &bank));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E4: OCL condition-checking cost as the model grows — the price of
+//! "testing pre- and postconditions associated with model
+//! transformations" at every refinement step.
+
+use comet_bench::synthetic;
+use comet_ocl::{evaluate_bool, parse, Context};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_conditions");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("parse_typical_condition", |b| {
+        let src = "Class.allInstances()->exists(c | c.name = 'C5' and \
+                   c.operations->exists(o | o.name = 'op1'))";
+        b.iter(|| parse(black_box(src)).expect("parses"));
+    });
+
+    for classes in [10usize, 50, 200] {
+        let model = synthetic(classes, 3, 3);
+        group.bench_with_input(
+            BenchmarkId::new("exists_scan", classes),
+            &model,
+            |b, model| {
+                let ctx = Context::for_model(model);
+                let src = format!(
+                    "Class.allInstances()->exists(c | c.name = 'C{}')",
+                    classes - 1
+                );
+                b.iter(|| evaluate_bool(black_box(&src), &ctx).expect("evaluates"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("forall_nested", classes),
+            &model,
+            |b, model| {
+                let ctx = Context::for_model(model);
+                let src = "Class.allInstances()->forAll(c | \
+                           c.operations->forAll(o | o.parameters->size() = 2))";
+                b.iter(|| evaluate_bool(black_box(src), &ctx).expect("evaluates"));
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

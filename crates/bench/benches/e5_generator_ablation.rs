@@ -1,0 +1,63 @@
+//! E5: functional-generator-plus-aspects (the paper's proposal) versus
+//! the monolithic most-specialized-PSM generator — single-shot
+//! generation cost and incremental-regeneration cost when one concern
+//! parameter changes.
+
+use comet::MdaLifecycle;
+use comet_bench::{banking_bodies, dist_si, executable_banking_pim, sec_si, tx_si};
+use comet_concerns::{distribution, security, transactions};
+use comet_transform::{ParamSet, ParamValue};
+use comet_workflow::WorkflowModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn lifecycle() -> MdaLifecycle {
+    let workflow = WorkflowModel::new("e5")
+        .step("security", false)
+        .step("distribution", false)
+        .step("transactions", false);
+    let mut mda = MdaLifecycle::new(executable_banking_pim(), workflow).expect("pim");
+    mda.apply_concern(&security::pair(), sec_si()).expect("sec");
+    mda.apply_concern(&distribution::pair(), dist_si()).expect("dist");
+    mda.apply_concern(&transactions::pair(), tx_si()).expect("tx");
+    mda
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_generator_ablation");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let bodies = banking_bodies();
+    let mda = lifecycle();
+
+    // Single-shot generation: the monolithic generator is expected to
+    // win here (no weaving pass) — the trade-off the paper accepts.
+    group.bench_function("single_shot_functional_plus_weave", |b| {
+        b.iter(|| mda.generate(black_box(&bodies)).expect("weaves"));
+    });
+    group.bench_function("single_shot_monolithic", |b| {
+        b.iter(|| mda.generate_monolithic(black_box(&bodies)));
+    });
+
+    // Incremental regeneration after an isolation-level change: the
+    // proposal regenerates one aspect; the baseline regenerates the
+    // whole program.
+    group.bench_function("incremental_proposal_aspect_only", |b| {
+        let pair = transactions::pair();
+        b.iter(|| {
+            let si = ParamSet::new()
+                .with("methods", ParamValue::from(vec!["Bank.transfer".to_owned()]))
+                .with("isolation", ParamValue::from("serializable"));
+            let (_, aspect) = pair.specialize(black_box(si)).expect("valid Si");
+            aspect
+        });
+    });
+    group.bench_function("incremental_baseline_full_regen", |b| {
+        b.iter(|| mda.generate_monolithic(black_box(&bodies)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E7: XMI import/export throughput versus model size.
+
+use comet_bench::synthetic;
+use comet_xmi::{export_model, import_model};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_xmi");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    for classes in [10usize, 50, 200] {
+        let model = synthetic(classes, 3, 3);
+        let xmi = export_model(&model);
+        group.throughput(Throughput::Bytes(xmi.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("export", classes), &model, |b, m| {
+            b.iter(|| export_model(black_box(m)));
+        });
+        group.bench_with_input(BenchmarkId::new("import", classes), &xmi, |b, xmi| {
+            b.iter(|| import_model(black_box(xmi)).expect("valid document"));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("round_trip", classes),
+            &model,
+            |b, m| b.iter(|| import_model(&export_model(black_box(m))).expect("round trips")),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

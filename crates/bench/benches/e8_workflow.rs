@@ -1,0 +1,56 @@
+//! E8: workflow guidance cost versus plan size — computing the allowed
+//! next steps and validating candidate sequences.
+
+use comet_workflow::{OrderConstraint, WorkflowEngine, WorkflowModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn plan(steps: usize) -> WorkflowModel {
+    let mut model = WorkflowModel::new("bench");
+    for i in 0..steps {
+        model = model.step(&format!("c{i}"), false);
+        if i > 0 {
+            model = model.constraint(OrderConstraint::Before(
+                format!("c{}", i - 1),
+                format!("c{i}"),
+            ));
+        }
+    }
+    model
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_workflow");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+
+    for steps in [5usize, 20, 80] {
+        let model = plan(steps);
+        group.bench_with_input(
+            BenchmarkId::new("allowed_next_half_applied", steps),
+            &model,
+            |b, model| {
+                let mut engine = WorkflowEngine::new(model.clone());
+                for i in 0..steps / 2 {
+                    engine.record(&format!("c{i}")).expect("chain order");
+                }
+                b.iter(|| black_box(engine.allowed_next()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("validate_full_sequence", steps),
+            &model,
+            |b, model| {
+                let engine = WorkflowEngine::new(model.clone());
+                let seq: Vec<String> = (0..steps).map(|i| format!("c{i}")).collect();
+                let seq_refs: Vec<&str> = seq.iter().map(String::as_str).collect();
+                b.iter(|| engine.validate_sequence(black_box(&seq_refs)).expect("valid"));
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! E9: middleware-substrate characterization — raw bus/RPC cost, local
+//! versus distributed transaction commit, lock traffic, and the aspect
+//! overhead on the invocation path (functional vs woven call).
+
+use comet_aop::Weaver;
+use comet_bench::{banking_bodies, executable_banking_pim, ready_interp, tx_si};
+use comet_codegen::FunctionalGenerator;
+use comet_concerns::transactions;
+use comet_interp::Value;
+use comet_middleware::{Middleware, MiddlewareConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_middleware");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("bus_round_trip", |b| {
+        let mut mw: Middleware<i64> = Middleware::new(MiddlewareConfig::default());
+        mw.bus.add_node("a");
+        mw.bus.add_node("b");
+        b.iter(|| mw.bus.round_trip("a", "b", 64, 16).expect("delivers"));
+    });
+
+    group.bench_function("local_tx_commit", |b| {
+        let mut mw: Middleware<i64> = Middleware::new(MiddlewareConfig::default());
+        b.iter(|| {
+            let tx = mw.tx.begin("rc").expect("begins");
+            mw.tx.log_write(tx, 1, "balance", black_box(100)).expect("logs");
+            mw.tx.commit(tx).expect("commits")
+        });
+    });
+
+    group.bench_function("distributed_tx_2pc_commit", |b| {
+        let mut mw: Middleware<i64> = Middleware::new(MiddlewareConfig::default());
+        mw.bus.add_node("a");
+        mw.bus.add_node("b");
+        b.iter(|| {
+            let tx = mw.tx.begin("rc").expect("begins");
+            mw.tx.touch_node(tx, "a").expect("touches");
+            mw.tx.touch_node(tx, "b").expect("touches");
+            mw.tx.log_write(tx, 1, "v", black_box(1)).expect("logs");
+            mw.tx.commit(tx).expect("commits")
+        });
+    });
+
+    group.bench_function("lock_acquire_release", |b| {
+        let mut mw: Middleware<i64> = Middleware::new(MiddlewareConfig::default());
+        b.iter(|| {
+            mw.locks.try_acquire("hot", 1).expect("free");
+            mw.locks.release("hot", 1).expect("held")
+        });
+    });
+
+    // Aspect overhead on the invocation path.
+    let functional =
+        FunctionalGenerator::new().generate(&executable_banking_pim(), &banking_bodies());
+    group.bench_function("call_functional_transfer", |b| {
+        let (mut interp, bank) = ready_interp(functional.clone());
+        b.iter(|| {
+            interp
+                .call(
+                    bank.clone(),
+                    "transfer",
+                    vec![Value::from("A-1"), Value::from("A-2"), Value::Int(1)],
+                )
+                .expect("transfers")
+        });
+    });
+    group.bench_function("call_woven_transactional_transfer", |b| {
+        let (_, aspect) = transactions::pair().specialize(tx_si()).expect("valid Si");
+        let woven = Weaver::new(vec![aspect]).weave(&functional).expect("weaves").program;
+        let (mut interp, bank) = ready_interp(woven);
+        b.iter(|| {
+            interp
+                .call(
+                    bank.clone(),
+                    "transfer",
+                    vec![Value::from("A-1"), Value::from("A-2"), Value::Int(1)],
+                )
+                .expect("transfers")
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

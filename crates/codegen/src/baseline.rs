@@ -1,0 +1,377 @@
+//! The **monolithic baseline generator**: the MDA status quo the paper
+//! argues against. It consumes the most-specialized PSM (a model whose
+//! elements carry the concern marks written by the concrete model
+//! transformations) and generates a single program in which the concern
+//! behaviour is *inlined* — tangled — into every affected class.
+//!
+//! Experiment E5 compares this generator against the paper's proposal
+//! (functional generator + woven aspects) on tangling/scattering metrics
+//! and incremental-regeneration cost. Behaviour is intended to be
+//! observably equivalent; only the code structure differs.
+//!
+//! Wrapping layers that must run code *after* the original body completes
+//! (transactions, logging) hoist the current body into a private helper
+//! method (`name__tx`, `name__log`) so that early `return`s inside the
+//! functional body cannot skip the commit — the same reification the
+//! weaver performs for `proceed`, here entangled inside every class.
+
+use crate::generate::{BodyProvider, FunctionalGenerator};
+use crate::ir::*;
+use crate::marks::{self, intrinsics};
+use comet_model::{Model, TagValue};
+
+/// Monolithic generator: functional skeleton + inlined concern code.
+#[derive(Debug, Clone, Default)]
+pub struct MonolithicGenerator {
+    inner: FunctionalGenerator,
+}
+
+impl MonolithicGenerator {
+    /// Creates a baseline generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generates the tangled program from the fully-specialized PSM.
+    pub fn generate(&self, model: &Model, bodies: &BodyProvider) -> Program {
+        let mut program = self.inner.generate(model, bodies);
+        for class_id in model.classes() {
+            let class_el = match model.element(class_id) {
+                Ok(e) => e,
+                Err(_) => continue,
+            };
+            let class_name = class_el.name().to_owned();
+            let class_remote = class_el.core().has_stereotype(marks::STEREO_REMOTE);
+            let node = tag_str(model, class_id, marks::TAG_DIST_NODE);
+            let registry = tag_str(model, class_id, marks::TAG_DIST_REGISTRY)
+                .unwrap_or_else(|| class_name.clone());
+            for op_id in model.operations_of(class_id) {
+                let op_el = match model.element(op_id) {
+                    Ok(o) => o,
+                    Err(_) => continue,
+                };
+                let method_name = op_el.name().to_owned();
+                let Some(class_decl) = program.find_class_mut(&class_name) else { continue };
+                if class_decl.find_method(&method_name).is_none() {
+                    continue;
+                }
+
+                // The registration operation of a remote class gets the
+                // naming-service binding inlined (what the distribution
+                // aspect does with around advice).
+                if class_remote && method_name == marks::DIST_REGISTER_OP {
+                    if let Some(node) = &node {
+                        let m = class_decl
+                            .find_method_mut(&method_name)
+                            .expect("checked above");
+                        m.body = Block::of(vec![
+                            Stmt::Expr(Expr::intrinsic(
+                                intrinsics::NET_REGISTER,
+                                vec![Expr::str(node), Expr::str(&registry)],
+                            )),
+                            Stmt::Return(None),
+                        ]);
+                    }
+                    continue;
+                }
+
+                // Inline layers innermost-to-outermost: transactions,
+                // then distribution, then security, then logging — the
+                // fixed, hard-coded order of a monolithic generator.
+                if op_el.core().has_stereotype(marks::STEREO_TRANSACTIONAL) {
+                    let isolation = tag_str(model, op_id, marks::TAG_TX_ISOLATION)
+                        .unwrap_or_else(|| "read-committed".into());
+                    wrap_transactional(class_decl, &method_name, &isolation);
+                }
+                if class_remote {
+                    if let Some(node) = &node {
+                        wrap_remote(class_decl, &method_name, node, &registry);
+                    }
+                }
+                if op_el.core().has_stereotype(marks::STEREO_SECURED) {
+                    let role = tag_str(model, op_id, marks::TAG_SEC_ROLE)
+                        .unwrap_or_else(|| "admin".into());
+                    let resource = format!("{class_name}.{method_name}");
+                    wrap_secured(class_decl, &method_name, &role, &resource);
+                }
+                if op_el.core().has_stereotype(marks::STEREO_LOGGED) {
+                    let level = tag_str(model, op_id, marks::TAG_LOG_LEVEL)
+                        .unwrap_or_else(|| "info".into());
+                    let message = format!("{class_name}.{method_name}");
+                    wrap_logged(class_decl, &method_name, &level, &message);
+                }
+                if op_el.core().has_stereotype(marks::STEREO_PERSISTENT) {
+                    let key_attr = tag_str(model, op_id, marks::TAG_PERSIST_KEY)
+                        .unwrap_or_else(|| "id".into());
+                    let collection = tag_str(model, op_id, marks::TAG_PERSIST_STORE)
+                        .unwrap_or_else(|| class_name.clone());
+                    wrap_persistent(class_decl, &method_name, &collection, &key_attr);
+                }
+                if class_el.core().has_stereotype(marks::STEREO_PERSISTENT)
+                    && method_name == marks::PERSIST_RELOAD_OP
+                {
+                    let key_attr = tag_str(model, class_id, marks::TAG_PERSIST_KEY)
+                        .unwrap_or_else(|| "id".into());
+                    let collection = tag_str(model, class_id, marks::TAG_PERSIST_STORE)
+                        .unwrap_or_else(|| class_name.clone());
+                    let m = class_decl.find_method_mut(&method_name).expect("checked above");
+                    m.body = Block::of(vec![
+                        Stmt::Expr(Expr::intrinsic(
+                            intrinsics::STORE_LOAD,
+                            vec![persist_key_expr(&collection, &key_attr)],
+                        )),
+                        Stmt::Return(None),
+                    ]);
+                }
+            }
+        }
+        program
+    }
+}
+
+fn tag_str(model: &Model, id: comet_model::ElementId, key: &str) -> Option<String> {
+    model
+        .element(id)
+        .ok()?
+        .core()
+        .tag(key)
+        .and_then(TagValue::as_str)
+        .map(str::to_owned)
+}
+
+/// Moves the current body of `method_name` into a helper
+/// `method_name__layer`, leaving the original empty, and returns the call
+/// expression that invokes the helper plus the return type.
+fn extract_body(class: &mut ClassDecl, method_name: &str, layer: &str) -> (Expr, IrType) {
+    let method = class
+        .find_method(method_name)
+        .expect("caller checked the method exists")
+        .clone();
+    let helper_name = format!("{method_name}__{layer}");
+    let mut helper = method.clone();
+    helper.name = helper_name.clone();
+    helper.annotations.clear();
+    let args = method.params.iter().map(|p| Expr::var(&p.name)).collect();
+    let call = Expr::call_this(helper_name, args);
+    let ret = method.ret.clone();
+    class.methods.push(helper);
+    let m = class.find_method_mut(method_name).expect("checked above");
+    m.body = Block::default();
+    (call, ret)
+}
+
+/// Builds `(maybe-capture, call, maybe-return)` statements around a call.
+fn run_and_return(call: Expr, ret: &IrType, result_var: &str) -> (Vec<Stmt>, Vec<Stmt>) {
+    if *ret == IrType::Void {
+        (vec![Stmt::Expr(call)], vec![Stmt::Return(None)])
+    } else {
+        (
+            vec![Stmt::local(result_var, ret.clone(), call)],
+            vec![Stmt::ret(Expr::var(result_var))],
+        )
+    }
+}
+
+/// begin / try { core; commit } catch { rollback; rethrow }.
+fn wrap_transactional(class: &mut ClassDecl, method_name: &str, isolation: &str) {
+    let (call, ret) = extract_body(class, method_name, "tx");
+    let (run, ret_stmts) = run_and_return(call, &ret, "__tx_result");
+    let mut protected = run;
+    protected.push(Stmt::Expr(Expr::intrinsic(intrinsics::TX_COMMIT, vec![])));
+    protected.extend(ret_stmts);
+    let body = Block::of(vec![
+        Stmt::Expr(Expr::intrinsic(intrinsics::TX_BEGIN, vec![Expr::str(isolation)])),
+        Stmt::TryCatch {
+            body: Block::of(protected),
+            var: "__tx_e".into(),
+            handler: Block::of(vec![
+                Stmt::Expr(Expr::intrinsic(intrinsics::TX_ROLLBACK, vec![])),
+                Stmt::Throw(Expr::var("__tx_e")),
+            ]),
+            finally: None,
+        },
+    ]);
+    class.find_method_mut(method_name).expect("exists").body = body;
+}
+
+/// Prepends `if (!net.is_local(node)) return net.call(...)`.
+fn wrap_remote(class: &mut ClassDecl, method_name: &str, node: &str, registry: &str) {
+    let method = class.find_method_mut(method_name).expect("caller checked");
+    let mut rpc_args = vec![Expr::str(node), Expr::str(registry), Expr::str(method_name)];
+    rpc_args.extend(method.params.iter().map(|p| Expr::var(&p.name)));
+    let forward = if method.ret == IrType::Void {
+        vec![
+            Stmt::Expr(Expr::intrinsic(intrinsics::NET_CALL, rpc_args)),
+            Stmt::Return(None),
+        ]
+    } else {
+        vec![Stmt::ret(Expr::intrinsic(intrinsics::NET_CALL, rpc_args))]
+    };
+    let guard = Stmt::If {
+        cond: Expr::Unary {
+            op: IrUnOp::Not,
+            operand: Box::new(Expr::intrinsic(intrinsics::NET_IS_LOCAL, vec![Expr::str(node)])),
+        },
+        then_block: Block::of(forward),
+        else_block: None,
+    };
+    method.body.stmts.insert(0, guard);
+}
+
+/// Prepends an access check (throws on denial).
+fn wrap_secured(class: &mut ClassDecl, method_name: &str, role: &str, resource: &str) {
+    let method = class.find_method_mut(method_name).expect("caller checked");
+    method.body.stmts.insert(
+        0,
+        Stmt::Expr(Expr::intrinsic(
+            intrinsics::SEC_CHECK,
+            vec![Expr::str(role), Expr::str(resource)],
+        )),
+    );
+}
+
+fn persist_key_expr(collection: &str, key_attr: &str) -> Expr {
+    Expr::binary(
+        IrBinOp::Add,
+        Expr::str(format!("{collection}/")),
+        Expr::this_field(key_attr),
+    )
+}
+
+/// core / store-save / return, with the body hoisted so the save runs
+/// after the mutation completed without an exception.
+fn wrap_persistent(class: &mut ClassDecl, method_name: &str, collection: &str, key_attr: &str) {
+    let (call, ret) = extract_body(class, method_name, "persist");
+    let (run, ret_stmts) = run_and_return(call, &ret, "__persist_result");
+    let mut stmts = run;
+    stmts.push(Stmt::Expr(Expr::intrinsic(
+        intrinsics::STORE_SAVE,
+        vec![persist_key_expr(collection, key_attr)],
+    )));
+    stmts.extend(ret_stmts);
+    class.find_method_mut(method_name).expect("exists").body = Block::of(stmts);
+}
+
+/// enter-log / core / exit-log, with the body hoisted so the exit log runs
+/// before the value is returned.
+fn wrap_logged(class: &mut ClassDecl, method_name: &str, level: &str, message: &str) {
+    let (call, ret) = extract_body(class, method_name, "log");
+    let (run, ret_stmts) = run_and_return(call, &ret, "__log_result");
+    let mut stmts = vec![Stmt::Expr(Expr::intrinsic(
+        intrinsics::LOG_EMIT,
+        vec![Expr::str(level), Expr::str(format!("enter {message}"))],
+    ))];
+    stmts.extend(run);
+    stmts.push(Stmt::Expr(Expr::intrinsic(
+        intrinsics::LOG_EMIT,
+        vec![Expr::str(level), Expr::str(format!("exit {message}"))],
+    )));
+    stmts.extend(ret_stmts);
+    class.find_method_mut(method_name).expect("exists").body = Block::of(stmts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_model::sample::banking_pim;
+
+    fn marked_pim() -> Model {
+        let mut m = banking_pim();
+        let bank = m.find_class("Bank").unwrap();
+        let transfer = m.find_operation(bank, "transfer").unwrap();
+        m.apply_stereotype(transfer, marks::STEREO_TRANSACTIONAL).unwrap();
+        m.set_tag(transfer, marks::TAG_TX_ISOLATION, "serializable").unwrap();
+        m.apply_stereotype(transfer, marks::STEREO_SECURED).unwrap();
+        m.set_tag(transfer, marks::TAG_SEC_ROLE, "teller").unwrap();
+        m.apply_stereotype(bank, marks::STEREO_REMOTE).unwrap();
+        m.set_tag(bank, marks::TAG_DIST_NODE, "server").unwrap();
+        m
+    }
+
+    #[test]
+    fn transactional_wrap_inserts_begin_commit_rollback() {
+        let m = marked_pim();
+        let p = MonolithicGenerator::new().generate(&m, &BodyProvider::default());
+        let printed = crate::printer::pretty_print(&p);
+        assert!(printed.contains("tx.begin"));
+        assert!(printed.contains("tx.commit"));
+        assert!(printed.contains("tx.rollback"));
+        assert!(printed.contains("sec.check"));
+        assert!(printed.contains("net.call"));
+        // Security check precedes the distribution guard (outer layers
+        // are prepended later).
+        let transfer = p.find_method("Bank", "transfer").unwrap();
+        match &transfer.body.stmts[0] {
+            Stmt::Expr(Expr::Intrinsic { name, .. }) => assert_eq!(name, intrinsics::SEC_CHECK),
+            other => panic!("expected sec.check first, got {other:?}"),
+        }
+        // The functional body was hoisted into a `__tx` helper.
+        assert!(p.find_method("Bank", "transfer__tx").is_some());
+    }
+
+    #[test]
+    fn unmarked_model_generates_no_concern_code() {
+        let m = banking_pim();
+        let mono = MonolithicGenerator::new().generate(&m, &BodyProvider::default());
+        let func = FunctionalGenerator::new().generate(&m, &BodyProvider::default());
+        assert_eq!(mono, func, "without marks the baseline equals the functional program");
+    }
+
+    #[test]
+    fn tangling_grows_statement_count() {
+        let m = marked_pim();
+        let mono = MonolithicGenerator::new().generate(&m, &BodyProvider::default());
+        let func = FunctionalGenerator::new().generate(&m, &BodyProvider::default());
+        assert!(
+            mono.statement_count() > func.statement_count(),
+            "inlined concern code must add statements"
+        );
+    }
+
+    #[test]
+    fn logged_wrap_brackets_the_body_and_hoists_it() {
+        let mut m = banking_pim();
+        let bank = m.find_class("Bank").unwrap();
+        let audit = m.find_operation(bank, "audit").unwrap();
+        m.apply_stereotype(audit, marks::STEREO_LOGGED).unwrap();
+        let p = MonolithicGenerator::new().generate(&m, &BodyProvider::default());
+        let audit_m = p.find_method("Bank", "audit").unwrap();
+        assert!(matches!(
+            &audit_m.body.stmts[0],
+            Stmt::Expr(Expr::Intrinsic { name, .. }) if name == intrinsics::LOG_EMIT
+        ));
+        // Exit log executes before the captured result is returned.
+        let names: Vec<&str> = audit_m
+            .body
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Expr(Expr::Intrinsic { name, .. }) => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec![intrinsics::LOG_EMIT, intrinsics::LOG_EMIT]);
+        assert!(matches!(audit_m.body.stmts.last().unwrap(), Stmt::Return(Some(_))));
+        assert!(p.find_method("Bank", "audit__log").is_some());
+    }
+
+    #[test]
+    fn void_transactional_method_commits_then_returns() {
+        let mut m = banking_pim();
+        let account = m.find_class("Account").unwrap();
+        let deposit = m.find_operation(account, "deposit").unwrap();
+        m.apply_stereotype(deposit, marks::STEREO_TRANSACTIONAL).unwrap();
+        let p = MonolithicGenerator::new().generate(&m, &BodyProvider::default());
+        let dep = p.find_method("Account", "deposit").unwrap();
+        match &dep.body.stmts[1] {
+            Stmt::TryCatch { body, .. } => {
+                assert!(matches!(
+                    &body.stmts[1],
+                    Stmt::Expr(Expr::Intrinsic { name, .. }) if name == intrinsics::TX_COMMIT
+                ));
+                assert!(matches!(body.stmts.last().unwrap(), Stmt::Return(None)));
+            }
+            other => panic!("expected try/catch, got {other:?}"),
+        }
+    }
+}

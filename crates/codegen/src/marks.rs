@@ -1,0 +1,151 @@
+//! The shared mark vocabulary: stereotype names and tagged-value keys
+//! that concrete model transformations write into the PSM and that both
+//! the aspect generators and the monolithic baseline generator read.
+//!
+//! Centralizing the vocabulary here (the lowest crate that both
+//! `comet-concerns` and the baseline generator depend on) keeps the two
+//! code paths honest: they consume exactly the same marks, so E5 compares
+//! generation *strategies*, not vocabularies.
+
+/// Stereotype marking an operation (or class) as transactional.
+pub const STEREO_TRANSACTIONAL: &str = "Transactional";
+/// Tag: transaction isolation level (`read-committed` | `serializable`).
+pub const TAG_TX_ISOLATION: &str = "comet.tx.isolation";
+/// Tag: transaction propagation (`required` | `requires-new`).
+pub const TAG_TX_PROPAGATION: &str = "comet.tx.propagation";
+
+/// Stereotype marking an operation as access-controlled.
+pub const STEREO_SECURED: &str = "Secured";
+/// Tag: role required to invoke the secured operation.
+pub const TAG_SEC_ROLE: &str = "comet.sec.role";
+/// Tag: security policy on failure (`deny` | `audit`).
+pub const TAG_SEC_POLICY: &str = "comet.sec.policy";
+
+/// Stereotype marking a class as remotely accessible.
+pub const STEREO_REMOTE: &str = "Remote";
+/// Tag: logical node the remote object is deployed on.
+pub const TAG_DIST_NODE: &str = "comet.dist.node";
+/// Tag: name under which the object registers in the naming service.
+pub const TAG_DIST_REGISTRY: &str = "comet.dist.registry";
+
+/// Stereotype marking an operation for call logging.
+pub const STEREO_LOGGED: &str = "Logged";
+/// Tag: log level (`info` | `debug` | `trace`).
+pub const TAG_LOG_LEVEL: &str = "comet.log.level";
+
+/// Stereotype marking an operation as mutually exclusive per object.
+pub const STEREO_SYNCHRONIZED: &str = "Synchronized";
+/// Tag: name of the lock guarding the synchronized operation.
+pub const TAG_SYNC_LOCK: &str = "comet.sync.lock";
+
+/// Name of the naming-service registration operation the distribution
+/// transformation adds to remote classes.
+pub const DIST_REGISTER_OP: &str = "registerRemote";
+
+/// Stereotype marking a class as persisted to the document store;
+/// mutator operations carry it too, so the generators know where to
+/// save.
+pub const STEREO_PERSISTENT: &str = "Persistent";
+/// Tag: the attribute providing the persistence identity (key).
+pub const TAG_PERSIST_KEY: &str = "comet.persist.key";
+/// Tag: key prefix (collection name) in the document store.
+pub const TAG_PERSIST_STORE: &str = "comet.persist.store";
+/// Name of the operation the persistence transformation adds for
+/// reloading the object from the store.
+pub const PERSIST_RELOAD_OP: &str = "reload";
+
+/// Every stereotype of the concern vocabulary. The functional code
+/// generator strips these (plus all `comet.*` tags) so the functional
+/// artifact is independent of concern parameters — the incrementality
+/// property experiment E5 measures.
+pub const CONCERN_STEREOTYPES: &[&str] = &[
+    STEREO_TRANSACTIONAL,
+    STEREO_SECURED,
+    STEREO_REMOTE,
+    STEREO_LOGGED,
+    STEREO_SYNCHRONIZED,
+    STEREO_PERSISTENT,
+];
+
+/// True for tagged-value keys owned by the concern vocabulary.
+pub fn is_concern_tag(key: &str) -> bool {
+    key.starts_with("comet.")
+}
+
+/// Intrinsic names understood by the `comet-interp` runtime. The
+/// generators emit these; the interpreter binds them to the simulated
+/// middleware.
+pub mod intrinsics {
+    /// Begin a transaction. Args: isolation (Str). Returns tx id (Int).
+    pub const TX_BEGIN: &str = "tx.begin";
+    /// Commit the current transaction.
+    pub const TX_COMMIT: &str = "tx.commit";
+    /// True when a transaction is active (propagation checks).
+    pub const TX_ACTIVE: &str = "tx.active";
+    /// Roll back the current transaction.
+    pub const TX_ROLLBACK: &str = "tx.rollback";
+    /// Check access. Args: required role (Str), resource (Str). Throws on
+    /// denial.
+    pub const SEC_CHECK: &str = "sec.check";
+    /// Remote call. Args: node (Str), registry name (Str), method (Str),
+    /// then the forwarded arguments. Returns the remote result.
+    pub const NET_CALL: &str = "net.call";
+    /// Remote call taking the forwarded arguments as one list value
+    /// (pairs with the weaver-injected `__args` local). Args: node (Str),
+    /// registry name (Str), method (Str), args (List).
+    pub const NET_CALL_LIST: &str = "net.call_list";
+    /// Register `this` in the naming service. Args: node (Str), name (Str).
+    pub const NET_REGISTER: &str = "net.register";
+    /// True when execution is currently on the given node. Args: node (Str).
+    pub const NET_IS_LOCAL: &str = "net.is_local";
+    /// Emit a log record. Args: level (Str), message (Str).
+    pub const LOG_EMIT: &str = "log.emit";
+    /// Acquire a named lock. Args: lock name (Str).
+    pub const LOCK_ACQUIRE: &str = "lock.acquire";
+    /// Release a named lock. Args: lock name (Str).
+    pub const LOCK_RELEASE: &str = "lock.release";
+    /// Save a snapshot of `this` under a key. Args: key (Str).
+    pub const STORE_SAVE: &str = "store.save";
+    /// Load a snapshot into `this`. Args: key (Str). Returns Bool found.
+    pub const STORE_LOAD: &str = "store.load";
+    /// Enter a cflow context (weaver-internal). Args: key (Str).
+    pub const CFLOW_ENTER: &str = "cflow.enter";
+    /// Exit a cflow context (weaver-internal). Args: key (Str).
+    pub const CFLOW_EXIT: &str = "cflow.exit";
+    /// True while inside the cflow context. Args: key (Str).
+    pub const CFLOW_ACTIVE: &str = "cflow.active";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_keys_are_namespaced() {
+        for key in [
+            TAG_TX_ISOLATION,
+            TAG_TX_PROPAGATION,
+            TAG_SEC_ROLE,
+            TAG_SEC_POLICY,
+            TAG_DIST_NODE,
+            TAG_DIST_REGISTRY,
+            TAG_LOG_LEVEL,
+            TAG_SYNC_LOCK,
+        ] {
+            assert!(key.starts_with("comet."), "{key} must be namespaced");
+        }
+    }
+
+    #[test]
+    fn stereotypes_are_capitalized() {
+        for s in [
+            STEREO_TRANSACTIONAL,
+            STEREO_SECURED,
+            STEREO_REMOTE,
+            STEREO_LOGGED,
+            STEREO_SYNCHRONIZED,
+        ] {
+            assert!(s.chars().next().unwrap().is_uppercase());
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Sanity checks over generated programs: duplicate declarations,
+//! stray `proceed` expressions outside advice templates, and references
+//! to undeclared classes in `new` expressions.
+
+use crate::ir::*;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An issue found by [`check_program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrIssue {
+    /// Two classes share a name.
+    DuplicateClass(String),
+    /// Two methods in one class share a name.
+    DuplicateMethod {
+        /// The class.
+        class: String,
+        /// The duplicated method name.
+        method: String,
+    },
+    /// Two fields in one class share a name.
+    DuplicateField {
+        /// The class.
+        class: String,
+        /// The duplicated field name.
+        field: String,
+    },
+    /// A `proceed(...)` survived outside an advice template. Woven
+    /// programs must not contain any.
+    StrayProceed {
+        /// The class.
+        class: String,
+        /// The method.
+        method: String,
+    },
+    /// `new X(...)` references a class that is not declared.
+    UnknownClass {
+        /// The undeclared class name.
+        class: String,
+        /// Where it is referenced.
+        referenced_in: String,
+    },
+}
+
+impl fmt::Display for IrIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrIssue::DuplicateClass(c) => write!(f, "duplicate class `{c}`"),
+            IrIssue::DuplicateMethod { class, method } => {
+                write!(f, "duplicate method `{method}` in class `{class}`")
+            }
+            IrIssue::DuplicateField { class, field } => {
+                write!(f, "duplicate field `{field}` in class `{class}`")
+            }
+            IrIssue::StrayProceed { class, method } => {
+                write!(f, "stray `proceed` in `{class}.{method}`")
+            }
+            IrIssue::UnknownClass { class, referenced_in } => {
+                write!(f, "`new {class}` in {referenced_in} references an undeclared class")
+            }
+        }
+    }
+}
+
+/// Checks a program; returns all issues found (empty = clean).
+pub fn check_program(program: &Program) -> Vec<IrIssue> {
+    let mut issues = Vec::new();
+    let mut class_names = BTreeSet::new();
+    let declared: BTreeSet<&str> = program.classes.iter().map(|c| c.name.as_str()).collect();
+    for class in &program.classes {
+        if !class_names.insert(class.name.clone()) {
+            issues.push(IrIssue::DuplicateClass(class.name.clone()));
+        }
+        let mut method_names = BTreeSet::new();
+        for m in &class.methods {
+            if !method_names.insert(m.name.clone()) {
+                issues.push(IrIssue::DuplicateMethod {
+                    class: class.name.clone(),
+                    method: m.name.clone(),
+                });
+            }
+            let mut found_proceed = false;
+            let mut new_classes = Vec::new();
+            walk_block(&m.body, &mut found_proceed, &mut new_classes);
+            if found_proceed {
+                issues.push(IrIssue::StrayProceed {
+                    class: class.name.clone(),
+                    method: m.name.clone(),
+                });
+            }
+            for n in new_classes {
+                if !declared.contains(n.as_str()) {
+                    issues.push(IrIssue::UnknownClass {
+                        class: n,
+                        referenced_in: format!("{}.{}", class.name, m.name),
+                    });
+                }
+            }
+        }
+        let mut field_names = BTreeSet::new();
+        for fld in &class.fields {
+            if !field_names.insert(fld.name.clone()) {
+                issues.push(IrIssue::DuplicateField {
+                    class: class.name.clone(),
+                    field: fld.name.clone(),
+                });
+            }
+        }
+    }
+    issues
+}
+
+fn walk_block(block: &Block, proceed: &mut bool, news: &mut Vec<String>) {
+    for s in &block.stmts {
+        walk_stmt(s, proceed, news);
+    }
+}
+
+fn walk_stmt(s: &Stmt, proceed: &mut bool, news: &mut Vec<String>) {
+    match s {
+        Stmt::Local { init, .. } => {
+            if let Some(e) = init {
+                walk_expr(e, proceed, news);
+            }
+        }
+        Stmt::Assign { target, value } => {
+            if let LValue::Field { recv, .. } = target {
+                walk_expr(recv, proceed, news);
+            }
+            walk_expr(value, proceed, news);
+        }
+        Stmt::Expr(e) | Stmt::Throw(e) => walk_expr(e, proceed, news),
+        Stmt::If { cond, then_block, else_block } => {
+            walk_expr(cond, proceed, news);
+            walk_block(then_block, proceed, news);
+            if let Some(eb) = else_block {
+                walk_block(eb, proceed, news);
+            }
+        }
+        Stmt::While { cond, body } => {
+            walk_expr(cond, proceed, news);
+            walk_block(body, proceed, news);
+        }
+        Stmt::Return(v) => {
+            if let Some(e) = v {
+                walk_expr(e, proceed, news);
+            }
+        }
+        Stmt::TryCatch { body, handler, finally, .. } => {
+            walk_block(body, proceed, news);
+            walk_block(handler, proceed, news);
+            if let Some(fin) = finally {
+                walk_block(fin, proceed, news);
+            }
+        }
+        Stmt::Block(b) => walk_block(b, proceed, news),
+    }
+}
+
+fn walk_expr(e: &Expr, proceed: &mut bool, news: &mut Vec<String>) {
+    match e {
+        Expr::Proceed(args) => {
+            *proceed = true;
+            for a in args {
+                walk_expr(a, proceed, news);
+            }
+        }
+        Expr::New { class, args } => {
+            news.push(class.clone());
+            for a in args {
+                walk_expr(a, proceed, news);
+            }
+        }
+        Expr::Field { recv, .. } => walk_expr(recv, proceed, news),
+        Expr::Call { recv, args, .. } => {
+            if let Some(r) = recv {
+                walk_expr(r, proceed, news);
+            }
+            for a in args {
+                walk_expr(a, proceed, news);
+            }
+        }
+        Expr::Intrinsic { args, .. } | Expr::ListLit(args) => {
+            for a in args {
+                walk_expr(a, proceed, news);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, proceed, news);
+            walk_expr(rhs, proceed, news);
+        }
+        Expr::Unary { operand, .. } => walk_expr(operand, proceed, news),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_program_has_no_issues() {
+        let mut p = Program::new("x");
+        let mut c = ClassDecl::new("A");
+        c.fields.push(FieldDecl::new("f", IrType::Int));
+        c.methods.push(MethodDecl::new("m"));
+        p.classes.push(c);
+        assert!(check_program(&p).is_empty());
+    }
+
+    #[test]
+    fn detects_duplicates() {
+        let mut p = Program::new("x");
+        p.classes.push(ClassDecl::new("A"));
+        p.classes.push(ClassDecl::new("A"));
+        let mut b = ClassDecl::new("B");
+        b.methods.push(MethodDecl::new("m"));
+        b.methods.push(MethodDecl::new("m"));
+        b.fields.push(FieldDecl::new("f", IrType::Int));
+        b.fields.push(FieldDecl::new("f", IrType::Str));
+        p.classes.push(b);
+        let issues = check_program(&p);
+        assert!(issues.contains(&IrIssue::DuplicateClass("A".into())));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, IrIssue::DuplicateMethod { method, .. } if method == "m")));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, IrIssue::DuplicateField { field, .. } if field == "f")));
+    }
+
+    #[test]
+    fn detects_stray_proceed_and_unknown_new() {
+        let mut p = Program::new("x");
+        let mut c = ClassDecl::new("A");
+        let mut m = MethodDecl::new("m");
+        m.body = Block::of(vec![
+            Stmt::Expr(Expr::Proceed(vec![])),
+            Stmt::Expr(Expr::New { class: "Ghost".into(), args: vec![] }),
+        ]);
+        c.methods.push(m);
+        p.classes.push(c);
+        let issues = check_program(&p);
+        assert!(issues.iter().any(|i| matches!(i, IrIssue::StrayProceed { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, IrIssue::UnknownClass { class, .. } if class == "Ghost")));
+        assert!(issues[0].to_string().contains("A.m"));
+    }
+
+    #[test]
+    fn proceed_nested_in_try_detected() {
+        let mut p = Program::new("x");
+        let mut c = ClassDecl::new("A");
+        let mut m = MethodDecl::new("m");
+        m.body = Block::of(vec![Stmt::TryCatch {
+            body: Block::of(vec![Stmt::ret(Expr::Proceed(vec![]))]),
+            var: "e".into(),
+            handler: Block::default(),
+            finally: None,
+        }]);
+        c.methods.push(m);
+        p.classes.push(c);
+        assert!(check_program(&p)
+            .iter()
+            .any(|i| matches!(i, IrIssue::StrayProceed { .. })));
+    }
+}

@@ -1,0 +1,151 @@
+//! Extension concern: **concurrency** — synchronization of critical
+//! operations via named middleware locks (the paper lists concurrency
+//! among the middleware services, and cites Kienzle & Guerraoui's study
+//! of exactly this concern).
+//!
+//! * `Si` slots: `methods` (`Class.method` entries to serialize) and
+//!   `lock` (the named lock guarding them; one lock serializes all).
+//! * CMT_sync: marks each listed operation «Synchronized» with the lock
+//!   tagged value.
+//! * CA_sync: per method, `around` advice: acquire, `proceed`, release —
+//!   releasing on the exception path too.
+
+use crate::util::{method_exists_ocl, method_stereotyped_ocl, pc_err, resolve_method, split_method};
+use comet_aop::{parse_pointcut, Advice, AdviceKind};
+use comet_aspectgen::{AspectBuilder, AspectGenError, ConcernPair};
+use comet_codegen::marks::{intrinsics, STEREO_SYNCHRONIZED, TAG_SYNC_LOCK};
+use comet_codegen::{Block, Expr, IrType, Stmt};
+use comet_transform::{ParamSchema, ParamSet, TransformationBuilder};
+
+/// The concern name.
+pub const CONCERN: &str = "concurrency";
+
+fn schema() -> ParamSchema {
+    ParamSchema::new()
+        .str_list("methods", true)
+        .string("lock", false, Some("global"))
+}
+
+/// Builds the concurrency [`ConcernPair`].
+pub fn pair() -> ConcernPair {
+    let gmt = TransformationBuilder::new("concurrency", CONCERN)
+        .schema(schema())
+        .preconditions_fn(|params: &ParamSet| {
+            params
+                .str_list("methods")
+                .map(|ms| {
+                    ms.iter()
+                        .filter_map(|m| split_method(m).ok())
+                        .map(|(c, m)| method_exists_ocl(c, m))
+                        .collect()
+                })
+                .unwrap_or_default()
+        })
+        .postconditions_fn(|params: &ParamSet| {
+            params
+                .str_list("methods")
+                .map(|ms| {
+                    ms.iter()
+                        .filter_map(|m| split_method(m).ok())
+                        .map(|(c, m)| method_stereotyped_ocl(c, m, STEREO_SYNCHRONIZED))
+                        .collect()
+                })
+                .unwrap_or_default()
+        })
+        .body(|model, params| {
+            let lock = params.str("lock")?.to_owned();
+            for entry in params.str_list("methods")? {
+                let (_, op) = resolve_method(model, entry)?;
+                model.apply_stereotype(op, STEREO_SYNCHRONIZED)?;
+                model.set_tag(op, TAG_SYNC_LOCK, lock.as_str())?;
+            }
+            Ok(())
+        })
+        .build();
+
+    let ga = AspectBuilder::new("concurrency-aspect", CONCERN)
+        .schema(schema())
+        .advice_fn(|params| {
+            let lock = params.str("lock")?.to_owned();
+            let mut advices = Vec::new();
+            for entry in params.str_list("methods")? {
+                let (class, method) =
+                    split_method(entry).map_err(AspectGenError::Custom)?;
+                let pc = parse_pointcut(&format!("execution({class}.{method})"))
+                    .map_err(pc_err)?;
+                advices.push(Advice::new(AdviceKind::Around, pc, guarded_body(&lock)));
+            }
+            Ok(advices)
+        })
+        .build();
+
+    ConcernPair::new(gmt, ga)
+}
+
+/// Around template: acquire / proceed / release, exception-safe.
+fn guarded_body(lock: &str) -> Block {
+    Block::of(vec![
+        Stmt::Expr(Expr::intrinsic(intrinsics::LOCK_ACQUIRE, vec![Expr::str(lock)])),
+        Stmt::Local { name: "__r".into(), ty: IrType::Str, init: None },
+        Stmt::TryCatch {
+            body: Block::of(vec![Stmt::set_var("__r", Expr::Proceed(vec![]))]),
+            var: "__e".into(),
+            handler: Block::of(vec![
+                Stmt::Expr(Expr::intrinsic(intrinsics::LOCK_RELEASE, vec![Expr::str(lock)])),
+                Stmt::Throw(Expr::var("__e")),
+            ]),
+            finally: None,
+        },
+        Stmt::Expr(Expr::intrinsic(intrinsics::LOCK_RELEASE, vec![Expr::str(lock)])),
+        Stmt::ret(Expr::var("__r")),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_model::sample::banking_pim;
+    use comet_transform::ParamValue;
+
+    #[test]
+    fn cmt_marks_with_lock_tag() {
+        let si = ParamSet::new()
+            .with("methods", ParamValue::from(vec!["Account.withdraw".to_owned()]))
+            .with("lock", ParamValue::from("account-lock"));
+        let (cmt, ca) = pair().specialize(si).unwrap();
+        let mut m = banking_pim();
+        cmt.apply(&mut m).unwrap();
+        let account = m.find_class("Account").unwrap();
+        let withdraw = m.find_operation(account, "withdraw").unwrap();
+        assert!(m.has_stereotype(withdraw, STEREO_SYNCHRONIZED).unwrap());
+        assert_eq!(
+            m.element(withdraw).unwrap().core().tag(TAG_SYNC_LOCK).unwrap().as_str(),
+            Some("account-lock")
+        );
+        assert_eq!(ca.advices.len(), 1);
+    }
+
+    #[test]
+    fn lock_defaults_to_global() {
+        let si = ParamSet::new()
+            .with("methods", ParamValue::from(vec!["Account.withdraw".to_owned()]));
+        let (cmt, _) = pair().specialize(si).unwrap();
+        let mut m = banking_pim();
+        cmt.apply(&mut m).unwrap();
+        let account = m.find_class("Account").unwrap();
+        let withdraw = m.find_operation(account, "withdraw").unwrap();
+        assert_eq!(
+            m.element(withdraw).unwrap().core().tag(TAG_SYNC_LOCK).unwrap().as_str(),
+            Some("global")
+        );
+    }
+
+    #[test]
+    fn guarded_body_releases_on_both_paths() {
+        let b = guarded_body("L");
+        // acquire, declare, try, release, return
+        assert_eq!(b.stmts.len(), 5);
+        assert!(matches!(&b.stmts[2], Stmt::TryCatch { handler, .. }
+            if handler.stmts.len() == 2));
+    }
+}

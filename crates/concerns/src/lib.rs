@@ -1,0 +1,117 @@
+//! # comet-concerns — the middleware-service concern library
+//!
+//! The paper's running example (Section 2, Fig. 2) refines an application
+//! along three middleware-service concern dimensions — **C1 =
+//! distribution, C2 = transactions, C3 = security** — each realized as a
+//! generic model transformation T_i paired with a generic aspect A_i and
+//! specialized by an application-specific parameter set
+//! `T_i<p_i1, p_i2, ...>` / `A_i<p_i1, p_i2, ...>`.
+//!
+//! This crate provides those three concern modules plus two extensions
+//! the paper lists among middleware services (§1: "communication,
+//! distribution, concurrency, security, or transactions"): **logging**
+//! (monitoring/communication tracing) and **concurrency**
+//! (synchronization). Each module exposes
+//!
+//! * `pair()` — the [`ConcernPair`]
+//!   bundling GMT_Ci and GA_Ci;
+//! * the parameter schema documenting its `P_ik` slots;
+//! * model-level marks (stereotypes + tagged values from
+//!   `comet_codegen::marks`) written by the CMT and consumed by both the
+//!   aspect generator and the monolithic baseline generator.
+//!
+//! ## Example
+//!
+//! ```
+//! use comet_concerns::transactions;
+//! use comet_model::sample::banking_pim;
+//! use comet_transform::{ParamSet, ParamValue};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pair = transactions::pair();
+//! let si = ParamSet::new()
+//!     .with("methods", ParamValue::from(vec!["Bank.transfer".to_owned()]))
+//!     .with("isolation", ParamValue::from("serializable"));
+//! let (cmt, ca) = pair.specialize(si)?;
+//! let mut model = banking_pim();
+//! cmt.apply(&mut model)?;
+//! let bank = model.find_class("Bank").unwrap();
+//! let transfer = model.find_operation(bank, "transfer").unwrap();
+//! assert!(model.has_stereotype(transfer, "Transactional")?);
+//! assert_eq!(ca.advices.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod concurrency;
+pub mod distribution;
+pub mod logging;
+pub mod persistence;
+pub mod security;
+pub mod transactions;
+
+mod util;
+
+use comet_aspectgen::ConcernPair;
+
+/// The standard concern library, in the paper's Fig. 2 order
+/// (distribution, transactions, security) followed by the extensions.
+pub fn standard_pairs() -> Vec<ConcernPair> {
+    vec![
+        distribution::pair(),
+        transactions::pair(),
+        security::pair(),
+        logging::pair(),
+        concurrency::pair(),
+        persistence::pair(),
+    ]
+}
+
+/// Looks a standard concern up by name.
+pub fn by_name(name: &str) -> Option<ConcernPair> {
+    standard_pairs().into_iter().find(|p| p.concern() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_has_six_concerns() {
+        let names: Vec<String> =
+            standard_pairs().iter().map(|p| p.concern().to_owned()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "distribution",
+                "transactions",
+                "security",
+                "logging",
+                "concurrency",
+                "persistence"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("security").is_some());
+        assert!(by_name("astrology").is_none());
+    }
+
+    #[test]
+    fn every_pair_agrees_on_schema_shape() {
+        for p in standard_pairs() {
+            // The GA must accept everything the GMT schema declares: the
+            // same Si specializes both (Fig. 1).
+            let t_specs = p.transformation().parameter_schema();
+            let a_specs = p.aspect().parameter_schema();
+            assert_eq!(
+                t_specs.specs().len(),
+                a_specs.specs().len(),
+                "schema mismatch for {}",
+                p.concern()
+            );
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Extension concern: **persistence** — saving marked objects into the
+//! simulated document store after every mutator, plus a generated
+//! `reload` operation. Rounds out the middleware-services dimension list
+//! the paper draws from (the entity-bean/persistence-service concern of
+//! its era).
+//!
+//! * `Si` slots: `class` (the entity class), `key_attr` (the attribute
+//!   providing the identity), `mutators` (the operations after which the
+//!   object must be saved), `collection` (key prefix in the store;
+//!   defaults to the class name).
+//! * CMT_persist: marks the class and mutators «Persistent», records key
+//!   attribute and collection tags, adds a `reload` operation.
+//! * CA_persist: `afterReturning` advice on each mutator saving a
+//!   snapshot under `collection/<key>`, and `around` advice on `reload`
+//!   loading it back.
+
+use crate::util::{method_exists_ocl, pc_err};
+use comet_aop::{parse_pointcut, Advice, AdviceKind};
+use comet_aspectgen::{AspectBuilder, ConcernPair};
+use comet_codegen::marks::{
+    intrinsics, PERSIST_RELOAD_OP, STEREO_PERSISTENT, TAG_PERSIST_KEY, TAG_PERSIST_STORE,
+};
+use comet_codegen::{Block, Expr, IrBinOp, Stmt};
+use comet_transform::{ParamSchema, ParamSet, TransformError, TransformationBuilder};
+
+/// The concern name.
+pub const CONCERN: &str = "persistence";
+
+fn schema() -> ParamSchema {
+    ParamSchema::new()
+        .string("class", true, None)
+        .string("key_attr", true, None)
+        .str_list("mutators", true)
+        .string("collection", false, Some(""))
+}
+
+fn collection_name(params: &ParamSet) -> String {
+    match params.str("collection") {
+        Ok(c) if !c.is_empty() => c.to_owned(),
+        _ => params.str("class").unwrap_or("entities").to_owned(),
+    }
+}
+
+/// Builds the persistence [`ConcernPair`].
+pub fn pair() -> ConcernPair {
+    let gmt = TransformationBuilder::new("persistence", CONCERN)
+        .schema(schema())
+        .preconditions_fn(|params: &ParamSet| {
+            let mut pre = Vec::new();
+            if let (Ok(class), Ok(key)) = (params.str("class"), params.str("key_attr")) {
+                pre.push(format!(
+                    "Class.allInstances()->exists(c | c.name = '{class}' and \
+                     c.attributes->exists(a | a.name = '{key}'))"
+                ));
+                if let Ok(mutators) = params.str_list("mutators") {
+                    for m in mutators {
+                        pre.push(method_exists_ocl(class, m));
+                    }
+                }
+            }
+            pre
+        })
+        .postconditions_fn(|params: &ParamSet| {
+            let mut post = Vec::new();
+            if let Ok(class) = params.str("class") {
+                post.push(format!(
+                    "Class.allInstances()->exists(c | c.name = '{class}' and \
+                     c.hasStereotype('{STEREO_PERSISTENT}'))"
+                ));
+                post.push(method_exists_ocl(class, PERSIST_RELOAD_OP));
+            }
+            post
+        })
+        .body(|model, params| {
+            let class_name = params.str("class")?.to_owned();
+            let key_attr = params.str("key_attr")?.to_owned();
+            let collection = collection_name(params);
+            let class = model
+                .find_class(&class_name)
+                .ok_or_else(|| TransformError::Custom(format!("no class `{class_name}`")))?;
+            if model.find_attribute(class, &key_attr).is_none() {
+                return Err(TransformError::Custom(format!(
+                    "no attribute `{key_attr}` on `{class_name}`"
+                )));
+            }
+            model.apply_stereotype(class, STEREO_PERSISTENT)?;
+            model.set_tag(class, TAG_PERSIST_KEY, key_attr.as_str())?;
+            model.set_tag(class, TAG_PERSIST_STORE, collection.as_str())?;
+            for mutator in params.str_list("mutators")? {
+                let op = model.find_operation(class, mutator).ok_or_else(|| {
+                    TransformError::Custom(format!("no operation `{class_name}.{mutator}`"))
+                })?;
+                model.apply_stereotype(op, STEREO_PERSISTENT)?;
+                model.set_tag(op, TAG_PERSIST_KEY, key_attr.as_str())?;
+                model.set_tag(op, TAG_PERSIST_STORE, collection.as_str())?;
+            }
+            model.add_operation(class, PERSIST_RELOAD_OP)?;
+            Ok(())
+        })
+        .build();
+
+    let ga = AspectBuilder::new("persistence-aspect", CONCERN)
+        .schema(schema())
+        .advice_fn(|params| {
+            let class = params.str("class")?.to_owned();
+            let key_attr = params.str("key_attr")?.to_owned();
+            let collection = collection_name(params);
+            let mut advices = Vec::new();
+            for mutator in params.str_list("mutators")? {
+                let pc = parse_pointcut(&format!("execution({class}.{mutator})"))
+                    .map_err(pc_err)?;
+                advices.push(Advice::new(
+                    AdviceKind::AfterReturning,
+                    pc,
+                    save_body(&collection, &key_attr),
+                ));
+            }
+            let pc = parse_pointcut(&format!("execution({class}.{PERSIST_RELOAD_OP})"))
+                .map_err(pc_err)?;
+            advices.push(Advice::new(
+                AdviceKind::Around,
+                pc,
+                reload_body(&collection, &key_attr),
+            ));
+            Ok(advices)
+        })
+        .build();
+
+    ConcernPair::new(gmt, ga)
+}
+
+/// `collection/` + `this.<key_attr>` as a key expression.
+fn key_expr(collection: &str, key_attr: &str) -> Expr {
+    Expr::binary(
+        IrBinOp::Add,
+        Expr::str(format!("{collection}/")),
+        Expr::this_field(key_attr),
+    )
+}
+
+/// afterReturning template: save the object snapshot.
+fn save_body(collection: &str, key_attr: &str) -> Block {
+    Block::of(vec![Stmt::Expr(Expr::intrinsic(
+        intrinsics::STORE_SAVE,
+        vec![key_expr(collection, key_attr)],
+    ))])
+}
+
+/// around template for `reload`: load the snapshot back into the object.
+fn reload_body(collection: &str, key_attr: &str) -> Block {
+    Block::of(vec![
+        Stmt::Expr(Expr::intrinsic(
+            intrinsics::STORE_LOAD,
+            vec![key_expr(collection, key_attr)],
+        )),
+        Stmt::Return(None),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_model::sample::banking_pim;
+    use comet_transform::ParamValue;
+
+    fn si() -> ParamSet {
+        ParamSet::new()
+            .with("class", ParamValue::from("Account"))
+            .with("key_attr", ParamValue::from("number"))
+            .with(
+                "mutators",
+                ParamValue::from(vec!["deposit".to_owned(), "withdraw".to_owned()]),
+            )
+    }
+
+    #[test]
+    fn cmt_marks_class_mutators_and_adds_reload() {
+        let (cmt, ca) = pair().specialize(si()).unwrap();
+        let mut m = banking_pim();
+        cmt.apply(&mut m).unwrap();
+        let account = m.find_class("Account").unwrap();
+        assert!(m.has_stereotype(account, STEREO_PERSISTENT).unwrap());
+        assert_eq!(
+            m.element(account).unwrap().core().tag(TAG_PERSIST_STORE).unwrap().as_str(),
+            Some("Account")
+        );
+        let deposit = m.find_operation(account, "deposit").unwrap();
+        assert!(m.has_stereotype(deposit, STEREO_PERSISTENT).unwrap());
+        assert!(m.find_operation(account, PERSIST_RELOAD_OP).is_some());
+        // 2 mutator saves + 1 reload.
+        assert_eq!(ca.advices.len(), 3);
+        assert_eq!(ca.advices[0].kind, AdviceKind::AfterReturning);
+        assert_eq!(ca.advices[2].kind, AdviceKind::Around);
+    }
+
+    #[test]
+    fn missing_key_attribute_fails_precondition() {
+        let bad = ParamSet::new()
+            .with("class", ParamValue::from("Account"))
+            .with("key_attr", ParamValue::from("ghost"))
+            .with("mutators", ParamValue::from(vec!["deposit".to_owned()]));
+        let (cmt, _) = pair().specialize(bad).unwrap();
+        let mut m = banking_pim();
+        assert!(matches!(
+            cmt.apply(&mut m).unwrap_err(),
+            TransformError::PreconditionFailed { .. }
+        ));
+    }
+
+    #[test]
+    fn collection_defaults_to_class_name() {
+        let (cmt, _) = pair().specialize(si()).unwrap();
+        assert!(cmt.full_name().contains("collection="));
+        assert_eq!(collection_name(cmt.params()), "Account");
+    }
+}

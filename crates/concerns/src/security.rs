@@ -1,0 +1,181 @@
+//! Concern **C3: security** (paper, Fig. 2).
+//!
+//! * `Si` slots: `protected` (entries `Class.method:role` — which
+//!   operations are guarded and which role each requires) and `policy`.
+//! * CMT_sec: marks each listed operation «Secured» and records the
+//!   required role and the policy as tagged values.
+//! * CA_sec: one `before` advice per listed operation calling
+//!   `sec.check(role, "Class.method")`, which throws (and audits) on
+//!   denial; with the `audit` policy the denial is logged but the call
+//!   proceeds.
+
+use crate::util::{method_exists_ocl, method_stereotyped_ocl, pc_err, resolve_method, split_method};
+use comet_aop::{parse_pointcut, Advice, AdviceKind};
+use comet_aspectgen::{AspectBuilder, AspectGenError, ConcernPair};
+use comet_codegen::marks::{intrinsics, STEREO_SECURED, TAG_SEC_POLICY, TAG_SEC_ROLE};
+use comet_codegen::{Block, Expr, Stmt};
+use comet_transform::{ParamSchema, ParamSet, TransformationBuilder};
+
+/// The concern name.
+pub const CONCERN: &str = "security";
+
+fn schema() -> ParamSchema {
+    ParamSchema::new()
+        .str_list("protected", true)
+        .choice("policy", &["deny", "audit"], "deny")
+}
+
+/// Splits a `Class.method:role` entry.
+fn split_protected(entry: &str) -> Result<(&str, &str, &str), String> {
+    let (method_part, role) = entry
+        .rsplit_once(':')
+        .filter(|(_, r)| !r.is_empty())
+        .ok_or_else(|| format!("expected `Class.method:role`, got `{entry}`"))?;
+    let (class, method) = split_method(method_part)?;
+    Ok((class, method, role))
+}
+
+/// Builds the security [`ConcernPair`].
+pub fn pair() -> ConcernPair {
+    let gmt = TransformationBuilder::new("security", CONCERN)
+        .schema(schema())
+        .preconditions_fn(|params: &ParamSet| {
+            params
+                .str_list("protected")
+                .map(|entries| {
+                    entries
+                        .iter()
+                        .filter_map(|e| split_protected(e).ok())
+                        .map(|(c, m, _)| method_exists_ocl(c, m))
+                        .collect()
+                })
+                .unwrap_or_default()
+        })
+        .postconditions_fn(|params: &ParamSet| {
+            params
+                .str_list("protected")
+                .map(|entries| {
+                    entries
+                        .iter()
+                        .filter_map(|e| split_protected(e).ok())
+                        .map(|(c, m, _)| method_stereotyped_ocl(c, m, STEREO_SECURED))
+                        .collect()
+                })
+                .unwrap_or_default()
+        })
+        .body(|model, params| {
+            let policy = params.str("policy")?.to_owned();
+            for entry in params.str_list("protected")? {
+                let (class, method, role) = split_protected(entry)
+                    .map_err(comet_transform::TransformError::Custom)?;
+                let (_, op) = resolve_method(model, &format!("{class}.{method}"))?;
+                model.apply_stereotype(op, STEREO_SECURED)?;
+                model.set_tag(op, TAG_SEC_ROLE, role)?;
+                model.set_tag(op, TAG_SEC_POLICY, policy.as_str())?;
+            }
+            Ok(())
+        })
+        .build();
+
+    let ga = AspectBuilder::new("security-aspect", CONCERN)
+        .schema(schema())
+        .advice_fn(|params| {
+            let policy = params.str("policy")?.to_owned();
+            let mut advices = Vec::new();
+            for entry in params.str_list("protected")? {
+                let (class, method, role) =
+                    split_protected(entry).map_err(AspectGenError::Custom)?;
+                let pc = parse_pointcut(&format!("execution({class}.{method})"))
+                    .map_err(pc_err)?;
+                advices.push(Advice::new(
+                    AdviceKind::Before,
+                    pc,
+                    check_body(role, &format!("{class}.{method}"), &policy),
+                ));
+            }
+            Ok(advices)
+        })
+        .build();
+
+    ConcernPair::new(gmt, ga)
+}
+
+/// The before-advice template: enforce or audit.
+fn check_body(role: &str, resource: &str, policy: &str) -> Block {
+    let check = Stmt::Expr(Expr::intrinsic(
+        intrinsics::SEC_CHECK,
+        vec![Expr::str(role), Expr::str(resource)],
+    ));
+    if policy == "audit" {
+        // Audit-only: record the decision but swallow the denial.
+        Block::of(vec![Stmt::TryCatch {
+            body: Block::of(vec![check]),
+            var: "__denied".into(),
+            handler: Block::of(vec![Stmt::Expr(Expr::intrinsic(
+                intrinsics::LOG_EMIT,
+                vec![
+                    Expr::str("warn"),
+                    Expr::binary(
+                        comet_codegen::IrBinOp::Add,
+                        Expr::str(format!("audit-only denial at {resource}: ")),
+                        Expr::var("__denied"),
+                    ),
+                ],
+            ))]),
+            finally: None,
+        }])
+    } else {
+        Block::of(vec![check])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_model::sample::banking_pim;
+    use comet_transform::ParamValue;
+
+    #[test]
+    fn split_protected_parses() {
+        assert_eq!(split_protected("Bank.transfer:teller").unwrap(), ("Bank", "transfer", "teller"));
+        assert!(split_protected("Bank.transfer").is_err());
+        assert!(split_protected("Banktransfer:role").is_err());
+        assert!(split_protected("Bank.transfer:").is_err());
+    }
+
+    #[test]
+    fn cmt_marks_and_records_role() {
+        let si = ParamSet::new().with(
+            "protected",
+            ParamValue::from(vec!["Bank.transfer:teller".to_owned()]),
+        );
+        let (cmt, ca) = pair().specialize(si).unwrap();
+        let mut m = banking_pim();
+        cmt.apply(&mut m).unwrap();
+        let bank = m.find_class("Bank").unwrap();
+        let transfer = m.find_operation(bank, "transfer").unwrap();
+        assert!(m.has_stereotype(transfer, STEREO_SECURED).unwrap());
+        assert_eq!(
+            m.element(transfer).unwrap().core().tag(TAG_SEC_ROLE).unwrap().as_str(),
+            Some("teller")
+        );
+        assert_eq!(ca.advices.len(), 1);
+        assert_eq!(ca.advices[0].kind, AdviceKind::Before);
+    }
+
+    #[test]
+    fn audit_policy_wraps_check_in_try() {
+        let deny = check_body("r", "C.m", "deny");
+        assert!(matches!(deny.stmts[0], Stmt::Expr(_)));
+        let audit = check_body("r", "C.m", "audit");
+        assert!(matches!(audit.stmts[0], Stmt::TryCatch { .. }));
+    }
+
+    #[test]
+    fn bad_entry_rejected_at_specialization_apply() {
+        let si = ParamSet::new()
+            .with("protected", ParamValue::from(vec!["garbage".to_owned()]));
+        // The aspect side fails fast.
+        assert!(pair().specialize(si).is_err());
+    }
+}

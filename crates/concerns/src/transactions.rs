@@ -1,0 +1,189 @@
+//! Concern **C2: transactions** (paper, Fig. 2).
+//!
+//! * `Si` slots: `methods` (the `Class.method` operations to make
+//!   transactional — the application-specific knowledge that a generic
+//!   transactional aspect cannot invent, per Kienzle & Guerraoui),
+//!   `isolation`, `propagation`.
+//! * CMT_tx: marks each listed operation «Transactional» and records the
+//!   isolation/propagation tagged values.
+//! * CA_tx: one `around` advice per listed operation — begin, `proceed`,
+//!   commit; roll back and rethrow on exception; with `required`
+//!   propagation an active transaction is joined instead of nested.
+
+use crate::util::{method_exists_ocl, method_stereotyped_ocl, pc_err, resolve_method, split_method};
+use comet_aop::{parse_pointcut, Advice, AdviceKind};
+use comet_aspectgen::{AspectBuilder, AspectGenError, ConcernPair};
+use comet_codegen::marks::{
+    intrinsics, STEREO_TRANSACTIONAL, TAG_TX_ISOLATION, TAG_TX_PROPAGATION,
+};
+use comet_codegen::{Block, Expr, IrType, Stmt};
+use comet_transform::{ParamSchema, ParamSet, TransformationBuilder};
+
+/// The concern name.
+pub const CONCERN: &str = "transactions";
+
+fn schema() -> ParamSchema {
+    ParamSchema::new()
+        .str_list("methods", true)
+        .choice("isolation", &["read-committed", "serializable"], "read-committed")
+        .choice("propagation", &["required", "requires-new"], "required")
+}
+
+/// Builds the transactions [`ConcernPair`].
+pub fn pair() -> ConcernPair {
+    let gmt = TransformationBuilder::new("transactions", CONCERN)
+        .schema(schema())
+        .preconditions_fn(|params: &ParamSet| {
+            params
+                .str_list("methods")
+                .map(|ms| {
+                    ms.iter()
+                        .filter_map(|m| split_method(m).ok())
+                        .map(|(c, m)| method_exists_ocl(c, m))
+                        .collect()
+                })
+                .unwrap_or_default()
+        })
+        .postconditions_fn(|params: &ParamSet| {
+            params
+                .str_list("methods")
+                .map(|ms| {
+                    ms.iter()
+                        .filter_map(|m| split_method(m).ok())
+                        .map(|(c, m)| method_stereotyped_ocl(c, m, STEREO_TRANSACTIONAL))
+                        .collect()
+                })
+                .unwrap_or_default()
+        })
+        .body(|model, params| {
+            let isolation = params.str("isolation")?.to_owned();
+            let propagation = params.str("propagation")?.to_owned();
+            for entry in params.str_list("methods")? {
+                let (_, op) = resolve_method(model, entry)?;
+                model.apply_stereotype(op, STEREO_TRANSACTIONAL)?;
+                model.set_tag(op, TAG_TX_ISOLATION, isolation.as_str())?;
+                model.set_tag(op, TAG_TX_PROPAGATION, propagation.as_str())?;
+            }
+            Ok(())
+        })
+        .build();
+
+    let ga = AspectBuilder::new("transactions-aspect", CONCERN)
+        .schema(schema())
+        .advice_fn(|params| {
+            let isolation = params.str("isolation")?.to_owned();
+            let propagation = params.str("propagation")?.to_owned();
+            let mut advices = Vec::new();
+            for entry in params.str_list("methods")? {
+                let (class, method) =
+                    split_method(entry).map_err(AspectGenError::Custom)?;
+                let pc = parse_pointcut(&format!("execution({class}.{method})"))
+                    .map_err(pc_err)?;
+                advices.push(Advice::new(
+                    AdviceKind::Around,
+                    pc,
+                    around_body(&isolation, &propagation),
+                ));
+            }
+            Ok(advices)
+        })
+        .build();
+
+    ConcernPair::new(gmt, ga)
+}
+
+/// The around-advice template; `proceed()` is substituted by the weaver.
+fn around_body(isolation: &str, propagation: &str) -> Block {
+    let mut stmts = Vec::new();
+    if propagation == "required" {
+        // Join an enclosing transaction instead of nesting a new one.
+        stmts.push(Stmt::If {
+            cond: Expr::intrinsic(intrinsics::TX_ACTIVE, vec![]),
+            then_block: Block::of(vec![Stmt::ret(Expr::Proceed(vec![]))]),
+            else_block: None,
+        });
+    }
+    stmts.push(Stmt::Expr(Expr::intrinsic(
+        intrinsics::TX_BEGIN,
+        vec![Expr::str(isolation)],
+    )));
+    stmts.push(Stmt::TryCatch {
+        body: Block::of(vec![
+            Stmt::Local {
+                name: "__r".into(),
+                ty: IrType::Str,
+                init: Some(Expr::Proceed(vec![])),
+            },
+            Stmt::Expr(Expr::intrinsic(intrinsics::TX_COMMIT, vec![])),
+            Stmt::ret(Expr::var("__r")),
+        ]),
+        var: "__e".into(),
+        handler: Block::of(vec![
+            Stmt::Expr(Expr::intrinsic(intrinsics::TX_ROLLBACK, vec![])),
+            Stmt::Throw(Expr::var("__e")),
+        ]),
+        finally: None,
+    });
+    Block::of(stmts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_model::sample::banking_pim;
+    use comet_transform::ParamValue;
+
+    fn si() -> ParamSet {
+        ParamSet::new().with("methods", ParamValue::from(vec!["Bank.transfer".to_owned()]))
+    }
+
+    #[test]
+    fn cmt_marks_operations() {
+        let (cmt, _) = pair().specialize(si()).unwrap();
+        let mut m = banking_pim();
+        let report = cmt.apply(&mut m).unwrap();
+        assert_eq!(report.modified.len(), 1);
+        let bank = m.find_class("Bank").unwrap();
+        let transfer = m.find_operation(bank, "transfer").unwrap();
+        assert!(m.has_stereotype(transfer, STEREO_TRANSACTIONAL).unwrap());
+        assert_eq!(
+            m.element(transfer).unwrap().core().tag(TAG_TX_ISOLATION).unwrap().as_str(),
+            Some("read-committed")
+        );
+        assert_eq!(
+            m.element(transfer).unwrap().core().tag(TAG_TX_PROPAGATION).unwrap().as_str(),
+            Some("required")
+        );
+    }
+
+    #[test]
+    fn precondition_rejects_unknown_method() {
+        let si = ParamSet::new()
+            .with("methods", ParamValue::from(vec!["Bank.launder".to_owned()]));
+        let (cmt, _) = pair().specialize(si).unwrap();
+        let mut m = banking_pim();
+        assert!(cmt.apply(&mut m).is_err());
+    }
+
+    #[test]
+    fn ca_contains_around_advice_per_method() {
+        let si = ParamSet::new()
+            .with(
+                "methods",
+                ParamValue::from(vec!["Bank.transfer".to_owned(), "Account.withdraw".to_owned()]),
+            )
+            .with("propagation", ParamValue::from("requires-new"));
+        let (_, ca) = pair().specialize(si).unwrap();
+        assert_eq!(ca.advices.len(), 2);
+        assert!(ca.advices.iter().all(|a| a.kind == AdviceKind::Around));
+        assert!(ca.name.starts_with("transactions-aspect<"));
+    }
+
+    #[test]
+    fn required_propagation_adds_join_guard() {
+        let body = around_body("rc", "required");
+        assert!(matches!(body.stmts[0], Stmt::If { .. }));
+        let body = around_body("rc", "requires-new");
+        assert!(!matches!(body.stmts[0], Stmt::If { .. }));
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared helpers for the concern modules.
+
+use comet_aspectgen::AspectGenError;
+use comet_model::{ElementId, Model};
+use comet_transform::TransformError;
+
+/// Splits a `Class.method` entry.
+pub(crate) fn split_method(entry: &str) -> Result<(&str, &str), String> {
+    entry
+        .split_once('.')
+        .filter(|(c, m)| !c.is_empty() && !m.is_empty())
+        .ok_or_else(|| format!("expected `Class.method`, got `{entry}`"))
+}
+
+/// Resolves a `Class.method` entry against the model.
+pub(crate) fn resolve_method(
+    model: &Model,
+    entry: &str,
+) -> Result<(ElementId, ElementId), TransformError> {
+    let (class_name, method_name) =
+        split_method(entry).map_err(TransformError::Custom)?;
+    let class = model
+        .find_class(class_name)
+        .ok_or_else(|| TransformError::Custom(format!("no class `{class_name}` in the model")))?;
+    let op = model.find_operation(class, method_name).ok_or_else(|| {
+        TransformError::Custom(format!("no operation `{method_name}` on class `{class_name}`"))
+    })?;
+    Ok((class, op))
+}
+
+/// OCL: "`Class` exists and has operation `method`".
+pub(crate) fn method_exists_ocl(class: &str, method: &str) -> String {
+    format!(
+        "Class.allInstances()->exists(c | c.name = '{class}' and \
+         c.operations->exists(o | o.name = '{method}'))"
+    )
+}
+
+/// OCL: "operation `method` of `Class` carries `stereotype`".
+pub(crate) fn method_stereotyped_ocl(class: &str, method: &str, stereotype: &str) -> String {
+    format!(
+        "Class.allInstances()->exists(c | c.name = '{class}' and \
+         c.operations->exists(o | o.name = '{method}' and o.hasStereotype('{stereotype}')))"
+    )
+}
+
+/// Maps a pointcut parse failure into an aspect-generation error.
+pub(crate) fn pc_err(e: impl std::fmt::Display) -> AspectGenError {
+    AspectGenError::Pointcut(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_model::sample::banking_pim;
+
+    #[test]
+    fn split_method_validates() {
+        assert_eq!(split_method("Bank.transfer").unwrap(), ("Bank", "transfer"));
+        assert!(split_method("nodot").is_err());
+        assert!(split_method(".x").is_err());
+        assert!(split_method("x.").is_err());
+    }
+
+    #[test]
+    fn resolve_method_against_model() {
+        let m = banking_pim();
+        assert!(resolve_method(&m, "Bank.transfer").is_ok());
+        assert!(resolve_method(&m, "Bank.launder").is_err());
+        assert!(resolve_method(&m, "Casino.bet").is_err());
+    }
+
+    #[test]
+    fn ocl_snippets_evaluate() {
+        let m = banking_pim();
+        let ctx = comet_ocl::Context::for_model(&m);
+        assert!(comet_ocl::evaluate_bool(&method_exists_ocl("Bank", "transfer"), &ctx).unwrap());
+        assert!(!comet_ocl::evaluate_bool(&method_exists_ocl("Bank", "nope"), &ctx).unwrap());
+        assert!(
+            !comet_ocl::evaluate_bool(&method_stereotyped_ocl("Bank", "transfer", "X"), &ctx)
+                .unwrap()
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! `comet-cli` — a command-line front-end for the COMET tool
+//! infrastructure: inspect models, list concerns and their parameters,
+//! apply concern transformations to XMI models, and emit aspect
+//! artifacts.
+//!
+//! ```text
+//! comet-cli new <out.xmi>                     write the sample banking PIM
+//! comet-cli inspect <model.xmi>               summary, validation, colors
+//! comet-cli concerns                          list concern pairs + parameters
+//! comet-cli apply <model.xmi> <concern> k=v... [-o out.xmi] [--aspect-out f.aj]
+//! ```
+//!
+//! Parameters are `key=value`; list-valued parameters take
+//! comma-separated values (`methods=Bank.transfer,Account.withdraw`).
+
+use comet::Wizard;
+use comet_aspectgen::{AspectBackend, AspectJBackend};
+use comet_model::sample::banking_pim;
+use comet_repo::ColorReport;
+use comet_xmi::{export_model, import_model};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("new") => cmd_new(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("concerns") => cmd_concerns(),
+        Some("apply") => cmd_apply(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `comet-cli help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "comet-cli — concern-oriented model transformations meet AOP\n\n\
+         USAGE:\n  comet-cli new <out.xmi>\n  comet-cli inspect <model.xmi>\n  \
+         comet-cli concerns\n  comet-cli apply <model.xmi> <concern> [k=v ...] \
+         [-o out.xmi] [--aspect-out out.aj]"
+    );
+}
+
+fn cmd_new(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: comet-cli new <out.xmi>")?;
+    let model = banking_pim();
+    std::fs::write(path, export_model(&model)).map_err(|e| e.to_string())?;
+    println!("wrote sample PIM `{}` ({} elements) to {path}", model.name(), model.len());
+    Ok(())
+}
+
+fn load(path: &str) -> Result<comet_model::Model, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    import_model(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: comet-cli inspect <model.xmi>")?;
+    let model = load(path)?;
+    println!("model `{}`: {} elements", model.name(), model.len());
+    println!(
+        "  classes: {}, associations: {}, packages: {}",
+        model.classes().len(),
+        model.associations().len(),
+        model.packages().len()
+    );
+    match model.validate() {
+        Ok(()) => println!("  well-formed: yes"),
+        Err(violations) => {
+            println!("  well-formed: NO ({} violations)", violations.len());
+            for v in violations.iter().take(10) {
+                println!("    - {v}");
+            }
+        }
+    }
+    let colors = ColorReport::for_model(&model);
+    print!("{colors}");
+    for class_id in model.classes() {
+        let class = model.element(class_id).map_err(|e| e.to_string())?;
+        let stereo = if class.core().stereotypes.is_empty() {
+            String::new()
+        } else {
+            format!(" «{}»", class.core().stereotypes.join(", "))
+        };
+        println!("  class {}{stereo}", class.name());
+        for op in model.operations_of(class_id) {
+            let o = model.element(op).map_err(|e| e.to_string())?;
+            let marks = if o.core().stereotypes.is_empty() {
+                String::new()
+            } else {
+                format!(" «{}»", o.core().stereotypes.join(", "))
+            };
+            println!("    {}(){marks}", o.name());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_concerns() -> Result<(), String> {
+    for pair in comet_concerns::standard_pairs() {
+        let wizard = Wizard::for_pair(&pair);
+        println!("{}", pair.concern());
+        for q in wizard.questions() {
+            println!(
+                "  {}  {:?}{}{}",
+                q.name,
+                q.kind,
+                if q.required { "  (required)" } else { "" },
+                q.default
+                    .map(|d| format!("  [default: {d}]"))
+                    .unwrap_or_default()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_apply(args: &[String]) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut params: BTreeMap<String, String> = BTreeMap::new();
+    let mut out_path: Option<String> = None;
+    let mut aspect_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => {
+                out_path = Some(
+                    args.get(i + 1)
+                        .ok_or("-o needs a path")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--aspect-out" => {
+                aspect_out = Some(
+                    args.get(i + 1)
+                        .ok_or("--aspect-out needs a path")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            arg if arg.contains('=') => {
+                let (k, v) = arg.split_once('=').expect("checked contains");
+                params.insert(k.to_owned(), v.to_owned());
+                i += 1;
+            }
+            other => {
+                positional.push(other.to_owned());
+                i += 1;
+            }
+        }
+    }
+    let [model_path, concern_name] = positional.as_slice() else {
+        return Err("usage: comet-cli apply <model.xmi> <concern> [k=v ...]".into());
+    };
+    let pair = comet_concerns::by_name(concern_name)
+        .ok_or_else(|| format!("unknown concern `{concern_name}` (see `comet-cli concerns`)"))?;
+    let mut model = load(model_path)?;
+
+    let wizard = Wizard::for_pair(&pair);
+    let si = wizard.collect(&params).map_err(|e| e.to_string())?;
+    let (cmt, ca) = pair.specialize(si).map_err(|e| e.to_string())?;
+    let report = cmt.apply(&mut model).map_err(|e| e.to_string())?;
+    println!(
+        "applied {} (created {}, modified {}, removed {})",
+        cmt.full_name(),
+        report.created.len(),
+        report.modified.len(),
+        report.removed.len()
+    );
+
+    let out = out_path.unwrap_or_else(|| model_path.clone());
+    std::fs::write(&out, export_model(&model)).map_err(|e| e.to_string())?;
+    println!("wrote refined model to {out}");
+
+    if let Some(aspect_path) = aspect_out {
+        let artifact = AspectJBackend::new().render(&ca);
+        std::fs::write(&aspect_path, artifact).map_err(|e| e.to_string())?;
+        println!("wrote concrete aspect `{}` to {aspect_path}", ca.name);
+    }
+    Ok(())
+}

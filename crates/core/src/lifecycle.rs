@@ -1,0 +1,397 @@
+//! The MDA lifecycle engine: the paper's Fig. 1 pipeline end to end.
+
+use comet_aop::{Aspect, WeaveError, Weaver, WovenJoinPoint};
+use comet_aspectgen::{AspectBackend, AspectGenError, AspectJBackend, ConcernPair};
+use comet_codegen::{
+    pretty_print, BodyProvider, FunctionalGenerator, MonolithicGenerator, Program,
+};
+use comet_model::Model;
+use comet_repo::{ColorReport, RepoError, Repository};
+use comet_transform::{ApplyReport, ConcreteTransformation, ParamSet, TransformError};
+use comet_workflow::{WorkflowEngine, WorkflowError, WorkflowModel};
+use std::fmt;
+
+/// Lifecycle failures; each wraps the failing subsystem's error.
+#[derive(Debug)]
+pub enum LifecycleError {
+    /// The workflow forbids the concern at this point.
+    Workflow(WorkflowError),
+    /// Specialization of the transformation/aspect pair failed.
+    AspectGen(AspectGenError),
+    /// Applying the concrete transformation failed (model unchanged).
+    Transform(TransformError),
+    /// Weaving failed.
+    Weave(WeaveError),
+    /// Repository failure.
+    Repo(RepoError),
+    /// Nothing to undo.
+    NothingToUndo,
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifecycleError::Workflow(e) => write!(f, "workflow: {e}"),
+            LifecycleError::AspectGen(e) => write!(f, "specialization: {e}"),
+            LifecycleError::Transform(e) => write!(f, "transformation: {e}"),
+            LifecycleError::Weave(e) => write!(f, "weaving: {e}"),
+            LifecycleError::Repo(e) => write!(f, "repository: {e}"),
+            LifecycleError::NothingToUndo => write!(f, "nothing to undo"),
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {}
+
+impl From<WorkflowError> for LifecycleError {
+    fn from(e: WorkflowError) -> Self {
+        LifecycleError::Workflow(e)
+    }
+}
+
+impl From<AspectGenError> for LifecycleError {
+    fn from(e: AspectGenError) -> Self {
+        LifecycleError::AspectGen(e)
+    }
+}
+
+impl From<TransformError> for LifecycleError {
+    fn from(e: TransformError) -> Self {
+        LifecycleError::Transform(e)
+    }
+}
+
+impl From<WeaveError> for LifecycleError {
+    fn from(e: WeaveError) -> Self {
+        LifecycleError::Weave(e)
+    }
+}
+
+impl From<RepoError> for LifecycleError {
+    fn from(e: RepoError) -> Self {
+        LifecycleError::Repo(e)
+    }
+}
+
+/// One applied refinement step: the concrete transformation, the paired
+/// concrete aspect, and what the application changed.
+#[derive(Debug, Clone)]
+pub struct AppliedConcern {
+    /// The concrete model transformation (CMT_Ci).
+    pub cmt: ConcreteTransformation,
+    /// The concrete aspect (CA_Ci), generated from the same `Si`.
+    pub aspect: Aspect,
+    /// The model delta of the application.
+    pub report: ApplyReport,
+}
+
+/// Everything the code-generation phase produces.
+#[derive(Debug, Clone)]
+pub struct GeneratedSystem {
+    /// The functional program (concern-free behaviour).
+    pub functional: Program,
+    /// The woven program (aspects applied, precedence = application
+    /// order).
+    pub woven: Program,
+    /// Pretty-printed functional source (the code generator's artifact).
+    pub functional_source: String,
+    /// Per-aspect platform artifacts `(aspect name, source)`.
+    pub aspect_sources: Vec<(String, String)>,
+    /// Every advice application the weaver performed.
+    pub weave_trace: Vec<WovenJoinPoint>,
+}
+
+/// The MDA lifecycle: model + repository + workflow + applied concerns.
+#[derive(Debug)]
+pub struct MdaLifecycle {
+    model: Model,
+    repo: Repository,
+    workflow: WorkflowEngine,
+    applied: Vec<AppliedConcern>,
+}
+
+impl MdaLifecycle {
+    /// Starts a lifecycle from a PIM, committing it as the initial
+    /// version.
+    ///
+    /// # Errors
+    /// Propagates repository failures.
+    pub fn new(pim: Model, workflow: WorkflowModel) -> Result<Self, LifecycleError> {
+        let mut repo = Repository::new(format!("{}-models", pim.name()));
+        repo.commit(&pim, "initial PIM", None)?;
+        Ok(MdaLifecycle {
+            model: pim,
+            repo,
+            workflow: WorkflowEngine::new(workflow),
+            applied: Vec::new(),
+        })
+    }
+
+    /// The current model (PIM refined into an increasingly specific PSM).
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The model repository (versions, tags, diffs).
+    pub fn repository(&self) -> &Repository {
+        &self.repo
+    }
+
+    /// Mutable repository access (tagging, branching).
+    pub fn repository_mut(&mut self) -> &mut Repository {
+        &mut self.repo
+    }
+
+    /// The workflow engine (guidance).
+    pub fn workflow(&self) -> &WorkflowEngine {
+        &self.workflow
+    }
+
+    /// Applied refinement steps, in application order.
+    pub fn applied(&self) -> &[AppliedConcern] {
+        &self.applied
+    }
+
+    /// The concern-oriented refinement step of the paper's Section 2:
+    /// checks the workflow, specializes GMT_Ci **and** GA_Ci with one
+    /// `Si`, applies the CMT (with pre/postconditions and automatic
+    /// coloring), records the step in workflow and repository, and stores
+    /// the CA for the code-generation phase.
+    ///
+    /// # Errors
+    /// The model is unchanged on any error.
+    pub fn apply_concern(
+        &mut self,
+        pair: &ConcernPair,
+        si: ParamSet,
+    ) -> Result<&AppliedConcern, LifecycleError> {
+        self.workflow
+            .validate_sequence(&[pair.concern()])
+            .map_err(LifecycleError::Workflow)?;
+        let (cmt, aspect) = pair.specialize(si)?;
+        let report = cmt.apply(&mut self.model)?;
+        self.workflow.record(pair.concern())?;
+        self.repo
+            .commit(&self.model, &cmt.full_name(), Some(pair.concern()))?;
+        self.applied.push(AppliedConcern { cmt, aspect, report });
+        Ok(self.applied.last().expect("just pushed"))
+    }
+
+    /// Undoes the most recent refinement step: repository undo, workflow
+    /// rewind, aspect removal.
+    ///
+    /// # Errors
+    /// Fails when nothing was applied or the snapshot is corrupt.
+    pub fn undo_last(&mut self) -> Result<(), LifecycleError> {
+        let last = self.applied.pop().ok_or(LifecycleError::NothingToUndo)?;
+        let restored = self
+            .repo
+            .undo()
+            .ok_or(LifecycleError::NothingToUndo)??;
+        self.model = restored;
+        // Rebuild the workflow state minus the undone step.
+        let mut engine = WorkflowEngine::new(self.workflow.model().clone());
+        for step in &self.applied {
+            engine
+                .record(step.cmt.concern())
+                .expect("previously valid sequence stays valid");
+        }
+        self.workflow = engine;
+        let _ = last;
+        Ok(())
+    }
+
+    /// The concrete aspects in precedence order (= application order).
+    pub fn aspects(&self) -> Vec<Aspect> {
+        self.applied.iter().map(|a| a.aspect.clone()).collect()
+    }
+
+    /// The paper's code-generation phase: functional code generator for
+    /// the functional model **plus** aspect generators for the concerns,
+    /// then weaving with precedence = transformation order.
+    ///
+    /// # Errors
+    /// Propagates weaving failures.
+    pub fn generate(&self, bodies: &BodyProvider) -> Result<GeneratedSystem, LifecycleError> {
+        let functional = FunctionalGenerator::new().generate(&self.model, bodies);
+        let aspects = self.aspects();
+        let weaver = Weaver::new(aspects.clone());
+        let result = weaver.weave(&functional)?;
+        let backend = AspectJBackend::new();
+        let aspect_sources = aspects
+            .iter()
+            .map(|a| (a.name.clone(), backend.render(a)))
+            .collect();
+        Ok(GeneratedSystem {
+            functional_source: pretty_print(&functional),
+            functional,
+            woven: result.program,
+            aspect_sources,
+            weave_trace: result.trace,
+        })
+    }
+
+    /// The baseline the paper argues against: one monolithic generator
+    /// consuming the most-specialized PSM, concern code inlined.
+    pub fn generate_monolithic(&self, bodies: &BodyProvider) -> Program {
+        MonolithicGenerator::new().generate(&self.model, bodies)
+    }
+
+    /// The per-concern "colors" report for the current model.
+    pub fn colors(&self) -> ColorReport {
+        ColorReport::for_model(&self.model)
+    }
+
+    /// Remaining planned concerns (workflow guidance).
+    pub fn remaining_concerns(&self) -> Vec<&str> {
+        self.workflow.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_concerns::{distribution, security, transactions};
+    use comet_model::sample::banking_pim;
+    use comet_transform::ParamValue;
+    use comet_workflow::WorkflowModel;
+
+    fn fig2_workflow() -> WorkflowModel {
+        WorkflowModel::new("fig2")
+            .step("distribution", false)
+            .step("transactions", false)
+            .step("security", false)
+    }
+
+    fn dist_si() -> ParamSet {
+        ParamSet::new()
+            .with("server_class", ParamValue::from("Bank"))
+            .with("node", ParamValue::from("server"))
+            .with("operations", ParamValue::from(vec!["transfer".to_owned()]))
+    }
+
+    fn tx_si() -> ParamSet {
+        ParamSet::new().with("methods", ParamValue::from(vec!["Bank.transfer".to_owned()]))
+    }
+
+    fn sec_si() -> ParamSet {
+        ParamSet::new().with(
+            "protected",
+            ParamValue::from(vec!["Bank.transfer:teller".to_owned()]),
+        )
+    }
+
+    fn full_lifecycle() -> MdaLifecycle {
+        let mut mda = MdaLifecycle::new(banking_pim(), fig2_workflow()).unwrap();
+        mda.apply_concern(&distribution::pair(), dist_si()).unwrap();
+        mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
+        mda.apply_concern(&security::pair(), sec_si()).unwrap();
+        mda
+    }
+
+    #[test]
+    fn three_concern_pipeline_runs() {
+        let mda = full_lifecycle();
+        assert_eq!(mda.applied().len(), 3);
+        assert!(mda.workflow().is_complete());
+        assert!(mda.remaining_concerns().is_empty());
+        // Repository: initial + three commits.
+        assert_eq!(mda.repository().log().len(), 4);
+        // Colors: distribution created elements; tx/sec only modified.
+        let colors = mda.colors();
+        assert!(colors.count("distribution") > 0);
+        assert_eq!(
+            colors.covered(),
+            vec!["distribution"],
+            "only creating concerns show as colors"
+        );
+    }
+
+    #[test]
+    fn aspect_precedence_follows_application_order() {
+        let mda = full_lifecycle();
+        let names: Vec<String> = mda.aspects().iter().map(|a| a.name.clone()).collect();
+        assert!(names[0].starts_with("distribution-aspect<"));
+        assert!(names[1].starts_with("transactions-aspect<"));
+        assert!(names[2].starts_with("security-aspect<"));
+    }
+
+    #[test]
+    fn generate_weaves_all_aspects() {
+        let mda = full_lifecycle();
+        let system = mda.generate(&BodyProvider::default()).unwrap();
+        assert_eq!(system.aspect_sources.len(), 3);
+        assert!(system.functional_source.contains("class Bank"));
+        // transfer was advised by all three concerns.
+        let advising: Vec<&str> = system
+            .weave_trace
+            .iter()
+            .filter(|jp| jp.method == "transfer")
+            .map(|jp| jp.aspect.as_str())
+            .collect();
+        assert_eq!(advising.len(), 3);
+        assert!(comet_codegen::check_program(&system.woven).is_empty());
+    }
+
+    #[test]
+    fn workflow_violation_rejected_and_model_untouched() {
+        let workflow = WorkflowModel::new("w")
+            .step("distribution", false)
+            .step("security", false)
+            .constraint(comet_workflow::OrderConstraint::Before(
+                "distribution".into(),
+                "security".into(),
+            ));
+        let mut mda = MdaLifecycle::new(banking_pim(), workflow).unwrap();
+        let before = mda.model().clone();
+        let err = mda.apply_concern(&security::pair(), sec_si()).unwrap_err();
+        assert!(matches!(err, LifecycleError::Workflow(_)));
+        assert_eq!(mda.model(), &before);
+        assert_eq!(mda.applied().len(), 0);
+    }
+
+    #[test]
+    fn failed_transformation_leaves_no_trace() {
+        let mut mda = MdaLifecycle::new(banking_pim(), fig2_workflow()).unwrap();
+        let bad_si = ParamSet::new()
+            .with("methods", ParamValue::from(vec!["Bank.launder".to_owned()]));
+        let before = mda.model().clone();
+        assert!(mda.apply_concern(&transactions::pair(), bad_si).is_err());
+        assert_eq!(mda.model(), &before);
+        assert_eq!(mda.repository().log().len(), 1);
+        assert!(mda.workflow().applied().is_empty());
+    }
+
+    #[test]
+    fn undo_last_restores_everything() {
+        let mut mda = full_lifecycle();
+        mda.undo_last().unwrap();
+        assert_eq!(mda.applied().len(), 2);
+        assert_eq!(mda.aspects().len(), 2);
+        assert_eq!(mda.workflow().applied().len(), 2);
+        // Security marks are gone from the model.
+        let bank = mda.model().find_class("Bank").unwrap();
+        let transfer = mda.model().find_operation(bank, "transfer").unwrap();
+        assert!(!mda.model().has_stereotype(transfer, "Secured").unwrap());
+        assert!(mda.model().has_stereotype(transfer, "Transactional").unwrap());
+        // Undo everything.
+        mda.undo_last().unwrap();
+        mda.undo_last().unwrap();
+        assert!(matches!(mda.undo_last(), Err(LifecycleError::NothingToUndo)));
+        assert_eq!(mda.model(), &banking_pim());
+    }
+
+    #[test]
+    fn monolithic_baseline_differs_structurally() {
+        let mda = full_lifecycle();
+        let bodies = BodyProvider::default();
+        let mono = mda.generate_monolithic(&bodies);
+        let system = mda.generate(&bodies).unwrap();
+        assert_ne!(mono, system.woven);
+        // Both contain transactional machinery for Bank.transfer.
+        let mono_src = pretty_print(&mono);
+        let woven_src = pretty_print(&system.woven);
+        assert!(mono_src.contains("tx.begin"));
+        assert!(woven_src.contains("tx.begin"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Shipping strategies — the paper's open packaging question, answered
+//! both ways:
+//!
+//! > *"Should we ship only the last, most specialized model, together
+//! > with the implementation, or should we ship all the intermediate
+//! > models, together with the transformations and the set of parameters
+//! > that specialize each transformation?"*
+
+use crate::lifecycle::MdaLifecycle;
+use comet_xmi::export_model;
+
+/// How much of the refinement lineage to package.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShippingStrategy {
+    /// Only the most-specialized model (smallest package, no replay).
+    FinalModelOnly,
+    /// Every intermediate model plus, per step, the transformation name
+    /// and its parameter set (enables replay, reuse and auditing).
+    FullLineage,
+}
+
+/// One step of a shipped lineage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShippedStep {
+    /// Commit message (the CMT's `name<params>` full name).
+    pub message: String,
+    /// The concern, when the step came from a concern transformation.
+    pub concern: Option<String>,
+    /// XMI snapshot of the model *after* this step.
+    pub model_xmi: String,
+}
+
+/// The shippable package.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShippedPackage {
+    /// Strategy that produced the package.
+    pub strategy: ShippingStrategy,
+    /// XMI of the most-specialized model.
+    pub final_model_xmi: String,
+    /// The lineage (present only for [`ShippingStrategy::FullLineage`]).
+    pub lineage: Vec<ShippedStep>,
+}
+
+impl ShippedPackage {
+    /// Total payload size in bytes (XMI text), the metric the packaging
+    /// trade-off turns on.
+    pub fn payload_bytes(&self) -> usize {
+        self.final_model_xmi.len()
+            + self.lineage.iter().map(|s| s.model_xmi.len()).sum::<usize>()
+    }
+}
+
+impl MdaLifecycle {
+    /// Packages the current state of the refinement for shipping.
+    pub fn ship(&self, strategy: ShippingStrategy) -> ShippedPackage {
+        let final_model_xmi = export_model(self.model());
+        let lineage = match strategy {
+            ShippingStrategy::FinalModelOnly => Vec::new(),
+            ShippingStrategy::FullLineage => self
+                .repository()
+                .log()
+                .iter()
+                .map(|c| ShippedStep {
+                    message: c.message.clone(),
+                    concern: c.concern.clone(),
+                    model_xmi: c.snapshot_xmi().to_owned(),
+                })
+                .collect(),
+        };
+        ShippedPackage { strategy, final_model_xmi, lineage }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_concerns::transactions;
+    use comet_model::sample::banking_pim;
+    use comet_transform::{ParamSet, ParamValue};
+    use comet_workflow::WorkflowModel;
+
+    fn lifecycle() -> MdaLifecycle {
+        let mut mda = MdaLifecycle::new(
+            banking_pim(),
+            WorkflowModel::new("w").step("transactions", false),
+        )
+        .unwrap();
+        mda.apply_concern(
+            &transactions::pair(),
+            ParamSet::new().with("methods", ParamValue::from(vec!["Bank.transfer".to_owned()])),
+        )
+        .unwrap();
+        mda
+    }
+
+    #[test]
+    fn final_only_ships_one_model() {
+        let p = lifecycle().ship(ShippingStrategy::FinalModelOnly);
+        assert!(p.lineage.is_empty());
+        assert!(p.final_model_xmi.contains("Transactional"));
+    }
+
+    #[test]
+    fn full_lineage_ships_history_with_params() {
+        let p = lifecycle().ship(ShippingStrategy::FullLineage);
+        assert_eq!(p.lineage.len(), 2); // initial PIM + tx step
+        assert_eq!(p.lineage[0].concern, None);
+        assert_eq!(p.lineage[1].concern.as_deref(), Some("transactions"));
+        // The step message carries the Si that specialized the CMT.
+        assert!(p.lineage[1].message.contains("methods=[Bank.transfer]"));
+        assert!(p.payload_bytes() > p.final_model_xmi.len());
+    }
+
+    #[test]
+    fn lineage_models_replay_to_final() {
+        let p = lifecycle().ship(ShippingStrategy::FullLineage);
+        let last = comet_xmi::import_model(&p.lineage.last().unwrap().model_xmi).unwrap();
+        let final_m = comet_xmi::import_model(&p.final_model_xmi).unwrap();
+        assert_eq!(last, final_m);
+    }
+}

@@ -1,0 +1,187 @@
+//! Concern-oriented configuration wizards (Section 3, first bullet):
+//! turn a concern pair's parameter schema into a question list, and a
+//! map of textual answers back into a validated [`ParamSet`].
+
+use comet_aspectgen::ConcernPair;
+use comet_transform::{ParamError, ParamSet, ParamSpec, ParamType, ParamValue};
+use std::collections::BTreeMap;
+
+/// What kind of answer a question expects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuestionKind {
+    /// Free text.
+    Text,
+    /// An integer.
+    Integer,
+    /// `yes`/`no` (also accepts `true`/`false`).
+    YesNo,
+    /// Comma-separated list.
+    List,
+    /// One of the listed options.
+    Choice(Vec<String>),
+}
+
+/// One wizard question, derived from a parameter spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// The parameter name.
+    pub name: String,
+    /// Prompt text shown to the developer.
+    pub prompt: String,
+    /// Expected answer shape.
+    pub kind: QuestionKind,
+    /// Whether an answer is required.
+    pub required: bool,
+    /// Default shown when optional.
+    pub default: Option<String>,
+}
+
+/// The wizard for one concern pair.
+#[derive(Debug, Clone)]
+pub struct Wizard {
+    concern: String,
+    specs: Vec<ParamSpec>,
+}
+
+impl Wizard {
+    /// Builds the wizard from a concern pair's transformation schema
+    /// (the aspect accepts the same `Si` by construction).
+    pub fn for_pair(pair: &ConcernPair) -> Self {
+        Wizard {
+            concern: pair.concern().to_owned(),
+            specs: pair.transformation().parameter_schema().specs().to_vec(),
+        }
+    }
+
+    /// The concern being configured.
+    pub fn concern(&self) -> &str {
+        &self.concern
+    }
+
+    /// The question list, in schema order.
+    pub fn questions(&self) -> Vec<Question> {
+        self.specs
+            .iter()
+            .map(|spec| Question {
+                name: spec.name.clone(),
+                prompt: if spec.doc.is_empty() {
+                    format!("{} for concern `{}`?", spec.name, self.concern)
+                } else {
+                    spec.doc.clone()
+                },
+                kind: match &spec.ty {
+                    ParamType::Str => QuestionKind::Text,
+                    ParamType::Int => QuestionKind::Integer,
+                    ParamType::Bool => QuestionKind::YesNo,
+                    ParamType::StrList => QuestionKind::List,
+                    ParamType::Choice(options) => QuestionKind::Choice(options.clone()),
+                },
+                required: spec.required,
+                default: spec.default.as_ref().map(|d| d.to_string()),
+            })
+            .collect()
+    }
+
+    /// Converts textual answers into a parameter set. Unanswered optional
+    /// questions fall back to schema defaults during specialization.
+    ///
+    /// # Errors
+    /// Reports unparsable answers as [`ParamError::WrongType`].
+    pub fn collect(&self, answers: &BTreeMap<String, String>) -> Result<ParamSet, ParamError> {
+        let mut set = ParamSet::new();
+        for spec in &self.specs {
+            let Some(raw) = answers.get(&spec.name) else { continue };
+            let value = match &spec.ty {
+                ParamType::Str | ParamType::Choice(_) => ParamValue::Str(raw.clone()),
+                ParamType::Int => ParamValue::Int(raw.trim().parse().map_err(|_| {
+                    ParamError::WrongType {
+                        name: spec.name.clone(),
+                        expected: "Int".into(),
+                        found: raw.clone(),
+                    }
+                })?),
+                ParamType::Bool => match raw.trim().to_lowercase().as_str() {
+                    "yes" | "true" | "y" => ParamValue::Bool(true),
+                    "no" | "false" | "n" => ParamValue::Bool(false),
+                    _ => {
+                        return Err(ParamError::WrongType {
+                            name: spec.name.clone(),
+                            expected: "Bool".into(),
+                            found: raw.clone(),
+                        })
+                    }
+                },
+                ParamType::StrList => ParamValue::StrList(
+                    raw.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_owned)
+                        .collect(),
+                ),
+            };
+            set = set.with(&spec.name, value);
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_concerns::{distribution, transactions};
+
+    #[test]
+    fn questions_derived_from_schema() {
+        let w = Wizard::for_pair(&transactions::pair());
+        assert_eq!(w.concern(), "transactions");
+        let qs = w.questions();
+        assert_eq!(qs.len(), 3);
+        assert_eq!(qs[0].name, "methods");
+        assert_eq!(qs[0].kind, QuestionKind::List);
+        assert!(qs[0].required);
+        match &qs[1].kind {
+            QuestionKind::Choice(options) => assert!(options.contains(&"serializable".to_owned())),
+            other => panic!("expected choice, got {other:?}"),
+        }
+        assert_eq!(qs[1].default.as_deref(), Some("read-committed"));
+    }
+
+    #[test]
+    fn collect_parses_answers_and_specializes() {
+        let pair = transactions::pair();
+        let w = Wizard::for_pair(&pair);
+        let mut answers = BTreeMap::new();
+        answers.insert("methods".to_owned(), "Bank.transfer, Account.withdraw".to_owned());
+        answers.insert("isolation".to_owned(), "serializable".to_owned());
+        let si = w.collect(&answers).unwrap();
+        let (cmt, ca) = pair.specialize(si).unwrap();
+        assert!(cmt.full_name().contains("Account.withdraw"));
+        assert_eq!(ca.advices.len(), 2);
+    }
+
+    #[test]
+    fn collect_rejects_bad_answers() {
+        let pair = distribution::pair();
+        let w = Wizard::for_pair(&pair);
+        // Feed an unparsable bool into a synthetic bool spec by testing
+        // via the transactions schema's absence; here use an Int-free
+        // schema: a bad choice value passes collect (it is a Str) and is
+        // rejected by specialization instead.
+        let mut answers = BTreeMap::new();
+        answers.insert("server_class".to_owned(), "Bank".to_owned());
+        answers.insert("node".to_owned(), "server".to_owned());
+        answers.insert("operations".to_owned(), "transfer".to_owned());
+        answers.insert("protocol".to_owned(), "pigeon".to_owned());
+        let si = w.collect(&answers).unwrap();
+        assert!(pair.specialize(si).is_err());
+    }
+
+    #[test]
+    fn empty_list_answer_yields_empty_list() {
+        let w = Wizard::for_pair(&transactions::pair());
+        let mut answers = BTreeMap::new();
+        answers.insert("methods".to_owned(), "  ".to_owned());
+        let si = w.collect(&answers).unwrap();
+        assert_eq!(si.str_list("methods").unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Integration tests driving the `comet-cli` binary end to end over
+//! temporary XMI files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_comet-cli"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("comet-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn new_inspect_apply_roundtrip() {
+    let pim = temp_path("pim.xmi");
+    let psm = temp_path("psm.xmi");
+    let aspect = temp_path("tx.aj");
+
+    let out = cli().args(["new", pim.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote sample PIM"));
+
+    let out = cli()
+        .args([
+            "apply",
+            pim.to_str().unwrap(),
+            "transactions",
+            "methods=Bank.transfer",
+            "isolation=serializable",
+            "-o",
+            psm.to_str().unwrap(),
+            "--aspect-out",
+            aspect.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("applied transactions<"));
+    assert!(stdout.contains("modified 1"));
+
+    // The refined model inspects cleanly and shows the mark.
+    let out = cli().args(["inspect", psm.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("well-formed: yes"));
+    assert!(stdout.contains("transfer() «Transactional»"));
+
+    // The aspect artifact was emitted.
+    let artifact = std::fs::read_to_string(&aspect).unwrap();
+    assert!(artifact.contains("pointcut pc0(): execution(Bank.transfer);"));
+    assert!(artifact.contains("tx.begin"));
+
+    for p in [pim, psm, aspect] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn concerns_lists_the_standard_library() {
+    let out = cli().arg("concerns").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for concern in [
+        "distribution",
+        "transactions",
+        "security",
+        "logging",
+        "concurrency",
+        "persistence",
+    ] {
+        assert!(stdout.contains(concern), "missing {concern}");
+    }
+    assert!(stdout.contains("(required)"));
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    // Unknown command.
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Unknown concern.
+    let pim = temp_path("err-pim.xmi");
+    cli().args(["new", pim.to_str().unwrap()]).output().unwrap();
+    let out = cli()
+        .args(["apply", pim.to_str().unwrap(), "astrology"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown concern"));
+
+    // Failing precondition (method does not exist).
+    let out = cli()
+        .args([
+            "apply",
+            pim.to_str().unwrap(),
+            "transactions",
+            "methods=Bank.launder",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(pim);
+
+    // Missing file.
+    let out = cli().args(["inspect", "/nonexistent/m.xmi"]).output().unwrap();
+    assert!(!out.status.success());
+
+    // Help exits zero.
+    let out = cli().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

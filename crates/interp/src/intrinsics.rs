@@ -1,0 +1,519 @@
+//! Bindings from IR intrinsics to the simulated middleware. The names
+//! are declared in `comet_codegen::marks::intrinsics`; this module gives
+//! them behaviour.
+
+use crate::machine::{Interp, InterpError};
+use crate::value::Value;
+use comet_middleware::MiddlewareError;
+
+fn thrown(e: MiddlewareError) -> InterpError {
+    InterpError::Thrown(Value::Str(e.to_string()))
+}
+
+fn want_str(args: &[Value], idx: usize, what: &str) -> Result<String, InterpError> {
+    args.get(idx)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| InterpError::IntrinsicArgs(format!("{what}: argument {idx} must be a string")))
+}
+
+impl Interp {
+    /// Dispatches one intrinsic call.
+    ///
+    /// # Errors
+    /// Middleware denials surface as [`InterpError::Thrown`]; malformed
+    /// argument lists as [`InterpError::IntrinsicArgs`]; unknown names as
+    /// [`InterpError::UnknownIntrinsic`].
+    pub(crate) fn call_intrinsic(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        this: Option<u64>,
+    ) -> Result<Value, InterpError> {
+        match name {
+            "tx.begin" => {
+                let isolation = if args.is_empty() {
+                    "read-committed".to_owned()
+                } else {
+                    want_str(&args, 0, "tx.begin")?
+                };
+                let id = self.middleware_mut().tx.begin(&isolation).map_err(thrown)?;
+                Ok(Value::Int(id as i64))
+            }
+            "tx.active" => Ok(Value::Bool(self.middleware().tx.current().is_some())),
+            "tx.commit" => {
+                let tx = self
+                    .middleware()
+                    .tx
+                    .current()
+                    .ok_or_else(|| thrown(MiddlewareError::NoActiveTransaction))?;
+                // Meter the two-phase-commit traffic: one prepare/vote
+                // round trip per participant when the transaction spans
+                // several nodes. A lost prepare aborts the transaction.
+                let participants: Vec<String> =
+                    self.middleware().tx.participants(tx).map_err(thrown)?.to_vec();
+                if participants.len() >= 2 {
+                    let origin = self.middleware().bus.current_node().to_owned();
+                    for p in &participants {
+                        if let Err(e) = self.middleware_mut().bus.round_trip(&origin, p, 24, 8) {
+                            let undo = self.middleware_mut().tx.rollback(tx).map_err(thrown)?;
+                            self.apply_undo(undo);
+                            self.middleware_mut().locks.release_all(tx);
+                            return Err(InterpError::Thrown(Value::Str(format!(
+                                "transaction aborted: prepare failed ({e})"
+                            ))));
+                        }
+                    }
+                }
+                match self.middleware_mut().tx.commit(tx) {
+                    Ok(_) => {
+                        // Decision phase: commit messages (best effort;
+                        // real coordinators retry these).
+                        if participants.len() >= 2 {
+                            let origin = self.middleware().bus.current_node().to_owned();
+                            for p in &participants {
+                                let _ = self.middleware_mut().bus.send(&origin, p, 8);
+                            }
+                        }
+                        self.middleware_mut().locks.release_all(tx);
+                        Ok(Value::Null)
+                    }
+                    Err(MiddlewareError::VotedAbort { node }) => {
+                        // 2PC failed: roll back, restore pre-images, throw.
+                        let undo = self.middleware_mut().tx.rollback(tx).map_err(thrown)?;
+                        self.apply_undo(undo);
+                        self.middleware_mut().locks.release_all(tx);
+                        Err(InterpError::Thrown(Value::Str(format!(
+                            "transaction aborted: participant `{node}` voted no"
+                        ))))
+                    }
+                    Err(other) => Err(thrown(other)),
+                }
+            }
+            "tx.rollback" => {
+                // Idempotent: rolling back with no active transaction is
+                // a no-op, so generic exception handlers in advice can
+                // always call it (a failed commit already rolled back).
+                let Some(tx) = self.middleware().tx.current() else {
+                    return Ok(Value::Null);
+                };
+                let undo = self.middleware_mut().tx.rollback(tx).map_err(thrown)?;
+                self.apply_undo(undo);
+                self.middleware_mut().locks.release_all(tx);
+                Ok(Value::Null)
+            }
+            "sec.check" => {
+                let role = want_str(&args, 0, "sec.check")?;
+                let resource = want_str(&args, 1, "sec.check")?;
+                self.middleware_mut()
+                    .security
+                    .check(&role, &resource)
+                    .map_err(thrown)?;
+                Ok(Value::Null)
+            }
+            "net.is_local" => {
+                let node = want_str(&args, 0, "net.is_local")?;
+                Ok(Value::Bool(self.middleware().bus.is_local(&node)))
+            }
+            "net.register" => {
+                let node = want_str(&args, 0, "net.register")?;
+                let reg_name = want_str(&args, 1, "net.register")?;
+                if !self.middleware().bus.has_node(&node) {
+                    return Err(thrown(MiddlewareError::UnknownNode(node)));
+                }
+                let handle = this.ok_or_else(|| {
+                    InterpError::IntrinsicArgs("net.register requires an object context".into())
+                })?;
+                self.middleware_mut().naming.rebind(&reg_name, &node, handle);
+                if let Some(o) = self.heap.get_mut(&handle) {
+                    o.node = node;
+                }
+                Ok(Value::Null)
+            }
+            "net.call" | "net.call_list" => {
+                if args.len() < 3 {
+                    return Err(InterpError::IntrinsicArgs(
+                        "net.call needs (node, registryName, method, args...)".into(),
+                    ));
+                }
+                let _declared_node = want_str(&args, 0, "net.call")?;
+                let reg_name = want_str(&args, 1, "net.call")?;
+                let method = want_str(&args, 2, "net.call")?;
+                // `net.call_list` passes the forwarded arguments as one
+                // list value (the weaver-injected `__args`).
+                let call_args: Vec<Value> = if name == "net.call_list" {
+                    match args.get(3) {
+                        Some(Value::List(items)) => items.clone(),
+                        Some(other) => {
+                            return Err(InterpError::IntrinsicArgs(format!(
+                                "net.call_list: argument 3 must be a list, got {}",
+                                other.type_name()
+                            )))
+                        }
+                        None => Vec::new(),
+                    }
+                } else {
+                    args[3..].to_vec()
+                };
+                let registration = self
+                    .middleware()
+                    .naming
+                    .lookup(&reg_name)
+                    .map_err(thrown)?
+                    .clone();
+                let origin = self.middleware().bus.current_node().to_owned();
+                let request_bytes =
+                    8 + method.len() as u64 + call_args.iter().map(Value::payload_bytes).sum::<u64>();
+                self.middleware_mut()
+                    .bus
+                    .send(&origin, &registration.node, request_bytes)
+                    .map_err(thrown)?;
+                self.middleware_mut()
+                    .bus
+                    .set_current_node(&registration.node)
+                    .map_err(thrown)?;
+                let outcome = self.invoke(registration.object_key, &method, call_args);
+                // Execution returns to the caller node whatever happened.
+                self.middleware_mut()
+                    .bus
+                    .set_current_node(&origin)
+                    .map_err(thrown)?;
+                match outcome {
+                    Ok(result) => {
+                        let response_bytes = result.payload_bytes().max(1);
+                        self.middleware_mut()
+                            .bus
+                            .send(&registration.node, &origin, response_bytes)
+                            .map_err(thrown)?;
+                        Ok(result)
+                    }
+                    Err(e) => {
+                        // Exception response is small but still a message.
+                        let _ = self.middleware_mut().bus.send(&registration.node, &origin, 16);
+                        Err(e)
+                    }
+                }
+            }
+            "log.emit" => {
+                let level = want_str(&args, 0, "log.emit")?;
+                let message = want_str(&args, 1, "log.emit")?;
+                let at = self.middleware().now_us();
+                self.middleware_mut().log.emit(&level, &message, at);
+                Ok(Value::Null)
+            }
+            "lock.acquire" => {
+                let lock = want_str(&args, 0, "lock.acquire")?;
+                let owner = self.middleware().tx.current().unwrap_or(0);
+                self.middleware_mut()
+                    .locks
+                    .try_acquire(&lock, owner)
+                    .map_err(thrown)?;
+                Ok(Value::Null)
+            }
+            "lock.release" => {
+                let lock = want_str(&args, 0, "lock.release")?;
+                let owner = self.middleware().tx.current().unwrap_or(0);
+                self.middleware_mut()
+                    .locks
+                    .release(&lock, owner)
+                    .map_err(thrown)?;
+                Ok(Value::Null)
+            }
+            "cflow.enter" => {
+                let key = want_str(&args, 0, "cflow.enter")?;
+                *self.cflow.entry(key).or_insert(0) += 1;
+                Ok(Value::Null)
+            }
+            "cflow.exit" => {
+                let key = want_str(&args, 0, "cflow.exit")?;
+                match self.cflow.get_mut(&key) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        Ok(Value::Null)
+                    }
+                    _ => Err(InterpError::IntrinsicArgs(format!(
+                        "cflow.exit without matching enter for `{key}`"
+                    ))),
+                }
+            }
+            "cflow.active" => {
+                let key = want_str(&args, 0, "cflow.active")?;
+                Ok(Value::Bool(self.cflow.get(&key).copied().unwrap_or(0) > 0))
+            }
+            "store.save" => {
+                let key = want_str(&args, 0, "store.save")?;
+                let handle = this.ok_or_else(|| {
+                    InterpError::IntrinsicArgs("store.save requires an object context".into())
+                })?;
+                let snapshot = self.snapshot_object(handle)?;
+                self.middleware_mut().store.save(&key, snapshot);
+                Ok(Value::Null)
+            }
+            "store.load" => {
+                let key = want_str(&args, 0, "store.load")?;
+                let handle = this.ok_or_else(|| {
+                    InterpError::IntrinsicArgs("store.load requires an object context".into())
+                })?;
+                match self.middleware_mut().store.load(&key) {
+                    Some(snapshot) => {
+                        self.restore_object(handle, &snapshot)?;
+                        Ok(Value::Bool(true))
+                    }
+                    None => Ok(Value::Bool(false)),
+                }
+            }
+            other => Err(InterpError::UnknownIntrinsic(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_codegen::{
+        Block, ClassDecl, Expr, FieldDecl, IrBinOp, IrType, MethodDecl, Param, Program, Stmt,
+    };
+    use comet_middleware::MiddlewareConfig;
+    use crate::machine::Interp;
+
+    /// An Account class whose `deposit` runs inside explicit tx
+    /// intrinsics and whose `fail_deposit` writes then throws.
+    fn tx_program() -> Program {
+        let mut p = Program::new("t");
+        let mut acc = ClassDecl::new("Account");
+        acc.fields.push(FieldDecl::new("balance", IrType::Int));
+        let mut deposit = MethodDecl::new("deposit");
+        deposit.params.push(Param::new("amount", IrType::Int));
+        deposit.body = Block::of(vec![
+            Stmt::Expr(Expr::intrinsic("tx.begin", vec![Expr::str("rc")])),
+            Stmt::set_this_field(
+                "balance",
+                Expr::binary(IrBinOp::Add, Expr::this_field("balance"), Expr::var("amount")),
+            ),
+            Stmt::Expr(Expr::intrinsic("tx.commit", vec![])),
+        ]);
+        acc.methods.push(deposit);
+        let mut fail = MethodDecl::new("fail_deposit");
+        fail.params.push(Param::new("amount", IrType::Int));
+        fail.body = Block::of(vec![
+            Stmt::Expr(Expr::intrinsic("tx.begin", vec![])),
+            Stmt::set_this_field(
+                "balance",
+                Expr::binary(IrBinOp::Add, Expr::this_field("balance"), Expr::var("amount")),
+            ),
+            Stmt::TryCatch {
+                body: Block::of(vec![Stmt::Throw(Expr::str("boom"))]),
+                var: "e".into(),
+                handler: Block::of(vec![
+                    Stmt::Expr(Expr::intrinsic("tx.rollback", vec![])),
+                    Stmt::Throw(Expr::var("e")),
+                ]),
+                finally: None,
+            },
+        ]);
+        acc.methods.push(fail);
+        p.classes.push(acc);
+        p
+    }
+
+    #[test]
+    fn transaction_commit_keeps_write() {
+        let mut i = Interp::new(tx_program());
+        let o = i.create("Account").unwrap();
+        i.call(o.clone(), "deposit", vec![Value::Int(50)]).unwrap();
+        assert_eq!(i.field(&o, "balance").unwrap(), Value::Int(50));
+        assert_eq!(i.middleware().tx.stats().committed, 1);
+    }
+
+    #[test]
+    fn transaction_rollback_restores_preimage() {
+        let mut i = Interp::new(tx_program());
+        let o = i.create("Account").unwrap();
+        i.call(o.clone(), "deposit", vec![Value::Int(50)]).unwrap();
+        let err = i.call(o.clone(), "fail_deposit", vec![Value::Int(999)]).unwrap_err();
+        assert!(matches!(err, InterpError::Thrown(Value::Str(s)) if s == "boom"));
+        // The write inside the failed transaction was undone.
+        assert_eq!(i.field(&o, "balance").unwrap(), Value::Int(50));
+        assert_eq!(i.middleware().tx.stats().rolled_back, 1);
+    }
+
+    #[test]
+    fn security_check_grants_and_denies() {
+        let mut p = Program::new("t");
+        let mut c = ClassDecl::new("S");
+        let mut m = MethodDecl::new("secured");
+        m.body = Block::of(vec![Stmt::Expr(Expr::intrinsic(
+            "sec.check",
+            vec![Expr::str("teller"), Expr::str("S.secured")],
+        ))]);
+        c.methods.push(m);
+        p.classes.push(c);
+        let mut i = Interp::new(p);
+        i.add_principal("alice", &["teller"]);
+        i.add_principal("bob", &["customer"]);
+        let o = i.create("S").unwrap();
+        // Unauthenticated: thrown.
+        assert!(matches!(i.call(o.clone(), "secured", vec![]), Err(InterpError::Thrown(_))));
+        i.login("alice").unwrap();
+        assert!(i.call(o.clone(), "secured", vec![]).is_ok());
+        i.logout();
+        i.login("bob").unwrap();
+        assert!(matches!(i.call(o, "secured", vec![]), Err(InterpError::Thrown(_))));
+        assert_eq!(i.middleware().security.denials(), 2);
+    }
+
+    #[test]
+    fn rpc_moves_execution_and_meters_traffic() {
+        let mut p = Program::new("t");
+        let mut server = ClassDecl::new("Server");
+        server.fields.push(FieldDecl::new("hits", IrType::Int));
+        let mut ping = MethodDecl::new("ping");
+        ping.ret = IrType::Str;
+        ping.body = Block::of(vec![
+            Stmt::set_this_field("hits", Expr::binary(IrBinOp::Add, Expr::this_field("hits"), Expr::int(1))),
+            Stmt::ret(Expr::str("pong")),
+        ]);
+        server.methods.push(ping);
+        let mut reg = MethodDecl::new("register");
+        reg.body = Block::of(vec![Stmt::Expr(Expr::intrinsic(
+            "net.register",
+            vec![Expr::str("server-node"), Expr::str("svc")],
+        ))]);
+        server.methods.push(reg);
+        let mut client = ClassDecl::new("Client");
+        let mut call = MethodDecl::new("call");
+        call.ret = IrType::Str;
+        call.body = Block::of(vec![Stmt::ret(Expr::intrinsic(
+            "net.call",
+            vec![Expr::str("server-node"), Expr::str("svc"), Expr::str("ping")],
+        ))]);
+        client.methods.push(call);
+        p.classes.push(server);
+        p.classes.push(client);
+
+        let mut i = Interp::new(p);
+        i.add_node("client-node");
+        i.add_node("server-node");
+        i.middleware_mut().bus.set_current_node("client-node").unwrap();
+        let s = i.create_on("Server", "server-node").unwrap();
+        i.call(s.clone(), "register", vec![]).unwrap();
+        let c = i.create("Client").unwrap();
+        let r = i.call(c, "call", vec![]).unwrap();
+        assert_eq!(r, Value::Str("pong".into()));
+        assert_eq!(i.field(&s, "hits").unwrap(), Value::Int(1));
+        // Request + response were metered.
+        assert_eq!(i.middleware().bus.stats().delivered, 2);
+        // Execution returned to the client node.
+        assert_eq!(i.middleware().bus.current_node(), "client-node");
+    }
+
+    #[test]
+    fn rpc_to_unbound_name_throws() {
+        let mut p = Program::new("t");
+        let mut c = ClassDecl::new("C");
+        let mut m = MethodDecl::new("go");
+        m.body = Block::of(vec![Stmt::Expr(Expr::intrinsic(
+            "net.call",
+            vec![Expr::str("n"), Expr::str("ghost"), Expr::str("ping")],
+        ))]);
+        c.methods.push(m);
+        p.classes.push(c);
+        let mut i = Interp::new(p);
+        let o = i.create("C").unwrap();
+        assert!(matches!(i.call(o, "go", vec![]), Err(InterpError::Thrown(_))));
+    }
+
+    #[test]
+    fn locks_acquire_release_and_conflict() {
+        let mut p = Program::new("t");
+        let mut c = ClassDecl::new("C");
+        let mut m = MethodDecl::new("locked");
+        m.body = Block::of(vec![
+            Stmt::Expr(Expr::intrinsic("lock.acquire", vec![Expr::str("L")])),
+            Stmt::Expr(Expr::intrinsic("lock.release", vec![Expr::str("L")])),
+        ]);
+        c.methods.push(m);
+        p.classes.push(c);
+        let mut i = Interp::new(p);
+        let o = i.create("C").unwrap();
+        i.call(o, "locked", vec![]).unwrap();
+        assert_eq!(i.middleware().locks.stats().acquired, 1);
+    }
+
+    #[test]
+    fn log_emit_records_with_time() {
+        let mut p = Program::new("t");
+        let mut c = ClassDecl::new("C");
+        let mut m = MethodDecl::new("go");
+        m.body = Block::of(vec![Stmt::Expr(Expr::intrinsic(
+            "log.emit",
+            vec![Expr::str("info"), Expr::str("hello")],
+        ))]);
+        c.methods.push(m);
+        p.classes.push(c);
+        let mut i = Interp::new(p);
+        let o = i.create("C").unwrap();
+        i.call(o, "go", vec![]).unwrap();
+        assert_eq!(i.middleware().log.len(), 1);
+        assert_eq!(i.middleware().log.records()[0].message, "hello");
+        assert_eq!(i.stats().intrinsic_calls, 1);
+    }
+
+    #[test]
+    fn two_phase_abort_restores_state_across_nodes() {
+        // Write to objects on two nodes in one tx with certain abort vote.
+        let mut p = Program::new("t");
+        let mut c = ClassDecl::new("Store");
+        c.fields.push(FieldDecl::new("v", IrType::Int));
+        let mut set = MethodDecl::new("set");
+        set.params.push(Param::new("x", IrType::Int));
+        set.body = Block::of(vec![Stmt::set_this_field("v", Expr::var("x"))]);
+        c.methods.push(set);
+        p.classes.push(c);
+        let mut driver = ClassDecl::new("Driver");
+        let mut m = MethodDecl::new("both");
+        m.params.push(Param::new("a", IrType::Object("Store".into())));
+        m.params.push(Param::new("b", IrType::Object("Store".into())));
+        m.body = Block::of(vec![
+            Stmt::Expr(Expr::intrinsic("tx.begin", vec![])),
+            Stmt::Expr(Expr::call(Expr::var("a"), "set", vec![Expr::int(7)])),
+            Stmt::Expr(Expr::call(Expr::var("b"), "set", vec![Expr::int(8)])),
+            Stmt::Expr(Expr::intrinsic("tx.commit", vec![])),
+        ]);
+        driver.methods.push(m);
+        p.classes.push(driver);
+
+        let config = MiddlewareConfig { vote_abort_probability: 1.0, ..MiddlewareConfig::default() };
+        let mut i = Interp::with_config(p, config);
+        i.add_node("n1");
+        i.add_node("n2");
+        let a = i.create_on("Store", "n1").unwrap();
+        let b = i.create_on("Store", "n2").unwrap();
+        let d = i.create("Driver").unwrap();
+        let err = i.call(d, "both", vec![a.clone(), b.clone()]).unwrap_err();
+        assert!(matches!(err, InterpError::Thrown(Value::Str(s)) if s.contains("voted no")));
+        assert_eq!(i.field(&a, "v").unwrap(), Value::Int(0));
+        assert_eq!(i.field(&b, "v").unwrap(), Value::Int(0));
+        assert_eq!(i.middleware().tx.stats().two_phase_aborts, 1);
+    }
+
+    #[test]
+    fn unknown_intrinsic_and_bad_args() {
+        let mut p = Program::new("t");
+        let mut c = ClassDecl::new("C");
+        let mut m = MethodDecl::new("bad");
+        m.body = Block::of(vec![Stmt::Expr(Expr::intrinsic("warp.drive", vec![]))]);
+        c.methods.push(m);
+        let mut m2 = MethodDecl::new("badargs");
+        m2.body = Block::of(vec![Stmt::Expr(Expr::intrinsic("sec.check", vec![Expr::int(3)]))]);
+        c.methods.push(m2);
+        p.classes.push(c);
+        let mut i = Interp::new(p);
+        let o = i.create("C").unwrap();
+        assert!(matches!(
+            i.call(o.clone(), "bad", vec![]),
+            Err(InterpError::UnknownIntrinsic(_))
+        ));
+        assert!(matches!(i.call(o, "badargs", vec![]), Err(InterpError::IntrinsicArgs(_))));
+    }
+}

@@ -1,0 +1,57 @@
+//! # comet-interp — executing generated (and woven) programs
+//!
+//! The paper assumes a JVM underneath AspectJ; this crate is the COMET
+//! equivalent: a deterministic tree-walking interpreter for the
+//! `comet-codegen` IR whose [`Expr::Intrinsic`](comet_codegen::Expr)
+//! calls are bound to the simulated middleware (`comet-middleware`).
+//! It is what makes woven concerns *observable*: a transactional aspect
+//! really rolls fields back, a security aspect really denies calls, a
+//! distribution aspect really moves execution between simulated nodes.
+//!
+//! ## Semantics highlights
+//!
+//! * `try/catch/finally` runs the finally block on normal completion,
+//!   on `return`-unwinding and on exception-unwinding (required by the
+//!   weaver's after-advice encoding).
+//! * Field writes are logged to the active transaction (pre-image,
+//!   first-write-wins) so `tx.rollback` restores object state; writes
+//!   also register the object's node as a 2PC participant.
+//! * `net.call` performs a simulated RPC: request message, execution
+//!   switches to the target node, the registered object's method runs
+//!   there, a response message returns — all metered by the bus.
+//! * Middleware failures (access denied, 2PC abort, lock conflicts)
+//!   surface as IR-level exceptions, catchable by `try/catch`.
+//!
+//! ## Example
+//!
+//! ```
+//! use comet_codegen::{Block, ClassDecl, Expr, IrBinOp, IrType, MethodDecl, Param, Program, Stmt};
+//! use comet_interp::{Interp, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut program = Program::new("demo");
+//! let mut c = ClassDecl::new("Calc");
+//! let mut m = MethodDecl::new("double");
+//! m.params.push(Param::new("x", IrType::Int));
+//! m.ret = IrType::Int;
+//! m.body = Block::of(vec![Stmt::ret(Expr::binary(
+//!     IrBinOp::Mul,
+//!     Expr::var("x"),
+//!     Expr::int(2),
+//! ))]);
+//! c.methods.push(m);
+//! program.classes.push(c);
+//!
+//! let mut interp = Interp::new(program);
+//! let calc = interp.create("Calc")?;
+//! assert_eq!(interp.call(calc, "double", vec![Value::Int(21)])?, Value::Int(42));
+//! # Ok(())
+//! # }
+//! ```
+
+mod intrinsics;
+mod machine;
+mod value;
+
+pub use machine::{Interp, InterpError, InterpStats};
+pub use value::Value;

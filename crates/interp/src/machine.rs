@@ -1,0 +1,1109 @@
+//! The interpreter core: heap, frames, statement/expression execution.
+
+use crate::value::Value;
+use comet_codegen::{Block, Expr, IrBinOp, IrType, IrUnOp, Literal, LValue, Program, Stmt};
+use comet_middleware::{Middleware, MiddlewareConfig, UndoEntry};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InterpStats {
+    /// Method invocations (including helper/advice layers).
+    pub calls: u64,
+    /// Intrinsic invocations.
+    pub intrinsic_calls: u64,
+    /// Statements plus expressions evaluated.
+    pub steps: u64,
+}
+
+/// Interpreter failures. [`InterpError::Thrown`] carries an IR-level
+/// exception (catchable by `try/catch`); all other variants are hard
+/// errors that propagate to the caller uncaught, like JVM linkage errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// An exception value thrown by IR code or the middleware bindings.
+    Thrown(Value),
+    /// `new X` or dispatch on an undeclared class.
+    UnknownClass(String),
+    /// Dispatch to an undeclared method.
+    UnknownMethod {
+        /// The class searched.
+        class: String,
+        /// The missing method.
+        method: String,
+    },
+    /// Access to an undeclared field.
+    UnknownField {
+        /// The class searched.
+        class: String,
+        /// The missing field.
+        field: String,
+    },
+    /// Reference to an unbound local.
+    UnknownVariable(String),
+    /// A non-object receiver where an object was required.
+    NotAnObject(String),
+    /// Operand/operation type mismatch.
+    TypeError(String),
+    /// Wrong argument count.
+    Arity {
+        /// The class.
+        class: String,
+        /// The method.
+        method: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Supplied argument count.
+        found: usize,
+    },
+    /// The configured step budget was exhausted (runaway loop guard).
+    StepBudgetExhausted(u64),
+    /// An intrinsic name the runtime does not know.
+    UnknownIntrinsic(String),
+    /// Malformed intrinsic arguments.
+    IntrinsicArgs(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Thrown(v) => write!(f, "uncaught exception: {v}"),
+            InterpError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            InterpError::UnknownMethod { class, method } => {
+                write!(f, "unknown method `{method}` on class `{class}`")
+            }
+            InterpError::UnknownField { class, field } => {
+                write!(f, "unknown field `{field}` on class `{class}`")
+            }
+            InterpError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            InterpError::NotAnObject(ctx) => write!(f, "receiver is not an object in {ctx}"),
+            InterpError::TypeError(m) => write!(f, "type error: {m}"),
+            InterpError::Arity { class, method, expected, found } => write!(
+                f,
+                "`{class}.{method}` expects {expected} argument(s), found {found}"
+            ),
+            InterpError::StepBudgetExhausted(n) => {
+                write!(f, "step budget of {n} exhausted (possible infinite loop)")
+            }
+            InterpError::UnknownIntrinsic(n) => write!(f, "unknown intrinsic `{n}`"),
+            InterpError::IntrinsicArgs(m) => write!(f, "bad intrinsic arguments: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// A heap object.
+#[derive(Debug, Clone)]
+pub(crate) struct Object {
+    pub(crate) class: String,
+    pub(crate) fields: BTreeMap<String, Value>,
+    pub(crate) node: String,
+}
+
+/// How a block finished.
+pub(crate) enum Exit {
+    /// Fell off the end.
+    Fallthrough,
+    /// `return` (value is `Null` for void returns).
+    Return(Value),
+}
+
+pub(crate) struct Frame {
+    pub(crate) this: Option<u64>,
+    scopes: Vec<BTreeMap<String, Value>>,
+}
+
+impl Frame {
+    fn new(this: Option<u64>) -> Self {
+        Frame { this, scopes: vec![BTreeMap::new()] }
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(BTreeMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn define(&mut self, name: &str, value: Value) {
+        self.scopes
+            .last_mut()
+            .expect("frame always has a scope")
+            .insert(name.to_owned(), value);
+    }
+
+    fn get(&self, name: &str) -> Option<&Value> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn set(&mut self, name: &str, value: Value) -> bool {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = value;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The interpreter: a program, a heap, and the simulated middleware.
+#[derive(Debug)]
+pub struct Interp {
+    program: Program,
+    pub(crate) heap: BTreeMap<u64, Object>,
+    next_handle: u64,
+    middleware: Middleware<Value>,
+    stats: InterpStats,
+    step_budget: u64,
+    call_trace: Option<Vec<String>>,
+    call_depth: usize,
+    pub(crate) cflow: BTreeMap<String, u64>,
+}
+
+impl Interp {
+    /// Creates an interpreter with default middleware configuration.
+    pub fn new(program: Program) -> Self {
+        Self::with_config(program, MiddlewareConfig::default())
+    }
+
+    /// Creates an interpreter with explicit middleware configuration.
+    pub fn with_config(program: Program, config: MiddlewareConfig) -> Self {
+        let mut middleware = Middleware::new(config);
+        middleware.bus.add_node("local");
+        Interp {
+            program,
+            heap: BTreeMap::new(),
+            next_handle: 1,
+            middleware,
+            stats: InterpStats::default(),
+            step_budget: 50_000_000,
+            call_trace: None,
+            call_depth: 0,
+            cflow: BTreeMap::new(),
+        }
+    }
+
+    /// Starts recording a call trace: one `"<depth> Class.method"` line
+    /// per method entry (weaver helpers included), until
+    /// [`Interp::take_call_trace`] is called. Used to observe advice
+    /// nesting at runtime.
+    pub fn enable_call_trace(&mut self) {
+        self.call_trace = Some(Vec::new());
+    }
+
+    /// Stops tracing and returns the recorded entries.
+    pub fn take_call_trace(&mut self) -> Vec<String> {
+        self.call_trace.take().unwrap_or_default()
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Immutable access to the middleware (stats, logs, audit).
+    pub fn middleware(&self) -> &Middleware<Value> {
+        &self.middleware
+    }
+
+    /// Mutable access to the middleware (principal setup, node admin).
+    pub fn middleware_mut(&mut self) -> &mut Middleware<Value> {
+        &mut self.middleware
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> InterpStats {
+        self.stats
+    }
+
+    /// Replaces the runaway-loop step budget (default 50M).
+    pub fn set_step_budget(&mut self, steps: u64) {
+        self.step_budget = steps;
+    }
+
+    /// Registers a simulation node.
+    pub fn add_node(&mut self, name: &str) {
+        self.middleware.bus.add_node(name);
+    }
+
+    /// Declares a principal and its roles.
+    pub fn add_principal(&mut self, name: &str, roles: &[&str]) {
+        self.middleware.security.add_principal(name, roles);
+    }
+
+    /// Logs a principal in (pushes the identity).
+    ///
+    /// # Errors
+    /// Fails when the principal is unknown.
+    pub fn login(&mut self, principal: &str) -> Result<(), InterpError> {
+        self.middleware
+            .security
+            .login(principal)
+            .map_err(|e| InterpError::Thrown(Value::Str(e.to_string())))
+    }
+
+    /// Logs the current principal out.
+    pub fn logout(&mut self) {
+        self.middleware.security.logout();
+    }
+
+    /// Instantiates `class` on the current node; returns the object value.
+    ///
+    /// # Errors
+    /// Fails when the class is undeclared.
+    pub fn create(&mut self, class: &str) -> Result<Value, InterpError> {
+        let node = self.middleware.bus.current_node().to_owned();
+        self.create_on(class, &node)
+    }
+
+    /// Instantiates `class` placed on `node`.
+    ///
+    /// # Errors
+    /// Fails when the class is undeclared.
+    pub fn create_on(&mut self, class: &str, node: &str) -> Result<Value, InterpError> {
+        let decl = self
+            .program
+            .find_class(class)
+            .ok_or_else(|| InterpError::UnknownClass(class.to_owned()))?;
+        let mut fields = BTreeMap::new();
+        for f in &decl.fields {
+            fields.insert(f.name.clone(), default_of(&f.ty));
+        }
+        // Field initializers are constant expressions by construction.
+        let inits: Vec<(String, Expr)> = decl
+            .fields
+            .iter()
+            .filter_map(|f| f.init.clone().map(|e| (f.name.clone(), e)))
+            .collect();
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.heap.insert(
+            handle,
+            Object { class: class.to_owned(), fields, node: node.to_owned() },
+        );
+        let mut frame = Frame::new(None);
+        for (name, init) in inits {
+            let v = self.eval(&init, &mut frame)?;
+            self.heap
+                .get_mut(&handle)
+                .expect("just inserted")
+                .fields
+                .insert(name, v);
+        }
+        Ok(Value::Obj(handle))
+    }
+
+    /// Reads a field of an object value.
+    ///
+    /// # Errors
+    /// Fails on non-objects and unknown fields.
+    pub fn field(&self, obj: &Value, field: &str) -> Result<Value, InterpError> {
+        let handle = obj
+            .as_obj()
+            .ok_or_else(|| InterpError::NotAnObject(format!("field read `{field}`")))?;
+        let o = self
+            .heap
+            .get(&handle)
+            .ok_or_else(|| InterpError::NotAnObject(format!("dangling handle {handle}")))?;
+        o.fields.get(field).cloned().ok_or_else(|| InterpError::UnknownField {
+            class: o.class.clone(),
+            field: field.to_owned(),
+        })
+    }
+
+    /// Writes a field of an object value (bypasses transaction logging —
+    /// test/bench setup only).
+    ///
+    /// # Errors
+    /// Fails on non-objects and unknown classes.
+    pub fn set_field(&mut self, obj: &Value, field: &str, value: Value) -> Result<(), InterpError> {
+        let handle = obj
+            .as_obj()
+            .ok_or_else(|| InterpError::NotAnObject(format!("field write `{field}`")))?;
+        let o = self
+            .heap
+            .get_mut(&handle)
+            .ok_or_else(|| InterpError::NotAnObject(format!("dangling handle {handle}")))?;
+        o.fields.insert(field.to_owned(), value);
+        Ok(())
+    }
+
+    /// Invokes `method` on an object with `args`; the public entry point.
+    ///
+    /// # Errors
+    /// [`InterpError::Thrown`] carries uncaught IR exceptions; other
+    /// variants are hard faults.
+    pub fn call(&mut self, obj: Value, method: &str, args: Vec<Value>) -> Result<Value, InterpError> {
+        let handle = obj
+            .as_obj()
+            .ok_or_else(|| InterpError::NotAnObject(format!("call to `{method}`")))?;
+        self.invoke(handle, method, args)
+    }
+
+    pub(crate) fn invoke(
+        &mut self,
+        handle: u64,
+        method: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, InterpError> {
+        let class_name = self
+            .heap
+            .get(&handle)
+            .ok_or_else(|| InterpError::NotAnObject(format!("dangling handle {handle}")))?
+            .class
+            .clone();
+        let decl = self
+            .program
+            .find_method(&class_name, method)
+            .ok_or_else(|| InterpError::UnknownMethod {
+                class: class_name.clone(),
+                method: method.to_owned(),
+            })?
+            .clone();
+        if decl.params.len() != args.len() {
+            return Err(InterpError::Arity {
+                class: class_name,
+                method: method.to_owned(),
+                expected: decl.params.len(),
+                found: args.len(),
+            });
+        }
+        self.stats.calls += 1;
+        if let Some(trace) = &mut self.call_trace {
+            trace.push(format!("{} {}.{}", self.call_depth, class_name, method));
+        }
+        self.call_depth += 1;
+        let mut frame = Frame::new(Some(handle));
+        for (p, a) in decl.params.iter().zip(args) {
+            frame.define(&p.name, a);
+        }
+        let outcome = self.exec_block(&decl.body, &mut frame);
+        self.call_depth -= 1;
+        match outcome? {
+            Exit::Return(v) => Ok(v),
+            Exit::Fallthrough => Ok(Value::Null),
+        }
+    }
+
+    fn step(&mut self) -> Result<(), InterpError> {
+        self.stats.steps += 1;
+        if self.stats.steps > self.step_budget {
+            Err(InterpError::StepBudgetExhausted(self.step_budget))
+        } else {
+            Ok(())
+        }
+    }
+
+    pub(crate) fn exec_block(&mut self, block: &Block, frame: &mut Frame) -> Result<Exit, InterpError> {
+        for stmt in &block.stmts {
+            if let Exit::Return(v) = self.exec_stmt(stmt, frame)? {
+                return Ok(Exit::Return(v));
+            }
+        }
+        Ok(Exit::Fallthrough)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, frame: &mut Frame) -> Result<Exit, InterpError> {
+        self.step()?;
+        match stmt {
+            Stmt::Local { name, ty, init } => {
+                let v = match init {
+                    Some(e) => self.eval(e, frame)?,
+                    None => default_of(ty),
+                };
+                frame.define(name, v);
+                Ok(Exit::Fallthrough)
+            }
+            Stmt::Assign { target, value } => {
+                let v = self.eval(value, frame)?;
+                match target {
+                    LValue::Var(name) => {
+                        if !frame.set(name, v) {
+                            return Err(InterpError::UnknownVariable(name.clone()));
+                        }
+                    }
+                    LValue::Field { recv, name } => {
+                        let r = self.eval(recv, frame)?;
+                        self.write_field(&r, name, v)?;
+                    }
+                }
+                Ok(Exit::Fallthrough)
+            }
+            Stmt::Expr(e) => {
+                self.eval(e, frame)?;
+                Ok(Exit::Fallthrough)
+            }
+            Stmt::If { cond, then_block, else_block } => {
+                let c = self.truthy(cond, frame)?;
+                frame.push_scope();
+                let exit = if c {
+                    self.exec_block(then_block, frame)
+                } else if let Some(eb) = else_block {
+                    self.exec_block(eb, frame)
+                } else {
+                    Ok(Exit::Fallthrough)
+                };
+                frame.pop_scope();
+                exit
+            }
+            Stmt::While { cond, body } => {
+                loop {
+                    self.step()?;
+                    if !self.truthy(cond, frame)? {
+                        break;
+                    }
+                    frame.push_scope();
+                    let exit = self.exec_block(body, frame);
+                    frame.pop_scope();
+                    if let Exit::Return(v) = exit? {
+                        return Ok(Exit::Return(v));
+                    }
+                }
+                Ok(Exit::Fallthrough)
+            }
+            Stmt::Return(v) => {
+                let value = match v {
+                    Some(e) => self.eval(e, frame)?,
+                    None => Value::Null,
+                };
+                Ok(Exit::Return(value))
+            }
+            Stmt::Throw(e) => {
+                let v = self.eval(e, frame)?;
+                Err(InterpError::Thrown(v))
+            }
+            Stmt::TryCatch { body, var, handler, finally } => {
+                frame.push_scope();
+                let body_outcome = self.exec_block(body, frame);
+                frame.pop_scope();
+                let after_handler = match body_outcome {
+                    Err(InterpError::Thrown(exn)) => {
+                        frame.push_scope();
+                        frame.define(var, exn);
+                        let h = self.exec_block(handler, frame);
+                        frame.pop_scope();
+                        h
+                    }
+                    other => other,
+                };
+                if let Some(fin) = finally {
+                    frame.push_scope();
+                    let fin_outcome = self.exec_block(fin, frame);
+                    frame.pop_scope();
+                    match fin_outcome {
+                        // finally overrides with its own return/exception.
+                        Ok(Exit::Return(v)) => return Ok(Exit::Return(v)),
+                        Err(e) => return Err(e),
+                        Ok(Exit::Fallthrough) => {}
+                    }
+                }
+                after_handler
+            }
+            Stmt::Block(b) => {
+                frame.push_scope();
+                let exit = self.exec_block(b, frame);
+                frame.pop_scope();
+                exit
+            }
+        }
+    }
+
+    fn truthy(&mut self, cond: &Expr, frame: &mut Frame) -> Result<bool, InterpError> {
+        let v = self.eval(cond, frame)?;
+        v.as_bool().ok_or_else(|| {
+            InterpError::TypeError(format!("condition must be boolean, got {}", v.type_name()))
+        })
+    }
+
+    /// Writes `recv.field = value`, logging the pre-image into the active
+    /// transaction and registering the object's node as a participant.
+    pub(crate) fn write_field(
+        &mut self,
+        recv: &Value,
+        field: &str,
+        value: Value,
+    ) -> Result<(), InterpError> {
+        let handle = recv
+            .as_obj()
+            .ok_or_else(|| InterpError::NotAnObject(format!("field write `{field}`")))?;
+        let (old, node, class) = {
+            let o = self
+                .heap
+                .get(&handle)
+                .ok_or_else(|| InterpError::NotAnObject(format!("dangling handle {handle}")))?;
+            let old = o.fields.get(field).cloned().ok_or_else(|| InterpError::UnknownField {
+                class: o.class.clone(),
+                field: field.to_owned(),
+            })?;
+            (old, o.node.clone(), o.class.clone())
+        };
+        let _ = class;
+        if let Some(tx) = self.middleware.tx.current() {
+            self.middleware
+                .tx
+                .log_write(tx, handle, field, old)
+                .map_err(|e| InterpError::Thrown(Value::Str(e.to_string())))?;
+            self.middleware
+                .tx
+                .touch_node(tx, &node)
+                .map_err(|e| InterpError::Thrown(Value::Str(e.to_string())))?;
+        }
+        self.heap
+            .get_mut(&handle)
+            .expect("checked above")
+            .fields
+            .insert(field.to_owned(), value);
+        Ok(())
+    }
+
+    /// Serializes an object's fields into a store snapshot: a list of
+    /// `[class, [field, value], ...]`. Field values that are themselves
+    /// object references are stored as references (handles); deep
+    /// persistence is the application's responsibility.
+    pub(crate) fn snapshot_object(&self, handle: u64) -> Result<Value, InterpError> {
+        let o = self
+            .heap
+            .get(&handle)
+            .ok_or_else(|| InterpError::NotAnObject(format!("dangling handle {handle}")))?;
+        let mut items = vec![Value::Str(o.class.clone())];
+        for (field, value) in &o.fields {
+            items.push(Value::List(vec![Value::Str(field.clone()), value.clone()]));
+        }
+        Ok(Value::List(items))
+    }
+
+    /// Restores a snapshot produced by [`Interp::snapshot_object`] into
+    /// the object's fields (transaction logging applies, so a rollback
+    /// undoes a restore too).
+    pub(crate) fn restore_object(&mut self, handle: u64, snapshot: &Value) -> Result<(), InterpError> {
+        let Value::List(items) = snapshot else {
+            return Err(InterpError::TypeError("malformed store snapshot".into()));
+        };
+        for item in items.iter().skip(1) {
+            let Value::List(pair) = item else {
+                return Err(InterpError::TypeError("malformed snapshot entry".into()));
+            };
+            let (Some(Value::Str(field)), Some(value)) = (pair.first(), pair.get(1)) else {
+                return Err(InterpError::TypeError("malformed snapshot pair".into()));
+            };
+            self.write_field(&Value::Obj(handle), field, value.clone())?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn apply_undo(&mut self, entries: Vec<UndoEntry<Value>>) {
+        for e in entries {
+            if let Some(o) = self.heap.get_mut(&e.object) {
+                o.fields.insert(e.field, e.old);
+            }
+        }
+    }
+
+    pub(crate) fn eval(&mut self, expr: &Expr, frame: &mut Frame) -> Result<Value, InterpError> {
+        self.step()?;
+        match expr {
+            Expr::Lit(l) => Ok(match l {
+                Literal::Int(i) => Value::Int(*i),
+                Literal::Real(r) => Value::Real(*r),
+                Literal::Bool(b) => Value::Bool(*b),
+                Literal::Str(s) => Value::Str(s.clone()),
+                Literal::Null => Value::Null,
+            }),
+            Expr::Var(name) => frame
+                .get(name)
+                .cloned()
+                .ok_or_else(|| InterpError::UnknownVariable(name.clone())),
+            Expr::This => frame
+                .this
+                .map(Value::Obj)
+                .ok_or_else(|| InterpError::NotAnObject("`this` in static context".into())),
+            Expr::Field { recv, name } => {
+                let r = self.eval(recv, frame)?;
+                self.field(&r, name)
+            }
+            Expr::Call { recv, method, args } => {
+                let target = match recv {
+                    Some(r) => self.eval(r, frame)?,
+                    None => frame
+                        .this
+                        .map(Value::Obj)
+                        .ok_or_else(|| InterpError::NotAnObject("self-call without this".into()))?,
+                };
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, frame)?);
+                }
+                let handle = target
+                    .as_obj()
+                    .ok_or_else(|| InterpError::NotAnObject(format!("call to `{method}`")))?;
+                self.invoke(handle, method, argv)
+            }
+            Expr::New { class, args } => {
+                let obj = self.create(class)?;
+                // Positional field initialization in declaration order.
+                let field_names: Vec<String> = self
+                    .program
+                    .find_class(class)
+                    .map(|c| c.fields.iter().map(|f| f.name.clone()).collect())
+                    .unwrap_or_default();
+                for (i, a) in args.iter().enumerate() {
+                    let v = self.eval(a, frame)?;
+                    let Some(fname) = field_names.get(i) else {
+                        return Err(InterpError::TypeError(format!(
+                            "constructor of `{class}` takes at most {} argument(s)",
+                            field_names.len()
+                        )));
+                    };
+                    self.set_field(&obj, fname, v)?;
+                }
+                Ok(obj)
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                // Short-circuit booleans.
+                if matches!(op, IrBinOp::And | IrBinOp::Or) {
+                    let l = self.eval(lhs, frame)?;
+                    let lb = l.as_bool().ok_or_else(|| {
+                        InterpError::TypeError(format!("`&&`/`||` needs boolean, got {}", l.type_name()))
+                    })?;
+                    return match (op, lb) {
+                        (IrBinOp::And, false) => Ok(Value::Bool(false)),
+                        (IrBinOp::Or, true) => Ok(Value::Bool(true)),
+                        _ => {
+                            let r = self.eval(rhs, frame)?;
+                            r.as_bool().map(Value::Bool).ok_or_else(|| {
+                                InterpError::TypeError(format!(
+                                    "`&&`/`||` needs boolean, got {}",
+                                    r.type_name()
+                                ))
+                            })
+                        }
+                    };
+                }
+                let l = self.eval(lhs, frame)?;
+                let r = self.eval(rhs, frame)?;
+                binary_op(*op, l, r)
+            }
+            Expr::Unary { op, operand } => {
+                let v = self.eval(operand, frame)?;
+                match op {
+                    IrUnOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Real(r) => Ok(Value::Real(-r)),
+                        other => Err(InterpError::TypeError(format!(
+                            "cannot negate {}",
+                            other.type_name()
+                        ))),
+                    },
+                    IrUnOp::Not => v.as_bool().map(|b| Value::Bool(!b)).ok_or_else(|| {
+                        InterpError::TypeError(format!("cannot `!` {}", v.type_name()))
+                    }),
+                }
+            }
+            Expr::Intrinsic { name, args } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, frame)?);
+                }
+                self.stats.intrinsic_calls += 1;
+                self.call_intrinsic(name, argv, frame.this)
+            }
+            Expr::Proceed(_) => Err(InterpError::TypeError(
+                "`proceed` escaped weaving; run the weaver before executing".into(),
+            )),
+            Expr::ListLit(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for i in items {
+                    out.push(self.eval(i, frame)?);
+                }
+                Ok(Value::List(out))
+            }
+        }
+    }
+}
+
+fn default_of(ty: &IrType) -> Value {
+    match ty {
+        IrType::Int => Value::Int(0),
+        IrType::Real => Value::Real(0.0),
+        IrType::Bool => Value::Bool(false),
+        IrType::Str => Value::Str(String::new()),
+        IrType::Void | IrType::Object(_) => Value::Null,
+        IrType::List(_) => Value::List(Vec::new()),
+    }
+}
+
+fn binary_op(op: IrBinOp, l: Value, r: Value) -> Result<Value, InterpError> {
+    use IrBinOp::*;
+    match op {
+        Eq => return Ok(Value::Bool(l == r)),
+        Ne => return Ok(Value::Bool(l != r)),
+        _ => {}
+    }
+    // String concatenation via `+`.
+    if op == Add {
+        if let (Value::Str(a), b) = (&l, &r) {
+            return Ok(Value::Str(format!("{a}{b}")));
+        }
+        if let (a, Value::Str(b)) = (&l, &r) {
+            return Ok(Value::Str(format!("{a}{b}")));
+        }
+    }
+    match (&l, &r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let a = *a;
+            let b = *b;
+            Ok(match op {
+                Add => Value::Int(a.wrapping_add(b)),
+                Sub => Value::Int(a.wrapping_sub(b)),
+                Mul => Value::Int(a.wrapping_mul(b)),
+                Div => {
+                    if b == 0 {
+                        return Err(InterpError::Thrown(Value::Str("division by zero".into())));
+                    }
+                    Value::Int(a / b)
+                }
+                Rem => {
+                    if b == 0 {
+                        return Err(InterpError::Thrown(Value::Str("division by zero".into())));
+                    }
+                    Value::Int(a % b)
+                }
+                Lt => Value::Bool(a < b),
+                Le => Value::Bool(a <= b),
+                Gt => Value::Bool(a > b),
+                Ge => Value::Bool(a >= b),
+                _ => return Err(InterpError::TypeError(format!("bad int op {op:?}"))),
+            })
+        }
+        (Value::Str(a), Value::Str(b)) => Ok(match op {
+            Lt => Value::Bool(a < b),
+            Le => Value::Bool(a <= b),
+            Gt => Value::Bool(a > b),
+            Ge => Value::Bool(a >= b),
+            _ => {
+                return Err(InterpError::TypeError(format!(
+                    "operator {:?} not defined on strings",
+                    op
+                )))
+            }
+        }),
+        _ => {
+            let (a, b) = match (l.as_number(), r.as_number()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(InterpError::TypeError(format!(
+                        "operator {:?} not defined on {} and {}",
+                        op,
+                        l.type_name(),
+                        r.type_name()
+                    )))
+                }
+            };
+            Ok(match op {
+                Add => Value::Real(a + b),
+                Sub => Value::Real(a - b),
+                Mul => Value::Real(a * b),
+                Div => {
+                    if b == 0.0 {
+                        return Err(InterpError::Thrown(Value::Str("division by zero".into())));
+                    }
+                    Value::Real(a / b)
+                }
+                Rem => Value::Real(a % b),
+                Lt => Value::Bool(a < b),
+                Le => Value::Bool(a <= b),
+                Gt => Value::Bool(a > b),
+                Ge => Value::Bool(a >= b),
+                _ => return Err(InterpError::TypeError(format!("bad real op {op:?}"))),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_codegen::{ClassDecl, FieldDecl, MethodDecl, Param};
+
+    fn program_one_class(methods: Vec<MethodDecl>, fields: Vec<FieldDecl>) -> Program {
+        let mut p = Program::new("t");
+        let mut c = ClassDecl::new("T");
+        c.fields = fields;
+        c.methods = methods;
+        p.classes.push(c);
+        p
+    }
+
+    fn method(name: &str, params: Vec<Param>, ret: IrType, body: Vec<Stmt>) -> MethodDecl {
+        let mut m = MethodDecl::new(name);
+        m.params = params;
+        m.ret = ret;
+        m.body = Block::of(body);
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_locals() {
+        let p = program_one_class(
+            vec![method(
+                "f",
+                vec![Param::new("x", IrType::Int)],
+                IrType::Int,
+                vec![
+                    Stmt::local("y", IrType::Int, Expr::binary(IrBinOp::Mul, Expr::var("x"), Expr::int(3))),
+                    Stmt::set_var("y", Expr::binary(IrBinOp::Add, Expr::var("y"), Expr::int(1))),
+                    Stmt::ret(Expr::var("y")),
+                ],
+            )],
+            vec![],
+        );
+        let mut i = Interp::new(p);
+        let o = i.create("T").unwrap();
+        assert_eq!(i.call(o, "f", vec![Value::Int(5)]).unwrap(), Value::Int(16));
+        assert!(i.stats().calls == 1 && i.stats().steps > 0);
+    }
+
+    #[test]
+    fn fields_and_methods() {
+        let p = program_one_class(
+            vec![
+                method(
+                    "bump",
+                    vec![],
+                    IrType::Void,
+                    vec![Stmt::set_this_field(
+                        "n",
+                        Expr::binary(IrBinOp::Add, Expr::this_field("n"), Expr::int(1)),
+                    )],
+                ),
+                method(
+                    "twice",
+                    vec![],
+                    IrType::Void,
+                    vec![
+                        Stmt::Expr(Expr::call_this("bump", vec![])),
+                        Stmt::Expr(Expr::call_this("bump", vec![])),
+                    ],
+                ),
+            ],
+            vec![FieldDecl::new("n", IrType::Int)],
+        );
+        let mut i = Interp::new(p);
+        let o = i.create("T").unwrap();
+        i.call(o.clone(), "twice", vec![]).unwrap();
+        assert_eq!(i.field(&o, "n").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn control_flow_if_while() {
+        let p = program_one_class(
+            vec![method(
+                "sum_to",
+                vec![Param::new("n", IrType::Int)],
+                IrType::Int,
+                vec![
+                    Stmt::local("acc", IrType::Int, Expr::int(0)),
+                    Stmt::local("i", IrType::Int, Expr::int(0)),
+                    Stmt::While {
+                        cond: Expr::binary(IrBinOp::Le, Expr::var("i"), Expr::var("n")),
+                        body: Block::of(vec![
+                            Stmt::set_var("acc", Expr::binary(IrBinOp::Add, Expr::var("acc"), Expr::var("i"))),
+                            Stmt::set_var("i", Expr::binary(IrBinOp::Add, Expr::var("i"), Expr::int(1))),
+                        ]),
+                    },
+                    Stmt::If {
+                        cond: Expr::binary(IrBinOp::Gt, Expr::var("acc"), Expr::int(100)),
+                        then_block: Block::of(vec![Stmt::ret(Expr::int(-1))]),
+                        else_block: Some(Block::of(vec![Stmt::ret(Expr::var("acc"))])),
+                    },
+                ],
+            )],
+            vec![],
+        );
+        let mut i = Interp::new(p);
+        let o = i.create("T").unwrap();
+        assert_eq!(i.call(o.clone(), "sum_to", vec![Value::Int(4)]).unwrap(), Value::Int(10));
+        assert_eq!(i.call(o, "sum_to", vec![Value::Int(100)]).unwrap(), Value::Int(-1));
+    }
+
+    #[test]
+    fn try_catch_finally_on_throw_return_and_fallthrough() {
+        // f(mode): try { if mode==1 throw "boom"; if mode==2 return 2; }
+        //          catch e { this.caught = 1 } finally { this.fin = this.fin + 1 }
+        //          return 0
+        let body = vec![
+            Stmt::TryCatch {
+                body: Block::of(vec![
+                    Stmt::If {
+                        cond: Expr::binary(IrBinOp::Eq, Expr::var("mode"), Expr::int(1)),
+                        then_block: Block::of(vec![Stmt::Throw(Expr::str("boom"))]),
+                        else_block: None,
+                    },
+                    Stmt::If {
+                        cond: Expr::binary(IrBinOp::Eq, Expr::var("mode"), Expr::int(2)),
+                        then_block: Block::of(vec![Stmt::ret(Expr::int(2))]),
+                        else_block: None,
+                    },
+                ]),
+                var: "e".into(),
+                handler: Block::of(vec![Stmt::set_this_field("caught", Expr::int(1))]),
+                finally: Some(Block::of(vec![Stmt::set_this_field(
+                    "fin",
+                    Expr::binary(IrBinOp::Add, Expr::this_field("fin"), Expr::int(1)),
+                )])),
+            },
+            Stmt::ret(Expr::int(0)),
+        ];
+        let p = program_one_class(
+            vec![method("f", vec![Param::new("mode", IrType::Int)], IrType::Int, body)],
+            vec![FieldDecl::new("caught", IrType::Int), FieldDecl::new("fin", IrType::Int)],
+        );
+        let mut i = Interp::new(p);
+        let o = i.create("T").unwrap();
+        // Fallthrough: finally runs.
+        assert_eq!(i.call(o.clone(), "f", vec![Value::Int(0)]).unwrap(), Value::Int(0));
+        assert_eq!(i.field(&o, "fin").unwrap(), Value::Int(1));
+        // Throw: caught, finally runs, method returns 0.
+        assert_eq!(i.call(o.clone(), "f", vec![Value::Int(1)]).unwrap(), Value::Int(0));
+        assert_eq!(i.field(&o, "caught").unwrap(), Value::Int(1));
+        assert_eq!(i.field(&o, "fin").unwrap(), Value::Int(2));
+        // Return inside try: finally still runs, return value preserved.
+        assert_eq!(i.call(o.clone(), "f", vec![Value::Int(2)]).unwrap(), Value::Int(2));
+        assert_eq!(i.field(&o, "fin").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn uncaught_exception_propagates() {
+        let p = program_one_class(
+            vec![method("f", vec![], IrType::Void, vec![Stmt::Throw(Expr::str("oops"))])],
+            vec![],
+        );
+        let mut i = Interp::new(p);
+        let o = i.create("T").unwrap();
+        assert_eq!(
+            i.call(o, "f", vec![]).unwrap_err(),
+            InterpError::Thrown(Value::Str("oops".into()))
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_catchable() {
+        let p = program_one_class(
+            vec![method(
+                "f",
+                vec![],
+                IrType::Int,
+                vec![Stmt::TryCatch {
+                    body: Block::of(vec![Stmt::ret(Expr::binary(
+                        IrBinOp::Div,
+                        Expr::int(1),
+                        Expr::int(0),
+                    ))]),
+                    var: "e".into(),
+                    handler: Block::of(vec![Stmt::ret(Expr::int(-1))]),
+                    finally: None,
+                }],
+            )],
+            vec![],
+        );
+        let mut i = Interp::new(p);
+        let o = i.create("T").unwrap();
+        assert_eq!(i.call(o, "f", vec![]).unwrap(), Value::Int(-1));
+    }
+
+    #[test]
+    fn new_with_positional_args() {
+        let mut p = program_one_class(vec![], vec![]);
+        let mut acc = ClassDecl::new("Acc");
+        acc.fields.push(FieldDecl::new("id", IrType::Str));
+        acc.fields.push(FieldDecl::new("balance", IrType::Int));
+        p.classes.push(acc);
+        let mut maker = MethodDecl::new("make");
+        maker.ret = IrType::Object("Acc".into());
+        maker.body = Block::of(vec![Stmt::ret(Expr::New {
+            class: "Acc".into(),
+            args: vec![Expr::str("a-1"), Expr::int(100)],
+        })]);
+        p.classes[0].methods.push(maker);
+        let mut i = Interp::new(p);
+        let t = i.create("T").unwrap();
+        let acc = i.call(t, "make", vec![]).unwrap();
+        assert_eq!(i.field(&acc, "id").unwrap(), Value::Str("a-1".into()));
+        assert_eq!(i.field(&acc, "balance").unwrap(), Value::Int(100));
+    }
+
+    #[test]
+    fn step_budget_stops_infinite_loop() {
+        let p = program_one_class(
+            vec![method(
+                "spin",
+                vec![],
+                IrType::Void,
+                vec![Stmt::While { cond: Expr::bool(true), body: Block::default() }],
+            )],
+            vec![],
+        );
+        let mut i = Interp::new(p);
+        i.set_step_budget(10_000);
+        let o = i.create("T").unwrap();
+        assert!(matches!(
+            i.call(o, "spin", vec![]),
+            Err(InterpError::StepBudgetExhausted(_))
+        ));
+    }
+
+    #[test]
+    fn errors_for_unknown_things() {
+        let p = program_one_class(vec![], vec![]);
+        let mut i = Interp::new(p);
+        assert!(matches!(i.create("Ghost"), Err(InterpError::UnknownClass(_))));
+        let o = i.create("T").unwrap();
+        assert!(matches!(
+            i.call(o.clone(), "nope", vec![]),
+            Err(InterpError::UnknownMethod { .. })
+        ));
+        assert!(matches!(i.field(&o, "nope"), Err(InterpError::UnknownField { .. })));
+        assert!(matches!(
+            i.call(Value::Int(1), "m", vec![]),
+            Err(InterpError::NotAnObject(_))
+        ));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let p = program_one_class(
+            vec![method("f", vec![Param::new("x", IrType::Int)], IrType::Void, vec![])],
+            vec![],
+        );
+        let mut i = Interp::new(p);
+        let o = i.create("T").unwrap();
+        assert!(matches!(
+            i.call(o, "f", vec![]),
+            Err(InterpError::Arity { expected: 1, found: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn string_concat_and_comparison() {
+        let p = program_one_class(
+            vec![method(
+                "f",
+                vec![],
+                IrType::Str,
+                vec![Stmt::ret(Expr::binary(
+                    IrBinOp::Add,
+                    Expr::str("a"),
+                    Expr::binary(IrBinOp::Add, Expr::int(1), Expr::str("b")),
+                ))],
+            )],
+            vec![],
+        );
+        let mut i = Interp::new(p);
+        let o = i.create("T").unwrap();
+        assert_eq!(i.call(o, "f", vec![]).unwrap(), Value::Str("a1b".into()));
+    }
+}

@@ -1,0 +1,155 @@
+//! Runtime values of the interpreter.
+
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Real(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// Null reference.
+    Null,
+    /// Reference to a heap object by handle.
+    Obj(u64),
+    /// List of values.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "long",
+            Value::Real(_) => "double",
+            Value::Bool(_) => "boolean",
+            Value::Str(_) => "String",
+            Value::Null => "null",
+            Value::Obj(_) => "object",
+            Value::List(_) => "List",
+        }
+    }
+
+    /// Integer payload.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object handle payload.
+    pub fn as_obj(&self) -> Option<u64> {
+        match self {
+            Value::Obj(h) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to f64.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Real(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Approximate serialized size in bytes, used to meter RPC payloads.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            Value::Int(_) | Value::Real(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Str(s) => s.len() as u64,
+            Value::Null => 1,
+            Value::Obj(_) => 8,
+            Value::List(items) => 4 + items.iter().map(Value::payload_bytes).sum::<u64>(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Null => write!(f, "null"),
+            Value::Obj(h) => write!(f, "<obj {h}>"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::Obj(9).as_obj(), Some(9));
+        assert_eq!(Value::Real(1.5).as_number(), Some(1.5));
+        assert_eq!(Value::Int(2).as_number(), Some(2.0));
+        assert_eq!(Value::List(vec![Value::Int(1)]).to_string(), "[1]");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn payload_bytes_reasonable() {
+        assert_eq!(Value::Int(1).payload_bytes(), 8);
+        assert_eq!(Value::Str("abcd".into()).payload_bytes(), 4);
+        assert_eq!(Value::List(vec![Value::Int(1), Value::Bool(true)]).payload_bytes(), 13);
+    }
+}

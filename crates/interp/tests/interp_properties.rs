@@ -1,0 +1,151 @@
+//! Property tests for the interpreter: arithmetic agrees with native
+//! Rust, control flow terminates within its budget, and the call trace
+//! nests properly.
+
+use comet_codegen::{
+    Block, ClassDecl, Expr, IrBinOp, IrType, MethodDecl, Param, Program, Stmt,
+};
+use comet_interp::{Interp, Value};
+use proptest::prelude::*;
+
+fn one_method_program(method: MethodDecl) -> Program {
+    let mut p = Program::new("prop");
+    let mut c = ClassDecl::new("T");
+    c.methods.push(method);
+    p.classes.push(c);
+    p
+}
+
+/// A random arithmetic expression over two variables, paired with a
+/// native evaluator.
+#[derive(Debug, Clone)]
+enum Arith {
+    X,
+    Y,
+    Lit(i64),
+    Add(Box<Arith>, Box<Arith>),
+    Sub(Box<Arith>, Box<Arith>),
+    Mul(Box<Arith>, Box<Arith>),
+}
+
+impl Arith {
+    fn to_ir(&self) -> Expr {
+        match self {
+            Arith::X => Expr::var("x"),
+            Arith::Y => Expr::var("y"),
+            Arith::Lit(i) => Expr::int(*i),
+            Arith::Add(a, b) => Expr::binary(IrBinOp::Add, a.to_ir(), b.to_ir()),
+            Arith::Sub(a, b) => Expr::binary(IrBinOp::Sub, a.to_ir(), b.to_ir()),
+            Arith::Mul(a, b) => Expr::binary(IrBinOp::Mul, a.to_ir(), b.to_ir()),
+        }
+    }
+
+    fn eval(&self, x: i64, y: i64) -> i64 {
+        match self {
+            Arith::X => x,
+            Arith::Y => y,
+            Arith::Lit(i) => *i,
+            Arith::Add(a, b) => a.eval(x, y).wrapping_add(b.eval(x, y)),
+            Arith::Sub(a, b) => a.eval(x, y).wrapping_sub(b.eval(x, y)),
+            Arith::Mul(a, b) => a.eval(x, y).wrapping_mul(b.eval(x, y)),
+        }
+    }
+}
+
+fn arb_arith() -> impl Strategy<Value = Arith> {
+    let leaf = prop_oneof![
+        Just(Arith::X),
+        Just(Arith::Y),
+        (-50i64..50).prop_map(Arith::Lit),
+    ];
+    leaf.prop_recursive(5, 40, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn arithmetic_agrees_with_rust(expr in arb_arith(), x in -100i64..100, y in -100i64..100) {
+        let mut method = MethodDecl::new("f");
+        method.params.push(Param::new("x", IrType::Int));
+        method.params.push(Param::new("y", IrType::Int));
+        method.ret = IrType::Int;
+        method.body = Block::of(vec![Stmt::ret(expr.to_ir())]);
+        let mut interp = Interp::new(one_method_program(method));
+        let obj = interp.create("T").expect("class exists");
+        let got = interp
+            .call(obj, "f", vec![Value::Int(x), Value::Int(y)])
+            .expect("pure arithmetic");
+        prop_assert_eq!(got, Value::Int(expr.eval(x, y)));
+    }
+
+    #[test]
+    fn bounded_loops_compute_sums(n in 0i64..200) {
+        let mut method = MethodDecl::new("sum");
+        method.params.push(Param::new("n", IrType::Int));
+        method.ret = IrType::Int;
+        method.body = Block::of(vec![
+            Stmt::local("acc", IrType::Int, Expr::int(0)),
+            Stmt::local("i", IrType::Int, Expr::int(1)),
+            Stmt::While {
+                cond: Expr::binary(IrBinOp::Le, Expr::var("i"), Expr::var("n")),
+                body: Block::of(vec![
+                    Stmt::set_var("acc", Expr::binary(IrBinOp::Add, Expr::var("acc"), Expr::var("i"))),
+                    Stmt::set_var("i", Expr::binary(IrBinOp::Add, Expr::var("i"), Expr::int(1))),
+                ]),
+            },
+            Stmt::ret(Expr::var("acc")),
+        ]);
+        let mut interp = Interp::new(one_method_program(method));
+        let obj = interp.create("T").expect("class exists");
+        let got = interp.call(obj, "sum", vec![Value::Int(n)]).expect("terminates");
+        prop_assert_eq!(got, Value::Int(n * (n + 1) / 2));
+    }
+
+    #[test]
+    fn thrown_values_round_trip_through_catch(payload in "[a-z]{0,12}") {
+        // f: try { throw payload } catch e { return e }
+        let mut method = MethodDecl::new("f");
+        method.ret = IrType::Str;
+        method.body = Block::of(vec![Stmt::TryCatch {
+            body: Block::of(vec![Stmt::Throw(Expr::str(payload.clone()))]),
+            var: "e".into(),
+            handler: Block::of(vec![Stmt::ret(Expr::var("e"))]),
+            finally: None,
+        }]);
+        let mut interp = Interp::new(one_method_program(method));
+        let obj = interp.create("T").expect("class exists");
+        let got = interp.call(obj, "f", vec![]).expect("caught");
+        prop_assert_eq!(got, Value::Str(payload));
+    }
+
+    #[test]
+    fn call_trace_depths_nest_like_a_dyck_word(depth in 1usize..8) {
+        // A chain of methods m0 -> m1 -> ... -> m{depth-1}.
+        let mut p = Program::new("chain");
+        let mut c = ClassDecl::new("T");
+        for i in 0..depth {
+            let mut m = MethodDecl::new(format!("m{i}"));
+            if i + 1 < depth {
+                m.body = Block::of(vec![Stmt::Expr(Expr::call_this(format!("m{}", i + 1), vec![]))]);
+            }
+            c.methods.push(m);
+        }
+        p.classes.push(c);
+        let mut interp = Interp::new(p);
+        let obj = interp.create("T").expect("class exists");
+        interp.enable_call_trace();
+        interp.call(obj, "m0", vec![]).expect("runs");
+        let trace = interp.take_call_trace();
+        prop_assert_eq!(trace.len(), depth);
+        for (i, line) in trace.iter().enumerate() {
+            prop_assert_eq!(line, &format!("{i} T.m{i}"));
+        }
+    }
+}

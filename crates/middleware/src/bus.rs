@@ -1,0 +1,280 @@
+//! The message bus: named nodes, seeded latency, loss injection, and
+//! traffic statistics. RPC in the interpreter is synchronous, so a
+//! "message" here is an accounting event that advances the clock; the
+//! actual invocation is performed by the caller after `send` succeeds.
+
+use crate::clock::SimClock;
+use crate::error::MiddlewareError;
+use crate::MiddlewareConfig;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Aggregate traffic statistics of the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BusStats {
+    /// Messages successfully delivered.
+    pub delivered: u64,
+    /// Messages lost to failure injection.
+    pub lost: u64,
+    /// Total payload bytes delivered.
+    pub bytes: u64,
+    /// Sum of per-message latencies (microseconds).
+    pub total_latency_us: u64,
+    /// Maximum single-message latency observed.
+    pub max_latency_us: u64,
+}
+
+impl BusStats {
+    /// Mean delivered-message latency in microseconds (0 when idle).
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency_us as f64 / self.delivered as f64
+        }
+    }
+}
+
+/// The simulated network connecting named nodes.
+#[derive(Debug)]
+pub struct MessageBus {
+    clock: Rc<RefCell<SimClock>>,
+    rng: Rc<RefCell<StdRng>>,
+    min_latency_us: u64,
+    max_latency_us: u64,
+    drop_probability: f64,
+    nodes: Vec<String>,
+    current_node: String,
+    stats: BTreeMap<(String, String), BusStats>,
+    aggregate: BusStats,
+}
+
+impl MessageBus {
+    pub(crate) fn new(
+        clock: Rc<RefCell<SimClock>>,
+        rng: Rc<RefCell<StdRng>>,
+        config: &MiddlewareConfig,
+    ) -> Self {
+        MessageBus {
+            clock,
+            rng,
+            min_latency_us: config.min_latency_us,
+            max_latency_us: config.max_latency_us.max(config.min_latency_us),
+            drop_probability: config.drop_probability.clamp(0.0, 1.0),
+            nodes: Vec::new(),
+            current_node: String::new(),
+            stats: BTreeMap::new(),
+            aggregate: BusStats::default(),
+        }
+    }
+
+    /// Registers a node. The first node added becomes the current node.
+    pub fn add_node(&mut self, name: &str) {
+        if !self.nodes.iter().any(|n| n == name) {
+            self.nodes.push(name.to_owned());
+            if self.current_node.is_empty() {
+                self.current_node = name.to_owned();
+            }
+        }
+    }
+
+    /// All node names, in registration order.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Returns true when the node is registered.
+    pub fn has_node(&self, name: &str) -> bool {
+        self.nodes.iter().any(|n| n == name)
+    }
+
+    /// The node execution is currently "on".
+    pub fn current_node(&self) -> &str {
+        &self.current_node
+    }
+
+    /// Moves execution to `node` (used by the RPC machinery).
+    ///
+    /// # Errors
+    /// Fails when the node is unknown.
+    pub fn set_current_node(&mut self, node: &str) -> Result<(), MiddlewareError> {
+        if !self.has_node(node) {
+            return Err(MiddlewareError::UnknownNode(node.to_owned()));
+        }
+        self.current_node = node.to_owned();
+        Ok(())
+    }
+
+    /// Returns true when execution is currently on `node`. An unknown
+    /// node is never local.
+    pub fn is_local(&self, node: &str) -> bool {
+        self.current_node == node
+    }
+
+    /// Current logical time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.clock.borrow().now_us()
+    }
+
+    /// Sends `payload_bytes` from `from` to `to`; returns the simulated
+    /// latency in microseconds and advances the clock by it.
+    ///
+    /// # Errors
+    /// Fails on unknown nodes or when loss injection drops the message.
+    pub fn send(&mut self, from: &str, to: &str, payload_bytes: u64) -> Result<u64, MiddlewareError> {
+        if !self.has_node(from) {
+            return Err(MiddlewareError::UnknownNode(from.to_owned()));
+        }
+        if !self.has_node(to) {
+            return Err(MiddlewareError::UnknownNode(to.to_owned()));
+        }
+        let (lost, latency) = {
+            let mut rng = self.rng.borrow_mut();
+            let lost = self.drop_probability > 0.0 && rng.gen::<f64>() < self.drop_probability;
+            let latency = if from == to {
+                1
+            } else {
+                rng.gen_range(self.min_latency_us..=self.max_latency_us)
+            };
+            (lost, latency)
+        };
+        let link = self
+            .stats
+            .entry((from.to_owned(), to.to_owned()))
+            .or_default();
+        if lost {
+            link.lost += 1;
+            self.aggregate.lost += 1;
+            return Err(MiddlewareError::MessageLost { from: from.to_owned(), to: to.to_owned() });
+        }
+        self.clock.borrow_mut().advance_us(latency);
+        link.delivered += 1;
+        link.bytes += payload_bytes;
+        link.total_latency_us += latency;
+        link.max_latency_us = link.max_latency_us.max(latency);
+        self.aggregate.delivered += 1;
+        self.aggregate.bytes += payload_bytes;
+        self.aggregate.total_latency_us += latency;
+        self.aggregate.max_latency_us = self.aggregate.max_latency_us.max(latency);
+        Ok(latency)
+    }
+
+    /// Round trip: request to `to`, response back; returns total latency.
+    ///
+    /// # Errors
+    /// Propagates loss/unknown-node failures from either direction.
+    pub fn round_trip(
+        &mut self,
+        from: &str,
+        to: &str,
+        request_bytes: u64,
+        response_bytes: u64,
+    ) -> Result<u64, MiddlewareError> {
+        let a = self.send(from, to, request_bytes)?;
+        let b = self.send(to, from, response_bytes)?;
+        Ok(a + b)
+    }
+
+    /// Aggregate statistics across all links.
+    pub fn stats(&self) -> BusStats {
+        self.aggregate
+    }
+
+    /// Statistics for one directed link.
+    pub fn link_stats(&self, from: &str, to: &str) -> BusStats {
+        self.stats
+            .get(&(from.to_owned(), to.to_owned()))
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn bus(drop: f64) -> MessageBus {
+        let clock = Rc::new(RefCell::new(SimClock::new()));
+        let rng = Rc::new(RefCell::new(StdRng::seed_from_u64(7)));
+        let config = MiddlewareConfig {
+            drop_probability: drop,
+            min_latency_us: 10,
+            max_latency_us: 20,
+            ..MiddlewareConfig::default()
+        };
+        let mut b = MessageBus::new(clock, rng, &config);
+        b.add_node("a");
+        b.add_node("b");
+        b
+    }
+
+    #[test]
+    fn delivery_advances_clock_and_stats() {
+        let mut b = bus(0.0);
+        let t0 = b.now_us();
+        let lat = b.send("a", "b", 100).unwrap();
+        assert!((10..=20).contains(&lat));
+        assert_eq!(b.now_us(), t0 + lat);
+        let s = b.stats();
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.bytes, 100);
+        assert_eq!(s.total_latency_us, lat);
+        assert!(b.link_stats("a", "b").delivered == 1);
+        assert!(b.link_stats("b", "a").delivered == 0);
+        assert!(s.mean_latency_us() >= 10.0);
+    }
+
+    #[test]
+    fn loopback_is_cheap() {
+        let mut b = bus(0.0);
+        assert_eq!(b.send("a", "a", 10).unwrap(), 1);
+    }
+
+    #[test]
+    fn unknown_nodes_rejected() {
+        let mut b = bus(0.0);
+        assert!(matches!(b.send("a", "zz", 1), Err(MiddlewareError::UnknownNode(_))));
+        assert!(matches!(b.set_current_node("zz"), Err(MiddlewareError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn full_drop_rate_loses_everything() {
+        let mut b = bus(1.0);
+        for _ in 0..5 {
+            assert!(matches!(b.send("a", "b", 1), Err(MiddlewareError::MessageLost { .. })));
+        }
+        assert_eq!(b.stats().lost, 5);
+        assert_eq!(b.stats().delivered, 0);
+        assert_eq!(b.stats().mean_latency_us(), 0.0);
+    }
+
+    #[test]
+    fn current_node_tracking() {
+        let mut b = bus(0.0);
+        assert_eq!(b.current_node(), "a");
+        assert!(b.is_local("a"));
+        b.set_current_node("b").unwrap();
+        assert!(b.is_local("b"));
+        assert!(!b.is_local("a"));
+        assert!(!b.is_local("ghost"));
+    }
+
+    #[test]
+    fn round_trip_sums_latencies() {
+        let mut b = bus(0.0);
+        let total = b.round_trip("a", "b", 64, 8).unwrap();
+        assert!((20..=40).contains(&total));
+        assert_eq!(b.stats().delivered, 2);
+    }
+
+    #[test]
+    fn duplicate_add_node_ignored() {
+        let mut b = bus(0.0);
+        b.add_node("a");
+        assert_eq!(b.nodes().len(), 2);
+    }
+}

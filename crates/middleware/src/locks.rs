@@ -1,0 +1,216 @@
+//! Exclusive, reentrant named locks with wait-for-graph deadlock
+//! detection. Owners are opaque `u64`s (the interpreter uses transaction
+//! ids or a context id).
+
+use crate::error::MiddlewareError;
+use std::collections::BTreeMap;
+
+/// Lock-manager statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LockStats {
+    /// Successful acquisitions (including reentrant ones).
+    pub acquired: u64,
+    /// Conflicts reported.
+    pub conflicts: u64,
+    /// Deadlocks detected.
+    pub deadlocks: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Held {
+    owner: u64,
+    depth: u32,
+}
+
+/// The lock manager.
+#[derive(Debug, Clone, Default)]
+pub struct LockManager {
+    held: BTreeMap<String, Held>,
+    // waiter -> set of owners it waits for (one edge per attempted lock).
+    wait_for: BTreeMap<u64, Vec<u64>>,
+    stats: LockStats,
+}
+
+impl LockManager {
+    /// Creates an empty lock manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to acquire `lock` for `owner` without blocking.
+    /// Reentrant: an owner may re-acquire its own lock (depth counted).
+    ///
+    /// # Errors
+    /// [`MiddlewareError::LockConflict`] when another owner holds it;
+    /// [`MiddlewareError::Deadlock`] when recording the wait edge would
+    /// close a cycle in the wait-for graph.
+    pub fn try_acquire(&mut self, lock: &str, owner: u64) -> Result<(), MiddlewareError> {
+        match self.held.get_mut(lock) {
+            None => {
+                self.held.insert(lock.to_owned(), Held { owner, depth: 1 });
+                self.wait_for.remove(&owner);
+                self.stats.acquired += 1;
+                Ok(())
+            }
+            Some(h) if h.owner == owner => {
+                h.depth += 1;
+                self.stats.acquired += 1;
+                Ok(())
+            }
+            Some(h) => {
+                let holder = h.owner;
+                // Record the wait edge, then check for a cycle.
+                self.wait_for.entry(owner).or_default().push(holder);
+                if self.has_cycle(owner) {
+                    self.stats.deadlocks += 1;
+                    // Withdraw the edge: the caller must abort, not wait.
+                    if let Some(edges) = self.wait_for.get_mut(&owner) {
+                        edges.pop();
+                        if edges.is_empty() {
+                            self.wait_for.remove(&owner);
+                        }
+                    }
+                    return Err(MiddlewareError::Deadlock { lock: lock.to_owned() });
+                }
+                self.stats.conflicts += 1;
+                Err(MiddlewareError::LockConflict {
+                    lock: lock.to_owned(),
+                    held_by: holder,
+                    requested_by: owner,
+                })
+            }
+        }
+    }
+
+    fn has_cycle(&self, start: u64) -> bool {
+        // DFS from `start` through wait_for edges and holder->waiting
+        // relationships; a path back to `start` is a deadlock.
+        let mut stack: Vec<u64> = self.wait_for.get(&start).cloned().unwrap_or_default();
+        let mut seen = Vec::new();
+        while let Some(cur) = stack.pop() {
+            if cur == start {
+                return true;
+            }
+            if seen.contains(&cur) {
+                continue;
+            }
+            seen.push(cur);
+            if let Some(next) = self.wait_for.get(&cur) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Releases one level of `lock` held by `owner`.
+    ///
+    /// # Errors
+    /// Fails when the caller does not hold the lock.
+    pub fn release(&mut self, lock: &str, owner: u64) -> Result<(), MiddlewareError> {
+        match self.held.get_mut(lock) {
+            Some(h) if h.owner == owner => {
+                h.depth -= 1;
+                if h.depth == 0 {
+                    self.held.remove(lock);
+                }
+                Ok(())
+            }
+            _ => Err(MiddlewareError::NotLockOwner { lock: lock.to_owned() }),
+        }
+    }
+
+    /// Releases every lock held by `owner` (transaction end). Returns the
+    /// number of locks released.
+    pub fn release_all(&mut self, owner: u64) -> usize {
+        let doomed: Vec<String> = self
+            .held
+            .iter()
+            .filter(|(_, h)| h.owner == owner)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &doomed {
+            self.held.remove(k);
+        }
+        self.wait_for.remove(&owner);
+        doomed.len()
+    }
+
+    /// The owner currently holding `lock`, if any.
+    pub fn holder(&self, lock: &str) -> Option<u64> {
+        self.held.get(lock).map(|h| h.owner)
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> LockStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_reentrant() {
+        let mut lm = LockManager::new();
+        lm.try_acquire("a", 1).unwrap();
+        lm.try_acquire("a", 1).unwrap(); // reentrant
+        assert_eq!(lm.holder("a"), Some(1));
+        lm.release("a", 1).unwrap();
+        assert_eq!(lm.holder("a"), Some(1)); // still held (depth 1)
+        lm.release("a", 1).unwrap();
+        assert_eq!(lm.holder("a"), None);
+        assert_eq!(lm.stats().acquired, 2);
+    }
+
+    #[test]
+    fn conflict_reported() {
+        let mut lm = LockManager::new();
+        lm.try_acquire("a", 1).unwrap();
+        let err = lm.try_acquire("a", 2).unwrap_err();
+        assert!(matches!(err, MiddlewareError::LockConflict { held_by: 1, requested_by: 2, .. }));
+        assert_eq!(lm.stats().conflicts, 1);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut lm = LockManager::new();
+        lm.try_acquire("a", 1).unwrap();
+        lm.try_acquire("b", 2).unwrap();
+        // 2 waits for a (held by 1)...
+        assert!(matches!(lm.try_acquire("a", 2), Err(MiddlewareError::LockConflict { .. })));
+        // ...and 1 waiting for b (held by 2) closes the cycle.
+        assert!(matches!(lm.try_acquire("b", 1), Err(MiddlewareError::Deadlock { .. })));
+        assert_eq!(lm.stats().deadlocks, 1);
+    }
+
+    #[test]
+    fn release_all_clears_owner() {
+        let mut lm = LockManager::new();
+        lm.try_acquire("a", 1).unwrap();
+        lm.try_acquire("b", 1).unwrap();
+        lm.try_acquire("c", 2).unwrap();
+        assert_eq!(lm.release_all(1), 2);
+        assert_eq!(lm.holder("a"), None);
+        assert_eq!(lm.holder("c"), Some(2));
+        assert_eq!(lm.release_all(99), 0);
+    }
+
+    #[test]
+    fn release_by_non_owner_rejected() {
+        let mut lm = LockManager::new();
+        lm.try_acquire("a", 1).unwrap();
+        assert!(matches!(lm.release("a", 2), Err(MiddlewareError::NotLockOwner { .. })));
+        assert!(matches!(lm.release("ghost", 1), Err(MiddlewareError::NotLockOwner { .. })));
+    }
+
+    #[test]
+    fn conflict_then_release_then_acquire() {
+        let mut lm = LockManager::new();
+        lm.try_acquire("a", 1).unwrap();
+        let _ = lm.try_acquire("a", 2);
+        lm.release("a", 1).unwrap();
+        lm.try_acquire("a", 2).unwrap();
+        assert_eq!(lm.holder("a"), Some(2));
+    }
+}

@@ -1,0 +1,84 @@
+//! The log service: levelled records, counters, and query helpers.
+
+/// One log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Level, e.g. `info`.
+    pub level: String,
+    /// Message text.
+    pub message: String,
+    /// Logical timestamp (microseconds) when emitted.
+    pub at_us: u64,
+}
+
+/// The log service.
+#[derive(Debug, Clone, Default)]
+pub struct LogService {
+    records: Vec<LogRecord>,
+}
+
+impl LogService {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn emit(&mut self, level: &str, message: &str, at_us: u64) {
+        self.records.push(LogRecord {
+            level: level.to_owned(),
+            message: message.to_owned(),
+            at_us,
+        });
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Number of records at `level`.
+    pub fn count_level(&self, level: &str) -> usize {
+        self.records.iter().filter(|r| r.level == level).count()
+    }
+
+    /// Records whose message contains `needle`.
+    pub fn matching(&self, needle: &str) -> Vec<&LogRecord> {
+        self.records.iter().filter(|r| r.message.contains(needle)).collect()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Clears the log (bench warm-up hygiene).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_count_match() {
+        let mut l = LogService::new();
+        assert!(l.is_empty());
+        l.emit("info", "enter Bank.transfer", 10);
+        l.emit("debug", "exit Bank.transfer", 20);
+        l.emit("info", "enter Bank.audit", 30);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.count_level("info"), 2);
+        assert_eq!(l.matching("transfer").len(), 2);
+        assert_eq!(l.records()[0].at_us, 10);
+        l.clear();
+        assert!(l.is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! A simulated document store: the persistence backend the persistence
+//! concern saves object snapshots into (the role a persistence service
+//! or entity-bean container plays in a J2EE-era platform).
+
+use std::collections::BTreeMap;
+
+/// Store statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Documents written (including overwrites).
+    pub saves: u64,
+    /// Successful loads.
+    pub loads: u64,
+    /// Loads that found nothing.
+    pub misses: u64,
+}
+
+/// A key-value document store, generic over the snapshot type (the
+/// interpreter stores its runtime values).
+#[derive(Debug, Clone, Default)]
+pub struct StoreService<V> {
+    documents: BTreeMap<String, V>,
+    stats: StoreStats,
+}
+
+impl<V: Clone> StoreService<V> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        StoreService { documents: BTreeMap::new(), stats: StoreStats::default() }
+    }
+
+    /// Writes (or overwrites) a document.
+    pub fn save(&mut self, key: &str, snapshot: V) {
+        self.documents.insert(key.to_owned(), snapshot);
+        self.stats.saves += 1;
+    }
+
+    /// Reads a document.
+    pub fn load(&mut self, key: &str) -> Option<V> {
+        match self.documents.get(key) {
+            Some(v) => {
+                self.stats.loads += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Deletes a document; returns whether it existed.
+    pub fn delete(&mut self, key: &str) -> bool {
+        self.documents.remove(key).is_some()
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// All keys, sorted.
+    pub fn keys(&self) -> Vec<&str> {
+        self.documents.keys().map(String::as_str).collect()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_load_delete() {
+        let mut s: StoreService<i64> = StoreService::new();
+        assert!(s.is_empty());
+        s.save("a/1", 10);
+        s.save("a/1", 20); // overwrite
+        s.save("a/2", 30);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.load("a/1"), Some(20));
+        assert_eq!(s.load("ghost"), None);
+        assert_eq!(s.keys(), vec!["a/1", "a/2"]);
+        assert!(s.delete("a/1"));
+        assert!(!s.delete("a/1"));
+        let st = s.stats();
+        assert_eq!((st.saves, st.loads, st.misses), (3, 1, 1));
+    }
+}

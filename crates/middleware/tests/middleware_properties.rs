@@ -1,0 +1,165 @@
+//! Property tests for the middleware services: mutual exclusion is never
+//! violated, transaction undo logs obey first-write-wins, and bus
+//! accounting is conservative.
+
+use comet_middleware::{Middleware, MiddlewareConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum LockOp {
+    Acquire(u8, u8),
+    Release(u8, u8),
+    ReleaseAll(u8),
+}
+
+fn arb_lock_op() -> impl Strategy<Value = LockOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(l, o)| LockOp::Acquire(l % 4, o % 3 + 1)),
+        (any::<u8>(), any::<u8>()).prop_map(|(l, o)| LockOp::Release(l % 4, o % 3 + 1)),
+        any::<u8>().prop_map(|o| LockOp::ReleaseAll(o % 3 + 1)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn locks_never_have_two_owners(ops in prop::collection::vec(arb_lock_op(), 0..80)) {
+        let mut mw: Middleware<i64> = Middleware::new(MiddlewareConfig::default());
+        // Reference model: lock -> (owner, depth).
+        let mut reference: BTreeMap<String, (u64, u32)> = BTreeMap::new();
+        for op in ops {
+            match op {
+                LockOp::Acquire(l, o) => {
+                    let lock = format!("L{l}");
+                    let owner = u64::from(o);
+                    let outcome = mw.locks.try_acquire(&lock, owner);
+                    match reference.get_mut(&lock) {
+                        None => {
+                            prop_assert!(outcome.is_ok());
+                            reference.insert(lock, (owner, 1));
+                        }
+                        Some((held, depth)) if *held == owner => {
+                            prop_assert!(outcome.is_ok());
+                            *depth += 1;
+                        }
+                        Some(_) => prop_assert!(outcome.is_err()),
+                    }
+                }
+                LockOp::Release(l, o) => {
+                    let lock = format!("L{l}");
+                    let owner = u64::from(o);
+                    let outcome = mw.locks.release(&lock, owner);
+                    match reference.get_mut(&lock) {
+                        Some((held, depth)) if *held == owner => {
+                            prop_assert!(outcome.is_ok());
+                            *depth -= 1;
+                            if *depth == 0 {
+                                reference.remove(&lock);
+                            }
+                        }
+                        _ => prop_assert!(outcome.is_err()),
+                    }
+                }
+                LockOp::ReleaseAll(o) => {
+                    let owner = u64::from(o);
+                    mw.locks.release_all(owner);
+                    reference.retain(|_, (held, _)| *held != owner);
+                }
+            }
+            // Holders agree with the reference model at every step.
+            for (lock, (owner, _)) in &reference {
+                prop_assert_eq!(mw.locks.holder(lock), Some(*owner));
+            }
+        }
+    }
+
+    #[test]
+    fn undo_log_restores_exactly_the_first_preimages(
+        writes in prop::collection::vec((0u64..4, 0u8..3, -100i64..100), 1..40)
+    ) {
+        let mut mw: Middleware<i64> = Middleware::new(MiddlewareConfig::default());
+        // A little store and its pristine copy.
+        let mut store: BTreeMap<(u64, String), i64> = BTreeMap::new();
+        for obj in 0..4u64 {
+            for f in 0..3u8 {
+                store.insert((obj, format!("f{f}")), (obj as i64) * 10 + i64::from(f));
+            }
+        }
+        let pristine = store.clone();
+        let tx = mw.tx.begin("rc").expect("begins");
+        for (obj, field, value) in writes {
+            let key = (obj, format!("f{field}"));
+            let old = store[&key];
+            mw.tx.log_write(tx, obj, &key.1, old).expect("active");
+            store.insert(key, value);
+        }
+        // Roll back and apply the undo entries to the store.
+        for entry in mw.tx.rollback(tx).expect("active") {
+            store.insert((entry.object, entry.field), entry.old);
+        }
+        prop_assert_eq!(store, pristine);
+    }
+
+    #[test]
+    fn bus_accounting_is_conservative(
+        sends in prop::collection::vec((any::<bool>(), 1u64..500), 1..60),
+        drop_pct in 0u8..=100
+    ) {
+        let config = MiddlewareConfig {
+            drop_probability: f64::from(drop_pct) / 100.0,
+            ..MiddlewareConfig::default()
+        };
+        let mut mw: Middleware<i64> = Middleware::new(config);
+        mw.bus.add_node("a");
+        mw.bus.add_node("b");
+        let mut ok = 0u64;
+        let mut lost = 0u64;
+        let mut bytes = 0u64;
+        for (direction, payload) in sends {
+            let (from, to) = if direction { ("a", "b") } else { ("b", "a") };
+            match mw.bus.send(from, to, payload) {
+                Ok(latency) => {
+                    ok += 1;
+                    bytes += payload;
+                    prop_assert!(latency >= 1);
+                }
+                Err(_) => lost += 1,
+            }
+        }
+        let stats = mw.bus.stats();
+        prop_assert_eq!(stats.delivered, ok);
+        prop_assert_eq!(stats.lost, lost);
+        prop_assert_eq!(stats.bytes, bytes);
+        // Link stats sum to the aggregate.
+        let ab = mw.bus.link_stats("a", "b");
+        let ba = mw.bus.link_stats("b", "a");
+        prop_assert_eq!(ab.delivered + ba.delivered, stats.delivered);
+        prop_assert_eq!(ab.bytes + ba.bytes, stats.bytes);
+        // The clock advanced by exactly the sum of latencies.
+        prop_assert_eq!(mw.now_us(), stats.total_latency_us);
+    }
+
+    #[test]
+    fn nested_transactions_commit_independently(n in 1usize..6) {
+        let mut mw: Middleware<i64> = Middleware::new(MiddlewareConfig::default());
+        let mut stack = Vec::new();
+        for _ in 0..n {
+            stack.push(mw.tx.begin("rc").expect("begins"));
+        }
+        // Unwind: inner transactions commit, outermost rolls back.
+        while stack.len() > 1 {
+            let tx = stack.pop().expect("non-empty");
+            prop_assert_eq!(mw.tx.current(), Some(tx));
+            mw.tx.commit(tx).expect("active");
+        }
+        let outer = stack.pop().expect("one left");
+        mw.tx.rollback(outer).expect("active");
+        prop_assert_eq!(mw.tx.current(), None);
+        let stats = mw.tx.stats();
+        prop_assert_eq!(stats.begun, n as u64);
+        prop_assert_eq!(stats.committed, n as u64 - 1);
+        prop_assert_eq!(stats.rolled_back, 1);
+    }
+}

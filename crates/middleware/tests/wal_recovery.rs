@@ -1,0 +1,115 @@
+//! WAL and crash-recovery tests: the write-ahead log records the
+//! transaction lifecycle, and replaying a (possibly truncated) WAL
+//! reconstructs the durable state under presumed-abort semantics.
+
+use comet_middleware::{recover, Middleware, MiddlewareConfig, WalRecord};
+use proptest::prelude::*;
+
+fn mw() -> Middleware<i64> {
+    Middleware::new(MiddlewareConfig::default())
+}
+
+#[test]
+fn wal_records_the_lifecycle_in_order() {
+    let mut m = mw();
+    let t1 = m.tx.begin("rc").unwrap();
+    m.tx.log_write(t1, 1, "balance", 100).unwrap();
+    m.tx.commit(t1).unwrap();
+    let t2 = m.tx.begin("rc").unwrap();
+    m.tx.log_write(t2, 2, "v", 5).unwrap();
+    m.tx.rollback(t2).unwrap();
+    assert_eq!(
+        m.tx.wal(),
+        &[
+            WalRecord::Begin(t1),
+            WalRecord::Write { tx: t1, object: 1, field: "balance".into() },
+            WalRecord::Commit(t1),
+            WalRecord::Begin(t2),
+            WalRecord::Write { tx: t2, object: 2, field: "v".into() },
+            WalRecord::Rollback(t2),
+        ]
+    );
+}
+
+#[test]
+fn recovery_classifies_transactions() {
+    let mut m = mw();
+    let committed = m.tx.begin("rc").unwrap();
+    m.tx.commit(committed).unwrap();
+    let aborted = m.tx.begin("rc").unwrap();
+    m.tx.rollback(aborted).unwrap();
+    let in_flight = m.tx.begin("rc").unwrap();
+    m.tx.log_write(in_flight, 1, "x", 0).unwrap();
+    // "Crash": replay whatever is on the log now.
+    let state = recover(m.tx.wal());
+    assert_eq!(state.committed, vec![committed]);
+    assert_eq!(state.rolled_back, vec![aborted]);
+    assert_eq!(state.in_flight, vec![in_flight]);
+}
+
+#[test]
+fn truncated_wal_presumes_abort() {
+    let mut m = mw();
+    let t1 = m.tx.begin("rc").unwrap();
+    m.tx.log_write(t1, 1, "x", 0).unwrap();
+    m.tx.commit(t1).unwrap();
+    let wal = m.tx.wal().to_vec();
+    // Crash before the commit record made it to the log.
+    let truncated = &wal[..wal.len() - 1];
+    let state = recover(truncated);
+    assert!(state.committed.is_empty());
+    assert_eq!(state.in_flight, vec![t1]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random lifecycles: recovery from the full WAL always agrees with
+    /// the live statistics, and any truncation only moves transactions
+    /// from committed/rolled-back into in-flight.
+    #[test]
+    fn recovery_agrees_with_live_state(choices in prop::collection::vec(any::<u8>(), 1..40)) {
+        let mut m = mw();
+        for c in &choices {
+            match c % 4 {
+                0 => {
+                    m.tx.begin("rc").expect("begins");
+                }
+                1 => {
+                    if let Some(tx) = m.tx.current() {
+                        let _ = m.tx.log_write(tx, u64::from(*c), "f", 0);
+                    }
+                }
+                2 => {
+                    if let Some(tx) = m.tx.current() {
+                        m.tx.commit(tx).expect("active");
+                    }
+                }
+                _ => {
+                    if let Some(tx) = m.tx.current() {
+                        m.tx.rollback(tx).expect("active");
+                    }
+                }
+            }
+        }
+        let state = recover(m.tx.wal());
+        let stats = m.tx.stats();
+        prop_assert_eq!(state.committed.len() as u64, stats.committed);
+        prop_assert_eq!(state.rolled_back.len() as u64, stats.rolled_back);
+        prop_assert_eq!(
+            (state.committed.len() + state.rolled_back.len() + state.in_flight.len()) as u64,
+            stats.begun
+        );
+
+        // Truncation property.
+        let wal = m.tx.wal();
+        for cut in 0..wal.len() {
+            let partial = recover(&wal[..cut]);
+            prop_assert!(partial.committed.len() <= state.committed.len());
+            prop_assert!(partial.rolled_back.len() <= state.rolled_back.len());
+            // No transaction is ever invented.
+            let total = partial.committed.len() + partial.rolled_back.len() + partial.in_flight.len();
+            prop_assert!(total as u64 <= stats.begun);
+        }
+    }
+}

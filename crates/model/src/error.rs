@@ -1,0 +1,94 @@
+//! Error type shared by all model-mutating operations.
+
+use crate::id::ElementId;
+use std::error::Error;
+use std::fmt;
+
+/// Convenience alias for results carrying a [`ModelError`].
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// Errors produced by model construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The referenced element does not exist in this model.
+    UnknownElement(ElementId),
+    /// The parent element cannot own a child of the given kind.
+    InvalidOwner {
+        /// The attempted owner.
+        owner: ElementId,
+        /// Kind of the owner element.
+        owner_kind: &'static str,
+        /// Kind of the child being added.
+        child_kind: &'static str,
+    },
+    /// An element with the same name and kind already exists under the owner.
+    DuplicateName {
+        /// The owner under which the clash occurred.
+        owner: ElementId,
+        /// The clashing name.
+        name: String,
+    },
+    /// A name was empty or syntactically invalid.
+    InvalidName(String),
+    /// A generalization would introduce an inheritance cycle.
+    InheritanceCycle(ElementId),
+    /// The root package cannot be removed or re-owned.
+    RootImmutable,
+    /// A relationship endpoint has the wrong kind.
+    InvalidEndpoint {
+        /// The offending endpoint.
+        endpoint: ElementId,
+        /// What was expected, e.g. "classifier".
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownElement(id) => write!(f, "unknown element {id}"),
+            ModelError::InvalidOwner { owner, owner_kind, child_kind } => write!(
+                f,
+                "element {owner} of kind {owner_kind} cannot own a {child_kind}"
+            ),
+            ModelError::DuplicateName { owner, name } => {
+                write!(f, "owner {owner} already contains an element named `{name}`")
+            }
+            ModelError::InvalidName(n) => write!(f, "invalid element name `{n}`"),
+            ModelError::InheritanceCycle(id) => {
+                write!(f, "generalization would create an inheritance cycle at {id}")
+            }
+            ModelError::RootImmutable => write!(f, "the root package cannot be removed or moved"),
+            ModelError::InvalidEndpoint { endpoint, expected } => {
+                write!(f, "element {endpoint} is not a valid endpoint, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ModelError::UnknownElement(ElementId::from_raw(9));
+        assert_eq!(e.to_string(), "unknown element #9");
+        let e = ModelError::DuplicateName { owner: ElementId::from_raw(1), name: "X".into() };
+        assert!(e.to_string().contains("already contains"));
+        let e = ModelError::InvalidOwner {
+            owner: ElementId::from_raw(2),
+            owner_kind: "Attribute",
+            child_kind: "Class",
+        };
+        assert!(e.to_string().contains("cannot own"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<ModelError>();
+    }
+}

@@ -1,0 +1,51 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identity of a model element within one [`Model`](crate::Model).
+///
+/// Ids are allocated by the owning model from a monotonically increasing
+/// counter and are never reused, so an id uniquely identifies one element
+/// for the whole life of a model, across undo/redo and diffing.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ElementId(u64);
+
+impl ElementId {
+    /// Creates an id from its raw numeric value.
+    ///
+    /// Only deserializers (XMI import, repository snapshots) should need
+    /// this; normal code receives ids from `Model::add_*` methods.
+    pub fn from_raw(raw: u64) -> Self {
+        ElementId(raw)
+    }
+
+    /// Returns the raw numeric value of this id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_round_trip() {
+        let id = ElementId::from_raw(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.to_string(), "#42");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(ElementId::from_raw(1) < ElementId::from_raw(2));
+        assert_eq!(ElementId::default(), ElementId::from_raw(0));
+    }
+}

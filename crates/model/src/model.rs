@@ -1,0 +1,752 @@
+//! The [`Model`]: an arena of elements with ownership, plus the mutation
+//! API used by transformations.
+
+use crate::element::{Element, ElementCore, ElementKind};
+use crate::error::{ModelError, Result};
+use crate::id::ElementId;
+use crate::kinds::*;
+use crate::CONCERN_TAG;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A model: a named, deterministic arena of [`Element`]s rooted at a
+/// package.
+///
+/// All structural mutation goes through `add_*` / [`Model::remove_element`]
+/// so the arena can maintain its invariants: every element except the root
+/// has an owner that exists, ids are never reused, and sibling names are
+/// unique per kind (for named elements).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    name: String,
+    elements: BTreeMap<ElementId, Element>,
+    next_id: u64,
+    root: ElementId,
+}
+
+impl Model {
+    /// Creates an empty model whose root package carries the model name.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let root = ElementId::from_raw(0);
+        let mut elements = BTreeMap::new();
+        elements.insert(
+            root,
+            Element::new(
+                root,
+                ElementCore::new(name.clone(), None),
+                ElementKind::Package(PackageData::default()),
+            ),
+        );
+        Model { name, elements, next_id: 1, root }
+    }
+
+    /// The model name (same as the root package name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the model and its root package.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        self.name = name.clone();
+        let root = self.root;
+        if let Some(e) = self.elements.get_mut(&root) {
+            e.core_mut().name = name;
+        }
+    }
+
+    /// The root package id.
+    pub fn root(&self) -> ElementId {
+        self.root
+    }
+
+    /// Number of elements, root included.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// A model always contains at least the root package.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over all elements in deterministic (id) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Element> {
+        self.elements.values()
+    }
+
+    /// Returns true when the id resolves to an element of this model.
+    pub fn contains(&self, id: ElementId) -> bool {
+        self.elements.contains_key(&id)
+    }
+
+    /// Resolves an element.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::UnknownElement`] when the id does not resolve.
+    pub fn element(&self, id: ElementId) -> Result<&Element> {
+        self.elements.get(&id).ok_or(ModelError::UnknownElement(id))
+    }
+
+    /// Resolves an element mutably.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::UnknownElement`] when the id does not resolve.
+    pub fn element_mut(&mut self, id: ElementId) -> Result<&mut Element> {
+        self.elements.get_mut(&id).ok_or(ModelError::UnknownElement(id))
+    }
+
+    fn alloc(&mut self) -> ElementId {
+        let id = ElementId::from_raw(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn check_name(name: &str) -> Result<()> {
+        if name.trim().is_empty() || name.contains("::") {
+            return Err(ModelError::InvalidName(name.to_owned()));
+        }
+        Ok(())
+    }
+
+    fn check_duplicate(&self, owner: ElementId, kind_name: &str, name: &str) -> Result<()> {
+        let clash = self.elements.values().any(|e| {
+            e.owner() == Some(owner) && e.kind().kind_name() == kind_name && e.name() == name
+        });
+        if clash {
+            Err(ModelError::DuplicateName { owner, name: name.to_owned() })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn insert(
+        &mut self,
+        owner: ElementId,
+        name: &str,
+        kind: ElementKind,
+        allowed_owner: fn(&ElementKind) -> bool,
+    ) -> Result<ElementId> {
+        Self::check_name(name)?;
+        let owner_kind = {
+            let o = self.element(owner)?;
+            if !allowed_owner(o.kind()) {
+                return Err(ModelError::InvalidOwner {
+                    owner,
+                    owner_kind: o.kind().kind_name(),
+                    child_kind: kind.kind_name(),
+                });
+            }
+            o.kind().kind_name()
+        };
+        let _ = owner_kind;
+        self.check_duplicate(owner, kind.kind_name(), name)?;
+        let id = self.alloc();
+        self.elements
+            .insert(id, Element::new(id, ElementCore::new(name, Some(owner)), kind));
+        Ok(id)
+    }
+
+    /// Adds a package under `owner` (which must be a package).
+    ///
+    /// # Errors
+    /// Fails on unknown owner, non-package owner, invalid or duplicate name.
+    pub fn add_package(&mut self, owner: ElementId, name: &str) -> Result<ElementId> {
+        self.insert(owner, name, ElementKind::Package(PackageData::default()), |k| {
+            matches!(k, ElementKind::Package(_))
+        })
+    }
+
+    /// Adds a class under a package.
+    ///
+    /// # Errors
+    /// Fails on unknown owner, non-package owner, invalid or duplicate name.
+    pub fn add_class(&mut self, owner: ElementId, name: &str) -> Result<ElementId> {
+        self.insert(owner, name, ElementKind::Class(ClassData::default()), |k| {
+            matches!(k, ElementKind::Package(_))
+        })
+    }
+
+    /// Adds an interface under a package.
+    ///
+    /// # Errors
+    /// Fails on unknown owner, non-package owner, invalid or duplicate name.
+    pub fn add_interface(&mut self, owner: ElementId, name: &str) -> Result<ElementId> {
+        self.insert(owner, name, ElementKind::Interface(InterfaceData::default()), |k| {
+            matches!(k, ElementKind::Package(_))
+        })
+    }
+
+    /// Adds a user-defined data type under a package.
+    ///
+    /// # Errors
+    /// Fails on unknown owner, non-package owner, invalid or duplicate name.
+    pub fn add_data_type(&mut self, owner: ElementId, name: &str) -> Result<ElementId> {
+        self.insert(owner, name, ElementKind::DataType(DataTypeData::default()), |k| {
+            matches!(k, ElementKind::Package(_))
+        })
+    }
+
+    /// Adds an enumeration with the given literals under a package.
+    ///
+    /// # Errors
+    /// Fails on unknown owner, non-package owner, invalid or duplicate name.
+    pub fn add_enumeration(
+        &mut self,
+        owner: ElementId,
+        name: &str,
+        literals: Vec<String>,
+    ) -> Result<ElementId> {
+        self.insert(owner, name, ElementKind::Enumeration(EnumerationData { literals }), |k| {
+            matches!(k, ElementKind::Package(_))
+        })
+    }
+
+    /// Adds an attribute to a classifier.
+    ///
+    /// # Errors
+    /// Fails on unknown owner, non-classifier owner, invalid or duplicate
+    /// name, or a dangling type reference.
+    pub fn add_attribute(
+        &mut self,
+        classifier: ElementId,
+        name: &str,
+        ty: TypeRef,
+    ) -> Result<ElementId> {
+        self.check_type_ref(ty)?;
+        self.insert(
+            classifier,
+            name,
+            ElementKind::Attribute(AttributeData { ty, ..AttributeData::default() }),
+            ElementKind::is_classifier,
+        )
+    }
+
+    /// Adds an operation (return type `Void`) to a classifier.
+    ///
+    /// # Errors
+    /// Fails on unknown owner, non-classifier owner, invalid or duplicate
+    /// name.
+    pub fn add_operation(&mut self, classifier: ElementId, name: &str) -> Result<ElementId> {
+        self.insert(
+            classifier,
+            name,
+            ElementKind::Operation(OperationData::default()),
+            ElementKind::is_classifier,
+        )
+    }
+
+    /// Adds an input parameter to an operation.
+    ///
+    /// # Errors
+    /// Fails on unknown owner, non-operation owner, invalid or duplicate
+    /// name, or a dangling type reference.
+    pub fn add_parameter(
+        &mut self,
+        operation: ElementId,
+        name: &str,
+        ty: TypeRef,
+    ) -> Result<ElementId> {
+        self.check_type_ref(ty)?;
+        self.insert(
+            operation,
+            name,
+            ElementKind::Parameter(ParameterData { ty, direction: Direction::In }),
+            |k| matches!(k, ElementKind::Operation(_)),
+        )
+    }
+
+    /// Sets the return type of an operation.
+    ///
+    /// # Errors
+    /// Fails on unknown id, non-operation element, or dangling type.
+    pub fn set_return_type(&mut self, operation: ElementId, ty: TypeRef) -> Result<()> {
+        self.check_type_ref(ty)?;
+        let e = self.element_mut(operation)?;
+        match e.as_operation_mut() {
+            Some(op) => {
+                op.return_type = ty;
+                Ok(())
+            }
+            None => Err(ModelError::InvalidEndpoint { endpoint: operation, expected: "operation" }),
+        }
+    }
+
+    fn check_type_ref(&self, ty: TypeRef) -> Result<()> {
+        if let TypeRef::Element(id) = ty {
+            let e = self.element(id)?;
+            if !e.is_classifier() {
+                return Err(ModelError::InvalidEndpoint { endpoint: id, expected: "classifier" });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_classifier(&self, id: ElementId) -> Result<()> {
+        let e = self.element(id)?;
+        if !e.is_classifier() {
+            return Err(ModelError::InvalidEndpoint { endpoint: id, expected: "classifier" });
+        }
+        Ok(())
+    }
+
+    /// Adds a binary association between two classifiers, owned by a
+    /// package. The association name may be empty.
+    ///
+    /// # Errors
+    /// Fails on unknown owner/endpoints or non-classifier endpoints.
+    pub fn add_association(
+        &mut self,
+        owner: ElementId,
+        name: &str,
+        first: AssociationEnd,
+        second: AssociationEnd,
+    ) -> Result<ElementId> {
+        self.check_classifier(first.class)?;
+        self.check_classifier(second.class)?;
+        let o = self.element(owner)?;
+        if !matches!(o.kind(), ElementKind::Package(_)) {
+            return Err(ModelError::InvalidOwner {
+                owner,
+                owner_kind: o.kind().kind_name(),
+                child_kind: "Association",
+            });
+        }
+        let id = self.alloc();
+        self.elements.insert(
+            id,
+            Element::new(
+                id,
+                ElementCore::new(name, Some(owner)),
+                ElementKind::Association(AssociationData { ends: [first, second] }),
+            ),
+        );
+        Ok(id)
+    }
+
+    /// Adds a generalization making `child` a specialization of `parent`.
+    /// The relationship element is owned by the child's owner.
+    ///
+    /// # Errors
+    /// Fails on unknown/non-classifier endpoints or if the edge would close
+    /// an inheritance cycle.
+    pub fn add_generalization(
+        &mut self,
+        child: ElementId,
+        parent: ElementId,
+    ) -> Result<ElementId> {
+        self.check_classifier(child)?;
+        self.check_classifier(parent)?;
+        if child == parent || self.ancestors_of(parent).contains(&child) {
+            return Err(ModelError::InheritanceCycle(child));
+        }
+        let owner = self.element(child)?.owner().unwrap_or(self.root);
+        let id = self.alloc();
+        self.elements.insert(
+            id,
+            Element::new(
+                id,
+                ElementCore::new("", Some(owner)),
+                ElementKind::Generalization(GeneralizationData { child, parent }),
+            ),
+        );
+        Ok(id)
+    }
+
+    /// Adds a dependency from `client` to `supplier`, owned by the root.
+    ///
+    /// # Errors
+    /// Fails when either endpoint is unknown.
+    pub fn add_dependency(
+        &mut self,
+        client: ElementId,
+        supplier: ElementId,
+    ) -> Result<ElementId> {
+        self.element(client)?;
+        self.element(supplier)?;
+        let id = self.alloc();
+        let root = self.root;
+        self.elements.insert(
+            id,
+            Element::new(
+                id,
+                ElementCore::new("", Some(root)),
+                ElementKind::Dependency(DependencyData { client, supplier }),
+            ),
+        );
+        Ok(id)
+    }
+
+    /// Attaches a named constraint with an OCL-like `body` to an element.
+    /// The constraint is owned by the constrained element.
+    ///
+    /// # Errors
+    /// Fails when the constrained element is unknown or the name invalid.
+    pub fn add_constraint(
+        &mut self,
+        constrained: ElementId,
+        name: &str,
+        body: impl Into<String>,
+    ) -> Result<ElementId> {
+        Self::check_name(name)?;
+        self.element(constrained)?;
+        let id = self.alloc();
+        self.elements.insert(
+            id,
+            Element::new(
+                id,
+                ElementCore::new(name, Some(constrained)),
+                ElementKind::Constraint(ConstraintData { constrained, body: body.into() }),
+            ),
+        );
+        Ok(id)
+    }
+
+    /// Removes an element and its transitively owned children, plus any
+    /// relationship elements (associations, generalizations, dependencies,
+    /// constraints) with a dangling endpoint afterwards. Returns all
+    /// removed ids.
+    ///
+    /// # Errors
+    /// Fails on the root package or an unknown id.
+    pub fn remove_element(&mut self, id: ElementId) -> Result<Vec<ElementId>> {
+        if id == self.root {
+            return Err(ModelError::RootImmutable);
+        }
+        self.element(id)?;
+        // Collect the owned subtree.
+        let mut doomed = vec![id];
+        let mut frontier = vec![id];
+        while let Some(cur) = frontier.pop() {
+            for e in self.elements.values() {
+                if e.owner() == Some(cur) && !doomed.contains(&e.id()) {
+                    doomed.push(e.id());
+                    frontier.push(e.id());
+                }
+            }
+        }
+        // Cascade: relationships that reference doomed elements die too.
+        loop {
+            let mut grew = false;
+            let snapshot: Vec<ElementId> = self.elements.keys().copied().collect();
+            for eid in snapshot {
+                if doomed.contains(&eid) {
+                    continue;
+                }
+                let dangling = {
+                    let e = &self.elements[&eid];
+                    match e.kind() {
+                        ElementKind::Association(a) => {
+                            doomed.contains(&a.ends[0].class) || doomed.contains(&a.ends[1].class)
+                        }
+                        ElementKind::Generalization(g) => {
+                            doomed.contains(&g.child) || doomed.contains(&g.parent)
+                        }
+                        ElementKind::Dependency(d) => {
+                            doomed.contains(&d.client) || doomed.contains(&d.supplier)
+                        }
+                        ElementKind::Constraint(c) => doomed.contains(&c.constrained),
+                        _ => false,
+                    }
+                };
+                if dangling {
+                    doomed.push(eid);
+                    // The removed relationship may itself own children.
+                    let mut frontier = vec![eid];
+                    while let Some(cur) = frontier.pop() {
+                        for e in self.elements.values() {
+                            if e.owner() == Some(cur) && !doomed.contains(&e.id()) {
+                                doomed.push(e.id());
+                                frontier.push(e.id());
+                            }
+                        }
+                    }
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        for d in &doomed {
+            self.elements.remove(d);
+        }
+        doomed.sort();
+        Ok(doomed)
+    }
+
+    /// Direct children (owned elements) of `id`, in id order.
+    pub fn children(&self, id: ElementId) -> Vec<ElementId> {
+        self.elements
+            .values()
+            .filter(|e| e.owner() == Some(id))
+            .map(Element::id)
+            .collect()
+    }
+
+    /// Fully qualified name, segments joined with `::`, starting at the
+    /// root package.
+    ///
+    /// # Errors
+    /// Fails when the id is unknown.
+    pub fn qualified_name(&self, id: ElementId) -> Result<String> {
+        let mut segments = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let e = self.element(c)?;
+            segments.push(e.name().to_owned());
+            cur = e.owner();
+        }
+        segments.reverse();
+        Ok(segments.join("::"))
+    }
+
+    /// Applies a stereotype to an element.
+    ///
+    /// # Errors
+    /// Fails when the id is unknown.
+    pub fn apply_stereotype(&mut self, id: ElementId, stereotype: &str) -> Result<()> {
+        self.element_mut(id)?.core_mut().apply_stereotype(stereotype);
+        Ok(())
+    }
+
+    /// Returns true when the element carries the stereotype.
+    ///
+    /// # Errors
+    /// Fails when the id is unknown.
+    pub fn has_stereotype(&self, id: ElementId, stereotype: &str) -> Result<bool> {
+        Ok(self.element(id)?.core().has_stereotype(stereotype))
+    }
+
+    /// Sets a tagged value on an element.
+    ///
+    /// # Errors
+    /// Fails when the id is unknown.
+    pub fn set_tag(
+        &mut self,
+        id: ElementId,
+        key: &str,
+        value: impl Into<TagValue>,
+    ) -> Result<()> {
+        self.element_mut(id)?.core_mut().set_tag(key, value);
+        Ok(())
+    }
+
+    /// Records that `concern` introduced the element (the paper's "color").
+    ///
+    /// # Errors
+    /// Fails when the id is unknown.
+    pub fn mark_concern(&mut self, id: ElementId, concern: &str) -> Result<()> {
+        self.set_tag(id, CONCERN_TAG, concern)
+    }
+
+    /// The concern recorded as having introduced this element, if any.
+    pub fn concern_of(&self, id: ElementId) -> Option<&str> {
+        self.elements.get(&id)?.core().tag(CONCERN_TAG)?.as_str()
+    }
+
+    /// All elements introduced by the given concern, in id order.
+    pub fn elements_of_concern(&self, concern: &str) -> Vec<ElementId> {
+        self.elements
+            .values()
+            .filter(|e| {
+                e.core().tag(CONCERN_TAG).and_then(TagValue::as_str) == Some(concern)
+            })
+            .map(Element::id)
+            .collect()
+    }
+
+    /// All distinct concerns recorded anywhere in the model ("association
+    /// list between colors and concerns", Section 3), sorted.
+    pub fn concerns(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .elements
+            .values()
+            .filter_map(|e| e.core().tag(CONCERN_TAG).and_then(TagValue::as_str))
+            .map(str::to_owned)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl Model {
+    /// Reassembles a model from raw parts (deserializers only: XMI
+    /// import, repository snapshots). The element list must contain a
+    /// root package whose id is `root` with no owner; ids must be unique.
+    /// The result is validated before being returned.
+    ///
+    /// # Errors
+    /// Returns the well-formedness violations when the parts do not form
+    /// a valid model.
+    pub fn from_parts(
+        name: impl Into<String>,
+        root: ElementId,
+        elements: Vec<Element>,
+    ) -> std::result::Result<Model, Vec<crate::validate::Violation>> {
+        let mut map = BTreeMap::new();
+        let mut max_id = 0u64;
+        for e in elements {
+            max_id = max_id.max(e.id().raw());
+            map.insert(e.id(), e);
+        }
+        let model = Model { name: name.into(), elements: map, next_id: max_id + 1, root };
+        let root_ok = model
+            .elements
+            .get(&root)
+            .map(|e| matches!(e.kind(), ElementKind::Package(_)) && e.owner().is_none())
+            .unwrap_or(false);
+        if !root_ok {
+            return Err(vec![crate::validate::Violation {
+                element: root,
+                kind: crate::validate::ViolationKind::DanglingOwner,
+                detail: "root must be an ownerless package".into(),
+            }]);
+        }
+        model.validate()?;
+        Ok(model)
+    }
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Model::new("model")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_created_and_immutable() {
+        let mut m = Model::new("m");
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+        assert_eq!(m.element(m.root()).unwrap().name(), "m");
+        assert_eq!(m.remove_element(m.root()).unwrap_err(), ModelError::RootImmutable);
+    }
+
+    #[test]
+    fn add_class_and_features() {
+        let mut m = Model::new("m");
+        let c = m.add_class(m.root(), "Account").unwrap();
+        let a = m.add_attribute(c, "balance", Primitive::Int.into()).unwrap();
+        let o = m.add_operation(c, "deposit").unwrap();
+        let p = m.add_parameter(o, "amount", Primitive::Int.into()).unwrap();
+        m.set_return_type(o, Primitive::Bool.into()).unwrap();
+        assert_eq!(m.qualified_name(p).unwrap(), "m::Account::deposit::amount");
+        assert_eq!(m.element(a).unwrap().as_attribute().unwrap().ty, TypeRef::Primitive(Primitive::Int));
+        assert_eq!(
+            m.element(o).unwrap().as_operation().unwrap().return_type,
+            TypeRef::Primitive(Primitive::Bool)
+        );
+    }
+
+    #[test]
+    fn duplicate_sibling_names_rejected_per_kind() {
+        let mut m = Model::new("m");
+        let c = m.add_class(m.root(), "A").unwrap();
+        m.add_attribute(c, "x", Primitive::Int.into()).unwrap();
+        let err = m.add_attribute(c, "x", Primitive::Int.into()).unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateName { .. }));
+        // Same name, different kind is fine (an operation `x`).
+        m.add_operation(c, "x").unwrap();
+    }
+
+    #[test]
+    fn invalid_owners_rejected() {
+        let mut m = Model::new("m");
+        let c = m.add_class(m.root(), "A").unwrap();
+        let a = m.add_attribute(c, "x", Primitive::Int.into()).unwrap();
+        assert!(matches!(m.add_class(c, "B"), Err(ModelError::InvalidOwner { .. })));
+        assert!(matches!(m.add_attribute(a, "y", Primitive::Int.into()), Err(_)));
+        assert!(matches!(m.add_package(c, "p"), Err(ModelError::InvalidOwner { .. })));
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let mut m = Model::new("m");
+        assert!(matches!(m.add_class(m.root(), ""), Err(ModelError::InvalidName(_))));
+        assert!(matches!(m.add_class(m.root(), "  "), Err(ModelError::InvalidName(_))));
+        assert!(matches!(m.add_class(m.root(), "a::b"), Err(ModelError::InvalidName(_))));
+    }
+
+    #[test]
+    fn generalization_cycle_detected() {
+        let mut m = Model::new("m");
+        let a = m.add_class(m.root(), "A").unwrap();
+        let b = m.add_class(m.root(), "B").unwrap();
+        let c = m.add_class(m.root(), "C").unwrap();
+        m.add_generalization(b, a).unwrap();
+        m.add_generalization(c, b).unwrap();
+        assert!(matches!(m.add_generalization(a, c), Err(ModelError::InheritanceCycle(_))));
+        assert!(matches!(m.add_generalization(a, a), Err(ModelError::InheritanceCycle(_))));
+    }
+
+    #[test]
+    fn remove_cascades_to_children_and_relationships() {
+        let mut m = Model::new("m");
+        let a = m.add_class(m.root(), "A").unwrap();
+        let b = m.add_class(m.root(), "B").unwrap();
+        let op = m.add_operation(a, "f").unwrap();
+        let _p = m.add_parameter(op, "x", Primitive::Int.into()).unwrap();
+        let g = m.add_generalization(b, a).unwrap();
+        let assoc = m
+            .add_association(m.root(), "ab", AssociationEnd::new("a", a), AssociationEnd::new("b", b))
+            .unwrap();
+        let con = m.add_constraint(a, "inv", "true").unwrap();
+        let removed = m.remove_element(a).unwrap();
+        for id in [a, op, g, assoc, con] {
+            assert!(removed.contains(&id), "{id} should be removed");
+            assert!(!m.contains(id));
+        }
+        assert!(m.contains(b));
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn concern_colors() {
+        let mut m = Model::new("m");
+        let a = m.add_class(m.root(), "A").unwrap();
+        let b = m.add_class(m.root(), "B").unwrap();
+        m.mark_concern(a, "distribution").unwrap();
+        m.mark_concern(b, "security").unwrap();
+        assert_eq!(m.concern_of(a), Some("distribution"));
+        assert_eq!(m.elements_of_concern("security"), vec![b]);
+        assert_eq!(m.concerns(), vec!["distribution".to_owned(), "security".to_owned()]);
+    }
+
+    #[test]
+    fn association_requires_classifier_ends() {
+        let mut m = Model::new("m");
+        let a = m.add_class(m.root(), "A").unwrap();
+        let op = m.add_operation(a, "f").unwrap();
+        let err = m
+            .add_association(m.root(), "x", AssociationEnd::new("a", a), AssociationEnd::new("o", op))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidEndpoint { .. }));
+    }
+
+    #[test]
+    fn set_name_renames_root() {
+        let mut m = Model::new("m");
+        m.set_name("renamed");
+        assert_eq!(m.name(), "renamed");
+        assert_eq!(m.element(m.root()).unwrap().name(), "renamed");
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_model() {
+        let mut m = Model::new("m");
+        let c = m.add_class(m.root(), "A").unwrap();
+        m.mark_concern(c, "tx").unwrap();
+        // Round-trip through a lossless in-memory representation: clone is
+        // trivially equal; serde equality is covered in the repo crate via
+        // its binary codec. Here we assert PartialEq + Clone behave.
+        let copy = m.clone();
+        assert_eq!(m, copy);
+    }
+}

@@ -1,0 +1,174 @@
+//! Factory functions for the models used throughout the workspace: the
+//! banking PIM that plays the role of the paper's running example, an
+//! auction PIM, and a synthetic model generator for scaling benchmarks.
+
+use crate::builder::ModelBuilder;
+use crate::id::ElementId;
+use crate::kinds::{AssociationEnd, Multiplicity, Primitive};
+use crate::model::Model;
+
+/// Builds the banking platform-independent model used as the paper's
+/// running example substrate: `Account`, `Customer`, `Bank` with a
+/// `transfer` operation that the transactions concern later wraps, and a
+/// `getBalance` query the security concern later guards.
+///
+/// # Panics
+/// Never panics; construction uses only statically valid names.
+pub fn banking_pim() -> Model {
+    let mut model = ModelBuilder::new("bank")
+        .class("Account", |c| {
+            c.attribute("number", Primitive::Str)?
+                .attribute("balance", Primitive::Int)?
+                .operation("deposit", |o| o.parameter("amount", Primitive::Int))?
+                .operation("withdraw", |o| {
+                    o.parameter("amount", Primitive::Int)?.returns(Primitive::Bool)
+                })?
+                .operation("getBalance", |o| o.returns(Primitive::Int))
+        })
+        .expect("valid banking model")
+        .class("Customer", |c| {
+            c.attribute("name", Primitive::Str)?.attribute("vip", Primitive::Bool)
+        })
+        .expect("valid banking model")
+        .class("Bank", |c| {
+            c.attribute("name", Primitive::Str)?
+                .operation("transfer", |o| {
+                    o.parameter("from", Primitive::Str)?
+                        .parameter("to", Primitive::Str)?
+                        .parameter("amount", Primitive::Int)?
+                        .returns(Primitive::Bool)
+                })?
+                .operation("openAccount", |o| {
+                    o.parameter("number", Primitive::Str)?.returns(Primitive::Bool)
+                })?
+                .operation("audit", |o| o.returns(Primitive::Str))
+        })
+        .expect("valid banking model")
+        .build();
+
+    let account = model.find_class("Account").expect("Account exists");
+    let customer = model.find_class("Customer").expect("Customer exists");
+    let mut owner_end = AssociationEnd::new("owner", customer);
+    owner_end.multiplicity = Multiplicity::one();
+    let mut accounts_end = AssociationEnd::new("accounts", account);
+    accounts_end.multiplicity = Multiplicity::many();
+    model
+        .add_association(model.root(), "ownership", owner_end, accounts_end)
+        .expect("valid association");
+    model
+        .add_constraint(account, "nonNegativeBalance", "self.balance >= 0")
+        .expect("valid constraint");
+    model
+}
+
+/// Builds an auction-house PIM used by the distribution-heavy example:
+/// `AuctionHouse` (remote service), `Auction`, `Bidder`.
+pub fn auction_pim() -> Model {
+    let mut model = ModelBuilder::new("auction")
+        .class("AuctionHouse", |c| {
+            c.attribute("name", Primitive::Str)?
+                .operation("openAuction", |o| {
+                    o.parameter("item", Primitive::Str)?
+                        .parameter("reserve", Primitive::Int)?
+                        .returns(Primitive::Int)
+                })?
+                .operation("placeBid", |o| {
+                    o.parameter("auctionId", Primitive::Int)?
+                        .parameter("bidder", Primitive::Str)?
+                        .parameter("amount", Primitive::Int)?
+                        .returns(Primitive::Bool)
+                })?
+                .operation("close", |o| {
+                    o.parameter("auctionId", Primitive::Int)?.returns(Primitive::Str)
+                })
+        })
+        .expect("valid auction model")
+        .class("Auction", |c| {
+            c.attribute("item", Primitive::Str)?
+                .attribute("highestBid", Primitive::Int)?
+                .attribute("highestBidder", Primitive::Str)?
+                .attribute("open", Primitive::Bool)
+        })
+        .expect("valid auction model")
+        .class("Bidder", |c| {
+            c.attribute("name", Primitive::Str)?.attribute("budget", Primitive::Int)
+        })
+        .expect("valid auction model")
+        .build();
+
+    let house = model.find_class("AuctionHouse").expect("exists");
+    let auction = model.find_class("Auction").expect("exists");
+    let mut auctions_end = AssociationEnd::new("auctions", auction);
+    auctions_end.multiplicity = Multiplicity::many();
+    model
+        .add_association(model.root(), "hosts", AssociationEnd::new("house", house), auctions_end)
+        .expect("valid association");
+    model
+}
+
+/// Deterministically generates a synthetic model with `classes` classes,
+/// each carrying `attrs_per_class` integer attributes and
+/// `ops_per_class` operations with two parameters, plus a generalization
+/// chain every 10 classes. Used by scaling benchmarks (E6, E7, E10).
+pub fn synthetic(classes: usize, attrs_per_class: usize, ops_per_class: usize) -> Model {
+    let mut m = Model::new("synthetic");
+    let root = m.root();
+    let mut prev: Option<ElementId> = None;
+    for i in 0..classes {
+        let c = m.add_class(root, &format!("C{i}")).expect("unique names");
+        for a in 0..attrs_per_class {
+            m.add_attribute(c, &format!("a{a}"), Primitive::Int.into()).expect("unique");
+        }
+        for o in 0..ops_per_class {
+            let op = m.add_operation(c, &format!("op{o}")).expect("unique");
+            m.add_parameter(op, "x", Primitive::Int.into()).expect("unique");
+            m.add_parameter(op, "y", Primitive::Str.into()).expect("unique");
+            m.set_return_type(op, Primitive::Int.into()).expect("operation exists");
+        }
+        if i % 10 != 0 {
+            if let Some(p) = prev {
+                m.add_generalization(c, p).expect("acyclic by construction");
+            }
+        }
+        prev = Some(c);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banking_pim_is_well_formed() {
+        let m = banking_pim();
+        assert!(m.validate().is_ok());
+        let bank = m.find_class("Bank").unwrap();
+        assert!(m.find_operation(bank, "transfer").is_some());
+        let account = m.find_class("Account").unwrap();
+        assert_eq!(m.constraints_on(account).len(), 1);
+    }
+
+    #[test]
+    fn auction_pim_is_well_formed() {
+        let m = auction_pim();
+        assert!(m.validate().is_ok());
+        assert!(m.find_class("AuctionHouse").is_some());
+        assert_eq!(m.associations().len(), 1);
+    }
+
+    #[test]
+    fn synthetic_scales_and_validates() {
+        let m = synthetic(25, 3, 2);
+        assert!(m.validate().is_ok());
+        assert_eq!(m.classes().len(), 25);
+        let c0 = m.find_class("C0").unwrap();
+        assert_eq!(m.attributes_of(c0).len(), 3);
+        assert_eq!(m.operations_of(c0).len(), 2);
+    }
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        assert_eq!(synthetic(10, 2, 2), synthetic(10, 2, 2));
+    }
+}

@@ -1,0 +1,294 @@
+//! Well-formedness validation: the static semantics every model must
+//! satisfy before a transformation may run (and after it has run — the
+//! transformation engine re-validates as part of its postconditions).
+
+use crate::element::ElementKind;
+use crate::id::ElementId;
+use crate::kinds::TypeRef;
+use crate::model::Model;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Category of a well-formedness violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// An owner reference does not resolve.
+    DanglingOwner,
+    /// Ownership contains a cycle (should be impossible via the API).
+    OwnershipCycle,
+    /// A type reference does not resolve to a classifier.
+    DanglingType,
+    /// A relationship endpoint does not resolve.
+    DanglingEndpoint,
+    /// Generalizations form a cycle.
+    InheritanceCycle,
+    /// Two same-kind siblings share a (non-empty) name.
+    DuplicateName,
+    /// A multiplicity has lower > upper.
+    InvalidMultiplicity,
+    /// Named element has an empty name.
+    EmptyName,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::DanglingOwner => "dangling owner",
+            ViolationKind::OwnershipCycle => "ownership cycle",
+            ViolationKind::DanglingType => "dangling type reference",
+            ViolationKind::DanglingEndpoint => "dangling relationship endpoint",
+            ViolationKind::InheritanceCycle => "inheritance cycle",
+            ViolationKind::DuplicateName => "duplicate sibling name",
+            ViolationKind::InvalidMultiplicity => "invalid multiplicity",
+            ViolationKind::EmptyName => "empty name",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One well-formedness violation found by [`Model::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending element.
+    pub element: ElementId,
+    /// Violation category.
+    pub kind: ViolationKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} ({})", self.element, self.kind, self.detail)
+    }
+}
+
+impl Model {
+    /// Checks all well-formedness rules, returning every violation.
+    ///
+    /// # Errors
+    /// Returns the (non-empty) list of violations when the model is not
+    /// well-formed.
+    pub fn validate(&self) -> Result<(), Vec<Violation>> {
+        let mut out = Vec::new();
+        self.validate_ownership(&mut out);
+        self.validate_references(&mut out);
+        self.validate_inheritance(&mut out);
+        self.validate_names(&mut out);
+        if out.is_empty() {
+            Ok(())
+        } else {
+            Err(out)
+        }
+    }
+
+    fn validate_ownership(&self, out: &mut Vec<Violation>) {
+        for e in self.iter() {
+            if e.id() == self.root() {
+                continue;
+            }
+            match e.owner() {
+                None => out.push(Violation {
+                    element: e.id(),
+                    kind: ViolationKind::DanglingOwner,
+                    detail: "non-root element has no owner".into(),
+                }),
+                Some(o) => {
+                    if !self.contains(o) {
+                        out.push(Violation {
+                            element: e.id(),
+                            kind: ViolationKind::DanglingOwner,
+                            detail: format!("owner {o} missing"),
+                        });
+                        continue;
+                    }
+                    // Walk up; detect cycles with a visited set.
+                    let mut seen = BTreeSet::new();
+                    let mut cur = Some(o);
+                    seen.insert(e.id());
+                    while let Some(c) = cur {
+                        if !seen.insert(c) {
+                            out.push(Violation {
+                                element: e.id(),
+                                kind: ViolationKind::OwnershipCycle,
+                                detail: format!("cycle through {c}"),
+                            });
+                            break;
+                        }
+                        cur = self.element(c).ok().and_then(|el| el.owner());
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_ty(&self, owner: ElementId, ty: TypeRef, out: &mut Vec<Violation>) {
+        if let TypeRef::Element(id) = ty {
+            let ok = self.element(id).map(|e| e.is_classifier()).unwrap_or(false);
+            if !ok {
+                out.push(Violation {
+                    element: owner,
+                    kind: ViolationKind::DanglingType,
+                    detail: format!("type reference {id} unresolved or not a classifier"),
+                });
+            }
+        }
+    }
+
+    fn check_endpoint(&self, owner: ElementId, id: ElementId, out: &mut Vec<Violation>) {
+        if !self.contains(id) {
+            out.push(Violation {
+                element: owner,
+                kind: ViolationKind::DanglingEndpoint,
+                detail: format!("endpoint {id} missing"),
+            });
+        }
+    }
+
+    fn validate_references(&self, out: &mut Vec<Violation>) {
+        for e in self.iter() {
+            match e.kind() {
+                ElementKind::Attribute(a) => {
+                    self.check_ty(e.id(), a.ty, out);
+                    if !a.multiplicity.is_valid() {
+                        out.push(Violation {
+                            element: e.id(),
+                            kind: ViolationKind::InvalidMultiplicity,
+                            detail: a.multiplicity.to_string(),
+                        });
+                    }
+                }
+                ElementKind::Operation(o) => self.check_ty(e.id(), o.return_type, out),
+                ElementKind::Parameter(p) => self.check_ty(e.id(), p.ty, out),
+                ElementKind::Association(a) => {
+                    for end in &a.ends {
+                        self.check_endpoint(e.id(), end.class, out);
+                        if !end.multiplicity.is_valid() {
+                            out.push(Violation {
+                                element: e.id(),
+                                kind: ViolationKind::InvalidMultiplicity,
+                                detail: end.multiplicity.to_string(),
+                            });
+                        }
+                    }
+                }
+                ElementKind::Generalization(g) => {
+                    self.check_endpoint(e.id(), g.child, out);
+                    self.check_endpoint(e.id(), g.parent, out);
+                }
+                ElementKind::Dependency(d) => {
+                    self.check_endpoint(e.id(), d.client, out);
+                    self.check_endpoint(e.id(), d.supplier, out);
+                }
+                ElementKind::Constraint(c) => self.check_endpoint(e.id(), c.constrained, out),
+                _ => {}
+            }
+        }
+    }
+
+    fn validate_inheritance(&self, out: &mut Vec<Violation>) {
+        for c in self.classifiers() {
+            if self.ancestors_of(c).contains(&c) {
+                out.push(Violation {
+                    element: c,
+                    kind: ViolationKind::InheritanceCycle,
+                    detail: "classifier inherits from itself".into(),
+                });
+            }
+        }
+    }
+
+    fn validate_names(&self, out: &mut Vec<Violation>) {
+        for e in self.iter() {
+            let named = !matches!(
+                e.kind(),
+                ElementKind::Association(_)
+                    | ElementKind::Generalization(_)
+                    | ElementKind::Dependency(_)
+            );
+            if named && e.name().trim().is_empty() {
+                out.push(Violation {
+                    element: e.id(),
+                    kind: ViolationKind::EmptyName,
+                    detail: format!("{} requires a name", e.kind().kind_name()),
+                });
+            }
+        }
+        // Duplicate (owner, kind, name) triples.
+        let mut seen: BTreeSet<(ElementId, &str, &str)> = BTreeSet::new();
+        for e in self.iter() {
+            if e.name().is_empty() {
+                continue;
+            }
+            if let Some(o) = e.owner() {
+                if !seen.insert((o, e.kind().kind_name(), e.name())) {
+                    out.push(Violation {
+                        element: e.id(),
+                        kind: ViolationKind::DuplicateName,
+                        detail: format!("`{}` duplicated under {o}", e.name()),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinds::{AttributeData, Multiplicity, Primitive};
+
+    #[test]
+    fn fresh_model_validates() {
+        let mut m = Model::new("m");
+        let c = m.add_class(m.root(), "A").unwrap();
+        m.add_attribute(c, "x", Primitive::Int.into()).unwrap();
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_multiplicity_flagged() {
+        let mut m = Model::new("m");
+        let c = m.add_class(m.root(), "A").unwrap();
+        let a = m.add_attribute(c, "x", Primitive::Int.into()).unwrap();
+        if let Some(attr) = m.element_mut(a).unwrap().as_attribute_mut() {
+            attr.multiplicity = Multiplicity { lower: 5, upper: Some(1) };
+        }
+        let violations = m.validate().unwrap_err();
+        assert!(violations.iter().any(|v| v.kind == ViolationKind::InvalidMultiplicity));
+    }
+
+    #[test]
+    fn dangling_type_flagged_after_manual_corruption() {
+        let mut m = Model::new("m");
+        let c = m.add_class(m.root(), "A").unwrap();
+        let a = m.add_attribute(c, "x", Primitive::Int.into()).unwrap();
+        // Corrupt through the payload directly (bypassing the checked API).
+        *m.element_mut(a).unwrap().as_attribute_mut().unwrap() = AttributeData {
+            ty: TypeRef::Element(ElementId::from_raw(9999)),
+            ..AttributeData::default()
+        };
+        let violations = m.validate().unwrap_err();
+        assert!(violations.iter().any(|v| v.kind == ViolationKind::DanglingType));
+        assert!(violations[0].to_string().contains("dangling"));
+    }
+
+    #[test]
+    fn empty_name_flagged_for_named_kinds() {
+        let mut m = Model::new("m");
+        let c = m.add_class(m.root(), "A").unwrap();
+        m.element_mut(c).unwrap().core_mut().name = String::new();
+        let violations = m.validate().unwrap_err();
+        assert!(violations.iter().any(|v| v.kind == ViolationKind::EmptyName));
+    }
+
+    #[test]
+    fn duplicate_names_flagged_after_rename() {
+        let mut m = Model::new("m");
+        let a = m.add_class(m.root(), "A").unwrap();
+        let _b = m.add_class(m.root(), "B").unwrap();
+        m.element_mut(a).unwrap().core_mut().name = "B".into();
+        let violations = m.validate().unwrap_err();
+        assert!(violations.iter().any(|v| v.kind == ViolationKind::DuplicateName));
+    }
+}

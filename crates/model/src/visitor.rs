@@ -1,0 +1,135 @@
+//! Depth-first model traversal with a visitor.
+
+use crate::element::{Element, ElementKind};
+use crate::id::ElementId;
+use crate::model::Model;
+
+/// Callbacks invoked by [`walk`] during a depth-first ownership traversal.
+///
+/// All methods have empty default bodies so implementors only override
+/// the hooks they care about.
+pub trait Visitor {
+    /// Called for every element before its children.
+    fn enter(&mut self, _model: &Model, _element: &Element) {}
+    /// Called for every element after its children.
+    fn leave(&mut self, _model: &Model, _element: &Element) {}
+    /// Called for package elements (before children).
+    fn visit_package(&mut self, _model: &Model, _element: &Element) {}
+    /// Called for classifier elements (before children).
+    fn visit_classifier(&mut self, _model: &Model, _element: &Element) {}
+    /// Called for attribute elements.
+    fn visit_attribute(&mut self, _model: &Model, _element: &Element) {}
+    /// Called for operation elements (before parameters).
+    fn visit_operation(&mut self, _model: &Model, _element: &Element) {}
+    /// Called for relationship elements (association, generalization,
+    /// dependency).
+    fn visit_relationship(&mut self, _model: &Model, _element: &Element) {}
+    /// Called for constraint elements.
+    fn visit_constraint(&mut self, _model: &Model, _element: &Element) {}
+}
+
+/// Walks the ownership tree rooted at the model root, depth-first, in id
+/// order among siblings, invoking the visitor hooks.
+pub fn walk<V: Visitor>(model: &Model, visitor: &mut V) {
+    walk_from(model, model.root(), visitor);
+}
+
+/// Walks the ownership subtree rooted at `start`.
+pub fn walk_from<V: Visitor>(model: &Model, start: ElementId, visitor: &mut V) {
+    let element = match model.element(start) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    visitor.enter(model, element);
+    match element.kind() {
+        ElementKind::Package(_) => visitor.visit_package(model, element),
+        k if k.is_classifier() => visitor.visit_classifier(model, element),
+        ElementKind::Attribute(_) => visitor.visit_attribute(model, element),
+        ElementKind::Operation(_) => visitor.visit_operation(model, element),
+        ElementKind::Association(_) | ElementKind::Generalization(_) | ElementKind::Dependency(_) => {
+            visitor.visit_relationship(model, element)
+        }
+        ElementKind::Constraint(_) => visitor.visit_constraint(model, element),
+        _ => {}
+    }
+    for child in model.children(start) {
+        walk_from(model, child, visitor);
+    }
+    // Re-borrow: the recursive calls only took shared borrows, but keep
+    // the lookup local for clarity.
+    if let Ok(e) = model.element(start) {
+        visitor.leave(model, e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinds::Primitive;
+
+    #[derive(Default)]
+    struct Counter {
+        enters: usize,
+        leaves: usize,
+        classifiers: usize,
+        attributes: usize,
+        operations: usize,
+        packages: usize,
+        order: Vec<String>,
+    }
+
+    impl Visitor for Counter {
+        fn enter(&mut self, _m: &Model, e: &Element) {
+            self.enters += 1;
+            self.order.push(format!("+{}", e.name()));
+        }
+        fn leave(&mut self, _m: &Model, e: &Element) {
+            self.leaves += 1;
+            self.order.push(format!("-{}", e.name()));
+        }
+        fn visit_package(&mut self, _m: &Model, _e: &Element) {
+            self.packages += 1;
+        }
+        fn visit_classifier(&mut self, _m: &Model, _e: &Element) {
+            self.classifiers += 1;
+        }
+        fn visit_attribute(&mut self, _m: &Model, _e: &Element) {
+            self.attributes += 1;
+        }
+        fn visit_operation(&mut self, _m: &Model, _e: &Element) {
+            self.operations += 1;
+        }
+    }
+
+    #[test]
+    fn walk_visits_every_owned_element_once() {
+        let mut m = Model::new("m");
+        let p = m.add_package(m.root(), "p").unwrap();
+        let c = m.add_class(p, "C").unwrap();
+        m.add_attribute(c, "x", Primitive::Int.into()).unwrap();
+        let op = m.add_operation(c, "f").unwrap();
+        m.add_parameter(op, "a", Primitive::Int.into()).unwrap();
+
+        let mut v = Counter::default();
+        walk(&m, &mut v);
+        assert_eq!(v.enters, m.len());
+        assert_eq!(v.leaves, m.len());
+        assert_eq!(v.packages, 2); // root + p
+        assert_eq!(v.classifiers, 1);
+        assert_eq!(v.attributes, 1);
+        assert_eq!(v.operations, 1);
+        // Depth-first: C closes only after its features closed.
+        let pos = |s: &str| v.order.iter().position(|x| x == s).unwrap();
+        assert!(pos("+C") < pos("+x"));
+        assert!(pos("-x") < pos("-C"));
+        assert!(pos("+f") < pos("+a"));
+    }
+
+    #[test]
+    fn walk_from_unknown_id_is_a_noop() {
+        let m = Model::new("m");
+        let mut v = Counter::default();
+        walk_from(&m, crate::ElementId::from_raw(999), &mut v);
+        assert_eq!(v.enters, 0);
+    }
+}

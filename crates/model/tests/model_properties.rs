@@ -1,0 +1,152 @@
+//! Property tests for the model arena: id stability, removal cascades,
+//! and well-formedness preservation under random API-level mutation
+//! sequences.
+
+use comet_model::{ElementId, Model, Primitive};
+use proptest::prelude::*;
+
+/// A random mutation applied through the checked API. The payloads only
+/// feed `Debug` output in proptest failure reports.
+#[derive(Debug, Clone)]
+enum Op {
+    AddClass(#[allow(dead_code)] u8),
+    AddAttribute(u8, #[allow(dead_code)] u8),
+    AddOperation(u8, #[allow(dead_code)] u8),
+    AddGeneralization(u8, u8),
+    Stereotype(u8, String),
+    MarkConcern(u8, String),
+    Remove(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::AddClass),
+        (any::<u8>(), any::<u8>()).prop_map(|(c, a)| Op::AddAttribute(c, a)),
+        (any::<u8>(), any::<u8>()).prop_map(|(c, o)| Op::AddOperation(c, o)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::AddGeneralization(a, b)),
+        (any::<u8>(), "[a-z]{1,6}").prop_map(|(c, s)| Op::Stereotype(c, s)),
+        (any::<u8>(), "[a-z]{1,6}").prop_map(|(c, s)| Op::MarkConcern(c, s)),
+        any::<u8>().prop_map(Op::Remove),
+    ]
+}
+
+fn pick(classes: &[ElementId], idx: u8) -> Option<ElementId> {
+    if classes.is_empty() {
+        None
+    } else {
+        Some(classes[idx as usize % classes.len()])
+    }
+}
+
+fn apply_ops(ops: &[Op]) -> Model {
+    let mut m = Model::new("prop");
+    let mut counter = 0usize;
+    for op in ops {
+        let classes = m.classes();
+        match op {
+            Op::AddClass(_) => {
+                counter += 1;
+                let root = m.root();
+                let _ = m.add_class(root, &format!("C{counter}"));
+            }
+            Op::AddAttribute(c, _) => {
+                if let Some(class) = pick(&classes, *c) {
+                    counter += 1;
+                    let _ = m.add_attribute(class, &format!("a{counter}"), Primitive::Int.into());
+                }
+            }
+            Op::AddOperation(c, _) => {
+                if let Some(class) = pick(&classes, *c) {
+                    counter += 1;
+                    let _ = m.add_operation(class, &format!("o{counter}"));
+                }
+            }
+            Op::AddGeneralization(a, b) => {
+                if let (Some(child), Some(parent)) = (pick(&classes, *a), pick(&classes, *b)) {
+                    let _ = m.add_generalization(child, parent);
+                }
+            }
+            Op::Stereotype(c, s) => {
+                if let Some(class) = pick(&classes, *c) {
+                    let _ = m.apply_stereotype(class, s);
+                }
+            }
+            Op::MarkConcern(c, s) => {
+                if let Some(class) = pick(&classes, *c) {
+                    let _ = m.mark_concern(class, s);
+                }
+            }
+            Op::Remove(c) => {
+                if let Some(class) = pick(&classes, *c) {
+                    let _ = m.remove_element(class);
+                }
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_api_sequences_preserve_well_formedness(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let m = apply_ops(&ops);
+        prop_assert!(m.validate().is_ok(), "violations: {:?}", m.validate().err());
+    }
+
+    #[test]
+    fn ids_are_never_reused(ops in prop::collection::vec(arb_op(), 0..60)) {
+        // Replaying the ops and tracking every id ever returned: ids of
+        // removed elements must not come back.
+        let m = apply_ops(&ops);
+        let max_id = m.iter().map(|e| e.id().raw()).max().unwrap_or(0);
+        let root = m.root();
+        // A fresh insertion gets an id strictly greater than any live id.
+        let mut m2 = m.clone();
+        let fresh = m2.add_class(root, "FreshUnique").expect("unique name");
+        prop_assert!(fresh.raw() > max_id);
+    }
+
+    #[test]
+    fn removal_cascade_leaves_no_dangling_references(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut m = apply_ops(&ops);
+        // Remove every class one by one; validation must hold throughout.
+        while let Some(&class) = m.classes().first() {
+            m.remove_element(class).expect("class exists");
+            prop_assert!(m.validate().is_ok());
+        }
+        prop_assert_eq!(m.classes().len(), 0);
+    }
+
+    #[test]
+    fn clone_then_mutate_does_not_alias(ops in prop::collection::vec(arb_op(), 0..30)) {
+        let m = apply_ops(&ops);
+        let snapshot = m.clone();
+        let mut mutated = m.clone();
+        let root = mutated.root();
+        mutated.add_class(root, "Mutation").expect("unique name");
+        prop_assert_eq!(m, snapshot);
+    }
+
+    #[test]
+    fn qualified_names_resolve_back(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let m = apply_ops(&ops);
+        for class in m.classes() {
+            let qname = m.qualified_name(class).expect("class exists");
+            prop_assert_eq!(m.find_by_qualified_name(&qname), Some(class));
+        }
+    }
+
+    #[test]
+    fn concern_queries_are_consistent(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let m = apply_ops(&ops);
+        for concern in m.concerns() {
+            let elements = m.elements_of_concern(&concern);
+            prop_assert!(!elements.is_empty());
+            for id in elements {
+                prop_assert_eq!(m.concern_of(id), Some(concern.as_str()));
+            }
+        }
+    }
+}

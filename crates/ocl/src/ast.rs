@@ -1,0 +1,315 @@
+//! Abstract syntax tree of the OCL-like language, plus a pretty-printer
+//! whose output reparses to the same tree (property-tested).
+
+use std::fmt;
+
+/// Binary operators, in OCL surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `mod`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `xor`
+    Xor,
+    /// `implies`
+    Implies,
+}
+
+impl BinOp {
+    /// Surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "mod",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Implies => "implies",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation (`not`).
+    Not,
+}
+
+/// Expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// The context element, `self`.
+    SelfRef,
+    /// A variable (let binding, iterator variable) or bare type name.
+    Var(String),
+    /// `lhs <op> rhs`.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `<op> operand`.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Property navigation `recv.prop`.
+    Property {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Property name.
+        prop: String,
+    },
+    /// Method call `recv.method(args)`.
+    MethodCall {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Collection operation `recv->op(args)` with positional arguments.
+    CollectionCall {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Operation name (`size`, `includes`, ...).
+        op: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Collection iterator `recv->op(var | body)`.
+    Iterate {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Iterator name (`forAll`, `select`, ...).
+        op: String,
+        /// Bound variable name.
+        var: String,
+        /// Body evaluated per element.
+        body: Box<Expr>,
+    },
+    /// `let var = value in body`.
+    Let {
+        /// Bound variable name.
+        var: String,
+        /// Bound value.
+        value: Box<Expr>,
+        /// Body with the binding in scope.
+        body: Box<Expr>,
+    },
+    /// `if cond then then_branch else else_branch endif`.
+    If {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Taken when the condition holds.
+        then_branch: Box<Expr>,
+        /// Taken otherwise.
+        else_branch: Box<Expr>,
+    },
+}
+
+impl Expr {
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Binary { op, .. } => match op {
+                BinOp::Implies => 1,
+                BinOp::Or | BinOp::Xor => 2,
+                BinOp::And => 3,
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+                BinOp::Add | BinOp::Sub => 5,
+                BinOp::Mul | BinOp::Div | BinOp::Mod => 6,
+            },
+            Expr::Unary { .. } => 7,
+            Expr::Let { .. } | Expr::If { .. } => 0,
+            _ => 8,
+        }
+    }
+
+    /// Writes `child`, parenthesizing when its precedence is lower than
+    /// this node's, or equal when `strict` (the non-associative side of a
+    /// binary operator).
+    fn fmt_child(&self, child: &Expr, strict: bool, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `if`/`let` parse only at expression level, so as operands they
+        // always need parentheses, like any lower-precedence child.
+        let needs = if strict {
+            child.precedence() <= self.precedence()
+        } else {
+            child.precedence() < self.precedence()
+        };
+        if needs {
+            write!(f, "({child})")
+        } else {
+            write!(f, "{child}")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(i) => write!(f, "{i}"),
+            Expr::Real(r) => {
+                if r.fract() == 0.0 {
+                    write!(f, "{r:.1}")
+                } else {
+                    write!(f, "{r}")
+                }
+            }
+            Expr::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::SelfRef => write!(f, "self"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Binary { op, lhs, rhs } => {
+                // `implies` is right-associative, comparisons are
+                // non-associative, everything else is left-associative.
+                let (lhs_strict, rhs_strict) = match op {
+                    BinOp::Implies => (true, false),
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        (true, true)
+                    }
+                    _ => (false, true),
+                };
+                self.fmt_child(lhs, lhs_strict, f)?;
+                write!(f, " {} ", op.symbol())?;
+                self.fmt_child(rhs, rhs_strict, f)
+            }
+            Expr::Unary { op, operand } => {
+                match op {
+                    UnOp::Neg => write!(f, "-")?,
+                    UnOp::Not => write!(f, "not ")?,
+                }
+                // Strict: `--x` would lex as a comment, so a nested
+                // unary operand is always parenthesized.
+                self.fmt_child(operand, true, f)
+            }
+            Expr::Property { recv, prop } => {
+                self.fmt_child(recv, false, f)?;
+                write!(f, ".{prop}")
+            }
+            Expr::MethodCall { recv, method, args } => {
+                self.fmt_child(recv, false, f)?;
+                write!(f, ".{method}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::CollectionCall { recv, op, args } => {
+                self.fmt_child(recv, false, f)?;
+                write!(f, "->{op}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Iterate { recv, op, var, body } => {
+                self.fmt_child(recv, false, f)?;
+                write!(f, "->{op}({var} | {body})")
+            }
+            Expr::Let { var, value, body } => write!(f, "let {var} = {value} in {body}"),
+            Expr::If { cond, then_branch, else_branch } => {
+                write!(f, "if {cond} then {then_branch} else {else_branch} endif")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parenthesizes_by_precedence() {
+        // (1 + 2) * 3
+        let e = Expr::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(Expr::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::Int(1)),
+                rhs: Box::new(Expr::Int(2)),
+            }),
+            rhs: Box::new(Expr::Int(3)),
+        };
+        assert_eq!(e.to_string(), "(1 + 2) * 3");
+    }
+
+    #[test]
+    fn display_iterate_and_let() {
+        let e = Expr::Iterate {
+            recv: Box::new(Expr::Property {
+                recv: Box::new(Expr::SelfRef),
+                prop: "operations".into(),
+            }),
+            op: "forAll".into(),
+            var: "o".into(),
+            body: Box::new(Expr::Bool(true)),
+        };
+        assert_eq!(e.to_string(), "self.operations->forAll(o | true)");
+        let l = Expr::Let {
+            var: "x".into(),
+            value: Box::new(Expr::Int(1)),
+            body: Box::new(Expr::Var("x".into())),
+        };
+        assert_eq!(l.to_string(), "let x = 1 in x");
+    }
+
+    #[test]
+    fn display_escapes_strings() {
+        assert_eq!(Expr::Str("it's".into()).to_string(), "'it''s'");
+    }
+}

@@ -1,0 +1,445 @@
+//! Hand-written lexer for the OCL-like language.
+
+use std::fmt;
+
+/// Kinds of token produced by the lexer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal (single-quoted in source).
+    Str(String),
+    /// `true` or `false`.
+    Bool(bool),
+    /// Identifier or keyword-like word that is not reserved.
+    Ident(String),
+    /// `self`.
+    SelfKw,
+    /// `let`.
+    Let,
+    /// `in`.
+    In,
+    /// `if` / `then` / `else` / `endif`.
+    If,
+    /// `then`.
+    Then,
+    /// `else`.
+    Else,
+    /// `endif`.
+    Endif,
+    /// `and`.
+    And,
+    /// `or`.
+    Or,
+    /// `xor`.
+    Xor,
+    /// `not`.
+    Not,
+    /// `implies`.
+    Implies,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `.`.
+    Dot,
+    /// `->`.
+    Arrow,
+    /// `,`.
+    Comma,
+    /// `|`.
+    Pipe,
+    /// `=`.
+    Eq,
+    /// `<>`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `mod`.
+    Mod,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Real(r) => write!(f, "{r}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Bool(b) => write!(f, "{b}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::SelfKw => write!(f, "self"),
+            TokenKind::Let => write!(f, "let"),
+            TokenKind::In => write!(f, "in"),
+            TokenKind::If => write!(f, "if"),
+            TokenKind::Then => write!(f, "then"),
+            TokenKind::Else => write!(f, "else"),
+            TokenKind::Endif => write!(f, "endif"),
+            TokenKind::And => write!(f, "and"),
+            TokenKind::Or => write!(f, "or"),
+            TokenKind::Xor => write!(f, "xor"),
+            TokenKind::Not => write!(f, "not"),
+            TokenKind::Implies => write!(f, "implies"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Arrow => write!(f, "->"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Pipe => write!(f, "|"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Ne => write!(f, "<>"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Mod => write!(f, "mod"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source, for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub offset: usize,
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexError {
+    /// A character that cannot start any token.
+    UnexpectedChar {
+        /// The character.
+        ch: char,
+        /// Byte offset.
+        offset: usize,
+    },
+    /// A string literal missing its closing quote.
+    UnterminatedString {
+        /// Byte offset of the opening quote.
+        offset: usize,
+    },
+    /// A numeric literal that does not parse.
+    BadNumber {
+        /// The offending text.
+        text: String,
+        /// Byte offset.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnexpectedChar { ch, offset } => {
+                write!(f, "unexpected character `{ch}` at offset {offset}")
+            }
+            LexError::UnterminatedString { offset } => {
+                write!(f, "unterminated string literal starting at offset {offset}")
+            }
+            LexError::BadNumber { text, offset } => {
+                write!(f, "malformed number `{text}` at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes the whole input, appending an [`TokenKind::Eof`] sentinel.
+///
+/// # Errors
+/// Returns the first [`LexError`] encountered.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: `--` to end of line, OCL style.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        let kind = match c {
+            '(' => {
+                i += 1;
+                TokenKind::LParen
+            }
+            ')' => {
+                i += 1;
+                TokenKind::RParen
+            }
+            '.' => {
+                i += 1;
+                TokenKind::Dot
+            }
+            ',' => {
+                i += 1;
+                TokenKind::Comma
+            }
+            '|' => {
+                i += 1;
+                TokenKind::Pipe
+            }
+            '+' => {
+                i += 1;
+                TokenKind::Plus
+            }
+            '*' => {
+                i += 1;
+                TokenKind::Star
+            }
+            '/' => {
+                i += 1;
+                TokenKind::Slash
+            }
+            '=' => {
+                i += 1;
+                TokenKind::Eq
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    i += 2;
+                    TokenKind::Arrow
+                } else {
+                    i += 1;
+                    TokenKind::Minus
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    i += 2;
+                    TokenKind::Ne
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Le
+                } else {
+                    i += 1;
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Ge
+                } else {
+                    i += 1;
+                    TokenKind::Gt
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(LexError::UnterminatedString { offset: start }),
+                        Some(b'\'') => {
+                            // Doubled quote escapes a quote.
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = i;
+                while end < bytes.len() && (bytes[end] as char).is_ascii_digit() {
+                    end += 1;
+                }
+                let mut is_real = false;
+                if end < bytes.len()
+                    && bytes[end] == b'.'
+                    && end + 1 < bytes.len()
+                    && (bytes[end + 1] as char).is_ascii_digit()
+                {
+                    is_real = true;
+                    end += 1;
+                    while end < bytes.len() && (bytes[end] as char).is_ascii_digit() {
+                        end += 1;
+                    }
+                }
+                let text = &source[i..end];
+                i = end;
+                if is_real {
+                    match text.parse::<f64>() {
+                        Ok(r) => TokenKind::Real(r),
+                        Err(_) => {
+                            return Err(LexError::BadNumber { text: text.into(), offset: start })
+                        }
+                    }
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(n) => TokenKind::Int(n),
+                        Err(_) => {
+                            return Err(LexError::BadNumber { text: text.into(), offset: start })
+                        }
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len() {
+                    let ch = bytes[end] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &source[i..end];
+                i = end;
+                match word {
+                    "self" => TokenKind::SelfKw,
+                    "let" => TokenKind::Let,
+                    "in" => TokenKind::In,
+                    "if" => TokenKind::If,
+                    "then" => TokenKind::Then,
+                    "else" => TokenKind::Else,
+                    "endif" => TokenKind::Endif,
+                    "and" => TokenKind::And,
+                    "or" => TokenKind::Or,
+                    "xor" => TokenKind::Xor,
+                    "not" => TokenKind::Not,
+                    "implies" => TokenKind::Implies,
+                    "mod" => TokenKind::Mod,
+                    "true" => TokenKind::Bool(true),
+                    "false" => TokenKind::Bool(false),
+                    _ => TokenKind::Ident(word.to_owned()),
+                }
+            }
+            other => return Err(LexError::UnexpectedChar { ch: other, offset: start }),
+        };
+        tokens.push(Token { kind, offset: start });
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: source.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_operators_and_keywords() {
+        assert_eq!(
+            kinds("a -> b <= c <> d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("b".into()),
+                TokenKind::Le,
+                TokenKind::Ident("c".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof,
+            ]
+        );
+        assert_eq!(
+            kinds("self and not true implies false"),
+            vec![
+                TokenKind::SelfKw,
+                TokenKind::And,
+                TokenKind::Not,
+                TokenKind::Bool(true),
+                TokenKind::Implies,
+                TokenKind::Bool(false),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("1 23 4.5"), vec![
+            TokenKind::Int(1),
+            TokenKind::Int(23),
+            TokenKind::Real(4.5),
+            TokenKind::Eof,
+        ]);
+        // `1.x` is Int Dot Ident (navigation), not a real.
+        assert_eq!(kinds("1.abs")[0], TokenKind::Int(1));
+        assert_eq!(kinds("1.abs")[1], TokenKind::Dot);
+    }
+
+    #[test]
+    fn lexes_strings_with_escaped_quotes() {
+        assert_eq!(kinds("'hi'")[0], TokenKind::Str("hi".into()));
+        assert_eq!(kinds("'it''s'")[0], TokenKind::Str("it's".into()));
+        assert!(matches!(lex("'oops"), Err(LexError::UnterminatedString { .. })));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("1 -- a comment\n+ 2"), vec![
+            TokenKind::Int(1),
+            TokenKind::Plus,
+            TokenKind::Int(2),
+            TokenKind::Eof,
+        ]);
+    }
+
+    #[test]
+    fn minus_vs_arrow() {
+        assert_eq!(kinds("a - b")[1], TokenKind::Minus);
+        assert_eq!(kinds("a ->b")[1], TokenKind::Arrow);
+        assert_eq!(kinds("-- only comment"), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(lex("a # b"), Err(LexError::UnexpectedChar { ch: '#', .. })));
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+}

@@ -1,0 +1,430 @@
+//! Recursive-descent parser for the OCL-like language.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::lexer::{lex, LexError, Token, TokenKind};
+use std::fmt;
+
+/// Parsing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The lexer failed first.
+    Lex(LexError),
+    /// An unexpected token was found.
+    Unexpected {
+        /// What was found.
+        found: String,
+        /// What the parser wanted.
+        expected: String,
+        /// Byte offset of the offending token.
+        offset: usize,
+    },
+    /// Input continued after a complete expression.
+    TrailingInput {
+        /// Byte offset of the first extra token.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { found, expected, offset } => {
+                write!(f, "expected {expected}, found `{found}` at offset {offset}")
+            }
+            ParseError::TrailingInput { offset } => {
+                write!(f, "trailing input at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parses a complete expression.
+///
+/// # Errors
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+pub fn parse(source: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.expression()?;
+    if !matches!(p.peek().kind, TokenKind::Eof) {
+        return Err(ParseError::TrailingInput { offset: p.peek().offset });
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if &self.peek().kind == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        ParseError::Unexpected {
+            found: self.peek().kind.to_string(),
+            expected: expected.to_owned(),
+            offset: self.peek().offset,
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let n = name.clone();
+                self.bump();
+                Ok(n)
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn expression(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().kind {
+            TokenKind::Let => {
+                self.bump();
+                let var = self.ident("let variable name")?;
+                self.expect(&TokenKind::Eq, "`=` in let binding")?;
+                let value = self.expression()?;
+                self.expect(&TokenKind::In, "`in` after let binding")?;
+                let body = self.expression()?;
+                Ok(Expr::Let { var, value: Box::new(value), body: Box::new(body) })
+            }
+            TokenKind::If => {
+                self.bump();
+                let cond = self.expression()?;
+                self.expect(&TokenKind::Then, "`then`")?;
+                let then_branch = self.expression()?;
+                self.expect(&TokenKind::Else, "`else`")?;
+                let else_branch = self.expression()?;
+                self.expect(&TokenKind::Endif, "`endif`")?;
+                Ok(Expr::If {
+                    cond: Box::new(cond),
+                    then_branch: Box::new(then_branch),
+                    else_branch: Box::new(else_branch),
+                })
+            }
+            _ => self.implies(),
+        }
+    }
+
+    fn implies(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.or_expr()?;
+        // `implies` is right-associative.
+        if matches!(self.peek().kind, TokenKind::Implies) {
+            self.bump();
+            let rhs = self.implies()?;
+            return Ok(Expr::Binary { op: BinOp::Implies, lhs: Box::new(lhs), rhs: Box::new(rhs) });
+        }
+        Ok(lhs)
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Or => BinOp::Or,
+                TokenKind::Xor => BinOp::Xor,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.comparison()?;
+        while matches!(self.peek().kind, TokenKind::And) {
+            self.bump();
+            let rhs = self.comparison()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.additive()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.additive()?;
+        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Mod => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().kind {
+            TokenKind::Minus => {
+                self.bump();
+                let operand = self.unary()?;
+                Ok(Expr::Unary { op: UnOp::Neg, operand: Box::new(operand) })
+            }
+            TokenKind::Not => {
+                self.bump();
+                let operand = self.unary()?;
+                Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(operand) })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.primary()?;
+        loop {
+            match self.peek().kind {
+                TokenKind::Dot => {
+                    self.bump();
+                    let name = self.ident("property or method name")?;
+                    if matches!(self.peek().kind, TokenKind::LParen) {
+                        self.bump();
+                        let args = self.arguments()?;
+                        expr = Expr::MethodCall { recv: Box::new(expr), method: name, args };
+                    } else {
+                        expr = Expr::Property { recv: Box::new(expr), prop: name };
+                    }
+                }
+                TokenKind::Arrow => {
+                    self.bump();
+                    let name = self.ident("collection operation name")?;
+                    self.expect(&TokenKind::LParen, "`(` after collection operation")?;
+                    // Iterator form: `ident |` lookahead.
+                    let is_iter = matches!(self.peek().kind, TokenKind::Ident(_))
+                        && matches!(
+                            self.tokens
+                                .get(self.pos + 1)
+                                .map(|t| &t.kind),
+                            Some(TokenKind::Pipe)
+                        );
+                    if is_iter {
+                        let var = self.ident("iterator variable")?;
+                        self.expect(&TokenKind::Pipe, "`|`")?;
+                        let body = self.expression()?;
+                        self.expect(&TokenKind::RParen, "`)`")?;
+                        expr = Expr::Iterate {
+                            recv: Box::new(expr),
+                            op: name,
+                            var,
+                            body: Box::new(body),
+                        };
+                    } else {
+                        let args = self.arguments()?;
+                        expr = Expr::CollectionCall { recv: Box::new(expr), op: name, args };
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn arguments(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut args = Vec::new();
+        if matches!(self.peek().kind, TokenKind::RParen) {
+            self.bump();
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expression()?);
+            match self.peek().kind {
+                TokenKind::Comma => {
+                    self.bump();
+                }
+                TokenKind::RParen => {
+                    self.bump();
+                    break;
+                }
+                _ => return Err(self.unexpected("`,` or `)`")),
+            }
+        }
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Int(i))
+            }
+            TokenKind::Real(r) => {
+                self.bump();
+                Ok(Expr::Real(r))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::Bool(b) => {
+                self.bump();
+                Ok(Expr::Bool(b))
+            }
+            TokenKind::SelfKw => {
+                self.bump();
+                Ok(Expr::SelfRef)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Var(name))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expression()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_precedence() {
+        let e = parse("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "1 + 2 * 3");
+        let e = parse("(1 + 2) * 3").unwrap();
+        assert_eq!(e.to_string(), "(1 + 2) * 3");
+        let e = parse("not a and b").unwrap();
+        // `not` binds tighter than `and`.
+        assert_eq!(e.to_string(), "not a and b");
+    }
+
+    #[test]
+    fn parses_implies_right_assoc() {
+        let e = parse("a implies b implies c").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Implies, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Implies, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_navigation_chain() {
+        let e = parse("self.owner.name").unwrap();
+        assert_eq!(e.to_string(), "self.owner.name");
+    }
+
+    #[test]
+    fn parses_iterators_and_calls() {
+        let e = parse("self.operations->forAll(o | o.parameters->size() <= 4)").unwrap();
+        assert_eq!(e.to_string(), "self.operations->forAll(o | o.parameters->size() <= 4)");
+        let e = parse("Class.allInstances()->select(c | c.name = 'Bank')->size() = 1").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Eq, .. }));
+    }
+
+    #[test]
+    fn parses_let_and_if() {
+        let e = parse("let n = self.name in if n = 'x' then 1 else 2 endif").unwrap();
+        assert_eq!(e.to_string(), "let n = self.name in if n = 'x' then 1 else 2 endif");
+    }
+
+    #[test]
+    fn parses_method_calls_with_args() {
+        let e = parse("self.taggedValue('key')").unwrap();
+        assert!(matches!(e, Expr::MethodCall { .. }));
+        let e = parse("s.concat('a', 'b')").unwrap();
+        match e {
+            Expr::MethodCall { args, .. } => assert_eq!(args.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_input_and_bad_tokens() {
+        assert!(matches!(parse("1 2"), Err(ParseError::TrailingInput { .. })));
+        assert!(matches!(parse("1 +"), Err(ParseError::Unexpected { .. })));
+        assert!(matches!(parse("let = 3 in x"), Err(ParseError::Unexpected { .. })));
+        assert!(matches!(parse("if a then b else c"), Err(ParseError::Unexpected { .. })));
+        assert!(matches!(parse("#"), Err(ParseError::Lex(_))));
+    }
+
+    #[test]
+    fn pretty_print_reparses_identically() {
+        for src in [
+            "1 + 2 * 3 - 4 / 5 mod 6",
+            "self.operations->forAll(o | o.name <> '' and o.parameters->size() >= 0)",
+            "a implies b or c and not d",
+            "let x = 1 + 1 in x * x",
+            "if a = b then 'yes' else 'no' endif",
+            "self.taggedValue('k') = 'v'",
+            "-3 + -x",
+        ] {
+            let e1 = parse(src).unwrap();
+            let printed = e1.to_string();
+            let e2 = parse(&printed).unwrap();
+            assert_eq!(e1, e2, "round-trip failed for `{src}` -> `{printed}`");
+        }
+    }
+}

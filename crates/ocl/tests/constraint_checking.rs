@@ -1,0 +1,53 @@
+//! Tests for [`comet_ocl::check_model_constraints`]: attached model
+//! constraints are evaluated against their constrained element.
+
+use comet_model::Model;
+use comet_ocl::{check_model_constraints, ConstraintOutcome};
+
+#[test]
+fn metamodel_level_constraints_are_decided() {
+    let mut m = Model::new("m");
+    let a = m.add_class(m.root(), "A").unwrap();
+    m.add_operation(a, "f").unwrap();
+    m.add_constraint(a, "hasOps", "self.operations->notEmpty()").unwrap();
+    m.add_constraint(a, "isAbstractCheck", "self.isAbstract").unwrap();
+    let results = check_model_constraints(&m);
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0].1, "hasOps");
+    assert_eq!(results[0].2, ConstraintOutcome::Holds);
+    assert_eq!(results[1].2, ConstraintOutcome::Violated);
+}
+
+#[test]
+fn instance_level_constraints_are_undecidable_with_reason() {
+    let m = comet_model::sample::banking_pim();
+    let results = check_model_constraints(&m);
+    // The banking sample carries `self.balance >= 0` on Account — an
+    // instance-level invariant with no model-level slot.
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].1, "nonNegativeBalance");
+    match &results[0].2 {
+        ConstraintOutcome::Undecidable(reason) => {
+            assert!(reason.contains("balance"), "{reason}");
+        }
+        other => panic!("expected undecidable, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_boolean_constraints_are_flagged() {
+    let mut m = Model::new("m");
+    let a = m.add_class(m.root(), "A").unwrap();
+    m.add_constraint(a, "oops", "self.name").unwrap();
+    let results = check_model_constraints(&m);
+    match &results[0].2 {
+        ConstraintOutcome::Undecidable(reason) => assert!(reason.contains("String")),
+        other => panic!("expected undecidable, got {other:?}"),
+    }
+}
+
+#[test]
+fn constraint_free_model_yields_empty_report() {
+    let m = Model::new("empty");
+    assert!(check_model_constraints(&m).is_empty());
+}

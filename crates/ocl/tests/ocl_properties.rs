@@ -1,0 +1,141 @@
+//! Property tests for the OCL-like language: pretty-print/reparse over
+//! randomly generated ASTs, evaluation determinism, and collection-law
+//! checks over model-derived collections.
+
+use comet_ocl::{evaluate, parse, Context, Expr, Value};
+use proptest::prelude::*;
+
+/// A random *well-formed* expression tree (boolean-typed leaves kept
+/// separate from numeric ones so evaluation also succeeds often).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    // Int leaves are non-negative: the lexer has no negative literals
+    // (`-1` parses as `Neg(1)`), and Neg nodes cover negatives anyway.
+    let leaf = prop_oneof![
+        (0i64..100).prop_map(Expr::Int),
+        any::<bool>().prop_map(Expr::Bool),
+        "[a-z ]{0,8}".prop_map(Expr::Str),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary {
+                op: comet_ocl::BinOp::Add,
+                lhs: Box::new(a),
+                rhs: Box::new(b),
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary {
+                op: comet_ocl::BinOp::Eq,
+                lhs: Box::new(a),
+                rhs: Box::new(b),
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::If {
+                cond: Box::new(c),
+                then_branch: Box::new(t),
+                else_branch: Box::new(e),
+            }),
+            ("v[a-z]{0,4}", inner.clone(), inner.clone()).prop_map(|(v, val, body)| Expr::Let {
+                var: v,
+                value: Box::new(val),
+                body: Box::new(body),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: comet_ocl::UnOp::Neg,
+                operand: Box::new(e),
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pretty_print_reparses_to_same_ast(expr in arb_expr()) {
+        let printed = expr.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
+        prop_assert_eq!(expr, reparsed);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic(expr in arb_expr()) {
+        let m = comet_model::Model::new("m");
+        let ctx = Context::for_model(&m);
+        let r1 = comet_ocl::evaluate(&expr.to_string(), &ctx);
+        let r2 = comet_ocl::evaluate(&expr.to_string(), &ctx);
+        prop_assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+    }
+
+    #[test]
+    fn integer_arithmetic_matches_i64(a in -1000i64..1000, b in -1000i64..1000, c in 1i64..100) {
+        let m = comet_model::Model::new("m");
+        let ctx = Context::for_model(&m);
+        let src = format!("({a} + {b}) * {c} - {a}");
+        let v = evaluate(&src, &ctx).expect("valid arithmetic");
+        prop_assert_eq!(v, Value::Int((a + b) * c - a));
+    }
+
+    #[test]
+    fn comparison_trichotomy(a in -100i64..100, b in -100i64..100) {
+        let m = comet_model::Model::new("m");
+        let ctx = Context::for_model(&m);
+        let lt = evaluate(&format!("{a} < {b}"), &ctx).expect("valid");
+        let eq = evaluate(&format!("{a} = {b}"), &ctx).expect("valid");
+        let gt = evaluate(&format!("{a} > {b}"), &ctx).expect("valid");
+        let truths = [lt, eq, gt]
+            .iter()
+            .filter(|v| **v == Value::Bool(true))
+            .count();
+        prop_assert_eq!(truths, 1);
+    }
+
+    #[test]
+    fn select_reject_partition(classes in 1usize..20) {
+        // select(p) ++ reject(p) is a permutation of the whole collection.
+        let model = comet_model::sample::synthetic(classes, 1, 1);
+        let ctx = Context::for_model(&model);
+        let selected = evaluate(
+            "Class.allInstances()->select(c | c.attributes->notEmpty())->size()",
+            &ctx,
+        )
+        .expect("valid");
+        let rejected = evaluate(
+            "Class.allInstances()->reject(c | c.attributes->notEmpty())->size()",
+            &ctx,
+        )
+        .expect("valid");
+        let total = evaluate("Class.allInstances()->size()", &ctx).expect("valid");
+        let (Value::Int(s), Value::Int(r), Value::Int(t)) = (selected, rejected, total) else {
+            panic!("sizes are integers");
+        };
+        prop_assert_eq!(s + r, t);
+    }
+
+    #[test]
+    fn forall_is_negation_of_exists_not(classes in 1usize..20) {
+        let model = comet_model::sample::synthetic(classes, 2, 1);
+        let ctx = Context::for_model(&model);
+        let forall = evaluate(
+            "Class.allInstances()->forAll(c | c.attributes->size() = 2)",
+            &ctx,
+        )
+        .expect("valid");
+        let not_exists_not = evaluate(
+            "not Class.allInstances()->exists(c | not (c.attributes->size() = 2))",
+            &ctx,
+        )
+        .expect("valid");
+        prop_assert_eq!(forall, not_exists_not);
+    }
+
+    #[test]
+    fn including_grows_size_by_one(classes in 1usize..15, x in -50i64..50) {
+        let model = comet_model::sample::synthetic(classes, 1, 0);
+        let ctx = Context::for_model(&model);
+        let grown = evaluate(
+            &format!("Class.allInstances()->collect(c | 1)->including({x})->size()"),
+            &ctx,
+        )
+        .expect("valid");
+        prop_assert_eq!(grown, Value::Int(classes as i64 + 1));
+    }
+}

@@ -1,0 +1,106 @@
+//! The "colors" report: which concern introduced which model elements.
+//!
+//! Section 3: *"Visual tools capable of demarcating model parts that have
+//! been added to the model through different specialized/concrete
+//! transformations by using different colors. An association list between
+//! these colors and the concerns that have already been covered would be
+//! helpful ... a list of the remaining concerns would give the developer
+//! an idea of what further refinements s/he needs to perform."*
+
+use comet_model::{ElementId, Model};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-concern element attribution for one model.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ColorReport {
+    /// Elements introduced by each concern, keyed by concern name.
+    pub per_concern: BTreeMap<String, Vec<ElementId>>,
+    /// Elements with no concern mark (the functional model).
+    pub functional: Vec<ElementId>,
+}
+
+impl ColorReport {
+    /// Builds the report by scanning concern marks.
+    pub fn for_model(model: &Model) -> Self {
+        let mut report = ColorReport::default();
+        for e in model.iter() {
+            match model.concern_of(e.id()) {
+                Some(c) => report
+                    .per_concern
+                    .entry(c.to_owned())
+                    .or_default()
+                    .push(e.id()),
+                None => report.functional.push(e.id()),
+            }
+        }
+        report
+    }
+
+    /// Concerns already covered (the "association list").
+    pub fn covered(&self) -> Vec<&str> {
+        self.per_concern.keys().map(String::as_str).collect()
+    }
+
+    /// Of the `planned` concerns, those not yet applied — the paper's
+    /// "list of the remaining concerns".
+    pub fn remaining<'a>(&self, planned: &[&'a str]) -> Vec<&'a str> {
+        planned
+            .iter()
+            .filter(|c| !self.per_concern.contains_key(**c))
+            .copied()
+            .collect()
+    }
+
+    /// Number of elements attributed to `concern`.
+    pub fn count(&self, concern: &str) -> usize {
+        self.per_concern.get(concern).map_or(0, Vec::len)
+    }
+}
+
+impl fmt::Display for ColorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "functional elements: {}", self.functional.len())?;
+        for (concern, ids) in &self.per_concern {
+            writeln!(f, "concern `{concern}`: {} element(s)", ids.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_model::sample::banking_pim;
+
+    #[test]
+    fn attributes_elements_to_concerns() {
+        let mut m = banking_pim();
+        let functional_count = m.len();
+        let proxy = m.add_class(m.root(), "BankProxy").unwrap();
+        m.mark_concern(proxy, "distribution").unwrap();
+        let guard = m.add_class(m.root(), "AccessGuard").unwrap();
+        m.mark_concern(guard, "security").unwrap();
+        let r = ColorReport::for_model(&m);
+        assert_eq!(r.functional.len(), functional_count);
+        assert_eq!(r.count("distribution"), 1);
+        assert_eq!(r.count("security"), 1);
+        assert_eq!(r.count("transactions"), 0);
+        assert_eq!(r.covered(), vec!["distribution", "security"]);
+        assert_eq!(
+            r.remaining(&["distribution", "transactions", "security"]),
+            vec!["transactions"]
+        );
+        let text = r.to_string();
+        assert!(text.contains("concern `distribution`: 1"));
+    }
+
+    #[test]
+    fn unmarked_model_is_all_functional() {
+        let m = banking_pim();
+        let r = ColorReport::for_model(&m);
+        assert_eq!(r.functional.len(), m.len());
+        assert!(r.covered().is_empty());
+        assert_eq!(r.remaining(&["x"]), vec!["x"]);
+    }
+}

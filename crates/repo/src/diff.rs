@@ -1,0 +1,122 @@
+//! Element-level structural diff between two models.
+
+use comet_model::{ElementId, Model};
+use std::fmt;
+
+/// The structural difference `b - a` between two models.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModelDiff {
+    /// Ids present in `b` but not `a`.
+    pub added: Vec<ElementId>,
+    /// Ids present in `a` but not `b`.
+    pub removed: Vec<ElementId>,
+    /// Ids present in both whose element content differs.
+    pub modified: Vec<ElementId>,
+}
+
+impl ModelDiff {
+    /// True when the models are element-wise identical.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.modified.is_empty()
+    }
+
+    /// Total number of differing elements.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len() + self.modified.len()
+    }
+}
+
+impl fmt::Display for ModelDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "diff: +{} -{} ~{}",
+            self.added.len(),
+            self.removed.len(),
+            self.modified.len()
+        )?;
+        for id in &self.added {
+            writeln!(f, "  + {id}")?;
+        }
+        for id in &self.removed {
+            writeln!(f, "  - {id}")?;
+        }
+        for id in &self.modified {
+            writeln!(f, "  ~ {id}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the element-level diff from `a` to `b`. Because element ids
+/// are never reused within a lineage, id identity is meaningful across
+/// versions of the same model.
+pub fn diff_models(a: &Model, b: &Model) -> ModelDiff {
+    let mut diff = ModelDiff::default();
+    for eb in b.iter() {
+        match a.element(eb.id()) {
+            Err(_) => diff.added.push(eb.id()),
+            Ok(ea) => {
+                if ea != eb {
+                    diff.modified.push(eb.id());
+                }
+            }
+        }
+    }
+    for ea in a.iter() {
+        if b.element(ea.id()).is_err() {
+            diff.removed.push(ea.id());
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_model::sample::banking_pim;
+    use comet_model::Primitive;
+
+    #[test]
+    fn identical_models_empty_diff() {
+        let m = banking_pim();
+        let d = diff_models(&m, &m.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn detects_added_removed_modified() {
+        let a = banking_pim();
+        let mut b = a.clone();
+        let bank = b.find_class("Bank").unwrap();
+        b.apply_stereotype(bank, "Remote").unwrap(); // modified
+        let added = b.add_class(b.root(), "NewThing").unwrap(); // added
+        let customer = b.find_class("Customer").unwrap();
+        let removed = b.remove_element(customer).unwrap(); // removed (cascade)
+        let d = diff_models(&a, &b);
+        assert!(d.added.contains(&added));
+        assert!(d.modified.contains(&bank));
+        for r in &removed {
+            assert!(d.removed.contains(r));
+        }
+        assert_eq!(d.len(), d.added.len() + d.removed.len() + d.modified.len());
+        let text = d.to_string();
+        assert!(text.contains("+1"));
+        assert!(text.contains(&format!("+ {added}")));
+    }
+
+    #[test]
+    fn diff_is_directional() {
+        let a = banking_pim();
+        let mut b = a.clone();
+        let c = b.add_class(b.root(), "X").unwrap();
+        b.add_attribute(c, "y", Primitive::Int.into()).unwrap();
+        let fwd = diff_models(&a, &b);
+        let bwd = diff_models(&b, &a);
+        assert_eq!(fwd.added.len(), 2);
+        assert_eq!(fwd.removed.len(), 0);
+        assert_eq!(bwd.removed.len(), 2);
+        assert_eq!(bwd.added.len(), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! FNV-1a content hashing (dependency-free; snapshots are small enough
+//! that a cryptographic hash would buy nothing here).
+
+/// 64-bit FNV-1a over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"hello"), 0xa430_d846_80aa_bd0b);
+    }
+
+    #[test]
+    fn distinguishes_inputs() {
+        assert_ne!(fnv1a64(b"model-a"), fnv1a64(b"model-b"));
+        assert_eq!(fnv1a64(b"same"), fnv1a64(b"same"));
+    }
+}

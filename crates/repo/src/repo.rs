@@ -1,0 +1,404 @@
+//! The repository proper: XMI snapshots, branches, tags, undo/redo.
+
+use crate::diff::{diff_models, ModelDiff};
+use crate::hash::fnv1a64;
+use comet_model::Model;
+use comet_xmi::{export_model, import_model, XmiError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a commit within one repository.
+pub type CommitId = u64;
+
+/// One committed model version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Commit {
+    /// The commit id.
+    pub id: CommitId,
+    /// Parent commit, if any.
+    pub parent: Option<CommitId>,
+    /// Commit message.
+    pub message: String,
+    /// The concern whose transformation produced this version, if any.
+    pub concern: Option<String>,
+    /// FNV-1a content hash of the snapshot.
+    pub hash: u64,
+    snapshot: String,
+}
+
+impl Commit {
+    /// The XMI snapshot text.
+    pub fn snapshot_xmi(&self) -> &str {
+        &self.snapshot
+    }
+}
+
+/// Repository failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepoError {
+    /// A commit id does not exist.
+    UnknownCommit(CommitId),
+    /// A branch name does not exist.
+    UnknownBranch(String),
+    /// A branch with this name already exists.
+    BranchExists(String),
+    /// A tag name does not exist.
+    UnknownTag(String),
+    /// A snapshot failed to decode (repository corruption).
+    Corrupt(XmiError),
+}
+
+impl fmt::Display for RepoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepoError::UnknownCommit(id) => write!(f, "unknown commit {id}"),
+            RepoError::UnknownBranch(b) => write!(f, "unknown branch `{b}`"),
+            RepoError::BranchExists(b) => write!(f, "branch `{b}` already exists"),
+            RepoError::UnknownTag(t) => write!(f, "unknown tag `{t}`"),
+            RepoError::Corrupt(e) => write!(f, "corrupt snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepoError {}
+
+/// A versioned model repository with linear history per branch.
+///
+/// Undo/redo is a position pointer into the current branch's history;
+/// committing after an undo truncates the redo tail (like an editor).
+#[derive(Debug, Clone)]
+pub struct Repository {
+    name: String,
+    commits: BTreeMap<CommitId, Commit>,
+    next_id: CommitId,
+    branches: BTreeMap<String, Vec<CommitId>>,
+    current_branch: String,
+    /// Number of *visible* commits on the current branch (undo reduces
+    /// it, redo restores it, commit truncates beyond it).
+    position: usize,
+    tags: BTreeMap<String, CommitId>,
+}
+
+impl Repository {
+    /// Creates an empty repository with a `main` branch.
+    pub fn new(name: impl Into<String>) -> Self {
+        let mut branches = BTreeMap::new();
+        branches.insert("main".to_owned(), Vec::new());
+        Repository {
+            name: name.into(),
+            commits: BTreeMap::new(),
+            next_id: 1,
+            branches,
+            current_branch: "main".to_owned(),
+            position: 0,
+            tags: BTreeMap::new(),
+        }
+    }
+
+    /// Repository name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current branch name.
+    pub fn current_branch(&self) -> &str {
+        &self.current_branch
+    }
+
+    fn branch_history(&self) -> &Vec<CommitId> {
+        self.branches
+            .get(&self.current_branch)
+            .expect("current branch always exists")
+    }
+
+    /// Commits a snapshot of `model` on the current branch. Truncates any
+    /// redo tail first.
+    ///
+    /// # Errors
+    /// Infallible today (`Result` kept for storage-backed versions).
+    pub fn commit(
+        &mut self,
+        model: &Model,
+        message: &str,
+        concern: Option<&str>,
+    ) -> Result<CommitId, RepoError> {
+        let history = self
+            .branches
+            .get_mut(&self.current_branch)
+            .expect("current branch always exists");
+        history.truncate(self.position);
+        let parent = history.last().copied();
+        let snapshot = export_model(model);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.commits.insert(
+            id,
+            Commit {
+                id,
+                parent,
+                message: message.to_owned(),
+                concern: concern.map(str::to_owned),
+                hash: fnv1a64(snapshot.as_bytes()),
+                snapshot,
+            },
+        );
+        history.push(id);
+        self.position = history.len();
+        Ok(id)
+    }
+
+    /// The visible head commit of the current branch, if any.
+    pub fn head(&self) -> Option<&Commit> {
+        let history = self.branch_history();
+        if self.position == 0 {
+            None
+        } else {
+            self.commits.get(&history[self.position - 1])
+        }
+    }
+
+    /// Checks out the model at the visible head.
+    ///
+    /// # Errors
+    /// Fails only on snapshot corruption.
+    pub fn head_model(&self) -> Option<Result<Model, RepoError>> {
+        self.head().map(|c| import_model(&c.snapshot).map_err(RepoError::Corrupt))
+    }
+
+    /// Checks out an arbitrary commit.
+    ///
+    /// # Errors
+    /// Fails on unknown ids or snapshot corruption.
+    pub fn checkout(&self, id: CommitId) -> Result<Model, RepoError> {
+        let c = self.commits.get(&id).ok_or(RepoError::UnknownCommit(id))?;
+        import_model(&c.snapshot).map_err(RepoError::Corrupt)
+    }
+
+    /// Steps the visible head one commit back; returns the model now at
+    /// head (i.e. the state *before* the undone transformation), or
+    /// `None` when there is nothing to undo.
+    pub fn undo(&mut self) -> Option<Result<Model, RepoError>> {
+        if self.position == 0 {
+            return None;
+        }
+        self.position -= 1;
+        if self.position == 0 {
+            // Undid the initial commit: the "model before anything" is
+            // not stored; report an empty model of the same name.
+            return Some(Ok(Model::new(self.name.clone())));
+        }
+        self.head_model()
+    }
+
+    /// Steps the visible head one commit forward; returns the restored
+    /// model, or `None` when there is nothing to redo.
+    pub fn redo(&mut self) -> Option<Result<Model, RepoError>> {
+        if self.position >= self.branch_history().len() {
+            return None;
+        }
+        self.position += 1;
+        self.head_model()
+    }
+
+    /// Number of undoable steps.
+    pub fn undo_depth(&self) -> usize {
+        self.position
+    }
+
+    /// Number of redoable steps.
+    pub fn redo_depth(&self) -> usize {
+        self.branch_history().len() - self.position
+    }
+
+    /// Creates a branch starting from the current visible head and
+    /// switches to it.
+    ///
+    /// # Errors
+    /// Fails when the branch exists.
+    pub fn branch(&mut self, name: &str) -> Result<(), RepoError> {
+        if self.branches.contains_key(name) {
+            return Err(RepoError::BranchExists(name.to_owned()));
+        }
+        let visible: Vec<CommitId> = self.branch_history()[..self.position].to_vec();
+        self.branches.insert(name.to_owned(), visible);
+        self.current_branch = name.to_owned();
+        // position stays: same number of visible commits.
+        Ok(())
+    }
+
+    /// Switches to an existing branch (head = its full history).
+    ///
+    /// # Errors
+    /// Fails when the branch is unknown.
+    pub fn switch_branch(&mut self, name: &str) -> Result<(), RepoError> {
+        if !self.branches.contains_key(name) {
+            return Err(RepoError::UnknownBranch(name.to_owned()));
+        }
+        self.current_branch = name.to_owned();
+        self.position = self.branch_history().len();
+        Ok(())
+    }
+
+    /// All branch names, sorted.
+    pub fn branch_names(&self) -> Vec<&str> {
+        self.branches.keys().map(String::as_str).collect()
+    }
+
+    /// Tags the current visible head.
+    ///
+    /// # Errors
+    /// Fails when there is no head.
+    pub fn tag(&mut self, name: &str) -> Result<CommitId, RepoError> {
+        let head = self.head().ok_or(RepoError::UnknownCommit(0))?.id;
+        self.tags.insert(name.to_owned(), head);
+        Ok(head)
+    }
+
+    /// Checks out a tagged model.
+    ///
+    /// # Errors
+    /// Fails on unknown tags or snapshot corruption.
+    pub fn checkout_tag(&self, name: &str) -> Result<Model, RepoError> {
+        let id = *self
+            .tags
+            .get(name)
+            .ok_or_else(|| RepoError::UnknownTag(name.to_owned()))?;
+        self.checkout(id)
+    }
+
+    /// Structural diff between two commits (from `a` to `b`).
+    ///
+    /// # Errors
+    /// Fails on unknown ids or snapshot corruption.
+    pub fn diff(&self, a: CommitId, b: CommitId) -> Result<ModelDiff, RepoError> {
+        Ok(diff_models(&self.checkout(a)?, &self.checkout(b)?))
+    }
+
+    /// The visible commit log of the current branch, oldest first.
+    pub fn log(&self) -> Vec<&Commit> {
+        self.branch_history()[..self.position]
+            .iter()
+            .filter_map(|id| self.commits.get(id))
+            .collect()
+    }
+
+    /// Total number of commits stored across branches.
+    pub fn len(&self) -> usize {
+        self.commits.len()
+    }
+
+    /// True when no commit was ever made.
+    pub fn is_empty(&self) -> bool {
+        self.commits.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_model::sample::banking_pim;
+
+    fn repo_with_two_versions() -> (Repository, Model, Model) {
+        let mut repo = Repository::new("bank");
+        let v1 = banking_pim();
+        repo.commit(&v1, "initial", None).unwrap();
+        let mut v2 = v1.clone();
+        let bank = v2.find_class("Bank").unwrap();
+        v2.apply_stereotype(bank, "Remote").unwrap();
+        repo.commit(&v2, "distribution", Some("distribution")).unwrap();
+        (repo, v1, v2)
+    }
+
+    #[test]
+    fn commit_and_head() {
+        let (repo, _v1, v2) = repo_with_two_versions();
+        assert_eq!(repo.len(), 2);
+        assert!(!repo.is_empty());
+        let head = repo.head().unwrap();
+        assert_eq!(head.message, "distribution");
+        assert_eq!(head.concern.as_deref(), Some("distribution"));
+        assert_eq!(repo.head_model().unwrap().unwrap(), v2);
+        assert!(head.snapshot_xmi().contains("Remote"));
+    }
+
+    #[test]
+    fn undo_redo_inverse() {
+        let (mut repo, v1, v2) = repo_with_two_versions();
+        assert_eq!(repo.undo_depth(), 2);
+        assert_eq!(repo.redo_depth(), 0);
+        assert_eq!(repo.undo().unwrap().unwrap(), v1);
+        assert_eq!(repo.redo_depth(), 1);
+        assert_eq!(repo.redo().unwrap().unwrap(), v2);
+        // Undo to the very beginning yields an empty model.
+        repo.undo();
+        let empty = repo.undo().unwrap().unwrap();
+        assert_eq!(empty.len(), 1);
+        assert!(repo.undo().is_none());
+        // Redo all the way back.
+        repo.redo();
+        assert_eq!(repo.redo().unwrap().unwrap(), v2);
+        assert!(repo.redo().is_none());
+    }
+
+    #[test]
+    fn commit_after_undo_truncates_redo() {
+        let (mut repo, v1, _v2) = repo_with_two_versions();
+        repo.undo();
+        let mut v3 = v1.clone();
+        v3.add_class(v3.root(), "Other").unwrap();
+        repo.commit(&v3, "alternative", None).unwrap();
+        assert!(repo.redo().is_none());
+        assert_eq!(repo.head_model().unwrap().unwrap(), v3);
+        assert_eq!(repo.log().len(), 2);
+    }
+
+    #[test]
+    fn hashes_distinguish_content() {
+        let (repo, _, _) = repo_with_two_versions();
+        let log = repo.log();
+        assert_ne!(log[0].hash, log[1].hash);
+        assert_eq!(log[1].parent, Some(log[0].id));
+    }
+
+    #[test]
+    fn branches_and_tags() {
+        let (mut repo, v1, v2) = repo_with_two_versions();
+        repo.tag("psm-v1").unwrap();
+        repo.undo();
+        repo.branch("experiment").unwrap();
+        assert_eq!(repo.current_branch(), "experiment");
+        let mut v3 = v1.clone();
+        v3.add_class(v3.root(), "Experimental").unwrap();
+        repo.commit(&v3, "experiment", None).unwrap();
+        assert_eq!(repo.head_model().unwrap().unwrap(), v3);
+        // Main still has both commits.
+        repo.switch_branch("main").unwrap();
+        assert_eq!(repo.head_model().unwrap().unwrap(), v2);
+        assert_eq!(repo.checkout_tag("psm-v1").unwrap(), v2);
+        assert_eq!(repo.branch_names(), vec!["experiment", "main"]);
+        assert!(matches!(repo.branch("main"), Err(RepoError::BranchExists(_))));
+        assert!(matches!(repo.switch_branch("ghost"), Err(RepoError::UnknownBranch(_))));
+        assert!(matches!(repo.checkout_tag("ghost"), Err(RepoError::UnknownTag(_))));
+    }
+
+    #[test]
+    fn diff_between_commits() {
+        let (repo, _, _) = repo_with_two_versions();
+        let log: Vec<CommitId> = repo.log().iter().map(|c| c.id).collect();
+        let d = repo.diff(log[0], log[1]).unwrap();
+        assert_eq!(d.added.len(), 0);
+        assert_eq!(d.modified.len(), 1);
+        assert!(matches!(repo.diff(999, log[0]), Err(RepoError::UnknownCommit(999))));
+    }
+
+    #[test]
+    fn empty_repo_behaviour() {
+        let mut repo = Repository::new("empty");
+        assert!(repo.head().is_none());
+        assert!(repo.head_model().is_none());
+        assert!(repo.undo().is_none());
+        assert!(repo.redo().is_none());
+        assert!(matches!(repo.tag("x"), Err(RepoError::UnknownCommit(0))));
+        assert_eq!(repo.log().len(), 0);
+    }
+}

@@ -1,0 +1,432 @@
+//! The transformation trait, specialization, and the application engine
+//! with pre/postcondition checking and automatic concern coloring.
+
+use crate::params::{ParamError, ParamSchema, ParamSet};
+use comet_model::{ElementId, Model};
+use comet_ocl::{evaluate_bool, Context, OclError};
+use std::fmt;
+use std::sync::Arc;
+
+/// The four MDA model-to-model mapping types (paper, Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingKind {
+    /// Platform-independent refinement.
+    PimToPim,
+    /// Projection onto an execution infrastructure.
+    PimToPsm,
+    /// Platform-dependent refinement.
+    PsmToPsm,
+    /// Abstraction of an implementation back to a PIM.
+    PsmToPim,
+}
+
+impl fmt::Display for MappingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MappingKind::PimToPim => "PIM-to-PIM",
+            MappingKind::PimToPsm => "PIM-to-PSM",
+            MappingKind::PsmToPsm => "PSM-to-PSM",
+            MappingKind::PsmToPim => "PSM-to-PIM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A generic model transformation GMT_Ci: one concern dimension, a typed
+/// parameter schema, and parameter-specialized OCL conditions.
+///
+/// Implementations must be deterministic functions of `(model, params)`.
+pub trait GenericTransformation: Send + Sync {
+    /// Transformation name, e.g. `"distribution"`.
+    fn name(&self) -> &str;
+
+    /// The concern dimension this transformation refines.
+    fn concern(&self) -> &str;
+
+    /// Which of the four MDA mapping types this is.
+    fn mapping_kind(&self) -> MappingKind {
+        MappingKind::PimToPsm
+    }
+
+    /// The parameter schema (the declared `P_ik` slots).
+    fn parameter_schema(&self) -> ParamSchema;
+
+    /// OCL preconditions, already specialized by `params`. All must hold
+    /// on the input model.
+    fn preconditions(&self, params: &ParamSet) -> Vec<String> {
+        let _ = params;
+        Vec::new()
+    }
+
+    /// OCL postconditions, already specialized by `params`. All must hold
+    /// on the output model.
+    fn postconditions(&self, params: &ParamSet) -> Vec<String> {
+        let _ = params;
+        Vec::new()
+    }
+
+    /// The transformation body. Runs between condition checks; created
+    /// elements are concern-colored automatically by the engine.
+    ///
+    /// # Errors
+    /// Implementations report domain failures as
+    /// [`TransformError::Custom`] or propagate model errors.
+    fn transform(&self, model: &mut Model, params: &ParamSet) -> Result<(), TransformError>;
+}
+
+/// Failures of specialization or application.
+#[derive(Debug)]
+pub enum TransformError {
+    /// Parameter validation failed.
+    Param(ParamError),
+    /// A precondition evaluated to false.
+    PreconditionFailed {
+        /// The transformation.
+        transformation: String,
+        /// The failing OCL expression.
+        condition: String,
+    },
+    /// A postcondition evaluated to false (model was rolled back).
+    PostconditionFailed {
+        /// The transformation.
+        transformation: String,
+        /// The failing OCL expression.
+        condition: String,
+    },
+    /// A condition failed to parse or evaluate.
+    Condition {
+        /// The OCL expression.
+        condition: String,
+        /// The underlying OCL error.
+        source: OclError,
+    },
+    /// The output model is not well-formed (model was rolled back).
+    WellFormedness(Vec<comet_model::Violation>),
+    /// A model mutation failed.
+    Model(comet_model::ModelError),
+    /// Domain-specific failure from the transformation body.
+    Custom(String),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::Param(e) => write!(f, "parameter error: {e}"),
+            TransformError::PreconditionFailed { transformation, condition } => {
+                write!(f, "precondition of `{transformation}` failed: {condition}")
+            }
+            TransformError::PostconditionFailed { transformation, condition } => {
+                write!(f, "postcondition of `{transformation}` failed: {condition}")
+            }
+            TransformError::Condition { condition, source } => {
+                write!(f, "condition `{condition}` could not be evaluated: {source}")
+            }
+            TransformError::WellFormedness(v) => {
+                write!(f, "transformed model is ill-formed ({} violation(s))", v.len())
+            }
+            TransformError::Model(e) => write!(f, "model error: {e}"),
+            TransformError::Custom(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl From<ParamError> for TransformError {
+    fn from(e: ParamError) -> Self {
+        TransformError::Param(e)
+    }
+}
+
+impl From<comet_model::ModelError> for TransformError {
+    fn from(e: comet_model::ModelError) -> Self {
+        TransformError::Model(e)
+    }
+}
+
+/// What one application changed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ApplyReport {
+    /// Elements created by the transformation (auto-colored).
+    pub created: Vec<ElementId>,
+    /// Pre-existing elements the transformation modified.
+    pub modified: Vec<ElementId>,
+    /// Elements removed.
+    pub removed: Vec<ElementId>,
+}
+
+impl ApplyReport {
+    /// Total elements touched.
+    pub fn touched(&self) -> usize {
+        self.created.len() + self.modified.len() + self.removed.len()
+    }
+}
+
+/// A concrete model transformation CMT_Ci: a GMT closed over a validated
+/// parameter set.
+#[derive(Clone)]
+pub struct ConcreteTransformation {
+    gmt: Arc<dyn GenericTransformation>,
+    params: ParamSet,
+}
+
+impl fmt::Debug for ConcreteTransformation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ConcreteTransformation({})", self.full_name())
+    }
+}
+
+/// Specializes a generic transformation with `Si`, validating the
+/// parameters against the schema (defaults filled in).
+///
+/// # Errors
+/// Propagates [`ParamError`] from schema validation.
+pub fn specialize(
+    gmt: Arc<dyn GenericTransformation>,
+    params: ParamSet,
+) -> Result<ConcreteTransformation, ParamError> {
+    let effective = gmt.parameter_schema().validate(&params)?;
+    Ok(ConcreteTransformation { gmt, params: effective })
+}
+
+impl ConcreteTransformation {
+    /// The underlying generic transformation.
+    pub fn generic(&self) -> &Arc<dyn GenericTransformation> {
+        &self.gmt
+    }
+
+    /// The effective (validated, default-filled) parameter set — the
+    /// `Si` that also specializes the paired aspect.
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// The concern dimension.
+    pub fn concern(&self) -> &str {
+        self.gmt.concern()
+    }
+
+    /// `name<p1=v1, ...>`, the paper's `Ti<pi1, pi2, ...>` notation.
+    pub fn full_name(&self) -> String {
+        format!("{}{}", self.gmt.name(), self.params.angle_signature())
+    }
+
+    /// The specialized preconditions.
+    pub fn preconditions(&self) -> Vec<String> {
+        self.gmt.preconditions(&self.params)
+    }
+
+    /// The specialized postconditions.
+    pub fn postconditions(&self) -> Vec<String> {
+        self.gmt.postconditions(&self.params)
+    }
+
+    /// Applies the transformation atomically:
+    ///
+    /// 1. checks every specialized precondition on the input model;
+    /// 2. runs the body;
+    /// 3. colors every created element with the concern;
+    /// 4. re-validates well-formedness and checks every specialized
+    ///    postcondition — on any failure the model is restored to its
+    ///    input state and an error is returned.
+    ///
+    /// # Errors
+    /// See [`TransformError`]; the model is unchanged on every error.
+    pub fn apply(&self, model: &mut Model) -> Result<ApplyReport, TransformError> {
+        for condition in self.preconditions() {
+            let ctx = Context::for_model(model);
+            match evaluate_bool(&condition, &ctx) {
+                Ok(true) => {}
+                Ok(false) => {
+                    return Err(TransformError::PreconditionFailed {
+                        transformation: self.full_name(),
+                        condition,
+                    })
+                }
+                Err(e) => return Err(TransformError::Condition { condition, source: e }),
+            }
+        }
+        let before = model.clone();
+        let result = self.apply_body(model, &before);
+        if result.is_err() {
+            *model = before;
+        }
+        result
+    }
+
+    fn apply_body(&self, model: &mut Model, before: &Model) -> Result<ApplyReport, TransformError> {
+        self.gmt.transform(model, &self.params)?;
+        // Color created elements; compute the report.
+        let mut report = ApplyReport::default();
+        let created: Vec<ElementId> = model
+            .iter()
+            .map(|e| e.id())
+            .filter(|id| !before.contains(*id))
+            .collect();
+        for id in &created {
+            model.mark_concern(*id, self.gmt.concern())?;
+        }
+        report.created = created;
+        for e in before.iter() {
+            match model.element(e.id()) {
+                Err(_) => report.removed.push(e.id()),
+                Ok(now) => {
+                    if now != e {
+                        report.modified.push(e.id());
+                    }
+                }
+            }
+        }
+        if let Err(violations) = model.validate() {
+            return Err(TransformError::WellFormedness(violations));
+        }
+        for condition in self.postconditions() {
+            let ctx = Context::for_model(model);
+            match evaluate_bool(&condition, &ctx) {
+                Ok(true) => {}
+                Ok(false) => {
+                    return Err(TransformError::PostconditionFailed {
+                        transformation: self.full_name(),
+                        condition,
+                    })
+                }
+                Err(e) => return Err(TransformError::Condition { condition, source: e }),
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TransformationBuilder;
+    use crate::params::ParamValue;
+    use comet_model::sample::banking_pim;
+
+    fn add_class_gmt() -> Arc<dyn GenericTransformation> {
+        TransformationBuilder::new("add-class", "testing")
+            .schema(ParamSchema::new().string("name", true, None))
+            .precondition("Class.allInstances()->notEmpty()")
+            .postcondition("Class.allInstances()->exists(c | c.concern = 'testing')")
+            .body(|model, params| {
+                let name = params.str("name")?.to_owned();
+                let root = model.root();
+                model.add_class(root, &name)?;
+                Ok(())
+            })
+            .build()
+    }
+
+    #[test]
+    fn specialize_validates_and_names() {
+        let gmt = add_class_gmt();
+        let cmt = specialize(
+            Arc::clone(&gmt),
+            ParamSet::new().with("name", ParamValue::from("Proxy")),
+        )
+        .unwrap();
+        assert_eq!(cmt.full_name(), "add-class<name=Proxy>");
+        assert_eq!(cmt.concern(), "testing");
+        assert_eq!(cmt.generic().name(), "add-class");
+        assert!(matches!(specialize(gmt, ParamSet::new()), Err(ParamError::Missing(_))));
+    }
+
+    #[test]
+    fn apply_creates_colors_and_reports() {
+        let cmt = specialize(
+            add_class_gmt(),
+            ParamSet::new().with("name", ParamValue::from("Proxy")),
+        )
+        .unwrap();
+        let mut m = banking_pim();
+        let report = cmt.apply(&mut m).unwrap();
+        assert_eq!(report.created.len(), 1);
+        assert_eq!(report.touched(), 1);
+        let proxy = m.find_class("Proxy").unwrap();
+        assert_eq!(m.concern_of(proxy), Some("testing"));
+    }
+
+    #[test]
+    fn precondition_failure_blocks_application() {
+        let gmt = TransformationBuilder::new("t", "c")
+            .precondition("Class.allInstances()->exists(c | c.name = 'Ghost')")
+            .body(|_, _| Ok(()))
+            .build();
+        let cmt = specialize(gmt, ParamSet::new()).unwrap();
+        let mut m = banking_pim();
+        let snapshot = m.clone();
+        let err = cmt.apply(&mut m).unwrap_err();
+        assert!(matches!(err, TransformError::PreconditionFailed { .. }));
+        assert_eq!(m, snapshot);
+    }
+
+    #[test]
+    fn postcondition_failure_rolls_back() {
+        let gmt = TransformationBuilder::new("t", "c")
+            .postcondition("false")
+            .body(|model, _| {
+                let root = model.root();
+                model.add_class(root, "Garbage")?;
+                Ok(())
+            })
+            .build();
+        let cmt = specialize(gmt, ParamSet::new()).unwrap();
+        let mut m = banking_pim();
+        let snapshot = m.clone();
+        let err = cmt.apply(&mut m).unwrap_err();
+        assert!(matches!(err, TransformError::PostconditionFailed { .. }));
+        assert_eq!(m, snapshot, "model must be restored");
+    }
+
+    #[test]
+    fn body_error_rolls_back() {
+        let gmt = TransformationBuilder::new("t", "c")
+            .body(|model, _| {
+                let root = model.root();
+                model.add_class(root, "Partial")?;
+                Err(TransformError::Custom("bang".into()))
+            })
+            .build();
+        let cmt = specialize(gmt, ParamSet::new()).unwrap();
+        let mut m = banking_pim();
+        let snapshot = m.clone();
+        assert!(cmt.apply(&mut m).is_err());
+        assert_eq!(m, snapshot);
+    }
+
+    #[test]
+    fn malformed_condition_reported() {
+        let gmt = TransformationBuilder::new("t", "c")
+            .precondition("this is not ocl ((")
+            .body(|_, _| Ok(()))
+            .build();
+        let cmt = specialize(gmt, ParamSet::new()).unwrap();
+        let mut m = banking_pim();
+        let err = cmt.apply(&mut m).unwrap_err();
+        assert!(matches!(err, TransformError::Condition { .. }));
+        assert!(err.to_string().contains("could not be evaluated"));
+    }
+
+    #[test]
+    fn modified_elements_reported() {
+        let gmt = TransformationBuilder::new("t", "c")
+            .body(|model, _| {
+                let bank = model.find_class("Bank").expect("bank exists");
+                model.apply_stereotype(bank, "Touched")?;
+                Ok(())
+            })
+            .build();
+        let cmt = specialize(gmt, ParamSet::new()).unwrap();
+        let mut m = banking_pim();
+        let report = cmt.apply(&mut m).unwrap();
+        assert_eq!(report.created.len(), 0);
+        assert_eq!(report.modified.len(), 1);
+    }
+
+    #[test]
+    fn mapping_kind_display() {
+        assert_eq!(MappingKind::PimToPsm.to_string(), "PIM-to-PSM");
+        assert_eq!(MappingKind::PsmToPim.to_string(), "PSM-to-PIM");
+    }
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate for the COMET workspace.
+//!
+//! This crate only exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). The library surface is
+//! a re-export of the [`comet`] facade; depend on the individual crates
+//! (or on `comet`) directly in real code.
+
+pub use comet::*;

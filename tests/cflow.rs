@@ -1,0 +1,156 @@
+//! Runtime behaviour of `cflow(...)` pointcuts: advice guarded by a
+//! control-flow residue fires only inside the declared dynamic context —
+//! the AspectJ counter-instrumentation strategy over the COMET weaver.
+
+use comet_aop::{parse_pointcut, Advice, AdviceKind, Aspect, Weaver, WeaveError};
+use comet_codegen::{Block, ClassDecl, Expr, IrType, MethodDecl, Program, Stmt};
+use comet_interp::{Interp, Value};
+
+/// `Service.entry` calls `Service.helper`; `helper` is also callable
+/// directly.
+fn program() -> Program {
+    let mut p = Program::new("cf");
+    let mut service = ClassDecl::new("Service");
+    let mut entry = MethodDecl::new("entry");
+    entry.body = Block::of(vec![Stmt::Expr(Expr::call_this("helper", vec![]))]);
+    service.methods.push(entry);
+    let mut helper = MethodDecl::new("helper");
+    helper.ret = IrType::Int;
+    helper.body = Block::of(vec![Stmt::ret(Expr::int(7))]);
+    service.methods.push(helper);
+    p.classes.push(service);
+    p
+}
+
+fn log_advice(kind: AdviceKind, pointcut: &str) -> Advice {
+    Advice::new(
+        kind,
+        parse_pointcut(pointcut).expect("valid pointcut"),
+        Block::of(vec![Stmt::Expr(Expr::intrinsic(
+            "log.emit",
+            vec![Expr::str("info"), Expr::var("__jp")],
+        ))]),
+    )
+}
+
+#[test]
+fn before_advice_fires_only_inside_the_cflow() {
+    let aspect = Aspect::new("cf").with_advice(log_advice(
+        AdviceKind::Before,
+        "execution(Service.helper) && cflow(execution(Service.entry))",
+    ));
+    let woven = Weaver::new(vec![aspect]).weave(&program()).unwrap();
+    let mut interp = Interp::new(woven.program);
+    let s = interp.create("Service").unwrap();
+
+    // Direct helper call: outside the cflow, no log record.
+    assert_eq!(interp.call(s.clone(), "helper", vec![]).unwrap(), Value::Int(7));
+    assert_eq!(interp.middleware().log.len(), 0);
+
+    // Through entry: inside the cflow, the advice fires.
+    interp.call(s.clone(), "entry", vec![]).unwrap();
+    assert_eq!(interp.middleware().log.len(), 1);
+    assert_eq!(interp.middleware().log.records()[0].message, "Service.helper");
+
+    // And direct calls afterwards are clean again (counter exited).
+    interp.call(s, "helper", vec![]).unwrap();
+    assert_eq!(interp.middleware().log.len(), 1);
+}
+
+#[test]
+fn around_advice_bypasses_to_proceed_outside_the_cflow() {
+    // Around advice that rewrites the helper's result, but only inside
+    // `entry`'s control flow.
+    let rewrite = Advice::new(
+        AdviceKind::Around,
+        parse_pointcut("execution(Service.helper) && cflow(execution(Service.entry))").unwrap(),
+        Block::of(vec![Stmt::ret(Expr::int(42))]),
+    );
+    let woven = Weaver::new(vec![Aspect::new("cf").with_advice(rewrite)])
+        .weave(&program())
+        .unwrap();
+    let mut interp = Interp::new(woven.program);
+    let s = interp.create("Service").unwrap();
+    assert_eq!(
+        interp.call(s.clone(), "helper", vec![]).unwrap(),
+        Value::Int(7),
+        "outside the cflow: proceed to the original"
+    );
+    interp.call(s, "entry", vec![]).unwrap(); // inside: returns 42 to entry
+}
+
+#[test]
+fn cflow_counter_survives_exceptions() {
+    // entry throws after calling helper; the instrumentation must still
+    // exit the context, so later direct calls are outside the cflow.
+    let mut p = program();
+    let service = p.find_class_mut("Service").unwrap();
+    let entry = service.find_method_mut("entry").unwrap();
+    entry.body.stmts.push(Stmt::Throw(Expr::str("boom")));
+    let aspect = Aspect::new("cf").with_advice(log_advice(
+        AdviceKind::Before,
+        "execution(Service.helper) && cflow(execution(Service.entry))",
+    ));
+    let woven = Weaver::new(vec![aspect]).weave(&p).unwrap();
+    let mut interp = Interp::new(woven.program);
+    let s = interp.create("Service").unwrap();
+    assert!(interp.call(s.clone(), "entry", vec![]).is_err());
+    assert_eq!(interp.middleware().log.len(), 1, "fired inside the cflow");
+    interp.call(s, "helper", vec![]).unwrap();
+    assert_eq!(interp.middleware().log.len(), 1, "context exited despite the throw");
+}
+
+#[test]
+fn recursive_cflow_counts_nesting() {
+    // A recursive entry: the context stays active across nested entries.
+    let mut p = Program::new("cf");
+    let mut c = ClassDecl::new("R");
+    let mut rec = MethodDecl::new("rec");
+    rec.params.push(comet_codegen::Param::new("n", IrType::Int));
+    rec.body = Block::of(vec![
+        Stmt::If {
+            cond: Expr::binary(comet_codegen::IrBinOp::Gt, Expr::var("n"), Expr::int(0)),
+            then_block: Block::of(vec![
+                Stmt::Expr(Expr::call_this("tick", vec![])),
+                Stmt::Expr(Expr::call_this(
+                    "rec",
+                    vec![Expr::binary(comet_codegen::IrBinOp::Sub, Expr::var("n"), Expr::int(1))],
+                )),
+            ]),
+            else_block: None,
+        },
+        Stmt::Return(None),
+    ]);
+    c.methods.push(rec);
+    c.methods.push(MethodDecl::new("tick"));
+    p.classes.push(c);
+    let aspect = Aspect::new("cf").with_advice(log_advice(
+        AdviceKind::Before,
+        "execution(R.tick) && cflow(execution(R.rec))",
+    ));
+    let woven = Weaver::new(vec![aspect]).weave(&p).unwrap();
+    let mut interp = Interp::new(woven.program);
+    let r = interp.create("R").unwrap();
+    interp.call(r, "rec", vec![Value::Int(4)]).unwrap();
+    assert_eq!(interp.middleware().log.len(), 4, "every nested tick was in the cflow");
+}
+
+#[test]
+fn unsupported_cflow_positions_are_rejected() {
+    for bad in [
+        "!cflow(execution(A.b))",
+        "execution(*.*) || cflow(execution(A.b))",
+        "cflow(cflow(execution(A.b)))",
+    ] {
+        let aspect = Aspect::new("bad").with_advice(log_advice(AdviceKind::Before, bad));
+        let err = Weaver::new(vec![aspect]).weave(&program()).unwrap_err();
+        assert!(matches!(err, WeaveError::UnsupportedCflow { .. }), "{bad}");
+    }
+}
+
+#[test]
+fn cflow_pointcut_display_reparses() {
+    let src = "execution(Service.helper) && cflow(execution(Service.entry))";
+    let pc = parse_pointcut(src).unwrap();
+    assert_eq!(parse_pointcut(&pc.to_string()).unwrap(), pc);
+}

@@ -1,0 +1,138 @@
+//! Shared fixtures for the integration tests: the executable banking
+//! system (PIM + functional bodies) that the experiment suite refines,
+//! generates, weaves and runs.
+//!
+//! Each test binary includes this module and uses its own subset, so
+//! per-binary dead-code analysis is meaningless here.
+#![allow(dead_code)]
+
+use comet_codegen::{Block, BodyProvider, Expr, IrBinOp, IrType, LValue, Stmt};
+use comet_model::{Model, ModelBuilder, Primitive, TypeRef};
+use comet_transform::{ParamSet, ParamValue};
+
+/// A banking PIM whose `Bank` holds two `Account` references; `transfer`
+/// debits, optionally crashes (amount 13), then credits.
+pub fn executable_banking_pim() -> Model {
+    let mut model = ModelBuilder::new("bank")
+        .class("Account", |c| {
+            c.attribute("number", Primitive::Str)?.attribute("balance", Primitive::Int)
+        })
+        .expect("valid model")
+        .build();
+    let account = model.find_class("Account").expect("just added");
+    let root = model.root();
+    let bank = model.add_class(root, "Bank").expect("valid");
+    model.add_attribute(bank, "a1", TypeRef::Element(account)).expect("valid");
+    model.add_attribute(bank, "a2", TypeRef::Element(account)).expect("valid");
+    let transfer = model.add_operation(bank, "transfer").expect("valid");
+    for p in ["from", "to"] {
+        model.add_parameter(transfer, p, Primitive::Str.into()).expect("valid");
+    }
+    model.add_parameter(transfer, "amount", Primitive::Int.into()).expect("valid");
+    model.set_return_type(transfer, Primitive::Bool.into()).expect("valid");
+    let get_balance = model.add_operation(bank, "getBalance").expect("valid");
+    model.add_parameter(get_balance, "number", Primitive::Str.into()).expect("valid");
+    model.set_return_type(get_balance, Primitive::Int.into()).expect("valid");
+    model
+}
+
+fn select_account(var: &str, number_param: &str) -> Vec<Stmt> {
+    vec![
+        Stmt::local(var, IrType::Object("Account".into()), Expr::this_field("a1")),
+        Stmt::If {
+            cond: Expr::binary(
+                IrBinOp::Ne,
+                Expr::Field { recv: Box::new(Expr::var(var)), name: "number".into() },
+                Expr::var(number_param),
+            ),
+            then_block: Block::of(vec![Stmt::set_var(var, Expr::this_field("a2"))]),
+            else_block: None,
+        },
+    ]
+}
+
+/// The functional bodies for [`executable_banking_pim`].
+pub fn banking_bodies() -> BodyProvider {
+    let field = |obj: &str, name: &str| Expr::Field {
+        recv: Box::new(Expr::var(obj)),
+        name: name.into(),
+    };
+    let mut transfer = Vec::new();
+    transfer.extend(select_account("src", "from"));
+    transfer.extend(select_account("dst", "to"));
+    transfer.extend([
+        Stmt::If {
+            cond: Expr::binary(IrBinOp::Lt, field("src", "balance"), Expr::var("amount")),
+            then_block: Block::of(vec![Stmt::Throw(Expr::str("insufficient funds"))]),
+            else_block: None,
+        },
+        Stmt::Assign {
+            target: LValue::Field { recv: Expr::var("src"), name: "balance".into() },
+            value: Expr::binary(IrBinOp::Sub, field("src", "balance"), Expr::var("amount")),
+        },
+        Stmt::If {
+            cond: Expr::binary(IrBinOp::Eq, Expr::var("amount"), Expr::int(13)),
+            then_block: Block::of(vec![Stmt::Throw(Expr::str("simulated crash after debit"))]),
+            else_block: None,
+        },
+        Stmt::Assign {
+            target: LValue::Field { recv: Expr::var("dst"), name: "balance".into() },
+            value: Expr::binary(IrBinOp::Add, field("dst", "balance"), Expr::var("amount")),
+        },
+        Stmt::ret(Expr::bool(true)),
+    ]);
+    let mut get_balance = select_account("acc", "number");
+    get_balance.push(Stmt::ret(field("acc", "balance")));
+    BodyProvider::new()
+        .provide("Bank::transfer", Block::of(transfer))
+        .provide("Bank::getBalance", Block::of(get_balance))
+}
+
+/// Standard `Si` for the distribution concern on the banking system.
+pub fn dist_si() -> ParamSet {
+    ParamSet::new()
+        .with("server_class", ParamValue::from("Bank"))
+        .with("node", ParamValue::from("server"))
+        .with(
+            "operations",
+            ParamValue::from(vec!["transfer".to_owned(), "getBalance".to_owned()]),
+        )
+}
+
+/// Standard `Si` for the transactions concern on the banking system.
+pub fn tx_si() -> ParamSet {
+    ParamSet::new()
+        .with("methods", ParamValue::from(vec!["Bank.transfer".to_owned()]))
+        .with("isolation", ParamValue::from("serializable"))
+}
+
+/// Standard `Si` for the security concern on the banking system.
+pub fn sec_si() -> ParamSet {
+    ParamSet::new().with(
+        "protected",
+        ParamValue::from(vec!["Bank.transfer:teller".to_owned()]),
+    )
+}
+
+/// Instantiates the banking object graph in an interpreter: a bank on
+/// `server` with accounts `A-1` (1000) and `A-2` (50); returns
+/// `(bank, a1, a2)`.
+pub fn setup_bank(
+    interp: &mut comet_interp::Interp,
+) -> (comet_interp::Value, comet_interp::Value, comet_interp::Value) {
+    use comet_interp::Value;
+    interp.add_node("client");
+    interp.add_node("server");
+    interp.add_principal("alice", &["teller"]);
+    interp.add_principal("bob", &["customer"]);
+    let bank = interp.create_on("Bank", "server").expect("Bank class generated");
+    let a1 = interp.create_on("Account", "server").expect("Account class generated");
+    let a2 = interp.create_on("Account", "server").expect("Account class generated");
+    interp.set_field(&a1, "number", Value::from("A-1")).expect("field exists");
+    interp.set_field(&a1, "balance", Value::Int(1_000)).expect("field exists");
+    interp.set_field(&a2, "number", Value::from("A-2")).expect("field exists");
+    interp.set_field(&a2, "balance", Value::Int(50)).expect("field exists");
+    interp.set_field(&bank, "a1", a1.clone()).expect("field exists");
+    interp.set_field(&bank, "a2", a2.clone()).expect("field exists");
+    (bank, a1, a2)
+}

@@ -1,0 +1,105 @@
+//! E4: the pre/postcondition machinery (paper §2): "Each generic
+//! transformation may define a set of pre- and postconditions. A
+//! configuration of a generic transformation not only specializes the
+//! transformation, but also specializes these conditions."
+
+mod common;
+
+use comet_concerns::{distribution, transactions};
+use comet_ocl::{evaluate_bool, Context};
+use comet_transform::{ParamSet, ParamValue, TransformError};
+use common::{dist_si, executable_banking_pim, tx_si};
+
+#[test]
+fn conditions_are_specialized_by_the_parameters() {
+    let (cmt, _) = transactions::pair().specialize(tx_si()).unwrap();
+    let pre = cmt.preconditions();
+    assert_eq!(pre.len(), 1);
+    assert!(pre[0].contains("'Bank'") && pre[0].contains("'transfer'"));
+    let post = cmt.postconditions();
+    assert!(post[0].contains("'Transactional'"));
+
+    // Different Si, different conditions — same generic transformation.
+    let other = ParamSet::new()
+        .with("methods", ParamValue::from(vec!["Account.withdraw".to_owned()]));
+    let (cmt2, _) = transactions::pair().specialize(other).unwrap();
+    assert!(cmt2.preconditions()[0].contains("'Account'"));
+    assert_ne!(pre, cmt2.preconditions());
+}
+
+#[test]
+fn specialized_preconditions_guard_the_initial_state() {
+    // "Specialized preconditions are used to check whether the initial
+    // state of the model allows the application."
+    let (cmt, _) = distribution::pair().specialize(dist_si()).unwrap();
+    let mut model = executable_banking_pim();
+    // First application: preconditions hold.
+    let ctx = Context::for_model(&model);
+    for pre in cmt.preconditions() {
+        assert!(evaluate_bool(&pre, &ctx).unwrap(), "{pre}");
+    }
+    cmt.apply(&mut model).unwrap();
+    // Second application: the idempotence precondition now fails.
+    let ctx = Context::for_model(&model);
+    let failing: Vec<String> = cmt
+        .preconditions()
+        .into_iter()
+        .filter(|p| !evaluate_bool(p, &ctx).unwrap())
+        .collect();
+    assert_eq!(failing.len(), 1);
+    assert!(failing[0].starts_with("not "));
+    assert!(matches!(
+        cmt.apply(&mut model).unwrap_err(),
+        TransformError::PreconditionFailed { .. }
+    ));
+}
+
+#[test]
+fn specialized_postconditions_verify_consistency_and_integrity() {
+    // "Specialized postconditions are used to check the consistency and
+    // integrity of the obtained model."
+    let (cmt, _) = distribution::pair().specialize(dist_si()).unwrap();
+    let mut model = executable_banking_pim();
+    cmt.apply(&mut model).unwrap();
+    let ctx = Context::for_model(&model);
+    for post in cmt.postconditions() {
+        assert!(evaluate_bool(&post, &ctx).unwrap(), "{post}");
+    }
+    // The engine also re-validated well-formedness.
+    assert!(model.validate().is_ok());
+}
+
+#[test]
+fn failing_postcondition_rolls_the_model_back() {
+    use comet_transform::{specialize, TransformationBuilder};
+    let gmt = TransformationBuilder::new("broken", "testing")
+        .postconditions_fn(|_| vec!["Class.allInstances()->size() = 9999".to_owned()])
+        .body(|model, _| {
+            let root = model.root();
+            model.add_class(root, "Junk")?;
+            Ok(())
+        })
+        .build();
+    let cmt = specialize(gmt, ParamSet::new()).unwrap();
+    let mut model = executable_banking_pim();
+    let snapshot = model.clone();
+    let err = cmt.apply(&mut model).unwrap_err();
+    assert!(matches!(err, TransformError::PostconditionFailed { .. }));
+    assert_eq!(model, snapshot, "the junk class must be gone");
+}
+
+#[test]
+fn condition_language_errors_are_reported_not_swallowed() {
+    use comet_transform::{specialize, TransformationBuilder};
+    let gmt = TransformationBuilder::new("typo", "testing")
+        .precondition("Class.allInstances()->slect(c | true)") // typo: slect
+        .body(|_, _| Ok(()))
+        .build();
+    let cmt = specialize(gmt, ParamSet::new()).unwrap();
+    let mut model = executable_banking_pim();
+    let err = cmt.apply(&mut model).unwrap_err();
+    match err {
+        TransformError::Condition { condition, .. } => assert!(condition.contains("slect")),
+        other => panic!("expected Condition error, got {other}"),
+    }
+}

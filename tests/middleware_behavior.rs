@@ -1,0 +1,155 @@
+//! E9: middleware-substrate characterization through woven code —
+//! distributed transactions with 2PC, failure injection on the bus and
+//! on participant votes, and the deterministic-simulation guarantee.
+
+mod common;
+
+use comet_aop::Weaver;
+use comet_codegen::{Block, BodyProvider, Expr, FunctionalGenerator, LValue, Stmt};
+use comet_concerns::transactions;
+use comet_interp::{Interp, Value};
+use comet_middleware::MiddlewareConfig;
+use comet_model::{ModelBuilder, Primitive, TypeRef};
+use comet_transform::{ParamSet, ParamValue};
+
+/// A driver that writes to two stores inside one transaction; the stores
+/// live on different nodes, so commit requires 2PC.
+fn two_store_program() -> comet_codegen::Program {
+    let mut model = ModelBuilder::new("stores")
+        .class("Store", |c| c.attribute("v", Primitive::Int))
+        .expect("valid")
+        .build();
+    let store = model.find_class("Store").expect("exists");
+    let root = model.root();
+    let driver = model.add_class(root, "Driver").expect("valid");
+    model.add_attribute(driver, "s1", TypeRef::Element(store)).expect("valid");
+    model.add_attribute(driver, "s2", TypeRef::Element(store)).expect("valid");
+    let both = model.add_operation(driver, "writeBoth").expect("valid");
+    model.add_parameter(both, "x", Primitive::Int.into()).expect("valid");
+
+    let body = Block::of(vec![
+        Stmt::Assign {
+            target: LValue::Field { recv: Expr::this_field("s1"), name: "v".into() },
+            value: Expr::var("x"),
+        },
+        Stmt::Assign {
+            target: LValue::Field { recv: Expr::this_field("s2"), name: "v".into() },
+            value: Expr::var("x"),
+        },
+    ]);
+    let bodies = BodyProvider::new().provide("Driver::writeBoth", body);
+    let functional = FunctionalGenerator::new().generate(&model, &bodies);
+    let (_, aspect) = transactions::pair()
+        .specialize(
+            ParamSet::new()
+                .with("methods", ParamValue::from(vec!["Driver.writeBoth".to_owned()])),
+        )
+        .unwrap();
+    Weaver::new(vec![aspect]).weave(&functional).unwrap().program
+}
+
+fn setup(config: MiddlewareConfig) -> (Interp, Value, Value, Value) {
+    let mut interp = Interp::with_config(two_store_program(), config);
+    interp.add_node("n1");
+    interp.add_node("n2");
+    let s1 = interp.create_on("Store", "n1").unwrap();
+    let s2 = interp.create_on("Store", "n2").unwrap();
+    let d = interp.create("Driver").unwrap();
+    interp.set_field(&d, "s1", s1.clone()).unwrap();
+    interp.set_field(&d, "s2", s2.clone()).unwrap();
+    (interp, d, s1, s2)
+}
+
+#[test]
+fn cross_node_transaction_commits_via_2pc() {
+    let (mut interp, d, s1, s2) = setup(MiddlewareConfig::default());
+    interp.call(d, "writeBoth", vec![Value::Int(9)]).unwrap();
+    assert_eq!(interp.field(&s1, "v").unwrap(), Value::Int(9));
+    assert_eq!(interp.field(&s2, "v").unwrap(), Value::Int(9));
+    let tx = interp.middleware().tx.stats();
+    assert_eq!(tx.two_phase_commits, 1);
+    assert_eq!(tx.two_phase_aborts, 0);
+    assert_eq!(tx.committed, 1);
+}
+
+#[test]
+fn injected_abort_vote_rolls_back_both_nodes() {
+    let config =
+        MiddlewareConfig { vote_abort_probability: 1.0, ..MiddlewareConfig::default() };
+    let (mut interp, d, s1, s2) = setup(config);
+    let err = interp.call(d, "writeBoth", vec![Value::Int(9)]).unwrap_err();
+    assert!(err.to_string().contains("voted no"));
+    assert_eq!(interp.field(&s1, "v").unwrap(), Value::Int(0));
+    assert_eq!(interp.field(&s2, "v").unwrap(), Value::Int(0));
+    let tx = interp.middleware().tx.stats();
+    assert_eq!(tx.two_phase_aborts, 1);
+    assert_eq!(tx.rolled_back, 1);
+}
+
+#[test]
+fn message_loss_surfaces_as_catchable_failure() {
+    use common::{banking_bodies, executable_banking_pim, setup_bank};
+    use comet_concerns::distribution;
+    // Apply the CMT first: it adds `registerRemote` to the model, so the
+    // functional generator emits it and the CA can advise it.
+    let mut model = executable_banking_pim();
+    let (cmt, aspect) = distribution::pair().specialize(common::dist_si()).unwrap();
+    cmt.apply(&mut model).unwrap();
+    let functional = FunctionalGenerator::new().generate(&model, &banking_bodies());
+    let woven = Weaver::new(vec![aspect]).weave(&functional).unwrap().program;
+    let config = MiddlewareConfig { drop_probability: 1.0, ..MiddlewareConfig::default() };
+    let mut interp = Interp::with_config(woven, config);
+    let (bank, _, _) = setup_bank(&mut interp);
+    // Registration is local bookkeeping; the remote call then hits the
+    // fully lossy network.
+    interp.call(bank.clone(), "registerRemote", vec![]).unwrap();
+    interp.middleware_mut().bus.set_current_node("client").unwrap();
+    let err = interp
+        .call(
+            bank,
+            "transfer",
+            vec![Value::from("A-1"), Value::from("A-2"), Value::Int(5)],
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("lost"));
+    assert_eq!(interp.middleware().bus.stats().lost, 1);
+    assert_eq!(interp.middleware().bus.stats().delivered, 0);
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_traces() {
+    let run = |seed: u64| {
+        let config = MiddlewareConfig { seed, ..MiddlewareConfig::default() };
+        let (mut interp, d, _, _) = setup(config);
+        for i in 0..10 {
+            interp.call(d.clone(), "writeBoth", vec![Value::Int(i)]).unwrap();
+        }
+        (interp.middleware().now_us(), interp.middleware().bus.stats())
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7).0, run(8).0);
+}
+
+#[test]
+fn locks_released_after_rollback_allow_next_transaction() {
+    // A transaction that acquires a lock, fails, and rolls back must not
+    // leave the lock behind.
+    let program = two_store_program();
+    let config =
+        MiddlewareConfig { vote_abort_probability: 1.0, ..MiddlewareConfig::default() };
+    let mut interp = Interp::with_config(program, config);
+    interp.add_node("n1");
+    interp.add_node("n2");
+    let s1 = interp.create_on("Store", "n1").unwrap();
+    let s2 = interp.create_on("Store", "n2").unwrap();
+    let d = interp.create("Driver").unwrap();
+    interp.set_field(&d, "s1", s1).unwrap();
+    interp.set_field(&d, "s2", s2).unwrap();
+    assert!(interp.call(d.clone(), "writeBoth", vec![Value::Int(1)]).is_err());
+    // No lock is held by the dead transaction.
+    assert_eq!(interp.middleware().locks.holder("anything"), None);
+    // The next attempt gets a fresh transaction (and fails again only
+    // because the abort injection is still at 100%).
+    assert!(interp.call(d, "writeBoth", vec![Value::Int(2)]).is_err());
+    assert_eq!(interp.middleware().tx.stats().begun, 2);
+}

@@ -1,0 +1,124 @@
+//! E3: the semantic-coupling experiment as an automated check (the
+//! narrated version lives in `examples/semantic_coupling.rs`).
+//!
+//! Claim under test (paper §1, answering Kienzle & Guerraoui): a generic
+//! transactional aspect without application knowledge either fails to
+//! protect state or violates application semantics; the `Si` that
+//! specialized the model transformation carries exactly the knowledge
+//! the aspect needs.
+
+mod common;
+
+use comet_aop::{parse_pointcut, Advice, AdviceKind, Aspect, Weaver};
+use comet_codegen::{Block, Expr, IrType, Program, Stmt};
+use comet_concerns::transactions;
+use comet_interp::{Interp, Value};
+use comet_transform::{ParamSet, ParamValue};
+use common::{banking_bodies, executable_banking_pim, setup_bank};
+
+fn functional() -> Program {
+    comet_codegen::FunctionalGenerator::new()
+        .generate(&executable_banking_pim(), &banking_bodies())
+}
+
+fn crash_transfer(interp: &mut Interp, bank: Value) {
+    let _ = interp.call(
+        bank,
+        "transfer",
+        vec![Value::from("A-1"), Value::from("A-2"), Value::Int(13)],
+    );
+}
+
+#[test]
+fn unprotected_functional_code_corrupts_state_on_crash() {
+    let mut interp = Interp::new(functional());
+    let (bank, a1, a2) = setup_bank(&mut interp);
+    crash_transfer(&mut interp, bank);
+    assert_eq!(interp.field(&a1, "balance").unwrap(), Value::Int(987));
+    assert_eq!(interp.field(&a2, "balance").unwrap(), Value::Int(50));
+}
+
+#[test]
+fn aspect_with_empty_si_matches_nothing_and_protects_nothing() {
+    // The "fully generic" aspect: correct template, but an empty method
+    // list because no application knowledge exists to fill it.
+    let (_, aspect) = transactions::pair()
+        .specialize(ParamSet::new().with("methods", ParamValue::StrList(Vec::new())))
+        .unwrap();
+    assert!(aspect.advices.is_empty(), "no Si, no join points");
+    let woven = Weaver::new(vec![aspect]).weave(&functional()).unwrap();
+    assert!(woven.trace.is_empty());
+    let mut interp = Interp::new(woven.program);
+    let (bank, a1, _) = setup_bank(&mut interp);
+    crash_transfer(&mut interp, bank);
+    // Still corrupted.
+    assert_eq!(interp.field(&a1, "balance").unwrap(), Value::Int(987));
+}
+
+#[test]
+fn wrap_everything_aspect_overpays_and_misses_nested_semantics() {
+    // Indiscriminate wrapping: protects transfer, but drags every query
+    // into a transaction.
+    let naive = Aspect::new("naive").with_advice(Advice::new(
+        AdviceKind::Around,
+        parse_pointcut("execution(*.*)").unwrap(),
+        Block::of(vec![
+            Stmt::If {
+                cond: Expr::intrinsic("tx.active", vec![]),
+                then_block: Block::of(vec![Stmt::ret(Expr::Proceed(vec![]))]),
+                else_block: None,
+            },
+            Stmt::Expr(Expr::intrinsic("tx.begin", vec![Expr::str("rc")])),
+            Stmt::TryCatch {
+                body: Block::of(vec![
+                    Stmt::Local {
+                        name: "__r".into(),
+                        ty: IrType::Str,
+                        init: Some(Expr::Proceed(vec![])),
+                    },
+                    Stmt::Expr(Expr::intrinsic("tx.commit", vec![])),
+                    Stmt::ret(Expr::var("__r")),
+                ]),
+                var: "__e".into(),
+                handler: Block::of(vec![
+                    Stmt::Expr(Expr::intrinsic("tx.rollback", vec![])),
+                    Stmt::Throw(Expr::var("__e")),
+                ]),
+                finally: None,
+            },
+        ]),
+    ));
+    let woven = Weaver::new(vec![naive]).weave(&functional()).unwrap();
+    let mut interp = Interp::new(woven.program);
+    let (bank, a1, _) = setup_bank(&mut interp);
+    crash_transfer(&mut interp, bank.clone());
+    // State protected...
+    assert_eq!(interp.field(&a1, "balance").unwrap(), Value::Int(1_000));
+    // ...but queries now pay for transactions too.
+    let before = interp.middleware().tx.stats().begun;
+    interp
+        .call(bank, "getBalance", vec![Value::from("A-1")])
+        .unwrap();
+    assert_eq!(interp.middleware().tx.stats().begun, before + 1);
+}
+
+#[test]
+fn si_specialized_aspect_protects_exactly_the_declared_boundary() {
+    let (_, aspect) = transactions::pair()
+        .specialize(
+            ParamSet::new().with("methods", ParamValue::from(vec!["Bank.transfer".to_owned()])),
+        )
+        .unwrap();
+    let woven = Weaver::new(vec![aspect]).weave(&functional()).unwrap();
+    let mut interp = Interp::new(woven.program);
+    let (bank, a1, a2) = setup_bank(&mut interp);
+    crash_transfer(&mut interp, bank.clone());
+    assert_eq!(interp.field(&a1, "balance").unwrap(), Value::Int(1_000));
+    assert_eq!(interp.field(&a2, "balance").unwrap(), Value::Int(50));
+    // Queries stay transaction-free.
+    let before = interp.middleware().tx.stats().begun;
+    interp
+        .call(bank, "getBalance", vec![Value::from("A-1")])
+        .unwrap();
+    assert_eq!(interp.middleware().tx.stats().begun, before);
+}

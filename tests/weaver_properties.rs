@@ -1,0 +1,175 @@
+//! E10: weaver invariants, including property-based coverage — public
+//! signatures survive weaving, no `proceed` escapes, no-match weaving is
+//! the identity, and the OCL/pointcut parsers round-trip through their
+//! pretty printers.
+
+mod common;
+
+use comet_aop::{parse_pointcut, Advice, AdviceKind, Aspect, Weaver};
+use comet_codegen::{
+    check_program, Block, ClassDecl, Expr, IrType, MethodDecl, Param, Program, Stmt,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random program of simple classes and methods.
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(
+        ("[A-Z][a-z]{1,6}", prop::collection::vec("[a-z]{1,6}", 1..4)),
+        1..4,
+    )
+    .prop_map(|classes| {
+        let mut p = Program::new("arb");
+        for (cname, methods) in classes {
+            if p.find_class(&cname).is_some() {
+                continue;
+            }
+            let mut c = ClassDecl::new(&cname);
+            for m in methods {
+                if c.find_method(&m).is_some() {
+                    continue;
+                }
+                let mut method = MethodDecl::new(&m);
+                method.params.push(Param::new("x", IrType::Int));
+                method.ret = IrType::Int;
+                method.body = Block::of(vec![Stmt::ret(Expr::var("x"))]);
+                c.methods.push(method);
+            }
+            p.classes.push(c);
+        }
+        p
+    })
+}
+
+fn logging_aspect(pointcut: &str) -> Aspect {
+    Aspect::new("log").with_advice(Advice::new(
+        AdviceKind::Before,
+        parse_pointcut(pointcut).expect("valid pointcut"),
+        Block::of(vec![Stmt::Expr(Expr::intrinsic(
+            "log.emit",
+            vec![Expr::str("info"), Expr::var("__jp")],
+        ))]),
+    ))
+}
+
+fn around_aspect(pointcut: &str) -> Aspect {
+    Aspect::new("wrap").with_advice(Advice::new(
+        AdviceKind::Around,
+        parse_pointcut(pointcut).expect("valid pointcut"),
+        Block::of(vec![Stmt::ret(Expr::Proceed(vec![]))]),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn weaving_preserves_public_signatures(program in arb_program()) {
+        let weaver = Weaver::new(vec![logging_aspect("execution(*.*)"), around_aspect("execution(*.*)")]);
+        let woven = weaver.weave(&program).unwrap().program;
+        for class in &program.classes {
+            let wc = woven.find_class(&class.name).unwrap();
+            for m in &class.methods {
+                let wm = wc.find_method(&m.name).unwrap();
+                prop_assert_eq!(&wm.params, &m.params);
+                prop_assert_eq!(&wm.ret, &m.ret);
+            }
+        }
+    }
+
+    #[test]
+    fn woven_programs_are_always_clean(program in arb_program()) {
+        let weaver = Weaver::new(vec![around_aspect("execution(*.*)")]);
+        let woven = weaver.weave(&program).unwrap().program;
+        prop_assert!(check_program(&woven).is_empty());
+    }
+
+    #[test]
+    fn no_match_weaving_is_identity(program in arb_program()) {
+        let weaver = Weaver::new(vec![logging_aspect("execution(Nothing.matches)")]);
+        let result = weaver.weave(&program).unwrap();
+        prop_assert_eq!(result.program, program);
+        prop_assert!(result.trace.is_empty());
+    }
+
+    #[test]
+    fn trace_count_equals_matched_methods(program in arb_program()) {
+        let weaver = Weaver::new(vec![logging_aspect("execution(*.*)")]);
+        let result = weaver.weave(&program).unwrap();
+        let method_count: usize = program.classes.iter().map(|c| c.methods.len()).sum();
+        prop_assert_eq!(result.trace.len(), method_count);
+    }
+
+    #[test]
+    fn pointcut_display_reparses(class in "[A-Za-z*]{1,6}", method in "[a-z*]{1,6}") {
+        let src = format!("execution({class}.{method}) && !within(Test*) || args(2)");
+        let pc = parse_pointcut(&src).unwrap();
+        let printed = pc.to_string();
+        let re = parse_pointcut(&printed).unwrap();
+        prop_assert_eq!(pc, re);
+    }
+
+    #[test]
+    fn ocl_pretty_print_reparses(a in 0i64..100, b in 1i64..100, name in "[a-z]{1,8}") {
+        let src = format!(
+            "let {name} = {a} + {b} in if {name} > {b} then {name} * 2 else -{name} endif"
+        );
+        let e1 = comet_ocl::parse(&src).unwrap();
+        let printed = e1.to_string();
+        let e2 = comet_ocl::parse(&printed).unwrap();
+        prop_assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn ocl_arithmetic_matches_rust(a in -50i64..50, b in 1i64..50) {
+        let m = comet_model::Model::new("m");
+        let ctx = comet_ocl::Context::for_model(&m);
+        let v = comet_ocl::evaluate(&format!("{a} + {b} * 2 - {a} mod {b}"), &ctx).unwrap();
+        prop_assert_eq!(v, comet_ocl::Value::Int(a + b * 2 - a.rem_euclid(b)));
+    }
+
+    #[test]
+    fn name_pattern_matches_agree_with_naive(pattern in "[ab*]{0,6}", text in "[ab]{0,6}") {
+        // Naive reference: dynamic programming glob matcher.
+        fn naive(p: &[u8], t: &[u8]) -> bool {
+            let (np, nt) = (p.len(), t.len());
+            let mut dp = vec![vec![false; nt + 1]; np + 1];
+            dp[0][0] = true;
+            for i in 1..=np {
+                dp[i][0] = dp[i - 1][0] && p[i - 1] == b'*';
+            }
+            for i in 1..=np {
+                for j in 1..=nt {
+                    dp[i][j] = if p[i - 1] == b'*' {
+                        dp[i - 1][j] || dp[i][j - 1]
+                    } else {
+                        dp[i - 1][j - 1] && p[i - 1] == t[j - 1]
+                    };
+                }
+            }
+            dp[np][nt]
+        }
+        let fast = comet_aop::NamePattern::new(pattern.clone()).matches(&text);
+        prop_assert_eq!(fast, naive(pattern.as_bytes(), text.as_bytes()));
+    }
+}
+
+#[test]
+fn execution_weaving_runs_before_advice_exactly_once_per_call() {
+    // Deterministic complement to the property tests: run the woven
+    // program and count log records.
+    let mut p = Program::new("x");
+    let mut c = ClassDecl::new("A");
+    let mut m = MethodDecl::new("f");
+    m.ret = IrType::Int;
+    m.body = Block::of(vec![Stmt::ret(Expr::int(1))]);
+    c.methods.push(m);
+    p.classes.push(c);
+    let woven = Weaver::new(vec![logging_aspect("execution(A.f)")]).weave(&p).unwrap().program;
+    let mut interp = comet_interp::Interp::new(woven);
+    let a = interp.create("A").unwrap();
+    for _ in 0..5 {
+        interp.call(a.clone(), "f", vec![]).unwrap();
+    }
+    assert_eq!(interp.middleware().log.len(), 5);
+    assert_eq!(interp.middleware().log.records()[0].message, "A.f");
+}

@@ -1,0 +1,80 @@
+//! E8: workflow-guided refinement (Section 3, last bullet) through the
+//! lifecycle: allowed sequences, remaining-concern guidance, and the
+//! interplay with undo.
+
+mod common;
+
+use comet::{LifecycleError, MdaLifecycle};
+use comet_concerns::{distribution, security, transactions};
+use comet_workflow::{OrderConstraint, WorkflowModel};
+use common::{dist_si, executable_banking_pim, sec_si, tx_si};
+
+fn constrained_workflow() -> WorkflowModel {
+    WorkflowModel::new("e8")
+        .step("distribution", false)
+        .step("transactions", false)
+        .step("security", false)
+        .constraint(OrderConstraint::Before("distribution".into(), "security".into()))
+        .constraint(OrderConstraint::Before("distribution".into(), "transactions".into()))
+}
+
+#[test]
+fn guidance_narrows_as_steps_apply() {
+    let mut mda = MdaLifecycle::new(executable_banking_pim(), constrained_workflow()).unwrap();
+    assert_eq!(mda.workflow().allowed_next(), vec!["distribution"]);
+    assert_eq!(mda.remaining_concerns().len(), 3);
+
+    mda.apply_concern(&distribution::pair(), dist_si()).unwrap();
+    assert_eq!(mda.workflow().allowed_next(), vec!["transactions", "security"]);
+
+    mda.apply_concern(&security::pair(), sec_si()).unwrap();
+    assert_eq!(mda.workflow().allowed_next(), vec!["transactions"]);
+    assert_eq!(mda.remaining_concerns(), vec!["transactions"]);
+    assert!(!mda.workflow().is_complete());
+
+    mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
+    assert!(mda.workflow().is_complete());
+    assert!(mda.workflow().allowed_next().is_empty());
+}
+
+#[test]
+fn out_of_order_application_is_rejected_atomically() {
+    let mut mda = MdaLifecycle::new(executable_banking_pim(), constrained_workflow()).unwrap();
+    let err = mda.apply_concern(&transactions::pair(), tx_si()).unwrap_err();
+    assert!(matches!(err, LifecycleError::Workflow(_)));
+    assert!(err.to_string().contains("must be applied before"));
+    // Nothing changed anywhere.
+    assert_eq!(mda.model(), &executable_banking_pim());
+    assert_eq!(mda.repository().log().len(), 1);
+    assert!(mda.applied().is_empty());
+}
+
+#[test]
+fn unplanned_concerns_are_rejected() {
+    let workflow = WorkflowModel::new("only-tx").step("transactions", false);
+    let mut mda = MdaLifecycle::new(executable_banking_pim(), workflow).unwrap();
+    let err = mda.apply_concern(&distribution::pair(), dist_si()).unwrap_err();
+    assert!(matches!(err, LifecycleError::Workflow(_)));
+}
+
+#[test]
+fn undo_reopens_the_workflow_step() {
+    let mut mda = MdaLifecycle::new(executable_banking_pim(), constrained_workflow()).unwrap();
+    mda.apply_concern(&distribution::pair(), dist_si()).unwrap();
+    mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
+    assert!(!mda.workflow().allowed_next().contains(&"transactions"));
+    mda.undo_last().unwrap();
+    // Transactions can be applied again (e.g. with different Si).
+    assert!(mda.workflow().allowed_next().contains(&"transactions"));
+    mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
+    assert_eq!(mda.workflow().applied(), &["distribution".to_owned(), "transactions".to_owned()]);
+}
+
+#[test]
+fn double_application_of_a_concern_is_rejected() {
+    let mut mda = MdaLifecycle::new(executable_banking_pim(), constrained_workflow()).unwrap();
+    mda.apply_concern(&distribution::pair(), dist_si()).unwrap();
+    let err = mda.apply_concern(&distribution::pair(), dist_si()).unwrap_err();
+    assert!(matches!(err, LifecycleError::Workflow(_)));
+    assert!(err.to_string().contains("already applied"));
+}

@@ -1,0 +1,111 @@
+//! E7: XMI import/export (Section 3) — fidelity across the whole
+//! refinement, including concern marks, plus property-based round-trip
+//! coverage over randomly shaped models.
+
+mod common;
+
+use comet::MdaLifecycle;
+use comet_concerns::{distribution, transactions};
+use comet_model::{Model, Primitive, TagValue};
+use comet_workflow::WorkflowModel;
+use comet_xmi::{export_model, import_model};
+use common::{dist_si, executable_banking_pim, tx_si};
+use proptest::prelude::*;
+
+#[test]
+fn refined_psm_round_trips_with_all_marks() {
+    let workflow = WorkflowModel::new("e7")
+        .step("distribution", false)
+        .step("transactions", false);
+    let mut mda = MdaLifecycle::new(executable_banking_pim(), workflow).unwrap();
+    mda.apply_concern(&distribution::pair(), dist_si()).unwrap();
+    mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
+
+    let xmi = export_model(mda.model());
+    let back = import_model(&xmi).unwrap();
+    assert_eq!(&back, mda.model());
+    // The marks specifically survive.
+    let bank = back.find_class("Bank").unwrap();
+    assert!(back.has_stereotype(bank, "Remote").unwrap());
+    let transfer = back.find_operation(bank, "transfer").unwrap();
+    assert_eq!(
+        back.element(transfer).unwrap().core().tag("comet.tx.isolation").unwrap().as_str(),
+        Some("serializable")
+    );
+    assert_eq!(back.concern_of(back.find_class("BankProxy").unwrap()), Some("distribution"));
+}
+
+#[test]
+fn import_rejects_tampered_snapshots() {
+    let xmi = export_model(&executable_banking_pim());
+    // Flip an owner reference to a dangling id.
+    let tampered = xmi.replacen("owner=\"#1\"", "owner=\"#4242\"", 1);
+    assert_ne!(xmi, tampered);
+    assert!(import_model(&tampered).is_err());
+}
+
+/// Strategy: a random small model built through the checked API (so it
+/// is well-formed by construction).
+fn arb_model() -> impl Strategy<Value = Model> {
+    (
+        1usize..6,                 // classes
+        0usize..4,                 // attributes each
+        0usize..3,                 // operations each
+        prop::collection::vec(any::<bool>(), 0..5), // generalization picks
+        prop::collection::vec("[a-z]{1,8}", 0..4),  // stereotypes
+    )
+        .prop_map(|(classes, attrs, ops, gens, stereos)| {
+            let mut m = Model::new("arb");
+            let root = m.root();
+            let mut class_ids = Vec::new();
+            for c in 0..classes {
+                let id = m.add_class(root, &format!("K{c}")).expect("unique");
+                for a in 0..attrs {
+                    m.add_attribute(id, &format!("f{a}"), Primitive::Int.into())
+                        .expect("unique");
+                }
+                for o in 0..ops {
+                    let op = m.add_operation(id, &format!("m{o}")).expect("unique");
+                    m.add_parameter(op, "x", Primitive::Str.into()).expect("unique");
+                }
+                class_ids.push(id);
+            }
+            for (i, pick) in gens.iter().enumerate() {
+                if *pick && i + 1 < class_ids.len() {
+                    let _ = m.add_generalization(class_ids[i + 1], class_ids[i]);
+                }
+            }
+            for (i, s) in stereos.iter().enumerate() {
+                if let Some(&id) = class_ids.get(i % class_ids.len().max(1)) {
+                    m.apply_stereotype(id, s).expect("class exists");
+                    m.set_tag(id, &format!("tag.{s}"), TagValue::Int(i as i64))
+                        .expect("class exists");
+                }
+            }
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xmi_round_trip_is_identity(model in arb_model()) {
+        let xmi = export_model(&model);
+        let back = import_model(&xmi).unwrap();
+        prop_assert_eq!(back, model);
+    }
+
+    #[test]
+    fn exported_documents_always_reparse_as_xml(model in arb_model()) {
+        let xmi = export_model(&model);
+        prop_assert!(comet_xmi::parse_xml(&xmi).is_ok());
+    }
+
+    #[test]
+    fn double_export_is_stable(model in arb_model()) {
+        let once = export_model(&model);
+        let twice = export_model(&import_model(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+}
