@@ -44,6 +44,7 @@
 //! ```
 
 mod advice;
+mod index;
 mod metrics;
 mod pattern;
 mod pointcut;

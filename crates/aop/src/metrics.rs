@@ -71,10 +71,8 @@ impl fmt::Display for MetricsReport {
 /// Computes concern metrics for `program`, attributing statements to the
 /// given concern prefixes (without the trailing dot, e.g. `["tx","sec"]`).
 pub fn concern_metrics(program: &Program, prefixes: &[&str]) -> MetricsReport {
-    let mut report = MetricsReport {
-        total_statements: program.statement_count(),
-        ..MetricsReport::default()
-    };
+    let mut report =
+        MetricsReport { total_statements: program.statement_count(), ..MetricsReport::default() };
     for prefix in prefixes {
         report.concerns.insert((*prefix).to_owned(), ConcernMetrics::default());
     }
@@ -86,10 +84,7 @@ pub fn concern_metrics(program: &Program, prefixes: &[&str]) -> MetricsReport {
             for prefix in prefixes {
                 let count = count_block(&method.body, prefix);
                 if count > 0 {
-                    let m = report
-                        .concerns
-                        .get_mut(*prefix)
-                        .expect("prefix inserted above");
+                    let m = report.concerns.get_mut(*prefix).expect("prefix inserted above");
                     m.statements += count;
                     m.scattered_methods += 1;
                     method_concerns += 1;
@@ -101,11 +96,7 @@ pub fn concern_metrics(program: &Program, prefixes: &[&str]) -> MetricsReport {
             }
         }
         for (prefix, _) in class_concerns {
-            report
-                .concerns
-                .get_mut(prefix)
-                .expect("prefix inserted above")
-                .scattered_classes += 1;
+            report.concerns.get_mut(prefix).expect("prefix inserted above").scattered_classes += 1;
         }
     }
     report
@@ -160,7 +151,7 @@ fn expr_has_intrinsic(expr: &Expr, prefix: &str) -> bool {
         }
         Expr::Field { recv, .. } => expr_has_intrinsic(recv, prefix),
         Expr::Call { recv, args, .. } => {
-            recv.as_ref().map_or(false, |r| expr_has_intrinsic(r, prefix))
+            recv.as_ref().is_some_and(|r| expr_has_intrinsic(r, prefix))
                 || args.iter().any(|a| expr_has_intrinsic(a, prefix))
         }
         Expr::New { args, .. } | Expr::ListLit(args) | Expr::Proceed(args) => {
@@ -222,11 +213,8 @@ mod tests {
 
     #[test]
     fn prefix_matching_requires_dot_boundary() {
-        let p = program_with(vec![(
-            "A",
-            "m",
-            vec![Stmt::Expr(Expr::intrinsic("txn.other", vec![]))],
-        )]);
+        let p =
+            program_with(vec![("A", "m", vec![Stmt::Expr(Expr::intrinsic("txn.other", vec![]))])]);
         let r = concern_metrics(&p, &["tx"]);
         assert_eq!(r.concerns["tx"].statements, 0);
     }

@@ -118,7 +118,7 @@ impl Pointcut {
         match self {
             Pointcut::Call { .. } => true,
             Pointcut::And(l, r) | Pointcut::Or(l, r) => l.selects_calls() || r.selects_calls(),
-            Pointcut::Not(p) => p.selects_calls() ,
+            Pointcut::Not(p) => p.selects_calls(),
             Pointcut::Cflow(p) => p.selects_calls(),
             _ => false,
         }
@@ -134,9 +134,7 @@ impl Pointcut {
         fn contains_cflow(p: &Pointcut) -> bool {
             match p {
                 Pointcut::Cflow(_) => true,
-                Pointcut::And(l, r) | Pointcut::Or(l, r) => {
-                    contains_cflow(l) || contains_cflow(r)
-                }
+                Pointcut::And(l, r) | Pointcut::Or(l, r) => contains_cflow(l) || contains_cflow(r),
                 Pointcut::Not(inner) => contains_cflow(inner),
                 _ => false,
             }
@@ -377,7 +375,7 @@ impl<'a> PcParser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use comet_codegen::{Annotation, Param, IrType};
+    use comet_codegen::{Annotation, IrType, Param};
 
     fn class(name: &str) -> ClassDecl {
         ClassDecl::new(name)

@@ -20,12 +20,28 @@
 //! (`x.m(...);`, `local r = x.m(...);`, `v = x.m(...);`) with `before`
 //! and `after` advice. Calls to weaver-generated helpers (names
 //! containing `__`) are never advised, so woven code is not re-advised.
+//!
+//! ## Performance: match indexing and per-class parallelism
+//!
+//! [`Weaver::weave`] first builds a read-only [`MatchIndex`] (one pass,
+//! every pointcut evaluated once per method / once per distinct callee
+//! — see `index.rs` for the tables and for the critical-pair argument
+//! that classes are independent units of work), then weaves classes in
+//! parallel with rayon, cloning each class exactly once as it is woven
+//! instead of cloning the whole program up front. The trace is
+//! assembled phase-by-phase in class order, so output and trace are
+//! byte-identical to the sequential reference implementation
+//! [`Weaver::weave_naive`], which is retained as the differential
+//! oracle for the property tests and as the "before" benchmark
+//! baseline. The worker thread count follows the ambient rayon pool:
+//! wrap the call in `ThreadPool::install` (as `comet-cli --threads`
+//! does) to pin it.
 
 use crate::advice::{Advice, AdviceKind, Aspect};
+use crate::index::{ClassMatches, MatchIndex, MethodMatches};
 use comet_codegen::marks::intrinsics::{CFLOW_ACTIVE, CFLOW_ENTER, CFLOW_EXIT};
-use comet_codegen::{
-    Block, ClassDecl, Expr, IrType, IrUnOp, LValue, MethodDecl, Program, Stmt,
-};
+use comet_codegen::{Block, ClassDecl, Expr, IrType, IrUnOp, LValue, MethodDecl, Program, Stmt};
+use rayon::prelude::*;
 use std::fmt;
 
 /// Weaving failure.
@@ -120,12 +136,69 @@ impl Weaver {
         &self.aspects
     }
 
-    /// Weaves all aspects into a copy of `program`.
+    /// Weaves all aspects into a copy of `program` using the
+    /// match-indexed, per-class-parallel pipeline (see module docs).
     ///
     /// # Errors
     /// Returns [`WeaveError`] when an aspect combines a `call(...)`
-    /// pointcut with an unsupported advice kind.
+    /// pointcut with an unsupported advice kind, or places `cflow` in a
+    /// position the weaver cannot residue-compile.
     pub fn weave(&self, program: &Program) -> Result<WeaveResult, WeaveError> {
+        let instrumentation = self.validate_and_instrument()?;
+        let aspects = effective_aspects(&self.aspects, instrumentation.as_ref());
+        let index = MatchIndex::build(&aspects, program);
+        let class_indices: Vec<usize> = (0..program.classes.len()).collect();
+        let woven_classes: Vec<(ClassDecl, Vec<WovenJoinPoint>, Vec<WovenJoinPoint>)> =
+            class_indices
+                .par_iter()
+                .map(|&i| weave_class(&aspects, &program.classes[i], index.class(i)))
+                .collect();
+        // Reassemble in class order with the naive weaver's global phase
+        // order: all call records first, then all execution records.
+        let mut out = Program::new(program.name.clone());
+        let mut trace = Vec::new();
+        let mut exec_traces = Vec::with_capacity(woven_classes.len());
+        for (class, call_trace, exec_trace) in woven_classes {
+            out.classes.push(class);
+            trace.extend(call_trace);
+            exec_traces.push(exec_trace);
+        }
+        for exec_trace in exec_traces {
+            trace.extend(exec_trace);
+        }
+        Ok(WeaveResult { program: out, trace })
+    }
+
+    /// The sequential reference weaver: re-evaluates every pointcut at
+    /// every shadow and clones the whole program up front.
+    ///
+    /// Kept deliberately: it is the differential oracle for
+    /// [`Weaver::weave`] (the property suite asserts byte-identical
+    /// output) and the "before" baseline in `e10_weaver` /
+    /// `BENCH_weaver.json`. Not deprecated, but new code should call
+    /// [`Weaver::weave`].
+    ///
+    /// # Errors
+    /// Same conditions as [`Weaver::weave`].
+    pub fn weave_naive(&self, program: &Program) -> Result<WeaveResult, WeaveError> {
+        let instrumentation = self.validate_and_instrument()?;
+        let aspects = effective_aspects(&self.aspects, instrumentation.as_ref());
+        let mut woven = program.clone();
+        let mut trace = Vec::new();
+        // Calls first: execution weaving moves functional bodies into
+        // `__`-suffixed helpers, which the call pass (correctly) skips as
+        // containers, so call shadows must be found before that move.
+        naive_weave_calls(&aspects, &mut woven, &mut trace);
+        naive_weave_executions(&aspects, &mut woven, &mut trace);
+        Ok(WeaveResult { program: woven, trace })
+    }
+
+    /// Validates advice kinds at call shadows and cflow positions, and
+    /// synthesizes the cflow counter-instrumentation aspect when any
+    /// `cflow(...)` conjunct is present (the AspectJ strategy:
+    /// enter/exit counters around the cflow-defining join points, an
+    /// `active` check guarding the advice bodies).
+    fn validate_and_instrument(&self) -> Result<Option<Aspect>, WeaveError> {
         for aspect in &self.aspects {
             for advice in &aspect.advices {
                 if advice.pointcut.selects_calls()
@@ -138,11 +211,6 @@ impl Weaver {
                 }
             }
         }
-        // Collect cflow residues across all aspects, validating their
-        // positions, and synthesize the counter instrumentation as an
-        // extra outermost aspect (the AspectJ strategy: enter/exit
-        // counters around the cflow-defining join points, an `active`
-        // check guarding the advice bodies).
         let mut cflow_inners: Vec<crate::pointcut::Pointcut> = Vec::new();
         for aspect in &self.aspects {
             for advice in &aspect.advices {
@@ -156,370 +224,568 @@ impl Weaver {
                 }
             }
         }
-        let effective = if cflow_inners.is_empty() {
-            self.clone()
-        } else {
-            let mut instr = Aspect::new("__cflow_instrumentation");
-            for inner in &cflow_inners {
-                instr.advices.push(Advice::new(
-                    AdviceKind::Around,
-                    inner.clone(),
-                    cflow_instrumentation_body(&cflow_key(inner)),
-                ));
+        if cflow_inners.is_empty() {
+            return Ok(None);
+        }
+        let mut instr = Aspect::new("__cflow_instrumentation");
+        for inner in &cflow_inners {
+            instr.advices.push(Advice::new(
+                AdviceKind::Around,
+                inner.clone(),
+                cflow_instrumentation_body(&cflow_key(inner)),
+            ));
+        }
+        Ok(Some(instr))
+    }
+}
+
+/// The effective aspect list in precedence order: the synthesized cflow
+/// instrumentation (outermost) followed by the user aspects — borrowed,
+/// so the common no-cflow case costs nothing (previously this path
+/// cloned the entire weaver, aspect bodies and all).
+fn effective_aspects<'a>(
+    own: &'a [Aspect],
+    instrumentation: Option<&'a Aspect>,
+) -> Vec<&'a Aspect> {
+    match instrumentation {
+        Some(instr) => std::iter::once(instr).chain(own.iter()).collect(),
+        None => own.iter().collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Indexed per-class weaving (the parallel work unit)
+// ---------------------------------------------------------------------
+
+/// Weaves one class against the precomputed match tables, returning the
+/// woven class plus its call-phase and execution-phase trace records.
+/// Reads only `class` and the index — see `index.rs` for why this makes
+/// classes independent (and therefore parallelizable) work units.
+fn weave_class(
+    aspects: &[&Aspect],
+    class: &ClassDecl,
+    matches: &ClassMatches,
+) -> (ClassDecl, Vec<WovenJoinPoint>, Vec<WovenJoinPoint>) {
+    let mut woven = class.clone();
+    let aspect_names: Vec<&str> = aspects.iter().map(|a| a.name.as_str()).collect();
+
+    // Call pass. Only methods with at least one matched call shadow are
+    // rebuilt; everything else keeps its already-cloned body.
+    let mut call_trace = Vec::new();
+    for (mi, method) in class.methods.iter().enumerate() {
+        let mm = &matches.methods[mi];
+        if !mm.has_call_matches {
+            continue;
+        }
+        let mut new_stmts = Vec::new();
+        for stmt in &method.body.stmts {
+            rewrite_call_stmt(stmt, mm, aspects, class, method, &mut new_stmts, &mut call_trace);
+        }
+        woven.methods[mi].body = Block::of(new_stmts);
+    }
+
+    // Execution pass, after the call pass (same phase order as the
+    // naive weaver: the functional helper must reify the call-woven
+    // body).
+    let mut exec_trace = Vec::new();
+    for (mi, method) in class.methods.iter().enumerate() {
+        let mm = &matches.methods[mi];
+        if mm.exec_layers.is_empty() {
+            continue;
+        }
+        let layers: Vec<(usize, Vec<&Advice>)> = mm
+            .exec_layers
+            .iter()
+            .map(|(k, js)| (*k, js.iter().map(|&j| &aspects[*k].advices[j]).collect()))
+            .collect();
+        apply_execution_layers(&mut woven, &method.name, &layers, &aspect_names, &mut exec_trace);
+    }
+    (woven, call_trace, exec_trace)
+}
+
+/// Emits `stmt` into `out`, wrapped with the advice the call table
+/// matched for its callee. Structurally identical to the naive
+/// [`naive_weave_call_stmt`], with the per-shadow pointcut evaluation
+/// replaced by a table lookup.
+fn rewrite_call_stmt(
+    stmt: &Stmt,
+    mm: &MethodMatches,
+    aspects: &[&Aspect],
+    class: &ClassDecl,
+    method: &MethodDecl,
+    out: &mut Vec<Stmt>,
+    trace: &mut Vec<WovenJoinPoint>,
+) {
+    let callee = call_at_statement(stmt);
+    let Some((callee_class, callee_name)) = callee else {
+        match stmt {
+            Stmt::If { cond, then_block, else_block } => {
+                let mut tb = Vec::new();
+                for s in &then_block.stmts {
+                    rewrite_call_stmt(s, mm, aspects, class, method, &mut tb, trace);
+                }
+                let eb = else_block.as_ref().map(|b| {
+                    let mut v = Vec::new();
+                    for s in &b.stmts {
+                        rewrite_call_stmt(s, mm, aspects, class, method, &mut v, trace);
+                    }
+                    Block::of(v)
+                });
+                out.push(Stmt::If {
+                    cond: cond.clone(),
+                    then_block: Block::of(tb),
+                    else_block: eb,
+                });
             }
-            let mut aspects = Vec::with_capacity(self.aspects.len() + 1);
-            aspects.push(instr);
-            aspects.extend(self.aspects.iter().cloned());
-            Weaver { aspects }
+            Stmt::While { cond, body } => {
+                let mut v = Vec::new();
+                for s in &body.stmts {
+                    rewrite_call_stmt(s, mm, aspects, class, method, &mut v, trace);
+                }
+                out.push(Stmt::While { cond: cond.clone(), body: Block::of(v) });
+            }
+            Stmt::TryCatch { body, var, handler, finally } => {
+                let mut b = Vec::new();
+                for s in &body.stmts {
+                    rewrite_call_stmt(s, mm, aspects, class, method, &mut b, trace);
+                }
+                let mut h = Vec::new();
+                for s in &handler.stmts {
+                    rewrite_call_stmt(s, mm, aspects, class, method, &mut h, trace);
+                }
+                let fin = finally.as_ref().map(|fb| {
+                    let mut v = Vec::new();
+                    for s in &fb.stmts {
+                        rewrite_call_stmt(s, mm, aspects, class, method, &mut v, trace);
+                    }
+                    Block::of(v)
+                });
+                out.push(Stmt::TryCatch {
+                    body: Block::of(b),
+                    var: var.clone(),
+                    handler: Block::of(h),
+                    finally: fin,
+                });
+            }
+            Stmt::Block(b) => {
+                let mut v = Vec::new();
+                for s in &b.stmts {
+                    rewrite_call_stmt(s, mm, aspects, class, method, &mut v, trace);
+                }
+                out.push(Stmt::Block(Block::of(v)));
+            }
+            other => out.push(other.clone()),
+        }
+        return;
+    };
+    if callee_name.contains("__") {
+        out.push(stmt.clone());
+        return;
+    }
+    let key = (callee_class, callee_name);
+    let matched = mm.calls.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+    let mut befores = Vec::new();
+    let mut afters = Vec::new();
+    for &(k, j) in matched {
+        let advice = &aspects[k].advices[j];
+        let record = WovenJoinPoint {
+            class: class.name.clone(),
+            method: method.name.clone(),
+            aspect: aspects[k].name.clone(),
+            kind: advice.kind,
+            shadow: Shadow::Call { callee: key.1.clone() },
         };
-
-        let mut woven = program.clone();
-        let mut trace = Vec::new();
-        // Calls first: execution weaving moves functional bodies into
-        // `__`-suffixed helpers, which the call pass (correctly) skips as
-        // containers, so call shadows must be found before that move.
-        effective.weave_calls(&mut woven, &mut trace);
-        effective.weave_executions(&mut woven, &mut trace);
-        Ok(WeaveResult { program: woven, trace })
-    }
-
-    fn weave_executions(&self, program: &mut Program, trace: &mut Vec<WovenJoinPoint>) {
-        for class_idx in 0..program.classes.len() {
-            let method_names: Vec<String> = program.classes[class_idx]
-                .methods
-                .iter()
-                .map(|m| m.name.clone())
-                .collect();
-            for method_name in method_names {
-                self.weave_one_execution(&mut program.classes[class_idx], &method_name, trace);
+        match advice.kind {
+            AdviceKind::Before => {
+                befores.extend(guarded_stmts(advice));
+                trace.push(record);
             }
+            AdviceKind::After => {
+                afters.extend(guarded_stmts(advice));
+                trace.push(record);
+            }
+            _ => {}
         }
     }
+    if befores.is_empty() && afters.is_empty() {
+        out.push(stmt.clone());
+        return;
+    }
+    let jp = format!("{}.{}", key.0.clone().unwrap_or_else(|| "*".into()), key.1);
+    out.push(Stmt::Block(Block::of(
+        std::iter::once(Stmt::local("__jp", IrType::Str, Expr::str(jp)))
+            .chain(befores)
+            .chain(std::iter::once(stmt.clone()))
+            .chain(afters)
+            .collect(),
+    )));
+}
 
-    fn weave_one_execution(
-        &self,
-        class: &mut ClassDecl,
-        method_name: &str,
-        trace: &mut Vec<WovenJoinPoint>,
-    ) {
-        // Already-woven methods (their functional helper exists) are left
-        // alone: weaving is idempotent per method.
-        if class.find_method(&format!("{method_name}__functional")).is_some()
-            || method_name.contains("__")
+// ---------------------------------------------------------------------
+// Shared execution-layer construction (naive and indexed paths)
+// ---------------------------------------------------------------------
+
+/// Applies the matched execution advice for `method_name` to `class`:
+/// reifies the functional helper, builds the per-aspect layers
+/// innermost-to-outermost, and redirects the public method. `layers`
+/// must be non-empty, in aspect precedence order.
+fn apply_execution_layers(
+    class: &mut ClassDecl,
+    method_name: &str,
+    layers: &[(usize, Vec<&Advice>)],
+    aspect_names: &[&str],
+    trace: &mut Vec<WovenJoinPoint>,
+) {
+    let method_snapshot =
+        class.find_method(method_name).expect("caller checked the method exists").clone();
+    let jp_name = format!("{}.{}", class.name, method_name);
+    let params = method_snapshot.params.clone();
+    let ret = method_snapshot.ret.clone();
+    let param_args: Vec<Expr> = params.iter().map(|p| Expr::var(&p.name)).collect();
+
+    // 1. Reify the original body.
+    let functional_name = format!("{method_name}__functional");
+    let mut functional = method_snapshot.clone();
+    functional.name = functional_name.clone();
+    functional.annotations.clear();
+    class.methods.push(functional);
+
+    // 2. Build layers innermost (last aspect) to outermost (first).
+    let mut inner_name = functional_name;
+    for (k, advices) in layers.iter().rev() {
+        let aspect_name = aspect_names[*k];
+        // 2a. Around advice, chained so the first-declared around is
+        // outermost within the aspect.
+        for (j, advice) in advices
+            .iter()
+            .filter(|a| a.kind == AdviceKind::Around)
+            .enumerate()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
         {
-            return;
-        }
-        // Gather matching advice per aspect, preserving aspect order.
-        let method_snapshot =
-            class.find_method(method_name).expect("caller iterates real names").clone();
-        let mut layers: Vec<(usize, Vec<&Advice>)> = Vec::new();
-        for (k, aspect) in self.aspects.iter().enumerate() {
-            let matching: Vec<&Advice> = aspect
-                .advices
-                .iter()
-                .filter(|a| a.pointcut.matches_execution(class, &method_snapshot))
-                .collect();
-            if !matching.is_empty() {
-                layers.push((k, matching));
-            }
-        }
-        if layers.is_empty() {
-            return;
-        }
-
-        let jp_name = format!("{}.{}", class.name, method_name);
-        let params = method_snapshot.params.clone();
-        let ret = method_snapshot.ret.clone();
-        let param_args: Vec<Expr> = params.iter().map(|p| Expr::var(&p.name)).collect();
-
-        // 1. Reify the original body.
-        let functional_name = format!("{method_name}__functional");
-        let mut functional = method_snapshot.clone();
-        functional.name = functional_name.clone();
-        functional.annotations.clear();
-        class.methods.push(functional);
-
-        // 2. Build layers innermost (last aspect) to outermost (first).
-        let mut inner_name = functional_name;
-        for (k, advices) in layers.iter().rev() {
-            let aspect = &self.aspects[*k];
-            // 2a. Around advice, chained so the first-declared around is
-            // outermost within the aspect.
-            for (j, advice) in advices
-                .iter()
-                .filter(|a| a.kind == AdviceKind::Around)
-                .enumerate()
-                .collect::<Vec<_>>()
-                .into_iter()
-                .rev()
-            {
-                let helper_name = format!("{method_name}__around_{k}_{j}");
-                let mut body = guarded_advice_body(advice);
-                subst_proceed_block(&mut body, &inner_name, &param_args);
-                inject_jp_local(&mut body, &jp_name);
-                inject_args_local(&mut body, &param_args);
-                let mut helper = MethodDecl::new(&helper_name);
-                helper.params = params.clone();
-                helper.ret = ret.clone();
-                helper.body = body;
-                class.methods.push(helper);
-                inner_name = helper_name;
-                trace.push(WovenJoinPoint {
-                    class: class.name.clone(),
-                    method: method_name.to_owned(),
-                    aspect: aspect.name.clone(),
-                    kind: AdviceKind::Around,
-                    shadow: Shadow::Execution,
-                });
-            }
-            // 2b. Before/after wrapper for this aspect, outside its arounds.
-            let befores: Vec<&&Advice> =
-                advices.iter().filter(|a| a.kind == AdviceKind::Before).collect();
-            let after_returnings: Vec<&&Advice> =
-                advices.iter().filter(|a| a.kind == AdviceKind::AfterReturning).collect();
-            let after_throwings: Vec<&&Advice> =
-                advices.iter().filter(|a| a.kind == AdviceKind::AfterThrowing).collect();
-            let afters: Vec<&&Advice> =
-                advices.iter().filter(|a| a.kind == AdviceKind::After).collect();
-            if befores.is_empty()
-                && after_returnings.is_empty()
-                && after_throwings.is_empty()
-                && afters.is_empty()
-            {
-                continue;
-            }
-            let helper_name = format!("{method_name}__layer_{k}");
-            let inner_call = Expr::call_this(inner_name.clone(), param_args.clone());
-            let non_void = ret != IrType::Void;
-
-            let mut ctx_block = Block::default();
-            inject_jp_local(&mut ctx_block, &jp_name);
-            inject_args_local(&mut ctx_block, &param_args);
-            let mut stmts: Vec<Stmt> = ctx_block.stmts;
-            for b in &befores {
-                stmts.extend(guarded_stmts(b));
-                trace.push(jp_record(class, method_name, aspect, AdviceKind::Before));
-            }
-            let mut try_body: Vec<Stmt> = Vec::new();
-            if non_void {
-                try_body.push(Stmt::local("__result", ret.clone(), inner_call));
-            } else {
-                try_body.push(Stmt::Expr(inner_call));
-            }
-            for a in &after_returnings {
-                try_body.extend(guarded_stmts(a));
-                trace.push(jp_record(class, method_name, aspect, AdviceKind::AfterReturning));
-            }
-            if non_void {
-                try_body.push(Stmt::ret(Expr::var("__result")));
-            } else {
-                try_body.push(Stmt::Return(None));
-            }
-            let needs_catch = !after_throwings.is_empty();
-            let needs_finally = !afters.is_empty();
-            if needs_catch || needs_finally {
-                let mut handler = Vec::new();
-                for a in &after_throwings {
-                    handler.extend(guarded_stmts(a));
-                    trace.push(jp_record(class, method_name, aspect, AdviceKind::AfterThrowing));
-                }
-                handler.push(Stmt::Throw(Expr::var("__error")));
-                let mut finally = Vec::new();
-                for a in &afters {
-                    finally.extend(guarded_stmts(a));
-                    trace.push(jp_record(class, method_name, aspect, AdviceKind::After));
-                }
-                stmts.push(Stmt::TryCatch {
-                    body: Block::of(try_body),
-                    var: "__error".into(),
-                    handler: Block::of(handler),
-                    finally: if needs_finally { Some(Block::of(finally)) } else { None },
-                });
-            } else {
-                stmts.extend(try_body);
-            }
-
+            let helper_name = format!("{method_name}__around_{k}_{j}");
+            let mut body = guarded_advice_body(advice);
+            subst_proceed_block(&mut body, &inner_name, &param_args);
+            inject_jp_local(&mut body, &jp_name);
+            inject_args_local(&mut body, &param_args);
             let mut helper = MethodDecl::new(&helper_name);
             helper.params = params.clone();
             helper.ret = ret.clone();
-            helper.body = Block::of(stmts);
+            helper.body = body;
             class.methods.push(helper);
             inner_name = helper_name;
+            trace.push(WovenJoinPoint {
+                class: class.name.clone(),
+                method: method_name.to_owned(),
+                aspect: aspect_name.to_owned(),
+                kind: AdviceKind::Around,
+                shadow: Shadow::Execution,
+            });
         }
+        // 2b. Before/after wrapper for this aspect, outside its arounds.
+        let befores: Vec<&&Advice> =
+            advices.iter().filter(|a| a.kind == AdviceKind::Before).collect();
+        let after_returnings: Vec<&&Advice> =
+            advices.iter().filter(|a| a.kind == AdviceKind::AfterReturning).collect();
+        let after_throwings: Vec<&&Advice> =
+            advices.iter().filter(|a| a.kind == AdviceKind::AfterThrowing).collect();
+        let afters: Vec<&&Advice> =
+            advices.iter().filter(|a| a.kind == AdviceKind::After).collect();
+        if befores.is_empty()
+            && after_returnings.is_empty()
+            && after_throwings.is_empty()
+            && afters.is_empty()
+        {
+            continue;
+        }
+        let helper_name = format!("{method_name}__layer_{k}");
+        let inner_call = Expr::call_this(inner_name.clone(), param_args.clone());
+        let non_void = ret != IrType::Void;
 
-        // 3. The public method delegates to the outermost layer.
-        let delegate_call = Expr::call_this(inner_name, param_args);
-        let public = class.find_method_mut(method_name).expect("still present");
-        public.body = if ret == IrType::Void {
-            Block::of(vec![Stmt::Expr(delegate_call), Stmt::Return(None)])
+        let mut ctx_block = Block::default();
+        inject_jp_local(&mut ctx_block, &jp_name);
+        inject_args_local(&mut ctx_block, &param_args);
+        let mut stmts: Vec<Stmt> = ctx_block.stmts;
+        for b in &befores {
+            stmts.extend(guarded_stmts(b));
+            trace.push(jp_record(class, method_name, aspect_name, AdviceKind::Before));
+        }
+        let mut try_body: Vec<Stmt> = Vec::new();
+        if non_void {
+            try_body.push(Stmt::local("__result", ret.clone(), inner_call));
         } else {
-            Block::of(vec![Stmt::ret(delegate_call)])
-        };
+            try_body.push(Stmt::Expr(inner_call));
+        }
+        for a in &after_returnings {
+            try_body.extend(guarded_stmts(a));
+            trace.push(jp_record(class, method_name, aspect_name, AdviceKind::AfterReturning));
+        }
+        if non_void {
+            try_body.push(Stmt::ret(Expr::var("__result")));
+        } else {
+            try_body.push(Stmt::Return(None));
+        }
+        let needs_catch = !after_throwings.is_empty();
+        let needs_finally = !afters.is_empty();
+        if needs_catch || needs_finally {
+            let mut handler = Vec::new();
+            for a in &after_throwings {
+                handler.extend(guarded_stmts(a));
+                trace.push(jp_record(class, method_name, aspect_name, AdviceKind::AfterThrowing));
+            }
+            handler.push(Stmt::Throw(Expr::var("__error")));
+            let mut finally = Vec::new();
+            for a in &afters {
+                finally.extend(guarded_stmts(a));
+                trace.push(jp_record(class, method_name, aspect_name, AdviceKind::After));
+            }
+            stmts.push(Stmt::TryCatch {
+                body: Block::of(try_body),
+                var: "__error".into(),
+                handler: Block::of(handler),
+                finally: if needs_finally { Some(Block::of(finally)) } else { None },
+            });
+        } else {
+            stmts.extend(try_body);
+        }
+
+        let mut helper = MethodDecl::new(&helper_name);
+        helper.params = params.clone();
+        helper.ret = ret.clone();
+        helper.body = Block::of(stmts);
+        class.methods.push(helper);
+        inner_name = helper_name;
     }
 
-    fn weave_calls(&self, program: &mut Program, trace: &mut Vec<WovenJoinPoint>) {
-        for class_idx in 0..program.classes.len() {
-            for method_idx in 0..program.classes[class_idx].methods.len() {
-                let class_snapshot = program.classes[class_idx].clone();
-                let method_snapshot = class_snapshot.methods[method_idx].clone();
-                // Skip advice-generated helpers as *containers*: their
-                // call statements are delegation plumbing.
-                if method_snapshot.name.contains("__") {
-                    continue;
-                }
-                let mut new_stmts = Vec::new();
-                for stmt in &method_snapshot.body.stmts {
-                    self.weave_call_stmt(
-                        stmt,
-                        &class_snapshot,
-                        &method_snapshot,
-                        &mut new_stmts,
-                        trace,
-                    );
-                }
-                program.classes[class_idx].methods[method_idx].body = Block::of(new_stmts);
-            }
+    // 3. The public method delegates to the outermost layer.
+    let delegate_call = Expr::call_this(inner_name, param_args);
+    let public = class.find_method_mut(method_name).expect("still present");
+    public.body = if ret == IrType::Void {
+        Block::of(vec![Stmt::Expr(delegate_call), Stmt::Return(None)])
+    } else {
+        Block::of(vec![Stmt::ret(delegate_call)])
+    };
+}
+
+// ---------------------------------------------------------------------
+// Naive reference implementation (differential oracle + "before" bench)
+// ---------------------------------------------------------------------
+
+fn naive_weave_executions(
+    aspects: &[&Aspect],
+    program: &mut Program,
+    trace: &mut Vec<WovenJoinPoint>,
+) {
+    for class_idx in 0..program.classes.len() {
+        let method_names: Vec<String> =
+            program.classes[class_idx].methods.iter().map(|m| m.name.clone()).collect();
+        for method_name in method_names {
+            naive_weave_one_execution(
+                aspects,
+                &mut program.classes[class_idx],
+                &method_name,
+                trace,
+            );
         }
     }
+}
 
-    /// Emits `stmt` into `out`, surrounded by any matching call advice.
-    /// Call shadows are only recognized at statement position (the IR has
-    /// no statement-level expression evaluation order to exploit).
-    fn weave_call_stmt(
-        &self,
-        stmt: &Stmt,
-        class: &ClassDecl,
-        method: &MethodDecl,
-        out: &mut Vec<Stmt>,
-        trace: &mut Vec<WovenJoinPoint>,
-    ) {
-        let callee = call_at_statement(stmt);
-        let Some((callee_class, callee_name)) = callee else {
-            // Recurse into structured statements so nested shadows are
-            // found.
-            match stmt {
-                Stmt::If { cond, then_block, else_block } => {
-                    let mut tb = Vec::new();
-                    for s in &then_block.stmts {
-                        self.weave_call_stmt(s, class, method, &mut tb, trace);
-                    }
-                    let eb = else_block.as_ref().map(|b| {
-                        let mut v = Vec::new();
-                        for s in &b.stmts {
-                            self.weave_call_stmt(s, class, method, &mut v, trace);
-                        }
-                        Block::of(v)
-                    });
-                    out.push(Stmt::If {
-                        cond: cond.clone(),
-                        then_block: Block::of(tb),
-                        else_block: eb,
-                    });
+fn naive_weave_one_execution(
+    aspects: &[&Aspect],
+    class: &mut ClassDecl,
+    method_name: &str,
+    trace: &mut Vec<WovenJoinPoint>,
+) {
+    // Already-woven methods (their functional helper exists) are left
+    // alone: weaving is idempotent per method.
+    if class.find_method(&format!("{method_name}__functional")).is_some()
+        || method_name.contains("__")
+    {
+        return;
+    }
+    // Gather matching advice per aspect, preserving aspect order —
+    // evaluated from scratch for every method, which is exactly what the
+    // MatchIndex exists to avoid.
+    let method_snapshot =
+        class.find_method(method_name).expect("caller iterates real names").clone();
+    let mut layers: Vec<(usize, Vec<&Advice>)> = Vec::new();
+    for (k, aspect) in aspects.iter().enumerate() {
+        let matching: Vec<&Advice> = aspect
+            .advices
+            .iter()
+            .filter(|a| a.pointcut.matches_execution(class, &method_snapshot))
+            .collect();
+        if !matching.is_empty() {
+            layers.push((k, matching));
+        }
+    }
+    if layers.is_empty() {
+        return;
+    }
+    let aspect_names: Vec<&str> = aspects.iter().map(|a| a.name.as_str()).collect();
+    apply_execution_layers(class, method_name, &layers, &aspect_names, trace);
+}
+
+fn naive_weave_calls(aspects: &[&Aspect], program: &mut Program, trace: &mut Vec<WovenJoinPoint>) {
+    for class_idx in 0..program.classes.len() {
+        for method_idx in 0..program.classes[class_idx].methods.len() {
+            let class_snapshot = program.classes[class_idx].clone();
+            let method_snapshot = class_snapshot.methods[method_idx].clone();
+            // Skip advice-generated helpers as *containers*: their
+            // call statements are delegation plumbing.
+            if method_snapshot.name.contains("__") {
+                continue;
+            }
+            let mut new_stmts = Vec::new();
+            for stmt in &method_snapshot.body.stmts {
+                naive_weave_call_stmt(
+                    aspects,
+                    stmt,
+                    &class_snapshot,
+                    &method_snapshot,
+                    &mut new_stmts,
+                    trace,
+                );
+            }
+            program.classes[class_idx].methods[method_idx].body = Block::of(new_stmts);
+        }
+    }
+}
+
+/// Emits `stmt` into `out`, surrounded by any matching call advice.
+/// Call shadows are only recognized at statement position (the IR has
+/// no statement-level expression evaluation order to exploit).
+fn naive_weave_call_stmt(
+    aspects: &[&Aspect],
+    stmt: &Stmt,
+    class: &ClassDecl,
+    method: &MethodDecl,
+    out: &mut Vec<Stmt>,
+    trace: &mut Vec<WovenJoinPoint>,
+) {
+    let callee = call_at_statement(stmt);
+    let Some((callee_class, callee_name)) = callee else {
+        // Recurse into structured statements so nested shadows are
+        // found.
+        match stmt {
+            Stmt::If { cond, then_block, else_block } => {
+                let mut tb = Vec::new();
+                for s in &then_block.stmts {
+                    naive_weave_call_stmt(aspects, s, class, method, &mut tb, trace);
                 }
-                Stmt::While { cond, body } => {
-                    let mut v = Vec::new();
-                    for s in &body.stmts {
-                        self.weave_call_stmt(s, class, method, &mut v, trace);
-                    }
-                    out.push(Stmt::While { cond: cond.clone(), body: Block::of(v) });
-                }
-                Stmt::TryCatch { body, var, handler, finally } => {
-                    let mut b = Vec::new();
-                    for s in &body.stmts {
-                        self.weave_call_stmt(s, class, method, &mut b, trace);
-                    }
-                    let mut h = Vec::new();
-                    for s in &handler.stmts {
-                        self.weave_call_stmt(s, class, method, &mut h, trace);
-                    }
-                    let fin = finally.as_ref().map(|fb| {
-                        let mut v = Vec::new();
-                        for s in &fb.stmts {
-                            self.weave_call_stmt(s, class, method, &mut v, trace);
-                        }
-                        Block::of(v)
-                    });
-                    out.push(Stmt::TryCatch {
-                        body: Block::of(b),
-                        var: var.clone(),
-                        handler: Block::of(h),
-                        finally: fin,
-                    });
-                }
-                Stmt::Block(b) => {
+                let eb = else_block.as_ref().map(|b| {
                     let mut v = Vec::new();
                     for s in &b.stmts {
-                        self.weave_call_stmt(s, class, method, &mut v, trace);
+                        naive_weave_call_stmt(aspects, s, class, method, &mut v, trace);
                     }
-                    out.push(Stmt::Block(Block::of(v)));
-                }
-                other => out.push(other.clone()),
+                    Block::of(v)
+                });
+                out.push(Stmt::If {
+                    cond: cond.clone(),
+                    then_block: Block::of(tb),
+                    else_block: eb,
+                });
             }
-            return;
-        };
-        if callee_name.contains("__") {
-            out.push(stmt.clone());
-            return;
-        }
-        let callee_class_ref = callee_class.as_deref();
-        let mut befores = Vec::new();
-        let mut afters = Vec::new();
-        for aspect in &self.aspects {
-            for advice in &aspect.advices {
-                if !advice.pointcut.selects_calls() {
-                    continue;
+            Stmt::While { cond, body } => {
+                let mut v = Vec::new();
+                for s in &body.stmts {
+                    naive_weave_call_stmt(aspects, s, class, method, &mut v, trace);
                 }
-                if advice.pointcut.matches_call(class, method, callee_class_ref, &callee_name) {
-                    let record = WovenJoinPoint {
-                        class: class.name.clone(),
-                        method: method.name.clone(),
-                        aspect: aspect.name.clone(),
-                        kind: advice.kind,
-                        shadow: Shadow::Call { callee: callee_name.clone() },
-                    };
-                    match advice.kind {
-                        AdviceKind::Before => {
-                            befores.extend(guarded_stmts(advice));
-                            trace.push(record);
-                        }
-                        AdviceKind::After => {
-                            afters.extend(guarded_stmts(advice));
-                            trace.push(record);
-                        }
-                        _ => {}
+                out.push(Stmt::While { cond: cond.clone(), body: Block::of(v) });
+            }
+            Stmt::TryCatch { body, var, handler, finally } => {
+                let mut b = Vec::new();
+                for s in &body.stmts {
+                    naive_weave_call_stmt(aspects, s, class, method, &mut b, trace);
+                }
+                let mut h = Vec::new();
+                for s in &handler.stmts {
+                    naive_weave_call_stmt(aspects, s, class, method, &mut h, trace);
+                }
+                let fin = finally.as_ref().map(|fb| {
+                    let mut v = Vec::new();
+                    for s in &fb.stmts {
+                        naive_weave_call_stmt(aspects, s, class, method, &mut v, trace);
                     }
-                }
+                    Block::of(v)
+                });
+                out.push(Stmt::TryCatch {
+                    body: Block::of(b),
+                    var: var.clone(),
+                    handler: Block::of(h),
+                    finally: fin,
+                });
             }
+            Stmt::Block(b) => {
+                let mut v = Vec::new();
+                for s in &b.stmts {
+                    naive_weave_call_stmt(aspects, s, class, method, &mut v, trace);
+                }
+                out.push(Stmt::Block(Block::of(v)));
+            }
+            other => out.push(other.clone()),
         }
-        if befores.is_empty() && afters.is_empty() {
-            out.push(stmt.clone());
-            return;
-        }
-        let jp = format!(
-            "{}.{}",
-            callee_class.clone().unwrap_or_else(|| "*".into()),
-            callee_name
-        );
-        out.push(Stmt::Block(Block::of(
-            std::iter::once(Stmt::local("__jp", IrType::Str, Expr::str(jp)))
-                .chain(befores)
-                .chain(std::iter::once(stmt.clone()))
-                .chain(afters)
-                .collect(),
-        )));
+        return;
+    };
+    if callee_name.contains("__") {
+        out.push(stmt.clone());
+        return;
     }
+    let callee_class_ref = callee_class.as_deref();
+    let mut befores = Vec::new();
+    let mut afters = Vec::new();
+    for aspect in aspects {
+        for advice in &aspect.advices {
+            if !advice.pointcut.selects_calls() {
+                continue;
+            }
+            if advice.pointcut.matches_call(class, method, callee_class_ref, &callee_name) {
+                let record = WovenJoinPoint {
+                    class: class.name.clone(),
+                    method: method.name.clone(),
+                    aspect: aspect.name.clone(),
+                    kind: advice.kind,
+                    shadow: Shadow::Call { callee: callee_name.clone() },
+                };
+                match advice.kind {
+                    AdviceKind::Before => {
+                        befores.extend(guarded_stmts(advice));
+                        trace.push(record);
+                    }
+                    AdviceKind::After => {
+                        afters.extend(guarded_stmts(advice));
+                        trace.push(record);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    if befores.is_empty() && afters.is_empty() {
+        out.push(stmt.clone());
+        return;
+    }
+    let jp = format!("{}.{}", callee_class.clone().unwrap_or_else(|| "*".into()), callee_name);
+    out.push(Stmt::Block(Block::of(
+        std::iter::once(Stmt::local("__jp", IrType::Str, Expr::str(jp)))
+            .chain(befores)
+            .chain(std::iter::once(stmt.clone()))
+            .chain(afters)
+            .collect(),
+    )));
 }
 
 fn jp_record(
     class: &ClassDecl,
     method: &str,
-    aspect: &Aspect,
+    aspect_name: &str,
     kind: AdviceKind,
 ) -> WovenJoinPoint {
     WovenJoinPoint {
         class: class.name.clone(),
         method: method.to_owned(),
-        aspect: aspect.name.clone(),
+        aspect: aspect_name.to_owned(),
         kind,
         shadow: Shadow::Execution,
     }
@@ -527,7 +793,7 @@ fn jp_record(
 
 /// Recognizes a statement-position call and returns
 /// `(callee class if resolvable, callee method)`.
-fn call_at_statement(stmt: &Stmt) -> Option<(Option<String>, String)> {
+pub(crate) fn call_at_statement(stmt: &Stmt) -> Option<(Option<String>, String)> {
     let expr = match stmt {
         Stmt::Expr(e) => e,
         Stmt::Local { init: Some(e), .. } => e,
@@ -558,10 +824,7 @@ fn cflow_key(inner: &crate::pointcut::Pointcut) -> String {
 /// require: around advice bypasses straight to `proceed()` outside the
 /// cflow; other kinds simply skip their statements.
 fn guarded_advice_body(advice: &Advice) -> Block {
-    let conjuncts = advice
-        .pointcut
-        .cflow_conjuncts()
-        .expect("validated before weaving started");
+    let conjuncts = advice.pointcut.cflow_conjuncts().expect("validated before weaving started");
     let mut body = advice.body.clone();
     for inner in conjuncts {
         let active = Expr::intrinsic(CFLOW_ACTIVE, vec![Expr::str(cflow_key(inner))]);
@@ -575,11 +838,7 @@ fn guarded_advice_body(advice: &Advice) -> Block {
                 stmts.extend(body.stmts);
                 Block::of(stmts)
             }
-            _ => Block::of(vec![Stmt::If {
-                cond: active,
-                then_block: body,
-                else_block: None,
-            }]),
+            _ => Block::of(vec![Stmt::If { cond: active, then_block: body, else_block: None }]),
         };
     }
     body
@@ -615,8 +874,7 @@ fn cflow_instrumentation_body(key: &str) -> Block {
 fn inject_jp_local(body: &mut Block, jp: &str) {
     let method = jp.rsplit('.').next().unwrap_or(jp);
     body.stmts.insert(0, Stmt::local("__jp", IrType::Str, Expr::str(jp)));
-    body.stmts
-        .insert(1, Stmt::local("__method", IrType::Str, Expr::str(method)));
+    body.stmts.insert(1, Stmt::local("__method", IrType::Str, Expr::str(method)));
 }
 
 /// Injects `local __args = [p1, p2, ...]` after the other context locals.
@@ -917,10 +1175,10 @@ mod tests {
         let mut p = Program::new("app");
         let mut c = ClassDecl::new("A");
         let mut m = MethodDecl::new("fire");
-        m.body = Block::of(vec![Stmt::Expr(Expr::intrinsic("log.emit", vec![
-            Expr::str("info"),
-            Expr::str("core"),
-        ]))]);
+        m.body = Block::of(vec![Stmt::Expr(Expr::intrinsic(
+            "log.emit",
+            vec![Expr::str("info"), Expr::str("core")],
+        ))]);
         c.methods.push(m);
         p.classes.push(c);
         let aspect = Aspect::new("x").with_advice(Advice::new(
@@ -936,5 +1194,79 @@ mod tests {
             Stmt::Local { name, .. } if name == "__result"
         )));
         assert!(check_program(&result.program).is_empty());
+    }
+
+    /// A mixed-shadow program exercising every advice kind, calls in
+    /// nested statements, cflow, and multiple classes.
+    fn mixed_program() -> Program {
+        let mut p = sample_program();
+        let mut teller = ClassDecl::new("Teller");
+        let mut serve = MethodDecl::new("serve");
+        serve.params.push(Param::new("n", IrType::Int));
+        serve.body = Block::of(vec![
+            Stmt::Expr(Expr::call_this("audit", vec![])),
+            Stmt::While {
+                cond: Expr::bool(true),
+                body: Block::of(vec![Stmt::Expr(Expr::call_this("audit", vec![]))]),
+            },
+            Stmt::If {
+                cond: Expr::bool(false),
+                then_block: Block::of(vec![Stmt::Expr(Expr::call_this("transfer", vec![]))]),
+                else_block: Some(Block::of(vec![Stmt::Return(None)])),
+            },
+        ]);
+        teller.methods.push(serve);
+        p.classes.push(teller);
+        p
+    }
+
+    fn mixed_aspects() -> Vec<Aspect> {
+        vec![
+            Aspect::new("log")
+                .with_advice(Advice::new(
+                    AdviceKind::Before,
+                    parse_pointcut("execution(*.*)").unwrap(),
+                    Block::of(vec![log_stmt("b")]),
+                ))
+                .with_advice(Advice::new(
+                    AdviceKind::After,
+                    parse_pointcut("call(*.audit)").unwrap(),
+                    Block::of(vec![log_stmt("post")]),
+                )),
+            Aspect::new("tx").with_advice(Advice::new(
+                AdviceKind::Around,
+                parse_pointcut("execution(Bank.transfer) && cflow(execution(Teller.serve))")
+                    .unwrap(),
+                Block::of(vec![Stmt::ret(Expr::Proceed(vec![]))]),
+            )),
+            Aspect::new("audit").with_advice(Advice::new(
+                AdviceKind::AfterReturning,
+                parse_pointcut("execution(Bank.*) && args(1)").unwrap(),
+                Block::of(vec![log_stmt("ret")]),
+            )),
+        ]
+    }
+
+    #[test]
+    fn indexed_weave_equals_naive_on_mixed_program() {
+        let weaver = Weaver::new(mixed_aspects());
+        let p = mixed_program();
+        let indexed = weaver.weave(&p).unwrap();
+        let naive = weaver.weave_naive(&p).unwrap();
+        assert_eq!(indexed.program, naive.program);
+        assert_eq!(indexed.trace, naive.trace);
+        assert!(check_program(&indexed.program).is_empty());
+    }
+
+    #[test]
+    fn indexed_weave_equals_naive_under_pinned_thread_counts() {
+        let weaver = Weaver::new(mixed_aspects());
+        let p = mixed_program();
+        let reference = weaver.weave_naive(&p).unwrap();
+        for threads in [1, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+            let woven = pool.install(|| weaver.weave(&p)).unwrap();
+            assert_eq!(woven, reference, "diverged at {threads} threads");
+        }
     }
 }

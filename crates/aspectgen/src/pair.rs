@@ -85,7 +85,8 @@ mod tests {
     use comet_transform::{ParamSchema, ParamValue, TransformationBuilder};
 
     fn pair() -> ConcernPair {
-        let schema = || ParamSchema::new().string("class", true, None).choice("mode", &["a", "b"], "a");
+        let schema =
+            || ParamSchema::new().string("class", true, None).choice("mode", &["a", "b"], "a");
         let gmt = TransformationBuilder::new("mark", "security")
             .schema(schema())
             .body(|model, params| {
@@ -107,11 +108,10 @@ mod tests {
                 // Mode feeds the advice in real concerns; here we only
                 // check it arrived.
                 assert!(!mode.is_empty());
-                Ok(vec![a.clone()])
-                    .map(|v| {
-                        a = v[0].clone();
-                        v
-                    })
+                Ok(vec![a.clone()]).map(|v| {
+                    a = v[0].clone();
+                    v
+                })
             })
             .build();
         ConcernPair::new(gmt, ga)
@@ -141,9 +141,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "same concern")]
     fn mismatched_concerns_panic() {
-        let gmt = TransformationBuilder::new("t", "a")
-            .body(|_, _| Ok(()))
-            .build();
+        let gmt = TransformationBuilder::new("t", "a").body(|_, _| Ok(())).build();
         let ga = AspectBuilder::new("g", "b").advice_fn(|_| Ok(vec![])).build();
         let _ = ConcernPair::new(gmt, ga);
     }

@@ -1,7 +1,10 @@
 //! E10: weaver scaling — weaving time versus number of join-point
-//! shadows (methods) and number of aspects, plus pointcut matching cost.
+//! shadows (methods) and number of aspects, plus pointcut matching cost,
+//! the naive-versus-indexed pipeline comparison, and the thread sweep
+//! over the parallel per-class weave.
 
 use comet_aop::{parse_pointcut, Advice, AdviceKind, Aspect, Weaver};
+use comet_bench::{weaver_aspects, weaver_program};
 use comet_codegen::{Block, ClassDecl, Expr, IrType, MethodDecl, Param, Program, Stmt};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -68,6 +71,32 @@ fn bench(c: &mut Criterion) {
         method.params.push(Param::new("x", IrType::Int));
         b.iter(|| pc.matches_execution(black_box(&class), black_box(&method)));
     });
+
+    // The headline comparison: the 100-class / 8-aspect mixed workload
+    // (execution + call advice, method bodies with call shadows) through
+    // the naive full-scan weaver versus the MatchIndex-backed one.
+    let big = weaver_program(100, 6);
+    let weaver = Weaver::new(weaver_aspects(8));
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_with_input(BenchmarkId::new("weave_100x8", "naive"), &big, |b, p| {
+        b.iter(|| weaver.weave_naive(black_box(p)).expect("weaves"));
+    });
+    group.bench_with_input(BenchmarkId::new("weave_100x8", "indexed"), &big, |b, p| {
+        b.iter(|| weaver.weave(black_box(p)).expect("weaves"));
+    });
+
+    // Thread sweep over the parallel per-class weave: 1..N worker
+    // threads pinned via a dedicated rayon pool.
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut sweep: Vec<usize> = vec![1, 2, 4, 8];
+    sweep.retain(|&t| t <= max_threads.max(1) * 2); // keep oversubscription modest
+    for threads in sweep {
+        let pool =
+            rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool builds");
+        group.bench_with_input(BenchmarkId::new("threads", threads), &big, |b, p| {
+            b.iter(|| pool.install(|| weaver.weave(black_box(p)).expect("weaves")));
+        });
+    }
 
     group.finish();
 }

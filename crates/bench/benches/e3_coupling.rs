@@ -51,9 +51,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20).measurement_time(Duration::from_secs(2));
 
     let query = |interp: &mut comet_interp::Interp, bank: &Value| {
-        interp
-            .call(bank.clone(), "getBalance", vec![Value::from("A-1")])
-            .expect("queries")
+        interp.call(bank.clone(), "getBalance", vec![Value::from("A-1")]).expect("queries")
     };
 
     group.bench_function("query_no_aspect", |b| {

@@ -20,28 +20,17 @@ fn bench(c: &mut Criterion) {
 
     for classes in [10usize, 50, 200] {
         let model = synthetic(classes, 3, 3);
-        group.bench_with_input(
-            BenchmarkId::new("exists_scan", classes),
-            &model,
-            |b, model| {
-                let ctx = Context::for_model(model);
-                let src = format!(
-                    "Class.allInstances()->exists(c | c.name = 'C{}')",
-                    classes - 1
-                );
-                b.iter(|| evaluate_bool(black_box(&src), &ctx).expect("evaluates"));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("forall_nested", classes),
-            &model,
-            |b, model| {
-                let ctx = Context::for_model(model);
-                let src = "Class.allInstances()->forAll(c | \
+        group.bench_with_input(BenchmarkId::new("exists_scan", classes), &model, |b, model| {
+            let ctx = Context::for_model(model);
+            let src = format!("Class.allInstances()->exists(c | c.name = 'C{}')", classes - 1);
+            b.iter(|| evaluate_bool(black_box(&src), &ctx).expect("evaluates"));
+        });
+        group.bench_with_input(BenchmarkId::new("forall_nested", classes), &model, |b, model| {
+            let ctx = Context::for_model(model);
+            let src = "Class.allInstances()->forAll(c | \
                            c.operations->forAll(o | o.parameters->size() = 2))";
-                b.iter(|| evaluate_bool(black_box(src), &ctx).expect("evaluates"));
-            },
-        );
+            b.iter(|| evaluate_bool(black_box(src), &ctx).expect("evaluates"));
+        });
     }
 
     group.finish();

@@ -53,11 +53,37 @@ fn bench(c: &mut Criterion) {
             |b, (m1, m2)| b.iter(|| diff_models(black_box(m1), black_box(m2))),
         );
 
-        group.bench_with_input(
-            BenchmarkId::new("colors_report", classes),
-            &modified,
-            |b, m| b.iter(|| ColorReport::for_model(black_box(m))),
-        );
+        group.bench_with_input(BenchmarkId::new("colors_report", classes), &modified, |b, m| {
+            b.iter(|| ColorReport::for_model(black_box(m)))
+        });
+
+        // Indexed versus full-scan model queries: a transformation-like
+        // access pattern (per-class feature walks + ancestor closures +
+        // stereotype lookups) on a warm index versus the naive scans.
+        group.bench_with_input(BenchmarkId::new("queries_scan", classes), &modified, |b, m| {
+            b.iter(|| {
+                let mut touched = 0usize;
+                for c in m.classes_scan() {
+                    touched += m.operations_of_scan(c).len();
+                    touched += m.attributes_of_scan(c).len();
+                    touched += m.ancestors_of_scan(c).len();
+                }
+                touched += m.stereotyped_scan("Remote").len();
+                black_box(touched)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("queries_indexed", classes), &modified, |b, m| {
+            b.iter(|| {
+                let mut touched = 0usize;
+                for c in m.classes() {
+                    touched += m.operations_of(c).len();
+                    touched += m.attributes_of(c).len();
+                    touched += m.ancestors_of(c).len();
+                }
+                touched += m.stereotyped("Remote").len();
+                black_box(touched)
+            });
+        });
     }
 
     group.finish();

@@ -21,11 +21,9 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("import", classes), &xmi, |b, xmi| {
             b.iter(|| import_model(black_box(xmi)).expect("valid document"));
         });
-        group.bench_with_input(
-            BenchmarkId::new("round_trip", classes),
-            &model,
-            |b, m| b.iter(|| import_model(&export_model(black_box(m))).expect("round trips")),
-        );
+        group.bench_with_input(BenchmarkId::new("round_trip", classes), &model, |b, m| {
+            b.iter(|| import_model(&export_model(black_box(m))).expect("round trips"))
+        });
     }
 
     group.finish();

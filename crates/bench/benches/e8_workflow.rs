@@ -11,10 +11,8 @@ fn plan(steps: usize) -> WorkflowModel {
     for i in 0..steps {
         model = model.step(&format!("c{i}"), false);
         if i > 0 {
-            model = model.constraint(OrderConstraint::Before(
-                format!("c{}", i - 1),
-                format!("c{i}"),
-            ));
+            model =
+                model.constraint(OrderConstraint::Before(format!("c{}", i - 1), format!("c{i}")));
         }
     }
     model

@@ -55,10 +55,8 @@ fn select_account(var: &str, number_param: &str) -> Vec<Stmt> {
 
 /// Functional bodies for [`executable_banking_pim`].
 pub fn banking_bodies() -> BodyProvider {
-    let field = |obj: &str, name: &str| Expr::Field {
-        recv: Box::new(Expr::var(obj)),
-        name: name.into(),
-    };
+    let field =
+        |obj: &str, name: &str| Expr::Field { recv: Box::new(Expr::var(obj)), name: name.into() };
     let mut transfer = Vec::new();
     transfer.extend(select_account("src", "from"));
     transfer.extend(select_account("dst", "to"));
@@ -90,10 +88,7 @@ pub fn dist_si() -> ParamSet {
     ParamSet::new()
         .with("server_class", ParamValue::from("Bank"))
         .with("node", ParamValue::from("server"))
-        .with(
-            "operations",
-            ParamValue::from(vec!["transfer".to_owned(), "getBalance".to_owned()]),
-        )
+        .with("operations", ParamValue::from(vec!["transfer".to_owned(), "getBalance".to_owned()]))
 }
 
 /// Standard transactions `Si` for the banking workload.
@@ -103,15 +98,14 @@ pub fn tx_si() -> ParamSet {
 
 /// Standard security `Si` for the banking workload.
 pub fn sec_si() -> ParamSet {
-    ParamSet::new().with(
-        "protected",
-        ParamValue::from(vec!["Bank.transfer:teller".to_owned()]),
-    )
+    ParamSet::new().with("protected", ParamValue::from(vec!["Bank.transfer:teller".to_owned()]))
 }
 
 /// Instantiates the banking object graph; returns `(interp, bank)` ready
 /// for `transfer` calls (alice logged in, executing on the server node).
-pub fn ready_interp(program: comet_codegen::Program) -> (comet_interp::Interp, comet_interp::Value) {
+pub fn ready_interp(
+    program: comet_codegen::Program,
+) -> (comet_interp::Interp, comet_interp::Value) {
     use comet_interp::{Interp, Value};
     let mut interp = Interp::new(program);
     interp.add_node("client");
@@ -135,6 +129,101 @@ pub fn ready_interp(program: comet_codegen::Program) -> (comet_interp::Interp, c
     (interp, bank)
 }
 
+/// The E10 weaver scaling workload: `classes` classes of
+/// `methods_per_class` methods, each with a realistically sized body —
+/// a stretch of local arithmetic and branching around call shadows
+/// (plain, in a conditional, and in a loop) — so both the execution and
+/// the call passes do real work and snapshot clones cost what they
+/// would on production IR.
+pub fn weaver_program(classes: usize, methods_per_class: usize) -> comet_codegen::Program {
+    use comet_codegen::{ClassDecl, IrType, MethodDecl, Param, Program};
+    let mut p = Program::new("scale");
+    for c in 0..classes {
+        let mut class = ClassDecl::new(format!("C{c}"));
+        for m in 0..methods_per_class {
+            let mut method = MethodDecl::new(format!("m{m}"));
+            method.params.push(Param::new("x", IrType::Int));
+            method.ret = IrType::Int;
+            let callee = |i: usize| {
+                Stmt::Expr(Expr::call_this(
+                    format!("m{}", (m + i) % methods_per_class),
+                    vec![Expr::var("x")],
+                ))
+            };
+            let mut stmts = vec![Stmt::local("acc", IrType::Int, Expr::var("x"))];
+            for k in 0..8i64 {
+                stmts.push(Stmt::set_var(
+                    "acc",
+                    Expr::binary(IrBinOp::Add, Expr::var("acc"), Expr::int(k)),
+                ));
+                stmts.push(Stmt::If {
+                    cond: Expr::binary(IrBinOp::Lt, Expr::var("acc"), Expr::int(1000 + k)),
+                    then_block: Block::of(vec![Stmt::set_var(
+                        "acc",
+                        Expr::binary(IrBinOp::Sub, Expr::var("acc"), Expr::int(1)),
+                    )]),
+                    else_block: Some(Block::of(vec![Stmt::set_var("acc", Expr::int(k))])),
+                });
+            }
+            stmts.extend([
+                callee(1),
+                Stmt::If {
+                    cond: Expr::bool(true),
+                    then_block: Block::of(vec![callee(2)]),
+                    else_block: None,
+                },
+                Stmt::While { cond: Expr::bool(false), body: Block::of(vec![callee(3)]) },
+                Stmt::ret(Expr::var("acc")),
+            ]);
+            method.body = Block::of(stmts);
+            class.methods.push(method);
+        }
+        p.classes.push(class);
+    }
+    p
+}
+
+/// The E10 aspect set: a mix of execution advice (before / around /
+/// after-returning) and call advice, half targeted at name patterns,
+/// half universal — `n` aspects in precedence order.
+pub fn weaver_aspects(n: usize) -> Vec<comet_aop::Aspect> {
+    use comet_aop::{parse_pointcut, Advice, AdviceKind, Aspect};
+    let log = |tag: &str| {
+        Block::of(vec![Stmt::Expr(Expr::intrinsic(
+            "log.emit",
+            vec![Expr::str("info"), Expr::str(tag)],
+        ))])
+    };
+    (0..n)
+        .map(|i| {
+            let mut aspect = Aspect::new(format!("a{i}"));
+            aspect = match i % 4 {
+                0 => aspect.with_advice(Advice::new(
+                    AdviceKind::Before,
+                    parse_pointcut("execution(*.*)").expect("valid"),
+                    log("before-all"),
+                )),
+                1 => aspect.with_advice(Advice::new(
+                    AdviceKind::Around,
+                    parse_pointcut("execution(C*.m0)").expect("valid"),
+                    Block::of(vec![Stmt::ret(Expr::Proceed(vec![]))]),
+                )),
+                2 => aspect.with_advice(Advice::new(
+                    AdviceKind::Before,
+                    parse_pointcut("call(*.m1)").expect("valid"),
+                    log("before-call"),
+                )),
+                _ => aspect.with_advice(Advice::new(
+                    AdviceKind::AfterReturning,
+                    parse_pointcut("execution(*.m2) || execution(*.m3)").expect("valid"),
+                    log("after-ret"),
+                )),
+            };
+            aspect
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,12 +235,19 @@ mod tests {
             .generate(&executable_banking_pim(), &banking_bodies());
         let (mut interp, bank) = ready_interp(program);
         let ok = interp
-            .call(
-                bank,
-                "transfer",
-                vec![Value::from("A-1"), Value::from("A-2"), Value::Int(5)],
-            )
+            .call(bank, "transfer", vec![Value::from("A-1"), Value::from("A-2"), Value::Int(5)])
             .unwrap();
         assert_eq!(ok, Value::Bool(true));
+    }
+
+    #[test]
+    fn weaver_workload_weaves_identically_on_both_paths() {
+        let p = weaver_program(8, 4);
+        let weaver = comet_aop::Weaver::new(weaver_aspects(8));
+        let indexed = weaver.weave(&p).expect("weaves");
+        let naive = weaver.weave_naive(&p).expect("weaves");
+        assert_eq!(indexed.program, naive.program);
+        assert_eq!(indexed.trace, naive.trace);
+        assert!(!indexed.trace.is_empty(), "workload must exercise advice");
     }
 }

@@ -61,9 +61,7 @@ impl MonolithicGenerator {
                 // aspect does with around advice).
                 if class_remote && method_name == marks::DIST_REGISTER_OP {
                     if let Some(node) = &node {
-                        let m = class_decl
-                            .find_method_mut(&method_name)
-                            .expect("checked above");
+                        let m = class_decl.find_method_mut(&method_name).expect("checked above");
                         m.body = Block::of(vec![
                             Stmt::Expr(Expr::intrinsic(
                                 intrinsics::NET_REGISTER,
@@ -130,23 +128,14 @@ impl MonolithicGenerator {
 }
 
 fn tag_str(model: &Model, id: comet_model::ElementId, key: &str) -> Option<String> {
-    model
-        .element(id)
-        .ok()?
-        .core()
-        .tag(key)
-        .and_then(TagValue::as_str)
-        .map(str::to_owned)
+    model.element(id).ok()?.core().tag(key).and_then(TagValue::as_str).map(str::to_owned)
 }
 
 /// Moves the current body of `method_name` into a helper
 /// `method_name__layer`, leaving the original empty, and returns the call
 /// expression that invokes the helper plus the return type.
 fn extract_body(class: &mut ClassDecl, method_name: &str, layer: &str) -> (Expr, IrType) {
-    let method = class
-        .find_method(method_name)
-        .expect("caller checked the method exists")
-        .clone();
+    let method = class.find_method(method_name).expect("caller checked the method exists").clone();
     let helper_name = format!("{method_name}__{layer}");
     let mut helper = method.clone();
     helper.name = helper_name.clone();
@@ -165,10 +154,7 @@ fn run_and_return(call: Expr, ret: &IrType, result_var: &str) -> (Vec<Stmt>, Vec
     if *ret == IrType::Void {
         (vec![Stmt::Expr(call)], vec![Stmt::Return(None)])
     } else {
-        (
-            vec![Stmt::local(result_var, ret.clone(), call)],
-            vec![Stmt::ret(Expr::var(result_var))],
-        )
+        (vec![Stmt::local(result_var, ret.clone(), call)], vec![Stmt::ret(Expr::var(result_var))])
     }
 }
 
@@ -200,10 +186,7 @@ fn wrap_remote(class: &mut ClassDecl, method_name: &str, node: &str, registry: &
     let mut rpc_args = vec![Expr::str(node), Expr::str(registry), Expr::str(method_name)];
     rpc_args.extend(method.params.iter().map(|p| Expr::var(&p.name)));
     let forward = if method.ret == IrType::Void {
-        vec![
-            Stmt::Expr(Expr::intrinsic(intrinsics::NET_CALL, rpc_args)),
-            Stmt::Return(None),
-        ]
+        vec![Stmt::Expr(Expr::intrinsic(intrinsics::NET_CALL, rpc_args)), Stmt::Return(None)]
     } else {
         vec![Stmt::ret(Expr::intrinsic(intrinsics::NET_CALL, rpc_args))]
     };
@@ -231,11 +214,7 @@ fn wrap_secured(class: &mut ClassDecl, method_name: &str, role: &str, resource: 
 }
 
 fn persist_key_expr(collection: &str, key_attr: &str) -> Expr {
-    Expr::binary(
-        IrBinOp::Add,
-        Expr::str(format!("{collection}/")),
-        Expr::this_field(key_attr),
-    )
+    Expr::binary(IrBinOp::Add, Expr::str(format!("{collection}/")), Expr::this_field(key_attr))
 }
 
 /// core / store-save / return, with the body hoisted so the save runs

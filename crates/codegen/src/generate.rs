@@ -215,9 +215,7 @@ impl FunctionalGenerator {
             let cap = capitalize(&name);
             let getter = format!("get{cap}");
             let setter = format!("set{cap}");
-            if model
-                .find_operation(class_id, &getter)
-                .is_none()
+            if model.find_operation(class_id, &getter).is_none()
                 && class.find_method(&getter).is_none()
             {
                 let mut g = MethodDecl::new(&getter);
@@ -225,9 +223,7 @@ impl FunctionalGenerator {
                 g.body = Block::of(vec![Stmt::ret(Expr::this_field(&name))]);
                 class.methods.push(g);
             }
-            if model
-                .find_operation(class_id, &setter)
-                .is_none()
+            if model.find_operation(class_id, &setter).is_none()
                 && class.find_method(&setter).is_none()
             {
                 let mut s = MethodDecl::new(&setter);

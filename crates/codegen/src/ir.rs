@@ -38,11 +38,7 @@ impl Program {
     /// Total number of statements across all method bodies (a size metric
     /// used by the E5 generator-ablation experiment).
     pub fn statement_count(&self) -> usize {
-        self.classes
-            .iter()
-            .flat_map(|c| &c.methods)
-            .map(|m| m.body.statement_count())
-            .sum()
+        self.classes.iter().flat_map(|c| &c.methods).map(|m| m.body.statement_count()).sum()
     }
 }
 
@@ -551,7 +547,7 @@ impl Expr {
             Expr::Proceed(_) => true,
             Expr::Field { recv, .. } => recv.contains_proceed(),
             Expr::Call { recv, args, .. } => {
-                recv.as_ref().map_or(false, |r| r.contains_proceed())
+                recv.as_ref().is_some_and(|r| r.contains_proceed())
                     || args.iter().any(Expr::contains_proceed)
             }
             Expr::New { args, .. } | Expr::Intrinsic { args, .. } | Expr::ListLit(args) => {

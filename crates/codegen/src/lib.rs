@@ -42,7 +42,7 @@ mod validate;
 pub use baseline::MonolithicGenerator;
 pub use generate::{BodyProvider, FunctionalGenerator};
 pub use ir::{
-    Annotation, Block, ClassDecl, Expr, FieldDecl, IrBinOp, IrType, IrUnOp, Literal, LValue,
+    Annotation, Block, ClassDecl, Expr, FieldDecl, IrBinOp, IrType, IrUnOp, LValue, Literal,
     MethodDecl, Param, Program, Stmt,
 };
 pub use printer::pretty_print;

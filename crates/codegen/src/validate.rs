@@ -261,8 +261,6 @@ mod tests {
         }]);
         c.methods.push(m);
         p.classes.push(c);
-        assert!(check_program(&p)
-            .iter()
-            .any(|i| matches!(i, IrIssue::StrayProceed { .. })));
+        assert!(check_program(&p).iter().any(|i| matches!(i, IrIssue::StrayProceed { .. })));
     }
 }

@@ -10,7 +10,9 @@
 //! * CA_sync: per method, `around` advice: acquire, `proceed`, release —
 //!   releasing on the exception path too.
 
-use crate::util::{method_exists_ocl, method_stereotyped_ocl, pc_err, resolve_method, split_method};
+use crate::util::{
+    method_exists_ocl, method_stereotyped_ocl, pc_err, resolve_method, split_method,
+};
 use comet_aop::{parse_pointcut, Advice, AdviceKind};
 use comet_aspectgen::{AspectBuilder, AspectGenError, ConcernPair};
 use comet_codegen::marks::{intrinsics, STEREO_SYNCHRONIZED, TAG_SYNC_LOCK};
@@ -21,9 +23,7 @@ use comet_transform::{ParamSchema, ParamSet, TransformationBuilder};
 pub const CONCERN: &str = "concurrency";
 
 fn schema() -> ParamSchema {
-    ParamSchema::new()
-        .str_list("methods", true)
-        .string("lock", false, Some("global"))
+    ParamSchema::new().str_list("methods", true).string("lock", false, Some("global"))
 }
 
 /// Builds the concurrency [`ConcernPair`].
@@ -69,10 +69,8 @@ pub fn pair() -> ConcernPair {
             let lock = params.str("lock")?.to_owned();
             let mut advices = Vec::new();
             for entry in params.str_list("methods")? {
-                let (class, method) =
-                    split_method(entry).map_err(AspectGenError::Custom)?;
-                let pc = parse_pointcut(&format!("execution({class}.{method})"))
-                    .map_err(pc_err)?;
+                let (class, method) = split_method(entry).map_err(AspectGenError::Custom)?;
+                let pc = parse_pointcut(&format!("execution({class}.{method})")).map_err(pc_err)?;
                 advices.push(Advice::new(AdviceKind::Around, pc, guarded_body(&lock)));
             }
             Ok(advices)
@@ -127,8 +125,8 @@ mod tests {
 
     #[test]
     fn lock_defaults_to_global() {
-        let si = ParamSet::new()
-            .with("methods", ParamValue::from(vec!["Account.withdraw".to_owned()]));
+        let si =
+            ParamSet::new().with("methods", ParamValue::from(vec!["Account.withdraw".to_owned()]));
         let (cmt, _) = pair().specialize(si).unwrap();
         let mut m = banking_pim();
         cmt.apply(&mut m).unwrap();

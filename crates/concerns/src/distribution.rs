@@ -17,9 +17,7 @@
 use crate::util::{method_exists_ocl, pc_err, split_method};
 use comet_aop::{parse_pointcut, Advice, AdviceKind};
 use comet_aspectgen::{AspectBuilder, AspectGenError, ConcernPair};
-use comet_codegen::marks::{
-    intrinsics, STEREO_REMOTE, TAG_DIST_NODE, TAG_DIST_REGISTRY,
-};
+use comet_codegen::marks::{intrinsics, STEREO_REMOTE, TAG_DIST_NODE, TAG_DIST_REGISTRY};
 use comet_codegen::{Block, Expr, Stmt};
 use comet_transform::{ParamSchema, ParamSet, TransformError, TransformationBuilder};
 
@@ -53,9 +51,7 @@ pub fn pair() -> ConcernPair {
         .preconditions_fn(|params: &ParamSet| {
             let mut pre = Vec::new();
             if let Ok(class) = params.str("server_class") {
-                pre.push(format!(
-                    "Class.allInstances()->exists(c | c.name = '{class}')"
-                ));
+                pre.push(format!("Class.allInstances()->exists(c | c.name = '{class}')"));
                 // Idempotence guard: not already distributed.
                 pre.push(format!(
                     "not Class.allInstances()->exists(c | c.name = '{class}' and \
@@ -76,9 +72,7 @@ pub fn pair() -> ConcernPair {
                     "Class.allInstances()->exists(c | c.name = '{class}' and \
                      c.hasStereotype('{STEREO_REMOTE}'))"
                 ));
-                post.push(format!(
-                    "Class.allInstances()->exists(c | c.name = '{class}Proxy')"
-                ));
+                post.push(format!("Class.allInstances()->exists(c | c.name = '{class}Proxy')"));
                 post.push(method_exists_ocl(class, REGISTER_OP));
             }
             post
@@ -140,21 +134,12 @@ pub fn pair() -> ConcernPair {
                 if split_method(&format!("{class}.{op}")).is_err() {
                     return Err(AspectGenError::Custom(format!("bad operation `{op}`")));
                 }
-                let pc = parse_pointcut(&format!("execution({class}.{op})"))
-                    .map_err(pc_err)?;
-                advices.push(Advice::new(
-                    AdviceKind::Around,
-                    pc,
-                    routing_body(&node, &registry),
-                ));
+                let pc = parse_pointcut(&format!("execution({class}.{op})")).map_err(pc_err)?;
+                advices.push(Advice::new(AdviceKind::Around, pc, routing_body(&node, &registry)));
             }
-            let pc = parse_pointcut(&format!("execution({class}.{REGISTER_OP})"))
-                .map_err(pc_err)?;
-            advices.push(Advice::new(
-                AdviceKind::Around,
-                pc,
-                register_body(&node, &registry),
-            ));
+            let pc =
+                parse_pointcut(&format!("execution({class}.{REGISTER_OP})")).map_err(pc_err)?;
+            advices.push(Advice::new(AdviceKind::Around, pc, register_body(&node, &registry)));
             Ok(advices)
         })
         .build();
@@ -173,12 +158,7 @@ fn routing_body(node: &str, registry: &str) -> Block {
         },
         Stmt::ret(Expr::intrinsic(
             intrinsics::NET_CALL_LIST,
-            vec![
-                Expr::str(node),
-                Expr::str(registry),
-                Expr::var("__method"),
-                Expr::var("__args"),
-            ],
+            vec![Expr::str(node), Expr::str(registry), Expr::var("__method"), Expr::var("__args")],
         )),
     ])
 }

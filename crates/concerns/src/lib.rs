@@ -78,8 +78,7 @@ mod tests {
 
     #[test]
     fn standard_library_has_six_concerns() {
-        let names: Vec<String> =
-            standard_pairs().iter().map(|p| p.concern().to_owned()).collect();
+        let names: Vec<String> = standard_pairs().iter().map(|p| p.concern().to_owned()).collect();
         assert_eq!(
             names,
             vec![

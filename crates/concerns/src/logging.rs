@@ -20,9 +20,11 @@ use comet_transform::{ParamSchema, TransformError, TransformationBuilder};
 pub const CONCERN: &str = "logging";
 
 fn schema() -> ParamSchema {
-    ParamSchema::new()
-        .str_list("targets", true)
-        .choice("level", &["info", "debug", "trace"], "info")
+    ParamSchema::new().str_list("targets", true).choice(
+        "level",
+        &["info", "debug", "trace"],
+        "info",
+    )
 }
 
 /// Builds the logging [`ConcernPair`].
@@ -95,10 +97,7 @@ pub fn pair() -> ConcernPair {
 fn emit_body(level: &str, prefix: &str) -> Block {
     Block::of(vec![Stmt::Expr(Expr::intrinsic(
         intrinsics::LOG_EMIT,
-        vec![
-            Expr::str(level),
-            Expr::binary(IrBinOp::Add, Expr::str(prefix), Expr::var("__jp")),
-        ],
+        vec![Expr::str(level), Expr::binary(IrBinOp::Add, Expr::str(prefix), Expr::var("__jp"))],
     ))])
 }
 
@@ -136,8 +135,7 @@ mod tests {
 
     #[test]
     fn no_match_is_an_error_and_rolls_back() {
-        let si = ParamSet::new()
-            .with("targets", ParamValue::from(vec!["Ghost.*".to_owned()]));
+        let si = ParamSet::new().with("targets", ParamValue::from(vec!["Ghost.*".to_owned()]));
         let (cmt, _) = pair().specialize(si).unwrap();
         let mut m = banking_pim();
         let snapshot = m.clone();
@@ -152,11 +150,8 @@ mod tests {
         let si = ParamSet::new().with("targets", ParamValue::from(vec!["nodot".to_owned()]));
         assert!(pair().specialize(si.clone()).is_err());
         // The transformation side independently rejects it at apply time.
-        let cmt = comet_transform::specialize(
-            std::sync::Arc::clone(pair().transformation()),
-            si,
-        )
-        .unwrap();
+        let cmt = comet_transform::specialize(std::sync::Arc::clone(pair().transformation()), si)
+            .unwrap();
         let mut m = banking_pim();
         assert!(cmt.apply(&mut m).is_err());
     }

@@ -107,8 +107,8 @@ pub fn pair() -> ConcernPair {
             let collection = collection_name(params);
             let mut advices = Vec::new();
             for mutator in params.str_list("mutators")? {
-                let pc = parse_pointcut(&format!("execution({class}.{mutator})"))
-                    .map_err(pc_err)?;
+                let pc =
+                    parse_pointcut(&format!("execution({class}.{mutator})")).map_err(pc_err)?;
                 advices.push(Advice::new(
                     AdviceKind::AfterReturning,
                     pc,
@@ -117,11 +117,7 @@ pub fn pair() -> ConcernPair {
             }
             let pc = parse_pointcut(&format!("execution({class}.{PERSIST_RELOAD_OP})"))
                 .map_err(pc_err)?;
-            advices.push(Advice::new(
-                AdviceKind::Around,
-                pc,
-                reload_body(&collection, &key_attr),
-            ));
+            advices.push(Advice::new(AdviceKind::Around, pc, reload_body(&collection, &key_attr)));
             Ok(advices)
         })
         .build();
@@ -131,11 +127,7 @@ pub fn pair() -> ConcernPair {
 
 /// `collection/` + `this.<key_attr>` as a key expression.
 fn key_expr(collection: &str, key_attr: &str) -> Expr {
-    Expr::binary(
-        IrBinOp::Add,
-        Expr::str(format!("{collection}/")),
-        Expr::this_field(key_attr),
-    )
+    Expr::binary(IrBinOp::Add, Expr::str(format!("{collection}/")), Expr::this_field(key_attr))
 }
 
 /// afterReturning template: save the object snapshot.
@@ -149,10 +141,7 @@ fn save_body(collection: &str, key_attr: &str) -> Block {
 /// around template for `reload`: load the snapshot back into the object.
 fn reload_body(collection: &str, key_attr: &str) -> Block {
     Block::of(vec![
-        Stmt::Expr(Expr::intrinsic(
-            intrinsics::STORE_LOAD,
-            vec![key_expr(collection, key_attr)],
-        )),
+        Stmt::Expr(Expr::intrinsic(intrinsics::STORE_LOAD, vec![key_expr(collection, key_attr)])),
         Stmt::Return(None),
     ])
 }
@@ -167,10 +156,7 @@ mod tests {
         ParamSet::new()
             .with("class", ParamValue::from("Account"))
             .with("key_attr", ParamValue::from("number"))
-            .with(
-                "mutators",
-                ParamValue::from(vec!["deposit".to_owned(), "withdraw".to_owned()]),
-            )
+            .with("mutators", ParamValue::from(vec!["deposit".to_owned(), "withdraw".to_owned()]))
     }
 
     #[test]

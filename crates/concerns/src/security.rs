@@ -9,7 +9,9 @@
 //!   denial; with the `audit` policy the denial is logged but the call
 //!   proceeds.
 
-use crate::util::{method_exists_ocl, method_stereotyped_ocl, pc_err, resolve_method, split_method};
+use crate::util::{
+    method_exists_ocl, method_stereotyped_ocl, pc_err, resolve_method, split_method,
+};
 use comet_aop::{parse_pointcut, Advice, AdviceKind};
 use comet_aspectgen::{AspectBuilder, AspectGenError, ConcernPair};
 use comet_codegen::marks::{intrinsics, STEREO_SECURED, TAG_SEC_POLICY, TAG_SEC_ROLE};
@@ -20,9 +22,7 @@ use comet_transform::{ParamSchema, ParamSet, TransformationBuilder};
 pub const CONCERN: &str = "security";
 
 fn schema() -> ParamSchema {
-    ParamSchema::new()
-        .str_list("protected", true)
-        .choice("policy", &["deny", "audit"], "deny")
+    ParamSchema::new().str_list("protected", true).choice("policy", &["deny", "audit"], "deny")
 }
 
 /// Splits a `Class.method:role` entry.
@@ -66,8 +66,8 @@ pub fn pair() -> ConcernPair {
         .body(|model, params| {
             let policy = params.str("policy")?.to_owned();
             for entry in params.str_list("protected")? {
-                let (class, method, role) = split_protected(entry)
-                    .map_err(comet_transform::TransformError::Custom)?;
+                let (class, method, role) =
+                    split_protected(entry).map_err(comet_transform::TransformError::Custom)?;
                 let (_, op) = resolve_method(model, &format!("{class}.{method}"))?;
                 model.apply_stereotype(op, STEREO_SECURED)?;
                 model.set_tag(op, TAG_SEC_ROLE, role)?;
@@ -85,8 +85,7 @@ pub fn pair() -> ConcernPair {
             for entry in params.str_list("protected")? {
                 let (class, method, role) =
                     split_protected(entry).map_err(AspectGenError::Custom)?;
-                let pc = parse_pointcut(&format!("execution({class}.{method})"))
-                    .map_err(pc_err)?;
+                let pc = parse_pointcut(&format!("execution({class}.{method})")).map_err(pc_err)?;
                 advices.push(Advice::new(
                     AdviceKind::Before,
                     pc,
@@ -137,7 +136,10 @@ mod tests {
 
     #[test]
     fn split_protected_parses() {
-        assert_eq!(split_protected("Bank.transfer:teller").unwrap(), ("Bank", "transfer", "teller"));
+        assert_eq!(
+            split_protected("Bank.transfer:teller").unwrap(),
+            ("Bank", "transfer", "teller")
+        );
         assert!(split_protected("Bank.transfer").is_err());
         assert!(split_protected("Banktransfer:role").is_err());
         assert!(split_protected("Bank.transfer:").is_err());
@@ -145,10 +147,8 @@ mod tests {
 
     #[test]
     fn cmt_marks_and_records_role() {
-        let si = ParamSet::new().with(
-            "protected",
-            ParamValue::from(vec!["Bank.transfer:teller".to_owned()]),
-        );
+        let si = ParamSet::new()
+            .with("protected", ParamValue::from(vec!["Bank.transfer:teller".to_owned()]));
         let (cmt, ca) = pair().specialize(si).unwrap();
         let mut m = banking_pim();
         cmt.apply(&mut m).unwrap();
@@ -173,8 +173,7 @@ mod tests {
 
     #[test]
     fn bad_entry_rejected_at_specialization_apply() {
-        let si = ParamSet::new()
-            .with("protected", ParamValue::from(vec!["garbage".to_owned()]));
+        let si = ParamSet::new().with("protected", ParamValue::from(vec!["garbage".to_owned()]));
         // The aspect side fails fast.
         assert!(pair().specialize(si).is_err());
     }

@@ -10,7 +10,9 @@
 //!   commit; roll back and rethrow on exception; with `required`
 //!   propagation an active transaction is joined instead of nested.
 
-use crate::util::{method_exists_ocl, method_stereotyped_ocl, pc_err, resolve_method, split_method};
+use crate::util::{
+    method_exists_ocl, method_stereotyped_ocl, pc_err, resolve_method, split_method,
+};
 use comet_aop::{parse_pointcut, Advice, AdviceKind};
 use comet_aspectgen::{AspectBuilder, AspectGenError, ConcernPair};
 use comet_codegen::marks::{
@@ -75,10 +77,8 @@ pub fn pair() -> ConcernPair {
             let propagation = params.str("propagation")?.to_owned();
             let mut advices = Vec::new();
             for entry in params.str_list("methods")? {
-                let (class, method) =
-                    split_method(entry).map_err(AspectGenError::Custom)?;
-                let pc = parse_pointcut(&format!("execution({class}.{method})"))
-                    .map_err(pc_err)?;
+                let (class, method) = split_method(entry).map_err(AspectGenError::Custom)?;
+                let pc = parse_pointcut(&format!("execution({class}.{method})")).map_err(pc_err)?;
                 advices.push(Advice::new(
                     AdviceKind::Around,
                     pc,
@@ -103,17 +103,10 @@ fn around_body(isolation: &str, propagation: &str) -> Block {
             else_block: None,
         });
     }
-    stmts.push(Stmt::Expr(Expr::intrinsic(
-        intrinsics::TX_BEGIN,
-        vec![Expr::str(isolation)],
-    )));
+    stmts.push(Stmt::Expr(Expr::intrinsic(intrinsics::TX_BEGIN, vec![Expr::str(isolation)])));
     stmts.push(Stmt::TryCatch {
         body: Block::of(vec![
-            Stmt::Local {
-                name: "__r".into(),
-                ty: IrType::Str,
-                init: Some(Expr::Proceed(vec![])),
-            },
+            Stmt::Local { name: "__r".into(), ty: IrType::Str, init: Some(Expr::Proceed(vec![])) },
             Stmt::Expr(Expr::intrinsic(intrinsics::TX_COMMIT, vec![])),
             Stmt::ret(Expr::var("__r")),
         ]),
@@ -158,8 +151,7 @@ mod tests {
 
     #[test]
     fn precondition_rejects_unknown_method() {
-        let si = ParamSet::new()
-            .with("methods", ParamValue::from(vec!["Bank.launder".to_owned()]));
+        let si = ParamSet::new().with("methods", ParamValue::from(vec!["Bank.launder".to_owned()]));
         let (cmt, _) = pair().specialize(si).unwrap();
         let mut m = banking_pim();
         assert!(cmt.apply(&mut m).is_err());

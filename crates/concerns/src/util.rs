@@ -17,8 +17,7 @@ pub(crate) fn resolve_method(
     model: &Model,
     entry: &str,
 ) -> Result<(ElementId, ElementId), TransformError> {
-    let (class_name, method_name) =
-        split_method(entry).map_err(TransformError::Custom)?;
+    let (class_name, method_name) = split_method(entry).map_err(TransformError::Custom)?;
     let class = model
         .find_class(class_name)
         .ok_or_else(|| TransformError::Custom(format!("no class `{class_name}` in the model")))?;
@@ -76,9 +75,7 @@ mod tests {
         let ctx = comet_ocl::Context::for_model(&m);
         assert!(comet_ocl::evaluate_bool(&method_exists_ocl("Bank", "transfer"), &ctx).unwrap());
         assert!(!comet_ocl::evaluate_bool(&method_exists_ocl("Bank", "nope"), &ctx).unwrap());
-        assert!(
-            !comet_ocl::evaluate_bool(&method_stereotyped_ocl("Bank", "transfer", "X"), &ctx)
-                .unwrap()
-        );
+        assert!(!comet_ocl::evaluate_bool(&method_stereotyped_ocl("Bank", "transfer", "X"), &ctx)
+            .unwrap());
     }
 }

@@ -8,15 +8,23 @@
 //! comet-cli inspect <model.xmi>               summary, validation, colors
 //! comet-cli concerns                          list concern pairs + parameters
 //! comet-cli apply <model.xmi> <concern> k=v... [-o out.xmi] [--aspect-out f.aj]
+//! comet-cli weave <model.xmi> <concern> k=v... [--threads N]
+//! comet-cli pipeline [--threads N]            full Fig. 2 banking pipeline
 //! ```
 //!
 //! Parameters are `key=value`; list-valued parameters take
 //! comma-separated values (`methods=Bank.transfer,Account.withdraw`).
+//! `--threads N` pins the weaver's worker-thread count (default: all
+//! cores).
 
-use comet::Wizard;
+use comet::{MdaLifecycle, Wizard};
+use comet_aop::Weaver;
 use comet_aspectgen::{AspectBackend, AspectJBackend};
+use comet_codegen::{BodyProvider, FunctionalGenerator};
 use comet_model::sample::banking_pim;
 use comet_repo::ColorReport;
+use comet_transform::{ParamSet, ParamValue};
+use comet_workflow::WorkflowModel;
 use comet_xmi::{export_model, import_model};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -28,6 +36,8 @@ fn main() -> ExitCode {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("concerns") => cmd_concerns(),
         Some("apply") => cmd_apply(&args[1..]),
+        Some("weave") => cmd_weave(&args[1..]),
+        Some("pipeline") => cmd_pipeline(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -48,8 +58,27 @@ fn print_usage() {
         "comet-cli — concern-oriented model transformations meet AOP\n\n\
          USAGE:\n  comet-cli new <out.xmi>\n  comet-cli inspect <model.xmi>\n  \
          comet-cli concerns\n  comet-cli apply <model.xmi> <concern> [k=v ...] \
-         [-o out.xmi] [--aspect-out out.aj]"
+         [-o out.xmi] [--aspect-out out.aj]\n  \
+         comet-cli weave <model.xmi> <concern> [k=v ...] [--threads N]\n  \
+         comet-cli pipeline [--threads N]"
     );
+}
+
+/// Runs `op` with `--threads N` governing the weaver's parallel
+/// per-class fan-out: a dedicated rayon pool when a count was given,
+/// the global default (all cores) otherwise.
+fn with_pool<R>(threads: Option<usize>, op: impl FnOnce() -> R) -> Result<R, String> {
+    match threads {
+        None => Ok(op()),
+        Some(0) => Err("--threads must be at least 1".into()),
+        Some(n) => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .map_err(|e| e.to_string())?;
+            Ok(pool.install(op))
+        }
+    }
 }
 
 fn cmd_new(args: &[String]) -> Result<(), String> {
@@ -117,9 +146,7 @@ fn cmd_concerns() -> Result<(), String> {
                 q.name,
                 q.kind,
                 if q.required { "  (required)" } else { "" },
-                q.default
-                    .map(|d| format!("  [default: {d}]"))
-                    .unwrap_or_default()
+                q.default.map(|d| format!("  [default: {d}]")).unwrap_or_default()
             );
         }
     }
@@ -135,19 +162,11 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
     while i < args.len() {
         match args[i].as_str() {
             "-o" => {
-                out_path = Some(
-                    args.get(i + 1)
-                        .ok_or("-o needs a path")?
-                        .clone(),
-                );
+                out_path = Some(args.get(i + 1).ok_or("-o needs a path")?.clone());
                 i += 2;
             }
             "--aspect-out" => {
-                aspect_out = Some(
-                    args.get(i + 1)
-                        .ok_or("--aspect-out needs a path")?
-                        .clone(),
-                );
+                aspect_out = Some(args.get(i + 1).ok_or("--aspect-out needs a path")?.clone());
                 i += 2;
             }
             arg if arg.contains('=') => {
@@ -189,5 +208,114 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
         std::fs::write(&aspect_path, artifact).map_err(|e| e.to_string())?;
         println!("wrote concrete aspect `{}` to {aspect_path}", ca.name);
     }
+    Ok(())
+}
+
+fn parse_threads(args: &[String]) -> Result<(Vec<String>, Option<usize>), String> {
+    let mut rest = Vec::new();
+    let mut threads = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threads" {
+            let n = args.get(i + 1).ok_or("--threads needs a count")?;
+            threads = Some(n.parse().map_err(|_| format!("--threads: `{n}` is not a number"))?);
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok((rest, threads))
+}
+
+fn cmd_weave(args: &[String]) -> Result<(), String> {
+    let (rest, threads) = parse_threads(args)?;
+    let mut positional = Vec::new();
+    let mut params: BTreeMap<String, String> = BTreeMap::new();
+    for arg in &rest {
+        match arg.split_once('=') {
+            Some((k, v)) => {
+                params.insert(k.to_owned(), v.to_owned());
+            }
+            None => positional.push(arg.clone()),
+        }
+    }
+    let [model_path, concern_name] = positional.as_slice() else {
+        return Err("usage: comet-cli weave <model.xmi> <concern> [k=v ...] [--threads N]".into());
+    };
+    let pair = comet_concerns::by_name(concern_name)
+        .ok_or_else(|| format!("unknown concern `{concern_name}` (see `comet-cli concerns`)"))?;
+    let mut model = load(model_path)?;
+    let si = Wizard::for_pair(&pair).collect(&params).map_err(|e| e.to_string())?;
+    let (cmt, ca) = pair.specialize(si).map_err(|e| e.to_string())?;
+    cmt.apply(&mut model).map_err(|e| e.to_string())?;
+    let functional = FunctionalGenerator::new().generate(&model, &BodyProvider::default());
+    let weaver = Weaver::new(vec![ca]);
+    let result = with_pool(threads, || weaver.weave(&functional))?.map_err(|e| e.to_string())?;
+    println!(
+        "wove `{}` into {} classes: {} advice applications",
+        weaver.aspects()[0].name,
+        result.program.classes.len(),
+        result.trace.len()
+    );
+    for jp in &result.trace {
+        println!("  {:?} at {}.{} ({:?})", jp.kind, jp.class, jp.method, jp.shadow);
+    }
+    Ok(())
+}
+
+fn cmd_pipeline(args: &[String]) -> Result<(), String> {
+    let (rest, threads) = parse_threads(args)?;
+    if !rest.is_empty() {
+        return Err("usage: comet-cli pipeline [--threads N]".into());
+    }
+    // The paper's Fig. 2 demo: distribution, transactions, security
+    // refined onto the sample banking PIM, then code generation +
+    // weaving.
+    let workflow = WorkflowModel::new("fig2")
+        .step("distribution", false)
+        .step("transactions", false)
+        .step("security", false);
+    let mut mda = MdaLifecycle::new(banking_pim(), workflow).map_err(|e| e.to_string())?;
+    let steps: [(&str, ParamSet); 3] = [
+        (
+            "distribution",
+            ParamSet::new()
+                .with("server_class", ParamValue::from("Bank"))
+                .with("node", ParamValue::from("server"))
+                .with(
+                    "operations",
+                    ParamValue::from(vec!["transfer".to_owned(), "openAccount".to_owned()]),
+                ),
+        ),
+        (
+            "transactions",
+            ParamSet::new().with("methods", ParamValue::from(vec!["Bank.transfer".to_owned()])),
+        ),
+        (
+            "security",
+            ParamSet::new()
+                .with("protected", ParamValue::from(vec!["Bank.transfer:teller".to_owned()])),
+        ),
+    ];
+    for (name, si) in steps {
+        let pair = comet_concerns::by_name(name).expect("standard concern exists");
+        let applied = mda.apply_concern(&pair, si).map_err(|e| e.to_string())?;
+        println!(
+            "applied {} (created {}, modified {})",
+            applied.cmt.full_name(),
+            applied.report.created.len(),
+            applied.report.modified.len()
+        );
+    }
+    let system = with_pool(threads, || mda.generate(&BodyProvider::default()))?
+        .map_err(|e| e.to_string())?;
+    println!(
+        "generated {} classes, wove {} aspects: {} advice applications",
+        system.woven.classes.len(),
+        system.aspect_sources.len(),
+        system.weave_trace.len()
+    );
+    print!("{}", mda.colors());
     Ok(())
 }

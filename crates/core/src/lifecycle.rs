@@ -165,14 +165,11 @@ impl MdaLifecycle {
         pair: &ConcernPair,
         si: ParamSet,
     ) -> Result<&AppliedConcern, LifecycleError> {
-        self.workflow
-            .validate_sequence(&[pair.concern()])
-            .map_err(LifecycleError::Workflow)?;
+        self.workflow.validate_sequence(&[pair.concern()]).map_err(LifecycleError::Workflow)?;
         let (cmt, aspect) = pair.specialize(si)?;
         let report = cmt.apply(&mut self.model)?;
         self.workflow.record(pair.concern())?;
-        self.repo
-            .commit(&self.model, &cmt.full_name(), Some(pair.concern()))?;
+        self.repo.commit(&self.model, &cmt.full_name(), Some(pair.concern()))?;
         self.applied.push(AppliedConcern { cmt, aspect, report });
         Ok(self.applied.last().expect("just pushed"))
     }
@@ -184,17 +181,12 @@ impl MdaLifecycle {
     /// Fails when nothing was applied or the snapshot is corrupt.
     pub fn undo_last(&mut self) -> Result<(), LifecycleError> {
         let last = self.applied.pop().ok_or(LifecycleError::NothingToUndo)?;
-        let restored = self
-            .repo
-            .undo()
-            .ok_or(LifecycleError::NothingToUndo)??;
+        let restored = self.repo.undo().ok_or(LifecycleError::NothingToUndo)??;
         self.model = restored;
         // Rebuild the workflow state minus the undone step.
         let mut engine = WorkflowEngine::new(self.workflow.model().clone());
         for step in &self.applied {
-            engine
-                .record(step.cmt.concern())
-                .expect("previously valid sequence stays valid");
+            engine.record(step.cmt.concern()).expect("previously valid sequence stays valid");
         }
         self.workflow = engine;
         let _ = last;
@@ -218,10 +210,7 @@ impl MdaLifecycle {
         let weaver = Weaver::new(aspects.clone());
         let result = weaver.weave(&functional)?;
         let backend = AspectJBackend::new();
-        let aspect_sources = aspects
-            .iter()
-            .map(|a| (a.name.clone(), backend.render(a)))
-            .collect();
+        let aspect_sources = aspects.iter().map(|a| (a.name.clone(), backend.render(a))).collect();
         Ok(GeneratedSystem {
             functional_source: pretty_print(&functional),
             functional,
@@ -275,10 +264,7 @@ mod tests {
     }
 
     fn sec_si() -> ParamSet {
-        ParamSet::new().with(
-            "protected",
-            ParamValue::from(vec!["Bank.transfer:teller".to_owned()]),
-        )
+        ParamSet::new().with("protected", ParamValue::from(vec!["Bank.transfer:teller".to_owned()]))
     }
 
     fn full_lifecycle() -> MdaLifecycle {
@@ -300,11 +286,7 @@ mod tests {
         // Colors: distribution created elements; tx/sec only modified.
         let colors = mda.colors();
         assert!(colors.count("distribution") > 0);
-        assert_eq!(
-            colors.covered(),
-            vec!["distribution"],
-            "only creating concerns show as colors"
-        );
+        assert_eq!(colors.covered(), vec!["distribution"], "only creating concerns show as colors");
     }
 
     #[test]
@@ -335,13 +317,10 @@ mod tests {
 
     #[test]
     fn workflow_violation_rejected_and_model_untouched() {
-        let workflow = WorkflowModel::new("w")
-            .step("distribution", false)
-            .step("security", false)
-            .constraint(comet_workflow::OrderConstraint::Before(
-                "distribution".into(),
-                "security".into(),
-            ));
+        let workflow =
+            WorkflowModel::new("w").step("distribution", false).step("security", false).constraint(
+                comet_workflow::OrderConstraint::Before("distribution".into(), "security".into()),
+            );
         let mut mda = MdaLifecycle::new(banking_pim(), workflow).unwrap();
         let before = mda.model().clone();
         let err = mda.apply_concern(&security::pair(), sec_si()).unwrap_err();
@@ -353,8 +332,8 @@ mod tests {
     #[test]
     fn failed_transformation_leaves_no_trace() {
         let mut mda = MdaLifecycle::new(banking_pim(), fig2_workflow()).unwrap();
-        let bad_si = ParamSet::new()
-            .with("methods", ParamValue::from(vec!["Bank.launder".to_owned()]));
+        let bad_si =
+            ParamSet::new().with("methods", ParamValue::from(vec!["Bank.launder".to_owned()]));
         let before = mda.model().clone();
         assert!(mda.apply_concern(&transactions::pair(), bad_si).is_err());
         assert_eq!(mda.model(), &before);

@@ -45,8 +45,7 @@ impl ShippedPackage {
     /// Total payload size in bytes (XMI text), the metric the packaging
     /// trade-off turns on.
     pub fn payload_bytes(&self) -> usize {
-        self.final_model_xmi.len()
-            + self.lineage.iter().map(|s| s.model_xmi.len()).sum::<usize>()
+        self.final_model_xmi.len() + self.lineage.iter().map(|s| s.model_xmi.len()).sum::<usize>()
     }
 }
 
@@ -80,11 +79,9 @@ mod tests {
     use comet_workflow::WorkflowModel;
 
     fn lifecycle() -> MdaLifecycle {
-        let mut mda = MdaLifecycle::new(
-            banking_pim(),
-            WorkflowModel::new("w").step("transactions", false),
-        )
-        .unwrap();
+        let mut mda =
+            MdaLifecycle::new(banking_pim(), WorkflowModel::new("w").step("transactions", false))
+                .unwrap();
         mda.apply_concern(
             &transactions::pair(),
             ParamSet::new().with("methods", ParamValue::from(vec!["Bank.transfer".to_owned()])),

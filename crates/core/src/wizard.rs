@@ -93,13 +93,13 @@ impl Wizard {
             let Some(raw) = answers.get(&spec.name) else { continue };
             let value = match &spec.ty {
                 ParamType::Str | ParamType::Choice(_) => ParamValue::Str(raw.clone()),
-                ParamType::Int => ParamValue::Int(raw.trim().parse().map_err(|_| {
-                    ParamError::WrongType {
+                ParamType::Int => {
+                    ParamValue::Int(raw.trim().parse().map_err(|_| ParamError::WrongType {
                         name: spec.name.clone(),
                         expected: "Int".into(),
                         found: raw.clone(),
-                    }
-                })?),
+                    })?)
+                }
                 ParamType::Bool => match raw.trim().to_lowercase().as_str() {
                     "yes" | "true" | "y" => ParamValue::Bool(true),
                     "no" | "false" | "n" => ParamValue::Bool(false),

@@ -65,14 +65,9 @@ fn concerns_lists_the_standard_library() {
     let out = cli().arg("concerns").output().unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for concern in [
-        "distribution",
-        "transactions",
-        "security",
-        "logging",
-        "concurrency",
-        "persistence",
-    ] {
+    for concern in
+        ["distribution", "transactions", "security", "logging", "concurrency", "persistence"]
+    {
         assert!(stdout.contains(concern), "missing {concern}");
     }
     assert!(stdout.contains("(required)"));
@@ -88,21 +83,13 @@ fn errors_are_reported_with_nonzero_exit() {
     // Unknown concern.
     let pim = temp_path("err-pim.xmi");
     cli().args(["new", pim.to_str().unwrap()]).output().unwrap();
-    let out = cli()
-        .args(["apply", pim.to_str().unwrap(), "astrology"])
-        .output()
-        .unwrap();
+    let out = cli().args(["apply", pim.to_str().unwrap(), "astrology"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown concern"));
 
     // Failing precondition (method does not exist).
     let out = cli()
-        .args([
-            "apply",
-            pim.to_str().unwrap(),
-            "transactions",
-            "methods=Bank.launder",
-        ])
+        .args(["apply", pim.to_str().unwrap(), "transactions", "methods=Bank.launder"])
         .output()
         .unwrap();
     assert!(!out.status.success());

@@ -11,10 +11,9 @@ fn thrown(e: MiddlewareError) -> InterpError {
 }
 
 fn want_str(args: &[Value], idx: usize, what: &str) -> Result<String, InterpError> {
-    args.get(idx)
-        .and_then(Value::as_str)
-        .map(str::to_owned)
-        .ok_or_else(|| InterpError::IntrinsicArgs(format!("{what}: argument {idx} must be a string")))
+    args.get(idx).and_then(Value::as_str).map(str::to_owned).ok_or_else(|| {
+        InterpError::IntrinsicArgs(format!("{what}: argument {idx} must be a string"))
+    })
 }
 
 impl Interp {
@@ -105,10 +104,7 @@ impl Interp {
             "sec.check" => {
                 let role = want_str(&args, 0, "sec.check")?;
                 let resource = want_str(&args, 1, "sec.check")?;
-                self.middleware_mut()
-                    .security
-                    .check(&role, &resource)
-                    .map_err(thrown)?;
+                self.middleware_mut().security.check(&role, &resource).map_err(thrown)?;
                 Ok(Value::Null)
             }
             "net.is_local" => {
@@ -155,29 +151,20 @@ impl Interp {
                 } else {
                     args[3..].to_vec()
                 };
-                let registration = self
-                    .middleware()
-                    .naming
-                    .lookup(&reg_name)
-                    .map_err(thrown)?
-                    .clone();
+                let registration =
+                    self.middleware().naming.lookup(&reg_name).map_err(thrown)?.clone();
                 let origin = self.middleware().bus.current_node().to_owned();
-                let request_bytes =
-                    8 + method.len() as u64 + call_args.iter().map(Value::payload_bytes).sum::<u64>();
+                let request_bytes = 8
+                    + method.len() as u64
+                    + call_args.iter().map(Value::payload_bytes).sum::<u64>();
                 self.middleware_mut()
                     .bus
                     .send(&origin, &registration.node, request_bytes)
                     .map_err(thrown)?;
-                self.middleware_mut()
-                    .bus
-                    .set_current_node(&registration.node)
-                    .map_err(thrown)?;
+                self.middleware_mut().bus.set_current_node(&registration.node).map_err(thrown)?;
                 let outcome = self.invoke(registration.object_key, &method, call_args);
                 // Execution returns to the caller node whatever happened.
-                self.middleware_mut()
-                    .bus
-                    .set_current_node(&origin)
-                    .map_err(thrown)?;
+                self.middleware_mut().bus.set_current_node(&origin).map_err(thrown)?;
                 match outcome {
                     Ok(result) => {
                         let response_bytes = result.payload_bytes().max(1);
@@ -204,19 +191,13 @@ impl Interp {
             "lock.acquire" => {
                 let lock = want_str(&args, 0, "lock.acquire")?;
                 let owner = self.middleware().tx.current().unwrap_or(0);
-                self.middleware_mut()
-                    .locks
-                    .try_acquire(&lock, owner)
-                    .map_err(thrown)?;
+                self.middleware_mut().locks.try_acquire(&lock, owner).map_err(thrown)?;
                 Ok(Value::Null)
             }
             "lock.release" => {
                 let lock = want_str(&args, 0, "lock.release")?;
                 let owner = self.middleware().tx.current().unwrap_or(0);
-                self.middleware_mut()
-                    .locks
-                    .release(&lock, owner)
-                    .map_err(thrown)?;
+                self.middleware_mut().locks.release(&lock, owner).map_err(thrown)?;
                 Ok(Value::Null)
             }
             "cflow.enter" => {
@@ -270,11 +251,11 @@ impl Interp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::machine::Interp;
     use comet_codegen::{
         Block, ClassDecl, Expr, FieldDecl, IrBinOp, IrType, MethodDecl, Param, Program, Stmt,
     };
     use comet_middleware::MiddlewareConfig;
-    use crate::machine::Interp;
 
     /// An Account class whose `deposit` runs inside explicit tx
     /// intrinsics and whose `fail_deposit` writes then throws.
@@ -370,7 +351,10 @@ mod tests {
         let mut ping = MethodDecl::new("ping");
         ping.ret = IrType::Str;
         ping.body = Block::of(vec![
-            Stmt::set_this_field("hits", Expr::binary(IrBinOp::Add, Expr::this_field("hits"), Expr::int(1))),
+            Stmt::set_this_field(
+                "hits",
+                Expr::binary(IrBinOp::Add, Expr::this_field("hits"), Expr::int(1)),
+            ),
             Stmt::ret(Expr::str("pong")),
         ]);
         server.methods.push(ping);
@@ -483,7 +467,8 @@ mod tests {
         driver.methods.push(m);
         p.classes.push(driver);
 
-        let config = MiddlewareConfig { vote_abort_probability: 1.0, ..MiddlewareConfig::default() };
+        let config =
+            MiddlewareConfig { vote_abort_probability: 1.0, ..MiddlewareConfig::default() };
         let mut i = Interp::with_config(p, config);
         i.add_node("n1");
         i.add_node("n2");
@@ -510,10 +495,7 @@ mod tests {
         p.classes.push(c);
         let mut i = Interp::new(p);
         let o = i.create("C").unwrap();
-        assert!(matches!(
-            i.call(o.clone(), "bad", vec![]),
-            Err(InterpError::UnknownIntrinsic(_))
-        ));
+        assert!(matches!(i.call(o.clone(), "bad", vec![]), Err(InterpError::UnknownIntrinsic(_))));
         assert!(matches!(i.call(o, "badargs", vec![]), Err(InterpError::IntrinsicArgs(_))));
     }
 }

@@ -1,7 +1,7 @@
 //! The interpreter core: heap, frames, statement/expression execution.
 
 use crate::value::Value;
-use comet_codegen::{Block, Expr, IrBinOp, IrType, IrUnOp, Literal, LValue, Program, Stmt};
+use comet_codegen::{Block, Expr, IrBinOp, IrType, IrUnOp, LValue, Literal, Program, Stmt};
 use comet_middleware::{Middleware, MiddlewareConfig, UndoEntry};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -79,10 +79,9 @@ impl fmt::Display for InterpError {
             InterpError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
             InterpError::NotAnObject(ctx) => write!(f, "receiver is not an object in {ctx}"),
             InterpError::TypeError(m) => write!(f, "type error: {m}"),
-            InterpError::Arity { class, method, expected, found } => write!(
-                f,
-                "`{class}.{method}` expects {expected} argument(s), found {found}"
-            ),
+            InterpError::Arity { class, method, expected, found } => {
+                write!(f, "`{class}.{method}` expects {expected} argument(s), found {found}")
+            }
             InterpError::StepBudgetExhausted(n) => {
                 write!(f, "step budget of {n} exhausted (possible infinite loop)")
             }
@@ -129,10 +128,7 @@ impl Frame {
     }
 
     fn define(&mut self, name: &str, value: Value) {
-        self.scopes
-            .last_mut()
-            .expect("frame always has a scope")
-            .insert(name.to_owned(), value);
+        self.scopes.last_mut().expect("frame always has a scope").insert(name.to_owned(), value);
     }
 
     fn get(&self, name: &str) -> Option<&Value> {
@@ -281,18 +277,11 @@ impl Interp {
             .collect();
         let handle = self.next_handle;
         self.next_handle += 1;
-        self.heap.insert(
-            handle,
-            Object { class: class.to_owned(), fields, node: node.to_owned() },
-        );
+        self.heap.insert(handle, Object { class: class.to_owned(), fields, node: node.to_owned() });
         let mut frame = Frame::new(None);
         for (name, init) in inits {
             let v = self.eval(&init, &mut frame)?;
-            self.heap
-                .get_mut(&handle)
-                .expect("just inserted")
-                .fields
-                .insert(name, v);
+            self.heap.get_mut(&handle).expect("just inserted").fields.insert(name, v);
         }
         Ok(Value::Obj(handle))
     }
@@ -337,10 +326,14 @@ impl Interp {
     /// # Errors
     /// [`InterpError::Thrown`] carries uncaught IR exceptions; other
     /// variants are hard faults.
-    pub fn call(&mut self, obj: Value, method: &str, args: Vec<Value>) -> Result<Value, InterpError> {
-        let handle = obj
-            .as_obj()
-            .ok_or_else(|| InterpError::NotAnObject(format!("call to `{method}`")))?;
+    pub fn call(
+        &mut self,
+        obj: Value,
+        method: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, InterpError> {
+        let handle =
+            obj.as_obj().ok_or_else(|| InterpError::NotAnObject(format!("call to `{method}`")))?;
         self.invoke(handle, method, args)
     }
 
@@ -398,7 +391,11 @@ impl Interp {
         }
     }
 
-    pub(crate) fn exec_block(&mut self, block: &Block, frame: &mut Frame) -> Result<Exit, InterpError> {
+    pub(crate) fn exec_block(
+        &mut self,
+        block: &Block,
+        frame: &mut Frame,
+    ) -> Result<Exit, InterpError> {
         for stmt in &block.stmts {
             if let Exit::Return(v) = self.exec_stmt(stmt, frame)? {
                 return Ok(Exit::Return(v));
@@ -552,11 +549,7 @@ impl Interp {
                 .touch_node(tx, &node)
                 .map_err(|e| InterpError::Thrown(Value::Str(e.to_string())))?;
         }
-        self.heap
-            .get_mut(&handle)
-            .expect("checked above")
-            .fields
-            .insert(field.to_owned(), value);
+        self.heap.get_mut(&handle).expect("checked above").fields.insert(field.to_owned(), value);
         Ok(())
     }
 
@@ -579,7 +572,11 @@ impl Interp {
     /// Restores a snapshot produced by [`Interp::snapshot_object`] into
     /// the object's fields (transaction logging applies, so a rollback
     /// undoes a restore too).
-    pub(crate) fn restore_object(&mut self, handle: u64, snapshot: &Value) -> Result<(), InterpError> {
+    pub(crate) fn restore_object(
+        &mut self,
+        handle: u64,
+        snapshot: &Value,
+    ) -> Result<(), InterpError> {
         let Value::List(items) = snapshot else {
             return Err(InterpError::TypeError("malformed store snapshot".into()));
         };
@@ -613,10 +610,9 @@ impl Interp {
                 Literal::Str(s) => Value::Str(s.clone()),
                 Literal::Null => Value::Null,
             }),
-            Expr::Var(name) => frame
-                .get(name)
-                .cloned()
-                .ok_or_else(|| InterpError::UnknownVariable(name.clone())),
+            Expr::Var(name) => {
+                frame.get(name).cloned().ok_or_else(|| InterpError::UnknownVariable(name.clone()))
+            }
             Expr::This => frame
                 .this
                 .map(Value::Obj)
@@ -667,7 +663,10 @@ impl Interp {
                 if matches!(op, IrBinOp::And | IrBinOp::Or) {
                     let l = self.eval(lhs, frame)?;
                     let lb = l.as_bool().ok_or_else(|| {
-                        InterpError::TypeError(format!("`&&`/`||` needs boolean, got {}", l.type_name()))
+                        InterpError::TypeError(format!(
+                            "`&&`/`||` needs boolean, got {}",
+                            l.type_name()
+                        ))
                     })?;
                     return match (op, lb) {
                         (IrBinOp::And, false) => Ok(Value::Bool(false)),
@@ -854,7 +853,11 @@ mod tests {
                 vec![Param::new("x", IrType::Int)],
                 IrType::Int,
                 vec![
-                    Stmt::local("y", IrType::Int, Expr::binary(IrBinOp::Mul, Expr::var("x"), Expr::int(3))),
+                    Stmt::local(
+                        "y",
+                        IrType::Int,
+                        Expr::binary(IrBinOp::Mul, Expr::var("x"), Expr::int(3)),
+                    ),
                     Stmt::set_var("y", Expr::binary(IrBinOp::Add, Expr::var("y"), Expr::int(1))),
                     Stmt::ret(Expr::var("y")),
                 ],
@@ -911,8 +914,14 @@ mod tests {
                     Stmt::While {
                         cond: Expr::binary(IrBinOp::Le, Expr::var("i"), Expr::var("n")),
                         body: Block::of(vec![
-                            Stmt::set_var("acc", Expr::binary(IrBinOp::Add, Expr::var("acc"), Expr::var("i"))),
-                            Stmt::set_var("i", Expr::binary(IrBinOp::Add, Expr::var("i"), Expr::int(1))),
+                            Stmt::set_var(
+                                "acc",
+                                Expr::binary(IrBinOp::Add, Expr::var("acc"), Expr::var("i")),
+                            ),
+                            Stmt::set_var(
+                                "i",
+                                Expr::binary(IrBinOp::Add, Expr::var("i"), Expr::int(1)),
+                            ),
                         ]),
                     },
                     Stmt::If {
@@ -1050,10 +1059,7 @@ mod tests {
         let mut i = Interp::new(p);
         i.set_step_budget(10_000);
         let o = i.create("T").unwrap();
-        assert!(matches!(
-            i.call(o, "spin", vec![]),
-            Err(InterpError::StepBudgetExhausted(_))
-        ));
+        assert!(matches!(i.call(o, "spin", vec![]), Err(InterpError::StepBudgetExhausted(_))));
     }
 
     #[test]
@@ -1067,10 +1073,7 @@ mod tests {
             Err(InterpError::UnknownMethod { .. })
         ));
         assert!(matches!(i.field(&o, "nope"), Err(InterpError::UnknownField { .. })));
-        assert!(matches!(
-            i.call(Value::Int(1), "m", vec![]),
-            Err(InterpError::NotAnObject(_))
-        ));
+        assert!(matches!(i.call(Value::Int(1), "m", vec![]), Err(InterpError::NotAnObject(_))));
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! Rust, control flow terminates within its budget, and the call trace
 //! nests properly.
 
-use comet_codegen::{
-    Block, ClassDecl, Expr, IrBinOp, IrType, MethodDecl, Param, Program, Stmt,
-};
+use comet_codegen::{Block, ClassDecl, Expr, IrBinOp, IrType, MethodDecl, Param, Program, Stmt};
 use comet_interp::{Interp, Value};
 use proptest::prelude::*;
 
@@ -53,11 +51,7 @@ impl Arith {
 }
 
 fn arb_arith() -> impl Strategy<Value = Arith> {
-    let leaf = prop_oneof![
-        Just(Arith::X),
-        Just(Arith::Y),
-        (-50i64..50).prop_map(Arith::Lit),
-    ];
+    let leaf = prop_oneof![Just(Arith::X), Just(Arith::Y), (-50i64..50).prop_map(Arith::Lit),];
     leaf.prop_recursive(5, 40, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),

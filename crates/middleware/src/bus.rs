@@ -124,7 +124,12 @@ impl MessageBus {
     ///
     /// # Errors
     /// Fails on unknown nodes or when loss injection drops the message.
-    pub fn send(&mut self, from: &str, to: &str, payload_bytes: u64) -> Result<u64, MiddlewareError> {
+    pub fn send(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload_bytes: u64,
+    ) -> Result<u64, MiddlewareError> {
         if !self.has_node(from) {
             return Err(MiddlewareError::UnknownNode(from.to_owned()));
         }
@@ -141,10 +146,7 @@ impl MessageBus {
             };
             (lost, latency)
         };
-        let link = self
-            .stats
-            .entry((from.to_owned(), to.to_owned()))
-            .or_default();
+        let link = self.stats.entry((from.to_owned(), to.to_owned())).or_default();
         if lost {
             link.lost += 1;
             self.aggregate.lost += 1;
@@ -185,10 +187,7 @@ impl MessageBus {
 
     /// Statistics for one directed link.
     pub fn link_stats(&self, from: &str, to: &str) -> BusStats {
-        self.stats
-            .get(&(from.to_owned(), to.to_owned()))
-            .copied()
-            .unwrap_or_default()
+        self.stats.get(&(from.to_owned(), to.to_owned())).copied().unwrap_or_default()
     }
 }
 

@@ -73,10 +73,9 @@ impl fmt::Display for MiddlewareError {
             }
             MiddlewareError::NameNotBound(n) => write!(f, "name `{n}` is not bound"),
             MiddlewareError::NameAlreadyBound(n) => write!(f, "name `{n}` is already bound"),
-            MiddlewareError::LockConflict { lock, held_by, requested_by } => write!(
-                f,
-                "lock `{lock}` held by owner {held_by}, requested by {requested_by}"
-            ),
+            MiddlewareError::LockConflict { lock, held_by, requested_by } => {
+                write!(f, "lock `{lock}` held by owner {held_by}, requested by {requested_by}")
+            }
             MiddlewareError::Deadlock { lock } => {
                 write!(f, "acquiring lock `{lock}` would deadlock")
             }
@@ -109,10 +108,7 @@ mod tests {
 
     #[test]
     fn error_messages() {
-        assert_eq!(
-            MiddlewareError::UnknownNode("x".into()).to_string(),
-            "unknown node `x`"
-        );
+        assert_eq!(MiddlewareError::UnknownNode("x".into()).to_string(), "unknown node `x`");
         assert!(MiddlewareError::AccessDenied {
             principal: "bob".into(),
             role: "teller".into(),

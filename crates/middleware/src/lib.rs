@@ -60,7 +60,10 @@ pub use logging::{LogRecord, LogService};
 pub use naming::{NamingService, Registration};
 pub use security::{AuditEntry, SecurityManager};
 pub use store::{StoreService, StoreStats};
-pub use tx::{recover, RecoveredState, TransactionManager, TwoPhaseOutcome, TxId, TxStats, UndoEntry, WalRecord};
+pub use tx::{
+    recover, RecoveredState, TransactionManager, TwoPhaseOutcome, TxId, TxStats, UndoEntry,
+    WalRecord,
+};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

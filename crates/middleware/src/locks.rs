@@ -122,12 +122,8 @@ impl LockManager {
     /// Releases every lock held by `owner` (transaction end). Returns the
     /// number of locks released.
     pub fn release_all(&mut self, owner: u64) -> usize {
-        let doomed: Vec<String> = self
-            .held
-            .iter()
-            .filter(|(_, h)| h.owner == owner)
-            .map(|(k, _)| k.clone())
-            .collect();
+        let doomed: Vec<String> =
+            self.held.iter().filter(|(_, h)| h.owner == owner).map(|(k, _)| k.clone()).collect();
         for k in &doomed {
             self.held.remove(k);
         }

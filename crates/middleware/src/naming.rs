@@ -34,15 +34,13 @@ impl NamingService {
         if self.bindings.contains_key(name) {
             return Err(MiddlewareError::NameAlreadyBound(name.to_owned()));
         }
-        self.bindings
-            .insert(name.to_owned(), Registration { node: node.to_owned(), object_key });
+        self.bindings.insert(name.to_owned(), Registration { node: node.to_owned(), object_key });
         Ok(())
     }
 
     /// Binds or replaces `name`.
     pub fn rebind(&mut self, name: &str, node: &str, object_key: u64) {
-        self.bindings
-            .insert(name.to_owned(), Registration { node: node.to_owned(), object_key });
+        self.bindings.insert(name.to_owned(), Registration { node: node.to_owned(), object_key });
     }
 
     /// Resolves a name.
@@ -50,9 +48,7 @@ impl NamingService {
     /// # Errors
     /// Fails when the name is not bound.
     pub fn lookup(&self, name: &str) -> Result<&Registration, MiddlewareError> {
-        self.bindings
-            .get(name)
-            .ok_or_else(|| MiddlewareError::NameNotBound(name.to_owned()))
+        self.bindings.get(name).ok_or_else(|| MiddlewareError::NameNotBound(name.to_owned()))
     }
 
     /// Removes a binding; returns whether it existed.
@@ -85,7 +81,10 @@ mod tests {
         let mut n = NamingService::new();
         assert!(n.is_empty());
         n.bind("bank", "server", 7).unwrap();
-        assert_eq!(n.lookup("bank").unwrap(), &Registration { node: "server".into(), object_key: 7 });
+        assert_eq!(
+            n.lookup("bank").unwrap(),
+            &Registration { node: "server".into(), object_key: 7 }
+        );
         assert_eq!(n.len(), 1);
         assert!(n.unbind("bank"));
         assert!(!n.unbind("bank"));

@@ -34,8 +34,7 @@ impl SecurityManager {
 
     /// Declares a principal with roles (replaces previous roles).
     pub fn add_principal(&mut self, name: &str, roles: &[&str]) {
-        self.principals
-            .insert(name.to_owned(), roles.iter().map(|r| (*r).to_owned()).collect());
+        self.principals.insert(name.to_owned(), roles.iter().map(|r| (*r).to_owned()).collect());
     }
 
     /// Pushes `principal` as the current identity.
@@ -62,10 +61,7 @@ impl SecurityManager {
 
     /// True when `principal` holds `role`.
     pub fn has_role(&self, principal: &str, role: &str) -> bool {
-        self.principals
-            .get(principal)
-            .map(|roles| roles.iter().any(|r| r == role))
-            .unwrap_or(false)
+        self.principals.get(principal).map(|roles| roles.iter().any(|r| r == role)).unwrap_or(false)
     }
 
     /// Checks that the current principal holds `role`; records an audit

@@ -205,10 +205,7 @@ impl<V: Clone> TransactionManager<V> {
     }
 
     fn tx_mut_active(&mut self, id: TxId) -> Result<&mut Tx<V>, MiddlewareError> {
-        let tx = self
-            .transactions
-            .get_mut(&id)
-            .ok_or(MiddlewareError::NoSuchTransaction(id))?;
+        let tx = self.transactions.get_mut(&id).ok_or(MiddlewareError::NoSuchTransaction(id))?;
         if tx.state != TxState::Active {
             return Err(MiddlewareError::TransactionFinished(id));
         }

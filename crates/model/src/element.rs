@@ -3,12 +3,11 @@
 
 use crate::id::ElementId;
 use crate::kinds::*;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Data shared by every element regardless of kind.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ElementCore {
     /// Simple (unqualified) name.
     pub name: String,
@@ -61,7 +60,11 @@ impl ElementCore {
     }
 
     /// Sets a tagged value, returning the previous value if any.
-    pub fn set_tag(&mut self, key: impl Into<String>, value: impl Into<TagValue>) -> Option<TagValue> {
+    pub fn set_tag(
+        &mut self,
+        key: impl Into<String>,
+        value: impl Into<TagValue>,
+    ) -> Option<TagValue> {
         self.tags.insert(key.into(), value.into())
     }
 
@@ -72,7 +75,7 @@ impl ElementCore {
 }
 
 /// The kind-discriminated payload of an element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ElementKind {
     /// Namespace grouping other elements.
     Package(PackageData),
@@ -132,7 +135,7 @@ impl ElementKind {
 }
 
 /// A model element: identity + shared core + kind payload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Element {
     id: ElementId,
     core: ElementCore,

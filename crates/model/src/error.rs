@@ -47,10 +47,9 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::UnknownElement(id) => write!(f, "unknown element {id}"),
-            ModelError::InvalidOwner { owner, owner_kind, child_kind } => write!(
-                f,
-                "element {owner} of kind {owner_kind} cannot own a {child_kind}"
-            ),
+            ModelError::InvalidOwner { owner, owner_kind, child_kind } => {
+                write!(f, "element {owner} of kind {owner_kind} cannot own a {child_kind}")
+            }
             ModelError::DuplicateName { owner, name } => {
                 write!(f, "owner {owner} already contains an element named `{name}`")
             }

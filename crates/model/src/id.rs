@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Stable identity of a model element within one [`Model`](crate::Model).
@@ -6,9 +5,7 @@ use std::fmt;
 /// Ids are allocated by the owning model from a monotonically increasing
 /// counter and are never reused, so an id uniquely identifies one element
 /// for the whole life of a model, across undo/redo and diffing.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ElementId(u64);
 
 impl ElementId {

@@ -3,11 +3,10 @@
 //! references, tagged values).
 
 use crate::id::ElementId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// UML visibility of a feature or classifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Visibility {
     /// Visible everywhere (`+`).
     #[default]
@@ -33,7 +32,7 @@ impl fmt::Display for Visibility {
 }
 
 /// Built-in primitive types of the metamodel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Primitive {
     /// 64-bit signed integer.
     Int,
@@ -79,7 +78,7 @@ impl fmt::Display for Primitive {
 }
 
 /// A reference to a type usable by attributes, parameters and operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TypeRef {
     /// One of the built-in primitives.
     Primitive(Primitive),
@@ -110,7 +109,7 @@ impl From<Primitive> for TypeRef {
 }
 
 /// UML multiplicity (`lower..upper`, `upper = None` meaning `*`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Multiplicity {
     /// Minimum number of values.
     pub lower: u32,
@@ -136,7 +135,7 @@ impl Multiplicity {
 
     /// Returns true when `lower <= upper` (or upper unbounded).
     pub fn is_valid(self) -> bool {
-        self.upper.map_or(true, |u| self.lower <= u)
+        self.upper.is_none_or(|u| self.lower <= u)
     }
 }
 
@@ -157,7 +156,7 @@ impl fmt::Display for Multiplicity {
 }
 
 /// Value of a tagged value attached to a model element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TagValue {
     /// String payload.
     Str(String),
@@ -251,7 +250,7 @@ impl fmt::Display for TagValue {
 }
 
 /// Direction of an operation parameter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Direction {
     /// Input parameter.
     #[default]
@@ -265,7 +264,7 @@ pub enum Direction {
 }
 
 /// Aggregation kind of an association end.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AggregationKind {
     /// Plain association end.
     #[default]
@@ -277,11 +276,11 @@ pub enum AggregationKind {
 }
 
 /// Payload of a package element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PackageData {}
 
 /// Payload of a class element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ClassData {
     /// Abstract classes cannot be instantiated.
     pub is_abstract: bool,
@@ -290,22 +289,22 @@ pub struct ClassData {
 }
 
 /// Payload of an interface element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct InterfaceData {}
 
 /// Payload of a data-type element (user-defined value type).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DataTypeData {}
 
 /// Payload of an enumeration element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EnumerationData {
     /// Ordered enumeration literals.
     pub literals: Vec<String>,
 }
 
 /// Payload of an attribute element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttributeData {
     /// Declared type.
     pub ty: TypeRef,
@@ -332,7 +331,7 @@ impl Default for AttributeData {
 }
 
 /// Payload of an operation element. Parameters are child elements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OperationData {
     /// Return type of the operation.
     pub return_type: TypeRef,
@@ -356,7 +355,7 @@ impl Default for OperationData {
 }
 
 /// Payload of a parameter element (child of an operation).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParameterData {
     /// Declared type.
     pub ty: TypeRef,
@@ -371,7 +370,7 @@ impl Default for ParameterData {
 }
 
 /// One end of a binary association.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AssociationEnd {
     /// Role name of this end (may be empty).
     pub role: String,
@@ -399,14 +398,14 @@ impl AssociationEnd {
 }
 
 /// Payload of a binary association element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AssociationData {
     /// The two association ends.
     pub ends: [AssociationEnd; 2],
 }
 
 /// Payload of a generalization (inheritance) element.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeneralizationData {
     /// The more specific classifier.
     pub child: ElementId,
@@ -415,7 +414,7 @@ pub struct GeneralizationData {
 }
 
 /// Payload of a dependency element.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DependencyData {
     /// The dependent element.
     pub client: ElementId,
@@ -424,7 +423,7 @@ pub struct DependencyData {
 }
 
 /// Payload of a constraint element (body is OCL-like text).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConstraintData {
     /// Constrained element.
     pub constrained: ElementId,

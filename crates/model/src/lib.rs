@@ -9,7 +9,7 @@
 //!
 //! Models are element arenas addressed by [`ElementId`]; iteration order
 //! is deterministic (a `BTreeMap` keyed by id). All model data is
-//! `serde`-serializable so the repository crate can snapshot, hash and
+//! plain owned data (`Clone` + `PartialEq`) so the repository crate can snapshot, hash and
 //! diff models structurally.
 //!
 //! ## Example
@@ -34,6 +34,7 @@ mod builder;
 mod element;
 mod error;
 mod id;
+mod index;
 mod kinds;
 mod model;
 mod query;

@@ -4,9 +4,9 @@
 use crate::element::{Element, ElementCore, ElementKind};
 use crate::error::{ModelError, Result};
 use crate::id::ElementId;
+use crate::index::IndexCache;
 use crate::kinds::*;
 use crate::CONCERN_TAG;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A model: a named, deterministic arena of [`Element`]s rooted at a
@@ -16,12 +16,40 @@ use std::collections::BTreeMap;
 /// so the arena can maintain its invariants: every element except the root
 /// has an owner that exists, ids are never reused, and sibling names are
 /// unique per kind (for named elements).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Queries are answered from a lazily built, generation-tagged
+/// [`ModelIndex`](crate::index::ModelIndex); every mutation choke point
+/// bumps the generation, invalidating the cached index (see `index.rs`
+/// for the invalidation rules). The cache is derived data: it is ignored
+/// by `PartialEq` and reset — not copied — by `Clone`.
+#[derive(Debug)]
 pub struct Model {
     name: String,
     elements: BTreeMap<ElementId, Element>,
     next_id: u64,
     root: ElementId,
+    cache: IndexCache,
+}
+
+impl Clone for Model {
+    fn clone(&self) -> Self {
+        Model {
+            name: self.name.clone(),
+            elements: self.elements.clone(),
+            next_id: self.next_id,
+            root: self.root,
+            cache: IndexCache::default(),
+        }
+    }
+}
+
+impl PartialEq for Model {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.elements == other.elements
+            && self.next_id == other.next_id
+            && self.root == other.root
+    }
 }
 
 impl Model {
@@ -38,7 +66,7 @@ impl Model {
                 ElementKind::Package(PackageData::default()),
             ),
         );
-        Model { name, elements, next_id: 1, root }
+        Model { name, elements, next_id: 1, root, cache: IndexCache::default() }
     }
 
     /// The model name (same as the root package name).
@@ -48,6 +76,7 @@ impl Model {
 
     /// Renames the model and its root package.
     pub fn set_name(&mut self, name: impl Into<String>) {
+        self.cache.invalidate();
         let name = name.into();
         self.name = name.clone();
         let root = self.root;
@@ -94,13 +123,31 @@ impl Model {
     /// # Errors
     /// Returns [`ModelError::UnknownElement`] when the id does not resolve.
     pub fn element_mut(&mut self, id: ElementId) -> Result<&mut Element> {
+        // Handing out `&mut Element` may change anything the index
+        // covers (name, stereotypes, endpoints), so invalidate
+        // conservatively.
+        self.cache.invalidate();
         self.elements.get_mut(&id).ok_or(ModelError::UnknownElement(id))
     }
 
     fn alloc(&mut self) -> ElementId {
+        // Every element-creating path funnels through here, making it a
+        // mutation choke point for index invalidation.
+        self.cache.invalidate();
         let id = ElementId::from_raw(self.next_id);
         self.next_id += 1;
         id
+    }
+
+    /// Shared access to the index cache (for `index.rs`).
+    pub(crate) fn cache(&self) -> &IndexCache {
+        &self.cache
+    }
+
+    /// The current mutation generation; bumped by every mutation choke
+    /// point. Exposed for tests and cache diagnostics.
+    pub fn generation(&self) -> u64 {
+        self.cache.generation()
     }
 
     fn check_name(name: &str) -> Result<()> {
@@ -143,8 +190,7 @@ impl Model {
         let _ = owner_kind;
         self.check_duplicate(owner, kind.kind_name(), name)?;
         let id = self.alloc();
-        self.elements
-            .insert(id, Element::new(id, ElementCore::new(name, Some(owner)), kind));
+        self.elements.insert(id, Element::new(id, ElementCore::new(name, Some(owner)), kind));
         Ok(id)
     }
 
@@ -331,14 +377,13 @@ impl Model {
     /// # Errors
     /// Fails on unknown/non-classifier endpoints or if the edge would close
     /// an inheritance cycle.
-    pub fn add_generalization(
-        &mut self,
-        child: ElementId,
-        parent: ElementId,
-    ) -> Result<ElementId> {
+    pub fn add_generalization(&mut self, child: ElementId, parent: ElementId) -> Result<ElementId> {
         self.check_classifier(child)?;
         self.check_classifier(parent)?;
-        if child == parent || self.ancestors_of(parent).contains(&child) {
+        // Scan variant on purpose: during bulk construction the index is
+        // invalidated by every `add_*`, so an indexed cycle check would
+        // rebuild the whole index per edge.
+        if child == parent || self.ancestors_of_scan(parent).contains(&child) {
             return Err(ModelError::InheritanceCycle(child));
         }
         let owner = self.element(child)?.owner().unwrap_or(self.root);
@@ -358,11 +403,7 @@ impl Model {
     ///
     /// # Errors
     /// Fails when either endpoint is unknown.
-    pub fn add_dependency(
-        &mut self,
-        client: ElementId,
-        supplier: ElementId,
-    ) -> Result<ElementId> {
+    pub fn add_dependency(&mut self, client: ElementId, supplier: ElementId) -> Result<ElementId> {
         self.element(client)?;
         self.element(supplier)?;
         let id = self.alloc();
@@ -415,6 +456,7 @@ impl Model {
             return Err(ModelError::RootImmutable);
         }
         self.element(id)?;
+        self.cache.invalidate();
         // Collect the owned subtree.
         let mut doomed = vec![id];
         let mut frontier = vec![id];
@@ -478,11 +520,7 @@ impl Model {
 
     /// Direct children (owned elements) of `id`, in id order.
     pub fn children(&self, id: ElementId) -> Vec<ElementId> {
-        self.elements
-            .values()
-            .filter(|e| e.owner() == Some(id))
-            .map(Element::id)
-            .collect()
+        self.elements.values().filter(|e| e.owner() == Some(id)).map(Element::id).collect()
     }
 
     /// Fully qualified name, segments joined with `::`, starting at the
@@ -523,12 +561,7 @@ impl Model {
     ///
     /// # Errors
     /// Fails when the id is unknown.
-    pub fn set_tag(
-        &mut self,
-        id: ElementId,
-        key: &str,
-        value: impl Into<TagValue>,
-    ) -> Result<()> {
+    pub fn set_tag(&mut self, id: ElementId, key: &str, value: impl Into<TagValue>) -> Result<()> {
         self.element_mut(id)?.core_mut().set_tag(key, value);
         Ok(())
     }
@@ -550,9 +583,7 @@ impl Model {
     pub fn elements_of_concern(&self, concern: &str) -> Vec<ElementId> {
         self.elements
             .values()
-            .filter(|e| {
-                e.core().tag(CONCERN_TAG).and_then(TagValue::as_str) == Some(concern)
-            })
+            .filter(|e| e.core().tag(CONCERN_TAG).and_then(TagValue::as_str) == Some(concern))
             .map(Element::id)
             .collect()
     }
@@ -592,7 +623,13 @@ impl Model {
             max_id = max_id.max(e.id().raw());
             map.insert(e.id(), e);
         }
-        let model = Model { name: name.into(), elements: map, next_id: max_id + 1, root };
+        let model = Model {
+            name: name.into(),
+            elements: map,
+            next_id: max_id + 1,
+            root,
+            cache: IndexCache::default(),
+        };
         let root_ok = model
             .elements
             .get(&root)
@@ -638,7 +675,10 @@ mod tests {
         let p = m.add_parameter(o, "amount", Primitive::Int.into()).unwrap();
         m.set_return_type(o, Primitive::Bool.into()).unwrap();
         assert_eq!(m.qualified_name(p).unwrap(), "m::Account::deposit::amount");
-        assert_eq!(m.element(a).unwrap().as_attribute().unwrap().ty, TypeRef::Primitive(Primitive::Int));
+        assert_eq!(
+            m.element(a).unwrap().as_attribute().unwrap().ty,
+            TypeRef::Primitive(Primitive::Int)
+        );
         assert_eq!(
             m.element(o).unwrap().as_operation().unwrap().return_type,
             TypeRef::Primitive(Primitive::Bool)
@@ -662,7 +702,7 @@ mod tests {
         let c = m.add_class(m.root(), "A").unwrap();
         let a = m.add_attribute(c, "x", Primitive::Int.into()).unwrap();
         assert!(matches!(m.add_class(c, "B"), Err(ModelError::InvalidOwner { .. })));
-        assert!(matches!(m.add_attribute(a, "y", Primitive::Int.into()), Err(_)));
+        assert!(m.add_attribute(a, "y", Primitive::Int.into()).is_err());
         assert!(matches!(m.add_package(c, "p"), Err(ModelError::InvalidOwner { .. })));
     }
 
@@ -695,7 +735,12 @@ mod tests {
         let _p = m.add_parameter(op, "x", Primitive::Int.into()).unwrap();
         let g = m.add_generalization(b, a).unwrap();
         let assoc = m
-            .add_association(m.root(), "ab", AssociationEnd::new("a", a), AssociationEnd::new("b", b))
+            .add_association(
+                m.root(),
+                "ab",
+                AssociationEnd::new("a", a),
+                AssociationEnd::new("b", b),
+            )
             .unwrap();
         let con = m.add_constraint(a, "inv", "true").unwrap();
         let removed = m.remove_element(a).unwrap();
@@ -725,7 +770,12 @@ mod tests {
         let a = m.add_class(m.root(), "A").unwrap();
         let op = m.add_operation(a, "f").unwrap();
         let err = m
-            .add_association(m.root(), "x", AssociationEnd::new("a", a), AssociationEnd::new("o", op))
+            .add_association(
+                m.root(),
+                "x",
+                AssociationEnd::new("a", a),
+                AssociationEnd::new("o", op),
+            )
             .unwrap_err();
         assert!(matches!(err, ModelError::InvalidEndpoint { .. }));
     }
@@ -739,13 +789,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_preserves_model() {
+    fn clone_round_trip_preserves_model() {
         let mut m = Model::new("m");
         let c = m.add_class(m.root(), "A").unwrap();
         m.mark_concern(c, "tx").unwrap();
         // Round-trip through a lossless in-memory representation: clone is
-        // trivially equal; serde equality is covered in the repo crate via
-        // its binary codec. Here we assert PartialEq + Clone behave.
+        // trivially equal; persisted equality is covered in the repo crate
+        // via its binary codec. Here we assert PartialEq + Clone behave.
         let copy = m.clone();
         assert_eq!(m, copy);
     }

@@ -1,49 +1,89 @@
 //! Read-only navigation and lookup helpers over a [`Model`].
+//!
+//! Each query comes in two flavours: the public method, answered from
+//! the memoized [`ModelIndex`](crate::index::ModelIndex) (built lazily,
+//! invalidated on mutation — see `index.rs`), and a `*_scan` twin
+//! preserving the original full-arena scan. The scans are the
+//! differential oracles for the property tests in
+//! `tests/index_properties.rs` and the "before" baseline for the
+//! `e6_repository` benchmarks; new code should always use the indexed
+//! form.
 
 use crate::element::{Element, ElementKind};
 use crate::id::ElementId;
+use crate::index::kind_of;
 use crate::model::Model;
 
 impl Model {
     /// All classes, in id order.
     pub fn classes(&self) -> Vec<ElementId> {
-        self.iter()
-            .filter(|e| matches!(e.kind(), ElementKind::Class(_)))
-            .map(Element::id)
-            .collect()
+        self.elements_of_kind("Class")
+    }
+
+    /// Full-scan reference for [`Model::classes`].
+    pub fn classes_scan(&self) -> Vec<ElementId> {
+        self.elements_of_kind_scan("Class")
     }
 
     /// All interfaces, in id order.
     pub fn interfaces(&self) -> Vec<ElementId> {
-        self.iter()
-            .filter(|e| matches!(e.kind(), ElementKind::Interface(_)))
-            .map(Element::id)
-            .collect()
+        self.elements_of_kind("Interface")
     }
 
-    /// All classifiers (classes, interfaces, data types, enumerations).
-    pub fn classifiers(&self) -> Vec<ElementId> {
-        self.iter().filter(|e| e.is_classifier()).map(Element::id).collect()
+    /// Full-scan reference for [`Model::interfaces`].
+    pub fn interfaces_scan(&self) -> Vec<ElementId> {
+        self.elements_of_kind_scan("Interface")
     }
 
     /// All packages including the root, in id order.
     pub fn packages(&self) -> Vec<ElementId> {
-        self.iter()
-            .filter(|e| matches!(e.kind(), ElementKind::Package(_)))
-            .map(Element::id)
-            .collect()
+        self.elements_of_kind("Package")
+    }
+
+    /// Full-scan reference for [`Model::packages`].
+    pub fn packages_scan(&self) -> Vec<ElementId> {
+        self.elements_of_kind_scan("Package")
     }
 
     /// All associations, in id order.
     pub fn associations(&self) -> Vec<ElementId> {
-        self.iter()
-            .filter(|e| matches!(e.kind(), ElementKind::Association(_)))
-            .map(Element::id)
-            .collect()
+        self.elements_of_kind("Association")
+    }
+
+    /// Full-scan reference for [`Model::associations`].
+    pub fn associations_scan(&self) -> Vec<ElementId> {
+        self.elements_of_kind_scan("Association")
+    }
+
+    /// All elements of the given kind name (`"Class"`, `"Operation"`,
+    /// ...), in id order. This is what OCL `T.allInstances()` resolves
+    /// through.
+    pub fn elements_of_kind(&self, kind_name: &str) -> Vec<ElementId> {
+        self.index().by_kind.get(kind_name).cloned().unwrap_or_default()
+    }
+
+    /// Full-scan reference for [`Model::elements_of_kind`].
+    pub fn elements_of_kind_scan(&self, kind_name: &str) -> Vec<ElementId> {
+        self.iter().filter(|e| e.kind().kind_name() == kind_name).map(Element::id).collect()
+    }
+
+    /// All classifiers (classes, interfaces, data types, enumerations).
+    pub fn classifiers(&self) -> Vec<ElementId> {
+        self.index().classifiers.clone()
+    }
+
+    /// Full-scan reference for [`Model::classifiers`].
+    pub fn classifiers_scan(&self) -> Vec<ElementId> {
+        self.iter().filter(|e| e.is_classifier()).map(Element::id).collect()
     }
 
     /// Attributes owned by a classifier, in declaration (id) order.
     pub fn attributes_of(&self, classifier: ElementId) -> Vec<ElementId> {
+        self.index().attributes.get(&classifier).cloned().unwrap_or_default()
+    }
+
+    /// Full-scan reference for [`Model::attributes_of`].
+    pub fn attributes_of_scan(&self, classifier: ElementId) -> Vec<ElementId> {
         self.iter()
             .filter(|e| {
                 e.owner() == Some(classifier) && matches!(e.kind(), ElementKind::Attribute(_))
@@ -54,6 +94,11 @@ impl Model {
 
     /// Operations owned by a classifier, in declaration (id) order.
     pub fn operations_of(&self, classifier: ElementId) -> Vec<ElementId> {
+        self.index().operations.get(&classifier).cloned().unwrap_or_default()
+    }
+
+    /// Full-scan reference for [`Model::operations_of`].
+    pub fn operations_of_scan(&self, classifier: ElementId) -> Vec<ElementId> {
         self.iter()
             .filter(|e| {
                 e.owner() == Some(classifier) && matches!(e.kind(), ElementKind::Operation(_))
@@ -64,6 +109,11 @@ impl Model {
 
     /// Parameters of an operation, in declaration (id) order.
     pub fn parameters_of(&self, operation: ElementId) -> Vec<ElementId> {
+        self.index().parameters.get(&operation).cloned().unwrap_or_default()
+    }
+
+    /// Full-scan reference for [`Model::parameters_of`].
+    pub fn parameters_of_scan(&self, operation: ElementId) -> Vec<ElementId> {
         self.iter()
             .filter(|e| {
                 e.owner() == Some(operation) && matches!(e.kind(), ElementKind::Parameter(_))
@@ -74,6 +124,11 @@ impl Model {
 
     /// Constraints attached to an element, in id order.
     pub fn constraints_on(&self, element: ElementId) -> Vec<ElementId> {
+        self.index().constraints_on.get(&element).cloned().unwrap_or_default()
+    }
+
+    /// Full-scan reference for [`Model::constraints_on`].
+    pub fn constraints_on_scan(&self, element: ElementId) -> Vec<ElementId> {
         self.iter()
             .filter(|e| match e.kind() {
                 ElementKind::Constraint(c) => c.constrained == element,
@@ -85,6 +140,11 @@ impl Model {
 
     /// Direct parents (generalization targets) of a classifier.
     pub fn parents_of(&self, classifier: ElementId) -> Vec<ElementId> {
+        self.index().parents.get(&classifier).cloned().unwrap_or_default()
+    }
+
+    /// Full-scan reference for [`Model::parents_of`].
+    pub fn parents_of_scan(&self, classifier: ElementId) -> Vec<ElementId> {
         self.iter()
             .filter_map(|e| match e.kind() {
                 ElementKind::Generalization(g) if g.child == classifier => Some(g.parent),
@@ -95,6 +155,11 @@ impl Model {
 
     /// Direct children (generalization sources) of a classifier.
     pub fn specializations_of(&self, classifier: ElementId) -> Vec<ElementId> {
+        self.index().specializations.get(&classifier).cloned().unwrap_or_default()
+    }
+
+    /// Full-scan reference for [`Model::specializations_of`].
+    pub fn specializations_of_scan(&self, classifier: ElementId) -> Vec<ElementId> {
         self.iter()
             .filter_map(|e| match e.kind() {
                 ElementKind::Generalization(g) if g.parent == classifier => Some(g.child),
@@ -106,12 +171,19 @@ impl Model {
     /// Transitive generalization ancestors, deduplicated, excluding the
     /// classifier itself.
     pub fn ancestors_of(&self, classifier: ElementId) -> Vec<ElementId> {
+        self.index().ancestors.get(&classifier).cloned().unwrap_or_default()
+    }
+
+    /// Full-scan reference for [`Model::ancestors_of`]. Also used by the
+    /// generalization-cycle check in `add_generalization`, where the
+    /// index is guaranteed stale.
+    pub fn ancestors_of_scan(&self, classifier: ElementId) -> Vec<ElementId> {
         let mut out = Vec::new();
-        let mut frontier = self.parents_of(classifier);
+        let mut frontier = self.parents_of_scan(classifier);
         while let Some(p) = frontier.pop() {
             if !out.contains(&p) {
                 out.push(p);
-                frontier.extend(self.parents_of(p));
+                frontier.extend(self.parents_of_scan(p));
             }
         }
         out
@@ -123,15 +195,28 @@ impl Model {
         child == ancestor || self.ancestors_of(child).contains(&ancestor)
     }
 
-    /// Finds the first classifier with the given simple name (depth order).
+    /// Full-scan reference for [`Model::is_kind_of`].
+    pub fn is_kind_of_scan(&self, child: ElementId, ancestor: ElementId) -> bool {
+        child == ancestor || self.ancestors_of_scan(child).contains(&ancestor)
+    }
+
+    /// Finds the first classifier with the given simple name (id order).
     pub fn find_classifier(&self, name: &str) -> Option<ElementId> {
-        self.iter()
-            .find(|e| e.is_classifier() && e.name() == name)
-            .map(Element::id)
+        self.index().classifier_by_name.get(name).copied()
+    }
+
+    /// Full-scan reference for [`Model::find_classifier`].
+    pub fn find_classifier_scan(&self, name: &str) -> Option<ElementId> {
+        self.iter().find(|e| e.is_classifier() && e.name() == name).map(Element::id)
     }
 
     /// Finds a class by simple name.
     pub fn find_class(&self, name: &str) -> Option<ElementId> {
+        self.index().class_by_name.get(name).copied()
+    }
+
+    /// Full-scan reference for [`Model::find_class`].
+    pub fn find_class_scan(&self, name: &str) -> Option<ElementId> {
         self.iter()
             .find(|e| matches!(e.kind(), ElementKind::Class(_)) && e.name() == name)
             .map(Element::id)
@@ -139,14 +224,34 @@ impl Model {
 
     /// Finds an operation `name` on classifier `classifier`.
     pub fn find_operation(&self, classifier: ElementId, name: &str) -> Option<ElementId> {
-        self.operations_of(classifier)
+        self.index()
+            .operations
+            .get(&classifier)?
+            .iter()
+            .copied()
+            .find(|&op| crate::index::name_of(self, op) == name)
+    }
+
+    /// Full-scan reference for [`Model::find_operation`].
+    pub fn find_operation_scan(&self, classifier: ElementId, name: &str) -> Option<ElementId> {
+        self.operations_of_scan(classifier)
             .into_iter()
             .find(|&op| self.element(op).map(|e| e.name() == name).unwrap_or(false))
     }
 
     /// Finds an attribute `name` on classifier `classifier`.
     pub fn find_attribute(&self, classifier: ElementId, name: &str) -> Option<ElementId> {
-        self.attributes_of(classifier)
+        self.index()
+            .attributes
+            .get(&classifier)?
+            .iter()
+            .copied()
+            .find(|&a| crate::index::name_of(self, a) == name)
+    }
+
+    /// Full-scan reference for [`Model::find_attribute`].
+    pub fn find_attribute_scan(&self, classifier: ElementId, name: &str) -> Option<ElementId> {
+        self.attributes_of_scan(classifier)
             .into_iter()
             .find(|&a| self.element(a).map(|e| e.name() == name).unwrap_or(false))
     }
@@ -154,6 +259,23 @@ impl Model {
     /// Resolves a `::`-separated qualified name starting at the root
     /// package. The first segment must be the root (model) name.
     pub fn find_by_qualified_name(&self, qname: &str) -> Option<ElementId> {
+        let ix = self.index();
+        let mut segments = qname.split("::");
+        let first = segments.next()?;
+        if first != self.name() {
+            return None;
+        }
+        let mut cur = self.root();
+        for seg in segments {
+            // Greedy per-segment resolution, exactly like the scan: the
+            // first (lowest-id) child with the segment name wins.
+            cur = *ix.child_by_name.get(&cur)?.get(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// Full-scan reference for [`Model::find_by_qualified_name`].
+    pub fn find_by_qualified_name_scan(&self, qname: &str) -> Option<ElementId> {
         let mut segments = qname.split("::");
         let first = segments.next()?;
         if first != self.name() {
@@ -171,14 +293,21 @@ impl Model {
 
     /// All elements carrying the given stereotype, in id order.
     pub fn stereotyped(&self, stereotype: &str) -> Vec<ElementId> {
-        self.iter()
-            .filter(|e| e.core().has_stereotype(stereotype))
-            .map(Element::id)
-            .collect()
+        self.index().stereotyped.get(stereotype).cloned().unwrap_or_default()
+    }
+
+    /// Full-scan reference for [`Model::stereotyped`].
+    pub fn stereotyped_scan(&self, stereotype: &str) -> Vec<ElementId> {
+        self.iter().filter(|e| e.core().has_stereotype(stereotype)).map(Element::id).collect()
     }
 
     /// Associations with at least one end attached to `classifier`.
     pub fn associations_of(&self, classifier: ElementId) -> Vec<ElementId> {
+        self.index().associations_of.get(&classifier).cloned().unwrap_or_default()
+    }
+
+    /// Full-scan reference for [`Model::associations_of`].
+    pub fn associations_of_scan(&self, classifier: ElementId) -> Vec<ElementId> {
         self.iter()
             .filter(|e| match e.kind() {
                 ElementKind::Association(a) => {
@@ -188,6 +317,27 @@ impl Model {
             })
             .map(Element::id)
             .collect()
+    }
+
+    /// Indexed children lookup (same contract as [`Model::children`],
+    /// which remains a scan in `model.rs` because mutators use it).
+    pub fn children_indexed(&self, id: ElementId) -> Vec<ElementId> {
+        self.index().children.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// All data types, in id order (indexed).
+    pub fn data_types(&self) -> Vec<ElementId> {
+        self.elements_of_kind("DataType")
+    }
+
+    /// All enumerations, in id order (indexed).
+    pub fn enumerations(&self) -> Vec<ElementId> {
+        self.elements_of_kind("Enumeration")
+    }
+
+    /// The kind name of an indexed element (diagnostic helper).
+    pub fn kind_name_of(&self, id: ElementId) -> Option<&'static str> {
+        self.element(id).ok().map(|e| kind_of(self, e.id()).kind_name())
     }
 }
 
@@ -221,6 +371,7 @@ mod tests {
         assert!(m.is_kind_of(d, a));
         assert!(m.is_kind_of(d, d));
         assert!(!m.is_kind_of(a, d));
+        assert_eq!(anc, m.ancestors_of_scan(d), "index must match the scan order");
     }
 
     #[test]
@@ -270,5 +421,20 @@ mod tests {
         assert_eq!(m.associations_of(a), vec![assoc]);
         assert_eq!(m.associations_of(b), vec![assoc]);
         assert_eq!(m.associations(), vec![assoc]);
+    }
+
+    #[test]
+    fn indexed_queries_track_mutations() {
+        let mut m = Model::new("m");
+        let a = m.add_class(m.root(), "A").unwrap();
+        assert_eq!(m.classes(), vec![a]);
+        let b = m.add_class(m.root(), "B").unwrap();
+        assert_eq!(m.classes(), vec![a, b], "index must see the new class");
+        m.remove_element(a).unwrap();
+        assert_eq!(m.classes(), vec![b], "index must forget removed classes");
+        m.apply_stereotype(b, "Remote").unwrap();
+        assert_eq!(m.stereotyped("Remote"), vec![b]);
+        assert_eq!(m.classes(), m.classes_scan());
+        assert_eq!(m.children_indexed(m.root()), m.children(m.root()));
     }
 }

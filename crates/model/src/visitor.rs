@@ -46,9 +46,9 @@ pub fn walk_from<V: Visitor>(model: &Model, start: ElementId, visitor: &mut V) {
         k if k.is_classifier() => visitor.visit_classifier(model, element),
         ElementKind::Attribute(_) => visitor.visit_attribute(model, element),
         ElementKind::Operation(_) => visitor.visit_operation(model, element),
-        ElementKind::Association(_) | ElementKind::Generalization(_) | ElementKind::Dependency(_) => {
-            visitor.visit_relationship(model, element)
-        }
+        ElementKind::Association(_)
+        | ElementKind::Generalization(_)
+        | ElementKind::Dependency(_) => visitor.visit_relationship(model, element),
         ElementKind::Constraint(_) => visitor.visit_constraint(model, element),
         _ => {}
     }

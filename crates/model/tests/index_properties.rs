@@ -1,0 +1,249 @@
+//! Differential property tests for the memoized [`ModelIndex`]: after an
+//! arbitrary sequence of API-level mutations (including removals,
+//! renames via `element_mut`, stereotypes, associations and
+//! generalizations), every indexed query must answer exactly like its
+//! `*_scan` full-scan twin — same elements, same order. Queries are also
+//! interleaved *between* mutations, so a stale cache (a missing
+//! generation bump) shows up as a divergence.
+
+use comet_model::{AssociationEnd, ElementId, Model, Primitive};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    AddClass,
+    AddInterface,
+    AddPackage(u8),
+    AddAttribute(u8),
+    AddOperation(u8),
+    AddParameter(u8),
+    AddGeneralization(u8, u8),
+    AddAssociation(u8, u8),
+    AddConstraint(u8),
+    Stereotype(u8, String),
+    Rename(u8, String),
+    Remove(u8),
+    // Interleaved query: forces an index build mid-sequence so later
+    // mutations must invalidate it.
+    QueryNow,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::AddClass),
+        Just(Op::AddInterface),
+        any::<u8>().prop_map(Op::AddPackage),
+        any::<u8>().prop_map(Op::AddAttribute),
+        any::<u8>().prop_map(Op::AddOperation),
+        any::<u8>().prop_map(Op::AddParameter),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::AddGeneralization(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::AddAssociation(a, b)),
+        any::<u8>().prop_map(Op::AddConstraint),
+        (any::<u8>(), "[a-z]{1,6}").prop_map(|(c, s)| Op::Stereotype(c, s)),
+        (any::<u8>(), "[a-z]{2,6}").prop_map(|(c, s)| Op::Rename(c, s)),
+        any::<u8>().prop_map(Op::Remove),
+        Just(Op::QueryNow),
+    ]
+}
+
+fn pick(ids: &[ElementId], idx: u8) -> Option<ElementId> {
+    if ids.is_empty() {
+        None
+    } else {
+        Some(ids[idx as usize % ids.len()])
+    }
+}
+
+/// Applies the ops; at each `QueryNow` runs a few indexed queries (to
+/// populate the cache mid-sequence) and returns the final model.
+fn apply_ops(ops: &[Op]) -> Model {
+    let mut m = Model::new("prop");
+    let mut counter = 0usize;
+    for op in ops {
+        let classifiers = m.classifiers();
+        match op {
+            Op::AddClass => {
+                counter += 1;
+                let root = m.root();
+                let _ = m.add_class(root, &format!("C{counter}"));
+            }
+            Op::AddInterface => {
+                counter += 1;
+                let root = m.root();
+                let _ = m.add_interface(root, &format!("I{counter}"));
+            }
+            Op::AddPackage(p) => {
+                counter += 1;
+                let packages = m.packages();
+                if let Some(owner) = pick(&packages, *p) {
+                    let _ = m.add_package(owner, &format!("p{counter}"));
+                }
+            }
+            Op::AddAttribute(c) => {
+                if let Some(cl) = pick(&classifiers, *c) {
+                    counter += 1;
+                    let _ = m.add_attribute(cl, &format!("a{counter}"), Primitive::Int.into());
+                }
+            }
+            Op::AddOperation(c) => {
+                if let Some(cl) = pick(&classifiers, *c) {
+                    counter += 1;
+                    let _ = m.add_operation(cl, &format!("o{counter}"));
+                }
+            }
+            Op::AddParameter(o) => {
+                let ops_all: Vec<ElementId> = m.elements_of_kind("Operation");
+                if let Some(op_id) = pick(&ops_all, *o) {
+                    counter += 1;
+                    let _ = m.add_parameter(op_id, &format!("x{counter}"), Primitive::Int.into());
+                }
+            }
+            Op::AddGeneralization(a, b) => {
+                if let (Some(child), Some(parent)) =
+                    (pick(&classifiers, *a), pick(&classifiers, *b))
+                {
+                    let _ = m.add_generalization(child, parent);
+                }
+            }
+            Op::AddAssociation(a, b) => {
+                if let (Some(x), Some(y)) = (pick(&classifiers, *a), pick(&classifiers, *b)) {
+                    let root = m.root();
+                    let _ = m.add_association(
+                        root,
+                        "",
+                        AssociationEnd::new("x", x),
+                        AssociationEnd::new("y", y),
+                    );
+                }
+            }
+            Op::AddConstraint(c) => {
+                if let Some(cl) = pick(&classifiers, *c) {
+                    counter += 1;
+                    let _ = m.add_constraint(cl, &format!("inv{counter}"), "true");
+                }
+            }
+            Op::Stereotype(c, s) => {
+                if let Some(cl) = pick(&classifiers, *c) {
+                    let _ = m.apply_stereotype(cl, s);
+                }
+            }
+            Op::Rename(c, s) => {
+                counter += 1;
+                if let Some(cl) = pick(&classifiers, *c) {
+                    if let Ok(e) = m.element_mut(cl) {
+                        e.core_mut().name = format!("{s}{counter}");
+                    }
+                }
+            }
+            Op::Remove(c) => {
+                if let Some(cl) = pick(&classifiers, *c) {
+                    let _ = m.remove_element(cl);
+                }
+            }
+            Op::QueryNow => {
+                // Touch the index so a later missing invalidation would
+                // leave this build stale.
+                let _ = m.classes();
+                let _ = m.stereotyped("hot");
+            }
+        }
+    }
+    m
+}
+
+/// Asserts every indexed query equals its scan twin on `m`.
+fn assert_index_matches_scans(m: &Model) -> Result<(), TestCaseError> {
+    prop_assert_eq!(m.classes(), m.classes_scan());
+    prop_assert_eq!(m.interfaces(), m.interfaces_scan());
+    prop_assert_eq!(m.packages(), m.packages_scan());
+    prop_assert_eq!(m.associations(), m.associations_scan());
+    prop_assert_eq!(m.classifiers(), m.classifiers_scan());
+    for kind in [
+        "Package",
+        "Class",
+        "Interface",
+        "DataType",
+        "Enumeration",
+        "Attribute",
+        "Operation",
+        "Parameter",
+        "Association",
+        "Generalization",
+        "Dependency",
+        "Constraint",
+    ] {
+        prop_assert_eq!(m.elements_of_kind(kind), m.elements_of_kind_scan(kind));
+    }
+    let every: Vec<ElementId> = m.iter().map(|e| e.id()).collect();
+    for &id in &every {
+        prop_assert_eq!(m.attributes_of(id), m.attributes_of_scan(id));
+        prop_assert_eq!(m.operations_of(id), m.operations_of_scan(id));
+        prop_assert_eq!(m.parameters_of(id), m.parameters_of_scan(id));
+        prop_assert_eq!(m.constraints_on(id), m.constraints_on_scan(id));
+        prop_assert_eq!(m.parents_of(id), m.parents_of_scan(id));
+        prop_assert_eq!(m.specializations_of(id), m.specializations_of_scan(id));
+        prop_assert_eq!(m.ancestors_of(id), m.ancestors_of_scan(id));
+        prop_assert_eq!(m.associations_of(id), m.associations_of_scan(id));
+        prop_assert_eq!(m.children_indexed(id), m.children(id));
+        let name = m.element(id).expect("live id").name().to_owned();
+        prop_assert_eq!(m.find_classifier(&name), m.find_classifier_scan(&name));
+        prop_assert_eq!(m.find_class(&name), m.find_class_scan(&name));
+        if let Ok(qname) = m.qualified_name(id) {
+            prop_assert_eq!(
+                m.find_by_qualified_name(&qname),
+                m.find_by_qualified_name_scan(&qname)
+            );
+        }
+    }
+    for (a, b) in every.iter().zip(every.iter().rev()) {
+        prop_assert_eq!(m.is_kind_of(*a, *b), m.is_kind_of_scan(*a, *b));
+    }
+    // Stereotype and feature-name lookups over everything observed.
+    let mut stereotypes: Vec<String> =
+        m.iter().flat_map(|e| e.core().stereotypes.iter().cloned()).collect();
+    stereotypes.sort();
+    stereotypes.dedup();
+    for s in &stereotypes {
+        prop_assert_eq!(m.stereotyped(s), m.stereotyped_scan(s));
+    }
+    prop_assert_eq!(m.stereotyped("never-applied"), m.stereotyped_scan("never-applied"));
+    for &cl in &m.classifiers() {
+        for &f in m.attributes_of(cl).iter().chain(m.operations_of(cl).iter()) {
+            let fname = m.element(f).expect("live id").name().to_owned();
+            prop_assert_eq!(m.find_attribute(cl, &fname), m.find_attribute_scan(cl, &fname));
+            prop_assert_eq!(m.find_operation(cl, &fname), m.find_operation_scan(cl, &fname));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The satellite property: after a random mutation sequence (with
+    /// index builds interleaved), every indexed query equals the naive
+    /// full scan.
+    #[test]
+    fn indexed_queries_equal_scans_after_mutations(
+        ops in prop::collection::vec(arb_op(), 0..50),
+    ) {
+        let m = apply_ops(&ops);
+        assert_index_matches_scans(&m)?;
+    }
+
+    /// Clones answer identically to their originals even though the
+    /// clone starts with a cold cache.
+    #[test]
+    fn clone_answers_identically(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let m = apply_ops(&ops);
+        let _ = m.classes(); // warm the original's cache
+        let copy = m.clone();
+        prop_assert_eq!(m.classes(), copy.classes());
+        prop_assert_eq!(m.classifiers(), copy.classifiers());
+        for id in m.iter().map(|e| e.id()) {
+            prop_assert_eq!(m.ancestors_of(id), copy.ancestors_of(id));
+            prop_assert_eq!(m.children_indexed(id), copy.children_indexed(id));
+        }
+        assert_index_matches_scans(&copy)?;
+    }
+}

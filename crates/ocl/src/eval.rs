@@ -256,9 +256,7 @@ fn eval_binary(op: BinOp, lhs: &Expr, rhs: &Expr, ctx: &Context<'_>) -> Result<V
     let l = evaluate(lhs, ctx)?;
     let r = evaluate(rhs, ctx)?;
     match op {
-        BinOp::Xor => Ok(Value::Bool(
-            expect_bool(l, "`xor`")? ^ expect_bool(r, "`xor`")?,
-        )),
+        BinOp::Xor => Ok(Value::Bool(expect_bool(l, "`xor`")? ^ expect_bool(r, "`xor`")?)),
         BinOp::Eq => Ok(Value::Bool(l == r)),
         BinOp::Ne => Ok(Value::Bool(l != r)),
         BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
@@ -341,10 +339,9 @@ fn type_ref_value(ty: TypeRef) -> Value {
 }
 
 fn element<'m>(ctx: &Context<'m>, id: ElementId) -> Result<&'m Element, EvalError> {
-    ctx.model().element(id).map_err(|_| EvalError::UnknownProperty {
-        prop: "<resolution>".into(),
-        on: "Element",
-    })
+    ctx.model()
+        .element(id)
+        .map_err(|_| EvalError::UnknownProperty { prop: "<resolution>".into(), on: "Element" })
 }
 
 fn ids(items: Vec<ElementId>) -> Value {
@@ -363,9 +360,7 @@ fn eval_property(recv: &Value, prop: &str, ctx: &Context<'_>) -> Result<Value, E
     let e = element(ctx, id)?;
     match prop {
         "name" => Ok(Value::Str(e.name().to_owned())),
-        "qualifiedName" => Ok(Value::Str(
-            m.qualified_name(id).unwrap_or_default(),
-        )),
+        "qualifiedName" => Ok(Value::Str(m.qualified_name(id).unwrap_or_default())),
         "owner" => Ok(e.owner().map(Value::Element).unwrap_or(Value::Undefined)),
         "kind" => Ok(Value::Str(e.kind().kind_name().to_owned())),
         "stereotypes" => Ok(Value::Collection(
@@ -378,10 +373,9 @@ fn eval_property(recv: &Value, prop: &str, ctx: &Context<'_>) -> Result<Value, E
         "constraints" => Ok(ids(m.constraints_on(id))),
         "parents" => Ok(ids(m.parents_of(id))),
         "ancestors" => Ok(ids(m.ancestors_of(id))),
-        "concern" => Ok(m
-            .concern_of(id)
-            .map(|s| Value::Str(s.to_owned()))
-            .unwrap_or(Value::Undefined)),
+        "concern" => {
+            Ok(m.concern_of(id).map(|s| Value::Str(s.to_owned())).unwrap_or(Value::Undefined))
+        }
         "visibility" => Ok(Value::Str(format!("{:?}", e.core().visibility).to_lowercase())),
         "isAbstract" => match e.kind() {
             ElementKind::Class(c) => Ok(Value::Bool(c.is_abstract)),
@@ -415,9 +409,9 @@ fn eval_property(recv: &Value, prop: &str, ctx: &Context<'_>) -> Result<Value, E
             _ => Err(EvalError::UnknownProperty { prop: prop.to_owned(), on: "Element" }),
         },
         "literals" => match e.kind() {
-            ElementKind::Enumeration(en) => Ok(Value::Collection(
-                en.literals.iter().map(|l| Value::Str(l.clone())).collect(),
-            )),
+            ElementKind::Enumeration(en) => {
+                Ok(Value::Collection(en.literals.iter().map(|l| Value::Str(l.clone())).collect()))
+            }
             _ => Err(EvalError::UnknownProperty { prop: prop.to_owned(), on: "Element" }),
         },
         "participants" => match e.kind() {
@@ -425,10 +419,9 @@ fn eval_property(recv: &Value, prop: &str, ctx: &Context<'_>) -> Result<Value, E
                 Value::Element(a.ends[0].class),
                 Value::Element(a.ends[1].class),
             ])),
-            ElementKind::Generalization(g) => Ok(Value::Collection(vec![
-                Value::Element(g.child),
-                Value::Element(g.parent),
-            ])),
+            ElementKind::Generalization(g) => {
+                Ok(Value::Collection(vec![Value::Element(g.child), Value::Element(g.parent)]))
+            }
             _ => Err(EvalError::UnknownProperty { prop: prop.to_owned(), on: "Element" }),
         },
         _ => Err(EvalError::UnknownProperty { prop: prop.to_owned(), on: "Element" }),
@@ -439,12 +432,11 @@ fn all_instances(type_name: &str, ctx: &Context<'_>) -> Result<Value, EvalError>
     if !KIND_NAMES.contains(&type_name) {
         return Err(EvalError::UnknownType(type_name.to_owned()));
     }
-    let items: Vec<Value> = ctx
-        .model()
-        .iter()
-        .filter(|e| e.kind().kind_name() == type_name)
-        .map(|e| Value::Element(e.id()))
-        .collect();
+    // Indexed kind lookup: transformation pre/postconditions evaluate
+    // many `T.allInstances()` expressions against the same model
+    // generation, so this is a cache hit after the first.
+    let items: Vec<Value> =
+        ctx.model().elements_of_kind(type_name).into_iter().map(Value::Element).collect();
     Ok(Value::Collection(items))
 }
 
@@ -502,9 +494,8 @@ fn eval_method(
                 "hasStereotype" => {
                     want_args(method, args, 1)?;
                     let s = evaluate(&args[0], ctx)?;
-                    let name = s
-                        .as_str()
-                        .ok_or_else(|| type_mismatch("String", &s, "hasStereotype"))?;
+                    let name =
+                        s.as_str().ok_or_else(|| type_mismatch("String", &s, "hasStereotype"))?;
                     Ok(Value::Bool(e.core().has_stereotype(name)))
                 }
                 "taggedValue" => {
@@ -520,18 +511,16 @@ fn eval_method(
                 "operation" => {
                     want_args(method, args, 1)?;
                     let n = evaluate(&args[0], ctx)?;
-                    let name = n.as_str().ok_or_else(|| type_mismatch("String", &n, "operation"))?;
-                    Ok(m.find_operation(*id, name)
-                        .map(Value::Element)
-                        .unwrap_or(Value::Undefined))
+                    let name =
+                        n.as_str().ok_or_else(|| type_mismatch("String", &n, "operation"))?;
+                    Ok(m.find_operation(*id, name).map(Value::Element).unwrap_or(Value::Undefined))
                 }
                 "attribute" => {
                     want_args(method, args, 1)?;
                     let n = evaluate(&args[0], ctx)?;
-                    let name = n.as_str().ok_or_else(|| type_mismatch("String", &n, "attribute"))?;
-                    Ok(m.find_attribute(*id, name)
-                        .map(Value::Element)
-                        .unwrap_or(Value::Undefined))
+                    let name =
+                        n.as_str().ok_or_else(|| type_mismatch("String", &n, "attribute"))?;
+                    Ok(m.find_attribute(*id, name).map(Value::Element).unwrap_or(Value::Undefined))
                 }
                 _ => Err(EvalError::UnknownMethod { method: method.to_owned(), on: "Element" }),
             }
@@ -722,9 +711,7 @@ fn eval_collection_op(recv: &Value, op: &str, args: &[Value]) -> Result<Value, E
         }
         "at" => {
             arity(1)?;
-            let i = args[0]
-                .as_int()
-                .ok_or_else(|| type_mismatch("Integer", &args[0], "`->at`"))?;
+            let i = args[0].as_int().ok_or_else(|| type_mismatch("Integer", &args[0], "`->at`"))?;
             if i < 1 || i as usize > items.len() {
                 return Err(EvalError::IndexOutOfBounds { index: i, size: items.len() });
             }
@@ -762,9 +749,7 @@ fn eval_collection_op(recv: &Value, op: &str, args: &[Value]) -> Result<Value, E
             let other = args[0]
                 .as_collection()
                 .ok_or_else(|| type_mismatch("Collection", &args[0], "`->intersection`"))?;
-            Ok(Value::Collection(
-                items.into_iter().filter(|v| other.contains(v)).collect(),
-            ))
+            Ok(Value::Collection(items.into_iter().filter(|v| other.contains(v)).collect()))
         }
         "flatten" => {
             arity(0)?;
@@ -878,10 +863,7 @@ fn eval_iterator(
             }
             keyed.sort_by(|(a, _), (b, _)| match (a, b) {
                 (Value::Str(x), Value::Str(y)) => x.cmp(y),
-                _ => a
-                    .as_number()
-                    .partial_cmp(&b.as_number())
-                    .unwrap_or(std::cmp::Ordering::Equal),
+                _ => a.as_number().partial_cmp(&b.as_number()).unwrap_or(std::cmp::Ordering::Equal),
             });
             Ok(Value::Collection(keyed.into_iter().map(|(_, v)| v).collect()))
         }
@@ -951,10 +933,7 @@ mod tests {
         assert_eq!(eval_str("self.kind", &ctx), Value::Str("Class".into()));
         assert_eq!(eval_str("self.qualifiedName", &ctx), Value::Str("bank::Bank".into()));
         assert_eq!(eval_str("self.operations->size()", &ctx), Value::Int(3));
-        assert_eq!(
-            eval_str("self.operation('transfer').parameters->size()", &ctx),
-            Value::Int(3)
-        );
+        assert_eq!(eval_str("self.operation('transfer').parameters->size()", &ctx), Value::Int(3));
         assert_eq!(eval_str("self.owner.name", &ctx), Value::Str("bank".into()));
         assert_eq!(eval_str("self.owner.owner.oclIsUndefined()", &ctx), Value::Bool(true));
         assert_eq!(eval_str("self.oclIsKindOf(Class)", &ctx), Value::Bool(true));
@@ -969,12 +948,9 @@ mod tests {
         assert!(eval_str("Class.allInstances()->exists(c | c.name = 'Account')", &ctx)
             .as_bool()
             .unwrap());
-        assert!(eval_str(
-            "Class.allInstances()->forAll(c | c.attributes->notEmpty())",
-            &ctx
-        )
-        .as_bool()
-        .unwrap());
+        assert!(eval_str("Class.allInstances()->forAll(c | c.attributes->notEmpty())", &ctx)
+            .as_bool()
+            .unwrap());
         assert_eq!(
             eval_str(
                 "Class.allInstances()->select(c | c.operations->isEmpty())->collect(x | x.name)",
@@ -991,10 +967,7 @@ mod tests {
             .as_bool()
             .unwrap());
         assert_eq!(
-            eval_str(
-                "Class.allInstances()->sortedBy(c | c.name)->first().name",
-                &ctx
-            ),
+            eval_str("Class.allInstances()->sortedBy(c | c.name)->first().name", &ctx),
             Value::Str("Account".into())
         );
     }
@@ -1003,19 +976,13 @@ mod tests {
     fn collection_ops() {
         let m = banking_pim();
         let ctx = Context::for_model(&m);
-        assert_eq!(
-            eval_str("Class.allInstances()->collect(c | 1)->sum()", &ctx),
-            Value::Int(3)
-        );
+        assert_eq!(eval_str("Class.allInstances()->collect(c | 1)->sum()", &ctx), Value::Int(3));
         assert_eq!(
             eval_str("Class.allInstances()->collect(c | c.name)->includes('Bank')", &ctx),
             Value::Bool(true)
         );
         assert_eq!(
-            eval_str(
-                "Class.allInstances()->collect(c | c.name)->including('X')->count('X')",
-                &ctx
-            ),
+            eval_str("Class.allInstances()->collect(c | c.name)->including('X')->count('X')", &ctx),
             Value::Int(1)
         );
         assert_eq!(
@@ -1031,10 +998,7 @@ mod tests {
             EvalError::IndexOutOfBounds { .. }
         ));
         assert_eq!(
-            eval_str(
-                "Class.allInstances()->collect(c | c.attributes)->flatten()->size()",
-                &ctx
-            ),
+            eval_str("Class.allInstances()->collect(c | c.attributes)->flatten()->size()", &ctx),
             Value::Int(5)
         );
     }
@@ -1079,18 +1043,12 @@ mod tests {
         assert!(matches!(err_str("self.noSuchProp", &ctx), EvalError::UnknownProperty { .. }));
         assert!(matches!(err_str("self.noSuchMethod()", &ctx), EvalError::UnknownMethod { .. }));
         assert!(matches!(err_str("1->size()", &ctx), EvalError::TypeMismatch { .. }));
-        assert!(matches!(
-            err_str("Gadget.allInstances()", &ctx),
-            EvalError::UnknownType(_)
-        ));
+        assert!(matches!(err_str("Gadget.allInstances()", &ctx), EvalError::UnknownType(_)));
         assert!(matches!(
             err_str("self.operations->bogus(x | true)", &ctx),
             EvalError::UnknownCollectionOp(_)
         ));
-        assert!(matches!(
-            err_str("'x'.substring(1)", &ctx),
-            EvalError::ArgCount { .. }
-        ));
+        assert!(matches!(err_str("'x'.substring(1)", &ctx), EvalError::ArgCount { .. }));
     }
 
     #[test]

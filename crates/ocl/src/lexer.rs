@@ -396,12 +396,10 @@ mod tests {
 
     #[test]
     fn lexes_numbers() {
-        assert_eq!(kinds("1 23 4.5"), vec![
-            TokenKind::Int(1),
-            TokenKind::Int(23),
-            TokenKind::Real(4.5),
-            TokenKind::Eof,
-        ]);
+        assert_eq!(
+            kinds("1 23 4.5"),
+            vec![TokenKind::Int(1), TokenKind::Int(23), TokenKind::Real(4.5), TokenKind::Eof,]
+        );
         // `1.x` is Int Dot Ident (navigation), not a real.
         assert_eq!(kinds("1.abs")[0], TokenKind::Int(1));
         assert_eq!(kinds("1.abs")[1], TokenKind::Dot);
@@ -416,12 +414,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(kinds("1 -- a comment\n+ 2"), vec![
-            TokenKind::Int(1),
-            TokenKind::Plus,
-            TokenKind::Int(2),
-            TokenKind::Eof,
-        ]);
+        assert_eq!(
+            kinds("1 -- a comment\n+ 2"),
+            vec![TokenKind::Int(1), TokenKind::Plus, TokenKind::Int(2), TokenKind::Eof,]
+        );
     }
 
     #[test]

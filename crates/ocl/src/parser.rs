@@ -257,9 +257,7 @@ impl Parser {
                     // Iterator form: `ident |` lookahead.
                     let is_iter = matches!(self.peek().kind, TokenKind::Ident(_))
                         && matches!(
-                            self.tokens
-                                .get(self.pos + 1)
-                                .map(|t| &t.kind),
+                            self.tokens.get(self.pos + 1).map(|t| &t.kind),
                             Some(TokenKind::Pipe)
                         );
                     if is_iter {

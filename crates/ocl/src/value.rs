@@ -161,7 +161,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Value::Collection(vec![Value::Int(1), Value::from("a")]).to_string(), "Sequence{1, 'a'}");
+        assert_eq!(
+            Value::Collection(vec![Value::Int(1), Value::from("a")]).to_string(),
+            "Sequence{1, 'a'}"
+        );
         assert_eq!(Value::Undefined.to_string(), "OclUndefined");
         assert_eq!(Value::Element(ElementId::from_raw(2)).to_string(), "#2");
     }

@@ -37,10 +37,9 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 value: Box::new(val),
                 body: Box::new(body),
             }),
-            inner.clone().prop_map(|e| Expr::Unary {
-                op: comet_ocl::UnOp::Neg,
-                operand: Box::new(e),
-            }),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary { op: comet_ocl::UnOp::Neg, operand: Box::new(e) }),
         ]
     })
 }

@@ -26,11 +26,7 @@ impl ColorReport {
         let mut report = ColorReport::default();
         for e in model.iter() {
             match model.concern_of(e.id()) {
-                Some(c) => report
-                    .per_concern
-                    .entry(c.to_owned())
-                    .or_default()
-                    .push(e.id()),
+                Some(c) => report.per_concern.entry(c.to_owned()).or_default().push(e.id()),
                 None => report.functional.push(e.id()),
             }
         }
@@ -45,11 +41,7 @@ impl ColorReport {
     /// Of the `planned` concerns, those not yet applied — the paper's
     /// "list of the remaining concerns".
     pub fn remaining<'a>(&self, planned: &[&'a str]) -> Vec<&'a str> {
-        planned
-            .iter()
-            .filter(|c| !self.per_concern.contains_key(**c))
-            .copied()
-            .collect()
+        planned.iter().filter(|c| !self.per_concern.contains_key(**c)).copied().collect()
     }
 
     /// Number of elements attributed to `concern`.

@@ -106,9 +106,7 @@ impl Repository {
     }
 
     fn branch_history(&self) -> &Vec<CommitId> {
-        self.branches
-            .get(&self.current_branch)
-            .expect("current branch always exists")
+        self.branches.get(&self.current_branch).expect("current branch always exists")
     }
 
     /// Commits a snapshot of `model` on the current branch. Truncates any
@@ -122,10 +120,8 @@ impl Repository {
         message: &str,
         concern: Option<&str>,
     ) -> Result<CommitId, RepoError> {
-        let history = self
-            .branches
-            .get_mut(&self.current_branch)
-            .expect("current branch always exists");
+        let history =
+            self.branches.get_mut(&self.current_branch).expect("current branch always exists");
         history.truncate(self.position);
         let parent = history.last().copied();
         let snapshot = export_model(model);
@@ -259,10 +255,7 @@ impl Repository {
     /// # Errors
     /// Fails on unknown tags or snapshot corruption.
     pub fn checkout_tag(&self, name: &str) -> Result<Model, RepoError> {
-        let id = *self
-            .tags
-            .get(name)
-            .ok_or_else(|| RepoError::UnknownTag(name.to_owned()))?;
+        let id = *self.tags.get(name).ok_or_else(|| RepoError::UnknownTag(name.to_owned()))?;
         self.checkout(id)
     }
 

@@ -195,22 +195,17 @@ mod tests {
             .build();
         assert_eq!(gmt.mapping_kind(), MappingKind::PimToPim);
 
-        let ok = specialize(
-            Arc::clone(&gmt),
-            ParamSet::new().with("class", ParamValue::from("Bank")),
-        )
-        .unwrap();
+        let ok =
+            specialize(Arc::clone(&gmt), ParamSet::new().with("class", ParamValue::from("Bank")))
+                .unwrap();
         assert_eq!(ok.preconditions().len(), 2);
         assert!(ok.preconditions()[1].contains("'Bank'"));
         let mut m = banking_pim();
         ok.apply(&mut m).unwrap();
 
         // Specialized precondition fails for a class that is absent.
-        let missing = specialize(
-            gmt,
-            ParamSet::new().with("class", ParamValue::from("Ghost")),
-        )
-        .unwrap();
+        let missing =
+            specialize(gmt, ParamSet::new().with("class", ParamValue::from("Ghost"))).unwrap();
         let mut m2 = banking_pim();
         assert!(missing.apply(&mut m2).is_err());
     }

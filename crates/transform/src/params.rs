@@ -374,9 +374,8 @@ mod tests {
     #[test]
     fn validate_fills_defaults() {
         let s = schema();
-        let effective = s
-            .validate(&ParamSet::new().with("node", ParamValue::from("server")))
-            .unwrap();
+        let effective =
+            s.validate(&ParamSet::new().with("node", ParamValue::from("server"))).unwrap();
         assert_eq!(effective.str("node").unwrap(), "server");
         assert_eq!(effective.str("isolation").unwrap(), "read-committed");
         assert_eq!(effective.str_list("methods").unwrap().len(), 0);
@@ -429,9 +428,7 @@ mod tests {
 
     #[test]
     fn angle_signature_matches_paper_notation() {
-        let p = ParamSet::new()
-            .with("p11", ParamValue::from("a"))
-            .with("p12", ParamValue::Int(2));
+        let p = ParamSet::new().with("p11", ParamValue::from("a")).with("p12", ParamValue::Int(2));
         assert_eq!(p.angle_signature(), "<p11=a, p12=2>");
         assert_eq!(p.to_string(), "<p11=a, p12=2>");
     }
@@ -442,9 +439,6 @@ mod tests {
         assert_eq!(ParamValue::from(5i64), ParamValue::Int(5));
         assert_eq!(ParamValue::from(true), ParamValue::Bool(true));
         let slice: &[&str] = &["a", "b"];
-        assert_eq!(
-            ParamValue::from(slice),
-            ParamValue::StrList(vec!["a".into(), "b".into()])
-        );
+        assert_eq!(ParamValue::from(slice), ParamValue::StrList(vec!["a".into(), "b".into()]));
     }
 }

@@ -258,11 +258,8 @@ impl ConcreteTransformation {
         self.gmt.transform(model, &self.params)?;
         // Color created elements; compute the report.
         let mut report = ApplyReport::default();
-        let created: Vec<ElementId> = model
-            .iter()
-            .map(|e| e.id())
-            .filter(|id| !before.contains(*id))
-            .collect();
+        let created: Vec<ElementId> =
+            model.iter().map(|e| e.id()).filter(|id| !before.contains(*id)).collect();
         for id in &created {
             model.mark_concern(*id, self.gmt.concern())?;
         }
@@ -321,11 +318,9 @@ mod tests {
     #[test]
     fn specialize_validates_and_names() {
         let gmt = add_class_gmt();
-        let cmt = specialize(
-            Arc::clone(&gmt),
-            ParamSet::new().with("name", ParamValue::from("Proxy")),
-        )
-        .unwrap();
+        let cmt =
+            specialize(Arc::clone(&gmt), ParamSet::new().with("name", ParamValue::from("Proxy")))
+                .unwrap();
         assert_eq!(cmt.full_name(), "add-class<name=Proxy>");
         assert_eq!(cmt.concern(), "testing");
         assert_eq!(cmt.generic().name(), "add-class");
@@ -334,11 +329,9 @@ mod tests {
 
     #[test]
     fn apply_creates_colors_and_reports() {
-        let cmt = specialize(
-            add_class_gmt(),
-            ParamSet::new().with("name", ParamValue::from("Proxy")),
-        )
-        .unwrap();
+        let cmt =
+            specialize(add_class_gmt(), ParamSet::new().with("name", ParamValue::from("Proxy")))
+                .unwrap();
         let mut m = banking_pim();
         let report = cmt.apply(&mut m).unwrap();
         assert_eq!(report.created.len(), 1);

@@ -215,11 +215,7 @@ impl WorkflowEngine {
 
     /// True when every non-optional step has been applied.
     pub fn is_complete(&self) -> bool {
-        self.model
-            .steps
-            .iter()
-            .filter(|s| !s.optional)
-            .all(|s| self.is_applied(&s.concern))
+        self.model.steps.iter().filter(|s| !s.optional).all(|s| self.is_applied(&s.concern))
     }
 
     /// Records that `concern` was applied.

@@ -86,9 +86,8 @@ fn mult_str(m: Multiplicity) -> String {
 }
 
 fn parse_mult(s: &str) -> Result<Multiplicity, XmiError> {
-    let (lo, hi) = s
-        .split_once("..")
-        .ok_or_else(|| XmiError::Bad(format!("multiplicity `{s}`")))?;
+    let (lo, hi) =
+        s.split_once("..").ok_or_else(|| XmiError::Bad(format!("multiplicity `{s}`")))?;
     let lower: u32 = lo.parse().map_err(|_| XmiError::Bad(format!("multiplicity `{s}`")))?;
     let upper = if hi == "*" {
         None
@@ -127,24 +126,16 @@ fn tag_value_node(name: &str, value: &TagValue) -> XmlNode {
 
 fn parse_tag_value(node: &XmlNode) -> Result<TagValue, XmiError> {
     let ty = node.get_attr("type").ok_or_else(|| XmiError::Missing("tag type".into()))?;
-    let value = || {
-        node.get_attr("value")
-            .ok_or_else(|| XmiError::Missing("tag value".into()))
-    };
+    let value = || node.get_attr("value").ok_or_else(|| XmiError::Missing("tag value".into()));
     match ty {
         "str" => Ok(TagValue::Str(value()?.to_owned())),
-        "int" => value()?
-            .parse()
-            .map(TagValue::Int)
-            .map_err(|_| XmiError::Bad("int tag".into())),
-        "bool" => value()?
-            .parse()
-            .map(TagValue::Bool)
-            .map_err(|_| XmiError::Bad("bool tag".into())),
-        "real" => value()?
-            .parse()
-            .map(TagValue::Real)
-            .map_err(|_| XmiError::Bad("real tag".into())),
+        "int" => value()?.parse().map(TagValue::Int).map_err(|_| XmiError::Bad("int tag".into())),
+        "bool" => {
+            value()?.parse().map(TagValue::Bool).map_err(|_| XmiError::Bad("bool tag".into()))
+        }
+        "real" => {
+            value()?.parse().map(TagValue::Real).map_err(|_| XmiError::Bad("real tag".into()))
+        }
         "list" => {
             let mut items = Vec::new();
             for c in node.find_children("UML:Value") {
@@ -175,7 +166,9 @@ fn end_node(end: &AssociationEnd) -> XmlNode {
 fn parse_end(node: &XmlNode) -> Result<AssociationEnd, XmiError> {
     Ok(AssociationEnd {
         role: node.get_attr("role").unwrap_or_default().to_owned(),
-        class: parse_id(node.get_attr("class").ok_or_else(|| XmiError::Missing("end class".into()))?)?,
+        class: parse_id(
+            node.get_attr("class").ok_or_else(|| XmiError::Missing("end class".into()))?,
+        )?,
         multiplicity: parse_mult(
             node.get_attr("multiplicity")
                 .ok_or_else(|| XmiError::Missing("end multiplicity".into()))?,
@@ -262,9 +255,7 @@ fn element_node(e: &Element) -> XmlNode {
             node = node.attr("client", id_str(d.client)).attr("supplier", id_str(d.supplier));
         }
         ElementKind::Constraint(c) => {
-            node = node
-                .attr("constrained", id_str(c.constrained))
-                .attr("body", c.body.clone());
+            node = node.attr("constrained", id_str(c.constrained)).attr("body", c.body.clone());
         }
     }
     node
@@ -282,9 +273,8 @@ pub fn export_model(model: &Model) -> String {
         .attr("xmi.version", "1.2")
         .attr("xmlns:UML", "org.omg.xmi.namespace.UML")
         .child(
-            XmlNode::new("XMI.header").child(
-                XmlNode::new("XMI.documentation").attr("exporter", "comet-xmi"),
-            ),
+            XmlNode::new("XMI.header")
+                .child(XmlNode::new("XMI.documentation").attr("exporter", "comet-xmi")),
         )
         .child(XmlNode::new("XMI.content").child(content));
     write_xml(&doc)
@@ -298,13 +288,8 @@ fn attr_bool(node: &XmlNode, key: &str) -> Result<bool, XmiError> {
 }
 
 fn parse_element(node: &XmlNode) -> Result<Element, XmiError> {
-    let id = parse_id(
-        node.get_attr("xmi.id")
-            .ok_or_else(|| XmiError::Missing("xmi.id".into()))?,
-    )?;
-    let kind_name = node
-        .get_attr("kind")
-        .ok_or_else(|| XmiError::Missing("kind".into()))?;
+    let id = parse_id(node.get_attr("xmi.id").ok_or_else(|| XmiError::Missing("xmi.id".into()))?)?;
+    let kind_name = node.get_attr("kind").ok_or_else(|| XmiError::Missing("kind".into()))?;
     let mut core = ElementCore::new(
         node.get_attr("name").unwrap_or_default(),
         node.get_attr("owner").map(parse_id).transpose()?,
@@ -313,14 +298,11 @@ fn parse_element(node: &XmlNode) -> Result<Element, XmiError> {
     core.doc = node.get_attr("doc").unwrap_or_default().to_owned();
     for s in node.find_children("UML:Stereotype") {
         core.apply_stereotype(
-            s.get_attr("name")
-                .ok_or_else(|| XmiError::Missing("stereotype name".into()))?,
+            s.get_attr("name").ok_or_else(|| XmiError::Missing("stereotype name".into()))?,
         );
     }
     for t in node.find_children("UML:TaggedValue") {
-        let key = t
-            .get_attr("key")
-            .ok_or_else(|| XmiError::Missing("tag key".into()))?;
+        let key = t.get_attr("key").ok_or_else(|| XmiError::Missing("tag key".into()))?;
         core.set_tag(key, parse_tag_value(t)?);
     }
     let attr = |key: &str| -> Result<&str, XmiError> {
@@ -369,10 +351,8 @@ fn parse_element(node: &XmlNode) -> Result<Element, XmiError> {
             },
         }),
         "Association" => {
-            let ends: Vec<AssociationEnd> = node
-                .find_children("UML:End")
-                .map(parse_end)
-                .collect::<Result<_, _>>()?;
+            let ends: Vec<AssociationEnd> =
+                node.find_children("UML:End").map(parse_end).collect::<Result<_, _>>()?;
             let [a, b]: [AssociationEnd; 2] = ends
                 .try_into()
                 .map_err(|_| XmiError::Bad("association needs exactly two ends".into()))?;
@@ -405,32 +385,18 @@ pub fn import_model(source: &str) -> Result<Model, XmiError> {
     if doc.name != "XMI" {
         return Err(XmiError::Missing("XMI document element".into()));
     }
-    let content = doc
-        .find_child("XMI.content")
-        .ok_or_else(|| XmiError::Missing("XMI.content".into()))?;
-    let model_node = content
-        .find_child("UML:Model")
-        .ok_or_else(|| XmiError::Missing("UML:Model".into()))?;
-    let name = model_node
-        .get_attr("name")
-        .ok_or_else(|| XmiError::Missing("model name".into()))?;
+    let content =
+        doc.find_child("XMI.content").ok_or_else(|| XmiError::Missing("XMI.content".into()))?;
+    let model_node =
+        content.find_child("UML:Model").ok_or_else(|| XmiError::Missing("UML:Model".into()))?;
+    let name = model_node.get_attr("name").ok_or_else(|| XmiError::Missing("model name".into()))?;
     let root = parse_id(
-        model_node
-            .get_attr("root")
-            .ok_or_else(|| XmiError::Missing("model root".into()))?,
+        model_node.get_attr("root").ok_or_else(|| XmiError::Missing("model root".into()))?,
     )?;
-    let elements: Vec<Element> = model_node
-        .find_children("UML:Element")
-        .map(parse_element)
-        .collect::<Result<_, _>>()?;
+    let elements: Vec<Element> =
+        model_node.find_children("UML:Element").map(parse_element).collect::<Result<_, _>>()?;
     Model::from_parts(name, root, elements).map_err(|violations| {
-        XmiError::Invalid(
-            violations
-                .iter()
-                .map(|v| v.to_string())
-                .collect::<Vec<_>>()
-                .join("; "),
-        )
+        XmiError::Invalid(violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("; "))
     })
 }
 
@@ -467,12 +433,8 @@ mod tests {
         m.set_tag(bank, "comet.dist.node", "server").unwrap();
         m.set_tag(bank, "count", 42i64).unwrap();
         m.set_tag(bank, "flag", true).unwrap();
-        m.set_tag(
-            bank,
-            "list",
-            TagValue::List(vec![TagValue::Int(1), TagValue::Str("x".into())]),
-        )
-        .unwrap();
+        m.set_tag(bank, "list", TagValue::List(vec![TagValue::Int(1), TagValue::Str("x".into())]))
+            .unwrap();
         m.element_mut(bank).unwrap().core_mut().doc = "the bank <&> 'entity'".into();
         m.mark_concern(bank, "distribution").unwrap();
         let back = import_model(&export_model(&m)).unwrap();

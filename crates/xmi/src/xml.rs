@@ -159,11 +159,7 @@ impl<'a> XmlParser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self
-            .peek()
-            .map(|c| (c as char).is_ascii_whitespace())
-            .unwrap_or(false)
-        {
+        while self.peek().map(|c| (c as char).is_ascii_whitespace()).unwrap_or(false) {
             self.pos += 1;
         }
     }
@@ -217,10 +213,9 @@ impl<'a> XmlParser<'a> {
                 continue;
             }
             let rest = &raw[i + 1..];
-            let semi = rest.find(';').ok_or(XmlError {
-                message: "unterminated entity".into(),
-                offset: at + i,
-            })?;
+            let semi = rest
+                .find(';')
+                .ok_or(XmlError { message: "unterminated entity".into(), offset: at + i })?;
             let entity = &rest[..semi];
             out.push(match entity {
                 "amp" => '&',

@@ -22,17 +22,13 @@ fn pim() -> Model {
     let mut model = auction_pim();
     let house = model.find_class("AuctionHouse").expect("sample class");
     let auction = model.find_class("Auction").expect("sample class");
-    model
-        .add_attribute(house, "current", TypeRef::Element(auction))
-        .expect("fresh attribute");
+    model.add_attribute(house, "current", TypeRef::Element(auction)).expect("fresh attribute");
     model
 }
 
 fn bodies() -> BodyProvider {
-    let auction_field = |name: &str| Expr::Field {
-        recv: Box::new(Expr::this_field("current")),
-        name: name.into(),
-    };
+    let auction_field =
+        |name: &str| Expr::Field { recv: Box::new(Expr::this_field("current")), name: name.into() };
     // openAuction(item, reserve): current = new Auction(item, reserve, "", true); return 1
     let open = Block::of(vec![
         Stmt::set_this_field(
@@ -145,20 +141,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Open the auction from the east coast.
     interp.middleware_mut().bus.set_current_node("bidder-east")?;
-    interp.call(
-        house.clone(),
-        "openAuction",
-        vec![Value::from("a violin"), Value::Int(100)],
-    )?;
+    interp.call(house.clone(), "openAuction", vec![Value::from("a violin"), Value::Int(100)])?;
 
     // Alternating bids from the two client nodes.
     let mut accepted = 0;
     for round in 0..6 {
-        let (node, bidder) = if round % 2 == 0 {
-            ("bidder-east", "east")
-        } else {
-            ("bidder-west", "west")
-        };
+        let (node, bidder) =
+            if round % 2 == 0 { ("bidder-east", "east") } else { ("bidder-west", "west") };
         interp.middleware_mut().bus.set_current_node(node)?;
         let amount = 90 + round * 20; // round 0 is below the reserve
         let ok = interp.call(
@@ -187,7 +176,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         locks.acquired,
         log.len()
     );
-    println!("east-coast link: {:?}", interp.middleware().bus.link_stats("bidder-east", "auction-node"));
+    println!(
+        "east-coast link: {:?}",
+        interp.middleware().bus.link_stats("bidder-east", "auction-node")
+    );
     for record in log.records().iter().take(4) {
         println!("  [{:>6}us] {} {}", record.at_us, record.level, record.message);
     }

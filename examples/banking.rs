@@ -77,10 +77,7 @@ fn bodies() -> BodyProvider {
         },
         // Debit first...
         Stmt::Assign {
-            target: comet_codegen::LValue::Field {
-                recv: Expr::var("src"),
-                name: "balance".into(),
-            },
+            target: comet_codegen::LValue::Field { recv: Expr::var("src"), name: "balance".into() },
             value: Expr::binary(
                 IrBinOp::Sub,
                 Expr::Field { recv: Box::new(Expr::var("src")), name: "balance".into() },
@@ -95,10 +92,7 @@ fn bodies() -> BodyProvider {
             else_block: None,
         },
         Stmt::Assign {
-            target: comet_codegen::LValue::Field {
-                recv: Expr::var("dst"),
-                name: "balance".into(),
-            },
+            target: comet_codegen::LValue::Field { recv: Expr::var("dst"), name: "balance".into() },
             value: Expr::binary(
                 IrBinOp::Add,
                 Expr::Field { recv: Box::new(Expr::var("dst")), name: "balance".into() },
@@ -109,10 +103,8 @@ fn bodies() -> BodyProvider {
     ]);
 
     let mut get_balance = select_account("acc", "number");
-    get_balance.push(Stmt::ret(Expr::Field {
-        recv: Box::new(Expr::var("acc")),
-        name: "balance".into(),
-    }));
+    get_balance
+        .push(Stmt::ret(Expr::Field { recv: Box::new(Expr::var("acc")), name: "balance".into() }));
 
     BodyProvider::new()
         .provide("Bank::transfer", Block::of(transfer))
@@ -131,23 +123,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t1 = ParamSet::new()
         .with("server_class", ParamValue::from("Bank"))
         .with("node", ParamValue::from("server"))
-        .with(
-            "operations",
-            ParamValue::from(vec!["transfer".to_owned(), "getBalance".to_owned()]),
-        );
+        .with("operations", ParamValue::from(vec!["transfer".to_owned(), "getBalance".to_owned()]));
     let t2 = ParamSet::new()
         .with("methods", ParamValue::from(vec!["Bank.transfer".to_owned()]))
         .with("isolation", ParamValue::from("serializable"));
-    let t3 = ParamSet::new().with(
-        "protected",
-        ParamValue::from(vec!["Bank.transfer:teller".to_owned()]),
-    );
+    let t3 = ParamSet::new()
+        .with("protected", ParamValue::from(vec!["Bank.transfer:teller".to_owned()]));
 
-    for (pair, si) in [
-        (distribution::pair(), t1),
-        (transactions::pair(), t2),
-        (security::pair(), t3),
-    ] {
+    for (pair, si) in
+        [(distribution::pair(), t1), (transactions::pair(), t2), (security::pair(), t3)]
+    {
         let step = mda.apply_concern(&pair, si)?;
         println!("T: {}", step.cmt.full_name());
         println!("A: {}", step.aspect.name);
@@ -219,11 +204,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     interp.logout();
     interp.login("bob")?;
     let err = interp
-        .call(
-            bank.clone(),
-            "transfer",
-            vec![Value::from("A-1"), Value::from("A-2"), Value::Int(1)],
-        )
+        .call(bank.clone(), "transfer", vec![Value::from("A-1"), Value::from("A-2"), Value::Int(1)])
         .expect_err("bob lacks the teller role");
     println!("  -> {err}");
 

@@ -38,10 +38,8 @@ fn pim() -> Model {
 }
 
 fn bodies() -> BodyProvider {
-    let item_stock = || Expr::Field {
-        recv: Box::new(Expr::this_field("item")),
-        name: "stock".into(),
-    };
+    let item_stock =
+        || Expr::Field { recv: Box::new(Expr::this_field("item")), name: "stock".into() };
     // checkout(n): refuse when out of stock, otherwise adjust(-n).
     let checkout = Block::of(vec![
         Stmt::If {
@@ -95,7 +93,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "log.emit",
             vec![
                 Expr::str("audit"),
-                Expr::binary(IrBinOp::Add, Expr::str("stock change in checkout: "), Expr::var("__jp")),
+                Expr::binary(
+                    IrBinOp::Add,
+                    Expr::str("stock change in checkout: "),
+                    Expr::var("__jp"),
+                ),
             ],
         ))]),
     ));
@@ -129,11 +131,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Persistence evidence: every adjust saved a snapshot.
     let store = interp.middleware().store.stats();
-    println!(
-        "store: {} saves, keys = {:?}",
-        store.saves,
-        interp.middleware().store.keys()
-    );
+    println!("store: {} saves, keys = {:?}", store.saves, interp.middleware().store.keys());
 
     // Restock was NOT audited (outside the checkout cflow); checkout was.
     assert_eq!(interp.middleware().log.count_level("audit"), 1);

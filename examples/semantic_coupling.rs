@@ -22,9 +22,7 @@
 //! Run with: `cargo run --example semantic_coupling`
 
 use comet_aop::{parse_pointcut, Advice, AdviceKind, Aspect, Weaver};
-use comet_codegen::{
-    Block, BodyProvider, Expr, FunctionalGenerator, IrBinOp, Program, Stmt,
-};
+use comet_codegen::{Block, BodyProvider, Expr, FunctionalGenerator, IrBinOp, Program, Stmt};
 use comet_concerns::transactions;
 use comet_interp::{Interp, Value};
 use comet_model::{ModelBuilder, Primitive};

@@ -2,7 +2,7 @@
 //! control-flow residue fires only inside the declared dynamic context —
 //! the AspectJ counter-instrumentation strategy over the COMET weaver.
 
-use comet_aop::{parse_pointcut, Advice, AdviceKind, Aspect, Weaver, WeaveError};
+use comet_aop::{parse_pointcut, Advice, AdviceKind, Aspect, WeaveError, Weaver};
 use comet_codegen::{Block, ClassDecl, Expr, IrType, MethodDecl, Program, Stmt};
 use comet_interp::{Interp, Value};
 
@@ -66,9 +66,8 @@ fn around_advice_bypasses_to_proceed_outside_the_cflow() {
         parse_pointcut("execution(Service.helper) && cflow(execution(Service.entry))").unwrap(),
         Block::of(vec![Stmt::ret(Expr::int(42))]),
     );
-    let woven = Weaver::new(vec![Aspect::new("cf").with_advice(rewrite)])
-        .weave(&program())
-        .unwrap();
+    let woven =
+        Weaver::new(vec![Aspect::new("cf").with_advice(rewrite)]).weave(&program()).unwrap();
     let mut interp = Interp::new(woven.program);
     let s = interp.create("Service").unwrap();
     assert_eq!(

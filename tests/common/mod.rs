@@ -53,10 +53,8 @@ fn select_account(var: &str, number_param: &str) -> Vec<Stmt> {
 
 /// The functional bodies for [`executable_banking_pim`].
 pub fn banking_bodies() -> BodyProvider {
-    let field = |obj: &str, name: &str| Expr::Field {
-        recv: Box::new(Expr::var(obj)),
-        name: name.into(),
-    };
+    let field =
+        |obj: &str, name: &str| Expr::Field { recv: Box::new(Expr::var(obj)), name: name.into() };
     let mut transfer = Vec::new();
     transfer.extend(select_account("src", "from"));
     transfer.extend(select_account("dst", "to"));
@@ -93,10 +91,7 @@ pub fn dist_si() -> ParamSet {
     ParamSet::new()
         .with("server_class", ParamValue::from("Bank"))
         .with("node", ParamValue::from("server"))
-        .with(
-            "operations",
-            ParamValue::from(vec!["transfer".to_owned(), "getBalance".to_owned()]),
-        )
+        .with("operations", ParamValue::from(vec!["transfer".to_owned(), "getBalance".to_owned()]))
 }
 
 /// Standard `Si` for the transactions concern on the banking system.
@@ -108,10 +103,7 @@ pub fn tx_si() -> ParamSet {
 
 /// Standard `Si` for the security concern on the banking system.
 pub fn sec_si() -> ParamSet {
-    ParamSet::new().with(
-        "protected",
-        ParamValue::from(vec!["Bank.transfer:teller".to_owned()]),
-    )
+    ParamSet::new().with("protected", ParamValue::from(vec!["Bank.transfer:teller".to_owned()]))
 }
 
 /// Instantiates the banking object graph in an interpreter: a bank on

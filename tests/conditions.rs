@@ -20,8 +20,8 @@ fn conditions_are_specialized_by_the_parameters() {
     assert!(post[0].contains("'Transactional'"));
 
     // Different Si, different conditions — same generic transformation.
-    let other = ParamSet::new()
-        .with("methods", ParamValue::from(vec!["Account.withdraw".to_owned()]));
+    let other =
+        ParamSet::new().with("methods", ParamValue::from(vec!["Account.withdraw".to_owned()]));
     let (cmt2, _) = transactions::pair().specialize(other).unwrap();
     assert!(cmt2.preconditions()[0].contains("'Account'"));
     assert_ne!(pre, cmt2.preconditions());
@@ -41,11 +41,8 @@ fn specialized_preconditions_guard_the_initial_state() {
     cmt.apply(&mut model).unwrap();
     // Second application: the idempotence precondition now fails.
     let ctx = Context::for_model(&model);
-    let failing: Vec<String> = cmt
-        .preconditions()
-        .into_iter()
-        .filter(|p| !evaluate_bool(p, &ctx).unwrap())
-        .collect();
+    let failing: Vec<String> =
+        cmt.preconditions().into_iter().filter(|p| !evaluate_bool(p, &ctx).unwrap()).collect();
     assert_eq!(failing.len(), 1);
     assert!(failing[0].starts_with("not "));
     assert!(matches!(

@@ -66,11 +66,7 @@ fn ca_implements_the_concern_at_code_level() {
     let mut interp = Interp::new(system.woven);
     let (bank, a1, a2) = setup_bank(&mut interp);
     let err = interp
-        .call(
-            bank,
-            "transfer",
-            vec![Value::from("A-1"), Value::from("A-2"), Value::Int(13)],
-        )
+        .call(bank, "transfer", vec![Value::from("A-1"), Value::from("A-2"), Value::Int(13)])
         .unwrap_err();
     assert!(err.to_string().contains("simulated crash"));
     assert_eq!(interp.field(&a1, "balance").unwrap(), Value::Int(1_000));
@@ -87,11 +83,8 @@ fn without_the_aspect_the_same_crash_corrupts_state() {
     let system = mda.generate(&banking_bodies()).unwrap();
     let mut interp = Interp::new(system.functional);
     let (bank, a1, a2) = setup_bank(&mut interp);
-    let _ = interp.call(
-        bank,
-        "transfer",
-        vec![Value::from("A-1"), Value::from("A-2"), Value::Int(13)],
-    );
+    let _ =
+        interp.call(bank, "transfer", vec![Value::from("A-1"), Value::from("A-2"), Value::Int(13)]);
     // Debited but never credited: 13 units destroyed.
     assert_eq!(interp.field(&a1, "balance").unwrap(), Value::Int(987));
     assert_eq!(interp.field(&a2, "balance").unwrap(), Value::Int(50));

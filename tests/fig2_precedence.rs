@@ -156,11 +156,7 @@ fn runtime_call_trace_shows_the_nesting() {
     interp.login("alice").unwrap();
     interp.enable_call_trace();
     interp
-        .call(
-            bank,
-            "transfer",
-            vec![Value::from("A-1"), Value::from("A-2"), Value::Int(10)],
-        )
+        .call(bank, "transfer", vec![Value::from("A-1"), Value::from("A-2"), Value::Int(10)])
         .unwrap();
     let trace = interp.take_call_trace();
     let position = |needle: &str| {
@@ -177,11 +173,7 @@ fn runtime_call_trace_shows_the_nesting() {
     assert!(public < dist && dist < tx && tx < sec && sec < functional);
     // Depths strictly increase along the chain.
     let depth = |idx: usize| -> usize {
-        trace[idx]
-            .split_whitespace()
-            .next()
-            .and_then(|d| d.parse().ok())
-            .expect("depth prefix")
+        trace[idx].split_whitespace().next().and_then(|d| d.parse().ok()).expect("depth prefix")
     };
     assert!(depth(public) < depth(dist));
     assert!(depth(dist) < depth(tx));

@@ -55,11 +55,7 @@ fn observe(program: comet_codegen::Program) -> (Value, Value, Result<Value, Stri
     interp.logout();
     interp.login("bob").unwrap();
     let denied = interp
-        .call(
-            bank.clone(),
-            "transfer",
-            vec![Value::from("A-1"), Value::from("A-2"), Value::Int(1)],
-        )
+        .call(bank.clone(), "transfer", vec![Value::from("A-1"), Value::from("A-2"), Value::Int(1)])
         .map_err(|e| match e {
             InterpError::Thrown(v) => v.to_string(),
             other => other.to_string(),
@@ -170,8 +166,5 @@ fn baseline_marks_are_the_same_marks_the_aspects_consume() {
         .model()
         .has_stereotype(transfer, comet_codegen::marks::STEREO_TRANSACTIONAL)
         .unwrap());
-    assert!(mda
-        .model()
-        .has_stereotype(transfer, comet_codegen::marks::STEREO_SECURED)
-        .unwrap());
+    assert!(mda.model().has_stereotype(transfer, comet_codegen::marks::STEREO_SECURED).unwrap());
 }

@@ -41,8 +41,7 @@ fn two_store_program() -> comet_codegen::Program {
     let functional = FunctionalGenerator::new().generate(&model, &bodies);
     let (_, aspect) = transactions::pair()
         .specialize(
-            ParamSet::new()
-                .with("methods", ParamValue::from(vec!["Driver.writeBoth".to_owned()])),
+            ParamSet::new().with("methods", ParamValue::from(vec!["Driver.writeBoth".to_owned()])),
         )
         .unwrap();
     Weaver::new(vec![aspect]).weave(&functional).unwrap().program
@@ -74,8 +73,7 @@ fn cross_node_transaction_commits_via_2pc() {
 
 #[test]
 fn injected_abort_vote_rolls_back_both_nodes() {
-    let config =
-        MiddlewareConfig { vote_abort_probability: 1.0, ..MiddlewareConfig::default() };
+    let config = MiddlewareConfig { vote_abort_probability: 1.0, ..MiddlewareConfig::default() };
     let (mut interp, d, s1, s2) = setup(config);
     let err = interp.call(d, "writeBoth", vec![Value::Int(9)]).unwrap_err();
     assert!(err.to_string().contains("voted no"));
@@ -88,8 +86,8 @@ fn injected_abort_vote_rolls_back_both_nodes() {
 
 #[test]
 fn message_loss_surfaces_as_catchable_failure() {
-    use common::{banking_bodies, executable_banking_pim, setup_bank};
     use comet_concerns::distribution;
+    use common::{banking_bodies, executable_banking_pim, setup_bank};
     // Apply the CMT first: it adds `registerRemote` to the model, so the
     // functional generator emits it and the CA can advise it.
     let mut model = executable_banking_pim();
@@ -105,11 +103,7 @@ fn message_loss_surfaces_as_catchable_failure() {
     interp.call(bank.clone(), "registerRemote", vec![]).unwrap();
     interp.middleware_mut().bus.set_current_node("client").unwrap();
     let err = interp
-        .call(
-            bank,
-            "transfer",
-            vec![Value::from("A-1"), Value::from("A-2"), Value::Int(5)],
-        )
+        .call(bank, "transfer", vec![Value::from("A-1"), Value::from("A-2"), Value::Int(5)])
         .unwrap_err();
     assert!(err.to_string().contains("lost"));
     assert_eq!(interp.middleware().bus.stats().lost, 1);
@@ -135,8 +129,7 @@ fn locks_released_after_rollback_allow_next_transaction() {
     // A transaction that acquires a lock, fails, and rolls back must not
     // leave the lock behind.
     let program = two_store_program();
-    let config =
-        MiddlewareConfig { vote_abort_probability: 1.0, ..MiddlewareConfig::default() };
+    let config = MiddlewareConfig { vote_abort_probability: 1.0, ..MiddlewareConfig::default() };
     let mut interp = Interp::with_config(program, config);
     interp.add_node("n1");
     interp.add_node("n2");

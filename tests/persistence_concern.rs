@@ -35,19 +35,14 @@ fn bodies() -> BodyProvider {
             ),
         )])
     };
-    BodyProvider::new()
-        .provide("Item::receive", adjust(1))
-        .provide("Item::shipOut", adjust(-1))
+    BodyProvider::new().provide("Item::receive", adjust(1)).provide("Item::shipOut", adjust(-1))
 }
 
 fn si() -> ParamSet {
     ParamSet::new()
         .with("class", ParamValue::from("Item"))
         .with("key_attr", ParamValue::from("sku"))
-        .with(
-            "mutators",
-            ParamValue::from(vec!["receive".to_owned(), "shipOut".to_owned()]),
-        )
+        .with("mutators", ParamValue::from(vec!["receive".to_owned(), "shipOut".to_owned()]))
         .with("collection", ParamValue::from("items"))
 }
 
@@ -136,9 +131,7 @@ fn transactional_rollback_undoes_a_reload() {
     let tx = interp.middleware().tx.current().unwrap();
     let undo = interp.middleware_mut().tx.rollback(tx).unwrap();
     for entry in undo {
-        interp
-            .set_field(&Value::Obj(entry.object), &entry.field, entry.old)
-            .unwrap();
+        interp.set_field(&Value::Obj(entry.object), &entry.field, entry.old).unwrap();
     }
     assert_eq!(interp.field(&item, "stock").unwrap(), Value::Int(100));
 }

@@ -11,9 +11,7 @@ use comet_workflow::WorkflowModel;
 use common::{dist_si, executable_banking_pim, tx_si};
 
 fn lifecycle() -> MdaLifecycle {
-    let workflow = WorkflowModel::new("e6")
-        .step("distribution", false)
-        .step("transactions", false);
+    let workflow = WorkflowModel::new("e6").step("distribution", false).step("transactions", false);
     let mut mda = MdaLifecycle::new(executable_banking_pim(), workflow).unwrap();
     mda.apply_concern(&distribution::pair(), dist_si()).unwrap();
     mda.apply_concern(&transactions::pair(), tx_si()).unwrap();

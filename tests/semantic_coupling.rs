@@ -17,16 +17,12 @@ use comet_transform::{ParamSet, ParamValue};
 use common::{banking_bodies, executable_banking_pim, setup_bank};
 
 fn functional() -> Program {
-    comet_codegen::FunctionalGenerator::new()
-        .generate(&executable_banking_pim(), &banking_bodies())
+    comet_codegen::FunctionalGenerator::new().generate(&executable_banking_pim(), &banking_bodies())
 }
 
 fn crash_transfer(interp: &mut Interp, bank: Value) {
-    let _ = interp.call(
-        bank,
-        "transfer",
-        vec![Value::from("A-1"), Value::from("A-2"), Value::Int(13)],
-    );
+    let _ =
+        interp.call(bank, "transfer", vec![Value::from("A-1"), Value::from("A-2"), Value::Int(13)]);
 }
 
 #[test]
@@ -96,9 +92,7 @@ fn wrap_everything_aspect_overpays_and_misses_nested_semantics() {
     assert_eq!(interp.field(&a1, "balance").unwrap(), Value::Int(1_000));
     // ...but queries now pay for transactions too.
     let before = interp.middleware().tx.stats().begun;
-    interp
-        .call(bank, "getBalance", vec![Value::from("A-1")])
-        .unwrap();
+    interp.call(bank, "getBalance", vec![Value::from("A-1")]).unwrap();
     assert_eq!(interp.middleware().tx.stats().begun, before + 1);
 }
 
@@ -117,8 +111,6 @@ fn si_specialized_aspect_protects_exactly_the_declared_boundary() {
     assert_eq!(interp.field(&a2, "balance").unwrap(), Value::Int(50));
     // Queries stay transaction-free.
     let before = interp.middleware().tx.stats().begun;
-    interp
-        .call(bank, "getBalance", vec![Value::from("A-1")])
-        .unwrap();
+    interp.call(bank, "getBalance", vec![Value::from("A-1")]).unwrap();
     assert_eq!(interp.middleware().tx.stats().begun, before);
 }

@@ -13,31 +13,28 @@ use proptest::prelude::*;
 
 /// Strategy: a random program of simple classes and methods.
 fn arb_program() -> impl Strategy<Value = Program> {
-    prop::collection::vec(
-        ("[A-Z][a-z]{1,6}", prop::collection::vec("[a-z]{1,6}", 1..4)),
-        1..4,
-    )
-    .prop_map(|classes| {
-        let mut p = Program::new("arb");
-        for (cname, methods) in classes {
-            if p.find_class(&cname).is_some() {
-                continue;
-            }
-            let mut c = ClassDecl::new(&cname);
-            for m in methods {
-                if c.find_method(&m).is_some() {
+    prop::collection::vec(("[A-Z][a-z]{1,6}", prop::collection::vec("[a-z]{1,6}", 1..4)), 1..4)
+        .prop_map(|classes| {
+            let mut p = Program::new("arb");
+            for (cname, methods) in classes {
+                if p.find_class(&cname).is_some() {
                     continue;
                 }
-                let mut method = MethodDecl::new(&m);
-                method.params.push(Param::new("x", IrType::Int));
-                method.ret = IrType::Int;
-                method.body = Block::of(vec![Stmt::ret(Expr::var("x"))]);
-                c.methods.push(method);
+                let mut c = ClassDecl::new(&cname);
+                for m in methods {
+                    if c.find_method(&m).is_some() {
+                        continue;
+                    }
+                    let mut method = MethodDecl::new(&m);
+                    method.params.push(Param::new("x", IrType::Int));
+                    method.ret = IrType::Int;
+                    method.body = Block::of(vec![Stmt::ret(Expr::var("x"))]);
+                    c.methods.push(method);
+                }
+                p.classes.push(c);
             }
-            p.classes.push(c);
-        }
-        p
-    })
+            p
+        })
 }
 
 fn logging_aspect(pointcut: &str) -> Aspect {

@@ -14,9 +14,7 @@ use proptest::prelude::*;
 
 #[test]
 fn refined_psm_round_trips_with_all_marks() {
-    let workflow = WorkflowModel::new("e7")
-        .step("distribution", false)
-        .step("transactions", false);
+    let workflow = WorkflowModel::new("e7").step("distribution", false).step("transactions", false);
     let mut mda = MdaLifecycle::new(executable_banking_pim(), workflow).unwrap();
     mda.apply_concern(&distribution::pair(), dist_si()).unwrap();
     mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
@@ -48,9 +46,9 @@ fn import_rejects_tampered_snapshots() {
 /// is well-formed by construction).
 fn arb_model() -> impl Strategy<Value = Model> {
     (
-        1usize..6,                 // classes
-        0usize..4,                 // attributes each
-        0usize..3,                 // operations each
+        1usize..6,                                  // classes
+        0usize..4,                                  // attributes each
+        0usize..3,                                  // operations each
         prop::collection::vec(any::<bool>(), 0..5), // generalization picks
         prop::collection::vec("[a-z]{1,8}", 0..4),  // stereotypes
     )
@@ -61,8 +59,7 @@ fn arb_model() -> impl Strategy<Value = Model> {
             for c in 0..classes {
                 let id = m.add_class(root, &format!("K{c}")).expect("unique");
                 for a in 0..attrs {
-                    m.add_attribute(id, &format!("f{a}"), Primitive::Int.into())
-                        .expect("unique");
+                    m.add_attribute(id, &format!("f{a}"), Primitive::Int.into()).expect("unique");
                 }
                 for o in 0..ops {
                     let op = m.add_operation(id, &format!("m{o}")).expect("unique");

@@ -1,0 +1,356 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crates registry, so
+//! external dev-dependencies are replaced by small local crates (see
+//! `vendor/` in the repository root). This one implements the subset of
+//! criterion's API the `comet-bench` harnesses use:
+//!
+//! * [`Criterion::benchmark_group`] with `sample_size` /
+//!   `measurement_time` / `throughput` chaining,
+//! * [`BenchmarkGroup::bench_function`] and
+//!   [`BenchmarkGroup::bench_with_input`] (labels: `&str` or
+//!   [`BenchmarkId`]),
+//! * [`Bencher::iter`],
+//! * [`criterion_group!`] / [`criterion_main!`],
+//! * [`black_box`] (re-exported from `std::hint`).
+//!
+//! Measurement model: each benchmark does a short warm-up, then runs
+//! `sample_size` samples where each sample executes the closure in a
+//! batch sized so one batch takes roughly `measurement_time /
+//! sample_size`. It reports min / mean / median per-iteration time on
+//! stdout in a `name ... time: [..]` line shaped like criterion's.
+//! There is no statistical regression analysis, HTML report, or saved
+//! baseline — numbers are for relative comparison within one run, which
+//! is how the workspace's benches and the `BENCH_*.json` emitters use
+//! them.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+// ---------------------------------------------------------------------
+// Ids and throughput
+// ---------------------------------------------------------------------
+
+/// A benchmark label built from a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("import", 50)` displays as `import/50`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Values that can label a benchmark within a group.
+pub trait IntoBenchmarkLabel {
+    /// The rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// Throughput annotation for a group; recorded and echoed in output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+// ---------------------------------------------------------------------
+// Core harness
+// ---------------------------------------------------------------------
+
+/// The top-level benchmark context handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Defaults are far smaller than real criterion's (100 samples,
+        // 5 s): the suite has dozens of benches and must stay runnable
+        // in CI-ish time on one core.
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            filter: std::env::args().nth(1).filter(|a| !a.starts_with('-')),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<L, F>(&mut self, label: L, mut f: F) -> &mut Self
+    where
+        L: IntoBenchmarkLabel,
+        F: FnMut(&mut Bencher),
+    {
+        self.run(label.into_label(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<L, I, F>(&mut self, label: L, input: &I, mut f: F) -> &mut Self
+    where
+        L: IntoBenchmarkLabel,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(label.into_label(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (Groups also end on drop; this mirrors the real
+    /// API so harness code is unchanged.)
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, label: String, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, label);
+        if let Some(filter) = &self._parent.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full, self.throughput);
+    }
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] exactly
+/// once with the code under test.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping its return value alive via
+    /// [`black_box`] so the work is not optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find how many iterations fit in one
+        // sample slot (measurement_time / sample_size).
+        let slot = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let t0 = Instant::now();
+        black_box(routine());
+        let mut one = t0.elapsed().as_secs_f64().max(1e-9);
+        // Refine the estimate if a single call is very fast.
+        if one < slot / 16.0 {
+            let probe = ((slot / 8.0) / one).clamp(1.0, 1e6) as u64;
+            let t = Instant::now();
+            for _ in 0..probe {
+                black_box(routine());
+            }
+            one = (t.elapsed().as_secs_f64() / probe as f64).max(1e-9);
+        }
+        let iters_per_sample = (slot / one).clamp(1.0, 1e7) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:<50} (no measurement: closure never called iter)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let tp = match throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt: {:>10}/s", human_bytes(n as f64 / median))
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {:>10.0} elem/s", n as f64 / median)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{label:<50} time: [{} {} {}]{tp}",
+            human_time(min),
+            human_time(mean),
+            human_time(median),
+        );
+    }
+
+    /// Median measured per-iteration time in seconds, for programmatic
+    /// consumers (the `BENCH_*.json` emitters).
+    pub fn median_secs(&self) -> f64 {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        sorted.get(sorted.len() / 2).copied().unwrap_or(0.0)
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+fn human_bytes(bps: f64) -> String {
+    if bps < 1024.0 {
+        format!("{bps:.0} B")
+    } else if bps < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", bps / 1024.0)
+    } else if bps < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} MiB", bps / (1024.0 * 1024.0))
+    } else {
+        format!("{:.1} GiB", bps / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).measurement_time(Duration::from_millis(30));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.throughput(Throughput::Bytes(4096));
+        group.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, n| {
+            b.iter(|| (0..*n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn harness_runs_and_measures() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            sample_size: 4,
+            measurement_time: Duration::from_millis(20),
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(21u64) * 2);
+        assert_eq!(b.samples.len(), 4);
+        assert!(b.median_secs() > 0.0);
+    }
+
+    #[test]
+    fn human_units_format() {
+        assert!(human_time(2.5e-9).ends_with("ns"));
+        assert!(human_time(2.5e-6).ends_with("µs"));
+        assert!(human_time(2.5e-3).ends_with("ms"));
+        assert!(human_time(2.5).ends_with('s'));
+        assert!(human_bytes(10.0).ends_with('B'));
+        assert!(human_bytes(1.0e7).contains("MiB"));
+    }
+}

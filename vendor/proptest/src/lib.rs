@@ -1,0 +1,657 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so
+//! external dev-dependencies are replaced by small local crates (see
+//! `vendor/` in the repository root). This one implements the subset of
+//! proptest's API that the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! * [`Strategy`] with `prop_map`, `prop_recursive`, and `boxed`,
+//! * strategies for integer ranges, `bool`/integers via [`any`],
+//!   string literals with a `[class]{m,n}` pattern subset, tuples,
+//!   [`Just`], [`prop_oneof!`], and `prop::collection::vec`,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   in the assertion message (all workspace strategies derive `Debug`
+//!   payloads small enough to read directly).
+//! * **Deterministic seeding.** Each test function derives its seed
+//!   from its own name (FNV-1a), so failures reproduce exactly across
+//!   runs without a persistence file. Set `PROPTEST_SEED` to override.
+//!
+//! Both trade-offs keep the crate dependency-free while preserving the
+//! property-testing discipline the suite relies on: many random cases
+//! per property, reproducible on failure.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic splitmix64 generator driving all sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9e3779b97f4a7c15 }
+    }
+
+    /// Next 64 uniform bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+/// FNV-1a over a string; used by [`proptest!`] to derive per-test seeds.
+pub fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Reads `PROPTEST_SEED` if set, else returns `fallback`.
+pub fn seed_or(fallback: u64) -> u64 {
+    std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(fallback)
+}
+
+// ---------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------
+
+/// Run configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A generator of random values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy is just a clonable sampler.
+pub trait Strategy: Clone {
+    /// The generated value type.
+    type Value;
+
+    /// Samples one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let this = self;
+        BoxedStrategy { sample: Rc::new(move |rng| this.generate(rng)) }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a boxed strategy
+    /// for the *smaller* structure and returns the strategy for one
+    /// level above it. `self` is the leaf. `depth` bounds recursion;
+    /// the size/branch hints are accepted for API compatibility and
+    /// ignored (sampling already halves recursion probability per
+    /// level, which bounds expected size).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strat = self.clone().boxed();
+        for level in 0..depth {
+            let deeper = recurse(strat).boxed();
+            let leaf = self.clone().boxed();
+            // Deeper levels of the final strategy recurse with lower
+            // probability, keeping expected tree sizes finite and small.
+            let p_recurse_num = 1;
+            let p_recurse_den = 2 + level as u64 / 2;
+            strat = BoxedStrategy {
+                sample: Rc::new(move |rng| {
+                    if rng.below(p_recurse_den) < p_recurse_num {
+                        leaf.generate(rng)
+                    } else {
+                        deeper.generate(rng)
+                    }
+                }),
+            };
+        }
+        strat
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T> {
+    sample: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { sample: Rc::clone(&self.sample) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given arms (at least one).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone() }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------
+
+/// Types with a canonical "any value" strategy; see [`any`].
+pub trait Arbitrary: Sized {
+    /// Samples an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — an arbitrary value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.below(span.saturating_add(1)) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------
+// String pattern strategy
+// ---------------------------------------------------------------------
+
+/// String literals are strategies over a regex subset: a sequence of
+/// atoms, each a literal character or a `[...]` character class
+/// (supporting `a-z` ranges and literal members), optionally followed
+/// by `{n}` or `{m,n}` repetition. Example: `"v[a-z]{0,4}"`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let bytes = pattern.as_bytes();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Parse one atom: a char class or a literal character.
+        let choices: Vec<char> = if bytes[i] == b'[' {
+            let close = pattern[i..]
+                .find(']')
+                .map(|off| i + off)
+                .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pattern}`"));
+            let class = &bytes[i + 1..close];
+            i = close + 1;
+            let mut chars = Vec::new();
+            let mut j = 0;
+            while j < class.len() {
+                if j + 2 < class.len() && class[j + 1] == b'-' {
+                    for c in class[j]..=class[j + 2] {
+                        chars.push(c as char);
+                    }
+                    j += 3;
+                } else {
+                    chars.push(class[j] as char);
+                    j += 1;
+                }
+            }
+            assert!(!chars.is_empty(), "empty char class in pattern `{pattern}`");
+            chars
+        } else {
+            let c = pattern[i..].chars().next().expect("in bounds");
+            i += c.len_utf8();
+            vec![c]
+        };
+        // Parse optional {n} / {m,n} repetition.
+        let (lo, hi) = if i < bytes.len() && bytes[i] == b'{' {
+            let close = pattern[i..]
+                .find('}')
+                .map(|off| i + off)
+                .unwrap_or_else(|| panic!("unclosed `{{` in pattern `{pattern}`"));
+            let spec = &pattern[i + 1..close];
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("repetition bound"),
+                    n.trim().parse::<usize>().expect("repetition bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse::<usize>().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..count {
+            let k = rng.below(choices.len() as u64) as usize;
+            out.push(choices[k]);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! impl_strategy_tuple {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A / 0);
+impl_strategy_tuple!(A / 0, B / 1);
+impl_strategy_tuple!(A / 0, B / 1, C / 2);
+impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3);
+impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+// ---------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------
+
+/// The `prop::` namespace, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// A vector of values from `element`, with a length drawn
+        /// uniformly from `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty size range");
+            VecStrategy { element, size }
+        }
+
+        /// See [`vec`].
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.end - self.size.start) as u64;
+                let n = self.size.start + rng.below(span) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Defines property tests. Each function runs `config.cases` random
+/// cases; a failing assertion panics with the generated inputs visible
+/// in the failure message (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);
+     $( $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __base = $crate::seed_or($crate::fnv(concat!(module_path!(), "::", stringify!($name))));
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::new(
+                        __base.wrapping_add((__case as u64).wrapping_mul(0x9e3779b97f4a7c15)),
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    // The closure lets bodies use `?` on fallible helpers
+                    // returning `Result<(), TestCaseError>`, as upstream
+                    // proptest does.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__e) = __outcome {
+                        panic!("property {} failed: {:?}", stringify!($name), __e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Failure carrier for fallible property bodies, mirroring upstream's
+/// `TestCaseError`. This shim's `prop_assert!` macros panic directly, so
+/// the type mostly appears in helper-function signatures
+/// (`Result<(), TestCaseError>`) propagated with `?` inside a
+/// [`proptest!`] body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property does not hold for the generated case.
+    Fail(String),
+    /// The generated case should be discarded (not a failure upstream;
+    /// treated as a failure here since the shim does not resample).
+    Reject(String),
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The usual glob import target, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, fnv, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, seed_or,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_any_are_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let x = (3i64..17).generate(&mut rng);
+            assert!((3..17).contains(&x));
+            let y = (0usize..=4).generate(&mut rng);
+            assert!(y <= 4);
+            let _: u8 = any::<u8>().generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_spec() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = "v[a-z]{0,4}".generate(&mut rng);
+            assert!(s.starts_with('v'));
+            assert!(s.len() <= 5);
+            assert!(s[1..].chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[A-Z][a-z]{1,6}".generate(&mut rng);
+            assert!(t.chars().next().unwrap().is_ascii_uppercase());
+            assert!((2..=7).contains(&t.len()));
+            let u = "[ab*]{0,6}".generate(&mut rng);
+            assert!(u.chars().all(|c| matches!(c, 'a' | 'b' | '*')));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_and_vec_compose() {
+        let strat =
+            prop::collection::vec(prop_oneof![Just(0i64), (10i64..20).prop_map(|v| v * 2)], 1..8);
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..8).contains(&v.len()));
+            assert!(v.iter().all(|&x| x == 0 || (20..40).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn size(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!((0..10).contains(v), "leaf out of strategy range");
+                    1
+                }
+                Tree::Node(a, b) => 1 + size(a) + size(b),
+            }
+        }
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(5, 40, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::new(4);
+        for _ in 0..100 {
+            // Depth bound 5 + binary nodes => at most 2^6 - 1 nodes.
+            assert!(size(&strat.generate(&mut rng)) < 64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u32..100, s in "[a-c]{1,3}") {
+            prop_assert!(x < 100);
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            prop_assert_eq!(s.clone(), s);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no network access to a
+//! crates registry, so external dependencies are replaced by small local
+//! crates that reimplement exactly the API surface the workspace uses
+//! (see `vendor/` in the repository root). This one covers what
+//! `comet-middleware` needs from `rand` 0.8:
+//!
+//! * [`rngs::StdRng`] with [`SeedableRng::seed_from_u64`],
+//! * [`Rng::gen`] for `f64`, `u64`, `u32`, and `bool`,
+//! * [`Rng::gen_range`] over integer ranges (`a..b` and `a..=b`),
+//! * [`Rng::gen_bool`].
+//!
+//! The generator is xoshiro256++ seeded through splitmix64 — a
+//! deterministic, high-quality, non-cryptographic PRNG. Byte streams do
+//! **not** match the real `rand` crate's `StdRng` (ChaCha12); everything
+//! in this workspace only relies on *seed-stable determinism*, which
+//! this crate provides: the same seed always yields the same sequence.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that a generator can produce uniformly ("standard"
+/// distribution in real `rand` terms).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+/// Ranges a generator can sample uniformly.
+pub trait UniformRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one value in the range from `rng`.
+    fn sample(&self, rng: &mut dyn RngCore) -> Self::Output;
+}
+
+/// The object-safe core: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` (uniform over the type's range; `f64`
+    /// is uniform in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Draws a value uniformly from a range.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Draws `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::draw(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+impl Standard for f64 {
+    fn draw(rng: &mut dyn RngCore) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut dyn RngCore) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform draw in `[0, n)` without modulo bias (Lemire reduction would
+/// be overkill here; rejection sampling keeps it exact).
+fn below(rng: &mut dyn RngCore, n: u64) -> u64 {
+    assert!(n > 0, "empty range");
+    let zone = u64::MAX - (u64::MAX % n);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl UniformRange for Range<$ty> {
+            type Output = $ty;
+            fn sample(&self, rng: &mut dyn RngCore) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(rng, span) as i128) as $ty
+            }
+        }
+        impl UniformRange for RangeInclusive<$ty> {
+            type Output = $ty;
+            fn sample(&self, rng: &mut dyn RngCore) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                (lo as i128 + below(rng, span + 1) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the seed with splitmix64, the recommended seeding
+            // procedure for the xoshiro family.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.gen_range(50u64..=500);
+            assert!((50..=500).contains(&v));
+            let w = r.gen_range(-10i64..10);
+            assert!((-10..10).contains(&w));
+        }
+        // Degenerate singleton range.
+        assert_eq!(r.gen_range(3u64..=3), 3);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(11);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,249 @@
+//! Offline vendored stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access to a crates registry, so
+//! external dependencies are replaced by small local crates (see
+//! `vendor/` in the repository root). This one implements the subset of
+//! rayon's API the weaver uses:
+//!
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` (and the same on
+//!   `&Vec<T>`), order-preserving,
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] to pin a thread
+//!   count for a region of code,
+//! * [`current_num_threads`].
+//!
+//! Execution model: instead of a persistent work-stealing pool, each
+//! `collect` call splits the input into `current_num_threads()`
+//! contiguous chunks and maps them on `std::thread::scope` threads,
+//! concatenating chunk results in input order — so `collect` returns
+//! exactly what the sequential map would. With one thread (or one
+//! item), it runs inline with zero spawning. This trades rayon's
+//! adaptive splitting for simplicity; for the weaver's workload
+//! (hundreds of class-sized work items of similar cost) static
+//! chunking is within noise of work stealing.
+//!
+//! Caveat: [`ThreadPool::install`]'s thread-count override is
+//! thread-local, so it does not propagate into *nested* `par_iter`
+//! calls made from inside worker threads (the workspace does not nest
+//! parallel regions).
+
+use std::cell::Cell;
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel iterators will use on this thread:
+/// the innermost [`ThreadPool::install`] override, else available
+/// hardware parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+// ---------------------------------------------------------------------
+// Thread pool
+// ---------------------------------------------------------------------
+
+/// Builder for a [`ThreadPool`], mirroring rayon's.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]. The shim's build cannot
+/// actually fail; the type exists so call sites can keep `?`/`expect`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool's thread count. `0` means "use the default"
+    /// (hardware parallelism), matching rayon's convention.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.num_threads {
+            Some(0) | None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A configured degree of parallelism. Threads are spawned per
+/// `collect` call, not held by the pool (see module docs).
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// iterators it executes (on this thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        POOL_THREADS.with(|c| {
+            let prev = c.replace(Some(self.threads));
+            let result = op();
+            c.set(prev);
+            result
+        })
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel iterators
+// ---------------------------------------------------------------------
+
+/// Types whose references can be iterated in parallel (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The element reference type.
+    type Item: Sync + 'a;
+    /// A parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over a slice; produced by `par_iter()`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` (run when collected).
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> U + Sync,
+        U: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// A mapped parallel iterator; consume with [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParMap<'a, T, F> {
+    /// Runs the map across `current_num_threads()` scoped threads in
+    /// contiguous chunks and returns results in input order.
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        let n = self.items.len();
+        let threads = current_num_threads().min(n).max(1);
+        if threads <= 1 {
+            return C::from(self.items.iter().map(&self.f).collect());
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut out: Vec<U> = Vec::with_capacity(n);
+        let chunk_results: Vec<Vec<U>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        });
+        for mut part in chunk_results {
+            out.append(&mut part);
+        }
+        C::from(out)
+    }
+}
+
+/// The usual glob import target, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_slices_and_empty_input() {
+        let xs = [1, 2, 3];
+        let ys: Vec<i32> = xs[..].par_iter().map(|x| x + 1).collect();
+        assert_eq!(ys, vec![2, 3, 4]);
+        let none: Vec<i32> = Vec::<i32>::new().par_iter().map(|x| *x).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().expect("build");
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let v: Vec<usize> = (0..100).collect::<Vec<_>>().par_iter().map(|x| x + 1).collect();
+            assert_eq!(v.len(), 100);
+        });
+        // Restored after install returns.
+        let outer = current_num_threads();
+        assert!(outer >= 1);
+    }
+
+    #[test]
+    fn zero_threads_means_default() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().expect("build");
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().expect("build");
+        let caller = std::thread::current().id();
+        pool.install(|| {
+            let ids: Vec<std::thread::ThreadId> = (0..8)
+                .collect::<Vec<i32>>()
+                .par_iter()
+                .map(|_| std::thread::current().id())
+                .collect();
+            assert!(ids.iter().all(|id| *id == caller));
+        });
+    }
+}
