@@ -1,0 +1,47 @@
+//! E11: transformation rollback strategies — the delta-journaled
+//! engine (`ConcreteTransformation::apply`) against the retained
+//! clone-and-restore oracle (`apply_cloned`) on a failing body whose
+//! delta stays constant while the model grows.
+
+use comet_bench::synthetic;
+use comet_transform::{specialize, ParamSet, TransformError, TransformationBuilder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_transform");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    let failing = specialize(
+        TransformationBuilder::new("bench-fail", "bench")
+            .body(|model, _| {
+                let root = model.root();
+                let audit = model.add_class(root, "AuditLog")?;
+                model.add_operation(audit, "append")?;
+                Err(TransformError::Custom("induced rollback".into()))
+            })
+            .build(),
+        ParamSet::new(),
+    )
+    .expect("empty schema validates");
+
+    for classes in [10usize, 50, 200] {
+        let mut model = synthetic(classes, 3, 3);
+        group.bench_with_input(BenchmarkId::new("rollback_clone", classes), &(), |b, ()| {
+            b.iter(|| {
+                let _ = black_box(failing.apply_cloned(black_box(&mut model)));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rollback_journal", classes), &(), |b, ()| {
+            b.iter(|| {
+                let _ = black_box(failing.apply(black_box(&mut model)));
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Emits `BENCH_transform.json`: machine-readable numbers for the
+//! transformation engine's two rollback strategies — "before" is the
+//! retained clone-and-restore engine
+//! ([`ConcreteTransformation::apply_cloned`]), "after" the
+//! delta-journaled engine ([`ConcreteTransformation::apply`]) — across
+//! synthetic model sizes. The journal pays O(delta) on failure where
+//! the clone engine pays O(model), so the gap widens with model size.
+//!
+//! Usage: `cargo run --release -p comet-bench --bin bench_transform_json
+//! [output-path]` (default `BENCH_transform.json` in the working
+//! directory).
+
+use comet_bench::synthetic;
+use comet_model::Model;
+use comet_transform::{
+    specialize, ConcreteTransformation, ParamSet, TransformError, TransformationBuilder,
+};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: [usize; 4] = [10, 50, 100, 200];
+const ATTRS: usize = 4;
+const OPS: usize = 4;
+const WARMUP: usize = 2;
+const SAMPLES: usize = 9;
+
+/// Median wall-clock seconds of `SAMPLES` runs (after `WARMUP` runs).
+fn median_secs(mut run: impl FnMut()) -> f64 {
+    for _ in 0..WARMUP {
+        run();
+    }
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            run();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+/// A constant-size body: one class, one operation, one stereotype. The
+/// delta does not grow with the model, isolating rollback/report cost.
+fn small_delta(model: &mut Model) -> Result<(), TransformError> {
+    let root = model.root();
+    let audit = model.add_class(root, "AuditLog")?;
+    model.add_operation(audit, "append")?;
+    let c0 = model.find_class("C0").expect("synthetic class");
+    model.apply_stereotype(c0, "Audited")?;
+    Ok(())
+}
+
+fn failing_cmt() -> ConcreteTransformation {
+    let gmt = TransformationBuilder::new("bench-fail", "bench")
+        .body(|model, _| {
+            small_delta(model)?;
+            Err(TransformError::Custom("induced rollback".into()))
+        })
+        .build();
+    specialize(gmt, ParamSet::new()).expect("empty schema validates")
+}
+
+fn succeeding_cmt() -> ConcreteTransformation {
+    let gmt = TransformationBuilder::new("bench-ok", "bench").body(|model, _| small_delta(model));
+    specialize(gmt.build(), ParamSet::new()).expect("empty schema validates")
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_transform.json".to_owned());
+    let failing = failing_cmt();
+    let ok = succeeding_cmt();
+
+    // Sanity: both engines agree on success report, model, and on
+    // failure restoring the pristine input.
+    {
+        let pristine = synthetic(20, ATTRS, OPS);
+        let mut a = pristine.clone();
+        let mut b = pristine.clone();
+        let ra = ok.apply(&mut a).expect("applies");
+        let rb = ok.apply_cloned(&mut b).expect("applies");
+        assert_eq!(ra, rb, "journal and sweep reports diverged");
+        assert_eq!(a, b, "journal and clone final models diverged");
+        let mut f = pristine.clone();
+        assert!(failing.apply(&mut f).is_err());
+        assert_eq!(f, pristine, "journal rollback left residue");
+    }
+
+    let mut rollback_rows = Vec::new();
+    let mut success_rows = Vec::new();
+    let mut speedup_at_100 = 0.0f64;
+    for classes in SIZES {
+        let mut model = synthetic(classes, ATTRS, OPS);
+        let elements = model.iter().count();
+
+        // Failure path: body succeeds, then errors — the engine must
+        // restore the model. `apply` replays the journal (O(delta));
+        // `apply_cloned` restores a full upfront clone (O(model)).
+        eprintln!("[{classes} classes] timing clone rollback (before) ...");
+        let before = median_secs(|| {
+            let _ = black_box(failing.apply_cloned(black_box(&mut model)));
+        });
+        eprintln!("[{classes} classes] timing journal rollback (after) ...");
+        let after = median_secs(|| {
+            let _ = black_box(failing.apply(black_box(&mut model)));
+        });
+        let speedup = before / after;
+        if classes == 100 {
+            speedup_at_100 = speedup;
+        }
+        rollback_rows.push(format!(
+            "    {{\"classes\": {classes}, \"elements\": {elements}, \"before_median_secs\": {before:.9}, \"after_median_secs\": {after:.9}, \"speedup\": {speedup:.3}}}"
+        ));
+
+        // Success path: each run starts from a fresh clone (identical
+        // overhead in both arms); the arms differ in report derivation —
+        // journal summary versus before/after full-model sweep.
+        eprintln!("[{classes} classes] timing sweep-report apply (before) ...");
+        let s_before = median_secs(|| {
+            let mut m = model.clone();
+            black_box(ok.apply_cloned(black_box(&mut m)).expect("applies"));
+        });
+        eprintln!("[{classes} classes] timing journal-report apply (after) ...");
+        let s_after = median_secs(|| {
+            let mut m = model.clone();
+            black_box(ok.apply(black_box(&mut m)).expect("applies"));
+        });
+        success_rows.push(format!(
+            "    {{\"classes\": {classes}, \"elements\": {elements}, \"before_median_secs\": {s_before:.9}, \"after_median_secs\": {s_after:.9}, \"speedup\": {:.3}}}",
+            s_before / s_after
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e11_transform_rollback\",\n  \"workload\": {{\"sizes\": [10, 50, 100, 200], \"attrs_per_class\": {ATTRS}, \"ops_per_class\": {OPS}, \"body\": \"constant 3-element delta, then induced failure\"}},\n  \"before\": \"apply_cloned (upfront clone, restore on failure, before/after sweep report)\",\n  \"after\": \"apply (change journal: inverse-op rollback, journal-derived report)\",\n  \"rollback\": [\n{}\n  ],\n  \"successful_apply\": [\n{}\n  ]\n}}\n",
+        rollback_rows.join(",\n"),
+        success_rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("writable output path");
+    println!("{json}");
+    eprintln!("wrote {out_path} (rollback speedup at 100 classes: {speedup_at_100:.2}x)");
+    assert!(
+        speedup_at_100 > 1.0,
+        "journal rollback must beat clone rollback on the 100-class model"
+    );
+}

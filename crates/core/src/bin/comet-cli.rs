@@ -7,7 +7,7 @@
 //! comet-cli new <out.xmi>                     write the sample banking PIM
 //! comet-cli inspect <model.xmi>               summary, validation, colors
 //! comet-cli concerns                          list concern pairs + parameters
-//! comet-cli apply <model.xmi> <concern> k=v... [-o out.xmi] [--aspect-out f.aj]
+//! comet-cli apply <model.xmi> <concern> k=v... [-o out.xmi] [--aspect-out f.aj] [--dry-run]
 //! comet-cli weave <model.xmi> <concern> k=v... [--threads N]
 //! comet-cli pipeline [--threads N]            full Fig. 2 banking pipeline
 //! ```
@@ -15,7 +15,8 @@
 //! Parameters are `key=value`; list-valued parameters take
 //! comma-separated values (`methods=Bank.transfer,Account.withdraw`).
 //! `--threads N` pins the weaver's worker-thread count (default: all
-//! cores).
+//! cores). `apply --dry-run` previews the refinement report and then
+//! unwinds it via the change journal — no file is touched.
 
 use comet::{MdaLifecycle, Wizard};
 use comet_aop::Weaver;
@@ -58,7 +59,7 @@ fn print_usage() {
         "comet-cli — concern-oriented model transformations meet AOP\n\n\
          USAGE:\n  comet-cli new <out.xmi>\n  comet-cli inspect <model.xmi>\n  \
          comet-cli concerns\n  comet-cli apply <model.xmi> <concern> [k=v ...] \
-         [-o out.xmi] [--aspect-out out.aj]\n  \
+         [-o out.xmi] [--aspect-out out.aj] [--dry-run]\n  \
          comet-cli weave <model.xmi> <concern> [k=v ...] [--threads N]\n  \
          comet-cli pipeline [--threads N]"
     );
@@ -158,6 +159,7 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
     let mut params: BTreeMap<String, String> = BTreeMap::new();
     let mut out_path: Option<String> = None;
     let mut aspect_out: Option<String> = None;
+    let mut dry_run = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -168,6 +170,10 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
             "--aspect-out" => {
                 aspect_out = Some(args.get(i + 1).ok_or("--aspect-out needs a path")?.clone());
                 i += 2;
+            }
+            "--dry-run" => {
+                dry_run = true;
+                i += 1;
             }
             arg if arg.contains('=') => {
                 let (k, v) = arg.split_once('=').expect("checked contains");
@@ -190,14 +196,34 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
     let wizard = Wizard::for_pair(&pair);
     let si = wizard.collect(&params).map_err(|e| e.to_string())?;
     let (cmt, ca) = pair.specialize(si).map_err(|e| e.to_string())?;
-    let report = cmt.apply(&mut model).map_err(|e| e.to_string())?;
+    // Under --dry-run the apply happens inside an outer journal segment
+    // (the engine's own segment nests into it), so the whole refinement
+    // can be unwound after the report is printed.
+    if dry_run {
+        model.begin_journal();
+    }
+    let report = match cmt.apply(&mut model) {
+        Ok(report) => report,
+        Err(e) => {
+            if dry_run {
+                model.rollback_journal();
+            }
+            return Err(e.to_string());
+        }
+    };
     println!(
-        "applied {} (created {}, modified {}, removed {})",
+        "{} {} (created {}, modified {}, removed {})",
+        if dry_run { "would apply" } else { "applied" },
         cmt.full_name(),
         report.created.len(),
         report.modified.len(),
         report.removed.len()
     );
+    if dry_run {
+        model.rollback_journal();
+        println!("dry run: model unchanged, nothing written");
+        return Ok(());
+    }
 
     let out = out_path.unwrap_or_else(|| model_path.clone());
     std::fs::write(&out, export_model(&model)).map_err(|e| e.to_string())?;

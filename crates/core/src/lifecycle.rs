@@ -6,7 +6,7 @@ use comet_codegen::{
     pretty_print, BodyProvider, FunctionalGenerator, MonolithicGenerator, Program,
 };
 use comet_model::Model;
-use comet_repo::{ColorReport, RepoError, Repository};
+use comet_repo::{ColorReport, CommitDelta, RepoError, Repository};
 use comet_transform::{ApplyReport, ConcreteTransformation, ParamSet, TransformError};
 use comet_workflow::{WorkflowEngine, WorkflowError, WorkflowModel};
 use std::fmt;
@@ -26,6 +26,16 @@ pub enum LifecycleError {
     Repo(RepoError),
     /// Nothing to undo.
     NothingToUndo,
+    /// Replaying the remaining steps into a fresh workflow engine
+    /// failed during undo — the recorded sequence no longer validates
+    /// against the workflow model. The lifecycle state is left exactly
+    /// as it was before the undo attempt.
+    WorkflowReplay {
+        /// The step that failed to replay.
+        concern: String,
+        /// The underlying workflow violation.
+        source: WorkflowError,
+    },
 }
 
 impl fmt::Display for LifecycleError {
@@ -37,6 +47,9 @@ impl fmt::Display for LifecycleError {
             LifecycleError::Weave(e) => write!(f, "weaving: {e}"),
             LifecycleError::Repo(e) => write!(f, "repository: {e}"),
             LifecycleError::NothingToUndo => write!(f, "nothing to undo"),
+            LifecycleError::WorkflowReplay { concern, source } => {
+                write!(f, "workflow replay of `{concern}` failed during undo: {source}")
+            }
         }
     }
 }
@@ -158,18 +171,53 @@ impl MdaLifecycle {
     /// coloring), records the step in workflow and repository, and stores
     /// the CA for the code-generation phase.
     ///
+    /// The step is **atomic across all three stores** (model,
+    /// repository, workflow), staged then committed:
+    ///
+    /// 1. the workflow records the step up front — its constraint scan
+    ///    is the single admission check (no separate `validate_sequence`
+    ///    pass), and a violation rejects the step before the model is
+    ///    touched;
+    /// 2. the CMT applies under a change-journal segment held open
+    ///    across the repository commit;
+    /// 3. if the transformation *or* the repository fails, the journal
+    ///    unwinds the model and the workflow record is compensated —
+    ///    nothing observable remains of the step;
+    /// 4. only after the repository accepted the new version (committed
+    ///    from the journal's delta) is the journal released and the
+    ///    step pushed onto `applied`.
+    ///
     /// # Errors
-    /// The model is unchanged on any error.
+    /// Model, repository, and workflow are all unchanged on any error.
     pub fn apply_concern(
         &mut self,
         pair: &ConcernPair,
         si: ParamSet,
     ) -> Result<&AppliedConcern, LifecycleError> {
-        self.workflow.validate_sequence(&[pair.concern()]).map_err(LifecycleError::Workflow)?;
         let (cmt, aspect) = pair.specialize(si)?;
-        let report = cmt.apply(&mut self.model)?;
         self.workflow.record(pair.concern())?;
-        self.repo.commit(&self.model, &cmt.full_name(), Some(pair.concern()))?;
+        self.model.begin_journal();
+        let report = match cmt.apply(&mut self.model) {
+            Ok(report) => report,
+            Err(e) => {
+                self.model.rollback_journal();
+                self.workflow.unrecord(pair.concern());
+                return Err(e.into());
+            }
+        };
+        let delta = CommitDelta {
+            created: report.created.clone(),
+            modified: report.modified.clone(),
+            removed: report.removed.clone(),
+        };
+        if let Err(e) =
+            self.repo.commit_with_delta(&self.model, &cmt.full_name(), Some(pair.concern()), delta)
+        {
+            self.model.rollback_journal();
+            self.workflow.unrecord(pair.concern());
+            return Err(e.into());
+        }
+        self.model.commit_journal();
         self.applied.push(AppliedConcern { cmt, aspect, report });
         Ok(self.applied.last().expect("just pushed"))
     }
@@ -177,19 +225,42 @@ impl MdaLifecycle {
     /// Undoes the most recent refinement step: repository undo, workflow
     /// rewind, aspect removal.
     ///
+    /// All fallible work happens before any state is touched: the
+    /// shortened workflow is replayed into a scratch engine first, the
+    /// repository steps back second (rolled forward again if its
+    /// snapshot fails to decode), and only then are model, workflow,
+    /// and the `applied` record swapped — so a failed undo never loses
+    /// the step it could not undo.
+    ///
     /// # Errors
-    /// Fails when nothing was applied or the snapshot is corrupt.
+    /// Fails when nothing was applied, the snapshot is corrupt, or the
+    /// remaining sequence no longer replays
+    /// ([`LifecycleError::WorkflowReplay`]); the lifecycle state is
+    /// unchanged on every error.
     pub fn undo_last(&mut self) -> Result<(), LifecycleError> {
-        let last = self.applied.pop().ok_or(LifecycleError::NothingToUndo)?;
-        let restored = self.repo.undo().ok_or(LifecycleError::NothingToUndo)??;
-        self.model = restored;
-        // Rebuild the workflow state minus the undone step.
-        let mut engine = WorkflowEngine::new(self.workflow.model().clone());
-        for step in &self.applied {
-            engine.record(step.cmt.concern()).expect("previously valid sequence stays valid");
+        if self.applied.is_empty() {
+            return Err(LifecycleError::NothingToUndo);
         }
+        // Rebuild the workflow state minus the undone step, before
+        // anything is mutated.
+        let mut engine = WorkflowEngine::new(self.workflow.model().clone());
+        for step in &self.applied[..self.applied.len() - 1] {
+            engine.record(step.cmt.concern()).map_err(|source| LifecycleError::WorkflowReplay {
+                concern: step.cmt.concern().to_owned(),
+                source,
+            })?;
+        }
+        let restored = match self.repo.undo() {
+            None => return Err(LifecycleError::NothingToUndo),
+            // `Repository::undo` is atomic — the head position does
+            // not move on error — so nothing needs compensating here.
+            Some(Err(e)) => return Err(LifecycleError::Repo(e)),
+            Some(Ok(model)) => model,
+        };
+        // Commit point: everything fallible is done.
+        self.applied.pop();
         self.workflow = engine;
-        let _ = last;
+        self.model = restored;
         Ok(())
     }
 

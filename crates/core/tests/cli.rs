@@ -61,6 +61,32 @@ fn new_inspect_apply_roundtrip() {
 }
 
 #[test]
+fn apply_dry_run_reports_without_writing() {
+    let pim = temp_path("dry-pim.xmi");
+    cli().args(["new", pim.to_str().unwrap()]).output().unwrap();
+    let pristine = std::fs::read_to_string(&pim).unwrap();
+
+    let out = cli()
+        .args([
+            "apply",
+            pim.to_str().unwrap(),
+            "transactions",
+            "methods=Bank.transfer",
+            "--dry-run",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("would apply transactions<"));
+    assert!(stdout.contains("dry run: model unchanged"));
+    // The input file is byte-identical: nothing was written.
+    assert_eq!(std::fs::read_to_string(&pim).unwrap(), pristine);
+
+    let _ = std::fs::remove_file(pim);
+}
+
+#[test]
 fn concerns_lists_the_standard_library() {
     let out = cli().arg("concerns").output().unwrap();
     assert!(out.status.success());

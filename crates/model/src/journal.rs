@@ -1,0 +1,243 @@
+//! The change journal: delta-based undo for transactional mutation.
+//!
+//! A transformation that fails halfway must leave the model exactly as
+//! it found it. The original mechanism was a whole-model clone taken
+//! before the body ran — O(model) per application even when the body
+//! touches three elements. The journal replaces that: while a journal
+//! is active, every mutation choke point of [`Model`](crate::Model)
+//! (element allocation, [`element_mut`](crate::Model::element_mut),
+//! [`remove_element`](crate::Model::remove_element),
+//! [`set_name`](crate::Model::set_name) — the same choke points the
+//! index generation counter instruments) records an **inverse
+//! operation**, and a failed step is rolled back by replaying those
+//! inverses in reverse order — O(delta), not O(model).
+//!
+//! ## Inverse-op table
+//!
+//! | mutation                  | journal record            | inverse replay                      |
+//! |---------------------------|---------------------------|-------------------------------------|
+//! | element allocation        | `Create{id, prev_next_id}`| remove `id`, restore `next_id`      |
+//! | `element_mut(id)`         | `Mutate{id, before}`      | reinsert the `before` snapshot      |
+//! | `remove_element(id)`      | `Remove{before: Vec<_>}`  | reinsert every removed element      |
+//! | `set_name(n)`             | `SetName{prev}` (+Mutate) | restore the model name (root via Mutate) |
+//!
+//! `Mutate` is recorded *conservatively*: handing out `&mut Element`
+//! may change anything, so the pre-image is snapshotted whether or not
+//! the caller ends up writing. The commit-time summary compares
+//! pre-images against the final state, so a read-only `element_mut`
+//! does not show up as a modification.
+//!
+//! ## Savepoints
+//!
+//! Journals nest: [`Model::begin_journal`] pushes a savepoint, and
+//! commit/rollback operate on the ops recorded since the innermost
+//! savepoint. A nested commit folds its ops into the enclosing segment
+//! (so an outer rollback still unwinds them); the outermost commit
+//! discards the journal. This is what lets the MDA lifecycle wrap a
+//! whole refinement step — transformation body *plus* repository
+//! bookkeeping — in one atomic unit while the transformation engine
+//! keeps its own inner bracket.
+
+use crate::element::Element;
+use crate::id::ElementId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One recorded inverse operation.
+#[derive(Debug, Clone)]
+pub(crate) enum JournalOp {
+    /// An element id was allocated (every `add_*` funnels through the
+    /// allocator); undone by deleting the element and restoring the
+    /// id watermark.
+    Create {
+        /// The allocated id.
+        id: ElementId,
+        /// `next_id` before the allocation.
+        prev_next_id: u64,
+    },
+    /// Mutable access was handed out for an element; `before` is its
+    /// pre-image.
+    Mutate {
+        /// The element.
+        id: ElementId,
+        /// Snapshot taken before the `&mut` borrow.
+        before: Box<Element>,
+    },
+    /// A `remove_element` cascade deleted these elements.
+    Remove {
+        /// Full snapshots of everything the cascade removed.
+        before: Vec<Element>,
+    },
+    /// The model was renamed (the root element's rename is covered by a
+    /// paired `Mutate`).
+    SetName {
+        /// The model name before the rename.
+        prev: String,
+    },
+}
+
+/// What one committed journal segment changed, derived purely from the
+/// recorded ops — no before/after model sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JournalSummary {
+    /// Elements created in the segment and still present, in id order.
+    pub created: Vec<ElementId>,
+    /// Pre-existing elements whose content actually changed, in id order.
+    pub modified: Vec<ElementId>,
+    /// Pre-existing elements removed by the segment, in id order.
+    pub removed: Vec<ElementId>,
+    /// Number of raw ops the segment recorded (diagnostics).
+    pub ops: usize,
+}
+
+impl JournalSummary {
+    /// True when the segment left the model untouched.
+    pub fn is_empty(&self) -> bool {
+        self.created.is_empty() && self.modified.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total elements touched.
+    pub fn touched(&self) -> usize {
+        self.created.len() + self.modified.len() + self.removed.len()
+    }
+}
+
+/// The active journal stored inside a [`Model`](crate::Model).
+///
+/// Derived bookkeeping like the index cache: never cloned with the
+/// model, ignored by equality.
+#[derive(Debug, Default)]
+pub(crate) struct Journal {
+    ops: Vec<JournalOp>,
+    /// Stack of segment starts; one entry per `begin_journal` not yet
+    /// committed or rolled back.
+    savepoints: Vec<usize>,
+}
+
+impl Journal {
+    /// Opens the outermost segment.
+    pub(crate) fn new() -> Self {
+        Journal { ops: Vec::new(), savepoints: vec![0] }
+    }
+
+    /// Opens a nested segment.
+    pub(crate) fn push_savepoint(&mut self) {
+        self.savepoints.push(self.ops.len());
+    }
+
+    /// Current nesting depth.
+    pub(crate) fn depth(&self) -> usize {
+        self.savepoints.len()
+    }
+
+    /// Records an op.
+    pub(crate) fn record(&mut self, op: JournalOp) {
+        self.ops.push(op);
+    }
+
+    /// Ids created since the innermost savepoint, in recording order.
+    pub(crate) fn created_since_savepoint(&self) -> Vec<ElementId> {
+        let sp = *self.savepoints.last().expect("active journal has a savepoint");
+        self.ops[sp..]
+            .iter()
+            .filter_map(|op| match op {
+                JournalOp::Create { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Closes the innermost segment, summarizing it against the final
+    /// element state. Returns the summary and whether the journal as a
+    /// whole is now finished (last savepoint popped).
+    pub(crate) fn commit(
+        &mut self,
+        elements: &BTreeMap<ElementId, Element>,
+    ) -> (JournalSummary, bool) {
+        let sp = self.savepoints.pop().expect("active journal has a savepoint");
+        let summary = summarize(&self.ops[sp..], elements);
+        // A nested segment's ops stay: the enclosing segment must still
+        // be able to unwind them.
+        (summary, self.savepoints.is_empty())
+    }
+
+    /// Unwinds the innermost segment: replays inverses newest-first and
+    /// drops the segment's ops. Returns the mutations undone and
+    /// whether the journal is now finished.
+    pub(crate) fn rollback(
+        &mut self,
+        elements: &mut BTreeMap<ElementId, Element>,
+        next_id: &mut u64,
+        name: &mut String,
+    ) -> (usize, bool) {
+        let sp = self.savepoints.pop().expect("active journal has a savepoint");
+        let undone = self.ops.len() - sp;
+        for op in self.ops.drain(sp..).rev() {
+            match op {
+                JournalOp::Create { id, prev_next_id } => {
+                    elements.remove(&id);
+                    *next_id = prev_next_id;
+                }
+                JournalOp::Mutate { id, before } => {
+                    elements.insert(id, *before);
+                }
+                JournalOp::Remove { before } => {
+                    for e in before {
+                        elements.insert(e.id(), e);
+                    }
+                }
+                JournalOp::SetName { prev } => {
+                    *name = prev;
+                }
+            }
+        }
+        (undone, self.savepoints.is_empty())
+    }
+}
+
+/// Derives created/modified/removed for one segment from its ops.
+///
+/// * created — `Create` ids still present (created-then-removed cancels
+///   out; ids are never reused, so presence is unambiguous);
+/// * removed — elements deleted by `Remove` cascades that pre-existed
+///   the segment;
+/// * modified — pre-existing elements with a recorded pre-image whose
+///   final content differs from it (the *earliest* pre-image wins, so
+///   a mutate-then-mutate-back sequence reports clean).
+fn summarize(ops: &[JournalOp], elements: &BTreeMap<ElementId, Element>) -> JournalSummary {
+    let mut created: BTreeSet<ElementId> = BTreeSet::new();
+    let mut removed: BTreeSet<ElementId> = BTreeSet::new();
+    let mut pre_image: BTreeMap<ElementId, &Element> = BTreeMap::new();
+    for op in ops {
+        match op {
+            JournalOp::Create { id, .. } => {
+                created.insert(*id);
+            }
+            JournalOp::Mutate { id, before } => {
+                pre_image.entry(*id).or_insert(before);
+            }
+            JournalOp::Remove { before } => {
+                for e in before {
+                    if !created.contains(&e.id()) {
+                        removed.insert(e.id());
+                        pre_image.entry(e.id()).or_insert(e);
+                    }
+                }
+            }
+            JournalOp::SetName { .. } => {}
+        }
+    }
+    JournalSummary {
+        created: created.iter().copied().filter(|id| elements.contains_key(id)).collect(),
+        modified: pre_image
+            .iter()
+            .filter(|(id, before)| {
+                !created.contains(*id)
+                    && !removed.contains(*id)
+                    && elements.get(*id).map(|now| now != **before).unwrap_or(false)
+            })
+            .map(|(id, _)| *id)
+            .collect(),
+        removed: removed.into_iter().collect(),
+        ops: ops.len(),
+    }
+}

@@ -35,6 +35,7 @@ mod element;
 mod error;
 mod id;
 mod index;
+mod journal;
 mod kinds;
 mod model;
 mod query;
@@ -46,6 +47,7 @@ pub use builder::{ClassBuilder, ModelBuilder, OperationBuilder};
 pub use element::{Element, ElementCore, ElementKind};
 pub use error::{ModelError, Result};
 pub use id::ElementId;
+pub use journal::JournalSummary;
 pub use kinds::{
     AggregationKind, AssociationData, AssociationEnd, AttributeData, ClassData, ConstraintData,
     DataTypeData, DependencyData, Direction, EnumerationData, GeneralizationData, InterfaceData,

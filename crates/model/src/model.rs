@@ -5,6 +5,7 @@ use crate::element::{Element, ElementCore, ElementKind};
 use crate::error::{ModelError, Result};
 use crate::id::ElementId;
 use crate::index::IndexCache;
+use crate::journal::{Journal, JournalOp, JournalSummary};
 use crate::kinds::*;
 use crate::CONCERN_TAG;
 use std::collections::BTreeMap;
@@ -22,6 +23,13 @@ use std::collections::BTreeMap;
 /// bumps the generation, invalidating the cached index (see `index.rs`
 /// for the invalidation rules). The cache is derived data: it is ignored
 /// by `PartialEq` and reset — not copied — by `Clone`.
+///
+/// The same choke points feed an optional change [`Journal`] (see
+/// `journal.rs`): between [`Model::begin_journal`] and
+/// [`Model::commit_journal`] every mutation records an inverse
+/// operation, and [`Model::rollback_journal`] unwinds the segment in
+/// O(delta). Like the cache, the journal is transient bookkeeping:
+/// ignored by `PartialEq`, not carried over by `Clone`.
 #[derive(Debug)]
 pub struct Model {
     name: String,
@@ -29,6 +37,7 @@ pub struct Model {
     next_id: u64,
     root: ElementId,
     cache: IndexCache,
+    journal: Option<Journal>,
 }
 
 impl Clone for Model {
@@ -39,6 +48,7 @@ impl Clone for Model {
             next_id: self.next_id,
             root: self.root,
             cache: IndexCache::default(),
+            journal: None,
         }
     }
 }
@@ -66,7 +76,7 @@ impl Model {
                 ElementKind::Package(PackageData::default()),
             ),
         );
-        Model { name, elements, next_id: 1, root, cache: IndexCache::default() }
+        Model { name, elements, next_id: 1, root, cache: IndexCache::default(), journal: None }
     }
 
     /// The model name (same as the root package name).
@@ -78,6 +88,12 @@ impl Model {
     pub fn set_name(&mut self, name: impl Into<String>) {
         self.cache.invalidate();
         let name = name.into();
+        if let Some(j) = &mut self.journal {
+            if let Some(root) = self.elements.get(&self.root) {
+                j.record(JournalOp::Mutate { id: self.root, before: Box::new(root.clone()) });
+            }
+            j.record(JournalOp::SetName { prev: self.name.clone() });
+        }
         self.name = name.clone();
         let root = self.root;
         if let Some(e) = self.elements.get_mut(&root) {
@@ -125,16 +141,25 @@ impl Model {
     pub fn element_mut(&mut self, id: ElementId) -> Result<&mut Element> {
         // Handing out `&mut Element` may change anything the index
         // covers (name, stereotypes, endpoints), so invalidate
-        // conservatively.
+        // conservatively. The journal snapshots the pre-image just as
+        // conservatively; the commit-time summary filters out borrows
+        // that never wrote.
         self.cache.invalidate();
-        self.elements.get_mut(&id).ok_or(ModelError::UnknownElement(id))
+        let e = self.elements.get_mut(&id).ok_or(ModelError::UnknownElement(id))?;
+        if let Some(j) = &mut self.journal {
+            j.record(JournalOp::Mutate { id, before: Box::new(e.clone()) });
+        }
+        Ok(e)
     }
 
     fn alloc(&mut self) -> ElementId {
         // Every element-creating path funnels through here, making it a
-        // mutation choke point for index invalidation.
+        // mutation choke point for index invalidation and journaling.
         self.cache.invalidate();
         let id = ElementId::from_raw(self.next_id);
+        if let Some(j) = &mut self.journal {
+            j.record(JournalOp::Create { id, prev_next_id: self.next_id });
+        }
         self.next_id += 1;
         id
     }
@@ -511,6 +536,11 @@ impl Model {
                 break;
             }
         }
+        if let Some(j) = &mut self.journal {
+            let before: Vec<Element> =
+                doomed.iter().filter_map(|d| self.elements.get(d).cloned()).collect();
+            j.record(JournalOp::Remove { before });
+        }
         for d in &doomed {
             self.elements.remove(d);
         }
@@ -588,6 +618,71 @@ impl Model {
             .collect()
     }
 
+    /// Starts (or nests) a change journal segment: until the matching
+    /// [`Model::commit_journal`] or [`Model::rollback_journal`], every
+    /// mutation records an inverse operation. Segments nest via
+    /// savepoints; a nested commit folds its ops into the enclosing
+    /// segment so an outer rollback still unwinds them.
+    pub fn begin_journal(&mut self) {
+        match &mut self.journal {
+            Some(j) => j.push_savepoint(),
+            None => self.journal = Some(Journal::new()),
+        }
+    }
+
+    /// True while any journal segment is open.
+    pub fn journal_active(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Open journal segments (0 when no journal is active).
+    pub fn journal_depth(&self) -> usize {
+        self.journal.as_ref().map(Journal::depth).unwrap_or(0)
+    }
+
+    /// Elements created since the innermost open segment began and
+    /// still present, in id order. Empty when no journal is active.
+    ///
+    /// This is what lets the transformation engine color exactly the
+    /// elements a body created without diffing against a snapshot.
+    pub fn journal_created(&self) -> Vec<ElementId> {
+        let Some(j) = &self.journal else { return Vec::new() };
+        let mut ids: Vec<ElementId> = j
+            .created_since_savepoint()
+            .into_iter()
+            .filter(|id| self.elements.contains_key(id))
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// Closes the innermost journal segment, keeping its effects, and
+    /// returns what the segment changed (derived from the recorded ops,
+    /// no model sweep). Returns `None` when no journal is active.
+    pub fn commit_journal(&mut self) -> Option<JournalSummary> {
+        let j = self.journal.as_mut()?;
+        let (summary, finished) = j.commit(&self.elements);
+        if finished {
+            self.journal = None;
+        }
+        Some(summary)
+    }
+
+    /// Unwinds the innermost journal segment by replaying inverse
+    /// operations newest-first, restoring the model to the state at the
+    /// matching [`Model::begin_journal`]. Returns the number of ops
+    /// undone, or `None` when no journal is active.
+    pub fn rollback_journal(&mut self) -> Option<usize> {
+        self.cache.invalidate();
+        let j = self.journal.as_mut()?;
+        let (undone, finished) = j.rollback(&mut self.elements, &mut self.next_id, &mut self.name);
+        if finished {
+            self.journal = None;
+        }
+        Some(undone)
+    }
+
     /// All distinct concerns recorded anywhere in the model ("association
     /// list between colors and concerns", Section 3), sorted.
     pub fn concerns(&self) -> Vec<String> {
@@ -629,6 +724,7 @@ impl Model {
             next_id: max_id + 1,
             root,
             cache: IndexCache::default(),
+            journal: None,
         };
         let root_ok = model
             .elements
@@ -786,6 +882,89 @@ mod tests {
         m.set_name("renamed");
         assert_eq!(m.name(), "renamed");
         assert_eq!(m.element(m.root()).unwrap().name(), "renamed");
+    }
+
+    #[test]
+    fn journal_rollback_restores_all_mutation_kinds() {
+        let mut m = Model::new("m");
+        let a = m.add_class(m.root(), "A").unwrap();
+        let b = m.add_class(m.root(), "B").unwrap();
+        m.add_generalization(b, a).unwrap();
+        let snapshot = m.clone();
+
+        m.begin_journal();
+        let c = m.add_class(m.root(), "C").unwrap();
+        m.add_attribute(c, "x", Primitive::Int.into()).unwrap();
+        m.apply_stereotype(a, "Touched").unwrap();
+        m.element_mut(b).unwrap().core_mut().name = "Renamed".into();
+        m.remove_element(a).unwrap(); // cascades into the generalization
+        m.set_name("other");
+        assert_ne!(m, snapshot);
+        let undone = m.rollback_journal().unwrap();
+        assert!(undone > 0);
+        assert!(!m.journal_active());
+        assert_eq!(m, snapshot, "rollback must restore the exact state");
+        // Id allocation watermark is restored too: the next add reuses
+        // the id the rolled-back `C` briefly held.
+        let c2 = m.add_class(m.root(), "C").unwrap();
+        assert_eq!(c2, c);
+    }
+
+    #[test]
+    fn journal_commit_summarizes_delta() {
+        let mut m = Model::new("m");
+        let a = m.add_class(m.root(), "A").unwrap();
+        let b = m.add_class(m.root(), "B").unwrap();
+        m.begin_journal();
+        let c = m.add_class(m.root(), "C").unwrap();
+        m.apply_stereotype(a, "Touched").unwrap();
+        // Read-only mutable borrow: must not be reported as modified.
+        let _ = m.element_mut(b).unwrap();
+        m.remove_element(b).unwrap();
+        let summary = m.commit_journal().unwrap();
+        assert_eq!(summary.created, vec![c]);
+        assert_eq!(summary.modified, vec![a]);
+        assert_eq!(summary.removed, vec![b]);
+        assert_eq!(summary.touched(), 3);
+        assert!(!m.journal_active());
+        // Effects persist after commit.
+        assert!(m.contains(c));
+        assert!(!m.contains(b));
+    }
+
+    #[test]
+    fn journal_created_then_removed_cancels_out() {
+        let mut m = Model::new("m");
+        m.begin_journal();
+        let c = m.add_class(m.root(), "Ghost").unwrap();
+        m.remove_element(c).unwrap();
+        let summary = m.commit_journal().unwrap();
+        assert!(summary.is_empty(), "create+remove inside one segment is a no-op: {summary:?}");
+    }
+
+    #[test]
+    fn nested_journal_segments() {
+        let mut m = Model::new("m");
+        let outer_snapshot = m.clone();
+        m.begin_journal();
+        let a = m.add_class(m.root(), "A").unwrap();
+        m.begin_journal();
+        assert_eq!(m.journal_depth(), 2);
+        m.add_class(m.root(), "B").unwrap();
+        // Inner rollback drops B but keeps A.
+        m.rollback_journal().unwrap();
+        assert!(m.contains(a));
+        assert_eq!(m.find_class("B"), None);
+        // Nested commit folds into the outer segment...
+        m.begin_journal();
+        let c = m.add_class(m.root(), "C").unwrap();
+        assert_eq!(m.journal_created(), vec![c]);
+        let inner = m.commit_journal().unwrap();
+        assert_eq!(inner.created, vec![c]);
+        assert!(m.journal_active());
+        // ...so the outer rollback unwinds both A and C.
+        m.rollback_journal().unwrap();
+        assert_eq!(m, outer_snapshot);
     }
 
     #[test]

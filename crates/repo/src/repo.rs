@@ -2,13 +2,38 @@
 
 use crate::diff::{diff_models, ModelDiff};
 use crate::hash::fnv1a64;
-use comet_model::Model;
+use comet_model::{ElementId, Model};
 use comet_xmi::{export_model, import_model, XmiError};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a commit within one repository.
 pub type CommitId = u64;
+
+/// The element-level delta a commit introduced over its parent, as
+/// reported by the transformation engine's change journal. Stored with
+/// the commit so adjacent-version comparisons need no snapshot decode.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CommitDelta {
+    /// Elements created by the step, in id order.
+    pub created: Vec<ElementId>,
+    /// Elements modified by the step, in id order.
+    pub modified: Vec<ElementId>,
+    /// Elements removed by the step, in id order.
+    pub removed: Vec<ElementId>,
+}
+
+impl CommitDelta {
+    /// True when the commit changed nothing over its parent.
+    pub fn is_empty(&self) -> bool {
+        self.created.is_empty() && self.modified.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total elements touched.
+    pub fn touched(&self) -> usize {
+        self.created.len() + self.modified.len() + self.removed.len()
+    }
+}
 
 /// One committed model version.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +48,9 @@ pub struct Commit {
     pub concern: Option<String>,
     /// FNV-1a content hash of the snapshot.
     pub hash: u64,
+    /// Element-level delta over the parent, when the committer supplied
+    /// one (see [`Repository::commit_with_delta`]).
+    pub delta: Option<CommitDelta>,
     snapshot: String,
 }
 
@@ -46,6 +74,9 @@ pub enum RepoError {
     UnknownTag(String),
     /// A snapshot failed to decode (repository corruption).
     Corrupt(XmiError),
+    /// The storage backend rejected the operation (also the variant the
+    /// fault-injection hooks raise in tests).
+    Storage(String),
 }
 
 impl fmt::Display for RepoError {
@@ -56,6 +87,7 @@ impl fmt::Display for RepoError {
             RepoError::BranchExists(b) => write!(f, "branch `{b}` already exists"),
             RepoError::UnknownTag(t) => write!(f, "unknown tag `{t}`"),
             RepoError::Corrupt(e) => write!(f, "corrupt snapshot: {e}"),
+            RepoError::Storage(detail) => write!(f, "storage failure: {detail}"),
         }
     }
 }
@@ -77,6 +109,10 @@ pub struct Repository {
     /// it, redo restores it, commit truncates beyond it).
     position: usize,
     tags: BTreeMap<String, CommitId>,
+    /// Fault injection for lifecycle consistency tests: when set, the
+    /// next commit / undo fails with [`RepoError::Storage`].
+    fail_next_commit: bool,
+    fail_next_undo: bool,
 }
 
 impl Repository {
@@ -92,7 +128,25 @@ impl Repository {
             current_branch: "main".to_owned(),
             position: 0,
             tags: BTreeMap::new(),
+            fail_next_commit: false,
+            fail_next_undo: false,
         }
+    }
+
+    /// Makes the next [`Repository::commit`] /
+    /// [`Repository::commit_with_delta`] fail with
+    /// [`RepoError::Storage`] without touching any state — a
+    /// failing-repository test double for lifecycle fault injection.
+    #[doc(hidden)]
+    pub fn inject_commit_failure(&mut self) {
+        self.fail_next_commit = true;
+    }
+
+    /// Makes the next [`Repository::undo`] fail with
+    /// [`RepoError::Storage`] without moving the head position.
+    #[doc(hidden)]
+    pub fn inject_undo_failure(&mut self) {
+        self.fail_next_undo = true;
     }
 
     /// Repository name.
@@ -113,18 +167,62 @@ impl Repository {
     /// redo tail first.
     ///
     /// # Errors
-    /// Infallible today (`Result` kept for storage-backed versions).
+    /// Fails only when a storage fault is injected (`Result` kept for
+    /// storage-backed versions).
     pub fn commit(
         &mut self,
         model: &Model,
         message: &str,
         concern: Option<&str>,
     ) -> Result<CommitId, RepoError> {
+        self.commit_inner(model, message, concern, None)
+    }
+
+    /// Commits with a known element-level delta over the parent (the
+    /// transformation journal's summary). Two gains over
+    /// [`Repository::commit`]: the delta is stored on the commit for
+    /// decode-free history queries, and an **empty** delta skips the
+    /// O(model) XMI export entirely by reusing the parent's snapshot —
+    /// a model identical to its parent serializes identically.
+    ///
+    /// # Errors
+    /// Fails only when a storage fault is injected.
+    pub fn commit_with_delta(
+        &mut self,
+        model: &Model,
+        message: &str,
+        concern: Option<&str>,
+        delta: CommitDelta,
+    ) -> Result<CommitId, RepoError> {
+        self.commit_inner(model, message, concern, Some(delta))
+    }
+
+    fn commit_inner(
+        &mut self,
+        model: &Model,
+        message: &str,
+        concern: Option<&str>,
+        delta: Option<CommitDelta>,
+    ) -> Result<CommitId, RepoError> {
+        if self.fail_next_commit {
+            self.fail_next_commit = false;
+            return Err(RepoError::Storage("injected commit failure".to_owned()));
+        }
         let history =
             self.branches.get_mut(&self.current_branch).expect("current branch always exists");
         history.truncate(self.position);
         let parent = history.last().copied();
-        let snapshot = export_model(model);
+        let reuse_parent = parent
+            .filter(|_| delta.as_ref().map(CommitDelta::is_empty).unwrap_or(false))
+            .and_then(|p| self.commits.get(&p));
+        let (snapshot, hash) = match reuse_parent {
+            Some(p) => (p.snapshot.clone(), p.hash),
+            None => {
+                let snapshot = export_model(model);
+                let hash = fnv1a64(snapshot.as_bytes());
+                (snapshot, hash)
+            }
+        };
         let id = self.next_id;
         self.next_id += 1;
         self.commits.insert(
@@ -134,10 +232,13 @@ impl Repository {
                 parent,
                 message: message.to_owned(),
                 concern: concern.map(str::to_owned),
-                hash: fnv1a64(snapshot.as_bytes()),
+                hash,
+                delta,
                 snapshot,
             },
         );
+        let history =
+            self.branches.get_mut(&self.current_branch).expect("current branch always exists");
         history.push(id);
         self.position = history.len();
         Ok(id)
@@ -173,17 +274,33 @@ impl Repository {
     /// Steps the visible head one commit back; returns the model now at
     /// head (i.e. the state *before* the undone transformation), or
     /// `None` when there is nothing to undo.
+    ///
+    /// Atomic: on any `Err` — storage fault or snapshot corruption —
+    /// the head position does not move, so callers never need a
+    /// compensating [`redo`](Self::redo).
     pub fn undo(&mut self) -> Option<Result<Model, RepoError>> {
         if self.position == 0 {
             return None;
         }
-        self.position -= 1;
-        if self.position == 0 {
-            // Undid the initial commit: the "model before anything" is
-            // not stored; report an empty model of the same name.
-            return Some(Ok(Model::new(self.name.clone())));
+        if self.fail_next_undo {
+            self.fail_next_undo = false;
+            return Some(Err(RepoError::Storage("injected undo failure".to_owned())));
         }
-        self.head_model()
+        let restored = if self.position == 1 {
+            // Undoing the initial commit: the "model before anything"
+            // is not stored; report an empty model of the same name.
+            Ok(Model::new(self.name.clone()))
+        } else {
+            let id = self.branch_history()[self.position - 2];
+            match self.commits.get(&id) {
+                None => Err(RepoError::UnknownCommit(id)),
+                Some(c) => import_model(&c.snapshot).map_err(RepoError::Corrupt),
+            }
+        };
+        if restored.is_ok() {
+            self.position -= 1;
+        }
+        Some(restored)
     }
 
     /// Steps the visible head one commit forward; returns the restored

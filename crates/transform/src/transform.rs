@@ -224,37 +224,109 @@ impl ConcreteTransformation {
     /// Applies the transformation atomically:
     ///
     /// 1. checks every specialized precondition on the input model;
-    /// 2. runs the body;
+    /// 2. opens a change-journal segment and runs the body;
     /// 3. colors every created element with the concern;
     /// 4. re-validates well-formedness and checks every specialized
-    ///    postcondition — on any failure the model is restored to its
-    ///    input state and an error is returned.
+    ///    postcondition — on any failure the journal segment is rolled
+    ///    back, restoring the model to its input state in O(delta).
+    ///
+    /// The [`ApplyReport`] is derived from the committed journal
+    /// segment, not from a before/after sweep of the whole arena. The
+    /// pre-journal clone-based engine is retained as
+    /// [`ConcreteTransformation::apply_cloned`] and serves as the
+    /// differential oracle in the test suite.
     ///
     /// # Errors
     /// See [`TransformError`]; the model is unchanged on every error.
     pub fn apply(&self, model: &mut Model) -> Result<ApplyReport, TransformError> {
-        for condition in self.preconditions() {
-            let ctx = Context::for_model(model);
-            match evaluate_bool(&condition, &ctx) {
-                Ok(true) => {}
-                Ok(false) => {
-                    return Err(TransformError::PreconditionFailed {
-                        transformation: self.full_name(),
-                        condition,
-                    })
-                }
-                Err(e) => return Err(TransformError::Condition { condition, source: e }),
+        self.check_conditions(model, self.preconditions(), /* pre: */ true)?;
+        model.begin_journal();
+        let result = self.apply_body_journaled(model);
+        match result {
+            Ok(()) => {
+                let summary = model.commit_journal().expect("journal opened above");
+                Ok(ApplyReport {
+                    created: summary.created,
+                    modified: summary.modified,
+                    removed: summary.removed,
+                })
+            }
+            Err(e) => {
+                model.rollback_journal();
+                Err(e)
             }
         }
+    }
+
+    /// The pre-journal engine: snapshots the whole model up front,
+    /// restores the snapshot on failure, and derives the report from a
+    /// before/after element sweep. O(model) per application regardless
+    /// of how little the body touches — kept as the differential oracle
+    /// for [`ConcreteTransformation::apply`] and as the "before"
+    /// baseline in the transform benchmarks.
+    ///
+    /// # Errors
+    /// See [`TransformError`]; the model is unchanged on every error.
+    pub fn apply_cloned(&self, model: &mut Model) -> Result<ApplyReport, TransformError> {
+        self.check_conditions(model, self.preconditions(), /* pre: */ true)?;
         let before = model.clone();
-        let result = self.apply_body(model, &before);
+        let result = self.apply_body_cloned(model, &before);
         if result.is_err() {
             *model = before;
         }
         result
     }
 
-    fn apply_body(&self, model: &mut Model, before: &Model) -> Result<ApplyReport, TransformError> {
+    fn check_conditions(
+        &self,
+        model: &Model,
+        conditions: Vec<String>,
+        pre: bool,
+    ) -> Result<(), TransformError> {
+        for condition in conditions {
+            let ctx = Context::for_model(model);
+            match evaluate_bool(&condition, &ctx) {
+                Ok(true) => {}
+                Ok(false) => {
+                    return Err(if pre {
+                        TransformError::PreconditionFailed {
+                            transformation: self.full_name(),
+                            condition,
+                        }
+                    } else {
+                        TransformError::PostconditionFailed {
+                            transformation: self.full_name(),
+                            condition,
+                        }
+                    })
+                }
+                Err(e) => return Err(TransformError::Condition { condition, source: e }),
+            }
+        }
+        Ok(())
+    }
+
+    /// Body + coloring + postcondition phase of the journaled engine.
+    /// Runs entirely inside the caller's journal segment; the caller
+    /// commits or rolls back.
+    fn apply_body_journaled(&self, model: &mut Model) -> Result<(), TransformError> {
+        self.gmt.transform(model, &self.params)?;
+        // Color created elements straight off the journal — no snapshot
+        // diff needed to know what the body created.
+        for id in model.journal_created() {
+            model.mark_concern(id, self.gmt.concern())?;
+        }
+        if let Err(violations) = model.validate() {
+            return Err(TransformError::WellFormedness(violations));
+        }
+        self.check_conditions(model, self.postconditions(), /* pre: */ false)
+    }
+
+    fn apply_body_cloned(
+        &self,
+        model: &mut Model,
+        before: &Model,
+    ) -> Result<ApplyReport, TransformError> {
         self.gmt.transform(model, &self.params)?;
         // Color created elements; compute the report.
         let mut report = ApplyReport::default();
@@ -277,19 +349,7 @@ impl ConcreteTransformation {
         if let Err(violations) = model.validate() {
             return Err(TransformError::WellFormedness(violations));
         }
-        for condition in self.postconditions() {
-            let ctx = Context::for_model(model);
-            match evaluate_bool(&condition, &ctx) {
-                Ok(true) => {}
-                Ok(false) => {
-                    return Err(TransformError::PostconditionFailed {
-                        transformation: self.full_name(),
-                        condition,
-                    })
-                }
-                Err(e) => return Err(TransformError::Condition { condition, source: e }),
-            }
-        }
+        self.check_conditions(model, self.postconditions(), /* pre: */ false)?;
         Ok(report)
     }
 }

@@ -1,0 +1,211 @@
+//! Differential tests for the two transformation engines:
+//! [`ConcreteTransformation::apply`] (journal rollback, journal-derived
+//! report) against [`ConcreteTransformation::apply_cloned`] (the
+//! retained clone-and-sweep oracle). For arbitrary bodies — including
+//! failing ones — both engines must produce the same outcome, the same
+//! report, and byte-for-byte the same final model.
+
+use comet_model::sample::banking_pim;
+use comet_model::{Model, Primitive};
+use comet_transform::{
+    specialize, ConcreteTransformation, ParamSet, TransformError, TransformationBuilder,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One interpreted body instruction. Indices select targets modulo the
+/// current class list, so every generated program is runnable.
+#[derive(Debug, Clone)]
+enum BodyOp {
+    AddClass(String),
+    AddOperation(u8, String),
+    AddAttribute(u8, String),
+    Stereotype(u8, String),
+    Rename(u8, String),
+    Remove(u8),
+}
+
+/// How the body/conditions should terminate.
+#[derive(Debug, Clone)]
+enum Outcome {
+    Succeed,
+    FailCustom,
+    FailPostcondition,
+    FailPrecondition,
+}
+
+fn arb_body_op() -> impl Strategy<Value = BodyOp> {
+    prop_oneof![
+        "[A-Z][a-z]{2,6}".prop_map(BodyOp::AddClass),
+        (any::<u8>(), "[a-z]{2,6}").prop_map(|(c, s)| BodyOp::AddOperation(c, s)),
+        (any::<u8>(), "[a-z]{2,6}").prop_map(|(c, s)| BodyOp::AddAttribute(c, s)),
+        (any::<u8>(), "[A-Z][a-z]{2,6}").prop_map(|(c, s)| BodyOp::Stereotype(c, s)),
+        (any::<u8>(), "[A-Z][a-z]{2,6}").prop_map(|(c, s)| BodyOp::Rename(c, s)),
+        any::<u8>().prop_map(BodyOp::Remove),
+    ]
+}
+
+fn arb_outcome() -> impl Strategy<Value = Outcome> {
+    prop_oneof![
+        Just(Outcome::Succeed),
+        Just(Outcome::Succeed),
+        Just(Outcome::Succeed),
+        Just(Outcome::FailCustom),
+        Just(Outcome::FailPostcondition),
+        Just(Outcome::FailPrecondition),
+    ]
+}
+
+fn run_body(model: &mut Model, ops: &[BodyOp]) -> Result<(), TransformError> {
+    for op in ops {
+        let classes = model.classes();
+        let pick = |idx: u8| {
+            if classes.is_empty() {
+                None
+            } else {
+                Some(classes[idx as usize % classes.len()])
+            }
+        };
+        match op {
+            BodyOp::AddClass(name) => {
+                let root = model.root();
+                let _ = model.add_class(root, name);
+            }
+            BodyOp::AddOperation(c, name) => {
+                if let Some(cl) = pick(*c) {
+                    let _ = model.add_operation(cl, name);
+                }
+            }
+            BodyOp::AddAttribute(c, name) => {
+                if let Some(cl) = pick(*c) {
+                    let _ = model.add_attribute(cl, name, Primitive::Int.into());
+                }
+            }
+            BodyOp::Stereotype(c, s) => {
+                if let Some(cl) = pick(*c) {
+                    model.apply_stereotype(cl, s)?;
+                }
+            }
+            BodyOp::Rename(c, s) => {
+                if let Some(cl) = pick(*c) {
+                    model.element_mut(cl)?.core_mut().name = s.clone();
+                }
+            }
+            BodyOp::Remove(c) => {
+                if let Some(cl) = pick(*c) {
+                    let _ = model.remove_element(cl)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn build_cmt(ops: Vec<BodyOp>, outcome: &Outcome) -> ConcreteTransformation {
+    let fail = matches!(outcome, Outcome::FailCustom);
+    let mut builder =
+        TransformationBuilder::new("prop-body", "prop-concern").body(move |model, _params| {
+            run_body(model, &ops)?;
+            if fail {
+                return Err(TransformError::Custom("injected body failure".into()));
+            }
+            Ok(())
+        });
+    match outcome {
+        Outcome::FailPostcondition => builder = builder.postcondition("false"),
+        Outcome::FailPrecondition => builder = builder.precondition("false"),
+        _ => {}
+    }
+    specialize(Arc::from(builder.build()), ParamSet::new()).expect("empty schema validates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn journaled_apply_equals_cloned_apply(
+        ops in prop::collection::vec(arb_body_op(), 0..20),
+        outcome in arb_outcome(),
+    ) {
+        let cmt = build_cmt(ops, &outcome);
+        let mut journaled = banking_pim();
+        let mut cloned = banking_pim();
+        let r1 = cmt.apply(&mut journaled);
+        let r2 = cmt.apply_cloned(&mut cloned);
+        match (&r1, &r2) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "reports diverged"),
+            (Err(_), Err(_)) => {
+                // Both failed: both models must equal the pristine input.
+                prop_assert_eq!(&journaled, &banking_pim(), "journal rollback left residue");
+            }
+            _ => prop_assert!(false, "engines disagreed: {:?} vs {:?}", r1, r2),
+        }
+        prop_assert_eq!(&journaled, &cloned, "final models diverged");
+        prop_assert!(!journaled.journal_active(), "apply leaked an open journal");
+    }
+}
+
+#[test]
+fn journaled_apply_reports_and_colors_like_the_oracle() {
+    let gmt = TransformationBuilder::new("mixed", "audit")
+        .body(|model, _| {
+            let root = model.root();
+            let created = model.add_class(root, "AuditLog")?;
+            model.add_operation(created, "append")?;
+            let bank = model.find_class("Bank").expect("bank exists");
+            model.apply_stereotype(bank, "Audited")?;
+            let customer = model.find_class("Customer").expect("customer exists");
+            model.remove_element(customer)?;
+            Ok(())
+        })
+        .build();
+    let cmt = specialize(gmt, ParamSet::new()).unwrap();
+    let mut a = banking_pim();
+    let mut b = banking_pim();
+    let ra = cmt.apply(&mut a).unwrap();
+    let rb = cmt.apply_cloned(&mut b).unwrap();
+    assert_eq!(ra, rb);
+    assert_eq!(a, b);
+    assert_eq!(ra.created.len(), 2, "class + operation created");
+    assert!(!ra.removed.is_empty(), "customer cascade recorded");
+    // Created elements are concern-colored in both engines.
+    let log = a.find_class("AuditLog").unwrap();
+    assert_eq!(a.concern_of(log), Some("audit"));
+}
+
+#[test]
+fn failed_apply_preserves_id_watermark() {
+    // After a rollback the next allocation must reuse the rolled-back
+    // ids — otherwise repeated failed attempts leak id space and the
+    // journal path would diverge from clone restore.
+    let failing = specialize(
+        TransformationBuilder::new("boom", "c")
+            .body(|model, _| {
+                let root = model.root();
+                model.add_class(root, "Doomed")?;
+                Err(TransformError::Custom("bang".into()))
+            })
+            .build(),
+        ParamSet::new(),
+    )
+    .unwrap();
+    let adding = specialize(
+        TransformationBuilder::new("add", "c")
+            .body(|model, _| {
+                let root = model.root();
+                model.add_class(root, "Kept")?;
+                Ok(())
+            })
+            .build(),
+        ParamSet::new(),
+    )
+    .unwrap();
+    let mut with_failure = banking_pim();
+    assert!(failing.apply(&mut with_failure).is_err());
+    let report_after_failure = adding.apply(&mut with_failure).unwrap();
+
+    let mut pristine = banking_pim();
+    let report_pristine = adding.apply(&mut pristine).unwrap();
+    assert_eq!(report_after_failure, report_pristine);
+    assert_eq!(with_failure, pristine);
+}

@@ -149,21 +149,30 @@ impl WorkflowEngine {
     }
 
     fn check(&self, concern: &str) -> Result<(), WorkflowError> {
+        self.check_with(concern, &[])
+    }
+
+    /// The constraint check, treating `staged` as applied on top of the
+    /// recorded state. Borrow-based so hypothetical sequences
+    /// ([`WorkflowEngine::validate_sequence`]) need no engine or model
+    /// clone.
+    fn check_with(&self, concern: &str, staged: &[&str]) -> Result<(), WorkflowError> {
+        let applied = |c: &str| self.is_applied(c) || staged.contains(&c);
         if !self.model.steps.iter().any(|s| s.concern == concern) {
             return Err(WorkflowError::NotPlanned(concern.to_owned()));
         }
-        if self.is_applied(concern) {
+        if applied(concern) {
             return Err(WorkflowError::AlreadyApplied(concern.to_owned()));
         }
         for c in &self.model.constraints {
             match c {
-                OrderConstraint::Before(a, b) if b == concern && !self.is_applied(a) => {
+                OrderConstraint::Before(a, b) if b == concern && !applied(a) => {
                     return Err(WorkflowError::ConstraintViolated {
                         concern: concern.to_owned(),
                         detail: format!("`{a}` must be applied before `{b}`"),
                     });
                 }
-                OrderConstraint::Requires(a, b) if a == concern && !self.is_applied(b) => {
+                OrderConstraint::Requires(a, b) if a == concern && !applied(b) => {
                     return Err(WorkflowError::ConstraintViolated {
                         concern: concern.to_owned(),
                         detail: format!("`{a}` requires `{b}`"),
@@ -178,7 +187,7 @@ impl WorkflowEngine {
                         None
                     };
                     if let Some(o) = other {
-                        if self.is_applied(o) {
+                        if applied(o) {
                             return Err(WorkflowError::ConstraintViolated {
                                 concern: concern.to_owned(),
                                 detail: format!("mutually exclusive with applied `{o}`"),
@@ -228,6 +237,20 @@ impl WorkflowEngine {
         Ok(())
     }
 
+    /// Compensates the most recent [`WorkflowEngine::record`]: pops the
+    /// last applied entry if (and only if) it is `concern`. Returns
+    /// whether anything was undone. Used by the MDA lifecycle to unwind
+    /// the workflow when a later stage of an atomic refinement step
+    /// fails.
+    pub fn unrecord(&mut self, concern: &str) -> bool {
+        if self.applied.last().map(String::as_str) == Some(concern) {
+            self.applied.pop();
+            true
+        } else {
+            false
+        }
+    }
+
     /// Records a concrete transformation by its concern — the convenience
     /// used by the MDA lifecycle.
     ///
@@ -241,14 +264,17 @@ impl WorkflowEngine {
     }
 
     /// Checks a whole sequence against the plan without mutating state.
+    /// Allocation-light: the hypothetical steps are tracked as borrows
+    /// on top of the live state instead of cloning the whole model and
+    /// applied list per call.
     ///
     /// # Errors
     /// Reports the first violating step.
     pub fn validate_sequence(&self, sequence: &[&str]) -> Result<(), WorkflowError> {
-        let mut scratch = WorkflowEngine::new(self.model.clone());
-        scratch.applied = self.applied.clone();
+        let mut staged: Vec<&str> = Vec::with_capacity(sequence.len());
         for c in sequence {
-            scratch.record(c)?;
+            self.check_with(c, &staged)?;
+            staged.push(c);
         }
         Ok(())
     }
