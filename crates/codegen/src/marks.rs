@@ -54,6 +54,24 @@ pub const TAG_PERSIST_STORE: &str = "comet.persist.store";
 /// reloading the object from the store.
 pub const PERSIST_RELOAD_OP: &str = "reload";
 
+/// Stereotype marking an operation as safely retryable (idempotent per
+/// the fault-tolerance parameter set).
+pub const STEREO_RETRYABLE: &str = "Retryable";
+/// Stereotype marking an operation with a completion deadline.
+pub const STEREO_DEADLINE: &str = "Deadline";
+/// Stereotype marking an operation as guarded by a circuit breaker.
+pub const STEREO_BREAKER: &str = "Breaker";
+/// Tag: maximum retry attempts (including the first call).
+pub const TAG_FT_MAX_ATTEMPTS: &str = "comet.ft.max_attempts";
+/// Tag: base exponential-backoff delay in sim-µs.
+pub const TAG_FT_BACKOFF_US: &str = "comet.ft.backoff_us";
+/// Tag: completion deadline in sim-µs (0 = none).
+pub const TAG_FT_DEADLINE_US: &str = "comet.ft.deadline_us";
+/// Tag: consecutive failures before the breaker opens.
+pub const TAG_FT_BREAKER_THRESHOLD: &str = "comet.ft.breaker_threshold";
+/// Tag: sim-µs an open breaker waits before a half-open probe.
+pub const TAG_FT_BREAKER_COOLDOWN_US: &str = "comet.ft.breaker_cooldown_us";
+
 /// Every stereotype of the concern vocabulary. The functional code
 /// generator strips these (plus all `comet.*` tags) so the functional
 /// artifact is independent of concern parameters — the incrementality
@@ -65,6 +83,9 @@ pub const CONCERN_STEREOTYPES: &[&str] = &[
     STEREO_LOGGED,
     STEREO_SYNCHRONIZED,
     STEREO_PERSISTENT,
+    STEREO_RETRYABLE,
+    STEREO_DEADLINE,
+    STEREO_BREAKER,
 ];
 
 /// True for tagged-value keys owned by the concern vocabulary.
@@ -108,6 +129,21 @@ pub mod intrinsics {
     pub const STORE_SAVE: &str = "store.save";
     /// Load a snapshot into `this`. Args: key (Str). Returns Bool found.
     pub const STORE_LOAD: &str = "store.load";
+    /// Current sim time in µs. Returns Int.
+    pub const FT_NOW_US: &str = "ft.now_us";
+    /// Exponential-backoff sleep advancing the sim clock. Args: attempt
+    /// (Int, 1-based), base delay (Int, sim-µs). Returns µs slept (Int).
+    pub const FT_BACKOFF: &str = "ft.backoff";
+    /// Circuit-breaker admission check; throws a typed circuit-open
+    /// error on rejection. Args: callee (Str).
+    pub const FT_BREAKER_ALLOW: &str = "ft.breaker.allow";
+    /// Record a call outcome on the callee's breaker. Args: callee
+    /// (Str), ok (Bool), threshold (Int), cooldown µs (Int).
+    pub const FT_BREAKER_RECORD: &str = "ft.breaker.record";
+    /// Deadline check; throws a typed deadline error once elapsed time
+    /// reaches the limit. Args: callee (Str), start µs (Int), deadline
+    /// µs (Int, 0 = disabled).
+    pub const FT_DEADLINE_CHECK: &str = "ft.deadline.check";
     /// Enter a cflow context (weaver-internal). Args: key (Str).
     pub const CFLOW_ENTER: &str = "cflow.enter";
     /// Exit a cflow context (weaver-internal). Args: key (Str).

@@ -1,0 +1,350 @@
+//! Concern **C7: fault tolerance** — the canonical "missing member" of
+//! the paper's middleware-service family (§1 lists communication,
+//! distribution, concurrency, security, transactions; Kienzle &
+//! Guerraoui's semantic-coupling argument says fault handling cannot be
+//! a *generic* aspect without application knowledge). Here that
+//! knowledge lives in `Si`:
+//!
+//! * `Si` slots: `methods` (the `Class.method` operations to guard),
+//!   `idempotent` (the subset that may be *retried* — retrying a
+//!   non-idempotent operation would duplicate its effect, so only the
+//!   application can grant this), `max_attempts`, `backoff_us`,
+//!   `deadline_us` (0 disables), `breaker_threshold`,
+//!   `breaker_cooldown_us`.
+//! * CMT_ft: marks every guarded operation «Breaker» (+ threshold and
+//!   cooldown tags), the idempotent ones «Retryable» (+ attempts and
+//!   backoff tags), and — when a deadline is configured — «Deadline»
+//!   (+ the deadline tag).
+//! * CA_ft: one `around` advice per guarded operation implementing, in
+//!   order: circuit-breaker admission (typed circuit-open error when
+//!   open), `proceed` under try, breaker bookkeeping, bounded retry
+//!   with exponential backoff + deterministic jitter (sim clock only),
+//!   and deadline enforcement against the retry budget.
+
+use crate::util::{
+    method_exists_ocl, method_stereotyped_ocl, pc_err, resolve_method, split_method,
+};
+use comet_aop::{parse_pointcut, Advice, AdviceKind};
+use comet_aspectgen::{AspectBuilder, AspectGenError, ConcernPair};
+use comet_codegen::marks::{
+    intrinsics, STEREO_BREAKER, STEREO_DEADLINE, STEREO_RETRYABLE, TAG_FT_BACKOFF_US,
+    TAG_FT_BREAKER_COOLDOWN_US, TAG_FT_BREAKER_THRESHOLD, TAG_FT_DEADLINE_US, TAG_FT_MAX_ATTEMPTS,
+};
+use comet_codegen::{Block, Expr, IrBinOp, IrType, Stmt};
+use comet_transform::{ParamSchema, ParamSet, TransformError, TransformationBuilder};
+
+/// The concern name.
+pub const CONCERN: &str = "faulttolerance";
+
+fn schema() -> ParamSchema {
+    ParamSchema::new()
+        .str_list("methods", true)
+        .str_list("idempotent", false)
+        .integer("max_attempts", 3)
+        .integer("backoff_us", 100)
+        .integer("deadline_us", 0)
+        .integer("breaker_threshold", 3)
+        .integer("breaker_cooldown_us", 10_000)
+}
+
+/// Builds the fault-tolerance [`ConcernPair`].
+pub fn pair() -> ConcernPair {
+    let gmt = TransformationBuilder::new("faulttolerance", CONCERN)
+        .schema(schema())
+        .preconditions_fn(|params: &ParamSet| {
+            params
+                .str_list("methods")
+                .map(|ms| {
+                    ms.iter()
+                        .filter_map(|m| split_method(m).ok())
+                        .map(|(c, m)| method_exists_ocl(c, m))
+                        .collect()
+                })
+                .unwrap_or_default()
+        })
+        .postconditions_fn(|params: &ParamSet| {
+            params
+                .str_list("methods")
+                .map(|ms| {
+                    ms.iter()
+                        .filter_map(|m| split_method(m).ok())
+                        .map(|(c, m)| method_stereotyped_ocl(c, m, STEREO_BREAKER))
+                        .collect()
+                })
+                .unwrap_or_default()
+        })
+        .body(|model, params| {
+            let methods = params.str_list("methods")?.to_vec();
+            let idempotent = params.str_list("idempotent")?.to_vec();
+            if let Some(orphan) = idempotent.iter().find(|m| !methods.contains(m)) {
+                return Err(TransformError::Custom(format!(
+                    "idempotent entry `{orphan}` is not in `methods`"
+                )));
+            }
+            let max_attempts = params.int("max_attempts")?;
+            let backoff_us = params.int("backoff_us")?;
+            let deadline_us = params.int("deadline_us")?;
+            let threshold = params.int("breaker_threshold")?;
+            let cooldown_us = params.int("breaker_cooldown_us")?;
+            for entry in &methods {
+                let (_, op) = resolve_method(model, entry)?;
+                model.apply_stereotype(op, STEREO_BREAKER)?;
+                model.set_tag(op, TAG_FT_BREAKER_THRESHOLD, threshold)?;
+                model.set_tag(op, TAG_FT_BREAKER_COOLDOWN_US, cooldown_us)?;
+                if idempotent.contains(entry) {
+                    model.apply_stereotype(op, STEREO_RETRYABLE)?;
+                    model.set_tag(op, TAG_FT_MAX_ATTEMPTS, max_attempts)?;
+                    model.set_tag(op, TAG_FT_BACKOFF_US, backoff_us)?;
+                }
+                if deadline_us > 0 {
+                    model.apply_stereotype(op, STEREO_DEADLINE)?;
+                    model.set_tag(op, TAG_FT_DEADLINE_US, deadline_us)?;
+                }
+            }
+            Ok(())
+        })
+        .build();
+
+    let ga = AspectBuilder::new("faulttolerance-aspect", CONCERN)
+        .schema(schema())
+        .advice_fn(|params| {
+            let methods = params.str_list("methods")?.to_vec();
+            let idempotent = params.str_list("idempotent")?.to_vec();
+            let max_attempts = params.int("max_attempts")?.max(1);
+            let backoff_us = params.int("backoff_us")?.max(0);
+            let deadline_us = params.int("deadline_us")?.max(0);
+            let threshold = params.int("breaker_threshold")?.max(0);
+            let cooldown_us = params.int("breaker_cooldown_us")?.max(0);
+            let mut advices = Vec::new();
+            for entry in &methods {
+                let (class, method) = split_method(entry).map_err(AspectGenError::Custom)?;
+                let pc = parse_pointcut(&format!("execution({class}.{method})")).map_err(pc_err)?;
+                let cfg = GuardConfig {
+                    callee: format!("{class}.{method}"),
+                    // Only Si-granted idempotent operations retry; the
+                    // rest fail on the first error (breaker and deadline
+                    // still apply).
+                    max_attempts: if idempotent.contains(entry) { max_attempts } else { 1 },
+                    backoff_us,
+                    deadline_us,
+                    threshold,
+                    cooldown_us,
+                };
+                advices.push(Advice::new(AdviceKind::Around, pc, around_body(&cfg)));
+            }
+            Ok(advices)
+        })
+        .build();
+
+    ConcernPair::new(gmt, ga)
+}
+
+struct GuardConfig {
+    callee: String,
+    max_attempts: i64,
+    backoff_us: i64,
+    deadline_us: i64,
+    threshold: i64,
+    cooldown_us: i64,
+}
+
+/// The around-advice template; `proceed()` is substituted by the weaver.
+///
+/// ```text
+/// __ft_start = ft.now_us(); __ft_attempt = 0
+/// while (true) {
+///     __ft_attempt += 1
+///     ft.breaker.allow(callee)            // throws typed circuit-open
+///     try {
+///         __r = proceed()
+///         ft.breaker.record(callee, true, ...)
+///         return __r
+///     } catch (__e) {
+///         ft.breaker.record(callee, false, ...)
+///         if (__ft_attempt >= max_attempts) throw __e
+///         ft.deadline.check(callee, __ft_start, deadline)  // typed
+///         ft.backoff(__ft_attempt, base)  // advances the sim clock
+///     }
+/// }
+/// ```
+fn around_body(cfg: &GuardConfig) -> Block {
+    let callee = Expr::str(cfg.callee.as_str());
+    let record = |ok: bool| {
+        Stmt::Expr(Expr::intrinsic(
+            intrinsics::FT_BREAKER_RECORD,
+            vec![
+                callee.clone(),
+                Expr::bool(ok),
+                Expr::int(cfg.threshold),
+                Expr::int(cfg.cooldown_us),
+            ],
+        ))
+    };
+    Block::of(vec![
+        Stmt::local("__ft_start", IrType::Int, Expr::intrinsic(intrinsics::FT_NOW_US, vec![])),
+        Stmt::local("__ft_attempt", IrType::Int, Expr::int(0)),
+        Stmt::While {
+            cond: Expr::bool(true),
+            body: Block::of(vec![
+                Stmt::set_var(
+                    "__ft_attempt",
+                    Expr::binary(IrBinOp::Add, Expr::var("__ft_attempt"), Expr::int(1)),
+                ),
+                // Fail fast while the breaker is open: the typed
+                // circuit-open error propagates out of the advice
+                // without consuming a retry attempt.
+                Stmt::Expr(Expr::intrinsic(intrinsics::FT_BREAKER_ALLOW, vec![callee.clone()])),
+                Stmt::TryCatch {
+                    body: Block::of(vec![
+                        Stmt::Local {
+                            name: "__r".into(),
+                            ty: IrType::Str,
+                            init: Some(Expr::Proceed(vec![])),
+                        },
+                        record(true),
+                        Stmt::ret(Expr::var("__r")),
+                    ]),
+                    var: "__e".into(),
+                    handler: Block::of(vec![
+                        record(false),
+                        Stmt::If {
+                            cond: Expr::binary(
+                                IrBinOp::Ge,
+                                Expr::var("__ft_attempt"),
+                                Expr::int(cfg.max_attempts),
+                            ),
+                            then_block: Block::of(vec![Stmt::Throw(Expr::var("__e"))]),
+                            else_block: None,
+                        },
+                        Stmt::Expr(Expr::intrinsic(
+                            intrinsics::FT_DEADLINE_CHECK,
+                            vec![
+                                callee.clone(),
+                                Expr::var("__ft_start"),
+                                Expr::int(cfg.deadline_us),
+                            ],
+                        )),
+                        Stmt::Expr(Expr::intrinsic(
+                            intrinsics::FT_BACKOFF,
+                            vec![Expr::var("__ft_attempt"), Expr::int(cfg.backoff_us)],
+                        )),
+                    ]),
+                    finally: None,
+                },
+            ]),
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_model::sample::banking_pim;
+    use comet_transform::ParamValue;
+
+    fn si() -> ParamSet {
+        ParamSet::new()
+            .with("methods", ParamValue::from(vec!["Bank.transfer".to_owned()]))
+            .with("idempotent", ParamValue::from(vec!["Bank.transfer".to_owned()]))
+            .with("deadline_us", ParamValue::Int(50_000))
+    }
+
+    #[test]
+    fn cmt_marks_operations_with_all_three_stereotypes() {
+        let (cmt, _) = pair().specialize(si()).unwrap();
+        let mut m = banking_pim();
+        cmt.apply(&mut m).unwrap();
+        let bank = m.find_class("Bank").unwrap();
+        let transfer = m.find_operation(bank, "transfer").unwrap();
+        for s in [STEREO_BREAKER, STEREO_RETRYABLE, STEREO_DEADLINE] {
+            assert!(m.has_stereotype(transfer, s).unwrap(), "missing {s}");
+        }
+        let core = m.element(transfer).unwrap().core();
+        assert_eq!(core.tag(TAG_FT_MAX_ATTEMPTS).unwrap().as_int(), Some(3));
+        assert_eq!(core.tag(TAG_FT_BACKOFF_US).unwrap().as_int(), Some(100));
+        assert_eq!(core.tag(TAG_FT_DEADLINE_US).unwrap().as_int(), Some(50_000));
+        assert_eq!(core.tag(TAG_FT_BREAKER_THRESHOLD).unwrap().as_int(), Some(3));
+        assert_eq!(core.tag(TAG_FT_BREAKER_COOLDOWN_US).unwrap().as_int(), Some(10_000));
+    }
+
+    #[test]
+    fn non_idempotent_methods_are_not_retryable() {
+        let si =
+            ParamSet::new().with("methods", ParamValue::from(vec!["Bank.transfer".to_owned()]));
+        let (cmt, _) = pair().specialize(si).unwrap();
+        let mut m = banking_pim();
+        cmt.apply(&mut m).unwrap();
+        let bank = m.find_class("Bank").unwrap();
+        let transfer = m.find_operation(bank, "transfer").unwrap();
+        assert!(m.has_stereotype(transfer, STEREO_BREAKER).unwrap());
+        assert!(!m.has_stereotype(transfer, STEREO_RETRYABLE).unwrap());
+        assert!(!m.has_stereotype(transfer, STEREO_DEADLINE).unwrap(), "deadline_us defaults to 0");
+    }
+
+    #[test]
+    fn idempotent_must_be_subset_of_methods() {
+        let si = ParamSet::new()
+            .with("methods", ParamValue::from(vec!["Bank.transfer".to_owned()]))
+            .with("idempotent", ParamValue::from(vec!["Bank.getBalance".to_owned()]));
+        let (cmt, _) = pair().specialize(si).unwrap();
+        let mut m = banking_pim();
+        let err = cmt.apply(&mut m).unwrap_err();
+        assert!(err.to_string().contains("not in `methods`"), "got: {err}");
+    }
+
+    #[test]
+    fn precondition_rejects_unknown_method() {
+        let si = ParamSet::new().with("methods", ParamValue::from(vec!["Bank.launder".to_owned()]));
+        let (cmt, _) = pair().specialize(si).unwrap();
+        let mut m = banking_pim();
+        assert!(cmt.apply(&mut m).is_err());
+    }
+
+    #[test]
+    fn ca_contains_around_advice_per_method() {
+        let si = ParamSet::new().with(
+            "methods",
+            ParamValue::from(vec!["Bank.transfer".to_owned(), "Bank.getBalance".to_owned()]),
+        );
+        let (_, ca) = pair().specialize(si).unwrap();
+        assert_eq!(ca.advices.len(), 2);
+        assert!(ca.advices.iter().all(|a| a.kind == AdviceKind::Around));
+        assert!(ca.name.starts_with("faulttolerance-aspect<"));
+    }
+
+    #[test]
+    fn advice_retry_loop_shape() {
+        let cfg = GuardConfig {
+            callee: "Bank.transfer".into(),
+            max_attempts: 3,
+            backoff_us: 100,
+            deadline_us: 0,
+            threshold: 3,
+            cooldown_us: 1000,
+        };
+        let body = around_body(&cfg);
+        assert!(matches!(body.stmts[2], Stmt::While { .. }));
+        // Exactly one proceed in the template (inside the try).
+        fn count_proceeds(b: &Block) -> usize {
+            fn in_expr(e: &Expr) -> usize {
+                match e {
+                    Expr::Proceed(_) => 1,
+                    _ => 0,
+                }
+            }
+            b.stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::While { body, .. } => count_proceeds(body),
+                    Stmt::TryCatch { body, handler, .. } => {
+                        count_proceeds(body) + count_proceeds(handler)
+                    }
+                    Stmt::Local { init: Some(e), .. } => in_expr(e),
+                    Stmt::Expr(e) => in_expr(e),
+                    _ => 0,
+                })
+                .sum()
+        }
+        assert_eq!(count_proceeds(&body), 1);
+    }
+}

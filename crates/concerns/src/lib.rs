@@ -45,6 +45,7 @@
 
 pub mod concurrency;
 pub mod distribution;
+pub mod faulttolerance;
 pub mod logging;
 pub mod persistence;
 pub mod security;
@@ -64,12 +65,25 @@ pub fn standard_pairs() -> Vec<ConcernPair> {
         logging::pair(),
         concurrency::pair(),
         persistence::pair(),
+        faulttolerance::pair(),
     ]
 }
 
-/// Looks a standard concern up by name.
+/// Looks a standard concern up by name. Matches on the name first and
+/// constructs only the requested pair (building a pair allocates its
+/// schema, conditions and advice templates, so constructing all seven
+/// per lookup was pure waste).
 pub fn by_name(name: &str) -> Option<ConcernPair> {
-    standard_pairs().into_iter().find(|p| p.concern() == name)
+    match name {
+        distribution::CONCERN => Some(distribution::pair()),
+        transactions::CONCERN => Some(transactions::pair()),
+        security::CONCERN => Some(security::pair()),
+        logging::CONCERN => Some(logging::pair()),
+        concurrency::CONCERN => Some(concurrency::pair()),
+        persistence::CONCERN => Some(persistence::pair()),
+        faulttolerance::CONCERN => Some(faulttolerance::pair()),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -77,7 +91,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn standard_library_has_six_concerns() {
+    fn standard_library_has_seven_concerns() {
         let names: Vec<String> = standard_pairs().iter().map(|p| p.concern().to_owned()).collect();
         assert_eq!(
             names,
@@ -87,7 +101,8 @@ mod tests {
                 "security",
                 "logging",
                 "concurrency",
-                "persistence"
+                "persistence",
+                "faulttolerance"
             ]
         );
     }
@@ -95,7 +110,16 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         assert!(by_name("security").is_some());
+        assert!(by_name("faulttolerance").is_some());
         assert!(by_name("astrology").is_none());
+    }
+
+    #[test]
+    fn by_name_agrees_with_standard_pairs() {
+        for p in standard_pairs() {
+            let looked_up = by_name(p.concern()).expect("every standard pair is addressable");
+            assert_eq!(looked_up.concern(), p.concern());
+        }
     }
 
     #[test]

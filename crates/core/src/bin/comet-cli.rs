@@ -9,7 +9,8 @@
 //! comet-cli concerns                          list concern pairs + parameters
 //! comet-cli apply <model.xmi> <concern> k=v... [-o out.xmi] [--aspect-out f.aj] [--dry-run]
 //! comet-cli weave <model.xmi> <concern> k=v... [--threads N]
-//! comet-cli pipeline [--threads N]            full Fig. 2 banking pipeline
+//! comet-cli pipeline [--threads N] [--faults plan.toml] [--seed N]
+//! comet-cli run [--faults plan.toml] [--seed N] [--order O] [--transfers N]
 //! ```
 //!
 //! Parameters are `key=value`; list-valued parameters take
@@ -17,11 +18,22 @@
 //! `--threads N` pins the weaver's worker-thread count (default: all
 //! cores). `apply --dry-run` previews the refinement report and then
 //! unwinds it via the change journal — no file is touched.
+//!
+//! `run` executes the chaos harness: the banking system woven with
+//! {distribution, transactions, faulttolerance}, driven under the fault
+//! plan (omit `--faults` for a fault-free run). It prints the fault log
+//! and degradation summary and exits non-zero if the run degraded
+//! ungracefully (hard error or a partial transfer observed). `--order`
+//! is `ft-outside-tx` (default) or `tx-outside-ft` — the §3 precedence
+//! choice. `--seed N` overrides the plan's seed. `pipeline --faults`
+//! appends the same chaos run after the Fig. 2 demo.
 
+use comet::chaos::{run_banking_chaos, ChaosConfig, FtOrder};
 use comet::{MdaLifecycle, Wizard};
 use comet_aop::Weaver;
 use comet_aspectgen::{AspectBackend, AspectJBackend};
 use comet_codegen::{BodyProvider, FunctionalGenerator};
+use comet_middleware::FaultPlan;
 use comet_model::sample::banking_pim;
 use comet_repo::ColorReport;
 use comet_transform::{ParamSet, ParamValue};
@@ -39,6 +51,7 @@ fn main() -> ExitCode {
         Some("apply") => cmd_apply(&args[1..]),
         Some("weave") => cmd_weave(&args[1..]),
         Some("pipeline") => cmd_pipeline(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -61,7 +74,9 @@ fn print_usage() {
          comet-cli concerns\n  comet-cli apply <model.xmi> <concern> [k=v ...] \
          [-o out.xmi] [--aspect-out out.aj] [--dry-run]\n  \
          comet-cli weave <model.xmi> <concern> [k=v ...] [--threads N]\n  \
-         comet-cli pipeline [--threads N]"
+         comet-cli pipeline [--threads N] [--faults plan.toml] [--seed N]\n  \
+         comet-cli run [--faults plan.toml] [--seed N] \
+         [--order ft-outside-tx|tx-outside-ft] [--transfers N]"
     );
 }
 
@@ -290,10 +305,108 @@ fn cmd_weave(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Extracts `--faults <plan.toml>` and `--seed <N>` from `args`,
+/// returning the remaining arguments and the resulting plan: the parsed
+/// plan file (re-seeded when `--seed` is given), an inert seeded plan
+/// for `--seed` alone, `None` when neither flag is present.
+fn parse_faults(args: &[String]) -> Result<(Vec<String>, Option<FaultPlan>), String> {
+    let mut rest = Vec::new();
+    let mut plan_path: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--faults" => {
+                plan_path = Some(args.get(i + 1).ok_or("--faults needs a path")?.clone());
+                i += 2;
+            }
+            "--seed" => {
+                let n = args.get(i + 1).ok_or("--seed needs a number")?;
+                seed = Some(n.parse().map_err(|_| format!("--seed: `{n}` is not a number"))?);
+                i += 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    let plan = match plan_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            let mut plan = FaultPlan::parse_toml(&text).map_err(|e| format!("{path}: {e}"))?;
+            if let Some(s) = seed {
+                plan.seed = s;
+            }
+            Some(plan)
+        }
+        None => seed.map(FaultPlan::new),
+    };
+    Ok((rest, plan))
+}
+
+/// Runs the chaos harness and prints the report; `Err` when the run
+/// violated the graceful-degradation contract.
+fn run_chaos(
+    plan: Option<FaultPlan>,
+    order: FtOrder,
+    transfers: Option<u32>,
+) -> Result<(), String> {
+    let mut cfg = ChaosConfig { order, ..ChaosConfig::default() };
+    if let Some(plan) = plan {
+        cfg.seed = plan.seed;
+        cfg.plan = plan;
+    }
+    if let Some(n) = transfers {
+        cfg.transfers = n;
+    }
+    let report = run_banking_chaos(&cfg).map_err(|e| e.to_string())?;
+    print!("{report}");
+    if report.degraded_gracefully() {
+        Ok(())
+    } else {
+        Err("chaos run degraded ungracefully (see report above)".into())
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (rest, plan) = parse_faults(args)?;
+    let mut order = FtOrder::FtOutsideTx;
+    let mut transfers: Option<u32> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--order" => {
+                order = match rest.get(i + 1).map(String::as_str) {
+                    Some("ft-outside-tx") => FtOrder::FtOutsideTx,
+                    Some("tx-outside-ft") => FtOrder::TxOutsideFt,
+                    other => {
+                        return Err(format!(
+                            "--order must be `ft-outside-tx` or `tx-outside-ft`, got {other:?}"
+                        ))
+                    }
+                };
+                i += 2;
+            }
+            "--transfers" => {
+                let n = rest.get(i + 1).ok_or("--transfers needs a count")?;
+                transfers =
+                    Some(n.parse().map_err(|_| format!("--transfers: `{n}` is not a number"))?);
+                i += 2;
+            }
+            other => return Err(format!("run: unexpected argument `{other}`")),
+        }
+    }
+    run_chaos(plan, order, transfers)
+}
+
 fn cmd_pipeline(args: &[String]) -> Result<(), String> {
-    let (rest, threads) = parse_threads(args)?;
+    let (rest, plan) = parse_faults(args)?;
+    let (rest, threads) = parse_threads(&rest)?;
     if !rest.is_empty() {
-        return Err("usage: comet-cli pipeline [--threads N]".into());
+        return Err(
+            "usage: comet-cli pipeline [--threads N] [--faults plan.toml] [--seed N]".into()
+        );
     }
     // The paper's Fig. 2 demo: distribution, transactions, security
     // refined onto the sample banking PIM, then code generation +
@@ -343,5 +456,9 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
         system.weave_trace.len()
     );
     print!("{}", mda.colors());
+    if plan.is_some() {
+        println!("--- chaos run ---");
+        run_chaos(plan, FtOrder::FtOutsideTx, None)?;
+    }
     Ok(())
 }

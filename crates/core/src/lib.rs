@@ -47,10 +47,12 @@
 //! # }
 //! ```
 
+pub mod chaos;
 mod lifecycle;
 mod shipping;
 mod wizard;
 
+pub use chaos::{run_banking_chaos, ChaosConfig, ChaosReport, FtOrder};
 pub use lifecycle::{AppliedConcern, GeneratedSystem, LifecycleError, MdaLifecycle};
 pub use shipping::{ShippedPackage, ShippedStep, ShippingStrategy};
 pub use wizard::{Question, QuestionKind, Wizard};

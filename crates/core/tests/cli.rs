@@ -100,6 +100,93 @@ fn concerns_lists_the_standard_library() {
 }
 
 #[test]
+fn run_fault_free_reports_all_successes() {
+    let out = cli().args(["run", "--seed", "9", "--transfers", "6"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("chaos run: 6/6 transfers succeeded"), "{stdout}");
+    assert!(stdout.contains("(sum 1050)"), "{stdout}");
+    assert!(stdout.contains("fault log (0 record(s))"), "{stdout}");
+}
+
+#[test]
+fn run_with_plan_prints_fault_log_and_degradation_summary() {
+    let plan = temp_path("plan.toml");
+    std::fs::write(&plan, "seed = 7\n\n[schedule]\n\"tx.commit@1\" = \"transient\"\n").unwrap();
+
+    // FT outside tx (default order): the faulted commit is retried and
+    // every transfer still succeeds; the run is graceful → exit 0.
+    let out = cli()
+        .args(["run", "--faults", plan.to_str().unwrap(), "--transfers", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("chaos run: 4/4 transfers succeeded"), "{stdout}");
+    assert!(stdout.contains("5 begun, 4 committed, 1 rolled back"), "{stdout}");
+    assert!(stdout.contains("inject tx.commit: transient"), "{stdout}");
+
+    // The opposite order must not retry the failed commit.
+    let out = cli()
+        .args([
+            "run",
+            "--faults",
+            plan.to_str().unwrap(),
+            "--order",
+            "tx-outside-ft",
+            "--transfers",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("chaos run: 3/4 transfers succeeded"), "{stdout}");
+    assert!(stdout.contains("typed: call 0: transaction aborted"), "{stdout}");
+
+    // --seed overrides the plan seed; identical seeds reproduce the run.
+    let a =
+        cli().args(["run", "--faults", plan.to_str().unwrap(), "--seed", "123"]).output().unwrap();
+    let b =
+        cli().args(["run", "--faults", plan.to_str().unwrap(), "--seed", "123"]).output().unwrap();
+    assert!(a.status.success());
+    assert_eq!(a.stdout, b.stdout, "same seed must reproduce the identical report");
+
+    let _ = std::fs::remove_file(plan);
+}
+
+#[test]
+fn pipeline_with_faults_appends_chaos_run() {
+    let plan = temp_path("pipeline-plan.toml");
+    std::fs::write(&plan, "seed = 5\n\n[latency]\nprobability = 1.0\nspike_us = 3000\n").unwrap();
+    let out = cli().args(["pipeline", "--faults", plan.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("generated"), "{stdout}");
+    assert!(stdout.contains("--- chaos run ---"), "{stdout}");
+    assert!(stdout.contains("inject bus.send: latency 3000"), "{stdout}");
+    assert!(stdout.contains("12/12 transfers succeeded"), "{stdout}");
+    let _ = std::fs::remove_file(plan);
+}
+
+#[test]
+fn run_rejects_bad_fault_arguments() {
+    let out = cli().args(["run", "--faults", "/nonexistent/plan.toml"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let plan = temp_path("bad-plan.toml");
+    std::fs::write(&plan, "[probabilities]\n\"fs.read\" = 0.5\n").unwrap();
+    let out = cli().args(["run", "--faults", plan.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown operation"));
+    let _ = std::fs::remove_file(plan);
+
+    let out = cli().args(["run", "--order", "sideways"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--order"));
+}
+
+#[test]
 fn errors_are_reported_with_nonzero_exit() {
     // Unknown command.
     let out = cli().arg("frobnicate").output().unwrap();

@@ -6,14 +6,15 @@
 //! Failure points exercised:
 //! * the transformation (pre-body: workflow constraint; in-body:
 //!   postcondition / custom error),
-//! * the repository commit (post-body — the failing-repository double
-//!   via `Repository::inject_commit_failure`),
-//! * the repository undo (`Repository::inject_undo_failure`), and
+//! * the repository commit (post-body — the failing-repository double,
+//!   armed through the unified `FaultHook` trait at `repo.commit`),
+//! * the repository undo (`FaultHook` point `repo.undo`), and
 //! * workflow replay during undo (a constraint-violating workflow
 //!   double built from a `MutuallyExclusive` plan).
 
 use comet::{LifecycleError, MdaLifecycle};
 use comet_concerns::{distribution, security, transactions};
+use comet_middleware::FaultHook;
 use comet_model::sample::banking_pim;
 use comet_transform::{ParamSet, ParamValue};
 use comet_workflow::WorkflowModel;
@@ -61,7 +62,7 @@ fn repo_commit_failure_unwinds_model_and_workflow() {
     mda.apply_concern(&distribution::pair(), dist_si()).unwrap();
     let before = mda.model().clone();
 
-    mda.repository_mut().inject_commit_failure();
+    mda.repository_mut().arm_fault(comet_repo::FAULT_POINT_COMMIT).unwrap();
     let err = mda.apply_concern(&transactions::pair(), tx_si()).unwrap_err();
     assert!(matches!(err, LifecycleError::Repo(_)), "unexpected error: {err}");
 
@@ -117,7 +118,7 @@ fn undo_failure_keeps_the_step_record() {
     mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
     let before = mda.model().clone();
 
-    mda.repository_mut().inject_undo_failure();
+    mda.repository_mut().arm_fault(comet_repo::FAULT_POINT_UNDO).unwrap();
     let err = mda.undo_last().unwrap_err();
     assert!(matches!(err, LifecycleError::Repo(_)), "unexpected error: {err}");
 
@@ -160,7 +161,8 @@ fn interleaved_faults_never_desync() {
     // A small soak: walk the full three-concern pipeline injecting a
     // commit failure before every step and an undo failure before every
     // undo, checking the invariant after every operation.
-    let steps: [(&str, fn() -> ParamSet); 3] =
+    type SiFn = fn() -> ParamSet;
+    let steps: [(&str, SiFn); 3] =
         [("distribution", dist_si), ("transactions", tx_si), ("security", sec_si)];
     let mut mda = MdaLifecycle::new(banking_pim(), fig2_workflow()).unwrap();
     for (name, si) in steps {
@@ -169,7 +171,7 @@ fn interleaved_faults_never_desync() {
             "transactions" => transactions::pair(),
             _ => security::pair(),
         };
-        mda.repository_mut().inject_commit_failure();
+        mda.repository_mut().arm_fault(comet_repo::FAULT_POINT_COMMIT).unwrap();
         assert!(mda.apply_concern(&pair, si()).is_err());
         assert_consistent(&mda);
         mda.apply_concern(&pair, si()).unwrap();
@@ -177,7 +179,7 @@ fn interleaved_faults_never_desync() {
     }
     assert_eq!(mda.applied().len(), 3);
     while !mda.applied().is_empty() {
-        mda.repository_mut().inject_undo_failure();
+        mda.repository_mut().arm_fault(comet_repo::FAULT_POINT_UNDO).unwrap();
         assert!(mda.undo_last().is_err());
         assert_consistent(&mda);
         mda.undo_last().unwrap();

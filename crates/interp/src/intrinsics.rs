@@ -16,6 +16,13 @@ fn want_str(args: &[Value], idx: usize, what: &str) -> Result<String, InterpErro
     })
 }
 
+fn want_int(args: &[Value], idx: usize, what: &str) -> Result<i64, InterpError> {
+    match args.get(idx) {
+        Some(Value::Int(n)) => Ok(*n),
+        _ => Err(InterpError::IntrinsicArgs(format!("{what}: argument {idx} must be an int"))),
+    }
+}
+
 impl Interp {
     /// Dispatches one intrinsic call.
     ///
@@ -77,14 +84,23 @@ impl Interp {
                         self.middleware_mut().locks.release_all(tx);
                         Ok(Value::Null)
                     }
-                    Err(MiddlewareError::VotedAbort { node }) => {
-                        // 2PC failed: roll back, restore pre-images, throw.
+                    Err(
+                        e @ (MiddlewareError::VotedAbort { .. }
+                        | MiddlewareError::FaultInjected { .. }),
+                    ) => {
+                        // 2PC vote-abort or injected commit fault: the
+                        // transaction is still active — roll back,
+                        // restore pre-images, throw a typed error.
                         let undo = self.middleware_mut().tx.rollback(tx).map_err(thrown)?;
                         self.apply_undo(undo);
                         self.middleware_mut().locks.release_all(tx);
-                        Err(InterpError::Thrown(Value::Str(format!(
-                            "transaction aborted: participant `{node}` voted no"
-                        ))))
+                        let msg = match e {
+                            MiddlewareError::VotedAbort { node } => {
+                                format!("transaction aborted: participant `{node}` voted no")
+                            }
+                            other => format!("transaction aborted: {other}"),
+                        };
+                        Err(InterpError::Thrown(Value::Str(msg)))
                     }
                     Err(other) => Err(thrown(other)),
                 }
@@ -227,7 +243,7 @@ impl Interp {
                     InterpError::IntrinsicArgs("store.save requires an object context".into())
                 })?;
                 let snapshot = self.snapshot_object(handle)?;
-                self.middleware_mut().store.save(&key, snapshot);
+                self.middleware_mut().store.save(&key, snapshot).map_err(thrown)?;
                 Ok(Value::Null)
             }
             "store.load" => {
@@ -235,12 +251,78 @@ impl Interp {
                 let handle = this.ok_or_else(|| {
                     InterpError::IntrinsicArgs("store.load requires an object context".into())
                 })?;
-                match self.middleware_mut().store.load(&key) {
+                match self.middleware_mut().store.load(&key).map_err(thrown)? {
                     Some(snapshot) => {
                         self.restore_object(handle, &snapshot)?;
                         Ok(Value::Bool(true))
                     }
                     None => Ok(Value::Bool(false)),
+                }
+            }
+            "ft.now_us" => Ok(Value::Int(self.middleware().now_us() as i64)),
+            "ft.backoff" => {
+                // Exponential backoff with deterministic jitter: sleeps
+                // (advances the sim clock) for base * 2^(attempt-1) plus
+                // a jitter draw from the injector's seeded RNG. Returns
+                // the total sim-µs waited.
+                let attempt = want_int(&args, 0, "ft.backoff")?.max(1) as u64;
+                let base_us = want_int(&args, 1, "ft.backoff")?.max(0) as u64;
+                let exp = (attempt - 1).min(20);
+                let delay = base_us.saturating_mul(1 << exp);
+                let total = {
+                    let mw = self.middleware_mut();
+                    let jitter = mw.faults.borrow_mut().jitter_us(delay / 2);
+                    delay.saturating_add(jitter)
+                };
+                self.middleware_mut().bus.advance_clock_us(total);
+                Ok(Value::Int(total as i64))
+            }
+            "ft.breaker.allow" => {
+                // Throws a typed circuit-open error when the breaker for
+                // `callee` rejects the call; half-open probes pass.
+                let callee = want_str(&args, 0, "ft.breaker.allow")?;
+                let allowed = {
+                    let mw = self.middleware_mut();
+                    let allowed = mw.faults.borrow_mut().breaker_allow(&callee);
+                    allowed
+                };
+                if allowed {
+                    Ok(Value::Null)
+                } else {
+                    Err(thrown(MiddlewareError::CircuitOpen { callee }))
+                }
+            }
+            "ft.breaker.record" => {
+                let callee = want_str(&args, 0, "ft.breaker.record")?;
+                let ok = match args.get(1) {
+                    Some(Value::Bool(b)) => *b,
+                    _ => {
+                        return Err(InterpError::IntrinsicArgs(
+                            "ft.breaker.record: argument 1 must be a bool".into(),
+                        ))
+                    }
+                };
+                let threshold = want_int(&args, 2, "ft.breaker.record")?.max(0) as u64;
+                let cooldown_us = want_int(&args, 3, "ft.breaker.record")?.max(0) as u64;
+                let mw = self.middleware_mut();
+                mw.faults.borrow_mut().breaker_record(&callee, ok, threshold, cooldown_us);
+                Ok(Value::Null)
+            }
+            "ft.deadline.check" => {
+                // Throws a typed deadline error when `elapsed >= limit`
+                // (a limit of 0 disables the deadline).
+                let callee = want_str(&args, 0, "ft.deadline.check")?;
+                let start_us = want_int(&args, 1, "ft.deadline.check")?.max(0) as u64;
+                let deadline_us = want_int(&args, 2, "ft.deadline.check")?.max(0) as u64;
+                let elapsed_us = self.middleware().now_us().saturating_sub(start_us);
+                if deadline_us > 0 && elapsed_us >= deadline_us {
+                    Err(thrown(MiddlewareError::DeadlineExceeded {
+                        callee,
+                        elapsed_us,
+                        deadline_us,
+                    }))
+                } else {
+                    Ok(Value::Null)
                 }
             }
             other => Err(InterpError::UnknownIntrinsic(other.to_owned())),

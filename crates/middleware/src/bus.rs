@@ -5,6 +5,7 @@
 
 use crate::clock::SimClock;
 use crate::error::MiddlewareError;
+use crate::faults::{FaultInjector, FaultOp};
 use crate::MiddlewareConfig;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -43,6 +44,7 @@ impl BusStats {
 pub struct MessageBus {
     clock: Rc<RefCell<SimClock>>,
     rng: Rc<RefCell<StdRng>>,
+    faults: Rc<RefCell<FaultInjector>>,
     min_latency_us: u64,
     max_latency_us: u64,
     drop_probability: f64,
@@ -57,10 +59,12 @@ impl MessageBus {
         clock: Rc<RefCell<SimClock>>,
         rng: Rc<RefCell<StdRng>>,
         config: &MiddlewareConfig,
+        faults: Rc<RefCell<FaultInjector>>,
     ) -> Self {
         MessageBus {
             clock,
             rng,
+            faults,
             min_latency_us: config.min_latency_us,
             max_latency_us: config.max_latency_us.max(config.min_latency_us),
             drop_probability: config.drop_probability.clamp(0.0, 1.0),
@@ -119,11 +123,19 @@ impl MessageBus {
         self.clock.borrow().now_us()
     }
 
+    /// Advances the sim clock by `us` without sending anything (backoff
+    /// sleeps from the fault-tolerance concern). Returns the new time.
+    pub fn advance_clock_us(&mut self, us: u64) -> u64 {
+        self.clock.borrow_mut().advance_us(us)
+    }
+
     /// Sends `payload_bytes` from `from` to `to`; returns the simulated
     /// latency in microseconds and advances the clock by it.
     ///
     /// # Errors
-    /// Fails on unknown nodes or when loss injection drops the message.
+    /// Fails on unknown nodes, when loss injection drops the message, or
+    /// with a typed fault (transient / partitioned / crashed node) when
+    /// the fault injector fires.
     pub fn send(
         &mut self,
         from: &str,
@@ -136,6 +148,7 @@ impl MessageBus {
         if !self.has_node(to) {
             return Err(MiddlewareError::UnknownNode(to.to_owned()));
         }
+        self.faults.borrow_mut().check(FaultOp::BusSend, &[from, to])?;
         let (lost, latency) = {
             let mut rng = self.rng.borrow_mut();
             let lost = self.drop_probability > 0.0 && rng.gen::<f64>() < self.drop_probability;
@@ -199,13 +212,14 @@ mod tests {
     fn bus(drop: f64) -> MessageBus {
         let clock = Rc::new(RefCell::new(SimClock::new()));
         let rng = Rc::new(RefCell::new(StdRng::seed_from_u64(7)));
+        let faults = Rc::new(RefCell::new(FaultInjector::new(Rc::clone(&clock), 7)));
         let config = MiddlewareConfig {
             drop_probability: drop,
             min_latency_us: 10,
             max_latency_us: 20,
             ..MiddlewareConfig::default()
         };
-        let mut b = MessageBus::new(clock, rng, &config);
+        let mut b = MessageBus::new(clock, rng, &config, faults);
         b.add_node("a");
         b.add_node("b");
         b
@@ -275,5 +289,50 @@ mod tests {
         let mut b = bus(0.0);
         b.add_node("a");
         assert_eq!(b.nodes().len(), 2);
+    }
+
+    #[test]
+    fn link_stats_on_never_used_link_is_default() {
+        let b = bus(0.0);
+        // Both directions of a registered-but-idle link, and a link to a
+        // node that does not even exist: all report zeroed stats rather
+        // than panicking or inventing entries.
+        assert_eq!(b.link_stats("a", "b"), BusStats::default());
+        assert_eq!(b.link_stats("b", "a"), BusStats::default());
+        assert_eq!(b.link_stats("a", "ghost"), BusStats::default());
+        assert_eq!(b.link_stats("a", "b").mean_latency_us(), 0.0);
+    }
+
+    #[test]
+    fn set_current_node_unknown_leaves_current_unchanged() {
+        let mut b = bus(0.0);
+        assert_eq!(b.current_node(), "a");
+        let err = b.set_current_node("ghost").unwrap_err();
+        assert_eq!(err, MiddlewareError::UnknownNode("ghost".into()));
+        assert_eq!(b.current_node(), "a", "failed switch must not move execution");
+        assert!(b.is_local("a"));
+    }
+
+    #[test]
+    fn round_trip_to_partitioned_node_is_typed() {
+        let mut b = bus(0.0);
+        b.faults.borrow_mut().partition_node("b", 1_000_000);
+        let err = b.round_trip("a", "b", 64, 8).unwrap_err();
+        assert_eq!(err, MiddlewareError::NodePartitioned { node: "b".into() });
+        // The failed attempt delivered nothing.
+        assert_eq!(b.stats().delivered, 0);
+        // Healing by sim time restores the link.
+        b.clock.borrow_mut().advance_us(1_000_000);
+        assert!(b.round_trip("a", "b", 64, 8).is_ok());
+    }
+
+    #[test]
+    fn send_to_crashed_node_is_typed() {
+        let mut b = bus(0.0);
+        b.faults.borrow_mut().crash_node("b", 500);
+        assert_eq!(
+            b.send("a", "b", 1).unwrap_err(),
+            MiddlewareError::NodeCrashed { node: "b".into() }
+        );
     }
 }

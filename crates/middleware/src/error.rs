@@ -62,6 +62,37 @@ pub enum MiddlewareError {
     NotAuthenticated,
     /// A principal name is unknown to the security manager.
     UnknownPrincipal(String),
+    /// A transient fault was injected at a middleware choke point.
+    FaultInjected {
+        /// The perturbed operation (e.g. `bus.send`).
+        op: String,
+    },
+    /// The target node is partitioned away from the network.
+    NodePartitioned {
+        /// The partitioned node.
+        node: String,
+    },
+    /// The target node has crashed and not yet healed.
+    NodeCrashed {
+        /// The crashed node.
+        node: String,
+    },
+    /// A deadline enforced by the fault-tolerance concern expired.
+    DeadlineExceeded {
+        /// The guarded join point (`Class.method`).
+        callee: String,
+        /// Sim-µs elapsed when the deadline check fired.
+        elapsed_us: u64,
+        /// The configured deadline in sim-µs.
+        deadline_us: u64,
+    },
+    /// A circuit breaker is open and rejected the call.
+    CircuitOpen {
+        /// The guarded join point (`Class.method`).
+        callee: String,
+    },
+    /// An unknown fault point was passed to a fault hook.
+    UnknownFaultPoint(String),
 }
 
 impl fmt::Display for MiddlewareError {
@@ -96,6 +127,21 @@ impl fmt::Display for MiddlewareError {
             ),
             MiddlewareError::NotAuthenticated => write!(f, "no principal is authenticated"),
             MiddlewareError::UnknownPrincipal(p) => write!(f, "unknown principal `{p}`"),
+            MiddlewareError::FaultInjected { op } => {
+                write!(f, "transient fault injected at `{op}`")
+            }
+            MiddlewareError::NodePartitioned { node } => {
+                write!(f, "node `{node}` is partitioned")
+            }
+            MiddlewareError::NodeCrashed { node } => write!(f, "node `{node}` has crashed"),
+            MiddlewareError::DeadlineExceeded { callee, elapsed_us, deadline_us } => write!(
+                f,
+                "deadline exceeded at `{callee}` ({elapsed_us}µs elapsed, limit {deadline_us}µs)"
+            ),
+            MiddlewareError::CircuitOpen { callee } => {
+                write!(f, "circuit open for `{callee}`")
+            }
+            MiddlewareError::UnknownFaultPoint(p) => write!(f, "unknown fault point `{p}`"),
         }
     }
 }

@@ -45,6 +45,7 @@
 mod bus;
 mod clock;
 mod error;
+mod faults;
 mod locks;
 mod logging;
 mod naming;
@@ -55,6 +56,10 @@ mod tx;
 pub use bus::{BusStats, MessageBus};
 pub use clock::SimClock;
 pub use error::MiddlewareError;
+pub use faults::{
+    FaultEvent, FaultHook, FaultInjector, FaultKind, FaultLog, FaultOp, FaultPlan, FaultPlanError,
+    FaultRecord, ScheduledFault,
+};
 pub use locks::{LockManager, LockStats};
 pub use logging::{LogRecord, LogService};
 pub use naming::{NamingService, Registration};
@@ -116,6 +121,8 @@ pub struct Middleware<V: Clone> {
     pub log: LogService,
     /// The document store (persistence concern).
     pub store: StoreService<V>,
+    /// The fault injector shared by every service above.
+    pub faults: Rc<RefCell<FaultInjector>>,
 }
 
 impl<V: Clone> Middleware<V> {
@@ -123,20 +130,40 @@ impl<V: Clone> Middleware<V> {
     pub fn new(config: MiddlewareConfig) -> Self {
         let clock = Rc::new(RefCell::new(SimClock::default()));
         let rng = Rc::new(RefCell::new(StdRng::seed_from_u64(config.seed)));
+        let faults = Rc::new(RefCell::new(FaultInjector::new(Rc::clone(&clock), config.seed)));
+        let mut naming = NamingService::default();
+        naming.attach_faults(Rc::clone(&faults));
+        let mut store = StoreService::new();
+        store.attach_faults(Rc::clone(&faults));
         Middleware {
-            bus: MessageBus::new(Rc::clone(&clock), Rc::clone(&rng), &config),
-            naming: NamingService::default(),
+            bus: MessageBus::new(Rc::clone(&clock), Rc::clone(&rng), &config, Rc::clone(&faults)),
+            naming,
             locks: LockManager::default(),
-            tx: TransactionManager::new(config.vote_abort_probability, Rc::clone(&rng)),
+            tx: TransactionManager::new(
+                config.vote_abort_probability,
+                Rc::clone(&rng),
+                Rc::clone(&faults),
+            ),
             security: SecurityManager::default(),
             log: LogService::default(),
-            store: StoreService::new(),
+            store,
+            faults,
         }
     }
 
     /// Current logical time in microseconds.
     pub fn now_us(&self) -> u64 {
         self.bus.now_us()
+    }
+
+    /// Installs a fault plan on the shared injector (resets its log).
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        self.faults.borrow_mut().install_plan(plan);
+    }
+
+    /// A snapshot of the fault log.
+    pub fn fault_log(&self) -> FaultLog {
+        self.faults.borrow().log().clone()
     }
 }
 

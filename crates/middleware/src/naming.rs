@@ -2,7 +2,10 @@
 //! the way a CORBA naming service or RMI registry would.
 
 use crate::error::MiddlewareError;
+use crate::faults::{FaultInjector, FaultOp};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// One name binding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,12 +20,17 @@ pub struct Registration {
 #[derive(Debug, Clone, Default)]
 pub struct NamingService {
     bindings: BTreeMap<String, Registration>,
+    faults: Option<Rc<RefCell<FaultInjector>>>,
 }
 
 impl NamingService {
     /// Creates an empty naming service.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    pub(crate) fn attach_faults(&mut self, faults: Rc<RefCell<FaultInjector>>) {
+        self.faults = Some(faults);
     }
 
     /// Binds `name` to an object. Rebinding an existing name fails; use
@@ -46,8 +54,12 @@ impl NamingService {
     /// Resolves a name.
     ///
     /// # Errors
-    /// Fails when the name is not bound.
+    /// Fails when the name is not bound, or with a typed injected fault
+    /// when the fault injector perturbs `naming.lookup`.
     pub fn lookup(&self, name: &str) -> Result<&Registration, MiddlewareError> {
+        if let Some(faults) = &self.faults {
+            faults.borrow_mut().check(FaultOp::NamingLookup, &[])?;
+        }
         self.bindings.get(name).ok_or_else(|| MiddlewareError::NameNotBound(name.to_owned()))
     }
 

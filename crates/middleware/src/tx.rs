@@ -6,6 +6,7 @@
 //! on rollback.
 
 use crate::error::MiddlewareError;
+use crate::faults::{FaultInjector, FaultOp};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::cell::RefCell;
@@ -143,18 +144,24 @@ pub struct TransactionManager<V> {
     current: Vec<TxId>,
     vote_abort_probability: f64,
     rng: Rc<RefCell<StdRng>>,
+    faults: Rc<RefCell<FaultInjector>>,
     stats: TxStats,
     wal: Vec<WalRecord>,
 }
 
 impl<V: Clone> TransactionManager<V> {
-    pub(crate) fn new(vote_abort_probability: f64, rng: Rc<RefCell<StdRng>>) -> Self {
+    pub(crate) fn new(
+        vote_abort_probability: f64,
+        rng: Rc<RefCell<StdRng>>,
+        faults: Rc<RefCell<FaultInjector>>,
+    ) -> Self {
         TransactionManager {
             next_id: 1,
             transactions: BTreeMap::new(),
             current: Vec::new(),
             vote_abort_probability: vote_abort_probability.clamp(0.0, 1.0),
             rng,
+            faults,
             stats: TxStats::default(),
             wal: Vec::new(),
         }
@@ -256,10 +263,17 @@ impl<V: Clone> TransactionManager<V> {
     /// exactly as for [`TransactionManager::rollback`].
     ///
     /// # Errors
-    /// `VotedAbort` when 2PC failed (the caller must apply the returned
-    /// undo log — see [`TransactionManager::take_undo_log`]); unknown or
+    /// `VotedAbort` when 2PC failed, and `FaultInjected` when the fault
+    /// injector perturbs the commit; in both cases the transaction stays
+    /// *active* and the caller must apply the undo log (see
+    /// [`TransactionManager::take_undo_log`]) and roll back. Unknown or
     /// finished transactions fail accordingly.
     pub fn commit(&mut self, tx: TxId) -> Result<TwoPhaseOutcome, MiddlewareError> {
+        // Unknown/finished errors win over injected ones.
+        self.tx_mut_active(tx)?;
+        // An injected commit fault mirrors a vote-abort: the tx is left
+        // active so the caller restores pre-images.
+        self.faults.borrow_mut().check(FaultOp::TxCommit, &[])?;
         let (participants, abort_by) = {
             let t = self.tx_mut_active(tx)?;
             let participants = t.participants.clone();
@@ -352,8 +366,37 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
+    use crate::clock::SimClock;
+    use crate::faults::{FaultKind, FaultPlan};
+
     fn mgr(p: f64) -> TransactionManager<i64> {
-        TransactionManager::new(p, Rc::new(RefCell::new(StdRng::seed_from_u64(3))))
+        let clock = Rc::new(RefCell::new(SimClock::default()));
+        TransactionManager::new(
+            p,
+            Rc::new(RefCell::new(StdRng::seed_from_u64(3))),
+            Rc::new(RefCell::new(FaultInjector::new(clock, 3))),
+        )
+    }
+
+    #[test]
+    fn injected_commit_fault_leaves_tx_active() {
+        let mut m = mgr(0.0);
+        m.faults.borrow_mut().install_plan(FaultPlan::new(1).at(
+            FaultOp::TxCommit,
+            1,
+            FaultKind::Transient,
+        ));
+        let tx = m.begin("rc").unwrap();
+        m.log_write(tx, 1, "x", 5).unwrap();
+        let err = m.commit(tx).unwrap_err();
+        assert!(matches!(err, MiddlewareError::FaultInjected { ref op } if op == "tx.commit"));
+        // Exactly the vote-abort contract: active, undo intact.
+        assert!(m.is_active(tx));
+        assert_eq!(m.take_undo_log(tx).unwrap().len(), 1);
+        m.rollback(tx).unwrap();
+        // A later commit attempt (occurrence 2, unscheduled) succeeds.
+        let tx2 = m.begin("rc").unwrap();
+        assert!(m.commit(tx2).is_ok());
     }
 
     #[test]

@@ -43,4 +43,6 @@ mod repo;
 pub use colors::ColorReport;
 pub use diff::{diff_models, ModelDiff};
 pub use hash::fnv1a64;
-pub use repo::{Commit, CommitDelta, CommitId, RepoError, Repository};
+pub use repo::{
+    Commit, CommitDelta, CommitId, RepoError, Repository, FAULT_POINT_COMMIT, FAULT_POINT_UNDO,
+};

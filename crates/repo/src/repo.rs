@@ -2,10 +2,16 @@
 
 use crate::diff::{diff_models, ModelDiff};
 use crate::hash::fnv1a64;
+use comet_middleware::{FaultHook, MiddlewareError};
 use comet_model::{ElementId, Model};
 use comet_xmi::{export_model, import_model, XmiError};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Fault point name: the next commit fails ([`FaultHook`]).
+pub const FAULT_POINT_COMMIT: &str = "repo.commit";
+/// Fault point name: the next undo fails ([`FaultHook`]).
+pub const FAULT_POINT_UNDO: &str = "repo.undo";
 
 /// Identifier of a commit within one repository.
 pub type CommitId = u64;
@@ -131,22 +137,6 @@ impl Repository {
             fail_next_commit: false,
             fail_next_undo: false,
         }
-    }
-
-    /// Makes the next [`Repository::commit`] /
-    /// [`Repository::commit_with_delta`] fail with
-    /// [`RepoError::Storage`] without touching any state — a
-    /// failing-repository test double for lifecycle fault injection.
-    #[doc(hidden)]
-    pub fn inject_commit_failure(&mut self) {
-        self.fail_next_commit = true;
-    }
-
-    /// Makes the next [`Repository::undo`] fail with
-    /// [`RepoError::Storage`] without moving the head position.
-    #[doc(hidden)]
-    pub fn inject_undo_failure(&mut self) {
-        self.fail_next_undo = true;
     }
 
     /// Repository name.
@@ -403,6 +393,26 @@ impl Repository {
     }
 }
 
+/// The repository's one-shot fault points, unified with the middleware
+/// runtime behind [`FaultHook`]: arming [`FAULT_POINT_COMMIT`] makes
+/// the next commit fail with [`RepoError::Storage`] without touching
+/// any state; [`FAULT_POINT_UNDO`] does the same for the next undo
+/// without moving the head position.
+impl FaultHook for Repository {
+    fn fault_points(&self) -> Vec<&'static str> {
+        vec![FAULT_POINT_COMMIT, FAULT_POINT_UNDO]
+    }
+
+    fn arm_fault(&mut self, point: &str) -> Result<(), MiddlewareError> {
+        match point {
+            FAULT_POINT_COMMIT => self.fail_next_commit = true,
+            FAULT_POINT_UNDO => self.fail_next_undo = true,
+            other => return Err(MiddlewareError::UnknownFaultPoint(other.to_owned())),
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,6 +509,23 @@ mod tests {
         assert_eq!(d.added.len(), 0);
         assert_eq!(d.modified.len(), 1);
         assert!(matches!(repo.diff(999, log[0]), Err(RepoError::UnknownCommit(999))));
+    }
+
+    #[test]
+    fn fault_hook_arms_one_shot_failures() {
+        let (mut repo, _v1, v2) = repo_with_two_versions();
+        assert_eq!(repo.fault_points(), vec![FAULT_POINT_COMMIT, FAULT_POINT_UNDO]);
+        repo.arm_fault(FAULT_POINT_COMMIT).unwrap();
+        assert!(matches!(repo.commit(&v2, "x", None), Err(RepoError::Storage(_))));
+        // One-shot: the retry goes through.
+        repo.commit(&v2, "x", None).unwrap();
+        repo.arm_fault(FAULT_POINT_UNDO).unwrap();
+        assert!(matches!(repo.undo(), Some(Err(RepoError::Storage(_)))));
+        assert!(repo.undo().unwrap().is_ok());
+        assert!(matches!(
+            repo.arm_fault("repo.reindex"),
+            Err(MiddlewareError::UnknownFaultPoint(_))
+        ));
     }
 
     #[test]

@@ -157,6 +157,17 @@ impl ParamSchema {
         })
     }
 
+    /// Adds an integer parameter with a default.
+    pub fn integer(self, name: &str, default: i64) -> Self {
+        self.param(ParamSpec {
+            name: name.to_owned(),
+            ty: ParamType::Int,
+            required: false,
+            default: Some(ParamValue::Int(default)),
+            doc: String::new(),
+        })
+    }
+
     /// Adds a boolean parameter with a default.
     pub fn boolean(self, name: &str, default: bool) -> Self {
         self.param(ParamSpec {

@@ -11,7 +11,6 @@ use comet_transform::{
     specialize, ConcreteTransformation, ParamSet, TransformError, TransformationBuilder,
 };
 use proptest::prelude::*;
-use std::sync::Arc;
 
 /// One interpreted body instruction. Indices select targets modulo the
 /// current class list, so every generated program is runnable.
@@ -116,7 +115,7 @@ fn build_cmt(ops: Vec<BodyOp>, outcome: &Outcome) -> ConcreteTransformation {
         Outcome::FailPrecondition => builder = builder.precondition("false"),
         _ => {}
     }
-    specialize(Arc::from(builder.build()), ParamSet::new()).expect("empty schema validates")
+    specialize(builder.build(), ParamSet::new()).expect("empty schema validates")
 }
 
 proptest! {
