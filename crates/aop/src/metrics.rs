@@ -45,6 +45,31 @@ impl MetricsReport {
             self.tangled_methods as f64 / self.total_methods as f64
         }
     }
+
+    /// The report as a JSON document (hand-rolled, like every serializer
+    /// in the workspace), consumed by `comet-cli metrics --json` and
+    /// downstream tooling. `tangling_ratio` is emitted with fixed
+    /// 6-decimal precision so output is byte-stable across platforms.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"total_methods\": {},", self.total_methods);
+        let _ = writeln!(out, "  \"tangled_methods\": {},", self.tangled_methods);
+        let _ = writeln!(out, "  \"tangling_ratio\": {:.6},", self.tangling_ratio());
+        let _ = writeln!(out, "  \"total_statements\": {},", self.total_statements);
+        out.push_str("  \"concerns\": {\n");
+        for (i, (name, m)) in self.concerns.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    \"{name}\": {{\"scattered_classes\": {}, \"scattered_methods\": {}, \
+                 \"statements\": {}}}",
+                m.scattered_classes, m.scattered_methods, m.statements
+            );
+            out.push_str(if i + 1 < self.concerns.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
 }
 
 impl fmt::Display for MetricsReport {
@@ -240,5 +265,24 @@ mod tests {
         let r = concern_metrics(&Program::new("x"), &["tx"]);
         assert_eq!(r.total_methods, 0);
         assert_eq!(r.tangling_ratio(), 0.0);
+    }
+
+    #[test]
+    fn json_report_is_valid_and_complete() {
+        let p = program_with(vec![
+            ("A", "m1", vec![tx_stmt(), sec_stmt()]),
+            ("A", "m2", vec![tx_stmt()]),
+        ]);
+        let r = concern_metrics(&p, &["tx", "sec"]);
+        let json = r.to_json();
+        let doc = comet_obs::JsonValue::parse(&json).expect("well-formed JSON");
+        assert_eq!(doc.get("total_methods").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(doc.get("tangled_methods").and_then(|v| v.as_u64()), Some(1));
+        let tx = doc.get("concerns").and_then(|c| c.get("tx")).expect("tx entry");
+        assert_eq!(tx.get("statements").and_then(|v| v.as_u64()), Some(2));
+        // The NaN trap: an empty program must serialize a real number.
+        let empty = concern_metrics(&Program::new("x"), &["tx"]).to_json();
+        assert!(empty.contains("\"tangling_ratio\": 0.000000"), "{empty}");
+        assert!(comet_obs::JsonValue::parse(&empty).is_ok());
     }
 }

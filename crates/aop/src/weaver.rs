@@ -169,6 +169,63 @@ impl Weaver {
         Ok(WeaveResult { program: out, trace })
     }
 
+    /// [`Weaver::weave`] wrapped in trace spans: one `weave` span over
+    /// the whole pass, one `class:<Name>` child span per class that
+    /// received advice, and one `weave.advice` event per woven join
+    /// point (aspect, advice kind, shadow, class, method) — the
+    /// code-level link of the provenance chain.
+    ///
+    /// The spans are recorded *after* the parallel weave finishes, from
+    /// the already-deterministic [`WeaveResult::trace`], grouped in
+    /// program class order — so enabling tracing cannot perturb the
+    /// parallel weave, and the recorded trace is byte-identical across
+    /// runs and thread counts.
+    ///
+    /// # Errors
+    /// Same conditions as [`Weaver::weave`].
+    pub fn weave_traced(
+        &self,
+        program: &Program,
+        obs: &comet_obs::Collector,
+    ) -> Result<WeaveResult, WeaveError> {
+        let result = self.weave(program)?;
+        if !obs.is_enabled() {
+            return Ok(result);
+        }
+        let pass = obs.begin_span("weave", "weave", 0);
+        obs.span_attr(pass, "aspects", &self.aspects.len().to_string());
+        obs.span_attr(pass, "joinpoints", &result.trace.len().to_string());
+        for class in &result.program.classes {
+            let records: Vec<&WovenJoinPoint> =
+                result.trace.iter().filter(|r| r.class == class.name).collect();
+            if records.is_empty() {
+                continue;
+            }
+            let span = obs.begin_span("weave", &format!("class:{}", class.name), 0);
+            for r in records {
+                let shadow = match &r.shadow {
+                    Shadow::Execution => format!("execution({}.{})", r.class, r.method),
+                    Shadow::Call { callee } => format!("call({callee})"),
+                };
+                obs.event(
+                    "weave",
+                    "weave.advice",
+                    0,
+                    vec![
+                        ("aspect".to_owned(), r.aspect.clone()),
+                        ("advice".to_owned(), r.kind.to_string()),
+                        ("shadow".to_owned(), shadow),
+                        ("class".to_owned(), r.class.clone()),
+                        ("method".to_owned(), r.method.clone()),
+                    ],
+                );
+            }
+            obs.end_span(span, 0);
+        }
+        obs.end_span(pass, 0);
+        Ok(result)
+    }
+
     /// The sequential reference weaver: re-evaluates every pointcut at
     /// every shadow and clones the whole program up front.
     ///
@@ -1245,6 +1302,40 @@ mod tests {
                 Block::of(vec![log_stmt("ret")]),
             )),
         ]
+    }
+
+    #[test]
+    fn weave_traced_records_one_event_per_join_point() {
+        let weaver = Weaver::new(mixed_aspects());
+        let p = mixed_program();
+        let obs = comet_obs::Collector::enabled();
+        let traced = weaver.weave_traced(&p, &obs).unwrap();
+        let plain = weaver.weave(&p).unwrap();
+        assert_eq!(traced, plain, "tracing must not perturb the weave");
+        let trace = obs.take();
+        let advice_events: Vec<&comet_obs::Event> =
+            trace.events.iter().filter(|e| e.name == "weave.advice").collect();
+        assert_eq!(advice_events.len(), plain.trace.len());
+        // Every event sits inside a class span under the weave pass.
+        let pass = &trace.spans[0];
+        assert_eq!(pass.name, "weave");
+        assert_eq!(
+            comet_obs::Trace::attr(&pass.attrs, "joinpoints"),
+            Some(plain.trace.len().to_string().as_str())
+        );
+        for e in &advice_events {
+            let class_span = &trace.spans[e.span.unwrap() as usize];
+            assert!(class_span.name.starts_with("class:"), "{class_span:?}");
+            assert_eq!(class_span.parent, Some(pass.id));
+        }
+        // Determinism across runs and thread counts.
+        let retrace = |threads: usize| {
+            let obs = comet_obs::Collector::enabled();
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+            pool.install(|| weaver.weave_traced(&p, &obs)).unwrap();
+            obs.take()
+        };
+        assert_eq!(retrace(1), retrace(4));
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! comet-cli concerns                          list concern pairs + parameters
 //! comet-cli apply <model.xmi> <concern> k=v... [-o out.xmi] [--aspect-out f.aj] [--dry-run]
 //! comet-cli weave <model.xmi> <concern> k=v... [--threads N]
-//! comet-cli pipeline [--threads N] [--faults plan.toml] [--seed N]
-//! comet-cli run [--faults plan.toml] [--seed N] [--order O] [--transfers N]
+//! comet-cli pipeline [--threads N] [--faults plan.toml] [--seed N] [--trace out.json]
+//! comet-cli run [--faults plan.toml] [--seed N] [--order O] [--transfers N] [--trace out.json]
+//! comet-cli provenance <element> --trace out.json
+//! comet-cli metrics [--json]
 //! ```
 //!
 //! Parameters are `key=value`; list-valued parameters take
@@ -27,14 +29,24 @@
 //! is `ft-outside-tx` (default) or `tx-outside-ft` — the §3 precedence
 //! choice. `--seed N` overrides the plan's seed. `pipeline --faults`
 //! appends the same chaos run after the Fig. 2 demo.
+//!
+//! `--trace out.json` attaches the observability collector to every
+//! pipeline layer and writes a Chrome trace-event file (loadable in
+//! Perfetto / `chrome://tracing`). Same seed + same plan ⇒ the same
+//! trace, byte for byte. `provenance <element> --trace out.json` reads
+//! such a file back and answers "which concern / CMT⟨Si⟩ / advice /
+//! runtime event touched this element?". `metrics` runs the Fig. 2
+//! pipeline and prints scattering/tangling metrics for the woven
+//! program (`--json` for machine-readable output).
 
-use comet::chaos::{run_banking_chaos, ChaosConfig, FtOrder};
+use comet::chaos::{run_banking_chaos_traced, ChaosConfig, FtOrder};
 use comet::{MdaLifecycle, Wizard};
-use comet_aop::Weaver;
+use comet_aop::{concern_metrics, Weaver};
 use comet_aspectgen::{AspectBackend, AspectJBackend};
 use comet_codegen::{BodyProvider, FunctionalGenerator};
 use comet_middleware::FaultPlan;
 use comet_model::sample::banking_pim;
+use comet_obs::{Collector, ProvenanceIndex, Trace};
 use comet_repo::ColorReport;
 use comet_transform::{ParamSet, ParamValue};
 use comet_workflow::WorkflowModel;
@@ -52,6 +64,8 @@ fn main() -> ExitCode {
         Some("weave") => cmd_weave(&args[1..]),
         Some("pipeline") => cmd_pipeline(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("provenance") => cmd_provenance(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -74,9 +88,11 @@ fn print_usage() {
          comet-cli concerns\n  comet-cli apply <model.xmi> <concern> [k=v ...] \
          [-o out.xmi] [--aspect-out out.aj] [--dry-run]\n  \
          comet-cli weave <model.xmi> <concern> [k=v ...] [--threads N]\n  \
-         comet-cli pipeline [--threads N] [--faults plan.toml] [--seed N]\n  \
+         comet-cli pipeline [--threads N] [--faults plan.toml] [--seed N] [--trace out.json]\n  \
          comet-cli run [--faults plan.toml] [--seed N] \
-         [--order ft-outside-tx|tx-outside-ft] [--transfers N]"
+         [--order ft-outside-tx|tx-outside-ft] [--transfers N] [--trace out.json]\n  \
+         comet-cli provenance <element> --trace out.json\n  \
+         comet-cli metrics [--json]"
     );
 }
 
@@ -345,12 +361,44 @@ fn parse_faults(args: &[String]) -> Result<(Vec<String>, Option<FaultPlan>), Str
     Ok((rest, plan))
 }
 
+/// Extracts `--trace <out.json>` from `args`, returning the remaining
+/// arguments and the output path.
+fn parse_trace(args: &[String]) -> Result<(Vec<String>, Option<String>), String> {
+    let mut rest = Vec::new();
+    let mut trace = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--trace" {
+            trace = Some(args.get(i + 1).ok_or("--trace needs a path")?.clone());
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok((rest, trace))
+}
+
+/// Writes the collector's trace as a Chrome trace-event file.
+fn write_trace(obs: &Collector, path: &str) -> Result<(), String> {
+    let trace = obs.snapshot();
+    std::fs::write(path, trace.to_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "wrote trace to {path} ({} spans, {} events, {} counters) — load it in Perfetto",
+        trace.spans.len(),
+        trace.events.len(),
+        trace.counters.len()
+    );
+    Ok(())
+}
+
 /// Runs the chaos harness and prints the report; `Err` when the run
 /// violated the graceful-degradation contract.
 fn run_chaos(
     plan: Option<FaultPlan>,
     order: FtOrder,
     transfers: Option<u32>,
+    obs: &Collector,
 ) -> Result<(), String> {
     let mut cfg = ChaosConfig { order, ..ChaosConfig::default() };
     if let Some(plan) = plan {
@@ -360,7 +408,7 @@ fn run_chaos(
     if let Some(n) = transfers {
         cfg.transfers = n;
     }
-    let report = run_banking_chaos(&cfg).map_err(|e| e.to_string())?;
+    let report = run_banking_chaos_traced(&cfg, obs).map_err(|e| e.to_string())?;
     print!("{report}");
     if report.degraded_gracefully() {
         Ok(())
@@ -371,6 +419,7 @@ fn run_chaos(
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let (rest, plan) = parse_faults(args)?;
+    let (rest, trace_path) = parse_trace(&rest)?;
     let mut order = FtOrder::FtOutsideTx;
     let mut transfers: Option<u32> = None;
     let mut i = 0;
@@ -397,26 +446,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             other => return Err(format!("run: unexpected argument `{other}`")),
         }
     }
-    run_chaos(plan, order, transfers)
+    let obs = if trace_path.is_some() { Collector::enabled() } else { Collector::disabled() };
+    let outcome = run_chaos(plan, order, transfers, &obs);
+    if let Some(path) = trace_path {
+        write_trace(&obs, &path)?;
+    }
+    outcome
 }
 
-fn cmd_pipeline(args: &[String]) -> Result<(), String> {
-    let (rest, plan) = parse_faults(args)?;
-    let (rest, threads) = parse_threads(&rest)?;
-    if !rest.is_empty() {
-        return Err(
-            "usage: comet-cli pipeline [--threads N] [--faults plan.toml] [--seed N]".into()
-        );
-    }
-    // The paper's Fig. 2 demo: distribution, transactions, security
-    // refined onto the sample banking PIM, then code generation +
-    // weaving.
-    let workflow = WorkflowModel::new("fig2")
-        .step("distribution", false)
-        .step("transactions", false)
-        .step("security", false);
-    let mut mda = MdaLifecycle::new(banking_pim(), workflow).map_err(|e| e.to_string())?;
-    let steps: [(&str, ParamSet); 3] = [
+/// The Fig. 2 demo's concern steps: distribution, transactions,
+/// security, each with its `Si`, shared by `pipeline` and `metrics`.
+fn fig2_steps() -> [(&'static str, ParamSet); 3] {
+    [
         (
             "distribution",
             ParamSet::new()
@@ -436,8 +477,29 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
             ParamSet::new()
                 .with("protected", ParamValue::from(vec!["Bank.transfer:teller".to_owned()])),
         ),
-    ];
-    for (name, si) in steps {
+    ]
+}
+
+fn cmd_pipeline(args: &[String]) -> Result<(), String> {
+    let (rest, plan) = parse_faults(args)?;
+    let (rest, threads) = parse_threads(&rest)?;
+    let (rest, trace_path) = parse_trace(&rest)?;
+    if !rest.is_empty() {
+        return Err("usage: comet-cli pipeline [--threads N] [--faults plan.toml] [--seed N] \
+                    [--trace out.json]"
+            .into());
+    }
+    let obs = if trace_path.is_some() { Collector::enabled() } else { Collector::disabled() };
+    // The paper's Fig. 2 demo: distribution, transactions, security
+    // refined onto the sample banking PIM, then code generation +
+    // weaving.
+    let workflow = WorkflowModel::new("fig2")
+        .step("distribution", false)
+        .step("transactions", false)
+        .step("security", false);
+    let mut mda = MdaLifecycle::new(banking_pim(), workflow).map_err(|e| e.to_string())?;
+    mda.set_collector(obs.clone());
+    for (name, si) in fig2_steps() {
         let pair = comet_concerns::by_name(name).expect("standard concern exists");
         let applied = mda.apply_concern(&pair, si).map_err(|e| e.to_string())?;
         println!(
@@ -456,9 +518,66 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
         system.weave_trace.len()
     );
     print!("{}", mda.colors());
-    if plan.is_some() {
+    let chaos_outcome = if plan.is_some() {
         println!("--- chaos run ---");
-        run_chaos(plan, FtOrder::FtOutsideTx, None)?;
+        run_chaos(plan, FtOrder::FtOutsideTx, None, &obs)
+    } else {
+        Ok(())
+    };
+    if let Some(path) = trace_path {
+        write_trace(&obs, &path)?;
+    }
+    chaos_outcome
+}
+
+fn cmd_provenance(args: &[String]) -> Result<(), String> {
+    let (rest, trace_path) = parse_trace(args)?;
+    let [element] = rest.as_slice() else {
+        return Err("usage: comet-cli provenance <element> --trace out.json".into());
+    };
+    let path = trace_path.ok_or(
+        "provenance needs --trace <out.json> (a file written by \
+                                 `pipeline --trace` or `run --trace`)",
+    )?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let trace = Trace::from_chrome_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let index = ProvenanceIndex::build(&trace);
+    match index.query(element) {
+        Some(report) => print!("{report}"),
+        None => {
+            println!("no provenance for `{element}` in {path} ({} indexed entries)", index.len())
+        }
+    }
+    Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => return Err(format!("metrics: unexpected argument `{other}`")),
+        }
+    }
+    // Same Fig. 2 pipeline as `comet-cli pipeline`, measured instead of
+    // narrated: scattering/tangling of the middleware concerns over the
+    // woven program (the monolithic-equivalent artifact the paper's E5
+    // experiment compares against).
+    let workflow = WorkflowModel::new("fig2")
+        .step("distribution", false)
+        .step("transactions", false)
+        .step("security", false);
+    let mut mda = MdaLifecycle::new(banking_pim(), workflow).map_err(|e| e.to_string())?;
+    for (name, si) in fig2_steps() {
+        let pair = comet_concerns::by_name(name).expect("standard concern exists");
+        mda.apply_concern(&pair, si).map_err(|e| e.to_string())?;
+    }
+    let system = mda.generate(&BodyProvider::default()).map_err(|e| e.to_string())?;
+    let report = concern_metrics(&system.woven, &["net", "tx", "sec", "log", "lock"]);
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{report}");
     }
     Ok(())
 }

@@ -309,11 +309,29 @@ pub const INITIAL_BALANCES: (i64, i64) = (1_000, 50);
 /// Fails only on lifecycle/setup errors (a concern failing to apply or
 /// generate). Workload failures — typed or hard — land in the report.
 pub fn run_banking_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, LifecycleError> {
+    run_banking_chaos_traced(cfg, &comet_obs::Collector::disabled())
+}
+
+/// [`run_banking_chaos`] with an observability collector attached to
+/// every layer: the lifecycle (concern/generate spans), the interpreter
+/// (intrinsic counters), the middleware (fault events), plus one
+/// `runtime` span per `Bank.transfer` call so fault events nest inside
+/// the call that triggered them. With a disabled collector this is
+/// byte-identical to the untraced run; with an enabled one, same seed +
+/// same plan produce the same trace, byte for byte.
+///
+/// # Errors
+/// Same as [`run_banking_chaos`].
+pub fn run_banking_chaos_traced(
+    cfg: &ChaosConfig,
+    obs: &comet_obs::Collector,
+) -> Result<ChaosReport, LifecycleError> {
     let mut workflow = WorkflowModel::new("chaos");
     for step in cfg.order.concerns() {
         workflow = workflow.step(step, false);
     }
     let mut mda = MdaLifecycle::new(executable_banking_pim(), workflow)?;
+    mda.set_collector(obs.clone());
     for step in cfg.order.concerns() {
         match step {
             "distribution" => mda.apply_concern(&distribution::pair(), dist_si())?,
@@ -325,6 +343,7 @@ pub fn run_banking_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, LifecycleErro
 
     let config = MiddlewareConfig { seed: cfg.seed, ..MiddlewareConfig::default() };
     let mut interp = Interp::with_config(system.woven, config);
+    interp.set_collector(obs.clone());
     interp.add_node("client");
     interp.add_node("server");
     let bank = interp.create_on("Bank", "server").expect("Bank class generated");
@@ -368,13 +387,29 @@ pub fn run_banking_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, LifecycleErro
     for i in 0..cfg.transfers {
         let (from, to, amount) = workload(i);
         let args = vec![Value::from(from), Value::from(to), Value::Int(amount)];
-        match interp.call(bank.clone(), "transfer", args) {
-            Ok(_) => report.succeeded += 1,
+        let span = obs.is_enabled().then(|| {
+            let s = obs.begin_span("runtime", "call:Bank.transfer", interp.middleware().now_us());
+            obs.span_attr(s, "call_index", &i.to_string());
+            s
+        });
+        let outcome = match interp.call(bank.clone(), "transfer", args) {
+            Ok(_) => {
+                report.succeeded += 1;
+                "ok".to_owned()
+            }
             Err(InterpError::Thrown(v)) => {
                 let msg = v.as_str().map(str::to_owned).unwrap_or_else(|| format!("{v:?}"));
                 report.typed_failures.push(format!("call {i}: {msg}"));
+                format!("thrown: {msg}")
             }
-            Err(hard) => report.hard_failures.push(format!("call {i}: {hard:?}")),
+            Err(hard) => {
+                report.hard_failures.push(format!("call {i}: {hard:?}"));
+                format!("hard: {hard:?}")
+            }
+        };
+        if let Some(s) = span {
+            obs.span_attr(s, "outcome", &outcome);
+            obs.end_span(s, interp.middleware().now_us());
         }
         let (b1, b2) = (balance(&interp, &a1), balance(&interp, &a2));
         if b1 + b2 != total {

@@ -52,7 +52,7 @@ mod lifecycle;
 mod shipping;
 mod wizard;
 
-pub use chaos::{run_banking_chaos, ChaosConfig, ChaosReport, FtOrder};
+pub use chaos::{run_banking_chaos, run_banking_chaos_traced, ChaosConfig, ChaosReport, FtOrder};
 pub use lifecycle::{AppliedConcern, GeneratedSystem, LifecycleError, MdaLifecycle};
 pub use shipping::{ShippedPackage, ShippedStep, ShippingStrategy};
 pub use wizard::{Question, QuestionKind, Wizard};

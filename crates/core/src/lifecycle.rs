@@ -121,6 +121,7 @@ pub struct MdaLifecycle {
     repo: Repository,
     workflow: WorkflowEngine,
     applied: Vec<AppliedConcern>,
+    obs: comet_obs::Collector,
 }
 
 impl MdaLifecycle {
@@ -137,7 +138,24 @@ impl MdaLifecycle {
             repo,
             workflow: WorkflowEngine::new(workflow),
             applied: Vec::new(),
+            obs: comet_obs::Collector::disabled(),
         })
+    }
+
+    /// Attaches a trace collector: every subsequent
+    /// [`MdaLifecycle::apply_concern`] records a top-level
+    /// `concern:<name>` span (so the span order in the trace *is* the
+    /// application order — the paper's precedence rule as a checkable
+    /// trace property), with the CMT's own span and model-delta events
+    /// nested inside, and [`MdaLifecycle::generate`] records the
+    /// codegen and weave phases.
+    pub fn set_collector(&mut self, obs: comet_obs::Collector) {
+        self.obs = obs;
+    }
+
+    /// The attached collector (disabled by default).
+    pub fn collector(&self) -> &comet_obs::Collector {
+        &self.obs
     }
 
     /// The current model (PIM refined into an increasingly specific PSM).
@@ -194,10 +212,35 @@ impl MdaLifecycle {
         pair: &ConcernPair,
         si: ParamSet,
     ) -> Result<&AppliedConcern, LifecycleError> {
+        let obs = self.obs.clone();
+        if !obs.is_enabled() {
+            return self.apply_concern_inner(pair, si, &obs);
+        }
+        let span = obs.begin_span("lifecycle", &format!("concern:{}", pair.concern()), 0);
+        obs.span_attr(span, "concern", pair.concern());
+        let result = self.apply_concern_inner(pair, si, &obs);
+        match &result {
+            Ok(step) => {
+                obs.span_attr(span, "cmt", &step.cmt.full_name());
+                obs.span_attr(span, "si", &step.cmt.params().angle_signature());
+                obs.span_attr(span, "outcome", "ok");
+            }
+            Err(e) => obs.span_attr(span, "outcome", &format!("error: {e}")),
+        }
+        obs.end_span(span, 0);
+        result
+    }
+
+    fn apply_concern_inner(
+        &mut self,
+        pair: &ConcernPair,
+        si: ParamSet,
+        obs: &comet_obs::Collector,
+    ) -> Result<&AppliedConcern, LifecycleError> {
         let (cmt, aspect) = pair.specialize(si)?;
         self.workflow.record(pair.concern())?;
         self.model.begin_journal();
-        let report = match cmt.apply(&mut self.model) {
+        let report = match cmt.apply_traced(&mut self.model, obs) {
             Ok(report) => report,
             Err(e) => {
                 self.model.rollback_journal();
@@ -276,12 +319,35 @@ impl MdaLifecycle {
     /// # Errors
     /// Propagates weaving failures.
     pub fn generate(&self, bodies: &BodyProvider) -> Result<GeneratedSystem, LifecycleError> {
+        let obs = &self.obs;
+        let phase = obs.begin_span("lifecycle", "generate", 0);
+        let fspan = obs.begin_span("codegen", "functional", 0);
         let functional = FunctionalGenerator::new().generate(&self.model, bodies);
+        if obs.is_enabled() {
+            obs.span_attr(fspan, "classes", &functional.classes.len().to_string());
+        }
+        obs.end_span(fspan, 0);
         let aspects = self.aspects();
         let weaver = Weaver::new(aspects.clone());
-        let result = weaver.weave(&functional)?;
+        let result = match weaver.weave_traced(&functional, obs) {
+            Ok(r) => r,
+            Err(e) => {
+                if obs.is_enabled() {
+                    obs.span_attr(phase, "outcome", &format!("error: {e}"));
+                }
+                obs.end_span(phase, 0);
+                return Err(e.into());
+            }
+        };
+        let rspan = obs.begin_span("codegen", "render:aspects", 0);
         let backend = AspectJBackend::new();
-        let aspect_sources = aspects.iter().map(|a| (a.name.clone(), backend.render(a))).collect();
+        let aspect_sources: Vec<(String, String)> =
+            aspects.iter().map(|a| (a.name.clone(), backend.render(a))).collect();
+        if obs.is_enabled() {
+            obs.span_attr(rspan, "aspects", &aspect_sources.len().to_string());
+        }
+        obs.end_span(rspan, 0);
+        obs.end_span(phase, 0);
         Ok(GeneratedSystem {
             functional_source: pretty_print(&functional),
             functional,
@@ -384,6 +450,38 @@ mod tests {
             .collect();
         assert_eq!(advising.len(), 3);
         assert!(comet_codegen::check_program(&system.woven).is_empty());
+    }
+
+    #[test]
+    fn trace_concern_spans_follow_application_order() {
+        let obs = comet_obs::Collector::enabled();
+        let mut mda = MdaLifecycle::new(banking_pim(), fig2_workflow()).unwrap();
+        mda.set_collector(obs.clone());
+        mda.apply_concern(&distribution::pair(), dist_si()).unwrap();
+        mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
+        mda.apply_concern(&security::pair(), sec_si()).unwrap();
+        mda.generate(&BodyProvider::default()).unwrap();
+        let trace = obs.take();
+        // §3: CMT application order = aspect precedence. In the trace
+        // that is the top-level span order.
+        let roots: Vec<&str> = trace.roots().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            roots,
+            ["concern:distribution", "concern:transactions", "concern:security", "generate"]
+        );
+        for root in trace.roots().into_iter().filter(|s| s.name.starts_with("concern:")) {
+            let kids = trace.children(root.id);
+            assert!(
+                kids.iter().any(|c| c.cat == "transform"),
+                "concern span {} nests its CMT application",
+                root.name
+            );
+            assert_eq!(comet_obs::Trace::attr(&root.attrs, "outcome"), Some("ok"));
+        }
+        // The generate phase nests codegen and the weave pass.
+        let generate = trace.roots().into_iter().find(|s| s.name == "generate").unwrap();
+        let cats: Vec<&str> = trace.children(generate.id).iter().map(|s| s.cat.as_str()).collect();
+        assert_eq!(cats, ["codegen", "weave", "codegen"]);
     }
 
     #[test]

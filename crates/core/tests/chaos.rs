@@ -9,8 +9,10 @@
 //! Pinned-seed cases run in the default suite; the wide randomized
 //! sweep is `#[ignore]`d and run by the dedicated CI chaos job.
 
-use comet::{run_banking_chaos, ChaosConfig, FtOrder};
+use comet::{run_banking_chaos, run_banking_chaos_traced, ChaosConfig, FtOrder};
 use comet_middleware::{FaultKind, FaultOp, FaultPlan};
+use comet_obs::{Collector, Trace};
+use proptest::prelude::*;
 
 /// Seeds pinned in CI: the chaos job runs exactly these.
 const PINNED_SEEDS: [u64; 3] = [7, 1_234, 987_654_321];
@@ -182,6 +184,125 @@ fn latency_spikes_slow_the_run_but_nothing_fails() {
         base.now_us
     );
     assert!(!slow.fault_log.is_empty(), "{slow}");
+}
+
+fn traced(cfg: &ChaosConfig) -> (comet::ChaosReport, Trace) {
+    let obs = Collector::enabled();
+    let report = run_banking_chaos_traced(cfg, &obs).unwrap();
+    (report, obs.take())
+}
+
+#[test]
+fn same_seed_same_trace_byte_for_byte() {
+    for seed in PINNED_SEEDS {
+        let cfg = chaos_config(seed, FtOrder::FtOutsideTx);
+        let (ra, ta) = traced(&cfg);
+        let (rb, tb) = traced(&cfg);
+        assert_eq!(ra, rb, "report diverged for seed {seed}");
+        assert!(!ta.is_empty(), "trace empty for seed {seed}");
+        assert_eq!(
+            ta.to_chrome_json(),
+            tb.to_chrome_json(),
+            "trace diverged for seed {seed} despite identical config"
+        );
+    }
+}
+
+#[test]
+fn disabled_collector_leaves_run_and_trace_untouched() {
+    let cfg = chaos_config(7, FtOrder::FtOutsideTx);
+    let plain = run_banking_chaos(&cfg).unwrap();
+    let obs = Collector::disabled();
+    let silent = run_banking_chaos_traced(&cfg, &obs).unwrap();
+    assert_eq!(plain, silent, "a disabled collector must not perturb the run");
+    assert!(obs.take().is_empty(), "a disabled collector must record nothing");
+}
+
+#[test]
+fn every_fault_log_record_appears_in_the_trace() {
+    let cfg = chaos_config(7, FtOrder::FtOutsideTx);
+    let (report, trace) = traced(&cfg);
+    assert!(!report.fault_log.is_empty(), "{report}");
+    let fault_events: Vec<_> = trace.events.iter().filter(|e| e.cat == "fault").collect();
+    assert_eq!(
+        fault_events.len(),
+        report.fault_log.len(),
+        "every FaultLog record must bridge to exactly one trace event"
+    );
+    for (i, (event, record)) in fault_events.iter().zip(report.fault_log.records()).enumerate() {
+        assert_eq!(
+            Trace::attr(&event.attrs, "log_seq"),
+            Some(i.to_string().as_str()),
+            "fault event {i} lost its log position"
+        );
+        assert_eq!(event.at_us, record.at_us, "fault event {i} drifted in sim time");
+        // Injection happens while a transfer call is on the stack, so
+        // the event's span-ancestor chain passes through a runtime span.
+        let mut span = event.span;
+        let mut in_call = false;
+        while let Some(id) = span {
+            let s = &trace.spans[id as usize];
+            in_call |= s.cat == "runtime";
+            span = s.parent;
+        }
+        assert!(in_call, "fault event {i} is not nested inside a call span");
+    }
+}
+
+#[test]
+fn golden_text_tree_for_pinned_seed_seven() {
+    let cfg = ChaosConfig {
+        seed: 7,
+        plan: mixed_plan(7),
+        order: FtOrder::FtOutsideTx,
+        transfers: 6,
+        ..ChaosConfig::default()
+    };
+    let (_, trace) = traced(&cfg);
+    let tree = trace.to_text_tree();
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/chaos_seed7_tree.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &tree).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        tree, golden,
+        "seed-7 trace tree drifted from the golden; if the change is intended, \
+         regenerate with UPDATE_GOLDEN=1 cargo test -p comet --test chaos"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// §3 as a trace property: for any precedence order and workload
+    /// length, the top-level concern spans appear in exactly the
+    /// applied-concern order.
+    #[test]
+    fn concern_span_order_is_application_order(
+        ft_outside in any::<bool>(),
+        transfers in 1u32..6,
+        seed in any::<u8>(),
+    ) {
+        let order = if ft_outside { FtOrder::FtOutsideTx } else { FtOrder::TxOutsideFt };
+        let cfg = ChaosConfig {
+            seed: u64::from(seed),
+            plan: mixed_plan(u64::from(seed)),
+            order,
+            transfers,
+            ..ChaosConfig::default()
+        };
+        let (_, trace) = traced(&cfg);
+        let concern_roots: Vec<&str> = trace
+            .roots()
+            .into_iter()
+            .filter(|s| s.cat == "lifecycle" && s.name.starts_with("concern:"))
+            .map(|s| &s.name["concern:".len()..])
+            .collect();
+        prop_assert_eq!(concern_roots, order.concerns().to_vec());
+    }
 }
 
 /// The wide sweep CI runs with `--ignored`: 100 random seeds through a

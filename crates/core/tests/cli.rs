@@ -187,6 +187,108 @@ fn run_rejects_bad_fault_arguments() {
 }
 
 #[test]
+fn run_trace_is_deterministic_and_drives_provenance() {
+    let plan = temp_path("trace-plan.toml");
+    std::fs::write(&plan, "seed = 7\n\n[schedule]\n\"tx.commit@1\" = \"transient\"\n").unwrap();
+    let trace_a = temp_path("trace-a.json");
+    let trace_b = temp_path("trace-b.json");
+    for trace in [&trace_a, &trace_b] {
+        let out = cli()
+            .args([
+                "run",
+                "--faults",
+                plan.to_str().unwrap(),
+                "--seed",
+                "7",
+                "--transfers",
+                "4",
+                "--trace",
+                trace.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(String::from_utf8_lossy(&out.stdout).contains("wrote trace to"));
+    }
+    let a = std::fs::read_to_string(&trace_a).unwrap();
+    let b = std::fs::read_to_string(&trace_b).unwrap();
+    assert_eq!(a, b, "same seed + same plan must write byte-identical traces");
+    // Chrome trace-event shape: the Perfetto loader's minimum contract.
+    assert!(a.starts_with("{\"displayTimeUnit\""), "{}", &a[..80.min(a.len())]);
+    assert!(a.contains("\"traceEvents\""));
+    assert!(a.contains("\"name\":\"concern:distribution\""));
+    assert!(a.contains("\"name\":\"fault.injected\""));
+
+    // The trace answers provenance queries end to end.
+    let out = cli()
+        .args(["provenance", "Bank.transfer", "--trace", trace_a.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("provenance: Bank.transfer"), "{stdout}");
+    assert!(stdout.contains("concern transactions"), "{stdout}");
+    assert!(stdout.contains("at execution(Bank.transfer)"), "{stdout}");
+    assert!(stdout.contains("call Bank.transfer"), "{stdout}");
+
+    // A query nothing touched reports cleanly instead of erroring.
+    let out = cli()
+        .args(["provenance", "Nonexistent.widget", "--trace", trace_a.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no provenance for"));
+
+    // provenance without --trace is an error.
+    let out = cli().args(["provenance", "Bank.transfer"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace"));
+
+    for p in [plan, trace_a, trace_b] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn pipeline_trace_covers_the_whole_pipeline() {
+    let trace = temp_path("pipeline-trace.json");
+    let out = cli()
+        .args(["pipeline", "--seed", "7", "--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&trace).unwrap();
+    // Concern spans in application order (§3 precedence), then codegen,
+    // weave, and the chaos run's runtime spans.
+    let order = ["concern:distribution", "concern:transactions", "concern:security"];
+    let positions: Vec<usize> =
+        order.iter().map(|n| json.find(&format!("\"name\":\"{n}\"")).expect(n)).collect();
+    assert!(positions.windows(2).all(|w| w[0] < w[1]), "concern spans out of order");
+    for name in ["\"generate\"", "\"weave\"", "\"weave.advice\"", "\"call:Bank.transfer\""] {
+        assert!(json.contains(name), "trace missing {name}");
+    }
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn metrics_reports_in_text_and_json() {
+    let out = cli().arg("metrics").output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("methods="), "{stdout}");
+    assert!(stdout.contains("net:"), "{stdout}");
+
+    let out = cli().args(["metrics", "--json"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"tangling_ratio\""), "{stdout}");
+    assert!(stdout.contains("\"concerns\""), "{stdout}");
+
+    let out = cli().args(["metrics", "--bogus"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
 fn errors_are_reported_with_nonzero_exit() {
     // Unknown command.
     let out = cli().arg("frobnicate").output().unwrap();

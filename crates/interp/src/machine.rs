@@ -158,6 +158,7 @@ pub struct Interp {
     call_trace: Option<Vec<String>>,
     call_depth: usize,
     pub(crate) cflow: BTreeMap<String, u64>,
+    obs: comet_obs::Collector,
 }
 
 impl Interp {
@@ -180,7 +181,25 @@ impl Interp {
             call_trace: None,
             call_depth: 0,
             cflow: BTreeMap::new(),
+            obs: comet_obs::Collector::disabled(),
         }
+    }
+
+    /// Attaches a trace collector. The interpreter counts every
+    /// intrinsic call per service prefix (`intrinsic.tx`,
+    /// `intrinsic.sec`, ...) and the middleware's fault injector mirrors
+    /// its log into the same trace. Disabled collectors cost one branch
+    /// per intrinsic.
+    pub fn set_collector(&mut self, obs: comet_obs::Collector) {
+        self.middleware.attach_collector(obs.clone());
+        self.obs = obs;
+    }
+
+    /// The attached collector (disabled unless [`Interp::set_collector`]
+    /// was called) — callers use it to open runtime call spans around
+    /// [`Interp::call`].
+    pub fn collector(&self) -> &comet_obs::Collector {
+        &self.obs
     }
 
     /// Starts recording a call trace: one `"<depth> Class.method"` line
@@ -708,6 +727,21 @@ impl Interp {
                     argv.push(self.eval(a, frame)?);
                 }
                 self.stats.intrinsic_calls += 1;
+                if self.obs.is_enabled() {
+                    // Static keys for the standard prefixes keep the
+                    // enabled hot path allocation-free.
+                    match name.split('.').next().unwrap_or(name) {
+                        "tx" => self.obs.incr("intrinsic.tx", 1),
+                        "sec" => self.obs.incr("intrinsic.sec", 1),
+                        "net" => self.obs.incr("intrinsic.net", 1),
+                        "log" => self.obs.incr("intrinsic.log", 1),
+                        "lock" => self.obs.incr("intrinsic.lock", 1),
+                        "cflow" => self.obs.incr("intrinsic.cflow", 1),
+                        "store" => self.obs.incr("intrinsic.store", 1),
+                        "ft" => self.obs.incr("intrinsic.ft", 1),
+                        other => self.obs.incr(&format!("intrinsic.{other}"), 1),
+                    }
+                }
                 self.call_intrinsic(name, argv, frame.this)
             }
             Expr::Proceed(_) => Err(InterpError::TypeError(
@@ -843,6 +877,42 @@ mod tests {
         m.ret = ret;
         m.body = Block::of(body);
         m
+    }
+
+    #[test]
+    fn intrinsic_counters_accumulate_per_prefix() {
+        let p = program_one_class(
+            vec![method(
+                "f",
+                vec![],
+                IrType::Void,
+                vec![
+                    Stmt::Expr(Expr::intrinsic(
+                        "log.emit",
+                        vec![Expr::str("info"), Expr::str("x")],
+                    )),
+                    Stmt::Expr(Expr::intrinsic(
+                        "log.emit",
+                        vec![Expr::str("info"), Expr::str("y")],
+                    )),
+                    Stmt::Expr(Expr::intrinsic("net.is_local", vec![Expr::str("local")])),
+                ],
+            )],
+            vec![],
+        );
+        let mut i = Interp::new(p);
+        let obs = comet_obs::Collector::enabled();
+        i.set_collector(obs.clone());
+        let o = i.create("T").unwrap();
+        i.call(o, "f", vec![]).unwrap();
+        let trace = obs.take();
+        assert_eq!(trace.counters["intrinsic.log"], 2);
+        assert_eq!(trace.counters["intrinsic.net"], 1);
+        assert_eq!(
+            trace.counters.values().sum::<u64>(),
+            i.stats().intrinsic_calls,
+            "prefix counters partition the total intrinsic count"
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 use crate::clock::SimClock;
 use crate::error::MiddlewareError;
+use comet_obs::Collector;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
@@ -482,6 +483,10 @@ pub struct FaultInjector {
     breakers: BTreeMap<String, BreakerState>,
     log: FaultLog,
     seq: u64,
+    /// Trace sink: every [`FaultRecord`] is mirrored as an obs event.
+    /// Disabled by default; `install_plan` deliberately leaves it alone
+    /// (the trace outlives plan swaps, unlike the log).
+    obs: Collector,
 }
 
 impl FaultInjector {
@@ -497,7 +502,14 @@ impl FaultInjector {
             breakers: BTreeMap::new(),
             log: FaultLog::default(),
             seq: 0,
+            obs: Collector::disabled(),
         }
+    }
+
+    /// Attaches a trace collector; every subsequent fault-log record is
+    /// mirrored into it as a `fault`-category event.
+    pub fn set_collector(&mut self, obs: Collector) {
+        self.obs = obs;
     }
 
     /// Installs (or replaces) the fault plan, reseeding the private RNG
@@ -531,6 +543,35 @@ impl FaultInjector {
     fn record(&mut self, event: FaultEvent) {
         let rec = FaultRecord { seq: self.seq, at_us: self.now_us(), event };
         self.seq += 1;
+        if self.obs.is_enabled() {
+            let (name, mut attrs): (&str, Vec<(String, String)>) = match &rec.event {
+                FaultEvent::Injected { op, kind } => (
+                    "fault.injected",
+                    vec![("op".into(), op.to_string()), ("kind".into(), kind.to_string())],
+                ),
+                FaultEvent::ArmedFired { point } => {
+                    ("fault.armed", vec![("point".into(), point.clone())])
+                }
+                FaultEvent::Healed { node } => {
+                    ("fault.healed", vec![("node".into(), node.clone())])
+                }
+                FaultEvent::BreakerOpened { callee, until_us } => (
+                    "breaker.opened",
+                    vec![
+                        ("callee".into(), callee.clone()),
+                        ("until_us".into(), until_us.to_string()),
+                    ],
+                ),
+                FaultEvent::BreakerHalfOpen { callee } => {
+                    ("breaker.half_open", vec![("callee".into(), callee.clone())])
+                }
+                FaultEvent::BreakerClosed { callee } => {
+                    ("breaker.closed", vec![("callee".into(), callee.clone())])
+                }
+            };
+            attrs.push(("log_seq".into(), rec.seq.to_string()));
+            self.obs.event("fault", name, rec.at_us, attrs);
+        }
         self.log.records.push(rec);
     }
 
@@ -951,6 +992,40 @@ mod tests {
             Err(FaultPlanError::BadFaultKind(_))
         ));
         assert!(matches!(FaultPlan::parse_toml("wat"), Err(FaultPlanError::BadLine(_))));
+    }
+
+    #[test]
+    fn collector_mirrors_every_log_record() {
+        let (mut inj, clock) = injector();
+        let obs = Collector::enabled();
+        inj.set_collector(obs.clone());
+        inj.install_plan(FaultPlan::new(1).at(FaultOp::TxCommit, 1, FaultKind::Transient).at(
+            FaultOp::BusSend,
+            1,
+            FaultKind::Partition { node: "server".into(), for_us: 50 },
+        ));
+        let _ = inj.check(FaultOp::TxCommit, &[]);
+        let _ = inj.check(FaultOp::BusSend, &[]);
+        clock.borrow_mut().advance_us(50);
+        let _ = inj.check(FaultOp::BusSend, &["server"]); // heals
+        inj.breaker_record("Bank.transfer", false, 1, 100);
+        let trace = obs.take();
+        assert_eq!(
+            trace.events.len(),
+            inj.log().len(),
+            "one obs event per fault-log record: {trace:?}"
+        );
+        let names: Vec<&str> = trace.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["fault.injected", "fault.injected", "fault.healed", "breaker.opened"]);
+        // The bridge carries the log's own seq and sim time, so a trace
+        // can be checked against the log record-for-record.
+        for (e, r) in trace.events.iter().zip(inj.log().records()) {
+            assert_eq!(
+                comet_obs::Trace::attr(&e.attrs, "log_seq"),
+                Some(r.seq.to_string().as_str())
+            );
+            assert_eq!(e.at_us, r.at_us);
+        }
     }
 
     #[test]

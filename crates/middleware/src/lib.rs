@@ -161,6 +161,13 @@ impl<V: Clone> Middleware<V> {
         self.faults.borrow_mut().install_plan(plan);
     }
 
+    /// Attaches a trace collector to the fault injector: from here on
+    /// every fault-log record is mirrored into the trace as a
+    /// `fault`-category event (survives later `install_fault_plan`s).
+    pub fn attach_collector(&self, obs: comet_obs::Collector) {
+        self.faults.borrow_mut().set_collector(obs);
+    }
+
     /// A snapshot of the fault log.
     pub fn fault_log(&self) -> FaultLog {
         self.faults.borrow().log().clone()

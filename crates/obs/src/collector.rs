@@ -1,0 +1,377 @@
+//! The collector: spans, events, counters, and the disabled fast path.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Handle to an open (or closed) span. The disabled collector hands out
+/// a sentinel that every later call ignores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(u32);
+
+impl SpanId {
+    const NONE: SpanId = SpanId(u32::MAX);
+
+    /// The raw index into [`Trace::spans`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One hierarchical span: a pipeline stage with a begin and an end.
+///
+/// `start_seq`/`end_seq` are logical ticks (every recorded begin, end
+/// and event consumes one), so sibling spans never overlap and children
+/// nest strictly — the deterministic timeline. `start_us`/`end_us` are
+/// the simulated clock, 0 for model-level phases that run before the
+/// middleware exists. `wall_ns` is host wall-clock duration and is
+/// deliberately excluded from the deterministic exporters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Index into the trace's span table.
+    pub id: u32,
+    /// Enclosing span, if any.
+    pub parent: Option<u32>,
+    /// Span category (`lifecycle`, `transform`, `weave`, `runtime`, ...).
+    pub cat: String,
+    /// Span name (`concern:distribution`, `call:Bank.transfer`, ...).
+    pub name: String,
+    /// Logical tick at which the span opened.
+    pub start_seq: u64,
+    /// Logical tick at which the span closed.
+    pub end_seq: u64,
+    /// Sim time (µs) at open.
+    pub start_us: u64,
+    /// Sim time (µs) at close.
+    pub end_us: u64,
+    /// Host wall-clock duration in ns (non-deterministic; profile only).
+    pub wall_ns: u64,
+    /// Key/value attributes, in insertion order.
+    pub attrs: Vec<(String, String)>,
+}
+
+/// One instantaneous typed event, attached to the innermost open span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Logical tick of the event.
+    pub seq: u64,
+    /// Sim time (µs).
+    pub at_us: u64,
+    /// Innermost span open when the event fired.
+    pub span: Option<u32>,
+    /// Event category (`transform`, `weave`, `fault`, ...).
+    pub cat: String,
+    /// Event name (`model.created`, `weave.advice`, `fault.injected`, ...).
+    pub name: String,
+    /// Key/value attributes, in insertion order.
+    pub attrs: Vec<(String, String)>,
+}
+
+/// Everything one collector recorded. `PartialEq` compares the
+/// deterministic projection only — wall-clock durations are ignored, so
+/// two same-seed runs compare equal even though their wall times differ.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All spans, id-indexed, in open order.
+    pub spans: Vec<Span>,
+    /// All events, in seq order.
+    pub events: Vec<Event>,
+    /// Final monotonic counter values.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        let strip = |s: &Span| {
+            let mut s = s.clone();
+            s.wall_ns = 0;
+            s
+        };
+        self.events == other.events
+            && self.counters == other.counters
+            && self.spans.len() == other.spans.len()
+            && self.spans.iter().map(strip).eq(other.spans.iter().map(strip))
+    }
+}
+
+impl Trace {
+    /// True when nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.events.is_empty() && self.counters.is_empty()
+    }
+
+    /// Top-level spans (no parent), in open order.
+    pub fn roots(&self) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.parent.is_none()).collect()
+    }
+
+    /// Direct child spans of `id`, in open order.
+    pub fn children(&self, id: u32) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.parent == Some(id)).collect()
+    }
+
+    /// Events attached to span `id`, in seq order.
+    pub fn events_of(&self, id: u32) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.span == Some(id)).collect()
+    }
+
+    /// The value of an attribute on a span or event attribute list.
+    pub fn attr<'a>(attrs: &'a [(String, String)], key: &str) -> Option<&'a str> {
+        attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    spans: Vec<Span>,
+    events: Vec<Event>,
+    counters: BTreeMap<String, u64>,
+    /// Stack of open span ids (innermost last).
+    open: Vec<u32>,
+    /// Per-span wall-clock start, taken at open, consumed at close.
+    wall_start: Vec<Option<Instant>>,
+    seq: u64,
+}
+
+impl Inner {
+    fn tick(&mut self) -> u64 {
+        let t = self.seq;
+        self.seq += 1;
+        t
+    }
+
+    fn close(&mut self, id: u32, sim_us: u64) {
+        let end_seq = self.tick();
+        let wall = self.wall_start[id as usize].take();
+        let span = &mut self.spans[id as usize];
+        span.end_seq = end_seq;
+        span.end_us = sim_us;
+        if let Some(start) = wall {
+            span.wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        }
+    }
+}
+
+/// The tracing handle threaded through the pipeline. Cheap to clone
+/// (shared state), `Send + Sync` so lifecycles and weavers holding one
+/// still move into rayon pools, and free when disabled: every recording
+/// method starts with one branch on the inner `Option` and returns
+/// immediately — the same inert-fast-path contract as the middleware's
+/// `FaultInjector::check`.
+#[derive(Debug, Clone, Default)]
+pub struct Collector {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl Collector {
+    /// A recording collector.
+    pub fn enabled() -> Self {
+        Collector { inner: Some(Arc::new(Mutex::new(Inner::default()))) }
+    }
+
+    /// The no-op collector (also [`Default`]). Hot-path cost: one branch.
+    pub fn disabled() -> Self {
+        Collector { inner: None }
+    }
+
+    /// True when recording. Callers use this to guard attribute
+    /// construction that would allocate before the one-branch bailout.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span nested under the innermost open span.
+    pub fn begin_span(&self, cat: &str, name: &str, sim_us: u64) -> SpanId {
+        let Some(inner) = &self.inner else { return SpanId::NONE };
+        let mut g = inner.lock().expect("collector poisoned");
+        let start_seq = g.tick();
+        let id = u32::try_from(g.spans.len()).expect("span table overflow");
+        let parent = g.open.last().copied();
+        g.spans.push(Span {
+            id,
+            parent,
+            cat: cat.to_owned(),
+            name: name.to_owned(),
+            start_seq,
+            end_seq: start_seq,
+            start_us: sim_us,
+            end_us: sim_us,
+            wall_ns: 0,
+            attrs: Vec::new(),
+        });
+        g.wall_start.push(Some(Instant::now()));
+        g.open.push(id);
+        SpanId(id)
+    }
+
+    /// Attaches (or appends) an attribute to a span.
+    pub fn span_attr(&self, span: SpanId, key: &str, value: &str) {
+        let Some(inner) = &self.inner else { return };
+        if span == SpanId::NONE {
+            return;
+        }
+        let mut g = inner.lock().expect("collector poisoned");
+        if let Some(s) = g.spans.get_mut(span.index()) {
+            s.attrs.push((key.to_owned(), value.to_owned()));
+        }
+    }
+
+    /// Closes a span. Spans the caller forgot to close above it on the
+    /// stack (error paths) are force-closed at the same sim time, each
+    /// with its own tick, so nesting stays strict.
+    pub fn end_span(&self, span: SpanId, sim_us: u64) {
+        let Some(inner) = &self.inner else { return };
+        if span == SpanId::NONE {
+            return;
+        }
+        let mut g = inner.lock().expect("collector poisoned");
+        if !g.open.contains(&(span.0)) {
+            return; // already closed (double end is a no-op)
+        }
+        while let Some(top) = g.open.pop() {
+            g.close(top, sim_us);
+            if top == span.0 {
+                break;
+            }
+        }
+    }
+
+    /// Records an instantaneous event under the innermost open span.
+    pub fn event(&self, cat: &str, name: &str, sim_us: u64, attrs: Vec<(String, String)>) {
+        let Some(inner) = &self.inner else { return };
+        let mut g = inner.lock().expect("collector poisoned");
+        let seq = g.tick();
+        let span = g.open.last().copied();
+        g.events.push(Event {
+            seq,
+            at_us: sim_us,
+            span,
+            cat: cat.to_owned(),
+            name: name.to_owned(),
+            attrs,
+        });
+    }
+
+    /// Bumps a monotonic counter.
+    pub fn incr(&self, counter: &str, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut g = inner.lock().expect("collector poisoned");
+        match g.counters.get_mut(counter) {
+            Some(v) => *v += delta,
+            None => {
+                g.counters.insert(counter.to_owned(), delta);
+            }
+        }
+    }
+
+    /// A clone of everything recorded so far (open spans appear with
+    /// `end_seq == start_seq`).
+    pub fn snapshot(&self) -> Trace {
+        let Some(inner) = &self.inner else { return Trace::default() };
+        let g = inner.lock().expect("collector poisoned");
+        Trace { spans: g.spans.clone(), events: g.events.clone(), counters: g.counters.clone() }
+    }
+
+    /// Drains the collector, returning the finished trace and leaving it
+    /// empty (still enabled).
+    pub fn take(&self) -> Trace {
+        let Some(inner) = &self.inner else { return Trace::default() };
+        let mut g = inner.lock().expect("collector poisoned");
+        let drained = std::mem::take(&mut *g);
+        Trace { spans: drained.spans, events: drained.events, counters: drained.counters }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_events_attach() {
+        let obs = Collector::enabled();
+        let outer = obs.begin_span("lifecycle", "outer", 10);
+        let inner = obs.begin_span("transform", "inner", 11);
+        obs.event("transform", "model.created", 11, vec![("element".into(), "X".into())]);
+        obs.end_span(inner, 12);
+        obs.end_span(outer, 13);
+        let t = obs.take();
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[1].parent, Some(0));
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].span, Some(1));
+        // Strict tick nesting: outer [0, 4], inner [1, 3], event 2.
+        assert!(t.spans[0].start_seq < t.spans[1].start_seq);
+        assert!(t.spans[1].end_seq < t.spans[0].end_seq);
+        assert!(t.events[0].seq > t.spans[1].start_seq && t.events[0].seq < t.spans[1].end_seq);
+        assert_eq!(t.spans[0].start_us, 10);
+        assert_eq!(t.spans[0].end_us, 13);
+    }
+
+    #[test]
+    fn forgotten_children_are_force_closed() {
+        let obs = Collector::enabled();
+        let outer = obs.begin_span("a", "outer", 0);
+        let _leaked = obs.begin_span("a", "leaked", 0);
+        obs.end_span(outer, 5);
+        let t = obs.take();
+        assert!(t.spans.iter().all(|s| s.end_seq > s.start_seq), "{t:?}");
+        assert_eq!(t.spans[1].end_us, 5);
+    }
+
+    #[test]
+    fn double_end_is_a_no_op() {
+        let obs = Collector::enabled();
+        let s = obs.begin_span("a", "s", 0);
+        obs.end_span(s, 1);
+        obs.end_span(s, 99);
+        let t = obs.take();
+        assert_eq!(t.spans[0].end_us, 1);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let obs = Collector::disabled();
+        assert!(!obs.is_enabled());
+        let s = obs.begin_span("a", "b", 0);
+        obs.span_attr(s, "k", "v");
+        obs.event("a", "e", 0, Vec::new());
+        obs.incr("c", 3);
+        obs.end_span(s, 0);
+        assert!(obs.take().is_empty());
+        assert!(obs.snapshot().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let obs = Collector::enabled();
+        obs.incr("intrinsic.tx", 1);
+        obs.incr("intrinsic.tx", 2);
+        obs.incr("intrinsic.sec", 5);
+        let t = obs.take();
+        assert_eq!(t.counters["intrinsic.tx"], 3);
+        assert_eq!(t.counters["intrinsic.sec"], 5);
+    }
+
+    #[test]
+    fn trace_equality_ignores_wall_time() {
+        let run = || {
+            let obs = Collector::enabled();
+            let s = obs.begin_span("a", "s", 0);
+            std::thread::yield_now();
+            obs.end_span(s, 1);
+            obs.take()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn take_drains_but_keeps_recording() {
+        let obs = Collector::enabled();
+        obs.incr("c", 1);
+        let first = obs.take();
+        assert_eq!(first.counters["c"], 1);
+        obs.incr("c", 1);
+        assert_eq!(obs.take().counters["c"], 1);
+    }
+}

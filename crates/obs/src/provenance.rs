@@ -1,0 +1,328 @@
+//! Provenance: from any recorded [`Trace`], rebuild for each model
+//! element / woven advice / runtime call the chain
+//! `concern → CMT(Si) → advice → runtime events`, and answer
+//! `comet-cli provenance <element>` queries against it.
+
+use crate::collector::Trace;
+use std::fmt;
+
+/// A model-level fact: some CMT, specialized by some `Si`, touched an
+/// element. Sourced from `model.created|modified|removed` events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelEntry {
+    /// `created`, `modified` or `removed` (the event name suffix).
+    pub action: String,
+    /// Element name, e.g. `ClientProxy` or `Bank.transfer`.
+    pub element: String,
+    /// Metamodel kind, e.g. `Class` or `Operation`.
+    pub kind: String,
+    /// Owning concern, e.g. `distribution`.
+    pub concern: String,
+    /// The concrete transformation's full name, `Name<k=v,...>`.
+    pub cmt: String,
+    /// The specialization parameters `Si` as recorded.
+    pub si: String,
+    /// Logical tick of the event (orders entries).
+    pub seq: u64,
+}
+
+/// A weave-time fact: an aspect's advice landed on a join-point shadow.
+/// Sourced from `weave.advice` events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdviceEntry {
+    /// Aspect name, e.g. `TransactionAspect`.
+    pub aspect: String,
+    /// Advice kind (`before` / `after` / `around`).
+    pub kind: String,
+    /// The join-point shadow, e.g. `call(Bank.transfer)`.
+    pub shadow: String,
+    /// Class the shadow lives in.
+    pub class: String,
+    /// Method the shadow lives in.
+    pub method: String,
+    /// Logical tick of the event.
+    pub seq: u64,
+}
+
+/// A runtime fact: one interpreted call span plus the fault events that
+/// fired inside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeEntry {
+    /// The callee, e.g. `Bank.transfer`.
+    pub call: String,
+    /// Call outcome as recorded (`ok`, `thrown:...`, ...).
+    pub outcome: String,
+    /// Fault events inside the span, formatted `name k=v ...`.
+    pub faults: Vec<String>,
+    /// Logical start tick of the span.
+    pub seq: u64,
+}
+
+/// The provenance index over one trace. Build once, query many times.
+#[derive(Debug, Default, Clone)]
+pub struct ProvenanceIndex {
+    model: Vec<ModelEntry>,
+    advice: Vec<AdviceEntry>,
+    runtime: Vec<RuntimeEntry>,
+}
+
+/// All provenance entries matching one query, ready to print.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceReport {
+    /// The query string the report answers.
+    pub query: String,
+    /// Matching model-level entries, in tick order.
+    pub model: Vec<ModelEntry>,
+    /// Matching weave-time entries, in tick order.
+    pub advice: Vec<AdviceEntry>,
+    /// Matching runtime entries, in tick order.
+    pub runtime: Vec<RuntimeEntry>,
+}
+
+fn attr<'a>(attrs: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+impl ProvenanceIndex {
+    /// Indexes a trace. Attributes missing on an event are inherited
+    /// from the nearest enclosing span that carries them (so a
+    /// `model.created` event inside `apply:Tx<...>` inside
+    /// `concern:transactions` needs no redundant tagging).
+    pub fn build(trace: &Trace) -> ProvenanceIndex {
+        let mut index = ProvenanceIndex::default();
+        let lookup = |span: Option<u32>, key: &str, own: &[(String, String)]| -> String {
+            if let Some(v) = attr(own, key) {
+                return v.to_owned();
+            }
+            let mut cursor = span;
+            while let Some(id) = cursor {
+                let s = &trace.spans[id as usize];
+                if let Some(v) = attr(&s.attrs, key) {
+                    return v.to_owned();
+                }
+                cursor = s.parent;
+            }
+            String::new()
+        };
+        for e in &trace.events {
+            if e.cat == "transform" {
+                if let Some(action) = e.name.strip_prefix("model.") {
+                    index.model.push(ModelEntry {
+                        action: action.to_owned(),
+                        element: lookup(e.span, "element", &e.attrs),
+                        kind: lookup(e.span, "kind", &e.attrs),
+                        concern: lookup(e.span, "concern", &e.attrs),
+                        cmt: lookup(e.span, "cmt", &e.attrs),
+                        si: lookup(e.span, "si", &e.attrs),
+                        seq: e.seq,
+                    });
+                }
+            } else if e.cat == "weave" && e.name == "weave.advice" {
+                index.advice.push(AdviceEntry {
+                    aspect: lookup(e.span, "aspect", &e.attrs),
+                    kind: lookup(e.span, "advice", &e.attrs),
+                    shadow: lookup(e.span, "shadow", &e.attrs),
+                    class: lookup(e.span, "class", &e.attrs),
+                    method: lookup(e.span, "method", &e.attrs),
+                    seq: e.seq,
+                });
+            }
+        }
+        for s in trace.spans.iter().filter(|s| s.cat == "runtime") {
+            let Some(call) = s.name.strip_prefix("call:") else {
+                continue;
+            };
+            // A fault event belongs to this call if its span chain
+            // passes through it.
+            let mut faults = Vec::new();
+            for e in trace.events.iter().filter(|e| e.cat == "fault") {
+                let mut cursor = e.span;
+                while let Some(id) = cursor {
+                    if id == s.id {
+                        let mut line = e.name.clone();
+                        for (k, v) in &e.attrs {
+                            line.push_str(&format!(" {k}={v}"));
+                        }
+                        faults.push(line);
+                        break;
+                    }
+                    cursor = trace.spans[id as usize].parent;
+                }
+            }
+            index.runtime.push(RuntimeEntry {
+                call: call.to_owned(),
+                outcome: attr(&s.attrs, "outcome").unwrap_or("").to_owned(),
+                faults,
+                seq: s.start_seq,
+            });
+        }
+        index
+    }
+
+    /// Answers a query. A query matches an entry when it is a substring
+    /// of any identifying field (element, class, method, shadow, aspect,
+    /// concern, CMT or callee) — so `provenance ClientProxy`,
+    /// `provenance Bank.transfer` and `provenance transactions` all
+    /// work. Returns `None` when nothing in the trace matches.
+    pub fn query(&self, needle: &str) -> Option<ProvenanceReport> {
+        let hit = |hay: &str| !needle.is_empty() && hay.contains(needle);
+        let model: Vec<ModelEntry> = self
+            .model
+            .iter()
+            .filter(|m| hit(&m.element) || hit(&m.concern) || hit(&m.cmt))
+            .cloned()
+            .collect();
+        let advice: Vec<AdviceEntry> = self
+            .advice
+            .iter()
+            .filter(|a| hit(&a.aspect) || hit(&a.shadow) || hit(&a.class) || hit(&a.method))
+            .cloned()
+            .collect();
+        let runtime: Vec<RuntimeEntry> = self
+            .runtime
+            .iter()
+            .filter(|r| hit(&r.call) || r.faults.iter().any(|f| hit(f)))
+            .cloned()
+            .collect();
+        if model.is_empty() && advice.is_empty() && runtime.is_empty() {
+            return None;
+        }
+        Some(ProvenanceReport { query: needle.to_owned(), model, advice, runtime })
+    }
+
+    /// Number of indexed entries across all three layers.
+    pub fn len(&self) -> usize {
+        self.model.len() + self.advice.len() + self.runtime.len()
+    }
+
+    /// True when the trace held nothing indexable.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for ProvenanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "provenance: {}", self.query)?;
+        if !self.model.is_empty() {
+            writeln!(f, "model:")?;
+            for m in &self.model {
+                write!(f, "  {} {}", m.action, m.element)?;
+                if !m.kind.is_empty() {
+                    write!(f, " ({})", m.kind)?;
+                }
+                write!(f, " <- concern {}", m.concern)?;
+                if !m.cmt.is_empty() {
+                    write!(f, ", cmt {}", m.cmt)?;
+                }
+                if !m.si.is_empty() {
+                    write!(f, ", si {}", m.si)?;
+                }
+                writeln!(f)?;
+            }
+        }
+        if !self.advice.is_empty() {
+            writeln!(f, "advice:")?;
+            for a in &self.advice {
+                writeln!(
+                    f,
+                    "  {} ({}) at {} in {}.{}",
+                    a.aspect, a.kind, a.shadow, a.class, a.method
+                )?;
+            }
+        }
+        if !self.runtime.is_empty() {
+            writeln!(f, "runtime:")?;
+            for r in &self.runtime {
+                write!(f, "  call {}", r.call)?;
+                if !r.outcome.is_empty() {
+                    write!(f, " outcome={}", r.outcome)?;
+                }
+                writeln!(f)?;
+                for fault in &r.faults {
+                    writeln!(f, "    {fault}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+
+    /// A miniature end-to-end trace: one concern applies a CMT that
+    /// creates an element, weaving lands an advice on it, and a runtime
+    /// call through it absorbs a fault.
+    fn pipeline_trace() -> Trace {
+        let obs = Collector::enabled();
+        let c = obs.begin_span("lifecycle", "concern:transactions", 0);
+        obs.span_attr(c, "concern", "transactions");
+        obs.span_attr(c, "cmt", "Transactions<res=balance>");
+        obs.span_attr(c, "si", "res=balance");
+        let t = obs.begin_span("transform", "apply:Transactions<res=balance>", 0);
+        obs.event(
+            "transform",
+            "model.created",
+            0,
+            vec![("element".into(), "TxManager".into()), ("kind".into(), "Class".into())],
+        );
+        obs.end_span(t, 0);
+        obs.end_span(c, 0);
+        obs.event(
+            "weave",
+            "weave.advice",
+            0,
+            vec![
+                ("aspect".into(), "TransactionAspect".into()),
+                ("advice".into(), "around".into()),
+                ("shadow".into(), "call(Bank.transfer)".into()),
+                ("class".into(), "Bank".into()),
+                ("method".into(), "transfer".into()),
+            ],
+        );
+        let call = obs.begin_span("runtime", "call:Bank.transfer", 10);
+        obs.event("fault", "fault.injected", 15, vec![("op".into(), "tx.commit".into())]);
+        obs.span_attr(call, "outcome", "ok");
+        obs.end_span(call, 20);
+        obs.take()
+    }
+
+    #[test]
+    fn chains_concern_to_runtime() {
+        let index = ProvenanceIndex::build(&pipeline_trace());
+        assert_eq!(index.len(), 3);
+
+        // Model entry inherits concern/cmt/si from the enclosing spans.
+        let report = index.query("TxManager").expect("element is indexed");
+        assert_eq!(report.model.len(), 1);
+        let m = &report.model[0];
+        assert_eq!(m.concern, "transactions");
+        assert_eq!(m.cmt, "Transactions<res=balance>");
+        assert_eq!(m.si, "res=balance");
+
+        // The shadow's class links advice and runtime to the same query.
+        let report = index.query("Bank.transfer").expect("callee is indexed");
+        assert_eq!(report.advice.len(), 1);
+        assert_eq!(report.runtime.len(), 1);
+        assert_eq!(report.runtime[0].faults, vec!["fault.injected op=tx.commit"]);
+        let shown = report.to_string();
+        assert!(shown.contains("TransactionAspect (around) at call(Bank.transfer)"), "{shown}");
+        assert!(shown.contains("call Bank.transfer outcome=ok"), "{shown}");
+    }
+
+    #[test]
+    fn unmatched_query_is_none() {
+        let index = ProvenanceIndex::build(&pipeline_trace());
+        assert!(index.query("NoSuchThing").is_none());
+        assert!(index.query("").is_none());
+    }
+
+    #[test]
+    fn empty_trace_indexes_empty() {
+        let index = ProvenanceIndex::build(&Trace::default());
+        assert!(index.is_empty());
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::params::{ParamError, ParamSchema, ParamSet};
 use comet_model::{ElementId, Model};
+use comet_obs::Collector;
 use comet_ocl::{evaluate_bool, Context, OclError};
 use std::fmt;
 use std::sync::Arc;
@@ -258,6 +259,54 @@ impl ConcreteTransformation {
         }
     }
 
+    /// [`ConcreteTransformation::apply`] wrapped in a trace span: the
+    /// application runs under an `apply:<full_name>` span tagged with
+    /// the concern, the CMT name and the specialization `Si`, and on
+    /// success every journal-delta entry becomes a
+    /// `model.created|modified|removed` event naming the element — the
+    /// model-level end of the provenance chain. Outcome (including the
+    /// error, if any) is recorded as a span attribute. With a disabled
+    /// collector this is exactly `apply` plus one branch.
+    ///
+    /// # Errors
+    /// See [`ConcreteTransformation::apply`].
+    pub fn apply_traced(
+        &self,
+        model: &mut Model,
+        obs: &Collector,
+    ) -> Result<ApplyReport, TransformError> {
+        if !obs.is_enabled() {
+            return self.apply(model);
+        }
+        let span = obs.begin_span("transform", &format!("apply:{}", self.full_name()), 0);
+        obs.span_attr(span, "concern", self.concern());
+        obs.span_attr(span, "cmt", &self.full_name());
+        obs.span_attr(span, "si", &self.params.angle_signature());
+        let result = self.apply(model);
+        match &result {
+            Ok(report) => {
+                obs.span_attr(span, "outcome", "ok");
+                for (action, ids) in [
+                    ("model.created", &report.created),
+                    ("model.modified", &report.modified),
+                    ("model.removed", &report.removed),
+                ] {
+                    for id in ids {
+                        let mut attrs = vec![("id".to_owned(), id.to_string())];
+                        if let Ok(e) = model.element(*id) {
+                            attrs.push(("element".to_owned(), e.name().to_owned()));
+                            attrs.push(("kind".to_owned(), e.kind().kind_name().to_owned()));
+                        }
+                        obs.event("transform", action, 0, attrs);
+                    }
+                }
+            }
+            Err(e) => obs.span_attr(span, "outcome", &format!("error: {e}")),
+        }
+        obs.end_span(span, 0);
+        result
+    }
+
     /// The pre-journal engine: snapshots the whole model up front,
     /// restores the snapshot on failure, and derives the report from a
     /// before/after element sweep. O(model) per application regardless
@@ -475,6 +524,65 @@ mod tests {
         let report = cmt.apply(&mut m).unwrap();
         assert_eq!(report.created.len(), 0);
         assert_eq!(report.modified.len(), 1);
+    }
+
+    #[test]
+    fn apply_traced_spans_and_delta_events() {
+        let cmt =
+            specialize(add_class_gmt(), ParamSet::new().with("name", ParamValue::from("Proxy")))
+                .unwrap();
+        let obs = comet_obs::Collector::enabled();
+        let mut m = banking_pim();
+        cmt.apply_traced(&mut m, &obs).unwrap();
+        let trace = obs.take();
+        assert_eq!(trace.spans.len(), 1);
+        let span = &trace.spans[0];
+        assert_eq!(span.name, "apply:add-class<name=Proxy>");
+        assert_eq!(comet_obs::Trace::attr(&span.attrs, "concern"), Some("testing"));
+        assert_eq!(comet_obs::Trace::attr(&span.attrs, "si"), Some("<name=Proxy>"));
+        assert_eq!(comet_obs::Trace::attr(&span.attrs, "outcome"), Some("ok"));
+        let created: Vec<&comet_obs::Event> =
+            trace.events.iter().filter(|e| e.name == "model.created").collect();
+        assert_eq!(created.len(), 1);
+        assert_eq!(comet_obs::Trace::attr(&created[0].attrs, "element"), Some("Proxy"));
+        assert_eq!(comet_obs::Trace::attr(&created[0].attrs, "kind"), Some("Class"));
+        assert_eq!(created[0].span, Some(span.id));
+    }
+
+    #[test]
+    fn apply_traced_records_failure_and_rolls_back() {
+        let gmt = TransformationBuilder::new("t", "c")
+            .postcondition("false")
+            .body(|model, _| {
+                let root = model.root();
+                model.add_class(root, "Garbage")?;
+                Ok(())
+            })
+            .build();
+        let cmt = specialize(gmt, ParamSet::new()).unwrap();
+        let obs = comet_obs::Collector::enabled();
+        let mut m = banking_pim();
+        let snapshot = m.clone();
+        assert!(cmt.apply_traced(&mut m, &obs).is_err());
+        assert_eq!(m, snapshot);
+        let trace = obs.take();
+        let outcome = comet_obs::Trace::attr(&trace.spans[0].attrs, "outcome").unwrap();
+        assert!(outcome.starts_with("error:"), "{outcome}");
+        assert!(trace.events.is_empty(), "no delta events on rollback");
+    }
+
+    #[test]
+    fn apply_traced_disabled_matches_apply() {
+        let cmt =
+            specialize(add_class_gmt(), ParamSet::new().with("name", ParamValue::from("Proxy")))
+                .unwrap();
+        let obs = comet_obs::Collector::disabled();
+        let (mut a, mut b) = (banking_pim(), banking_pim());
+        let traced = cmt.apply_traced(&mut a, &obs).unwrap();
+        let plain = cmt.apply(&mut b).unwrap();
+        assert_eq!(traced, plain);
+        assert_eq!(a, b);
+        assert!(obs.take().is_empty());
     }
 
     #[test]
