@@ -1,0 +1,50 @@
+//! E12: serving-core characterization — shard scaling of the
+//! multi-tenant banking workload, plus the cost of a single tenant
+//! session end to end.
+
+use comet::run_banking_serve;
+use comet_serve::WorkloadPlan;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn sweep_plan() -> WorkloadPlan {
+    let mut plan = WorkloadPlan::new(7);
+    plan.tenants = 8;
+    plan.clients = 2;
+    plan.requests = 8;
+    plan.mix.apply = 0.30;
+    plan.mix.generate = 0.20;
+    plan
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_serve");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let plan = sweep_plan();
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("shard_sweep", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                black_box(
+                    run_banking_serve(black_box(&plan), shards, None, false).expect("valid plan"),
+                )
+            });
+        });
+    }
+
+    group.bench_function("single_tenant_session", |b| {
+        let mut plan = WorkloadPlan::new(7);
+        plan.tenants = 1;
+        plan.clients = 2;
+        plan.requests = 8;
+        b.iter(|| {
+            black_box(run_banking_serve(black_box(&plan), 1, None, false).expect("valid plan"))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

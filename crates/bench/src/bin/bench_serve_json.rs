@@ -1,0 +1,112 @@
+//! Emits `BENCH_serve.json`: the shard-scaling sweep of the
+//! multi-tenant serving core.
+//!
+//! One fixed apply-heavy workload (every tenant walks the full
+//! refinement workflow, generates code, and answers queries) is run at
+//! 1, 2, 4, and 8 shards on an 8-thread pool. Shards execute in real
+//! parallelism, so wall-clock time should fall as shards grow — while
+//! the `ServeReport` stays byte-identical at every shard count, which
+//! the sweep asserts before timing anything.
+//!
+//! Usage: `cargo run --release -p comet-bench --bin bench_serve_json
+//! [output-path]` (default `BENCH_serve.json` in the working
+//! directory).
+
+use comet::run_banking_serve;
+use comet_serve::WorkloadPlan;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+const THREADS: usize = 8;
+const WARMUP: usize = 1;
+const SAMPLES: usize = 5;
+
+/// Median wall-clock seconds of `SAMPLES` runs (after `WARMUP` runs).
+fn median_secs(mut run: impl FnMut()) -> f64 {
+    for _ in 0..WARMUP {
+        run();
+    }
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            run();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+/// The sweep workload: enough tenants to spread over 8 shards, an
+/// apply/generate-heavy mix so each request does real lifecycle work.
+fn sweep_plan() -> WorkloadPlan {
+    let mut plan = WorkloadPlan::new(7);
+    plan.tenants = 16;
+    plan.clients = 2;
+    plan.requests = 32;
+    plan.mix.apply = 0.25;
+    plan.mix.generate = 0.40;
+    plan.mix.query = 0.20;
+    plan.mix.snapshot = 0.10;
+    plan.mix.undo = 0.05;
+    plan
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_owned());
+    let plan = sweep_plan();
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(THREADS).build().expect("pool builds");
+
+    // Determinism gate: the report must not depend on the shard count.
+    let baseline =
+        pool.install(|| run_banking_serve(&plan, 1, None, false)).expect("valid plan").report;
+    for shards in SHARDS {
+        let report = pool
+            .install(|| run_banking_serve(&plan, shards, None, false))
+            .expect("valid plan")
+            .report;
+        assert_eq!(baseline, report, "report diverged at {shards} shards");
+    }
+
+    let mut medians = Vec::new();
+    for shards in SHARDS {
+        eprintln!("timing serve at {shards} shard(s) ...");
+        let secs = median_secs(|| {
+            black_box(
+                pool.install(|| run_banking_serve(black_box(&plan), shards, None, false))
+                    .expect("valid plan"),
+            );
+        });
+        medians.push(secs);
+    }
+
+    let shard_lines: Vec<String> = SHARDS
+        .iter()
+        .zip(&medians)
+        .map(|(shards, secs)| {
+            format!(
+                "    {{\"shards\": {shards}, \"median_secs\": {secs:.6}, \"speedup_vs_1\": {:.3}}}",
+                medians[0] / secs
+            )
+        })
+        .collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"experiment\": \"pr5_serve_shard_sweep\",\n  \"workload\": {{\"tenants\": {}, \"clients\": {}, \"requests_per_client\": {}, \"seed\": {}, \"threads\": {THREADS}, \"host_cores\": {cores}}},\n  \"report\": {{\"issued\": {}, \"completed\": {}, \"ok\": {}, \"p50_us\": {}, \"p99_us\": {}}},\n  \"sweep\": [\n{}\n  ],\n  \"speedup_4_shards\": {:.3}\n}}\n",
+        plan.tenants,
+        plan.clients,
+        plan.requests,
+        plan.seed,
+        baseline.issued,
+        baseline.completed,
+        baseline.ok,
+        baseline.p50_us,
+        baseline.p99_us,
+        shard_lines.join(",\n"),
+        medians[0] / medians[2],
+    );
+    std::fs::write(&out_path, &json).expect("writable output path");
+    println!("{json}");
+    eprintln!("wrote {out_path} (1→4 shard speedup {:.2}x)", medians[0] / medians[2]);
+}

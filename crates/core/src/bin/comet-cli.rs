@@ -40,7 +40,7 @@
 //! program (`--json` for machine-readable output).
 
 use comet::chaos::{run_banking_chaos_traced, ChaosConfig, FtOrder};
-use comet::{MdaLifecycle, Wizard};
+use comet::{run_banking_serve, MdaLifecycle, Wizard};
 use comet_aop::{concern_metrics, Weaver};
 use comet_aspectgen::{AspectBackend, AspectJBackend};
 use comet_codegen::{BodyProvider, FunctionalGenerator};
@@ -48,11 +48,37 @@ use comet_middleware::FaultPlan;
 use comet_model::sample::banking_pim;
 use comet_obs::{Collector, ProvenanceIndex, Trace};
 use comet_repo::ColorReport;
+use comet_serve::WorkloadPlan;
 use comet_transform::{ParamSet, ParamValue};
 use comet_workflow::WorkflowModel;
 use comet_xmi::{export_model, import_model};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+
+/// CLI failures, split by exit-code convention: `Usage` is caller error
+/// (unknown subcommand, bad flags) → usage on stderr, exit 2; `Failure`
+/// is the operation failing → `error: ...` on stderr, exit 1.
+enum CliError {
+    Usage(String),
+    Failure(String),
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Failure(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::Failure(message.to_owned())
+    }
+}
+
+/// Shorthand for flag/argument mistakes.
+fn usage_err(message: impl Into<String>) -> CliError {
+    CliError::Usage(message.into())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,45 +90,51 @@ fn main() -> ExitCode {
         Some("weave") => cmd_weave(&args[1..]),
         Some("pipeline") => cmd_pipeline(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("provenance") => cmd_provenance(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
-        Some("help") | None => {
-            print_usage();
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{}", usage_text());
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}` (try `comet-cli help`)")),
+        Some(other) => Err(usage_err(format!("unknown command `{other}`"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}");
+            eprintln!("{}", usage_text());
+            ExitCode::from(2)
+        }
+        Err(CliError::Failure(message)) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
         }
     }
 }
 
-fn print_usage() {
-    println!(
-        "comet-cli — concern-oriented model transformations meet AOP\n\n\
-         USAGE:\n  comet-cli new <out.xmi>\n  comet-cli inspect <model.xmi>\n  \
-         comet-cli concerns\n  comet-cli apply <model.xmi> <concern> [k=v ...] \
-         [-o out.xmi] [--aspect-out out.aj] [--dry-run]\n  \
-         comet-cli weave <model.xmi> <concern> [k=v ...] [--threads N]\n  \
-         comet-cli pipeline [--threads N] [--faults plan.toml] [--seed N] [--trace out.json]\n  \
-         comet-cli run [--faults plan.toml] [--seed N] \
-         [--order ft-outside-tx|tx-outside-ft] [--transfers N] [--trace out.json]\n  \
-         comet-cli provenance <element> --trace out.json\n  \
-         comet-cli metrics [--json]"
-    );
+fn usage_text() -> &'static str {
+    "comet-cli — concern-oriented model transformations meet AOP\n\n\
+     USAGE:\n  comet-cli new <out.xmi>\n  comet-cli inspect <model.xmi>\n  \
+     comet-cli concerns\n  comet-cli apply <model.xmi> <concern> [k=v ...] \
+     [-o out.xmi] [--aspect-out out.aj] [--dry-run]\n  \
+     comet-cli weave <model.xmi> <concern> [k=v ...] [--threads N]\n  \
+     comet-cli pipeline [--threads N] [--faults plan.toml] [--seed N] [--trace out.json]\n  \
+     comet-cli run [--faults plan.toml] [--seed N] \
+     [--order ft-outside-tx|tx-outside-ft] [--transfers N] [--trace out.json]\n  \
+     comet-cli serve [--workload plan.toml] [--shards N] [--seed N] [--faults plan.toml] \
+     [--threads N] [--trace out.json] [--json]\n  \
+     comet-cli provenance <element> --trace out.json\n  \
+     comet-cli metrics [--json]"
 }
 
 /// Runs `op` with `--threads N` governing the weaver's parallel
 /// per-class fan-out: a dedicated rayon pool when a count was given,
 /// the global default (all cores) otherwise.
-fn with_pool<R>(threads: Option<usize>, op: impl FnOnce() -> R) -> Result<R, String> {
+fn with_pool<R>(threads: Option<usize>, op: impl FnOnce() -> R) -> Result<R, CliError> {
     match threads {
         None => Ok(op()),
-        Some(0) => Err("--threads must be at least 1".into()),
+        Some(0) => Err(usage_err("--threads must be at least 1")),
         Some(n) => {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(n)
@@ -113,8 +145,8 @@ fn with_pool<R>(threads: Option<usize>, op: impl FnOnce() -> R) -> Result<R, Str
     }
 }
 
-fn cmd_new(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("usage: comet-cli new <out.xmi>")?;
+fn cmd_new(args: &[String]) -> Result<(), CliError> {
+    let path = args.first().ok_or_else(|| usage_err("usage: comet-cli new <out.xmi>"))?;
     let model = banking_pim();
     std::fs::write(path, export_model(&model)).map_err(|e| e.to_string())?;
     println!("wrote sample PIM `{}` ({} elements) to {path}", model.name(), model.len());
@@ -126,8 +158,8 @@ fn load(path: &str) -> Result<comet_model::Model, String> {
     import_model(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-fn cmd_inspect(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("usage: comet-cli inspect <model.xmi>")?;
+fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
+    let path = args.first().ok_or_else(|| usage_err("usage: comet-cli inspect <model.xmi>"))?;
     let model = load(path)?;
     println!("model `{}`: {} elements", model.name(), model.len());
     println!(
@@ -168,7 +200,7 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_concerns() -> Result<(), String> {
+fn cmd_concerns() -> Result<(), CliError> {
     for pair in comet_concerns::standard_pairs() {
         let wizard = Wizard::for_pair(&pair);
         println!("{}", pair.concern());
@@ -185,7 +217,7 @@ fn cmd_concerns() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_apply(args: &[String]) -> Result<(), String> {
+fn cmd_apply(args: &[String]) -> Result<(), CliError> {
     let mut positional = Vec::new();
     let mut params: BTreeMap<String, String> = BTreeMap::new();
     let mut out_path: Option<String> = None;
@@ -195,11 +227,14 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
     while i < args.len() {
         match args[i].as_str() {
             "-o" => {
-                out_path = Some(args.get(i + 1).ok_or("-o needs a path")?.clone());
+                out_path =
+                    Some(args.get(i + 1).ok_or_else(|| usage_err("-o needs a path"))?.clone());
                 i += 2;
             }
             "--aspect-out" => {
-                aspect_out = Some(args.get(i + 1).ok_or("--aspect-out needs a path")?.clone());
+                aspect_out = Some(
+                    args.get(i + 1).ok_or_else(|| usage_err("--aspect-out needs a path"))?.clone(),
+                );
                 i += 2;
             }
             "--dry-run" => {
@@ -218,7 +253,7 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
         }
     }
     let [model_path, concern_name] = positional.as_slice() else {
-        return Err("usage: comet-cli apply <model.xmi> <concern> [k=v ...]".into());
+        return Err(usage_err("usage: comet-cli apply <model.xmi> <concern> [k=v ...]"));
     };
     let pair = comet_concerns::by_name(concern_name)
         .ok_or_else(|| format!("unknown concern `{concern_name}` (see `comet-cli concerns`)"))?;
@@ -239,7 +274,7 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
             if dry_run {
                 model.rollback_journal();
             }
-            return Err(e.to_string());
+            return Err(e.to_string().into());
         }
     };
     println!(
@@ -268,14 +303,16 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_threads(args: &[String]) -> Result<(Vec<String>, Option<usize>), String> {
+fn parse_threads(args: &[String]) -> Result<(Vec<String>, Option<usize>), CliError> {
     let mut rest = Vec::new();
     let mut threads = None;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--threads" {
-            let n = args.get(i + 1).ok_or("--threads needs a count")?;
-            threads = Some(n.parse().map_err(|_| format!("--threads: `{n}` is not a number"))?);
+            let n = args.get(i + 1).ok_or_else(|| usage_err("--threads needs a count"))?;
+            threads = Some(
+                n.parse().map_err(|_| usage_err(format!("--threads: `{n}` is not a number")))?,
+            );
             i += 2;
         } else {
             rest.push(args[i].clone());
@@ -285,7 +322,7 @@ fn parse_threads(args: &[String]) -> Result<(Vec<String>, Option<usize>), String
     Ok((rest, threads))
 }
 
-fn cmd_weave(args: &[String]) -> Result<(), String> {
+fn cmd_weave(args: &[String]) -> Result<(), CliError> {
     let (rest, threads) = parse_threads(args)?;
     let mut positional = Vec::new();
     let mut params: BTreeMap<String, String> = BTreeMap::new();
@@ -298,7 +335,9 @@ fn cmd_weave(args: &[String]) -> Result<(), String> {
         }
     }
     let [model_path, concern_name] = positional.as_slice() else {
-        return Err("usage: comet-cli weave <model.xmi> <concern> [k=v ...] [--threads N]".into());
+        return Err(usage_err(
+            "usage: comet-cli weave <model.xmi> <concern> [k=v ...] [--threads N]",
+        ));
     };
     let pair = comet_concerns::by_name(concern_name)
         .ok_or_else(|| format!("unknown concern `{concern_name}` (see `comet-cli concerns`)"))?;
@@ -325,7 +364,7 @@ fn cmd_weave(args: &[String]) -> Result<(), String> {
 /// returning the remaining arguments and the resulting plan: the parsed
 /// plan file (re-seeded when `--seed` is given), an inert seeded plan
 /// for `--seed` alone, `None` when neither flag is present.
-fn parse_faults(args: &[String]) -> Result<(Vec<String>, Option<FaultPlan>), String> {
+fn parse_faults(args: &[String]) -> Result<(Vec<String>, Option<FaultPlan>), CliError> {
     let mut rest = Vec::new();
     let mut plan_path: Option<String> = None;
     let mut seed: Option<u64> = None;
@@ -333,12 +372,16 @@ fn parse_faults(args: &[String]) -> Result<(Vec<String>, Option<FaultPlan>), Str
     while i < args.len() {
         match args[i].as_str() {
             "--faults" => {
-                plan_path = Some(args.get(i + 1).ok_or("--faults needs a path")?.clone());
+                plan_path = Some(
+                    args.get(i + 1).ok_or_else(|| usage_err("--faults needs a path"))?.clone(),
+                );
                 i += 2;
             }
             "--seed" => {
-                let n = args.get(i + 1).ok_or("--seed needs a number")?;
-                seed = Some(n.parse().map_err(|_| format!("--seed: `{n}` is not a number"))?);
+                let n = args.get(i + 1).ok_or_else(|| usage_err("--seed needs a number"))?;
+                seed = Some(
+                    n.parse().map_err(|_| usage_err(format!("--seed: `{n}` is not a number")))?,
+                );
                 i += 2;
             }
             _ => {
@@ -363,13 +406,13 @@ fn parse_faults(args: &[String]) -> Result<(Vec<String>, Option<FaultPlan>), Str
 
 /// Extracts `--trace <out.json>` from `args`, returning the remaining
 /// arguments and the output path.
-fn parse_trace(args: &[String]) -> Result<(Vec<String>, Option<String>), String> {
+fn parse_trace(args: &[String]) -> Result<(Vec<String>, Option<String>), CliError> {
     let mut rest = Vec::new();
     let mut trace = None;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--trace" {
-            trace = Some(args.get(i + 1).ok_or("--trace needs a path")?.clone());
+            trace = Some(args.get(i + 1).ok_or_else(|| usage_err("--trace needs a path"))?.clone());
             i += 2;
         } else {
             rest.push(args[i].clone());
@@ -380,7 +423,7 @@ fn parse_trace(args: &[String]) -> Result<(Vec<String>, Option<String>), String>
 }
 
 /// Writes the collector's trace as a Chrome trace-event file.
-fn write_trace(obs: &Collector, path: &str) -> Result<(), String> {
+fn write_trace(obs: &Collector, path: &str) -> Result<(), CliError> {
     let trace = obs.snapshot();
     std::fs::write(path, trace.to_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
     println!(
@@ -399,7 +442,7 @@ fn run_chaos(
     order: FtOrder,
     transfers: Option<u32>,
     obs: &Collector,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let mut cfg = ChaosConfig { order, ..ChaosConfig::default() };
     if let Some(plan) = plan {
         cfg.seed = plan.seed;
@@ -417,7 +460,7 @@ fn run_chaos(
     }
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let (rest, plan) = parse_faults(args)?;
     let (rest, trace_path) = parse_trace(&rest)?;
     let mut order = FtOrder::FtOutsideTx;
@@ -430,20 +473,22 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     Some("ft-outside-tx") => FtOrder::FtOutsideTx,
                     Some("tx-outside-ft") => FtOrder::TxOutsideFt,
                     other => {
-                        return Err(format!(
+                        return Err(usage_err(format!(
                             "--order must be `ft-outside-tx` or `tx-outside-ft`, got {other:?}"
-                        ))
+                        )))
                     }
                 };
                 i += 2;
             }
             "--transfers" => {
-                let n = rest.get(i + 1).ok_or("--transfers needs a count")?;
-                transfers =
-                    Some(n.parse().map_err(|_| format!("--transfers: `{n}` is not a number"))?);
+                let n = rest.get(i + 1).ok_or_else(|| usage_err("--transfers needs a count"))?;
+                transfers = Some(
+                    n.parse()
+                        .map_err(|_| usage_err(format!("--transfers: `{n}` is not a number")))?,
+                );
                 i += 2;
             }
-            other => return Err(format!("run: unexpected argument `{other}`")),
+            other => return Err(usage_err(format!("run: unexpected argument `{other}`"))),
         }
     }
     let obs = if trace_path.is_some() { Collector::enabled() } else { Collector::disabled() };
@@ -480,14 +525,15 @@ fn fig2_steps() -> [(&'static str, ParamSet); 3] {
     ]
 }
 
-fn cmd_pipeline(args: &[String]) -> Result<(), String> {
+fn cmd_pipeline(args: &[String]) -> Result<(), CliError> {
     let (rest, plan) = parse_faults(args)?;
     let (rest, threads) = parse_threads(&rest)?;
     let (rest, trace_path) = parse_trace(&rest)?;
     if !rest.is_empty() {
-        return Err("usage: comet-cli pipeline [--threads N] [--faults plan.toml] [--seed N] \
-                    [--trace out.json]"
-            .into());
+        return Err(usage_err(
+            "usage: comet-cli pipeline [--threads N] [--faults plan.toml] [--seed N] \
+             [--trace out.json]",
+        ));
     }
     let obs = if trace_path.is_some() { Collector::enabled() } else { Collector::disabled() };
     // The paper's Fig. 2 demo: distribution, transactions, security
@@ -530,15 +576,118 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
     chaos_outcome
 }
 
-fn cmd_provenance(args: &[String]) -> Result<(), String> {
+/// `comet-cli serve`: the sharded multi-tenant serving harness over the
+/// banking lifecycle. Everything printed to stdout is derived from the
+/// shard-count-invariant `ServeReport`/trace, so CI can diff the output
+/// of `--shards 1` against `--shards 4` byte for byte.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let mut workload: Option<String> = None;
+    let mut shards: usize = 1;
+    let mut seed: Option<u64> = None;
+    let mut faults: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                workload = Some(
+                    args.get(i + 1).ok_or_else(|| usage_err("--workload needs a path"))?.clone(),
+                );
+                i += 2;
+            }
+            "--shards" => {
+                let n = args.get(i + 1).ok_or_else(|| usage_err("--shards needs a count"))?;
+                shards =
+                    n.parse().map_err(|_| usage_err(format!("--shards: `{n}` is not a number")))?;
+                if shards == 0 {
+                    return Err(usage_err("--shards must be at least 1"));
+                }
+                i += 2;
+            }
+            "--seed" => {
+                let n = args.get(i + 1).ok_or_else(|| usage_err("--seed needs a number"))?;
+                seed = Some(
+                    n.parse().map_err(|_| usage_err(format!("--seed: `{n}` is not a number")))?,
+                );
+                i += 2;
+            }
+            "--faults" => {
+                faults = Some(
+                    args.get(i + 1).ok_or_else(|| usage_err("--faults needs a path"))?.clone(),
+                );
+                i += 2;
+            }
+            "--trace" => {
+                trace_path =
+                    Some(args.get(i + 1).ok_or_else(|| usage_err("--trace needs a path"))?.clone());
+                i += 2;
+            }
+            "--threads" => {
+                let n = args.get(i + 1).ok_or_else(|| usage_err("--threads needs a count"))?;
+                threads = Some(
+                    n.parse()
+                        .map_err(|_| usage_err(format!("--threads: `{n}` is not a number")))?,
+                );
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            other => return Err(usage_err(format!("serve: unexpected argument `{other}`"))),
+        }
+    }
+    let mut plan = match workload {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            WorkloadPlan::parse_toml(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => WorkloadPlan::default(),
+    };
+    if let Some(s) = seed {
+        plan.seed = s;
+    }
+    let fault_plan = match faults {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            Some(FaultPlan::parse_toml(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    let traced = trace_path.is_some();
+    let outcome = with_pool(threads, || run_banking_serve(&plan, shards, fault_plan, traced))?
+        .map_err(|e| e.to_string())?;
+    if json {
+        print!("{}", outcome.report.to_json());
+    } else {
+        print!("{}", outcome.report);
+    }
+    if let Some(path) = trace_path {
+        let trace = outcome.trace.expect("traced run returns a trace");
+        std::fs::write(&path, trace.to_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "wrote trace to {path} ({} spans, {} events, {} counters) — load it in Perfetto",
+            trace.spans.len(),
+            trace.events.len(),
+            trace.counters.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_provenance(args: &[String]) -> Result<(), CliError> {
     let (rest, trace_path) = parse_trace(args)?;
     let [element] = rest.as_slice() else {
-        return Err("usage: comet-cli provenance <element> --trace out.json".into());
+        return Err(usage_err("usage: comet-cli provenance <element> --trace out.json"));
     };
-    let path = trace_path.ok_or(
-        "provenance needs --trace <out.json> (a file written by \
-                                 `pipeline --trace` or `run --trace`)",
-    )?;
+    let path = trace_path.ok_or_else(|| {
+        usage_err(
+            "provenance needs --trace <out.json> (a file written by \
+             `pipeline --trace` or `run --trace`)",
+        )
+    })?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
     let trace = Trace::from_chrome_json(&text).map_err(|e| format!("{path}: {e}"))?;
     let index = ProvenanceIndex::build(&trace);
@@ -551,12 +700,12 @@ fn cmd_provenance(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_metrics(args: &[String]) -> Result<(), String> {
+fn cmd_metrics(args: &[String]) -> Result<(), CliError> {
     let mut json = false;
     for arg in args {
         match arg.as_str() {
             "--json" => json = true,
-            other => return Err(format!("metrics: unexpected argument `{other}`")),
+            other => return Err(usage_err(format!("metrics: unexpected argument `{other}`"))),
         }
     }
     // Same Fig. 2 pipeline as `comet-cli pipeline`, measured instead of

@@ -54,7 +54,19 @@ impl fmt::Display for LifecycleError {
     }
 }
 
-impl std::error::Error for LifecycleError {}
+impl std::error::Error for LifecycleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LifecycleError::Workflow(e) => Some(e),
+            LifecycleError::AspectGen(e) => Some(e),
+            LifecycleError::Transform(e) => Some(e),
+            LifecycleError::Weave(e) => Some(e),
+            LifecycleError::Repo(e) => Some(e),
+            LifecycleError::WorkflowReplay { source, .. } => Some(source),
+            LifecycleError::NothingToUndo => None,
+        }
+    }
+}
 
 impl From<WorkflowError> for LifecycleError {
     fn from(e: WorkflowError) -> Self {
@@ -527,6 +539,23 @@ mod tests {
         mda.undo_last().unwrap();
         assert!(matches!(mda.undo_last(), Err(LifecycleError::NothingToUndo)));
         assert_eq!(mda.model(), &banking_pim());
+    }
+
+    #[test]
+    fn error_sources_chain_instead_of_flattening() {
+        use std::error::Error;
+        let err = LifecycleError::Transform(TransformError::PreconditionFailed {
+            transformation: "AddTx".into(),
+            condition: "self.isTransactional = false".into(),
+        });
+        // Display stays the flattened human line...
+        assert!(err.to_string().starts_with("transformation: "));
+        // ...but source() walks the typed chain.
+        let inner = err.source().expect("Transform wraps a source");
+        assert!(inner.is::<TransformError>());
+        let inner = inner.downcast_ref::<TransformError>().unwrap();
+        assert!(matches!(inner, TransformError::PreconditionFailed { .. }));
+        assert!(LifecycleError::NothingToUndo.source().is_none());
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! The banking-backed serving engine: plugs [`MdaLifecycle`] sessions
+//! into the `comet-serve` substrate.
+//!
+//! `comet-serve` knows queues, deadlines, shards and reports;
+//! this module knows what a request *does*. Each tenant gets a full
+//! private stack — the executable banking PIM, an `MdaLifecycle`
+//! (model + repository + workflow), and a simulated middleware platform
+//! whose seed derives from the workload seed and the tenant name, so a
+//! tenant behaves identically no matter which shard runs it. The
+//! middleware also gives injected faults a real surface: every request
+//! kind crosses one of the fault choke points before (or while)
+//! touching the lifecycle, so a `FaultPlan` degrades individual
+//! requests exactly the way the chaos harness degrades individual
+//! transfers — and never poisons the session.
+//!
+//! | request    | choke point              | lifecycle work              |
+//! |------------|--------------------------|-----------------------------|
+//! | apply      | `tx.begin`/`tx.commit`   | `apply_concern` (CMT + Si)  |
+//! | undo       | `store.load`             | `undo_last`                 |
+//! | generate   | `bus.send`               | `generate` (codegen+weave)  |
+//! | query      | `naming.lookup`          | `ModelIndex` reads          |
+//! | snapshot   | `store.save`             | XMI export into the store   |
+
+use crate::chaos::{banking_bodies, executable_banking_pim};
+use crate::lifecycle::MdaLifecycle;
+use comet_middleware::{FaultLog, FaultPlan, Middleware, MiddlewareConfig};
+use comet_obs::Collector;
+use comet_serve::{
+    fnv1a64, EngineFactory, QuerySelector, Request, ServeError, TenantEngine, WorkloadPlan,
+};
+use comet_transform::{ParamSet, ParamValue};
+use comet_workflow::WorkflowModel;
+
+/// The serving workflow every tenant starts from, in §3 precedence
+/// order (application order = aspect precedence).
+pub const SERVE_WORKFLOW: [&str; 3] = ["distribution", "transactions", "security"];
+
+/// The specialisation decisions Si for a serving-workflow concern.
+fn serve_si(concern: &str) -> ParamSet {
+    match concern {
+        "distribution" => ParamSet::new()
+            .with("server_class", ParamValue::from("Bank"))
+            .with("node", ParamValue::from("server"))
+            .with(
+                "operations",
+                ParamValue::from(vec!["transfer".to_owned(), "getBalance".to_owned()]),
+            ),
+        "transactions" => ParamSet::new()
+            .with("methods", ParamValue::from(vec!["Bank.transfer".to_owned()]))
+            .with("isolation", ParamValue::from("serializable")),
+        "security" => ParamSet::new()
+            .with("protected", ParamValue::from(vec!["Bank.transfer".to_owned()]))
+            .with("policy", ParamValue::from("deny")),
+        other => panic!("no serving Si for concern `{other}`"),
+    }
+}
+
+/// A request named a concern the registry does not know.
+#[derive(Debug)]
+struct UnknownConcern(String);
+
+impl std::fmt::Display for UnknownConcern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown concern `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnknownConcern {}
+
+/// One tenant's live banking session: lifecycle + middleware platform.
+/// Holds `Rc`-based middleware state, so it is `!Send` by design — the
+/// shard creates and drives it on a single worker thread.
+pub struct BankingSession {
+    mda: MdaLifecycle,
+    mw: Middleware<String>,
+    /// Middleware sim time already charged to earlier requests.
+    charged_us: u64,
+    /// Snapshots taken, for distinct store keys.
+    snapshots: u64,
+}
+
+impl BankingSession {
+    fn new(tenant: &str, seed: u64, fault_plan: Option<&FaultPlan>, obs: &Collector) -> Self {
+        let mut workflow = WorkflowModel::new("serve");
+        for step in SERVE_WORKFLOW {
+            workflow = workflow.step(step, true);
+        }
+        let mut mda = MdaLifecycle::new(executable_banking_pim(), workflow)
+            .expect("banking PIM admits the serving workflow");
+        mda.set_collector(obs.clone());
+        let tenant_salt = fnv1a64(tenant.as_bytes());
+        let mw: Middleware<String> = Middleware::new(MiddlewareConfig {
+            seed: seed ^ tenant_salt,
+            ..MiddlewareConfig::default()
+        });
+        mw.attach_collector(obs.clone());
+        if let Some(plan) = fault_plan {
+            // Same plan, tenant-distinct draws: reseed per tenant so
+            // fault streams are independent but shard-invariant.
+            let mut plan = plan.clone();
+            plan.seed ^= tenant_salt;
+            mw.install_fault_plan(plan);
+        }
+        let mut session = BankingSession { mda, mw, charged_us: 0, snapshots: 0 };
+        session.mw.bus.add_node("client");
+        session.mw.bus.add_node("server");
+        session
+            .mw
+            .naming
+            .bind("bank", "server", 1)
+            .expect("fresh naming service accepts the binding");
+        session.charged_us = session.mw.now_us();
+        session
+    }
+
+    fn answer(&self, selector: &QuerySelector) -> u64 {
+        let model = self.mda.model();
+        match selector {
+            QuerySelector::Classes => model.classes().len() as u64,
+            QuerySelector::Stereotype(s) => model.stereotyped(s).len() as u64,
+            QuerySelector::Operations(class) => {
+                model.find_classifier(class).map_or(0, |id| model.operations_of(id).len() as u64)
+            }
+        }
+    }
+}
+
+impl TenantEngine for BankingSession {
+    fn execute(&mut self, req: &Request, _obs: &Collector) -> Result<String, ServeError> {
+        match req {
+            Request::ApplyConcern { concern, si } => {
+                let pair = comet_concerns::by_name(concern)
+                    .ok_or_else(|| ServeError::engine(UnknownConcern(concern.clone())))?;
+                // The platform transaction brackets the refinement:
+                // commit faults degrade the request before the model
+                // is touched.
+                let tx = self.mw.tx.begin("serializable").map_err(ServeError::engine)?;
+                self.mw.tx.commit(tx).map_err(ServeError::engine)?;
+                self.mda.apply_concern(&pair, si.clone()).map_err(ServeError::engine)?;
+                Ok(format!("applied:{concern}"))
+            }
+            Request::UndoLast => {
+                self.mw.store.load("model/head").map_err(ServeError::engine)?;
+                self.mda.undo_last().map_err(ServeError::engine)?;
+                Ok("undone".to_owned())
+            }
+            Request::Generate => {
+                self.mw.bus.send("client", "server", 512).map_err(ServeError::engine)?;
+                let system = self.mda.generate(&banking_bodies()).map_err(ServeError::engine)?;
+                Ok(format!("generated:{}", system.woven.classes.len()))
+            }
+            Request::Query(_) => unreachable!("queries are batched via execute_queries"),
+            Request::Snapshot => {
+                let xmi = comet_xmi::export_model(self.mda.model());
+                self.snapshots += 1;
+                let key = format!("model/v{}", self.snapshots);
+                self.mw.store.save(&key, xmi).map_err(ServeError::engine)?;
+                self.mw.store.save("model/head", key.clone()).map_err(ServeError::engine)?;
+                Ok(format!("snapshot:{key}"))
+            }
+        }
+    }
+
+    fn execute_queries(
+        &mut self,
+        selectors: &[QuerySelector],
+        _obs: &Collector,
+    ) -> Result<Vec<u64>, ServeError> {
+        // One naming round per batch — the batching win the report's
+        // `batched_queries` counter measures.
+        self.mw.naming.lookup("bank").map_err(ServeError::engine)?;
+        Ok(selectors.iter().map(|s| self.answer(s)).collect())
+    }
+
+    fn next_apply(&mut self) -> Option<Request> {
+        let concern = self.mda.remaining_concerns().first().map(|c| (*c).to_owned())?;
+        let si = serve_si(&concern);
+        Some(Request::ApplyConcern { concern, si })
+    }
+
+    fn applied(&self) -> Vec<String> {
+        self.mda.applied().iter().map(|a| a.cmt.concern().to_owned()).collect()
+    }
+
+    fn take_service_us(&mut self) -> u64 {
+        let now = self.mw.now_us();
+        let delta = now - self.charged_us;
+        self.charged_us = now;
+        delta
+    }
+
+    fn fault_log(&self) -> FaultLog {
+        self.mw.fault_log()
+    }
+}
+
+/// Creates [`BankingSession`]s for the server core.
+pub struct BankingFactory {
+    seed: u64,
+    fault_plan: Option<FaultPlan>,
+}
+
+impl BankingFactory {
+    /// A factory deriving per-tenant seeds from the workload seed, with
+    /// an optional fault plan installed (reseeded) per tenant.
+    pub fn new(seed: u64, fault_plan: Option<FaultPlan>) -> Self {
+        BankingFactory { seed, fault_plan }
+    }
+}
+
+impl EngineFactory for BankingFactory {
+    type Engine = BankingSession;
+
+    fn create(&self, tenant: &str, obs: &Collector) -> BankingSession {
+        BankingSession::new(tenant, self.seed, self.fault_plan.as_ref(), obs)
+    }
+
+    fn query_pool(&self) -> Vec<QuerySelector> {
+        vec![
+            QuerySelector::Classes,
+            QuerySelector::Stereotype(comet_codegen::marks::STEREO_REMOTE.to_owned()),
+            QuerySelector::Stereotype(comet_codegen::marks::STEREO_TRANSACTIONAL.to_owned()),
+            QuerySelector::Operations("Bank".to_owned()),
+            QuerySelector::Operations("Account".to_owned()),
+        ]
+    }
+}
+
+/// Runs the banking workload end to end: builds the factory, shards the
+/// tenants, executes, and returns the outcome. The entry point behind
+/// `comet-cli serve` and the integration tests.
+pub fn run_banking_serve(
+    plan: &WorkloadPlan,
+    shards: usize,
+    fault_plan: Option<FaultPlan>,
+    traced: bool,
+) -> Result<comet_serve::ServeOutcome, ServeError> {
+    let factory = BankingFactory::new(plan.seed, fault_plan);
+    let core = comet_serve::ServerCore::new(plan, &factory, shards)?;
+    Ok(core.run(traced))
+}

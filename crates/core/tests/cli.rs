@@ -289,6 +289,105 @@ fn metrics_reports_in_text_and_json() {
 }
 
 #[test]
+fn usage_errors_exit_two_with_usage_on_stderr() {
+    // Unknown subcommand: exit 2, the error plus the full usage text on
+    // stderr, nothing on stdout.
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command `frobnicate`"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "{stderr}");
+    assert!(out.stdout.is_empty());
+
+    // Bad flags are usage errors too.
+    let out = cli().args(["serve", "--shards", "zero"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--shards"));
+
+    let out = cli().args(["metrics", "--bogus"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // Runtime failures keep exit 1, distinct from usage errors.
+    let out = cli().args(["inspect", "/nonexistent/m.xmi"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    // --help and bare invocation print usage to stdout and exit 0.
+    for args in [&["--help"][..], &["help"][..], &[][..]] {
+        let out = cli().args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(0), "{args:?}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"), "{args:?}");
+    }
+}
+
+#[test]
+fn serve_is_deterministic_across_shard_counts() {
+    let base = ["serve", "--seed", "7"];
+    let one = cli().args(base).args(["--shards", "1"]).output().unwrap();
+    assert!(one.status.success(), "{}", String::from_utf8_lossy(&one.stderr));
+    let four = cli().args(base).args(["--shards", "4"]).output().unwrap();
+    assert!(four.status.success(), "{}", String::from_utf8_lossy(&four.stderr));
+    assert_eq!(
+        String::from_utf8_lossy(&one.stdout),
+        String::from_utf8_lossy(&four.stdout),
+        "serve stdout must be byte-identical across shard counts"
+    );
+    let stdout = String::from_utf8_lossy(&one.stdout);
+    assert!(stdout.contains("serve:"), "{stdout}");
+    assert!(stdout.contains("latency p50"), "{stdout}");
+
+    // JSON mode carries the same determinism and the report keys.
+    let a = cli().args(["serve", "--seed", "7", "--shards", "1", "--json"]).output().unwrap();
+    let b = cli().args(["serve", "--seed", "7", "--shards", "4", "--json"]).output().unwrap();
+    assert!(a.status.success());
+    assert_eq!(a.stdout, b.stdout);
+    let json = String::from_utf8_lossy(&a.stdout);
+    for key in ["\"issued\"", "\"p50_us\"", "\"tenants\"", "\"outcome_hash\""] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+#[test]
+fn serve_accepts_workload_and_fault_plans_and_writes_traces() {
+    let workload = temp_path("serve-workload.toml");
+    std::fs::write(&workload, "seed = 9\ntenants = 2\nclients = 2\nrequests = 6\n").unwrap();
+    let faults = temp_path("serve-faults.toml");
+    std::fs::write(&faults, "seed = 9\n\n[schedule]\n\"tx.commit@1\" = \"transient\"\n").unwrap();
+    let trace = temp_path("serve-trace.json");
+
+    let out = cli()
+        .args([
+            "serve",
+            "--workload",
+            workload.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--faults",
+            faults.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("t00"), "{stdout}");
+    assert!(stdout.contains("t01"), "{stdout}");
+    assert!(stdout.contains("wrote trace to"), "{stdout}");
+    let json = std::fs::read_to_string(&trace).unwrap();
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("serve.request"));
+
+    // A malformed workload plan is a runtime failure (exit 1).
+    std::fs::write(&workload, "tenants = 0\n").unwrap();
+    let out = cli().args(["serve", "--workload", workload.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    for p in [workload, faults, trace] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
 fn errors_are_reported_with_nonzero_exit() {
     // Unknown command.
     let out = cli().arg("frobnicate").output().unwrap();

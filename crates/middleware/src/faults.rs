@@ -440,6 +440,23 @@ impl FaultLog {
     pub fn breaker_opens(&self) -> usize {
         self.records.iter().filter(|r| matches!(r.event, FaultEvent::BreakerOpened { .. })).count()
     }
+
+    /// Appends another log's records, renumbering their `seq` past this
+    /// log's tail so the merged log stays monotonic. Sim times are kept
+    /// as recorded — merged logs (e.g. per-tenant serving sessions)
+    /// each ran on their own clock. Absorbing the same logs in the same
+    /// order is pure, so shard-parallel runs that merge in tenant order
+    /// agree byte for byte.
+    pub fn absorb(&mut self, other: &FaultLog) {
+        let base = self.records.len() as u64;
+        self.records.extend(
+            other
+                .records
+                .iter()
+                .enumerate()
+                .map(|(i, r)| FaultRecord { seq: base + i as u64, ..r.clone() }),
+        );
+    }
 }
 
 /// A component exposing named one-shot fault points. This is the single
@@ -941,6 +958,30 @@ mod tests {
             Err(MiddlewareError::FaultInjected { .. })
         ));
         assert!(inj.check(FaultOp::StoreSave, &[]).is_ok(), "one-shot");
+    }
+
+    #[test]
+    fn absorb_renumbers_and_preserves_order() {
+        let rec = |seq, at_us, node: &str| FaultRecord {
+            seq,
+            at_us,
+            event: FaultEvent::Healed { node: node.into() },
+        };
+        let mut merged = FaultLog::default();
+        let a = FaultLog { records: vec![rec(0, 10, "a0"), rec(1, 20, "a1")] };
+        let b = FaultLog { records: vec![rec(0, 5, "b0")] };
+        merged.absorb(&a);
+        merged.absorb(&b);
+        let seqs: Vec<u64> = merged.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, [0, 1, 2]);
+        // Per-log clocks are preserved, not rewritten.
+        assert_eq!(merged.records()[2].at_us, 5);
+        assert!(matches!(&merged.records()[2].event, FaultEvent::Healed { node } if node == "b0"));
+        // Pure: same inputs, same order, same log.
+        let mut again = FaultLog::default();
+        again.absorb(&a);
+        again.absorb(&b);
+        assert_eq!(merged, again);
     }
 
     #[test]

@@ -119,6 +119,49 @@ impl Trace {
     pub fn attr<'a>(attrs: &'a [(String, String)], key: &str) -> Option<&'a str> {
         attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
+
+    /// Concatenates independently-recorded traces into one, in the
+    /// order given: span ids (and the parent/event references to them)
+    /// are renumbered past the spans already merged, logical seq ticks
+    /// are offset so each trace's timeline follows the previous one,
+    /// and counters sum. Sim-time axes are left untouched — merged
+    /// traces (e.g. per-tenant serving sessions) each keep their own
+    /// clock, which is fine for every deterministic exporter because
+    /// ordering is by seq. Merging the same traces in the same order is
+    /// pure, so shard-parallel runs that merge in tenant order produce
+    /// a byte-identical merged trace.
+    pub fn merge(traces: &[Trace]) -> Trace {
+        let mut out = Trace::default();
+        let mut seq_base = 0u64;
+        for trace in traces {
+            let id_base = out.spans.len() as u32;
+            let mut max_seq = 0u64;
+            for span in &trace.spans {
+                let mut s = span.clone();
+                s.id += id_base;
+                s.parent = s.parent.map(|p| p + id_base);
+                s.start_seq += seq_base;
+                s.end_seq += seq_base;
+                max_seq = max_seq.max(span.end_seq.max(span.start_seq));
+                out.spans.push(s);
+            }
+            for event in &trace.events {
+                let mut e = event.clone();
+                e.span = e.span.map(|p| p + id_base);
+                e.seq += seq_base;
+                max_seq = max_seq.max(event.seq);
+                out.events.push(e);
+            }
+            for (k, v) in &trace.counters {
+                *out.counters.entry(k.clone()).or_insert(0) += v;
+            }
+            if !(trace.spans.is_empty() && trace.events.is_empty()) {
+                seq_base += max_seq + 1;
+            }
+        }
+        out.events.sort_by_key(|e| e.seq);
+        out
+    }
 }
 
 #[derive(Debug, Default)]
@@ -363,6 +406,39 @@ mod tests {
         };
         let (a, b) = (run(), run());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_renumbers_and_sums() {
+        let record = |name: &str, n: u64| {
+            let obs = Collector::enabled();
+            let outer = obs.begin_span("serve", name, 0);
+            let inner = obs.begin_span("lifecycle", "child", 1);
+            obs.event("fault", "hit", 1, Vec::new());
+            obs.end_span(inner, 2);
+            obs.end_span(outer, 3);
+            obs.incr("serve.completed", n);
+            obs.take()
+        };
+        let (a, b) = (record("t00", 2), record("t01", 3));
+        let merged = Trace::merge(&[a.clone(), b.clone()]);
+        assert_eq!(merged.spans.len(), 4);
+        assert_eq!(merged.events.len(), 2);
+        // Second trace's spans renumbered past the first's.
+        assert_eq!(merged.spans[2].id, 2);
+        assert_eq!(merged.spans[3].parent, Some(2));
+        assert_eq!(merged.events[1].span, Some(3));
+        // Seq timelines concatenate: everything in b comes after a.
+        let a_max = merged.spans[1].end_seq.max(merged.spans[0].end_seq);
+        assert!(merged.spans[2].start_seq > a_max);
+        assert_eq!(merged.counters["serve.completed"], 5);
+        // Merge is pure: same inputs, same order, same bytes.
+        assert_eq!(merged, Trace::merge(&[a, b]));
+    }
+
+    #[test]
+    fn merge_of_empty_traces_is_empty() {
+        assert!(Trace::merge(&[Trace::default(), Trace::default()]).is_empty());
     }
 
     #[test]

@@ -113,6 +113,48 @@ proptest! {
     }
 
     #[test]
+    fn switch_branch_resets_the_redo_stack(
+        exts in prop::collection::vec(any::<u8>(), 3..10),
+        undos in 1usize..4,
+    ) {
+        let versions = version_chain(&exts);
+        let mut repo = Repository::new("chain");
+        for (i, v) in versions.iter().enumerate() {
+            repo.commit(v, &format!("v{i}"), None).expect("commits");
+        }
+        // Open a redo window on main, then fork from the undone state.
+        let undos = undos.min(repo.undo_depth().saturating_sub(1));
+        for _ in 0..undos {
+            repo.undo();
+        }
+        prop_assert_eq!(repo.redo_depth(), undos);
+        repo.branch("side").expect("fresh branch name");
+        // Branching keeps only the visible prefix: nothing to redo on
+        // the new branch, ever.
+        prop_assert_eq!(repo.redo_depth(), 0);
+
+        // Switching back to main lands on the branch tip: the redo
+        // window that was open before the switch is gone.
+        repo.switch_branch("main").expect("main exists");
+        prop_assert_eq!(repo.redo_depth(), 0);
+        prop_assert_eq!(repo.undo_depth(), versions.len());
+        let head = repo.head_model().expect("head").expect("decodes");
+        prop_assert_eq!(&head, versions.last().expect("non-empty"));
+
+        // Undo/redo still works after the round-trip of switches.
+        repo.switch_branch("side").expect("side exists");
+        prop_assert_eq!(repo.undo_depth(), versions.len() - undos);
+        prop_assert_eq!(repo.redo_depth(), 0);
+        if repo.undo_depth() > 1 {
+            let before = repo.head_model().expect("head").expect("decodes");
+            repo.undo().expect("undoable").expect("decodes");
+            prop_assert_eq!(repo.redo_depth(), 1);
+            let after = repo.redo().expect("redoable").expect("decodes");
+            prop_assert_eq!(after, before);
+        }
+    }
+
+    #[test]
     fn commit_hashes_collide_only_for_equal_snapshots(exts in prop::collection::vec(any::<u8>(), 1..10)) {
         let versions = version_chain(&exts);
         let mut repo = Repository::new("chain");

@@ -1,0 +1,120 @@
+//! Typed serving failures, with [`std::error::Error::source`] chaining
+//! into the wrapped subsystem errors.
+
+use crate::plan::WorkloadPlanError;
+use std::fmt;
+
+/// A boxed engine-level failure (lifecycle, middleware, ...) carried by
+/// [`ServeError::Engine`]. Boxed as a trait object so the substrate
+/// stays independent of the concrete engine's error types while
+/// [`std::error::Error::source`] still walks the full chain.
+pub type EngineError = Box<dyn std::error::Error + Send + Sync + 'static>;
+
+/// Failures of the serving layer. Admission failures (`Overloaded`,
+/// `DeadlineExceeded`) degrade exactly one request; `Engine` wraps a
+/// fault surfaced by the tenant's session — the session itself stays
+/// healthy and the shard keeps serving.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The shard's ingress queue for this tenant is full; the client
+    /// should back off for at least `retry_after_us` of sim time.
+    Overloaded {
+        /// Suggested backoff (sim-µs) until queue space is plausible.
+        retry_after_us: u64,
+    },
+    /// The request waited in the queue past its deadline and was shed
+    /// before execution.
+    DeadlineExceeded {
+        /// How long the request had waited when it was picked up.
+        waited_us: u64,
+        /// The per-request deadline from the workload plan.
+        deadline_us: u64,
+    },
+    /// A request named a tenant no shard owns.
+    UnknownTenant(String),
+    /// The workload plan failed to parse.
+    Plan(WorkloadPlanError),
+    /// The tenant's engine failed the request (a lifecycle or
+    /// middleware error); the source chain preserves the cause.
+    Engine {
+        /// Short display form of the failure.
+        detail: String,
+        /// The wrapped subsystem error.
+        source: EngineError,
+    },
+}
+
+impl ServeError {
+    /// Wraps a subsystem error as a per-request engine failure.
+    pub fn engine<E: std::error::Error + Send + Sync + 'static>(err: E) -> Self {
+        ServeError::Engine { detail: err.to_string(), source: Box::new(err) }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { retry_after_us } => {
+                write!(f, "overloaded: retry after {retry_after_us}µs")
+            }
+            ServeError::DeadlineExceeded { waited_us, deadline_us } => {
+                write!(f, "deadline exceeded: waited {waited_us}µs > {deadline_us}µs")
+            }
+            ServeError::UnknownTenant(t) => write!(f, "unknown tenant `{t}`"),
+            ServeError::Plan(e) => write!(f, "workload plan: {e}"),
+            ServeError::Engine { detail, .. } => write!(f, "engine: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Plan(e) => Some(e),
+            ServeError::Engine { source, .. } => Some(source.as_ref()),
+            ServeError::Overloaded { .. }
+            | ServeError::DeadlineExceeded { .. }
+            | ServeError::UnknownTenant(_) => None,
+        }
+    }
+}
+
+impl From<WorkloadPlanError> for ServeError {
+    fn from(e: WorkloadPlanError) -> Self {
+        ServeError::Plan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[derive(Debug)]
+    struct Leaf;
+    impl fmt::Display for Leaf {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("leaf failure")
+        }
+    }
+    impl Error for Leaf {}
+
+    #[test]
+    fn engine_errors_chain_through_source() {
+        let err = ServeError::engine(Leaf);
+        assert_eq!(err.to_string(), "engine: leaf failure");
+        let source = err.source().expect("engine error has a source");
+        assert_eq!(source.to_string(), "leaf failure");
+        assert!(source.source().is_none());
+    }
+
+    #[test]
+    fn admission_errors_have_no_source() {
+        assert!(ServeError::Overloaded { retry_after_us: 10 }.source().is_none());
+        assert!(ServeError::DeadlineExceeded { waited_us: 9, deadline_us: 5 }.source().is_none());
+        assert_eq!(
+            ServeError::Overloaded { retry_after_us: 10 }.to_string(),
+            "overloaded: retry after 10µs"
+        );
+    }
+}

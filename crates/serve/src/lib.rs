@@ -1,0 +1,290 @@
+//! # comet-serve — sharded multi-tenant transformation serving
+//!
+//! The substrate that turns COMET's single-session pipeline (specialize
+//! GMT/GA with Si → apply CMT → weave CA in §3 precedence order) into a
+//! request-driven service, the shape Manset et al. exercise per
+//! deployment at grid scale: many tenants concurrently evolving their
+//! own models through concern refinements.
+//!
+//! The crate is deliberately engine-agnostic. It knows how to *serve* —
+//! seeded closed-loop workloads ([`WorkloadPlan`]), bounded-queue
+//! admission control with typed backpressure ([`ServeError::Overloaded`]),
+//! deadline shedding, read-only query batching, tenant→shard hash
+//! routing with real rayon parallelism, and byte-comparable
+//! [`ServeReport`]s — but not what a request *does*. Hosts implement
+//! [`TenantEngine`]/[`EngineFactory`] (the `comet` crate plugs in its
+//! `MdaLifecycle`-backed banking sessions) and may hold `!Send` state,
+//! because sessions live and die on a single shard worker.
+//!
+//! ## Determinism
+//!
+//! Same seed + same plan (+ same fault plan) ⇒ byte-identical report
+//! and trace across shard counts and thread counts, by construction:
+//! tenants share nothing, per-tenant RNGs derive from the global tenant
+//! name, and every aggregate folds in tenant-name order. See
+//! `shard.rs` for the full argument.
+
+#![warn(missing_docs)]
+
+mod core;
+mod error;
+mod plan;
+mod report;
+mod request;
+mod shard;
+
+pub use crate::core::{ServeOutcome, ServerCore};
+pub use error::{EngineError, ServeError};
+pub use plan::{Limits, RequestMix, ServiceCosts, WorkloadPlan, WorkloadPlanError};
+pub use report::{ServeReport, TenantStats};
+pub use request::{EngineFactory, QuerySelector, Request, TenantEngine};
+
+/// FNV-1a 64-bit hash — tenant→shard routing and per-tenant seed
+/// derivation use it so routing never depends on process-specific
+/// state (`DefaultHasher` is randomized per process).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_middleware::FaultLog;
+    use comet_obs::Collector;
+
+    /// A deliberately boring engine: counts operations, fails on
+    /// demand, applies concerns from a fixed workflow list.
+    struct MockEngine {
+        workflow: Vec<String>,
+        next: usize,
+        applied: Vec<String>,
+        /// Fail every Nth execute (0 = never).
+        fail_every: u64,
+        executed: u64,
+    }
+
+    #[derive(Debug)]
+    struct MockFault;
+    impl std::fmt::Display for MockFault {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("mock fault")
+        }
+    }
+    impl std::error::Error for MockFault {}
+
+    impl TenantEngine for MockEngine {
+        fn execute(&mut self, req: &Request, _obs: &Collector) -> Result<String, ServeError> {
+            self.executed += 1;
+            if self.fail_every > 0 && self.executed % self.fail_every == 0 {
+                return Err(ServeError::engine(MockFault));
+            }
+            match req {
+                Request::ApplyConcern { concern, .. } => {
+                    self.applied.push(concern.clone());
+                    Ok(format!("applied:{concern}"))
+                }
+                Request::UndoLast => {
+                    let undone = self.applied.pop().unwrap_or_default();
+                    Ok(format!("undone:{undone}"))
+                }
+                Request::Generate => Ok("generated".into()),
+                Request::Query(_) => unreachable!("queries go through execute_queries"),
+                Request::Snapshot => Ok("snapshotted".into()),
+            }
+        }
+
+        fn execute_queries(
+            &mut self,
+            selectors: &[QuerySelector],
+            _obs: &Collector,
+        ) -> Result<Vec<u64>, ServeError> {
+            self.executed += 1;
+            if self.fail_every > 0 && self.executed % self.fail_every == 0 {
+                return Err(ServeError::engine(MockFault));
+            }
+            Ok(selectors.iter().map(|s| s.to_string().len() as u64).collect())
+        }
+
+        fn next_apply(&mut self) -> Option<Request> {
+            let concern = self.workflow.get(self.next)?.clone();
+            self.next += 1;
+            Some(Request::ApplyConcern { concern, si: comet_transform::ParamSet::new() })
+        }
+
+        fn applied(&self) -> Vec<String> {
+            self.applied.clone()
+        }
+
+        fn take_service_us(&mut self) -> u64 {
+            0
+        }
+
+        fn fault_log(&self) -> FaultLog {
+            FaultLog::default()
+        }
+    }
+
+    struct MockFactory {
+        fail_every: u64,
+    }
+
+    impl EngineFactory for MockFactory {
+        type Engine = MockEngine;
+
+        fn create(&self, _tenant: &str, _obs: &Collector) -> MockEngine {
+            MockEngine {
+                workflow: vec!["distribution".into(), "transactions".into(), "security".into()],
+                next: 0,
+                applied: Vec::new(),
+                fail_every: self.fail_every,
+                executed: 0,
+            }
+        }
+
+        fn query_pool(&self) -> Vec<QuerySelector> {
+            vec![
+                QuerySelector::Classes,
+                QuerySelector::Stereotype("Distributed".into()),
+                QuerySelector::Operations("Bank".into()),
+            ]
+        }
+    }
+
+    fn plan(seed: u64) -> WorkloadPlan {
+        let mut p = WorkloadPlan::new(seed);
+        p.tenants = 5;
+        p.clients = 3;
+        p.requests = 12;
+        p
+    }
+
+    #[test]
+    fn same_seed_same_report_across_shard_counts() {
+        let factory = MockFactory { fail_every: 0 };
+        let p = plan(7);
+        let runs: Vec<_> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&shards| ServerCore::new(&p, &factory, shards).unwrap().run(true))
+            .collect();
+        let first = &runs[0];
+        assert!(first.report.completed > 0);
+        for other in &runs[1..] {
+            assert_eq!(first.report, other.report);
+            assert_eq!(first.report.to_json(), other.report.to_json());
+            assert_eq!(first.trace, other.trace);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let factory = MockFactory { fail_every: 0 };
+        let a = ServerCore::new(&plan(7), &factory, 2).unwrap().run(false);
+        let b = ServerCore::new(&plan(8), &factory, 2).unwrap().run(false);
+        assert_ne!(a.report, b.report);
+    }
+
+    #[test]
+    fn overload_rejects_but_accepted_requests_complete() {
+        let factory = MockFactory { fail_every: 0 };
+        let mut p = plan(7);
+        p.clients = 8;
+        p.limits.queue_depth = 1;
+        p.service.think_us = 10; // hammer the queue
+        p.service.jitter_us = 5;
+        let out = ServerCore::new(&p, &factory, 2).unwrap().run(false);
+        let r = &out.report;
+        assert!(r.rejected > 0, "tiny queue under load must reject: {r}");
+        assert!(r.completed > 0);
+        // Closed loop: every attempt is accounted for, nothing leaks.
+        assert_eq!(r.issued, (p.tenants as u64) * (p.clients as u64) * p.requests);
+        assert_eq!(r.issued, r.completed + r.rejected + r.deadline_dropped);
+        assert_eq!(r.completed, r.ok + r.failed);
+    }
+
+    #[test]
+    fn deadlines_shed_stale_requests() {
+        let factory = MockFactory { fail_every: 0 };
+        let mut p = plan(7);
+        p.clients = 8;
+        p.limits.queue_depth = 16;
+        p.limits.deadline_us = 200; // far below typical service times
+        p.service.think_us = 10;
+        let out = ServerCore::new(&p, &factory, 1).unwrap().run(false);
+        let r = &out.report;
+        assert!(r.deadline_dropped > 0, "{r}");
+        assert_eq!(r.issued, r.completed + r.rejected + r.deadline_dropped);
+    }
+
+    #[test]
+    fn engine_failures_degrade_requests_not_the_run() {
+        let factory = MockFactory { fail_every: 4 };
+        let out = ServerCore::new(&plan(7), &factory, 2).unwrap().run(false);
+        let r = &out.report;
+        assert!(r.failed > 0);
+        assert!(r.ok > 0);
+        assert_eq!(r.completed, r.ok + r.failed);
+        // Determinism holds under failures too.
+        let again = ServerCore::new(&plan(7), &factory, 4).unwrap().run(false);
+        assert_eq!(*r, again.report);
+    }
+
+    #[test]
+    fn queries_batch() {
+        let factory = MockFactory { fail_every: 0 };
+        let mut p = plan(7);
+        p.mix = RequestMix { apply: 0.0, undo: 0.0, generate: 0.0, query: 1.0, snapshot: 0.0 };
+        p.clients = 6;
+        p.service.think_us = 10;
+        p.limits.queue_depth = 8;
+        let out = ServerCore::new(&p, &factory, 1).unwrap().run(false);
+        assert!(out.report.batches > 0, "{}", out.report);
+        assert!(out.report.batched_queries >= 2 * out.report.batches);
+    }
+
+    #[test]
+    fn applied_follows_workflow_order() {
+        let factory = MockFactory { fail_every: 0 };
+        let mut p = plan(7);
+        p.mix.apply = 5.0;
+        p.mix.undo = 0.0;
+        let out = ServerCore::new(&p, &factory, 2).unwrap().run(false);
+        for t in out.report.tenants.values() {
+            let expected = ["distribution", "transactions", "security"];
+            assert_eq!(t.applied, expected[..t.applied.len()]);
+        }
+    }
+
+    #[test]
+    fn traces_tag_requests_with_tenants() {
+        let factory = MockFactory { fail_every: 0 };
+        let out = ServerCore::new(&plan(7), &factory, 2).unwrap().run(true);
+        let trace = out.trace.expect("traced run");
+        let requests: Vec<_> = trace.spans.iter().filter(|s| s.name == "serve.request").collect();
+        assert_eq!(
+            requests.len() as u64,
+            out.report.completed,
+            "one serve.request span per completed request"
+        );
+        for span in &requests {
+            let tenant = comet_obs::Trace::attr(&span.attrs, "tenant").expect("tenant attr");
+            assert!(out.report.tenants.contains_key(tenant));
+            assert!(comet_obs::Trace::attr(&span.attrs, "outcome").is_some());
+        }
+    }
+
+    #[test]
+    fn shard_routing_is_stable() {
+        let factory = MockFactory { fail_every: 0 };
+        let p = plan(7);
+        let core = ServerCore::new(&p, &factory, 4).unwrap();
+        for tenant in p.tenant_names() {
+            assert_eq!(core.shard_of(&tenant), core.shard_of(&tenant));
+            assert!(core.shard_of(&tenant) < 4);
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Seeded workload description for the serving harness.
+//!
+//! A [`WorkloadPlan`] is to the serving layer what `FaultPlan` is to the
+//! middleware: a small, seeded, declarative description of *what the
+//! world does to the system*, parsed from the same hand-rolled TOML
+//! subset (`key = value` lines, `[section]` headers, `#` comments — no
+//! TOML dependency). The plan fixes the tenant/client population, the
+//! closed-loop request mix, the admission limits, and the simulated
+//! service costs; together with the seed it fully determines every
+//! request the simulated clients will ever issue, which is what makes
+//! `ServeReport`s byte-comparable across shard and thread counts.
+
+use std::fmt;
+
+/// Errors from [`WorkloadPlan::parse_toml`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadPlanError {
+    /// A line that is neither `key = value`, a section header, a
+    /// comment, nor blank — or a key unknown in its section.
+    BadLine(String),
+    /// A value that failed to parse as the expected number.
+    BadValue(String),
+    /// A plan whose numbers cannot describe a runnable workload
+    /// (zero tenants, zero clients, an all-zero request mix, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for WorkloadPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadPlanError::BadLine(l) => write!(f, "unparseable plan line `{l}`"),
+            WorkloadPlanError::BadValue(v) => write!(f, "bad numeric value `{v}`"),
+            WorkloadPlanError::Invalid(why) => write!(f, "invalid plan: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadPlanError {}
+
+/// Relative weights of the five request kinds in the generated stream.
+///
+/// Weights are relative, not probabilities — they are normalised over
+/// their sum when a client draws its next request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestMix {
+    /// Weight of `ApplyConcern` requests.
+    pub apply: f64,
+    /// Weight of `UndoLast` requests.
+    pub undo: f64,
+    /// Weight of `Generate` requests.
+    pub generate: f64,
+    /// Weight of read-only `Query` requests (batchable).
+    pub query: f64,
+    /// Weight of `Snapshot` requests.
+    pub snapshot: f64,
+}
+
+impl RequestMix {
+    /// Sum of all weights.
+    pub fn total(&self) -> f64 {
+        self.apply + self.undo + self.generate + self.query + self.snapshot
+    }
+}
+
+impl Default for RequestMix {
+    fn default() -> Self {
+        RequestMix { apply: 0.25, undo: 0.05, generate: 0.10, query: 0.50, snapshot: 0.10 }
+    }
+}
+
+/// Admission-control limits applied per tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Limits {
+    /// Bounded ingress queue depth; an arrival beyond this is rejected
+    /// with `ServeError::Overloaded`.
+    pub queue_depth: usize,
+    /// Per-request queueing deadline in sim-µs; `0` disables deadline
+    /// shedding.
+    pub deadline_us: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { queue_depth: 4, deadline_us: 0 }
+    }
+}
+
+/// Simulated service costs (sim-µs) charged by the scheduler, on top of
+/// whatever sim time the engine itself consumes (e.g. middleware
+/// latency faults).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceCosts {
+    /// Client think time between a completion and the next issue.
+    pub think_us: u64,
+    /// Max uniform jitter added to each service and think time.
+    pub jitter_us: u64,
+    /// Base cost of `ApplyConcern`.
+    pub apply_us: u64,
+    /// Base cost of `UndoLast`.
+    pub undo_us: u64,
+    /// Base cost of `Generate`.
+    pub generate_us: u64,
+    /// Base cost of one `Query` batch (batching amortises this).
+    pub query_us: u64,
+    /// Base cost of `Snapshot`.
+    pub snapshot_us: u64,
+}
+
+impl Default for ServiceCosts {
+    fn default() -> Self {
+        ServiceCosts {
+            think_us: 300,
+            jitter_us: 50,
+            apply_us: 900,
+            undo_us: 250,
+            generate_us: 1500,
+            query_us: 120,
+            snapshot_us: 400,
+        }
+    }
+}
+
+/// A complete, seeded workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadPlan {
+    /// Master seed; every per-tenant RNG derives from it.
+    pub seed: u64,
+    /// Number of tenants (`t00`, `t01`, ...).
+    pub tenants: usize,
+    /// Closed-loop clients per tenant.
+    pub clients: usize,
+    /// Requests each client attempts before retiring (rejections count
+    /// as attempts — the workload is bounded even under overload).
+    pub requests: u64,
+    /// Request-kind weights.
+    pub mix: RequestMix,
+    /// Per-tenant admission limits.
+    pub limits: Limits,
+    /// Simulated service costs.
+    pub service: ServiceCosts,
+}
+
+impl Default for WorkloadPlan {
+    fn default() -> Self {
+        WorkloadPlan {
+            seed: 7,
+            tenants: 4,
+            clients: 2,
+            requests: 8,
+            mix: RequestMix::default(),
+            limits: Limits::default(),
+            service: ServiceCosts::default(),
+        }
+    }
+}
+
+impl WorkloadPlan {
+    /// A default plan re-seeded with `seed`.
+    pub fn new(seed: u64) -> WorkloadPlan {
+        WorkloadPlan { seed, ..WorkloadPlan::default() }
+    }
+
+    /// The canonical zero-padded tenant names, `t00` .. `tNN`.
+    pub fn tenant_names(&self) -> Vec<String> {
+        (0..self.tenants).map(|i| format!("t{i:02}")).collect()
+    }
+
+    /// Validates that the plan describes a runnable workload.
+    ///
+    /// # Errors
+    /// Returns [`WorkloadPlanError::Invalid`] naming the first problem.
+    pub fn validate(&self) -> Result<(), WorkloadPlanError> {
+        let invalid = |why: &str| Err(WorkloadPlanError::Invalid(why.to_owned()));
+        if self.tenants == 0 {
+            return invalid("tenants must be >= 1");
+        }
+        if self.clients == 0 {
+            return invalid("clients must be >= 1");
+        }
+        if self.requests == 0 {
+            return invalid("requests must be >= 1");
+        }
+        if self.limits.queue_depth == 0 {
+            return invalid("queue_depth must be >= 1");
+        }
+        let total = self.mix.total();
+        if !total.is_finite() || total <= 0.0 {
+            return invalid("request mix weights must sum to a positive finite value");
+        }
+        Ok(())
+    }
+
+    /// Parses the TOML-subset plan format (mirrors `FaultPlan`):
+    ///
+    /// ```toml
+    /// seed = 7
+    /// tenants = 4
+    /// clients = 2
+    /// requests = 8
+    ///
+    /// [mix]
+    /// apply = 0.25
+    /// undo = 0.05
+    /// generate = 0.10
+    /// query = 0.50
+    /// snapshot = 0.10
+    ///
+    /// [limits]
+    /// queue_depth = 4
+    /// deadline_us = 0
+    ///
+    /// [service]
+    /// think_us = 300
+    /// jitter_us = 50
+    /// apply_us = 900
+    /// undo_us = 250
+    /// generate_us = 1500
+    /// query_us = 120
+    /// snapshot_us = 400
+    /// ```
+    ///
+    /// Unspecified keys keep their defaults; the parsed plan is
+    /// [`validate`](WorkloadPlan::validate)d before being returned.
+    ///
+    /// # Errors
+    /// Returns a [`WorkloadPlanError`] describing the first bad line.
+    pub fn parse_toml(text: &str) -> Result<WorkloadPlan, WorkloadPlanError> {
+        let mut plan = WorkloadPlan::default();
+        let mut section = String::new();
+        for raw in text.lines() {
+            let line = match raw.find('#') {
+                Some(i) => &raw[..i],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_owned();
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim().trim_matches('"'), v.trim().trim_matches('"')))
+                .ok_or_else(|| WorkloadPlanError::BadLine(line.to_owned()))?;
+            let bad_value = || WorkloadPlanError::BadValue(value.to_owned());
+            match section.as_str() {
+                "" => match key {
+                    "seed" => plan.seed = value.parse().map_err(|_| bad_value())?,
+                    "tenants" => plan.tenants = value.parse().map_err(|_| bad_value())?,
+                    "clients" => plan.clients = value.parse().map_err(|_| bad_value())?,
+                    "requests" => plan.requests = value.parse().map_err(|_| bad_value())?,
+                    _ => return Err(WorkloadPlanError::BadLine(line.to_owned())),
+                },
+                "mix" => {
+                    let w: f64 = value.parse().map_err(|_| bad_value())?;
+                    let w = w.max(0.0);
+                    match key {
+                        "apply" => plan.mix.apply = w,
+                        "undo" => plan.mix.undo = w,
+                        "generate" => plan.mix.generate = w,
+                        "query" => plan.mix.query = w,
+                        "snapshot" => plan.mix.snapshot = w,
+                        _ => return Err(WorkloadPlanError::BadLine(line.to_owned())),
+                    }
+                }
+                "limits" => match key {
+                    "queue_depth" => {
+                        plan.limits.queue_depth = value.parse().map_err(|_| bad_value())?;
+                    }
+                    "deadline_us" => {
+                        plan.limits.deadline_us = value.parse().map_err(|_| bad_value())?;
+                    }
+                    _ => return Err(WorkloadPlanError::BadLine(line.to_owned())),
+                },
+                "service" => {
+                    let us: u64 = value.parse().map_err(|_| bad_value())?;
+                    match key {
+                        "think_us" => plan.service.think_us = us,
+                        "jitter_us" => plan.service.jitter_us = us,
+                        "apply_us" => plan.service.apply_us = us,
+                        "undo_us" => plan.service.undo_us = us,
+                        "generate_us" => plan.service.generate_us = us,
+                        "query_us" => plan.service.query_us = us,
+                        "snapshot_us" => plan.service.snapshot_us = us,
+                        _ => return Err(WorkloadPlanError::BadLine(line.to_owned())),
+                    }
+                }
+                other => {
+                    return Err(WorkloadPlanError::BadLine(format!("[{other}] {line}")));
+                }
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_plan() {
+        let text = r#"
+            seed = 42          # master seed
+            tenants = 3
+            clients = 5
+            requests = 20
+
+            [mix]
+            apply = 1.0
+            query = 3.0
+            snapshot = 0
+
+            [limits]
+            queue_depth = 2
+            deadline_us = 1500
+
+            [service]
+            think_us = 100
+            generate_us = 2000
+        "#;
+        let plan = WorkloadPlan::parse_toml(text).unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.tenants, 3);
+        assert_eq!(plan.clients, 5);
+        assert_eq!(plan.requests, 20);
+        assert_eq!(plan.mix.apply, 1.0);
+        assert_eq!(plan.mix.query, 3.0);
+        assert_eq!(plan.mix.snapshot, 0.0);
+        // Unspecified keys keep defaults.
+        assert_eq!(plan.mix.undo, RequestMix::default().undo);
+        assert_eq!(plan.limits.queue_depth, 2);
+        assert_eq!(plan.limits.deadline_us, 1500);
+        assert_eq!(plan.service.think_us, 100);
+        assert_eq!(plan.service.generate_us, 2000);
+        assert_eq!(plan.service.apply_us, ServiceCosts::default().apply_us);
+        assert_eq!(plan.tenant_names(), ["t00", "t01", "t02"]);
+    }
+
+    #[test]
+    fn empty_text_is_the_default_plan() {
+        assert_eq!(WorkloadPlan::parse_toml("").unwrap(), WorkloadPlan::default());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(WorkloadPlan::parse_toml("wat"), Err(WorkloadPlanError::BadLine(_))));
+        assert!(matches!(
+            WorkloadPlan::parse_toml("seed = banana"),
+            Err(WorkloadPlanError::BadValue(_))
+        ));
+        assert!(matches!(
+            WorkloadPlan::parse_toml("[mix]\nwarp = 1.0"),
+            Err(WorkloadPlanError::BadLine(_))
+        ));
+        assert!(matches!(
+            WorkloadPlan::parse_toml("tenants = 0"),
+            Err(WorkloadPlanError::Invalid(_))
+        ));
+        assert!(matches!(
+            WorkloadPlan::parse_toml("[mix]\napply=0\nundo=0\ngenerate=0\nquery=0\nsnapshot=0"),
+            Err(WorkloadPlanError::Invalid(_))
+        ));
+    }
+}

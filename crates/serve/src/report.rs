@@ -1,0 +1,208 @@
+//! The deterministic run report.
+//!
+//! A [`ServeReport`] is the byte-comparable artefact of a serving run:
+//! same seed + same workload plan (+ same fault plan) must render the
+//! identical report regardless of how many shards or weaver threads
+//! executed it. To that end every field is derived from per-tenant
+//! outcomes in ways that cannot observe the grouping: tenants aggregate
+//! in name order (a `BTreeMap`), latency percentiles are computed over
+//! the globally sorted latency multiset, the makespan is the max over
+//! per-tenant end times, and — deliberately — the shard count itself
+//! appears nowhere in the report.
+
+use crate::shard::TenantOutcome;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-tenant aggregate, part of [`ServeReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Requests the tenant's clients attempted (incl. rejected).
+    pub issued: u64,
+    /// Requests that ran to completion (`ok` + `failed`).
+    pub completed: u64,
+    /// Requests that completed successfully.
+    pub ok: u64,
+    /// Requests rejected at admission (`Overloaded`).
+    pub rejected: u64,
+    /// Requests shed at pickup (`DeadlineExceeded`).
+    pub deadline_dropped: u64,
+    /// Requests degraded by an engine failure (injected faults etc.).
+    pub failed: u64,
+    /// Multi-request query batches executed.
+    pub batches: u64,
+    /// Queries answered inside those batches.
+    pub batched_queries: u64,
+    /// Applied concerns in application order (§3 precedence).
+    pub applied: Vec<String>,
+    /// Middleware fault-log records for this tenant's session.
+    pub fault_records: u64,
+    /// FNV-1a fold of every per-request outcome — cheap divergence
+    /// detector between runs that "look" equal.
+    pub outcome_hash: u64,
+    /// Sim time at which the tenant went quiescent.
+    pub end_us: u64,
+}
+
+/// The aggregated, shard-count-invariant result of a serving run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeReport {
+    /// Total requests attempted.
+    pub issued: u64,
+    /// Total requests completed (`ok` + `failed`).
+    pub completed: u64,
+    /// Total successful requests.
+    pub ok: u64,
+    /// Total admission rejections.
+    pub rejected: u64,
+    /// Total deadline sheds.
+    pub deadline_dropped: u64,
+    /// Total engine-degraded requests.
+    pub failed: u64,
+    /// Total multi-request query batches.
+    pub batches: u64,
+    /// Total queries answered in batches.
+    pub batched_queries: u64,
+    /// Median request latency (queue + service), sim-µs.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, sim-µs.
+    pub p99_us: u64,
+    /// Max per-tenant quiescence time, sim-µs.
+    pub makespan_us: u64,
+    /// Completed requests per simulated second.
+    pub throughput_rps: f64,
+    /// Per-tenant breakdown, in tenant-name order.
+    pub tenants: BTreeMap<String, TenantStats>,
+}
+
+/// Nearest-rank percentile over a sorted slice; 0 when empty.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl ServeReport {
+    /// Folds per-tenant outcomes (any order) into the canonical report.
+    pub(crate) fn assemble(outcomes: &[TenantOutcome]) -> ServeReport {
+        let mut report = ServeReport::default();
+        let mut latencies: Vec<u64> = Vec::new();
+        for out in outcomes {
+            let s = &out.stats;
+            report.issued += s.issued;
+            report.completed += s.completed;
+            report.ok += s.ok;
+            report.rejected += s.rejected;
+            report.deadline_dropped += s.deadline_dropped;
+            report.failed += s.failed;
+            report.batches += s.batches;
+            report.batched_queries += s.batched_queries;
+            report.makespan_us = report.makespan_us.max(s.end_us);
+            latencies.extend_from_slice(&out.latencies);
+            report.tenants.insert(out.tenant.clone(), s.clone());
+        }
+        latencies.sort_unstable();
+        report.p50_us = percentile(&latencies, 50.0);
+        report.p99_us = percentile(&latencies, 99.0);
+        report.throughput_rps = if report.makespan_us == 0 {
+            0.0
+        } else {
+            report.completed as f64 * 1_000_000.0 / report.makespan_us as f64
+        };
+        report
+    }
+
+    /// Stable JSON rendering (fixed 6-decimal floats — byte-comparable).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"issued\": {},\n", self.issued));
+        out.push_str(&format!("  \"completed\": {},\n", self.completed));
+        out.push_str(&format!("  \"ok\": {},\n", self.ok));
+        out.push_str(&format!("  \"rejected\": {},\n", self.rejected));
+        out.push_str(&format!("  \"deadline_dropped\": {},\n", self.deadline_dropped));
+        out.push_str(&format!("  \"failed\": {},\n", self.failed));
+        out.push_str(&format!("  \"batches\": {},\n", self.batches));
+        out.push_str(&format!("  \"batched_queries\": {},\n", self.batched_queries));
+        out.push_str(&format!("  \"p50_us\": {},\n", self.p50_us));
+        out.push_str(&format!("  \"p99_us\": {},\n", self.p99_us));
+        out.push_str(&format!("  \"makespan_us\": {},\n", self.makespan_us));
+        out.push_str(&format!("  \"throughput_rps\": {:.6},\n", self.throughput_rps));
+        out.push_str("  \"tenants\": {\n");
+        let last = self.tenants.len().saturating_sub(1);
+        for (i, (name, t)) in self.tenants.iter().enumerate() {
+            let applied: Vec<String> = t.applied.iter().map(|c| format!("\"{c}\"")).collect();
+            out.push_str(&format!(
+                "    \"{name}\": {{\"issued\": {}, \"completed\": {}, \"ok\": {}, \
+                 \"rejected\": {}, \"deadline_dropped\": {}, \"failed\": {}, \
+                 \"applied\": [{}], \"fault_records\": {}, \
+                 \"outcome_hash\": \"{:016x}\", \"end_us\": {}}}{}\n",
+                t.issued,
+                t.completed,
+                t.ok,
+                t.rejected,
+                t.deadline_dropped,
+                t.failed,
+                applied.join(", "),
+                t.fault_records,
+                t.outcome_hash,
+                t.end_us,
+                if i == last { "" } else { "," },
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "serve: {} issued, {} completed ({} ok, {} failed), {} rejected, {} shed",
+            self.issued, self.completed, self.ok, self.failed, self.rejected, self.deadline_dropped
+        )?;
+        writeln!(
+            f,
+            "  latency p50 {}µs p99 {}µs · makespan {}µs · {:.1} req/s · {} batches ({} queries)",
+            self.p50_us,
+            self.p99_us,
+            self.makespan_us,
+            self.throughput_rps,
+            self.batches,
+            self.batched_queries
+        )?;
+        for (name, t) in &self.tenants {
+            writeln!(
+                f,
+                "  {name}: {}/{} ok, {} rejected, {} shed, {} failed, {} faults, \
+                 applied [{}], hash {:016x}",
+                t.ok,
+                t.issued,
+                t.rejected,
+                t.deadline_dropped,
+                t.failed,
+                t.fault_records,
+                t.applied.join(", "),
+                t.outcome_hash
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [10, 20, 30, 40];
+        assert_eq!(percentile(&v, 50.0), 20);
+        assert_eq!(percentile(&v, 99.0), 40);
+        assert_eq!(percentile(&v, 100.0), 40);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+    }
+}

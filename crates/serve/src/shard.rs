@@ -1,0 +1,443 @@
+//! Per-tenant closed-loop scheduler and per-shard execution.
+//!
+//! # Determinism across shard counts
+//!
+//! Every tenant is its own little world: a single-server FIFO queue fed
+//! by C closed-loop simulated clients, a private `StdRng` derived from
+//! the plan seed and the tenant's *global* name (never its shard), and
+//! a private sim-time axis starting at 0. Shards merely group tenants
+//! for real parallelism — they contribute no state of their own, so the
+//! per-tenant outcome is a pure function of `(plan, fault plan, tenant
+//! name)`. Reports then aggregate tenants in name order and traces
+//! merge in name order, which is why the same seed and plan produce a
+//! byte-identical `ServeReport` whether the server runs 1 shard or 8,
+//! on 1 weaver thread or 16.
+//!
+//! # The event loop
+//!
+//! Sim time advances from event to event:
+//!
+//! * **Arrival** — a thinking client issues its next request. Admission
+//!   control runs first: a full queue rejects with
+//!   `ServeError::Overloaded { retry_after_us }` (the attempt is
+//!   consumed and the client backs off), so queue memory is bounded by
+//!   construction. Admitted requests are drawn from the plan's seeded
+//!   mix and join the FIFO.
+//! * **Pickup** — when the server is idle and the queue non-empty, the
+//!   head is picked up. Requests that out-waited the plan's deadline
+//!   are shed here (`DeadlineExceeded`, counted as degraded, client
+//!   released). Consecutive read-only `Query` requests at the head are
+//!   batched and answered from one engine pass, charged one service
+//!   cost. Execution happens at pickup; the service time (plan base
+//!   cost + jitter draw + sim time the engine itself consumed, e.g.
+//!   latency faults) determines the completion event.
+//! * **Completion** — latency is recorded and the batch's clients go
+//!   back to thinking. Completions tie-break before arrivals; same-time
+//!   arrivals process in client-index order.
+//!
+//! Engine failures (injected middleware faults surfacing as
+//! `ServeError::Engine`) mark that one request `failed` and the loop
+//! carries on — a fault degrades a request, never a shard.
+
+use crate::error::ServeError;
+use crate::fnv1a64;
+use crate::plan::WorkloadPlan;
+use crate::report::TenantStats;
+use crate::request::{EngineFactory, QuerySelector, Request, TenantEngine};
+use comet_obs::{Collector, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Everything one tenant's run produced (plain data; crosses threads).
+#[derive(Debug)]
+pub(crate) struct TenantOutcome {
+    /// Tenant name (`t00`, ...).
+    pub tenant: String,
+    /// Aggregated per-tenant stats.
+    pub stats: TenantStats,
+    /// Per-request queue+service latencies, completion order.
+    pub latencies: Vec<u64>,
+    /// The tenant's trace, when tracing was requested.
+    pub trace: Option<Trace>,
+}
+
+/// One client of the closed loop.
+struct Client {
+    /// When this client next issues (valid while thinking).
+    next_us: u64,
+    /// Attempts left before the client retires.
+    remaining: u64,
+    /// True while a request of this client is queued or in service.
+    waiting: bool,
+}
+
+/// One admitted request waiting in (or leaving) the queue.
+struct Queued {
+    client: usize,
+    req: Request,
+    enqueued_us: u64,
+}
+
+/// The server's in-service batch (queries) or single request.
+struct InService {
+    until: u64,
+    batch: Vec<Queued>,
+}
+
+pub(crate) struct TenantScheduler<'a, E: TenantEngine> {
+    plan: &'a WorkloadPlan,
+    tenant: String,
+    engine: E,
+    obs: Collector,
+    rng: StdRng,
+    query_pool: Vec<QuerySelector>,
+    clients: Vec<Client>,
+    queue: VecDeque<Queued>,
+    in_service: Option<InService>,
+    now: u64,
+    /// Applies admitted minus undos admitted — gates `UndoLast` draws.
+    planned_depth: u64,
+    stats: TenantStats,
+    latencies: Vec<u64>,
+    hash: u64,
+}
+
+impl<'a, E: TenantEngine> TenantScheduler<'a, E> {
+    pub(crate) fn new<F>(plan: &'a WorkloadPlan, tenant: &str, factory: &F, traced: bool) -> Self
+    where
+        F: EngineFactory<Engine = E>,
+    {
+        let obs = if traced { Collector::enabled() } else { Collector::disabled() };
+        let engine = factory.create(tenant, &obs);
+        let clients = (0..plan.clients)
+            .map(|_| Client { next_us: 0, remaining: plan.requests, waiting: false })
+            .collect();
+        TenantScheduler {
+            plan,
+            tenant: tenant.to_owned(),
+            engine,
+            obs,
+            rng: StdRng::seed_from_u64(plan.seed ^ fnv1a64(tenant.as_bytes())),
+            query_pool: factory.query_pool(),
+            clients,
+            queue: VecDeque::new(),
+            in_service: None,
+            now: 0,
+            planned_depth: 0,
+            stats: TenantStats::default(),
+            latencies: Vec::new(),
+            hash: 0xcbf29ce484222325, // FNV offset basis
+        }
+    }
+
+    /// Runs the tenant to quiescence and returns its outcome.
+    pub(crate) fn run(mut self) -> TenantOutcome {
+        loop {
+            if self.in_service.is_none() && !self.queue.is_empty() {
+                self.start_service();
+                continue;
+            }
+            let completion = self.in_service.as_ref().map(|s| s.until);
+            let arrival = self
+                .clients
+                .iter()
+                .filter(|c| !c.waiting && c.remaining > 0)
+                .map(|c| c.next_us)
+                .min();
+            match (completion, arrival) {
+                (None, None) => break,
+                (Some(c), None) => self.complete(c),
+                (None, Some(a)) => self.arrivals_at(a),
+                // Completions tie-break before same-time arrivals.
+                (Some(c), Some(a)) if c <= a => self.complete(c),
+                (Some(_), Some(a)) => self.arrivals_at(a),
+            }
+        }
+        self.stats.end_us = self.now;
+        self.stats.applied = self.engine.applied();
+        self.stats.fault_records = self.engine.fault_log().len() as u64;
+        let applied = std::mem::take(&mut self.stats.applied);
+        for concern in &applied {
+            self.fold(concern.as_bytes());
+        }
+        self.stats.applied = applied;
+        self.stats.outcome_hash = self.hash;
+        TenantOutcome {
+            tenant: self.tenant,
+            stats: self.stats,
+            latencies: self.latencies,
+            trace: if self.obs.is_enabled() { Some(self.obs.take()) } else { None },
+        }
+    }
+
+    /// FNV-1a fold of one bookkeeping record into the outcome hash.
+    fn fold(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(0x100000001b3);
+        }
+        self.hash ^= 0xff;
+        self.hash = self.hash.wrapping_mul(0x100000001b3);
+    }
+
+    fn think_jitter(&mut self) -> u64 {
+        self.plan.service.think_us + self.rng.gen_range(0..=self.plan.service.jitter_us)
+    }
+
+    /// Processes every client arriving at time `at`, in index order.
+    fn arrivals_at(&mut self, at: u64) {
+        self.now = at;
+        for i in 0..self.clients.len() {
+            let c = &self.clients[i];
+            if c.waiting || c.remaining == 0 || c.next_us != at {
+                continue;
+            }
+            self.issue(i);
+        }
+    }
+
+    /// One client issues one request (the attempt is consumed either way).
+    fn issue(&mut self, client: usize) {
+        self.clients[client].remaining -= 1;
+        self.stats.issued += 1;
+        if self.queue.len() >= self.plan.limits.queue_depth {
+            // Admission control: bounded queue, typed backpressure.
+            let retry_after_us = self.backlog_estimate_us().max(1);
+            let err = ServeError::Overloaded { retry_after_us };
+            self.stats.rejected += 1;
+            self.fold(format!("reject:{client}@{}:{err}", self.now).as_bytes());
+            self.obs.event(
+                "serve",
+                "serve.reject",
+                self.now,
+                vec![
+                    ("tenant".into(), self.tenant.clone()),
+                    ("client".into(), client.to_string()),
+                    ("retry_after_us".into(), retry_after_us.to_string()),
+                ],
+            );
+            let backoff = retry_after_us + self.think_jitter();
+            self.clients[client].next_us = self.now + backoff;
+            return;
+        }
+        let req = self.draw_request();
+        self.queue.push_back(Queued { client, req, enqueued_us: self.now });
+        self.clients[client].waiting = true;
+    }
+
+    /// Honest deterministic backlog estimate backing `retry_after_us`.
+    fn backlog_estimate_us(&self) -> u64 {
+        let s = &self.plan.service;
+        let avg = (s.apply_us + s.undo_us + s.generate_us + s.query_us + s.snapshot_us) / 5;
+        let in_service = self.in_service.as_ref().map_or(0, |b| b.until.saturating_sub(self.now));
+        in_service + self.queue.len() as u64 * avg
+    }
+
+    /// Draws the next request from the plan's seeded mix.
+    fn draw_request(&mut self) -> Request {
+        let m = &self.plan.mix;
+        let x = self.rng.gen::<f64>() * m.total();
+        if x < m.apply {
+            if let Some(req) = self.engine.next_apply() {
+                self.planned_depth += 1;
+                return req;
+            }
+            // Workflow complete: degrade to a read.
+            return Request::Query(self.draw_query());
+        }
+        if x < m.apply + m.undo {
+            if self.planned_depth > 0 {
+                self.planned_depth -= 1;
+                return Request::UndoLast;
+            }
+            return Request::Query(self.draw_query());
+        }
+        if x < m.apply + m.undo + m.generate {
+            return Request::Generate;
+        }
+        if x < m.apply + m.undo + m.generate + m.query {
+            return Request::Query(self.draw_query());
+        }
+        Request::Snapshot
+    }
+
+    fn draw_query(&mut self) -> QuerySelector {
+        if self.query_pool.is_empty() {
+            return QuerySelector::Classes;
+        }
+        let i = self.rng.gen_range(0..self.query_pool.len());
+        self.query_pool[i].clone()
+    }
+
+    /// Picks up the queue head (shedding expired requests), executes it
+    /// — batching consecutive queries — and schedules the completion.
+    fn start_service(&mut self) {
+        let deadline = self.plan.limits.deadline_us;
+        while let Some(head) = self.queue.front() {
+            let waited = self.now - head.enqueued_us;
+            if deadline == 0 || waited <= deadline {
+                break;
+            }
+            let shed = self.queue.pop_front().expect("head exists");
+            let err = ServeError::DeadlineExceeded { waited_us: waited, deadline_us: deadline };
+            self.stats.deadline_dropped += 1;
+            self.fold(
+                format!("shed:{}:{}@{}:{err}", shed.req.kind(), shed.client, self.now).as_bytes(),
+            );
+            self.obs.event(
+                "serve",
+                "serve.deadline",
+                self.now,
+                vec![
+                    ("tenant".into(), self.tenant.clone()),
+                    ("client".into(), shed.client.to_string()),
+                    ("kind".into(), shed.req.kind().to_string()),
+                    ("waited_us".into(), waited.to_string()),
+                ],
+            );
+            self.release(shed.client);
+        }
+        let Some(first) = self.queue.pop_front() else { return };
+        let mut batch = vec![first];
+        if matches!(batch[0].req, Request::Query(_)) {
+            while matches!(self.queue.front().map(|q| &q.req), Some(Request::Query(_))) {
+                batch.push(self.queue.pop_front().expect("front exists"));
+            }
+        }
+        let base = match &batch[0].req {
+            Request::ApplyConcern { .. } => self.plan.service.apply_us,
+            Request::UndoLast => self.plan.service.undo_us,
+            Request::Generate => self.plan.service.generate_us,
+            // One pass, one service cost — that is the batching win.
+            Request::Query(_) => self.plan.service.query_us,
+            Request::Snapshot => self.plan.service.snapshot_us,
+        };
+        let jitter = self.rng.gen_range(0..=self.plan.service.jitter_us);
+        let until = self.execute(&batch, base + jitter);
+        self.in_service = Some(InService { until, batch });
+    }
+
+    /// Executes the batch under `serve.request` spans and returns the
+    /// completion time. Outcomes are carried as display text — `Err`
+    /// holds the rendered `ServeError` — since the scheduler only
+    /// counts, hashes, and tags them.
+    fn execute(&mut self, batch: &[Queued], sched_cost: u64) -> u64 {
+        self.engine.take_service_us(); // discard pre-request drift
+        let outcomes: Vec<Result<String, String>> = if let Request::Query(_) = &batch[0].req {
+            let selectors: Vec<QuerySelector> = batch
+                .iter()
+                .map(|q| match &q.req {
+                    Request::Query(sel) => sel.clone(),
+                    other => unreachable!("query batch holds {other}"),
+                })
+                .collect();
+            if batch.len() > 1 {
+                self.stats.batches += 1;
+                self.stats.batched_queries += batch.len() as u64;
+            }
+            let span = self.begin_request_span(&batch[0], batch.len());
+            let outs: Vec<Result<String, String>> =
+                match self.engine.execute_queries(&selectors, &self.obs) {
+                    Ok(counts) => counts.iter().map(|n| Ok(format!("ok:{n}"))).collect(),
+                    // One failed pass degrades the whole batch —
+                    // every member is a read, none saw bad data.
+                    Err(err) => {
+                        let text = err.to_string();
+                        batch.iter().map(|_| Err(text.clone())).collect()
+                    }
+                };
+            self.end_request_span(span, outs.first());
+            // Batch members beyond the head get their own
+            // (zero-length) request spans for provenance.
+            for (q, out) in batch.iter().zip(&outs).skip(1) {
+                let s = self.begin_request_span(q, batch.len());
+                self.end_request_span(s, Some(out));
+            }
+            outs
+        } else {
+            let span = self.begin_request_span(&batch[0], 1);
+            let result = self.engine.execute(&batch[0].req, &self.obs).map_err(|e| e.to_string());
+            self.end_request_span(span, Some(&result));
+            vec![result]
+        };
+        for (q, out) in batch.iter().zip(&outcomes) {
+            match out {
+                Ok(token) => {
+                    self.stats.ok += 1;
+                    self.fold(
+                        format!("ok:{}:{}@{}:{token}", q.req.kind(), q.client, self.now).as_bytes(),
+                    );
+                }
+                Err(err) => {
+                    self.stats.failed += 1;
+                    self.fold(
+                        format!("fail:{}:{}@{}:{err}", q.req.kind(), q.client, self.now).as_bytes(),
+                    );
+                }
+            }
+        }
+        self.now + sched_cost + self.engine.take_service_us()
+    }
+
+    fn begin_request_span(&mut self, q: &Queued, batch_len: usize) -> comet_obs::SpanId {
+        let span = self.obs.begin_span("serve", "serve.request", self.now);
+        if self.obs.is_enabled() {
+            self.obs.span_attr(span, "tenant", &self.tenant);
+            self.obs.span_attr(span, "kind", q.req.kind());
+            self.obs.span_attr(span, "client", &q.client.to_string());
+            if batch_len > 1 {
+                self.obs.span_attr(span, "batch", &batch_len.to_string());
+            }
+        }
+        span
+    }
+
+    fn end_request_span(
+        &mut self,
+        span: comet_obs::SpanId,
+        outcome: Option<&Result<String, String>>,
+    ) {
+        if self.obs.is_enabled() {
+            let text = match outcome {
+                Some(Ok(token)) => token.clone(),
+                Some(Err(err)) => format!("error:{err}"),
+                None => "unknown".to_owned(),
+            };
+            self.obs.span_attr(span, "outcome", &text);
+        }
+        self.obs.end_span(span, self.now);
+    }
+
+    /// The in-service batch finishes at `at`.
+    fn complete(&mut self, at: u64) {
+        self.now = at;
+        let done = self.in_service.take().expect("completion without service");
+        for q in &done.batch {
+            self.stats.completed += 1;
+            self.latencies.push(at - q.enqueued_us);
+            self.release(q.client);
+        }
+        self.obs.incr("serve.completed", done.batch.len() as u64);
+    }
+
+    /// Returns a client to thinking; its next issue is jittered.
+    fn release(&mut self, client: usize) {
+        let think = self.think_jitter();
+        let c = &mut self.clients[client];
+        c.waiting = false;
+        c.next_us = self.now + think;
+    }
+}
+
+/// Runs every tenant of one shard sequentially on the calling (rayon
+/// worker) thread. Engines are created here precisely because they may
+/// be `!Send` — nothing but the plain-data outcomes leaves this call.
+pub(crate) fn run_shard<F: EngineFactory>(
+    plan: &WorkloadPlan,
+    tenants: &[String],
+    factory: &F,
+    traced: bool,
+) -> Vec<TenantOutcome> {
+    tenants.iter().map(|t| TenantScheduler::new(plan, t, factory, traced).run()).collect()
+}

@@ -5,6 +5,7 @@
 mod common;
 
 use comet::MdaLifecycle;
+use comet_codegen::marks;
 use comet_concerns::{distribution, transactions};
 use comet_model::{Model, Primitive, TagValue};
 use comet_workflow::WorkflowModel;
@@ -40,6 +41,53 @@ fn import_rejects_tampered_snapshots() {
     let tampered = xmi.replacen("owner=\"#1\"", "owner=\"#4242\"", 1);
     assert_ne!(xmi, tampered);
     assert!(import_model(&tampered).is_err());
+}
+
+/// Every concern stereotype the standard library can mark a model
+/// with, paired with a representative `comet.*` tag from its concern
+/// space — including the fault-tolerance triple and its `ft.*` tags.
+const ALL_MARKS: [(&str, &str, &str); 9] = [
+    (marks::STEREO_REMOTE, marks::TAG_DIST_NODE, "server"),
+    (marks::STEREO_TRANSACTIONAL, marks::TAG_TX_ISOLATION, "serializable"),
+    (marks::STEREO_SECURED, marks::TAG_SEC_POLICY, "deny"),
+    (marks::STEREO_LOGGED, marks::TAG_LOG_LEVEL, "info"),
+    (marks::STEREO_SYNCHRONIZED, marks::TAG_SYNC_LOCK, "mutex"),
+    (marks::STEREO_PERSISTENT, marks::TAG_PERSIST_STORE, "kv"),
+    (marks::STEREO_RETRYABLE, marks::TAG_FT_BACKOFF_US, "250"),
+    (marks::STEREO_DEADLINE, marks::TAG_FT_DEADLINE_US, "5000"),
+    (marks::STEREO_BREAKER, marks::TAG_FT_BREAKER_THRESHOLD, "3"),
+];
+
+/// Strategy: a model carrying every concern stereotype at once, with
+/// per-class subsets drawn randomly on top of one fully marked class.
+fn arb_fully_marked_model() -> impl Strategy<Value = Model> {
+    (2usize..5, prop::collection::vec(0usize..ALL_MARKS.len(), 0..12)).prop_map(
+        |(classes, extra)| {
+            let mut m = Model::new("marked");
+            let root = m.root();
+            let mut ids = Vec::new();
+            for c in 0..classes {
+                let id = m.add_class(root, &format!("C{c}")).expect("unique");
+                m.add_operation(id, "op").expect("unique");
+                ids.push(id);
+            }
+            // One class wears every stereotype in the library.
+            let full = ids[0];
+            for (stereo, tag, value) in ALL_MARKS {
+                m.apply_stereotype(full, stereo).expect("class exists");
+                m.set_tag(full, tag, TagValue::Str(value.to_owned())).expect("class exists");
+            }
+            m.set_tag(full, marks::TAG_FT_MAX_ATTEMPTS, TagValue::Int(4)).expect("class exists");
+            // Remaining classes get random subsets.
+            for (i, pick) in extra.iter().enumerate() {
+                let id = ids[1 + i % (ids.len() - 1)];
+                let (stereo, tag, value) = ALL_MARKS[*pick];
+                let _ = m.apply_stereotype(id, stereo);
+                m.set_tag(id, tag, TagValue::Str(value.to_owned())).expect("class exists");
+            }
+            m
+        },
+    )
 }
 
 /// Strategy: a random small model built through the checked API (so it
@@ -104,5 +152,30 @@ proptest! {
         let once = export_model(&model);
         let twice = export_model(&import_model(&once).unwrap());
         prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn fully_marked_models_round_trip_byte_and_model_identically(
+        model in arb_fully_marked_model()
+    ) {
+        let xmi = export_model(&model);
+        let back = import_model(&xmi).unwrap();
+        // Model-identical: every stereotype and comet.* tag survives.
+        prop_assert_eq!(&back, &model);
+        let full = back.find_class("C0").unwrap();
+        for (stereo, tag, value) in ALL_MARKS {
+            prop_assert!(back.has_stereotype(full, stereo).unwrap(), "lost {}", stereo);
+            prop_assert_eq!(
+                back.element(full).unwrap().core().tag(tag).unwrap().as_str(),
+                Some(value),
+                "lost {}", tag
+            );
+        }
+        prop_assert_eq!(
+            back.element(full).unwrap().core().tag(marks::TAG_FT_MAX_ATTEMPTS),
+            Some(&TagValue::Int(4))
+        );
+        // Byte-identical: re-export reproduces the document exactly.
+        prop_assert_eq!(export_model(&back), xmi);
     }
 }
