@@ -82,32 +82,16 @@ impl MatchIndex {
     /// `aspects` is the effective list in precedence order, including
     /// any synthesized cflow instrumentation aspect.
     pub(crate) fn build(aspects: &[&Aspect], program: &Program) -> Self {
-        // Call advice candidates: only before/after participate at call
-        // shadows (validation rejects user around/afterX there; the
-        // synthesized cflow instrumentation may legitimately carry
-        // around advice whose inner pointcut selects calls, and the
-        // naive weaver ignores it at call shadows — so exclude it here
-        // for identical output).
-        let call_advices: Vec<(usize, usize)> = aspects
-            .iter()
-            .enumerate()
-            .flat_map(|(k, aspect)| {
-                aspect
-                    .advices
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, adv)| {
-                        adv.pointcut.selects_calls()
-                            && matches!(adv.kind, AdviceKind::Before | AdviceKind::After)
-                    })
-                    .map(move |(j, _)| (k, j))
-            })
-            .collect();
-        let class_indices: Vec<usize> = (0..program.classes.len()).collect();
-        let classes: Vec<ClassMatches> = class_indices
-            .par_iter()
-            .map(|&ci| index_class(aspects, &call_advices, &program.classes[ci]))
-            .collect();
+        let call_advices = call_advice_candidates(aspects);
+        let classes: Vec<ClassMatches> = if crate::weaver::use_sequential(program.classes.len()) {
+            program.classes.iter().map(|c| index_class(aspects, &call_advices, c)).collect()
+        } else {
+            let class_indices: Vec<usize> = (0..program.classes.len()).collect();
+            class_indices
+                .par_iter()
+                .map(|&ci| index_class(aspects, &call_advices, &program.classes[ci]))
+                .collect()
+        };
         MatchIndex { classes }
     }
 
@@ -117,7 +101,33 @@ impl MatchIndex {
     }
 }
 
-fn index_class(
+/// Call advice candidates: only before/after participate at call
+/// shadows (validation rejects user around/afterX there; the
+/// synthesized cflow instrumentation may legitimately carry around
+/// advice whose inner pointcut selects calls, and the naive weaver
+/// ignores it at call shadows — so exclude it here for identical
+/// output).
+pub(crate) fn call_advice_candidates(aspects: &[&Aspect]) -> Vec<(usize, usize)> {
+    aspects
+        .iter()
+        .enumerate()
+        .flat_map(|(k, aspect)| {
+            aspect
+                .advices
+                .iter()
+                .enumerate()
+                .filter(|(_, adv)| {
+                    adv.pointcut.selects_calls()
+                        && matches!(adv.kind, AdviceKind::Before | AdviceKind::After)
+                })
+                .map(move |(j, _)| (k, j))
+        })
+        .collect()
+}
+
+/// Builds the match tables for one class — the per-class unit the
+/// incremental weaver re-indexes when splicing.
+pub(crate) fn index_class(
     aspects: &[&Aspect],
     call_advices: &[(usize, usize)],
     class: &ClassDecl,

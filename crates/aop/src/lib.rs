@@ -44,6 +44,7 @@
 //! ```
 
 mod advice;
+mod incremental;
 mod index;
 mod metrics;
 mod pattern;
@@ -51,7 +52,10 @@ mod pointcut;
 mod weaver;
 
 pub use advice::{Advice, AdviceKind, Aspect};
+pub use incremental::{IncrementalStats, IncrementalWeaver};
 pub use metrics::{concern_metrics, ConcernMetrics, MetricsReport};
 pub use pattern::NamePattern;
 pub use pointcut::{parse_pointcut, Pointcut, PointcutParseError};
-pub use weaver::{WeaveError, WeaveResult, Weaver, WovenJoinPoint};
+pub use weaver::{
+    Shadow, WeaveError, WeavePath, WeaveResult, Weaver, WovenJoinPoint, PARALLEL_MIN_CLASSES,
+};

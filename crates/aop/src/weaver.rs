@@ -109,13 +109,49 @@ pub struct WovenJoinPoint {
     pub shadow: Shadow,
 }
 
+/// Which execution strategy a weave actually used. Recorded on the
+/// [`WeaveResult`] (not in the obs trace: the strategy depends on the
+/// ambient rayon pool, and traces must stay byte-identical across
+/// thread counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeavePath {
+    /// Plain loop on the calling thread — chosen when the pool has one
+    /// worker or the class count is below [`PARALLEL_MIN_CLASSES`],
+    /// where rayon dispatch costs more than it buys.
+    Sequential,
+    /// rayon per-class parallel weave.
+    Parallel,
+}
+
+/// Class count below which the per-class parallel weave is not worth
+/// its dispatch overhead (the BENCH_weaver thread sweep shows the
+/// 2-thread run *losing* to 1 thread on small inputs).
+pub const PARALLEL_MIN_CLASSES: usize = 8;
+
+/// Decides the weave path for a unit of `classes` independent classes.
+pub(crate) fn use_sequential(classes: usize) -> bool {
+    rayon::current_num_threads() == 1 || classes < PARALLEL_MIN_CLASSES
+}
+
 /// Result of weaving: the transformed program plus the trace.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares `program` and `trace` only — `path` is an
+/// execution detail that legitimately varies with the ambient thread
+/// pool while the output stays byte-identical.
+#[derive(Debug, Clone)]
 pub struct WeaveResult {
     /// The woven program.
     pub program: Program,
     /// One record per advice application.
     pub trace: Vec<WovenJoinPoint>,
+    /// Which strategy produced the result.
+    pub path: WeavePath,
+}
+
+impl PartialEq for WeaveResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.program == other.program && self.trace == other.trace
+    }
 }
 
 /// The weaver: an ordered list of aspects (order = precedence, earlier =
@@ -123,6 +159,50 @@ pub struct WeaveResult {
 #[derive(Debug, Clone, Default)]
 pub struct Weaver {
     aspects: Vec<Aspect>,
+}
+
+/// Records the post-hoc weave spans/events for a finished weave: one
+/// `weave` pass span, one `class:<name>` child span per advised class,
+/// one `weave.advice` event per join point. Shared by the full and the
+/// incremental weavers so a cached re-weave traces byte-identically to
+/// a fresh one (the trace is derived from the result, never from the
+/// execution path that produced it).
+pub(crate) fn record_weave_trace(
+    obs: &comet_obs::Collector,
+    aspect_count: usize,
+    result: &WeaveResult,
+) {
+    let pass = obs.begin_span("weave", "weave", 0);
+    obs.span_attr(pass, "aspects", &aspect_count.to_string());
+    obs.span_attr(pass, "joinpoints", &result.trace.len().to_string());
+    for class in &result.program.classes {
+        let records: Vec<&WovenJoinPoint> =
+            result.trace.iter().filter(|r| r.class == class.name).collect();
+        if records.is_empty() {
+            continue;
+        }
+        let span = obs.begin_span("weave", &format!("class:{}", class.name), 0);
+        for r in records {
+            let shadow = match &r.shadow {
+                Shadow::Execution => format!("execution({}.{})", r.class, r.method),
+                Shadow::Call { callee } => format!("call({callee})"),
+            };
+            obs.event(
+                "weave",
+                "weave.advice",
+                0,
+                vec![
+                    ("aspect".to_owned(), r.aspect.clone()),
+                    ("advice".to_owned(), r.kind.to_string()),
+                    ("shadow".to_owned(), shadow),
+                    ("class".to_owned(), r.class.clone()),
+                    ("method".to_owned(), r.method.clone()),
+                ],
+            );
+        }
+        obs.end_span(span, 0);
+    }
+    obs.end_span(pass, 0);
 }
 
 impl Weaver {
@@ -147,12 +227,19 @@ impl Weaver {
         let instrumentation = self.validate_and_instrument()?;
         let aspects = effective_aspects(&self.aspects, instrumentation.as_ref());
         let index = MatchIndex::build(&aspects, program);
-        let class_indices: Vec<usize> = (0..program.classes.len()).collect();
+        let sequential = use_sequential(program.classes.len());
         let woven_classes: Vec<(ClassDecl, Vec<WovenJoinPoint>, Vec<WovenJoinPoint>)> =
-            class_indices
-                .par_iter()
-                .map(|&i| weave_class(&aspects, &program.classes[i], index.class(i)))
-                .collect();
+            if sequential {
+                (0..program.classes.len())
+                    .map(|i| weave_class(&aspects, &program.classes[i], index.class(i)))
+                    .collect()
+            } else {
+                let class_indices: Vec<usize> = (0..program.classes.len()).collect();
+                class_indices
+                    .par_iter()
+                    .map(|&i| weave_class(&aspects, &program.classes[i], index.class(i)))
+                    .collect()
+            };
         // Reassemble in class order with the naive weaver's global phase
         // order: all call records first, then all execution records.
         let mut out = Program::new(program.name.clone());
@@ -166,7 +253,8 @@ impl Weaver {
         for exec_trace in exec_traces {
             trace.extend(exec_trace);
         }
-        Ok(WeaveResult { program: out, trace })
+        let path = if sequential { WeavePath::Sequential } else { WeavePath::Parallel };
+        Ok(WeaveResult { program: out, trace, path })
     }
 
     /// [`Weaver::weave`] wrapped in trace spans: one `weave` span over
@@ -189,40 +277,9 @@ impl Weaver {
         obs: &comet_obs::Collector,
     ) -> Result<WeaveResult, WeaveError> {
         let result = self.weave(program)?;
-        if !obs.is_enabled() {
-            return Ok(result);
+        if obs.is_enabled() {
+            record_weave_trace(obs, self.aspects.len(), &result);
         }
-        let pass = obs.begin_span("weave", "weave", 0);
-        obs.span_attr(pass, "aspects", &self.aspects.len().to_string());
-        obs.span_attr(pass, "joinpoints", &result.trace.len().to_string());
-        for class in &result.program.classes {
-            let records: Vec<&WovenJoinPoint> =
-                result.trace.iter().filter(|r| r.class == class.name).collect();
-            if records.is_empty() {
-                continue;
-            }
-            let span = obs.begin_span("weave", &format!("class:{}", class.name), 0);
-            for r in records {
-                let shadow = match &r.shadow {
-                    Shadow::Execution => format!("execution({}.{})", r.class, r.method),
-                    Shadow::Call { callee } => format!("call({callee})"),
-                };
-                obs.event(
-                    "weave",
-                    "weave.advice",
-                    0,
-                    vec![
-                        ("aspect".to_owned(), r.aspect.clone()),
-                        ("advice".to_owned(), r.kind.to_string()),
-                        ("shadow".to_owned(), shadow),
-                        ("class".to_owned(), r.class.clone()),
-                        ("method".to_owned(), r.method.clone()),
-                    ],
-                );
-            }
-            obs.end_span(span, 0);
-        }
-        obs.end_span(pass, 0);
         Ok(result)
     }
 
@@ -247,7 +304,7 @@ impl Weaver {
         // containers, so call shadows must be found before that move.
         naive_weave_calls(&aspects, &mut woven, &mut trace);
         naive_weave_executions(&aspects, &mut woven, &mut trace);
-        Ok(WeaveResult { program: woven, trace })
+        Ok(WeaveResult { program: woven, trace, path: WeavePath::Sequential })
     }
 
     /// Validates advice kinds at call shadows and cflow positions, and
@@ -255,7 +312,7 @@ impl Weaver {
     /// `cflow(...)` conjunct is present (the AspectJ strategy:
     /// enter/exit counters around the cflow-defining join points, an
     /// `active` check guarding the advice bodies).
-    fn validate_and_instrument(&self) -> Result<Option<Aspect>, WeaveError> {
+    pub(crate) fn validate_and_instrument(&self) -> Result<Option<Aspect>, WeaveError> {
         for aspect in &self.aspects {
             for advice in &aspect.advices {
                 if advice.pointcut.selects_calls()
@@ -300,7 +357,7 @@ impl Weaver {
 /// instrumentation (outermost) followed by the user aspects — borrowed,
 /// so the common no-cflow case costs nothing (previously this path
 /// cloned the entire weaver, aspect bodies and all).
-fn effective_aspects<'a>(
+pub(crate) fn effective_aspects<'a>(
     own: &'a [Aspect],
     instrumentation: Option<&'a Aspect>,
 ) -> Vec<&'a Aspect> {
@@ -318,7 +375,7 @@ fn effective_aspects<'a>(
 /// woven class plus its call-phase and execution-phase trace records.
 /// Reads only `class` and the index — see `index.rs` for why this makes
 /// classes independent (and therefore parallelizable) work units.
-fn weave_class(
+pub(crate) fn weave_class(
     aspects: &[&Aspect],
     class: &ClassDecl,
     matches: &ClassMatches,

@@ -1,14 +1,17 @@
 //! The MDA lifecycle engine: the paper's Fig. 1 pipeline end to end.
 
-use comet_aop::{Aspect, WeaveError, Weaver, WovenJoinPoint};
+use comet_aop::{Aspect, IncrementalWeaver, WeaveError, Weaver, WovenJoinPoint};
 use comet_aspectgen::{AspectBackend, AspectGenError, AspectJBackend, ConcernPair};
 use comet_codegen::{
     pretty_print, BodyProvider, FunctionalGenerator, MonolithicGenerator, Program,
 };
-use comet_model::Model;
+use comet_model::{DirtySet, Model};
 use comet_repo::{ColorReport, CommitDelta, RepoError, Repository};
-use comet_transform::{ApplyReport, ConcreteTransformation, ParamSet, TransformError};
+use comet_transform::{
+    ApplyReport, ConcreteTransformation, ConditionCache, ParamSet, TransformError,
+};
 use comet_workflow::{WorkflowEngine, WorkflowError, WorkflowModel};
+use std::cell::RefCell;
 use std::fmt;
 
 /// Lifecycle failures; each wraps the failing subsystem's error.
@@ -126,7 +129,36 @@ pub struct GeneratedSystem {
     pub weave_trace: Vec<WovenJoinPoint>,
 }
 
+/// The weave half of the lifecycle's incrementality state: an
+/// [`IncrementalWeaver`] valid for one aspect list (the fingerprint is
+/// the aspect names in precedence order — applying or undoing a concern
+/// changes it and forces a rebuild).
+#[derive(Debug)]
+struct WeaveCacheState {
+    fingerprint: Vec<String>,
+    weaver: IncrementalWeaver,
+}
+
 /// The MDA lifecycle: model + repository + workflow + applied concerns.
+///
+/// # Incrementality
+///
+/// The lifecycle threads the change journal's deltas into two caches:
+///
+/// * **Condition cache** — every CMT application goes through
+///   [`ConcreteTransformation::apply_incremental_traced`], so pre- and
+///   postconditions whose [`comet_transform::Footprint`] is disjoint
+///   from each application's dirty kinds are answered from cache;
+/// * **Weave cache** — [`MdaLifecycle::generate`] re-weaves only the
+///   classes reachable from the dirty set accumulated since the last
+///   generation ([`DirtySet::dirty_classes`]); everything else is
+///   spliced from the previous weave. A repeated `generate` at an
+///   unchanged revision returns the cached result outright.
+///
+/// Both caches are dropped on [`MdaLifecycle::undo_last`] (the restored
+/// snapshot restarts the revision counter) and the full engines remain
+/// the differential oracles in the test suite; results are
+/// byte-identical to the non-incremental paths in every case.
 #[derive(Debug)]
 pub struct MdaLifecycle {
     model: Model,
@@ -134,6 +166,11 @@ pub struct MdaLifecycle {
     workflow: WorkflowEngine,
     applied: Vec<AppliedConcern>,
     obs: comet_obs::Collector,
+    conditions: ConditionCache,
+    weave_cache: RefCell<Option<WeaveCacheState>>,
+    /// Model changes since the weave cache last saw the model; `None`
+    /// means "unknown — do a full re-weave".
+    dirty_since: RefCell<Option<DirtySet>>,
 }
 
 impl MdaLifecycle {
@@ -151,6 +188,9 @@ impl MdaLifecycle {
             workflow: WorkflowEngine::new(workflow),
             applied: Vec::new(),
             obs: comet_obs::Collector::disabled(),
+            conditions: ConditionCache::new(),
+            weave_cache: RefCell::new(None),
+            dirty_since: RefCell::new(Some(DirtySet::default())),
         })
     }
 
@@ -252,7 +292,8 @@ impl MdaLifecycle {
         let (cmt, aspect) = pair.specialize(si)?;
         self.workflow.record(pair.concern())?;
         self.model.begin_journal();
-        let report = match cmt.apply_traced(&mut self.model, obs) {
+        let report = match cmt.apply_incremental_traced(&mut self.model, obs, &mut self.conditions)
+        {
             Ok(report) => report,
             Err(e) => {
                 self.model.rollback_journal();
@@ -269,8 +310,20 @@ impl MdaLifecycle {
             self.repo.commit_with_delta(&self.model, &cmt.full_name(), Some(pair.concern()), delta)
         {
             self.model.rollback_journal();
+            // The condition cache saw the now-unwound delta; drop it.
+            self.conditions.invalidate_all();
             self.workflow.unrecord(pair.concern());
             return Err(e.into());
+        }
+        // Fold this step's delta (the whole outer segment) into the
+        // dirty set the weave cache consumes at the next `generate`.
+        match self.model.journal_dirty() {
+            Some(delta) => {
+                if let Some(acc) = self.dirty_since.borrow_mut().as_mut() {
+                    acc.merge(&delta);
+                }
+            }
+            None => *self.dirty_since.borrow_mut() = None,
         }
         self.model.commit_journal();
         self.applied.push(AppliedConcern { cmt, aspect, report });
@@ -316,6 +369,11 @@ impl MdaLifecycle {
         self.applied.pop();
         self.workflow = engine;
         self.model = restored;
+        // The restored snapshot is a fresh model instance (its revision
+        // counter restarts), so both incrementality caches are stale.
+        self.conditions.invalidate_all();
+        *self.weave_cache.borrow_mut() = None;
+        *self.dirty_since.borrow_mut() = Some(DirtySet::default());
         Ok(())
     }
 
@@ -340,8 +398,32 @@ impl MdaLifecycle {
         }
         obs.end_span(fspan, 0);
         let aspects = self.aspects();
-        let weaver = Weaver::new(aspects.clone());
-        let result = match weaver.weave_traced(&functional, obs) {
+        // Reuse (or rebuild) the incremental weaver for this aspect
+        // list, feed it the dirty classes accumulated since the last
+        // generation, and splice everything else from the cached weave.
+        let fingerprint: Vec<String> = aspects.iter().map(|a| a.name.clone()).collect();
+        let mut cache = self.weave_cache.borrow_mut();
+        let state = match cache.as_mut() {
+            Some(state) if state.fingerprint == fingerprint => state,
+            _ => {
+                *cache = Some(WeaveCacheState {
+                    fingerprint,
+                    weaver: IncrementalWeaver::new(Weaver::new(aspects.clone())),
+                });
+                cache.as_mut().expect("just stored")
+            }
+        };
+        let dirty_classes = {
+            let dirty = self.dirty_since.borrow();
+            dirty.as_ref().and_then(|d| d.dirty_classes(&self.model))
+        };
+        let weave = state.weaver.weave_at_traced(
+            self.model.revision(),
+            &functional,
+            dirty_classes.as_ref(),
+            obs,
+        );
+        let (result, stats) = match weave {
             Ok(r) => r,
             Err(e) => {
                 if obs.is_enabled() {
@@ -351,6 +433,13 @@ impl MdaLifecycle {
                 return Err(e.into());
             }
         };
+        // The cache now matches the current model: start a fresh delta.
+        *self.dirty_since.borrow_mut() = Some(DirtySet::default());
+        if obs.is_enabled() {
+            obs.incr(if stats.hit { "weave.incremental.hit" } else { "weave.incremental.miss" }, 1);
+            obs.incr("weave.incremental.rewoven", stats.rewoven as u64);
+            obs.incr("weave.incremental.total", stats.total as u64);
+        }
         let rspan = obs.begin_span("codegen", "render:aspects", 0);
         let backend = AspectJBackend::new();
         let aspect_sources: Vec<(String, String)> =
@@ -363,9 +452,9 @@ impl MdaLifecycle {
         Ok(GeneratedSystem {
             functional_source: pretty_print(&functional),
             functional,
-            woven: result.program,
+            woven: result.program.clone(),
             aspect_sources,
-            weave_trace: result.trace,
+            weave_trace: result.trace.clone(),
         })
     }
 
@@ -494,6 +583,47 @@ mod tests {
         let generate = trace.roots().into_iter().find(|s| s.name == "generate").unwrap();
         let cats: Vec<&str> = trace.children(generate.id).iter().map(|s| s.cat.as_str()).collect();
         assert_eq!(cats, ["codegen", "weave", "codegen"]);
+    }
+
+    #[test]
+    fn repeated_generate_hits_the_weave_cache_byte_identically() {
+        let obs = comet_obs::Collector::enabled();
+        let mut mda = full_lifecycle();
+        mda.set_collector(obs.clone());
+        let bodies = BodyProvider::default();
+        let first = mda.generate(&bodies).unwrap();
+        let second = mda.generate(&bodies).unwrap();
+        assert_eq!(first.woven, second.woven);
+        assert_eq!(first.weave_trace, second.weave_trace);
+        let trace = obs.take();
+        assert_eq!(trace.counters.get("weave.incremental.miss"), Some(&1));
+        assert_eq!(trace.counters.get("weave.incremental.hit"), Some(&1));
+        // The hit re-wove nothing; only the first (cold) weave worked.
+        let total = trace.counters["weave.incremental.total"];
+        assert_eq!(trace.counters["weave.incremental.rewoven"], total / 2);
+    }
+
+    #[test]
+    fn incremental_generate_stays_equal_across_apply_and_undo() {
+        // Drive the cache through its invalidation paths and check the
+        // result against a fresh full weave every time.
+        let bodies = BodyProvider::default();
+        let oracle = |mda: &MdaLifecycle| {
+            let functional = FunctionalGenerator::new().generate(mda.model(), &bodies);
+            Weaver::new(mda.aspects()).weave(&functional).unwrap().program
+        };
+        let mut mda = MdaLifecycle::new(banking_pim(), fig2_workflow()).unwrap();
+        mda.apply_concern(&distribution::pair(), dist_si()).unwrap();
+        assert_eq!(mda.generate(&bodies).unwrap().woven, oracle(&mda));
+        mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
+        assert_eq!(mda.generate(&bodies).unwrap().woven, oracle(&mda));
+        mda.undo_last().unwrap();
+        assert_eq!(mda.generate(&bodies).unwrap().woven, oracle(&mda));
+        mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
+        mda.apply_concern(&security::pair(), sec_si()).unwrap();
+        assert_eq!(mda.generate(&bodies).unwrap().woven, oracle(&mda));
+        // And a repeat at an unchanged model is still the same bytes.
+        assert_eq!(mda.generate(&bodies).unwrap().woven, oracle(&mda));
     }
 
     #[test]

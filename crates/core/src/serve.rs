@@ -20,6 +20,15 @@
 //! | generate   | `bus.send`               | `generate` (codegen+weave)  |
 //! | query      | `naming.lookup`          | `ModelIndex` reads          |
 //! | snapshot   | `store.save`             | XMI export into the store   |
+//!
+//! Because each tenant owns a private [`MdaLifecycle`], the lifecycle's
+//! incrementality caches (dirty-set weave cache, condition cache) are
+//! **per-tenant automatically**: a steady-state tenant that repeats
+//! `Generate` at an unchanged model revision pays one cold weave and
+//! then hits the cache (`weave.incremental.hit` in the trace counters),
+//! while other tenants' edits cannot invalidate it. The cached results
+//! are byte-identical to full weaves, so shard-count invariance of
+//! reports and traces is unaffected.
 
 use crate::chaos::{banking_bodies, executable_banking_pim};
 use crate::lifecycle::MdaLifecycle;

@@ -168,3 +168,22 @@ fn traces_nest_requests_under_tenant_tagged_spans() {
         "concern spans missing from the serve trace"
     );
 }
+
+#[test]
+fn steady_state_generates_hit_the_per_tenant_weave_cache() {
+    // Once a tenant's workflow is exhausted the workload keeps issuing
+    // `Generate` at an unchanged model revision, so the per-tenant
+    // incremental weave cache must convert those into full hits — and
+    // the cached path must not perturb cross-shard determinism (checked
+    // exhaustively by `report_and_trace_are_identical_across_shard_counts`).
+    let plan = WorkloadPlan::new(7);
+    let outcome = run(&plan, 2, None);
+    let trace = outcome.trace.expect("traced run yields a trace");
+    let hits = trace.counters.get("weave.incremental.hit").copied().unwrap_or(0);
+    let misses = trace.counters.get("weave.incremental.miss").copied().unwrap_or(0);
+    assert!(hits > 0, "steady-state generates never hit the weave cache: {:?}", trace.counters);
+    // Every generate is classified exactly once.
+    let generates: u64 =
+        trace.spans.iter().filter(|s| s.cat == "lifecycle" && s.name == "generate").count() as u64;
+    assert_eq!(hits + misses, generates, "hit/miss classification lost generates");
+}

@@ -25,7 +25,11 @@
 //! may change anything, so the pre-image is snapshotted whether or not
 //! the caller ends up writing. The commit-time summary compares
 //! pre-images against the final state, so a read-only `element_mut`
-//! does not show up as a modification.
+//! does not show up as a modification. Within one savepoint segment
+//! only the **first** pre-image per element is kept: replaying the
+//! earliest snapshot already restores the pre-segment state, so later
+//! `Mutate`s on the same id would only bloat the op log and over-count
+//! in diagnostics ([`Journal::wants_mutate`]).
 //!
 //! ## Savepoints
 //!
@@ -75,6 +79,26 @@ pub(crate) enum JournalOp {
     },
 }
 
+/// What a removed element *was*: the identity needed to localize the
+/// removal after the element is gone. Captured from the `Remove`
+/// snapshots at summary time — the ids in
+/// [`JournalSummary::removed`] no longer resolve against the model, so
+/// downstream dirty-set consumers (incremental weaving, condition
+/// caching) would otherwise have to treat every removal as a global
+/// invalidation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemovedElement {
+    /// The removed element's id.
+    pub id: ElementId,
+    /// Its metamodel kind name (`"Class"`, `"Operation"`, ...).
+    pub kind: &'static str,
+    /// Its name at removal time.
+    pub name: String,
+    /// Its owner at removal time; the owner may itself have been
+    /// removed by the same cascade (then it appears in the same list).
+    pub owner: Option<ElementId>,
+}
+
 /// What one committed journal segment changed, derived purely from the
 /// recorded ops — no before/after model sweep.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -85,6 +109,8 @@ pub struct JournalSummary {
     pub modified: Vec<ElementId>,
     /// Pre-existing elements removed by the segment, in id order.
     pub removed: Vec<ElementId>,
+    /// Kind/name/owner of each entry in `removed`, same order.
+    pub removed_detail: Vec<RemovedElement>,
     /// Number of raw ops the segment recorded (diagnostics).
     pub ops: usize,
 }
@@ -111,17 +137,24 @@ pub(crate) struct Journal {
     /// Stack of segment starts; one entry per `begin_journal` not yet
     /// committed or rolled back.
     savepoints: Vec<usize>,
+    /// Per-segment set of ids that already have a `Mutate` pre-image,
+    /// parallel to `savepoints`. Keeping only the first pre-image per
+    /// segment is enough for inverse replay (the earliest snapshot
+    /// restores the pre-segment state) and stops repeated
+    /// `element_mut(id)` from appending one op each.
+    mutated: Vec<BTreeSet<ElementId>>,
 }
 
 impl Journal {
     /// Opens the outermost segment.
     pub(crate) fn new() -> Self {
-        Journal { ops: Vec::new(), savepoints: vec![0] }
+        Journal { ops: Vec::new(), savepoints: vec![0], mutated: vec![BTreeSet::new()] }
     }
 
     /// Opens a nested segment.
     pub(crate) fn push_savepoint(&mut self) {
         self.savepoints.push(self.ops.len());
+        self.mutated.push(BTreeSet::new());
     }
 
     /// Current nesting depth.
@@ -129,8 +162,24 @@ impl Journal {
         self.savepoints.len()
     }
 
-    /// Records an op.
+    /// Whether a `Mutate` pre-image for `id` is still wanted in the
+    /// innermost segment. Callers check this *before* cloning the
+    /// pre-image so the duplicate case costs a set lookup, not a clone.
+    /// A nested segment records its own first pre-image even when the
+    /// enclosing segment already has one: a rollback of the inner
+    /// segment must be able to restore the element on its own.
+    pub(crate) fn wants_mutate(&self, id: ElementId) -> bool {
+        !self.mutated.last().expect("active journal has a segment").contains(&id)
+    }
+
+    /// Records an op. Duplicate `Mutate`s per id per segment are
+    /// dropped (see [`Journal::wants_mutate`]).
     pub(crate) fn record(&mut self, op: JournalOp) {
+        if let JournalOp::Mutate { id, .. } = &op {
+            if !self.mutated.last_mut().expect("active journal has a segment").insert(*id) {
+                return;
+            }
+        }
         self.ops.push(op);
     }
 
@@ -156,8 +205,23 @@ impl Journal {
         let sp = self.savepoints.pop().expect("active journal has a savepoint");
         let summary = summarize(&self.ops[sp..], elements);
         // A nested segment's ops stay: the enclosing segment must still
-        // be able to unwind them.
+        // be able to unwind them. Its pre-imaged ids fold into the
+        // enclosing segment for the same reason — the enclosing replay
+        // already restores them, so re-recording would be redundant.
+        let folded = self.mutated.pop().expect("active journal has a segment");
+        if let Some(enclosing) = self.mutated.last_mut() {
+            enclosing.extend(folded);
+        }
         (summary, self.savepoints.is_empty())
+    }
+
+    /// Summarizes the innermost segment *without* closing it: what a
+    /// commit right now would report. This is how callers learn the
+    /// dirty set of an in-flight segment (e.g. to judge postconditions
+    /// incrementally) while keeping the option to roll back.
+    pub(crate) fn summarize_open(&self, elements: &BTreeMap<ElementId, Element>) -> JournalSummary {
+        let sp = *self.savepoints.last().expect("active journal has a savepoint");
+        summarize(&self.ops[sp..], elements)
     }
 
     /// Unwinds the innermost segment: replays inverses newest-first and
@@ -170,6 +234,10 @@ impl Journal {
         name: &mut String,
     ) -> (usize, bool) {
         let sp = self.savepoints.pop().expect("active journal has a savepoint");
+        // The segment's ops are about to be drained, so its dedup set
+        // simply disappears with them; ids the enclosing segment also
+        // pre-imaged are still covered by its own set.
+        self.mutated.pop().expect("active journal has a segment");
         let undone = self.ops.len() - sp;
         for op in self.ops.drain(sp..).rev() {
             match op {
@@ -226,6 +294,18 @@ fn summarize(ops: &[JournalOp], elements: &BTreeMap<ElementId, Element>) -> Jour
             JournalOp::SetName { .. } => {}
         }
     }
+    let removed_detail = removed
+        .iter()
+        .map(|id| {
+            let e = pre_image[id];
+            RemovedElement {
+                id: *id,
+                kind: e.kind().kind_name(),
+                name: e.name().to_owned(),
+                owner: e.owner(),
+            }
+        })
+        .collect();
     JournalSummary {
         created: created.iter().copied().filter(|id| elements.contains_key(id)).collect(),
         modified: pre_image
@@ -238,6 +318,7 @@ fn summarize(ops: &[JournalOp], elements: &BTreeMap<ElementId, Element>) -> Jour
             .map(|(id, _)| *id)
             .collect(),
         removed: removed.into_iter().collect(),
+        removed_detail,
         ops: ops.len(),
     }
 }

@@ -31,6 +31,7 @@
 //! ```
 
 mod builder;
+mod dirty;
 mod element;
 mod error;
 mod id;
@@ -44,10 +45,11 @@ mod validate;
 mod visitor;
 
 pub use builder::{ClassBuilder, ModelBuilder, OperationBuilder};
+pub use dirty::DirtySet;
 pub use element::{Element, ElementCore, ElementKind};
 pub use error::{ModelError, Result};
 pub use id::ElementId;
-pub use journal::JournalSummary;
+pub use journal::{JournalSummary, RemovedElement};
 pub use kinds::{
     AggregationKind, AssociationData, AssociationEnd, AttributeData, ClassData, ConstraintData,
     DataTypeData, DependencyData, Direction, EnumerationData, GeneralizationData, InterfaceData,

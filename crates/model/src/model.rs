@@ -89,8 +89,10 @@ impl Model {
         self.cache.invalidate();
         let name = name.into();
         if let Some(j) = &mut self.journal {
-            if let Some(root) = self.elements.get(&self.root) {
-                j.record(JournalOp::Mutate { id: self.root, before: Box::new(root.clone()) });
+            if j.wants_mutate(self.root) {
+                if let Some(root) = self.elements.get(&self.root) {
+                    j.record(JournalOp::Mutate { id: self.root, before: Box::new(root.clone()) });
+                }
             }
             j.record(JournalOp::SetName { prev: self.name.clone() });
         }
@@ -147,7 +149,11 @@ impl Model {
         self.cache.invalidate();
         let e = self.elements.get_mut(&id).ok_or(ModelError::UnknownElement(id))?;
         if let Some(j) = &mut self.journal {
-            j.record(JournalOp::Mutate { id, before: Box::new(e.clone()) });
+            // First borrow per segment snapshots; repeats cost a set
+            // lookup instead of an element clone.
+            if j.wants_mutate(id) {
+                j.record(JournalOp::Mutate { id, before: Box::new(e.clone()) });
+            }
         }
         Ok(e)
     }
@@ -172,6 +178,19 @@ impl Model {
     /// The current mutation generation; bumped by every mutation choke
     /// point. Exposed for tests and cache diagnostics.
     pub fn generation(&self) -> u64 {
+        self.cache.generation()
+    }
+
+    /// The model revision: a monotone counter that changes whenever the
+    /// model *may* have changed (built on the same generation counter
+    /// that invalidates the [`ModelIndex`](crate) cache). Two reads of
+    /// the same revision on the same model instance are guaranteed to
+    /// observe identical content, which makes the revision a sound key
+    /// for derived-artifact caches (incremental weaving, condition
+    /// verdicts). The counter is *per instance*: clones and snapshot
+    /// restores reset it, so caches keyed by revision must be dropped
+    /// when the model object itself is replaced.
+    pub fn revision(&self) -> u64 {
         self.cache.generation()
     }
 
@@ -655,6 +674,17 @@ impl Model {
         ids.sort();
         ids.dedup();
         ids
+    }
+
+    /// The dirty set of the innermost *open* segment: what a commit
+    /// right now would report, as a [`DirtySet`](crate::DirtySet).
+    /// Returns `None` when no journal is active. Unlike
+    /// [`Model::commit_journal`] this does not close the segment, so a
+    /// caller can judge an in-flight delta (e.g. check postconditions
+    /// incrementally) and still roll back.
+    pub fn journal_dirty(&self) -> Option<crate::DirtySet> {
+        let j = self.journal.as_ref()?;
+        Some(crate::DirtySet::from_summary(&j.summarize_open(&self.elements)))
     }
 
     /// Closes the innermost journal segment, keeping its effects, and

@@ -44,7 +44,7 @@ mod parser;
 mod value;
 
 pub use ast::{BinOp, Expr, UnOp};
-pub use eval::{Context, EvalError};
+pub use eval::{evaluate as evaluate_expr, Context, EvalError};
 pub use lexer::{LexError, Token, TokenKind};
 pub use parser::{parse, ParseError};
 pub use value::Value;

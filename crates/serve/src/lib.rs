@@ -80,7 +80,7 @@ mod tests {
     impl TenantEngine for MockEngine {
         fn execute(&mut self, req: &Request, _obs: &Collector) -> Result<String, ServeError> {
             self.executed += 1;
-            if self.fail_every > 0 && self.executed % self.fail_every == 0 {
+            if self.fail_every > 0 && self.executed.is_multiple_of(self.fail_every) {
                 return Err(ServeError::engine(MockFault));
             }
             match req {
@@ -104,7 +104,7 @@ mod tests {
             _obs: &Collector,
         ) -> Result<Vec<u64>, ServeError> {
             self.executed += 1;
-            if self.fail_every > 0 && self.executed % self.fail_every == 0 {
+            if self.fail_every > 0 && self.executed.is_multiple_of(self.fail_every) {
                 return Err(ServeError::engine(MockFault));
             }
             Ok(selectors.iter().map(|s| s.to_string().len() as u64).collect())

@@ -1,0 +1,200 @@
+//! Differential property tests for the incremental condition engine:
+//! over random sequences of transformations (succeeding and failing),
+//! [`ConcreteTransformation::apply_incremental`] with one shared
+//! [`ConditionCache`] must produce the same outcomes, the same reports,
+//! and byte-for-byte the same final model as the plain
+//! [`ConcreteTransformation::apply`] — i.e. a cached condition verdict
+//! is never allowed to differ from a fresh evaluation against the
+//! current model.
+
+use comet_model::sample::banking_pim;
+use comet_model::{Model, Primitive};
+use comet_transform::{
+    specialize, ConcreteTransformation, ConditionCache, ParamSet, TransformError,
+    TransformationBuilder,
+};
+use proptest::prelude::*;
+
+/// Conditions with varied footprints and model-state-dependent
+/// verdicts, so cache hits, evictions, and verdict flips all occur.
+const CONDITIONS: [&str; 8] = [
+    "Class.allInstances()->notEmpty()",
+    "Class.allInstances()->exists(c | c.name = 'Bank')",
+    "Class.allInstances()->forAll(c | c.operations->size() <= 9)",
+    "Operation.allInstances()->size() >= 0",
+    "Attribute.allInstances()->size() <= 30",
+    "Class.allInstances()->exists(c | c.hasStereotype('Marked'))",
+    "Class.allInstances()->size() <= 6",
+    "Constraint.allInstances()->isEmpty()",
+];
+
+#[derive(Debug, Clone)]
+enum BodyOp {
+    AddClass(String),
+    AddOperation(u8, String),
+    AddAttribute(u8, String),
+    Stereotype(u8),
+    Rename(u8, String),
+    Remove(u8),
+}
+
+fn arb_body_op() -> impl Strategy<Value = BodyOp> {
+    prop_oneof![
+        "[A-Z][a-z]{2,6}".prop_map(BodyOp::AddClass),
+        (any::<u8>(), "[a-z]{2,6}").prop_map(|(c, s)| BodyOp::AddOperation(c, s)),
+        (any::<u8>(), "[a-z]{2,6}").prop_map(|(c, s)| BodyOp::AddAttribute(c, s)),
+        any::<u8>().prop_map(BodyOp::Stereotype),
+        (any::<u8>(), "[A-Z][a-z]{2,6}").prop_map(|(c, s)| BodyOp::Rename(c, s)),
+        any::<u8>().prop_map(BodyOp::Remove),
+    ]
+}
+
+fn run_body(model: &mut Model, ops: &[BodyOp]) -> Result<(), TransformError> {
+    for op in ops {
+        let classes = model.classes();
+        let pick = |idx: u8| {
+            if classes.is_empty() {
+                None
+            } else {
+                Some(classes[idx as usize % classes.len()])
+            }
+        };
+        match op {
+            BodyOp::AddClass(name) => {
+                let root = model.root();
+                let _ = model.add_class(root, name);
+            }
+            BodyOp::AddOperation(c, name) => {
+                if let Some(cl) = pick(*c) {
+                    let _ = model.add_operation(cl, name);
+                }
+            }
+            BodyOp::AddAttribute(c, name) => {
+                if let Some(cl) = pick(*c) {
+                    let _ = model.add_attribute(cl, name, Primitive::Int.into());
+                }
+            }
+            BodyOp::Stereotype(c) => {
+                if let Some(cl) = pick(*c) {
+                    model.apply_stereotype(cl, "Marked")?;
+                }
+            }
+            BodyOp::Rename(c, s) => {
+                if let Some(cl) = pick(*c) {
+                    model.element_mut(cl)?.core_mut().name = s.clone();
+                }
+            }
+            BodyOp::Remove(c) => {
+                if let Some(cl) = pick(*c) {
+                    let _ = model.remove_element(cl)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `(body ops, fail flag, precondition seeds, postcondition seeds)`.
+type StepSpec = (Vec<BodyOp>, bool, Vec<u8>, Vec<u8>);
+
+fn build_cmt(step: &StepSpec) -> ConcreteTransformation {
+    let (ops, fail, pres, posts) = step.clone();
+    let mut builder =
+        TransformationBuilder::new("prop-step", "prop-concern").body(move |model, _params| {
+            run_body(model, &ops)?;
+            if fail {
+                return Err(TransformError::Custom("injected body failure".into()));
+            }
+            Ok(())
+        });
+    for seed in pres {
+        builder = builder.precondition(CONDITIONS[seed as usize % CONDITIONS.len()]);
+    }
+    for seed in posts {
+        builder = builder.postcondition(CONDITIONS[seed as usize % CONDITIONS.len()]);
+    }
+    specialize(builder.build(), ParamSet::new()).expect("empty schema validates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The differential oracle: cached condition checking over a whole
+    /// transformation sequence never changes any outcome, report, or
+    /// final model relative to always-evaluate.
+    #[test]
+    fn incremental_apply_sequence_matches_plain_apply(
+        steps in prop::collection::vec(
+            (
+                prop::collection::vec(arb_body_op(), 0..8),
+                any::<u8>().prop_map(|b| b < 50),
+                prop::collection::vec(any::<u8>(), 0..3),
+                prop::collection::vec(any::<u8>(), 0..3),
+            ),
+            1..8,
+        ),
+    ) {
+        let mut plain = banking_pim();
+        let mut incremental = banking_pim();
+        let mut cache = ConditionCache::new();
+        for (i, step) in steps.iter().enumerate() {
+            let cmt = build_cmt(step);
+            let r1 = cmt.apply(&mut plain);
+            let r2 = cmt.apply_incremental(&mut incremental, &mut cache);
+            match (&r1, &r2) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "reports diverged at step {}", i),
+                (Err(a), Err(b)) => prop_assert_eq!(
+                    a.to_string(), b.to_string(),
+                    "failure modes diverged at step {}", i
+                ),
+                _ => prop_assert!(false, "engines disagreed at step {i}: {r1:?} vs {r2:?}"),
+            }
+            prop_assert_eq!(&plain, &incremental, "models diverged at step {}", i);
+            prop_assert!(!incremental.journal_active(), "leaked an open journal");
+        }
+        // The cache must have been exercised, not bypassed. Only
+        // preconditions are guaranteed to be checked (a failing body
+        // skips its postconditions), so key the expectation on those.
+        prop_assert!(
+            cache.hits() + cache.evaluations() > 0
+                || steps.iter().all(|(_, _, pres, _)| pres.is_empty()),
+            "cache never consulted despite preconditions"
+        );
+    }
+}
+
+/// Deterministic regression: a condition whose verdict flips when its
+/// footprint kind changes is re-evaluated, while a disjoint-footprint
+/// condition keeps hitting the cache.
+#[test]
+fn verdict_flips_when_footprint_kind_changes() {
+    // Order matters: the Operation condition comes first so the second
+    // application consults it (as a cache hit) before the re-evaluated
+    // Class condition fails.
+    let renamer = specialize(
+        TransformationBuilder::new("rename-bank", "c")
+            .precondition("Operation.allInstances()->size() >= 0")
+            .precondition("Class.allInstances()->exists(c | c.name = 'Bank')")
+            .body(|model, _| {
+                let bank = model.find_class("Bank").expect("bank exists");
+                model.element_mut(bank)?.core_mut().name = "Banque".into();
+                Ok(())
+            })
+            .build(),
+        ParamSet::new(),
+    )
+    .unwrap();
+    let mut model = banking_pim();
+    let mut cache = ConditionCache::new();
+    renamer.apply_incremental(&mut model, &mut cache).unwrap();
+    assert_eq!(cache.evaluations(), 2, "both preconditions evaluated once");
+    // Second application: the Class condition was evicted by the rename
+    // (Class footprint) and now evaluates to false; the Operation
+    // condition must still be served from cache.
+    let err = renamer.apply_incremental(&mut model, &mut cache).unwrap_err();
+    assert!(
+        matches!(err, TransformError::PreconditionFailed { .. }),
+        "stale verdict served: {err:?}"
+    );
+    assert!(cache.hits() >= 1, "disjoint-footprint condition was not cached");
+}
