@@ -1,0 +1,121 @@
+//! Emits `BENCH_persist.json`: the cost of durability.
+//!
+//! Two measurements over the same growing model chain:
+//!
+//! 1. **Commit throughput** — commits/second into the in-memory
+//!    `Repository` versus the durable backend (segment append + fsync,
+//!    WAL append + fsync per commit). The ratio is the price of the
+//!    write-ahead guarantee.
+//! 2. **Recovery time vs journal length** — wall-clock time for
+//!    `DurableRepository::open` (full WAL replay + segment-store index
+//!    rebuild with per-frame hash verification) as the journal grows.
+//!    Replay is linear in the journal, which the sweep makes visible.
+//!
+//! Usage: `cargo run --release -p comet-bench --bin bench_persist_json
+//! [output-path]` (default `BENCH_persist.json` in the working
+//! directory).
+
+use comet_model::Model;
+use comet_repo::{DurableRepository, Repository};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const COMMITS: usize = 200;
+const RECOVERY_SWEEP: [usize; 3] = [50, 200, 800];
+const WARMUP: usize = 1;
+const SAMPLES: usize = 5;
+
+/// Median wall-clock seconds of `SAMPLES` runs (after `WARMUP` runs).
+fn median_secs(mut run: impl FnMut()) -> f64 {
+    for _ in 0..WARMUP {
+        run();
+    }
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            run();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+/// A chain of `n` model versions, each adding one class to the last —
+/// every commit carries a distinct snapshot, so the segment store's
+/// dedupe never short-circuits the write path being measured.
+fn version_chain(n: usize) -> Vec<Model> {
+    let mut versions = Vec::with_capacity(n);
+    let mut m = Model::new("persist-bench");
+    for i in 0..n {
+        let root = m.root();
+        m.add_class(root, &format!("C{i}")).expect("unique class name");
+        versions.push(m.clone());
+    }
+    versions
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("comet-bench-persist-{}-{tag}", std::process::id()))
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_persist.json".to_owned());
+    let versions = version_chain(COMMITS);
+
+    let memory_secs = median_secs(|| {
+        let mut repo = Repository::new("persist-bench");
+        for (i, v) in versions.iter().enumerate() {
+            black_box(repo.commit(v, &format!("v{i}"), None).expect("commits"));
+        }
+    });
+    let durable_secs = median_secs(|| {
+        let dir = scratch("commit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut repo = DurableRepository::create(&dir, "persist-bench").expect("creates");
+        for (i, v) in versions.iter().enumerate() {
+            black_box(repo.commit(v, &format!("v{i}"), None).expect("commits"));
+        }
+    });
+    let _ = std::fs::remove_dir_all(scratch("commit"));
+
+    let mut recovery_lines = Vec::new();
+    for journal_commits in RECOVERY_SWEEP {
+        eprintln!("timing recovery at {journal_commits} journalled commits ...");
+        let dir = scratch(&format!("recover-{journal_commits}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let chain = version_chain(journal_commits);
+        {
+            let mut repo = DurableRepository::create(&dir, "persist-bench").expect("creates");
+            for (i, v) in chain.iter().enumerate() {
+                repo.commit(v, &format!("v{i}"), None).expect("commits");
+            }
+        }
+        let secs = median_secs(|| {
+            let (repo, report) = DurableRepository::open(black_box(&dir)).expect("opens");
+            assert!(report.clean(), "bench journal must replay cleanly");
+            black_box(repo);
+        });
+        recovery_lines.push(format!(
+            "    {{\"commits\": {journal_commits}, \"median_secs\": {secs:.6}, \
+             \"replays_per_sec\": {:.1}}}",
+            journal_commits as f64 / secs
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"pr7_persistence\",\n  \"commit_throughput\": {{\"commits\": \
+         {COMMITS}, \"memory_secs\": {memory_secs:.6}, \"durable_secs\": {durable_secs:.6}, \
+         \"memory_commits_per_sec\": {:.1}, \"durable_commits_per_sec\": {:.1}, \
+         \"durable_overhead_x\": {:.3}}},\n  \"recovery\": [\n{}\n  ]\n}}\n",
+        COMMITS as f64 / memory_secs,
+        COMMITS as f64 / durable_secs,
+        durable_secs / memory_secs,
+        recovery_lines.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("writable output path");
+    println!("{json}");
+    eprintln!("wrote {out_path} (durable overhead {:.2}x)", durable_secs / memory_secs);
+}

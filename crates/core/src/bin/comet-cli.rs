@@ -40,7 +40,7 @@
 //! program (`--json` for machine-readable output).
 
 use comet::chaos::{run_banking_chaos_traced, ChaosConfig, FtOrder};
-use comet::{run_banking_serve, MdaLifecycle, Wizard};
+use comet::{run_banking_serve, run_banking_serve_durable, KillPoint, MdaLifecycle, Wizard};
 use comet_aop::{concern_metrics, Weaver};
 use comet_aspectgen::{AspectBackend, AspectJBackend};
 use comet_codegen::{BodyProvider, FunctionalGenerator};
@@ -91,6 +91,7 @@ fn main() -> ExitCode {
         Some("pipeline") => cmd_pipeline(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("repo") => cmd_repo(&args[1..]),
         Some("provenance") => cmd_provenance(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -123,7 +124,8 @@ fn usage_text() -> &'static str {
      comet-cli run [--faults plan.toml] [--seed N] \
      [--order ft-outside-tx|tx-outside-ft] [--transfers N] [--trace out.json]\n  \
      comet-cli serve [--workload plan.toml] [--shards N] [--seed N] [--faults plan.toml] \
-     [--threads N] [--trace out.json] [--json]\n  \
+     [--threads N] [--trace out.json] [--json] [--data-dir DIR] [--kill tenant@N]\n  \
+     comet-cli repo fsck <data-dir>\n  \
      comet-cli provenance <element> --trace out.json\n  \
      comet-cli metrics [--json]"
 }
@@ -580,6 +582,14 @@ fn cmd_pipeline(args: &[String]) -> Result<(), CliError> {
 /// banking lifecycle. Everything printed to stdout is derived from the
 /// shard-count-invariant `ServeReport`/trace, so CI can diff the output
 /// of `--shards 1` against `--shards 4` byte for byte.
+///
+/// `--data-dir DIR` journals every tenant's repository under
+/// `DIR/<tenant>/` (segment store + write-ahead log); a later `serve`
+/// over the same directory resumes the tenants from their journals.
+/// `--kill tenant@N` (requires `--data-dir`) crashes that tenant's
+/// lifecycle at its Nth request — torn journal tail included — and
+/// recovers it from the log; the printed report is byte-identical to a
+/// run without the kill.
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let mut workload: Option<String> = None;
     let mut shards: usize = 1;
@@ -587,10 +597,29 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let mut faults: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut data_dir: Option<String> = None;
+    let mut kill: Option<KillPoint> = None;
     let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--data-dir" => {
+                data_dir = Some(
+                    args.get(i + 1).ok_or_else(|| usage_err("--data-dir needs a path"))?.clone(),
+                );
+                i += 2;
+            }
+            "--kill" => {
+                let spec = args.get(i + 1).ok_or_else(|| usage_err("--kill needs tenant@N"))?;
+                let (tenant, at) = spec
+                    .split_once('@')
+                    .ok_or_else(|| usage_err(format!("--kill: `{spec}` is not tenant@N")))?;
+                let at_request = at
+                    .parse()
+                    .map_err(|_| usage_err(format!("--kill: `{at}` is not a request number")))?;
+                kill = Some(KillPoint { tenant: tenant.to_owned(), at_request });
+                i += 2;
+            }
             "--workload" => {
                 workload = Some(
                     args.get(i + 1).ok_or_else(|| usage_err("--workload needs a path"))?.clone(),
@@ -656,9 +685,25 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         }
         None => None,
     };
+    if kill.is_some() && data_dir.is_none() {
+        return Err(usage_err("--kill requires --data-dir (recovery needs a journal)"));
+    }
     let traced = trace_path.is_some();
-    let outcome = with_pool(threads, || run_banking_serve(&plan, shards, fault_plan, traced))?
-        .map_err(|e| e.to_string())?;
+    let outcome = match &data_dir {
+        None => with_pool(threads, || run_banking_serve(&plan, shards, fault_plan, traced))?
+            .map_err(|e| e.to_string())?,
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            let (outcome, recoveries) = with_pool(threads, || {
+                run_banking_serve_durable(&plan, shards, fault_plan, traced, &dir, kill)
+            })?
+            .map_err(|e| e.to_string())?;
+            if recoveries > 0 {
+                println!("recovered {recoveries} crashed tenant lifecycle(s) from the journal");
+            }
+            outcome
+        }
+    };
     if json {
         print!("{}", outcome.report.to_json());
     } else {
@@ -674,6 +719,56 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             trace.counters.len()
         );
     }
+    Ok(())
+}
+
+/// `comet-cli repo fsck <dir>`: offline integrity check of durable
+/// repository journals. `<dir>` is either one journal directory (it
+/// contains `wal.log`) or a serve data dir whose subdirectories are
+/// per-tenant journals. Replays each write-ahead log, verifies every
+/// commit's snapshot bytes against its content hash in the segment
+/// store, and checks branch/tag referential integrity; exits non-zero
+/// when any journal is corrupt.
+fn cmd_repo(args: &[String]) -> Result<(), CliError> {
+    let usage = "usage: comet-cli repo fsck <data-dir>";
+    match args.first().map(String::as_str) {
+        Some("fsck") => {}
+        Some(other) => return Err(usage_err(format!("repo: unknown subcommand `{other}`"))),
+        None => return Err(usage_err(usage)),
+    }
+    let dir = std::path::PathBuf::from(args.get(1).ok_or_else(|| usage_err(usage))?);
+    if args.len() > 2 {
+        return Err(usage_err(format!("repo fsck: unexpected argument `{}`", args[2])));
+    }
+    let mut journals = Vec::new();
+    if comet_repo::DurableRepository::exists(&dir) {
+        journals.push(dir.clone());
+    } else {
+        let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let mut dirs: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| comet_repo::DurableRepository::exists(p))
+            .collect();
+        dirs.sort();
+        journals.extend(dirs);
+    }
+    if journals.is_empty() {
+        return Err(format!("{}: no repository journal found", dir.display()).into());
+    }
+    let mut corrupt = 0usize;
+    for journal in &journals {
+        let report = comet_repo::DurableRepository::fsck(journal)
+            .map_err(|e| format!("{}: {e}", journal.display()))?;
+        println!("{}:", journal.display());
+        print!("{report}");
+        if !report.ok() {
+            corrupt += 1;
+        }
+    }
+    if corrupt > 0 {
+        return Err(format!("{corrupt} of {} journal(s) corrupt", journals.len()).into());
+    }
+    println!("{} journal(s) healthy", journals.len());
     Ok(())
 }
 

@@ -55,6 +55,9 @@ mod wizard;
 
 pub use chaos::{run_banking_chaos, run_banking_chaos_traced, ChaosConfig, ChaosReport, FtOrder};
 pub use lifecycle::{AppliedConcern, GeneratedSystem, LifecycleError, MdaLifecycle};
-pub use serve::{run_banking_serve, BankingFactory, BankingSession, SERVE_WORKFLOW};
+pub use serve::{
+    run_banking_serve, run_banking_serve_durable, BankingFactory, BankingSession, KillPoint,
+    SERVE_WORKFLOW,
+};
 pub use shipping::{ShippedPackage, ShippedStep, ShippingStrategy};
 pub use wizard::{Question, QuestionKind, Wizard};

@@ -6,13 +6,16 @@ use comet_codegen::{
     pretty_print, BodyProvider, FunctionalGenerator, MonolithicGenerator, Program,
 };
 use comet_model::{DirtySet, Model};
-use comet_repo::{ColorReport, CommitDelta, RepoError, Repository};
+use comet_repo::{
+    ColorReport, CommitDelta, CommitId, DurableRepository, RecoveryReport, RepoError, Repository,
+};
 use comet_transform::{
     ApplyReport, ConcreteTransformation, ConditionCache, ParamSet, TransformError,
 };
 use comet_workflow::{WorkflowEngine, WorkflowError, WorkflowModel};
 use std::cell::RefCell;
 use std::fmt;
+use std::path::Path;
 
 /// Lifecycle failures; each wraps the failing subsystem's error.
 #[derive(Debug)]
@@ -39,6 +42,11 @@ pub enum LifecycleError {
         /// The underlying workflow violation.
         source: WorkflowError,
     },
+    /// Rebuilding a lifecycle from a durable journal failed: the
+    /// journal replayed, but its contents cannot be turned back into a
+    /// live lifecycle (no visible commit, or a journalled concern the
+    /// caller's resolver does not know).
+    Recovery(String),
 }
 
 impl fmt::Display for LifecycleError {
@@ -53,6 +61,7 @@ impl fmt::Display for LifecycleError {
             LifecycleError::WorkflowReplay { concern, source } => {
                 write!(f, "workflow replay of `{concern}` failed during undo: {source}")
             }
+            LifecycleError::Recovery(detail) => write!(f, "recovery: {detail}"),
         }
     }
 }
@@ -66,7 +75,7 @@ impl std::error::Error for LifecycleError {
             LifecycleError::Weave(e) => Some(e),
             LifecycleError::Repo(e) => Some(e),
             LifecycleError::WorkflowReplay { source, .. } => Some(source),
-            LifecycleError::NothingToUndo => None,
+            LifecycleError::NothingToUndo | LifecycleError::Recovery(_) => None,
         }
     }
 }
@@ -129,6 +138,57 @@ pub struct GeneratedSystem {
     pub weave_trace: Vec<WovenJoinPoint>,
 }
 
+/// The repository behind a lifecycle: either the plain in-memory
+/// versioned store, or the durable log-structured backend that journals
+/// every commit and undo before applying it in memory. Both expose the
+/// same `Repository` view for reads; writes go through the backend so
+/// the durable variant never misses a journal entry.
+#[derive(Debug)]
+enum RepoBackend {
+    Memory(Repository),
+    Durable(DurableRepository),
+}
+
+impl RepoBackend {
+    fn as_repository(&self) -> &Repository {
+        match self {
+            RepoBackend::Memory(r) => r,
+            RepoBackend::Durable(d) => d.repo(),
+        }
+    }
+
+    fn as_repository_mut(&mut self) -> &mut Repository {
+        match self {
+            RepoBackend::Memory(r) => r,
+            // Unjournaled access: callers use this for tagging,
+            // branching via the lifecycle API surface and for arming
+            // test faults, not for commits (those go through the
+            // backend methods below).
+            RepoBackend::Durable(d) => d.repo_mut_unjournaled(),
+        }
+    }
+
+    fn commit_with_delta(
+        &mut self,
+        model: &Model,
+        message: &str,
+        concern: Option<&str>,
+        delta: CommitDelta,
+    ) -> Result<CommitId, RepoError> {
+        match self {
+            RepoBackend::Memory(r) => r.commit_with_delta(model, message, concern, delta),
+            RepoBackend::Durable(d) => d.commit_with_delta(model, message, concern, delta),
+        }
+    }
+
+    fn undo(&mut self) -> Option<Result<Model, RepoError>> {
+        match self {
+            RepoBackend::Memory(r) => r.undo(),
+            RepoBackend::Durable(d) => d.undo(),
+        }
+    }
+}
+
 /// The weave half of the lifecycle's incrementality state: an
 /// [`IncrementalWeaver`] valid for one aspect list (the fingerprint is
 /// the aspect names in precedence order — applying or undoing a concern
@@ -162,7 +222,7 @@ struct WeaveCacheState {
 #[derive(Debug)]
 pub struct MdaLifecycle {
     model: Model,
-    repo: Repository,
+    repo: RepoBackend,
     workflow: WorkflowEngine,
     applied: Vec<AppliedConcern>,
     obs: comet_obs::Collector,
@@ -182,16 +242,124 @@ impl MdaLifecycle {
     pub fn new(pim: Model, workflow: WorkflowModel) -> Result<Self, LifecycleError> {
         let mut repo = Repository::new(format!("{}-models", pim.name()));
         repo.commit(&pim, "initial PIM", None)?;
-        Ok(MdaLifecycle {
-            model: pim,
+        Ok(Self::assemble(
+            pim,
+            RepoBackend::Memory(repo),
+            WorkflowEngine::new(workflow),
+            Vec::new(),
+        ))
+    }
+
+    /// Starts a lifecycle whose repository journals every operation to
+    /// `dir` (segment store + write-ahead log) before applying it in
+    /// memory, committing the PIM as the initial version. A crash at any
+    /// point leaves a journal that [`MdaLifecycle::recover`] replays to
+    /// the last completed operation.
+    ///
+    /// # Errors
+    /// Fails when `dir` already holds a journal or cannot be written.
+    pub fn new_durable(
+        pim: Model,
+        workflow: WorkflowModel,
+        dir: &Path,
+    ) -> Result<Self, LifecycleError> {
+        let mut repo = DurableRepository::create(dir, &format!("{}-models", pim.name()))?;
+        repo.commit(&pim, "initial PIM", None)?;
+        Ok(Self::assemble(
+            pim,
+            RepoBackend::Durable(repo),
+            WorkflowEngine::new(workflow),
+            Vec::new(),
+        ))
+    }
+
+    /// Rebuilds a lifecycle from the durable journal in `dir`:
+    ///
+    /// 1. the write-ahead log replays into a repository (a torn tail —
+    ///    a crash mid-append — is truncated to the last complete
+    ///    record, so the repository lands on the last *committed*
+    ///    operation);
+    /// 2. the current model is restored from the head snapshot;
+    /// 3. the workflow and the applied-concern list are rebuilt from
+    ///    the visible history: every visible commit that names a
+    ///    concern is re-recorded, and `resolve` maps the concern name
+    ///    back to its [`ConcernPair`] and specialisation decisions `Si`
+    ///    so the concrete aspect can be regenerated (aspect generation
+    ///    is a pure function of the pair and `Si`, so the regenerated
+    ///    aspects are identical to the pre-crash ones). Undone steps
+    ///    were journalled as undos and replay as such, leaving them out
+    ///    of the visible history exactly as a live `undo_last` would.
+    ///
+    /// Both incrementality caches restart cold; cached results are
+    /// byte-identical to full recomputation, so post-recovery behaviour
+    /// does not diverge.
+    ///
+    /// # Errors
+    /// Fails when `dir` has no journal, the journal has no visible
+    /// commit, or `resolve` does not know a journalled concern.
+    pub fn recover<F>(
+        dir: &Path,
+        workflow: WorkflowModel,
+        resolve: F,
+    ) -> Result<(Self, RecoveryReport), LifecycleError>
+    where
+        F: Fn(&str) -> Option<(ConcernPair, ParamSet)>,
+    {
+        let (repo, report) = DurableRepository::open(dir)?;
+        let model = match repo.head_model() {
+            Some(model) => model?,
+            None => {
+                return Err(LifecycleError::Recovery(
+                    "journal has no visible commit to restore".to_owned(),
+                ))
+            }
+        };
+        let mut engine = WorkflowEngine::new(workflow);
+        let mut applied = Vec::new();
+        let steps: Vec<(String, CommitDelta)> = repo
+            .log()
+            .iter()
+            .filter_map(|c| c.concern.clone().map(|n| (n, c.delta.clone().unwrap_or_default())))
+            .collect();
+        for (concern, delta) in steps {
+            let (pair, si) = resolve(&concern).ok_or_else(|| {
+                LifecycleError::Recovery(format!(
+                    "no resolver entry for journalled concern `{concern}`"
+                ))
+            })?;
+            let (cmt, aspect) = pair.specialize(si)?;
+            engine.record(&concern)?;
+            let report = ApplyReport {
+                created: delta.created,
+                modified: delta.modified,
+                removed: delta.removed,
+            };
+            applied.push(AppliedConcern { cmt, aspect, report });
+        }
+        Ok((Self::assemble(model, RepoBackend::Durable(repo), engine, applied), report))
+    }
+
+    fn assemble(
+        model: Model,
+        repo: RepoBackend,
+        workflow: WorkflowEngine,
+        applied: Vec<AppliedConcern>,
+    ) -> Self {
+        MdaLifecycle {
+            model,
             repo,
-            workflow: WorkflowEngine::new(workflow),
-            applied: Vec::new(),
+            workflow,
+            applied,
             obs: comet_obs::Collector::disabled(),
             conditions: ConditionCache::new(),
             weave_cache: RefCell::new(None),
             dirty_since: RefCell::new(Some(DirtySet::default())),
-        })
+        }
+    }
+
+    /// Whether the repository journals to disk.
+    pub fn is_durable(&self) -> bool {
+        matches!(self.repo, RepoBackend::Durable(_))
     }
 
     /// Attaches a trace collector: every subsequent
@@ -217,12 +385,14 @@ impl MdaLifecycle {
 
     /// The model repository (versions, tags, diffs).
     pub fn repository(&self) -> &Repository {
-        &self.repo
+        self.repo.as_repository()
     }
 
-    /// Mutable repository access (tagging, branching).
+    /// Mutable repository access (tagging, branching, arming test
+    /// faults). In durable mode this bypasses the journal — commits and
+    /// undos must go through the lifecycle itself.
     pub fn repository_mut(&mut self) -> &mut Repository {
-        &mut self.repo
+        self.repo.as_repository_mut()
     }
 
     /// The workflow engine (guidance).

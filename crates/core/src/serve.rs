@@ -31,18 +31,41 @@
 //! reports and traces is unaffected.
 
 use crate::chaos::{banking_bodies, executable_banking_pim};
-use crate::lifecycle::MdaLifecycle;
+use crate::lifecycle::{LifecycleError, MdaLifecycle};
+use comet_aspectgen::ConcernPair;
 use comet_middleware::{FaultLog, FaultPlan, Middleware, MiddlewareConfig};
 use comet_obs::Collector;
+use comet_repo::DurableRepository;
 use comet_serve::{
     fnv1a64, EngineFactory, QuerySelector, Request, ServeError, TenantEngine, WorkloadPlan,
 };
 use comet_transform::{ParamSet, ParamValue};
 use comet_workflow::WorkflowModel;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The serving workflow every tenant starts from, in §3 precedence
 /// order (application order = aspect precedence).
 pub const SERVE_WORKFLOW: [&str; 3] = ["distribution", "transactions", "security"];
+
+/// The serving workflow model every tenant starts from.
+fn serve_workflow() -> WorkflowModel {
+    let mut workflow = WorkflowModel::new("serve");
+    for step in SERVE_WORKFLOW {
+        workflow = workflow.step(step, true);
+    }
+    workflow
+}
+
+/// Maps a journalled concern name back to its pair and `Si` — the
+/// resolver [`MdaLifecycle::recover`] uses to regenerate the concrete
+/// aspects of a crashed tenant. The serving `Si` is a pure function of
+/// the concern name, so the regenerated aspects match the pre-crash
+/// ones exactly.
+fn serve_resolver(concern: &str) -> Option<(ConcernPair, ParamSet)> {
+    comet_concerns::by_name(concern).map(|pair| (pair, serve_si(concern)))
+}
 
 /// The specialisation decisions Si for a serving-workflow concern.
 fn serve_si(concern: &str) -> ParamSet {
@@ -76,6 +99,20 @@ impl std::fmt::Display for UnknownConcern {
 
 impl std::error::Error for UnknownConcern {}
 
+/// A deterministic crash instruction for the serving harness: the named
+/// tenant's lifecycle dies at the start of its `at_request`-th request
+/// (1-based, counting both executes and query batches), leaving a torn
+/// write-ahead-log tail, and is rebuilt from the journal before the
+/// request then executes normally. One-shot: each tenant crashes at
+/// most once per run.
+#[derive(Debug, Clone)]
+pub struct KillPoint {
+    /// The tenant to crash.
+    pub tenant: String,
+    /// 1-based request ordinal at which the crash fires.
+    pub at_request: u64,
+}
+
 /// One tenant's live banking session: lifecycle + middleware platform.
 /// Holds `Rc`-based middleware state, so it is `!Send` by design — the
 /// shard creates and drives it on a single worker thread.
@@ -86,16 +123,42 @@ pub struct BankingSession {
     charged_us: u64,
     /// Snapshots taken, for distinct store keys.
     snapshots: u64,
+    /// The session's collector, kept to re-attach after a recovery.
+    obs: Collector,
+    /// This tenant's journal directory (durable mode only).
+    data_dir: Option<PathBuf>,
+    /// Pending one-shot kill: crash at the start of this request.
+    kill_at: Option<u64>,
+    /// Requests seen so far (executes + query batches).
+    requests_seen: u64,
+    /// Run-wide recovery counter, shared with the factory.
+    recoveries: Arc<AtomicU64>,
 }
 
 impl BankingSession {
-    fn new(tenant: &str, seed: u64, fault_plan: Option<&FaultPlan>, obs: &Collector) -> Self {
-        let mut workflow = WorkflowModel::new("serve");
-        for step in SERVE_WORKFLOW {
-            workflow = workflow.step(step, true);
-        }
-        let mut mda = MdaLifecycle::new(executable_banking_pim(), workflow)
-            .expect("banking PIM admits the serving workflow");
+    fn new(
+        tenant: &str,
+        seed: u64,
+        fault_plan: Option<&FaultPlan>,
+        obs: &Collector,
+        data_dir: Option<PathBuf>,
+        kill_at: Option<u64>,
+        recoveries: Arc<AtomicU64>,
+    ) -> Self {
+        let mut mda = match &data_dir {
+            None => MdaLifecycle::new(executable_banking_pim(), serve_workflow())
+                .expect("banking PIM admits the serving workflow"),
+            // A journal already present means a previous run (or a
+            // previous process) served this tenant: resume from it
+            // instead of starting over.
+            Some(dir) if DurableRepository::exists(dir) => {
+                MdaLifecycle::recover(dir, serve_workflow(), serve_resolver)
+                    .expect("journalled tenant state recovers")
+                    .0
+            }
+            Some(dir) => MdaLifecycle::new_durable(executable_banking_pim(), serve_workflow(), dir)
+                .expect("tenant journal directory is writable"),
+        };
         mda.set_collector(obs.clone());
         let tenant_salt = fnv1a64(tenant.as_bytes());
         let mw: Middleware<String> = Middleware::new(MiddlewareConfig {
@@ -110,7 +173,17 @@ impl BankingSession {
             plan.seed ^= tenant_salt;
             mw.install_fault_plan(plan);
         }
-        let mut session = BankingSession { mda, mw, charged_us: 0, snapshots: 0 };
+        let mut session = BankingSession {
+            mda,
+            mw,
+            charged_us: 0,
+            snapshots: 0,
+            obs: obs.clone(),
+            data_dir,
+            kill_at,
+            requests_seen: 0,
+            recoveries,
+        };
         session.mw.bus.add_node("client");
         session.mw.bus.add_node("server");
         session
@@ -120,6 +193,42 @@ impl BankingSession {
             .expect("fresh naming service accepts the binding");
         session.charged_us = session.mw.now_us();
         session
+    }
+
+    /// Counts a request and, if the kill point fires here, crashes and
+    /// recovers the lifecycle before the request runs.
+    fn tick(&mut self) -> Result<(), ServeError> {
+        self.requests_seen += 1;
+        if self.kill_at == Some(self.requests_seen) {
+            self.kill_at = None;
+            self.crash_and_recover().map_err(ServeError::engine)?;
+        }
+        Ok(())
+    }
+
+    /// The simulated crash: the lifecycle process dies mid-append —
+    /// its in-memory state is dropped and the journal gets a torn tail
+    /// — while the middleware platform (the tenant's environment:
+    /// clock, RNG, fault counters, document store) stays up. Recovery
+    /// replays the write-ahead log to the last committed operation and
+    /// rebuilds the lifecycle from it; the snapshot counter is
+    /// recounted from the surviving store instead of trusted from the
+    /// dead session. Recovery itself touches neither the middleware
+    /// nor the trace, so a recovered run is byte-identical to an
+    /// uninterrupted one.
+    fn crash_and_recover(&mut self) -> Result<(), LifecycleError> {
+        let dir = self
+            .data_dir
+            .as_ref()
+            .ok_or_else(|| LifecycleError::Recovery("kill points require a data dir".to_owned()))?;
+        DurableRepository::simulate_torn_tail(dir)?;
+        let (mut mda, _report) = MdaLifecycle::recover(dir, serve_workflow(), serve_resolver)?;
+        mda.set_collector(self.obs.clone());
+        self.mda = mda;
+        self.snapshots =
+            self.mw.store.keys().iter().filter(|k| k.starts_with("model/v")).count() as u64;
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     fn answer(&self, selector: &QuerySelector) -> u64 {
@@ -136,6 +245,7 @@ impl BankingSession {
 
 impl TenantEngine for BankingSession {
     fn execute(&mut self, req: &Request, _obs: &Collector) -> Result<String, ServeError> {
+        self.tick()?;
         match req {
             Request::ApplyConcern { concern, si } => {
                 let pair = comet_concerns::by_name(concern)
@@ -175,6 +285,7 @@ impl TenantEngine for BankingSession {
         selectors: &[QuerySelector],
         _obs: &Collector,
     ) -> Result<Vec<u64>, ServeError> {
+        self.tick()?;
         // One naming round per batch — the batching win the report's
         // `batched_queries` counter measures.
         self.mw.naming.lookup("bank").map_err(ServeError::engine)?;
@@ -207,13 +318,41 @@ impl TenantEngine for BankingSession {
 pub struct BankingFactory {
     seed: u64,
     fault_plan: Option<FaultPlan>,
+    data_dir: Option<PathBuf>,
+    kill: Option<KillPoint>,
+    recoveries: Arc<AtomicU64>,
 }
 
 impl BankingFactory {
     /// A factory deriving per-tenant seeds from the workload seed, with
     /// an optional fault plan installed (reseeded) per tenant.
     pub fn new(seed: u64, fault_plan: Option<FaultPlan>) -> Self {
-        BankingFactory { seed, fault_plan }
+        BankingFactory {
+            seed,
+            fault_plan,
+            data_dir: None,
+            kill: None,
+            recoveries: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Journals every tenant's repository under `dir` (one
+    /// subdirectory per tenant). Tenants whose journal already exists
+    /// resume from it.
+    pub fn with_data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Arms a deterministic crash (requires a data dir).
+    pub fn with_kill(mut self, kill: KillPoint) -> Self {
+        self.kill = Some(kill);
+        self
+    }
+
+    /// The shared counter of recoveries performed during the run.
+    pub fn recoveries(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.recoveries)
     }
 }
 
@@ -221,7 +360,17 @@ impl EngineFactory for BankingFactory {
     type Engine = BankingSession;
 
     fn create(&self, tenant: &str, obs: &Collector) -> BankingSession {
-        BankingSession::new(tenant, self.seed, self.fault_plan.as_ref(), obs)
+        let data_dir = self.data_dir.as_ref().map(|d| d.join(tenant));
+        let kill_at = self.kill.as_ref().filter(|k| k.tenant == tenant).map(|k| k.at_request);
+        BankingSession::new(
+            tenant,
+            self.seed,
+            self.fault_plan.as_ref(),
+            obs,
+            data_dir,
+            kill_at,
+            Arc::clone(&self.recoveries),
+        )
     }
 
     fn query_pool(&self) -> Vec<QuerySelector> {
@@ -247,4 +396,30 @@ pub fn run_banking_serve(
     let factory = BankingFactory::new(plan.seed, fault_plan);
     let core = comet_serve::ServerCore::new(plan, &factory, shards)?;
     Ok(core.run(traced))
+}
+
+/// [`run_banking_serve`] with every tenant's repository journalled
+/// under `data_dir` and an optional deterministic crash armed. Returns
+/// the outcome plus the number of crash recoveries performed; a
+/// recovered run's report and trace are byte-identical to the same run
+/// without the kill.
+///
+/// # Errors
+/// Propagates plan validation failures from the server core.
+pub fn run_banking_serve_durable(
+    plan: &WorkloadPlan,
+    shards: usize,
+    fault_plan: Option<FaultPlan>,
+    traced: bool,
+    data_dir: &Path,
+    kill: Option<KillPoint>,
+) -> Result<(comet_serve::ServeOutcome, u64), ServeError> {
+    let mut factory = BankingFactory::new(plan.seed, fault_plan).with_data_dir(data_dir);
+    if let Some(kill) = kill {
+        factory = factory.with_kill(kill);
+    }
+    let recoveries = factory.recoveries();
+    let core = comet_serve::ServerCore::new(plan, &factory, shards)?;
+    let outcome = core.run(traced);
+    Ok((outcome, recoveries.load(Ordering::Relaxed)))
 }

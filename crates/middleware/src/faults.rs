@@ -173,6 +173,10 @@ pub enum FaultPlanError {
     BadFaultKind(String),
     /// A schedule key was not `<op>@<occurrence>`.
     BadScheduleKey(String),
+    /// A key or section header appeared twice. The payload is the key
+    /// (or `[section]`) as written; the message format is shared
+    /// verbatim with the workload-plan parser in `comet-serve`.
+    Duplicate(String),
 }
 
 impl fmt::Display for FaultPlanError {
@@ -185,6 +189,7 @@ impl fmt::Display for FaultPlanError {
             FaultPlanError::BadScheduleKey(k) => {
                 write!(f, "bad schedule key `{k}` (want `<op>@<occurrence>`)")
             }
+            FaultPlanError::Duplicate(k) => write!(f, "duplicate plan entry `{k}`"),
         }
     }
 }
@@ -265,13 +270,19 @@ impl FaultPlan {
     ///
     /// Only `key = value` lines, `[section]` headers, blank lines and
     /// `#` comments are understood (hand-rolled: the build carries no
-    /// TOML dependency).
+    /// TOML dependency). Duplicate keys, repeated section headers, and
+    /// trailing garbage after a header are rejected — a plan that pins
+    /// a chaos run must have exactly one meaning.
     ///
     /// # Errors
     /// Returns a [`FaultPlanError`] describing the first bad line.
     pub fn parse_toml(text: &str) -> Result<FaultPlan, FaultPlanError> {
         let mut plan = FaultPlan::new(0);
         let mut section = String::new();
+        let mut seen_sections: std::collections::BTreeSet<String> =
+            std::collections::BTreeSet::new();
+        let mut seen_keys: std::collections::BTreeSet<(String, String)> =
+            std::collections::BTreeSet::new();
         for raw in text.lines() {
             let line = match raw.find('#') {
                 Some(i) => &raw[..i],
@@ -281,8 +292,19 @@ impl FaultPlan {
             if line.is_empty() {
                 continue;
             }
-            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-                section = name.trim().to_owned();
+            if line.starts_with('[') {
+                // A header must be exactly `[name]` — anything trailing
+                // the `]` (or a missing one) is garbage, not a key line.
+                let name = line
+                    .strip_prefix('[')
+                    .and_then(|l| l.strip_suffix(']'))
+                    .map(str::trim)
+                    .filter(|n| !n.is_empty() && !n.contains('[') && !n.contains(']'))
+                    .ok_or_else(|| FaultPlanError::BadLine(line.to_owned()))?;
+                if !seen_sections.insert(name.to_owned()) {
+                    return Err(FaultPlanError::Duplicate(format!("[{name}]")));
+                }
+                section = name.to_owned();
                 continue;
             }
             // Keys may be quoted (standard TOML requires it for dotted
@@ -291,6 +313,9 @@ impl FaultPlan {
                 .split_once('=')
                 .map(|(k, v)| (k.trim().trim_matches('"'), v.trim().trim_matches('"')))
                 .ok_or_else(|| FaultPlanError::BadLine(line.to_owned()))?;
+            if !seen_keys.insert((section.clone(), key.to_owned())) {
+                return Err(FaultPlanError::Duplicate(key.to_owned()));
+            }
             match section.as_str() {
                 "" => match key {
                     "seed" => {
@@ -1033,6 +1058,35 @@ mod tests {
             Err(FaultPlanError::BadFaultKind(_))
         ));
         assert!(matches!(FaultPlan::parse_toml("wat"), Err(FaultPlanError::BadLine(_))));
+    }
+
+    #[test]
+    fn plan_toml_rejects_duplicates_and_header_garbage() {
+        let e =
+            FaultPlan::parse_toml("[probabilities]\nbus.send = 0.1\nbus.send = 0.2").unwrap_err();
+        assert!(matches!(&e, FaultPlanError::Duplicate(k) if k == "bus.send"));
+        assert_eq!(e.to_string(), "duplicate plan entry `bus.send`");
+        assert!(matches!(
+            FaultPlan::parse_toml("seed = 1\nseed = 2"),
+            Err(FaultPlanError::Duplicate(k)) if k == "seed"
+        ));
+        assert!(matches!(
+            FaultPlan::parse_toml("[latency]\nprobability = 0.1\n[latency]\nspike_us = 5"),
+            Err(FaultPlanError::Duplicate(k)) if k == "[latency]"
+        ));
+        // The same key in different sections stays legal.
+        FaultPlan::parse_toml(
+            "[probabilities]\nbus.send = 0.1\n[schedule]\nbus.send@1 = \"transient\"",
+        )
+        .unwrap();
+        // Trailing garbage around a section header is a bad line, not a
+        // silently-ignored or silently-keyed one.
+        assert!(matches!(FaultPlan::parse_toml("[latency] junk"), Err(FaultPlanError::BadLine(_))));
+        assert!(matches!(
+            FaultPlan::parse_toml("[latency]]\nprobability = 0.1"),
+            Err(FaultPlanError::BadLine(_))
+        ));
+        assert!(matches!(FaultPlan::parse_toml("[]"), Err(FaultPlanError::BadLine(_))));
     }
 
     #[test]

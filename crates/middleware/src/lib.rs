@@ -64,7 +64,7 @@ pub use locks::{LockManager, LockStats};
 pub use logging::{LogRecord, LogService};
 pub use naming::{NamingService, Registration};
 pub use security::{AuditEntry, SecurityManager};
-pub use store::{StoreService, StoreStats};
+pub use store::{StoreBytes, StoreService, StoreStats, FAULT_POINT_STORE_TORN};
 pub use tx::{
     recover, RecoveredState, TransactionManager, TwoPhaseOutcome, TxId, TxStats, UndoEntry,
     WalRecord,

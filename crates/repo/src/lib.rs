@@ -12,7 +12,12 @@
 //!   (added/removed/modified) between any two models or commits;
 //! * [`ColorReport`] — the per-concern element listing a visual tool
 //!   would render as colors, plus the remaining-concern hint the paper
-//!   suggests.
+//!   suggests;
+//! * [`DurableRepository`] — the same repository backed by an
+//!   append-only, content-addressed [`SegmentStore`] and a write-ahead
+//!   journal ([`Wal`]): every operation is shipped to disk before it is
+//!   applied in memory, and open replays the journal, truncating torn
+//!   tails, back to the last completed operation.
 //!
 //! ## Example
 //!
@@ -38,11 +43,17 @@
 mod colors;
 mod diff;
 mod hash;
+mod recover;
 mod repo;
+mod segment;
+mod wal;
 
 pub use colors::ColorReport;
 pub use diff::{diff_models, ModelDiff};
 pub use hash::fnv1a64;
+pub use recover::{CompactionReport, DurableRepository, FsckReport, RecoveryReport};
 pub use repo::{
     Commit, CommitDelta, CommitId, RepoError, Repository, FAULT_POINT_COMMIT, FAULT_POINT_UNDO,
 };
+pub use segment::{SegmentId, SegmentOpenReport, SegmentStore};
+pub use wal::{CheckpointCommit, CheckpointState, Wal, WalOpenReport, WalRecord};

@@ -1,0 +1,803 @@
+//! Crash recovery: the durable, log-structured repository backend.
+//!
+//! A [`DurableRepository`] is a plain in-memory [`Repository`] whose
+//! every mutation is shipped to disk *first*:
+//!
+//! 1. the snapshot bytes go to the append-only
+//!    [`SegmentStore`](crate::segment::SegmentStore) (content-addressed
+//!    by FNV-1a, full-byte-verified dedupe),
+//! 2. the operation record goes to the [`Wal`](crate::wal::Wal),
+//! 3. only then is the in-memory state updated.
+//!
+//! A crash between (1) and (2) leaves an orphan segment — garbage that
+//! compaction reclaims, never corruption. A crash *during* (1) or (2)
+//! leaves a torn tail that the checksummed framing detects and
+//! truncates on the next open. [`DurableRepository::open`] therefore
+//! recovers exactly the state of the last completed operation.
+//!
+//! Recovery invariants (checked by [`DurableRepository::fsck`]):
+//!
+//! * every WAL commit record resolves to a byte-verified segment;
+//! * replaying the WAL yields a repository whose branch histories,
+//!   position and tags are internally consistent;
+//! * segments unreachable from any live commit are garbage, not errors
+//!   (compaction drops them and checkpoints the live state).
+
+use crate::repo::{CommitDelta, CommitId, RepoError, Repository};
+use crate::segment::{SegmentId, SegmentStore};
+use crate::wal::{CheckpointCommit, CheckpointState, Wal, WalRecord};
+use comet_model::Model;
+use comet_xmi::export_model;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::ops::Deref;
+use std::path::{Path, PathBuf};
+
+const WAL_FILE: &str = "wal.log";
+const SEGMENTS_FILE: &str = "segments.log";
+
+fn io_err(e: std::io::Error) -> RepoError {
+    RepoError::Storage(format!("io: {e}"))
+}
+
+/// What [`DurableRepository::open`] rebuilt and repaired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// WAL records replayed.
+    pub records_replayed: usize,
+    /// Torn/corrupt WAL tail bytes truncated.
+    pub wal_truncated_bytes: u64,
+    /// Verified segments indexed.
+    pub segments: usize,
+    /// Torn/corrupt segment tail bytes truncated.
+    pub segment_truncated_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// True when the open found a fully clean pair of files.
+    pub fn clean(&self) -> bool {
+        self.wal_truncated_bytes == 0 && self.segment_truncated_bytes == 0
+    }
+}
+
+/// What compaction reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Segments dropped as unreachable.
+    pub segments_dropped: usize,
+    /// Segments kept alive.
+    pub segments_kept: usize,
+    /// WAL records replaced by the checkpoint.
+    pub wal_records_folded: usize,
+}
+
+/// The result of a consistency check over a durable repository
+/// directory.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// The recovery the check performed to get a view of the state.
+    pub recovery: RecoveryReport,
+    /// Live commits reachable after replay.
+    pub commits: usize,
+    /// Branches.
+    pub branches: usize,
+    /// Tags.
+    pub tags: usize,
+    /// Segments no live commit references (compaction candidates).
+    pub unreachable_segments: usize,
+    /// Hard inconsistencies found (empty ⇒ healthy).
+    pub problems: Vec<String>,
+}
+
+impl FsckReport {
+    /// True when no hard inconsistency was found.
+    pub fn ok(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+impl fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fsck: {} commits, {} branches, {} tags, {} unreachable segment(s)",
+            self.commits, self.branches, self.tags, self.unreachable_segments
+        )?;
+        writeln!(
+            f,
+            "  wal: {} record(s) replayed, {} torn byte(s) truncated",
+            self.recovery.records_replayed, self.recovery.wal_truncated_bytes
+        )?;
+        writeln!(
+            f,
+            "  segments: {} verified, {} torn byte(s) truncated",
+            self.recovery.segments, self.recovery.segment_truncated_bytes
+        )?;
+        if self.problems.is_empty() {
+            writeln!(f, "  status: OK")
+        } else {
+            for p in &self.problems {
+                writeln!(f, "  PROBLEM: {p}")?;
+            }
+            writeln!(f, "  status: CORRUPT")
+        }
+    }
+}
+
+/// A [`Repository`] backed by a write-ahead journal and a
+/// content-addressed segment store; survives crashes at any byte
+/// boundary.
+///
+/// Read access goes through `Deref<Target = Repository>`; every
+/// mutating operation has a mirror here that journals first.
+#[derive(Debug)]
+pub struct DurableRepository {
+    repo: Repository,
+    wal: Wal,
+    segments: SegmentStore,
+    dir: PathBuf,
+}
+
+impl Deref for DurableRepository {
+    type Target = Repository;
+
+    fn deref(&self) -> &Repository {
+        &self.repo
+    }
+}
+
+impl DurableRepository {
+    /// True when `dir` already holds a journal.
+    pub fn exists(dir: &Path) -> bool {
+        dir.join(WAL_FILE).is_file()
+    }
+
+    /// The directory holding this repository's files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Read view of the replayed repository (also available via
+    /// `Deref`).
+    pub fn repo(&self) -> &Repository {
+        &self.repo
+    }
+
+    /// Test-only mutable access to the in-memory view — mutations made
+    /// through it bypass the journal and will not survive a reopen; it
+    /// exists so fault-injection tests can arm the one-shot
+    /// [`FaultHook`](comet_middleware::FaultHook) points.
+    pub fn repo_mut_unjournaled(&mut self) -> &mut Repository {
+        &mut self.repo
+    }
+
+    /// Creates a fresh durable repository in `dir` (created if absent).
+    ///
+    /// # Errors
+    /// Fails when `dir` already holds a journal, or on I/O failure.
+    pub fn create(dir: &Path, name: &str) -> Result<DurableRepository, RepoError> {
+        if Self::exists(dir) {
+            return Err(RepoError::Storage(format!(
+                "refusing to create over an existing journal in {}",
+                dir.display()
+            )));
+        }
+        std::fs::create_dir_all(dir).map_err(io_err)?;
+        let (segments, _) = SegmentStore::open(dir.join(SEGMENTS_FILE)).map_err(io_err)?;
+        let mut wal = Wal::open_at(dir.join(WAL_FILE), 0).map_err(io_err)?;
+        wal.append(&WalRecord::Init { name: name.to_owned() }).map_err(io_err)?;
+        Ok(DurableRepository { repo: Repository::new(name), wal, segments, dir: dir.to_owned() })
+    }
+
+    /// Opens an existing durable repository, replaying the journal over
+    /// the segment store. Torn tails in either file are truncated; the
+    /// state recovered is exactly that of the last completed operation.
+    ///
+    /// # Errors
+    /// Fails when no journal exists, when a commit record references a
+    /// missing segment (real corruption, not a torn tail), or on I/O
+    /// failure.
+    pub fn open(dir: &Path) -> Result<(DurableRepository, RecoveryReport), RepoError> {
+        if !Self::exists(dir) {
+            return Err(RepoError::Storage(format!("no journal in {}", dir.display())));
+        }
+        let (mut segments, seg_report) =
+            SegmentStore::open(dir.join(SEGMENTS_FILE)).map_err(io_err)?;
+        let wal_path = dir.join(WAL_FILE);
+        let (records, wal_report, end) = Wal::read_all(&wal_path).map_err(io_err)?;
+        let mut repo: Option<Repository> = None;
+        for record in &records {
+            replay(&mut repo, record, &mut segments)?;
+        }
+        let repo = repo.ok_or_else(|| {
+            RepoError::Storage(format!("journal in {} has no init record", dir.display()))
+        })?;
+        let wal = Wal::open_at(wal_path, end).map_err(io_err)?;
+        let report = RecoveryReport {
+            records_replayed: records.len(),
+            wal_truncated_bytes: wal_report.truncated_bytes,
+            segments: seg_report.segments,
+            segment_truncated_bytes: seg_report.truncated_bytes,
+        };
+        Ok((DurableRepository { repo, wal, segments, dir: dir.to_owned() }, report))
+    }
+
+    /// [`open`](Self::open) when a journal exists, [`create`](Self::create)
+    /// otherwise.
+    ///
+    /// # Errors
+    /// See `open` / `create`.
+    pub fn open_or_create(
+        dir: &Path,
+        name: &str,
+    ) -> Result<(DurableRepository, RecoveryReport), RepoError> {
+        if Self::exists(dir) {
+            Self::open(dir)
+        } else {
+            Ok((Self::create(dir, name)?, RecoveryReport::default()))
+        }
+    }
+
+    /// Commits a snapshot of `model`; see [`Repository::commit`].
+    ///
+    /// # Errors
+    /// Fails on injected faults or I/O failure.
+    pub fn commit(
+        &mut self,
+        model: &Model,
+        message: &str,
+        concern: Option<&str>,
+    ) -> Result<CommitId, RepoError> {
+        self.commit_inner(model, message, concern, None)
+    }
+
+    /// Commits with a journal-reported delta; see
+    /// [`Repository::commit_with_delta`]. Unlike the in-memory path,
+    /// the durable backend **verifies** an empty delta against the
+    /// exported bytes and hard-errors on a lie — a stale snapshot
+    /// persisted under a wrong hash would poison every later recovery.
+    ///
+    /// # Errors
+    /// Fails on a lying empty delta, injected faults, or I/O failure.
+    pub fn commit_with_delta(
+        &mut self,
+        model: &Model,
+        message: &str,
+        concern: Option<&str>,
+        delta: CommitDelta,
+    ) -> Result<CommitId, RepoError> {
+        self.commit_inner(model, message, concern, Some(delta))
+    }
+
+    fn commit_inner(
+        &mut self,
+        model: &Model,
+        message: &str,
+        concern: Option<&str>,
+        delta: Option<CommitDelta>,
+    ) -> Result<CommitId, RepoError> {
+        if self.repo.take_commit_fault() {
+            return Err(RepoError::Storage("injected commit failure".to_owned()));
+        }
+        // Always export: the durable backend trades the empty-delta
+        // snapshot-reuse optimization for verification.
+        let snapshot = export_model(model);
+        let hash = crate::hash::fnv1a64(snapshot.as_bytes());
+        if delta.as_ref().is_some_and(CommitDelta::is_empty) {
+            if let Some(parent) = self.repo.head() {
+                if parent.hash != hash || parent.snapshot != snapshot {
+                    return Err(RepoError::Storage(format!(
+                        "empty CommitDelta for `{message}` but the model content differs \
+                         from parent commit {} — refusing to journal a lying delta",
+                        parent.id
+                    )));
+                }
+            }
+        }
+        let seg = self.segments.append(snapshot.as_bytes()).map_err(io_err)?;
+        self.wal
+            .append(&WalRecord::Commit {
+                message: message.to_owned(),
+                concern: concern.map(str::to_owned),
+                hash,
+                ordinal: seg.ordinal,
+                delta: delta.clone(),
+            })
+            .map_err(io_err)?;
+        Ok(self.repo.commit_raw(snapshot, hash, message, concern, delta))
+    }
+
+    /// Journals and applies an undo; see [`Repository::undo`].
+    pub fn undo(&mut self) -> Option<Result<Model, RepoError>> {
+        if self.repo.undo_depth() == 0 {
+            return None;
+        }
+        if self.repo.take_undo_fault() {
+            return Some(Err(RepoError::Storage("injected undo failure".to_owned())));
+        }
+        if let Err(e) = self.wal.append(&WalRecord::Undo) {
+            return Some(Err(io_err(e)));
+        }
+        match self.repo.undo() {
+            Some(Ok(model)) => Some(Ok(model)),
+            Some(Err(e)) => {
+                // The in-memory undo did not happen; compensate the
+                // journal so replay matches memory.
+                let _ = self.wal.append(&WalRecord::Redo);
+                Some(Err(e))
+            }
+            None => None,
+        }
+    }
+
+    /// Journals and applies a redo; see [`Repository::redo`].
+    pub fn redo(&mut self) -> Option<Result<Model, RepoError>> {
+        if self.repo.redo_depth() == 0 {
+            return None;
+        }
+        if let Err(e) = self.wal.append(&WalRecord::Redo) {
+            return Some(Err(io_err(e)));
+        }
+        match self.repo.redo() {
+            Some(Err(e)) => {
+                let _ = self.wal.append(&WalRecord::Undo);
+                Some(Err(e))
+            }
+            other => other,
+        }
+    }
+
+    /// Journals and applies a branch creation; see
+    /// [`Repository::branch`].
+    ///
+    /// # Errors
+    /// Fails when the branch exists or on I/O failure.
+    pub fn branch(&mut self, name: &str) -> Result<(), RepoError> {
+        if self.repo.branch_names().contains(&name) {
+            return Err(RepoError::BranchExists(name.to_owned()));
+        }
+        self.wal.append(&WalRecord::Branch { name: name.to_owned() }).map_err(io_err)?;
+        self.repo.branch(name)
+    }
+
+    /// Journals and applies a branch switch; see
+    /// [`Repository::switch_branch`].
+    ///
+    /// # Errors
+    /// Fails when the branch is unknown or on I/O failure.
+    pub fn switch_branch(&mut self, name: &str) -> Result<(), RepoError> {
+        if !self.repo.branch_names().contains(&name) {
+            return Err(RepoError::UnknownBranch(name.to_owned()));
+        }
+        self.wal.append(&WalRecord::SwitchBranch { name: name.to_owned() }).map_err(io_err)?;
+        self.repo.switch_branch(name)
+    }
+
+    /// Journals and applies a tag; see [`Repository::tag`].
+    ///
+    /// # Errors
+    /// Fails when there is no head or on I/O failure.
+    pub fn tag(&mut self, name: &str) -> Result<CommitId, RepoError> {
+        if self.repo.head().is_none() {
+            return Err(RepoError::UnknownCommit(0));
+        }
+        self.wal.append(&WalRecord::Tag { name: name.to_owned() }).map_err(io_err)?;
+        self.repo.tag(name)
+    }
+
+    /// Rewrites both files: live segments only, one checkpoint record
+    /// instead of the full operation history. Reclaims segments no
+    /// commit references (orphans from crashes between segment append
+    /// and WAL append, and snapshots of garbage-collected commits).
+    ///
+    /// # Errors
+    /// Propagates I/O failures; on error the original files are intact.
+    pub fn compact(&mut self) -> Result<CompactionReport, RepoError> {
+        let seg_tmp = self.dir.join("segments.log.compact");
+        let wal_tmp = self.dir.join("wal.log.compact");
+        let _ = std::fs::remove_file(&seg_tmp);
+        let _ = std::fs::remove_file(&wal_tmp);
+        let (mut new_segments, _) = SegmentStore::open(&seg_tmp).map_err(io_err)?;
+        let mut commits = Vec::with_capacity(self.repo.commits.len());
+        for c in self.repo.commits.values() {
+            let seg = new_segments.append(c.snapshot.as_bytes()).map_err(io_err)?;
+            commits.push(CheckpointCommit {
+                id: c.id,
+                parent: c.parent,
+                message: c.message.clone(),
+                concern: c.concern.clone(),
+                hash: c.hash,
+                ordinal: seg.ordinal,
+                delta: c.delta.clone(),
+            });
+        }
+        let state = CheckpointState {
+            name: self.repo.name.clone(),
+            next_id: self.repo.next_id,
+            current_branch: self.repo.current_branch.clone(),
+            position: self.repo.position as u64,
+            commits,
+            branches: self
+                .repo
+                .branches
+                .iter()
+                .map(|(name, ids)| (name.clone(), ids.clone()))
+                .collect(),
+            tags: self.repo.tags.iter().map(|(name, id)| (name.clone(), *id)).collect(),
+        };
+        let mut new_wal = Wal::open_at(&wal_tmp, 0).map_err(io_err)?;
+        new_wal.append(&WalRecord::Checkpoint(state)).map_err(io_err)?;
+        drop(new_wal);
+        let (_, old_wal_report, _) = Wal::read_all(self.wal.path()).map_err(io_err)?;
+        let report = CompactionReport {
+            segments_dropped: self.segments.len() - new_segments.len(),
+            segments_kept: new_segments.len(),
+            wal_records_folded: old_wal_report.records,
+        };
+        drop(new_segments);
+        // Publish: rename over the originals, then reopen handles.
+        std::fs::rename(&seg_tmp, self.dir.join(SEGMENTS_FILE)).map_err(io_err)?;
+        std::fs::rename(&wal_tmp, self.dir.join(WAL_FILE)).map_err(io_err)?;
+        let (segments, _) = SegmentStore::open(self.dir.join(SEGMENTS_FILE)).map_err(io_err)?;
+        let (_, _, end) = Wal::read_all(&self.dir.join(WAL_FILE)).map_err(io_err)?;
+        self.segments = segments;
+        self.wal = Wal::open_at(self.dir.join(WAL_FILE), end).map_err(io_err)?;
+        Ok(report)
+    }
+
+    /// Simulates a crash cutting a journal append short (the chaos
+    /// harness's kill point): appends a torn record to the WAL that the
+    /// next [`open`](Self::open) must discard.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn simulate_torn_tail(dir: &Path) -> Result<(), RepoError> {
+        Wal::append_torn(&dir.join(WAL_FILE)).map_err(io_err)
+    }
+
+    /// Consistency check: recovers the state (read-only view), verifies
+    /// every commit resolves to a byte-verified segment, that branch
+    /// histories and tags only reference live commits, and counts the
+    /// unreachable segments compaction would reclaim.
+    ///
+    /// # Errors
+    /// Fails only when the directory cannot be opened at all; found
+    /// inconsistencies are reported in
+    /// [`FsckReport::problems`], not as `Err`.
+    pub fn fsck(dir: &Path) -> Result<FsckReport, RepoError> {
+        let (mut dur, recovery) = Self::open(dir)?;
+        let mut report = FsckReport {
+            recovery,
+            commits: dur.repo.commits.len(),
+            branches: dur.repo.branches.len(),
+            tags: dur.repo.tags.len(),
+            ..FsckReport::default()
+        };
+        let mut live: BTreeSet<SegmentId> = BTreeSet::new();
+        let commits: Vec<(CommitId, u64, String)> =
+            dur.repo.commits.values().map(|c| (c.id, c.hash, c.snapshot.clone())).collect();
+        for (id, hash, snapshot) in &commits {
+            let mut found = false;
+            // Locate the segment holding this commit's bytes (ordinal
+            // scan: collisions are possible, aliasing is not).
+            for ordinal in 0.. {
+                match dur.segments.get(SegmentId { hash: *hash, ordinal }).map_err(io_err)? {
+                    None => break,
+                    Some(bytes) if bytes == snapshot.as_bytes() => {
+                        live.insert(SegmentId { hash: *hash, ordinal });
+                        found = true;
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+            if !found {
+                report.problems.push(format!("commit {id}: snapshot missing from segment store"));
+            }
+            if crate::hash::fnv1a64(snapshot.as_bytes()) != *hash {
+                report.problems.push(format!("commit {id}: content hash mismatch"));
+            }
+        }
+        for (name, ids) in &dur.repo.branches {
+            for id in ids {
+                if !dur.repo.commits.contains_key(id) {
+                    report.problems.push(format!("branch `{name}` references unknown commit {id}"));
+                }
+            }
+        }
+        if dur.repo.position > dur.repo.branches[&dur.repo.current_branch].len() {
+            report.problems.push("head position past the end of the current branch".to_owned());
+        }
+        for (name, id) in &dur.repo.tags {
+            if !dur.repo.commits.contains_key(id) {
+                report.problems.push(format!("tag `{name}` references unknown commit {id}"));
+            }
+        }
+        report.unreachable_segments = dur.segments.len() - live.len();
+        Ok(report)
+    }
+}
+
+/// Applies one journal record to the repository being rebuilt.
+fn replay(
+    repo: &mut Option<Repository>,
+    record: &WalRecord,
+    segments: &mut SegmentStore,
+) -> Result<(), RepoError> {
+    fn need(repo: &mut Option<Repository>) -> Result<&mut Repository, RepoError> {
+        repo.as_mut()
+            .ok_or_else(|| RepoError::Storage("journal record before init record".to_owned()))
+    }
+    match record {
+        WalRecord::Init { name } => {
+            *repo = Some(Repository::new(name.clone()));
+        }
+        WalRecord::Commit { message, concern, hash, ordinal, delta } => {
+            let snapshot = fetch_snapshot(segments, *hash, *ordinal)?;
+            need(repo)?.commit_raw(snapshot, *hash, message, concern.as_deref(), delta.clone());
+        }
+        WalRecord::Undo => {
+            if let Some(Err(e)) = need(repo)?.undo() {
+                return Err(e);
+            }
+        }
+        WalRecord::Redo => {
+            if let Some(Err(e)) = need(repo)?.redo() {
+                return Err(e);
+            }
+        }
+        WalRecord::Branch { name } => {
+            need(repo)?.branch(name)?;
+        }
+        WalRecord::SwitchBranch { name } => {
+            need(repo)?.switch_branch(name)?;
+        }
+        WalRecord::Tag { name } => {
+            need(repo)?.tag(name)?;
+        }
+        WalRecord::Checkpoint(state) => {
+            *repo = Some(repository_from_checkpoint(state, segments)?);
+        }
+    }
+    Ok(())
+}
+
+fn fetch_snapshot(
+    segments: &mut SegmentStore,
+    hash: u64,
+    ordinal: u32,
+) -> Result<String, RepoError> {
+    let bytes = segments.get(SegmentId { hash, ordinal }).map_err(io_err)?.ok_or_else(|| {
+        RepoError::Storage(format!("commit references missing segment {hash:016x}/{ordinal}"))
+    })?;
+    String::from_utf8(bytes)
+        .map_err(|_| RepoError::Storage(format!("segment {hash:016x}/{ordinal} is not UTF-8")))
+}
+
+fn repository_from_checkpoint(
+    state: &CheckpointState,
+    segments: &mut SegmentStore,
+) -> Result<Repository, RepoError> {
+    let mut repo = Repository::new(state.name.clone());
+    repo.next_id = state.next_id;
+    repo.commits = BTreeMap::new();
+    for c in &state.commits {
+        let snapshot = fetch_snapshot(segments, c.hash, c.ordinal)?;
+        repo.commits.insert(
+            c.id,
+            crate::repo::Commit {
+                id: c.id,
+                parent: c.parent,
+                message: c.message.clone(),
+                concern: c.concern.clone(),
+                hash: c.hash,
+                delta: c.delta.clone(),
+                snapshot,
+            },
+        );
+    }
+    repo.branches = state.branches.iter().cloned().collect();
+    if repo.branches.is_empty() {
+        return Err(RepoError::Storage("checkpoint with no branches".to_owned()));
+    }
+    if !repo.branches.contains_key(&state.current_branch) {
+        return Err(RepoError::Storage(format!(
+            "checkpoint's current branch `{}` is not in its branch set",
+            state.current_branch
+        )));
+    }
+    repo.current_branch = state.current_branch.clone();
+    let history_len = repo.branches[&repo.current_branch].len() as u64;
+    if state.position > history_len {
+        return Err(RepoError::Storage("checkpoint position past branch end".to_owned()));
+    }
+    repo.position = state.position as usize;
+    repo.tags = state.tags.iter().cloned().collect();
+    Ok(repo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_model::sample::banking_pim;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("comet-durable-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn two_models() -> (Model, Model) {
+        let v1 = banking_pim();
+        let mut v2 = v1.clone();
+        let bank = v2.find_class("Bank").unwrap();
+        v2.apply_stereotype(bank, "Remote").unwrap();
+        (v1, v2)
+    }
+
+    fn assert_same_state(a: &Repository, b: &Repository) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.current_branch(), b.current_branch());
+        assert_eq!(a.branch_names(), b.branch_names());
+        assert_eq!(a.undo_depth(), b.undo_depth());
+        assert_eq!(a.redo_depth(), b.redo_depth());
+        assert_eq!(a.len(), b.len());
+        let log_a: Vec<_> = a.log().into_iter().cloned().collect();
+        let log_b: Vec<_> = b.log().into_iter().cloned().collect();
+        assert_eq!(log_a, log_b);
+    }
+
+    #[test]
+    fn create_commit_reopen_recovers_everything() {
+        let dir = tmp("basic");
+        let (v1, v2) = two_models();
+        let mut dur = DurableRepository::create(&dir, "bank").unwrap();
+        dur.commit(&v1, "initial", None).unwrap();
+        dur.commit(&v2, "distribution", Some("distribution")).unwrap();
+        dur.tag("psm-v1").unwrap();
+        dur.undo().unwrap().unwrap();
+        dur.branch("experiment").unwrap();
+        dur.switch_branch("main").unwrap();
+        let before = dur.repo().clone();
+        drop(dur);
+        let (dur, report) = DurableRepository::open(&dir).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.records_replayed, 7);
+        assert_same_state(&before, dur.repo());
+        assert_eq!(dur.head_model().unwrap().unwrap(), v2);
+        assert_eq!(dur.checkout_tag("psm-v1").unwrap(), v2);
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_to_last_complete_operation() {
+        let dir = tmp("torn");
+        let (v1, v2) = two_models();
+        let mut dur = DurableRepository::create(&dir, "bank").unwrap();
+        dur.commit(&v1, "initial", None).unwrap();
+        dur.commit(&v2, "distribution", Some("distribution")).unwrap();
+        let before = dur.repo().clone();
+        drop(dur);
+        DurableRepository::simulate_torn_tail(&dir).unwrap();
+        let (mut dur, report) = DurableRepository::open(&dir).unwrap();
+        assert!(report.wal_truncated_bytes > 0);
+        assert_same_state(&before, dur.repo());
+        // The journal is clean again: new operations append and survive.
+        dur.undo().unwrap().unwrap();
+        drop(dur);
+        let (dur, report) = DurableRepository::open(&dir).unwrap();
+        assert!(report.clean());
+        assert_eq!(dur.head_model().unwrap().unwrap(), v1);
+    }
+
+    #[test]
+    fn durable_backend_hard_errors_on_lying_empty_delta() {
+        let dir = tmp("lying");
+        let (v1, v2) = two_models();
+        let mut dur = DurableRepository::create(&dir, "bank").unwrap();
+        dur.commit(&v1, "initial", None).unwrap();
+        let err = dur
+            .commit_with_delta(&v2, "lying", Some("distribution"), CommitDelta::default())
+            .unwrap_err();
+        assert!(
+            matches!(&err, RepoError::Storage(d) if d.contains("lying delta")),
+            "unexpected error: {err}"
+        );
+        // Differential check: the in-memory path silently accepted the
+        // same lie in release builds (the bug this PR pins down), the
+        // durable path must leave no trace of it.
+        assert_eq!(dur.len(), 1);
+        drop(dur);
+        let (dur, _) = DurableRepository::open(&dir).unwrap();
+        assert_eq!(dur.len(), 1);
+        assert_eq!(dur.head_model().unwrap().unwrap(), v1);
+        // An honest empty delta (model genuinely unchanged) is fine.
+        let mut dur = dur;
+        dur.commit_with_delta(&v1, "no-op", None, CommitDelta::default()).unwrap();
+        assert_eq!(dur.len(), 2);
+    }
+
+    #[test]
+    fn identical_snapshots_share_one_segment() {
+        let dir = tmp("dedupe");
+        let (v1, _) = two_models();
+        let mut dur = DurableRepository::create(&dir, "bank").unwrap();
+        dur.commit(&v1, "a", None).unwrap();
+        dur.commit(&v1, "b", None).unwrap();
+        dur.commit(&v1, "c", None).unwrap();
+        assert_eq!(dur.len(), 3, "three commits");
+        assert_eq!(dur.segments.len(), 1, "one deduped segment");
+    }
+
+    #[test]
+    fn compaction_reclaims_orphaned_segments_and_survives_reopen() {
+        let dir = tmp("compact");
+        let (v1, v2) = two_models();
+        let mut dur = DurableRepository::create(&dir, "bank").unwrap();
+        dur.commit(&v1, "initial", None).unwrap();
+        // Orphan a commit: undo + commit truncates v2's snapshot out.
+        dur.commit(&v2, "doomed", Some("distribution")).unwrap();
+        dur.undo().unwrap().unwrap();
+        let mut v3 = v1.clone();
+        v3.add_class(v3.root(), "Other").unwrap();
+        dur.commit(&v3, "alternative", None).unwrap();
+        assert_eq!(dur.len(), 2);
+        assert_eq!(dur.segments.len(), 3, "v2's segment is now garbage");
+        let before = dur.repo().clone();
+        let report = dur.compact().unwrap();
+        assert_eq!(report.segments_dropped, 1);
+        assert_eq!(report.segments_kept, 2);
+        assert!(report.wal_records_folded >= 5);
+        assert_same_state(&before, dur.repo());
+        // Post-compaction state must replay from the checkpoint alone.
+        drop(dur);
+        let (mut dur, open_report) = DurableRepository::open(&dir).unwrap();
+        assert!(open_report.clean());
+        assert_eq!(open_report.records_replayed, 1, "one checkpoint record");
+        assert_same_state(&before, dur.repo());
+        assert_eq!(dur.head_model().unwrap().unwrap(), v3);
+        // And it keeps accepting operations afterwards.
+        dur.commit(&v2, "after-compaction", None).unwrap();
+        drop(dur);
+        let (dur, _) = DurableRepository::open(&dir).unwrap();
+        assert_eq!(dur.head_model().unwrap().unwrap(), v2);
+    }
+
+    #[test]
+    fn fsck_reports_health_and_garbage() {
+        let dir = tmp("fsck");
+        let (v1, v2) = two_models();
+        let mut dur = DurableRepository::create(&dir, "bank").unwrap();
+        dur.commit(&v1, "initial", None).unwrap();
+        dur.commit(&v2, "doomed", None).unwrap();
+        dur.undo().unwrap().unwrap();
+        dur.commit(&v2, "kept", None).unwrap();
+        drop(dur);
+        let report = DurableRepository::fsck(&dir).unwrap();
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.commits, 2);
+        // "doomed" was GC'd in memory but its segment bytes equal
+        // "kept"'s (same model) — so nothing is unreachable here.
+        assert_eq!(report.unreachable_segments, 0);
+        let text = report.to_string();
+        assert!(text.contains("status: OK"), "{text}");
+    }
+
+    #[test]
+    fn injected_faults_fail_before_touching_the_journal() {
+        use comet_middleware::FaultHook;
+        let dir = tmp("faults");
+        let (v1, v2) = two_models();
+        let mut dur = DurableRepository::create(&dir, "bank").unwrap();
+        dur.commit(&v1, "initial", None).unwrap();
+        dur.repo_mut_unjournaled().arm_fault(crate::repo::FAULT_POINT_COMMIT).unwrap();
+        assert!(matches!(dur.commit(&v2, "x", None), Err(RepoError::Storage(_))));
+        dur.repo_mut_unjournaled().arm_fault(crate::repo::FAULT_POINT_UNDO).unwrap();
+        assert!(matches!(dur.undo(), Some(Err(RepoError::Storage(_)))));
+        let before = dur.repo().clone();
+        drop(dur);
+        // Neither faulted operation reached the journal.
+        let (dur, report) = DurableRepository::open(&dir).unwrap();
+        assert!(report.clean());
+        assert_same_state(&before, dur.repo());
+    }
+}

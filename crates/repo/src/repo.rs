@@ -5,7 +5,7 @@ use crate::hash::fnv1a64;
 use comet_middleware::{FaultHook, MiddlewareError};
 use comet_model::{ElementId, Model};
 use comet_xmi::{export_model, import_model, XmiError};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Fault point name: the next commit fails ([`FaultHook`]).
@@ -57,7 +57,7 @@ pub struct Commit {
     /// Element-level delta over the parent, when the committer supplied
     /// one (see [`Repository::commit_with_delta`]).
     pub delta: Option<CommitDelta>,
-    snapshot: String,
+    pub(crate) snapshot: String,
 }
 
 impl Commit {
@@ -106,15 +106,15 @@ impl std::error::Error for RepoError {}
 /// committing after an undo truncates the redo tail (like an editor).
 #[derive(Debug, Clone)]
 pub struct Repository {
-    name: String,
-    commits: BTreeMap<CommitId, Commit>,
-    next_id: CommitId,
-    branches: BTreeMap<String, Vec<CommitId>>,
-    current_branch: String,
+    pub(crate) name: String,
+    pub(crate) commits: BTreeMap<CommitId, Commit>,
+    pub(crate) next_id: CommitId,
+    pub(crate) branches: BTreeMap<String, Vec<CommitId>>,
+    pub(crate) current_branch: String,
     /// Number of *visible* commits on the current branch (undo reduces
     /// it, redo restores it, commit truncates beyond it).
-    position: usize,
-    tags: BTreeMap<String, CommitId>,
+    pub(crate) position: usize,
+    pub(crate) tags: BTreeMap<String, CommitId>,
     /// Fault injection for lifecycle consistency tests: when set, the
     /// next commit / undo fails with [`RepoError::Storage`].
     fail_next_commit: bool,
@@ -194,25 +194,63 @@ impl Repository {
         concern: Option<&str>,
         delta: Option<CommitDelta>,
     ) -> Result<CommitId, RepoError> {
-        if self.fail_next_commit {
-            self.fail_next_commit = false;
+        if self.take_commit_fault() {
             return Err(RepoError::Storage("injected commit failure".to_owned()));
         }
-        let history =
-            self.branches.get_mut(&self.current_branch).expect("current branch always exists");
-        history.truncate(self.position);
-        let parent = history.last().copied();
-        let reuse_parent = parent
-            .filter(|_| delta.as_ref().map(CommitDelta::is_empty).unwrap_or(false))
-            .and_then(|p| self.commits.get(&p));
+        let parent_visible = self.head();
+        let reuse_parent =
+            parent_visible.filter(|_| delta.as_ref().map(CommitDelta::is_empty).unwrap_or(false));
         let (snapshot, hash) = match reuse_parent {
-            Some(p) => (p.snapshot.clone(), p.hash),
+            Some(p) => {
+                // A lying journal (empty delta over a changed model)
+                // would persist a stale snapshot under a wrong hash; the
+                // durable backend refuses it outright, the in-memory hot
+                // path verifies in debug builds only.
+                debug_assert_eq!(
+                    fnv1a64(export_model(model).as_bytes()),
+                    p.hash,
+                    "empty CommitDelta for `{message}` but the model content \
+                     differs from parent commit {}",
+                    p.id
+                );
+                (p.snapshot.clone(), p.hash)
+            }
             None => {
                 let snapshot = export_model(model);
                 let hash = fnv1a64(snapshot.as_bytes());
                 (snapshot, hash)
             }
         };
+        Ok(self.commit_raw(snapshot, hash, message, concern, delta))
+    }
+
+    /// Consumes the armed one-shot commit fault, if any.
+    pub(crate) fn take_commit_fault(&mut self) -> bool {
+        std::mem::take(&mut self.fail_next_commit)
+    }
+
+    /// Consumes the armed one-shot undo fault, if any.
+    pub(crate) fn take_undo_fault(&mut self) -> bool {
+        std::mem::take(&mut self.fail_next_undo)
+    }
+
+    /// The infallible commit core shared by the in-memory path (which
+    /// exports the snapshot itself) and the durable backend / WAL
+    /// replay (which bring pre-serialized bytes): truncates the redo
+    /// tail, inserts the commit, advances the head, and garbage-collects
+    /// commits the truncation orphaned.
+    pub(crate) fn commit_raw(
+        &mut self,
+        snapshot: String,
+        hash: u64,
+        message: &str,
+        concern: Option<&str>,
+        delta: Option<CommitDelta>,
+    ) -> CommitId {
+        let history =
+            self.branches.get_mut(&self.current_branch).expect("current branch always exists");
+        let truncated = history.split_off(self.position);
+        let parent = history.last().copied();
         let id = self.next_id;
         self.next_id += 1;
         self.commits.insert(
@@ -231,7 +269,35 @@ impl Repository {
             self.branches.get_mut(&self.current_branch).expect("current branch always exists");
         history.push(id);
         self.position = history.len();
-        Ok(id)
+        if !truncated.is_empty() {
+            self.collect_orphans(&truncated);
+        }
+        id
+    }
+
+    /// Drops truncated commits that no branch or tag can reach any
+    /// more. Without this, the serve-tier apply/undo/apply steady state
+    /// grows `commits` without bound: every commit-after-undo truncates
+    /// the redo tail from the branch history but used to leave the
+    /// orphaned commits in the map forever.
+    fn collect_orphans(&mut self, candidates: &[CommitId]) {
+        let mut reachable: BTreeSet<CommitId> = self.branches.values().flatten().copied().collect();
+        reachable.extend(self.tags.values().copied());
+        // Parent closure: a reachable commit keeps its whole ancestry
+        // (diffs and checkouts may address ancestors by id).
+        let mut stack: Vec<CommitId> = reachable.iter().copied().collect();
+        while let Some(id) = stack.pop() {
+            if let Some(parent) = self.commits.get(&id).and_then(|c| c.parent) {
+                if reachable.insert(parent) {
+                    stack.push(parent);
+                }
+            }
+        }
+        for id in candidates {
+            if !reachable.contains(id) {
+                self.commits.remove(id);
+            }
+        }
     }
 
     /// The visible head commit of the current branch, if any.
@@ -470,6 +536,70 @@ mod tests {
         assert!(repo.redo().is_none());
         assert_eq!(repo.head_model().unwrap().unwrap(), v3);
         assert_eq!(repo.log().len(), 2);
+        // The truncated commit is unreachable and must be collected.
+        assert_eq!(repo.len(), 2);
+    }
+
+    #[test]
+    fn commit_after_undo_does_not_leak_orphaned_commits() {
+        // The serve-tier steady state: apply, undo, apply, undo, ...
+        // Every commit-after-undo truncates the redo tail; the orphans
+        // must be garbage-collected or `commits` grows without bound.
+        let mut repo = Repository::new("bank");
+        let v1 = banking_pim();
+        repo.commit(&v1, "initial", None).unwrap();
+        let mut v2 = v1.clone();
+        let bank = v2.find_class("Bank").unwrap();
+        v2.apply_stereotype(bank, "Remote").unwrap();
+        for i in 0..1000 {
+            repo.commit(&v2, &format!("step {i}"), Some("distribution")).unwrap();
+            repo.undo().unwrap().unwrap();
+        }
+        // One live commit (initial) plus at most one redo tail.
+        assert!(
+            repo.len() <= 2,
+            "commits leaked: {} stored after 1000 apply/undo iterations",
+            repo.len()
+        );
+        assert_eq!(repo.log().len(), 1);
+        // The history itself is intact: redo still works.
+        assert_eq!(repo.redo().unwrap().unwrap(), v2);
+    }
+
+    #[test]
+    fn truncation_spares_tagged_and_branched_commits() {
+        let (mut repo, v1, v2) = repo_with_two_versions();
+        repo.tag("keep-me").unwrap();
+        repo.undo();
+        let mut v3 = v1.clone();
+        v3.add_class(v3.root(), "Other").unwrap();
+        repo.commit(&v3, "alternative", None).unwrap();
+        // The truncated v2 commit survives: the tag still reaches it.
+        assert_eq!(repo.len(), 3);
+        assert_eq!(repo.checkout_tag("keep-me").unwrap(), v2);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "empty CommitDelta")]
+    fn lying_empty_delta_trips_the_debug_verification() {
+        let (mut repo, _v1, v2) = repo_with_two_versions();
+        let mut v3 = v2.clone();
+        v3.add_class(v3.root(), "Sneaky").unwrap();
+        // The journal lies: the model changed but the delta says empty.
+        repo.commit_with_delta(&v3, "lying", None, CommitDelta::default()).unwrap();
+    }
+
+    #[test]
+    fn honest_empty_delta_reuses_the_parent_snapshot() {
+        let (mut repo, _v1, v2) = repo_with_two_versions();
+        let head_hash = repo.head().unwrap().hash;
+        let id = repo
+            .commit_with_delta(&v2, "no-op step", Some("transactions"), CommitDelta::default())
+            .unwrap();
+        let c = repo.commits.get(&id).unwrap();
+        assert_eq!(c.hash, head_hash, "unchanged model shares the parent's content hash");
+        assert_eq!(repo.checkout(id).unwrap(), v2);
     }
 
     #[test]

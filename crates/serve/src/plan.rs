@@ -23,6 +23,10 @@ pub enum WorkloadPlanError {
     /// A plan whose numbers cannot describe a runnable workload
     /// (zero tenants, zero clients, an all-zero request mix, ...).
     Invalid(String),
+    /// A key or section header appeared twice. The payload is the key
+    /// (or `[section]`) as written; the message format is shared
+    /// verbatim with the fault-plan parser in `comet-middleware`.
+    Duplicate(String),
 }
 
 impl fmt::Display for WorkloadPlanError {
@@ -31,6 +35,7 @@ impl fmt::Display for WorkloadPlanError {
             WorkloadPlanError::BadLine(l) => write!(f, "unparseable plan line `{l}`"),
             WorkloadPlanError::BadValue(v) => write!(f, "bad numeric value `{v}`"),
             WorkloadPlanError::Invalid(why) => write!(f, "invalid plan: {why}"),
+            WorkloadPlanError::Duplicate(k) => write!(f, "duplicate plan entry `{k}`"),
         }
     }
 }
@@ -221,12 +226,19 @@ impl WorkloadPlan {
     ///
     /// Unspecified keys keep their defaults; the parsed plan is
     /// [`validate`](WorkloadPlan::validate)d before being returned.
+    /// Duplicate keys, repeated section headers, and trailing garbage
+    /// after a header are rejected (same rules and messages as
+    /// `FaultPlan::parse_toml` in `comet-middleware`).
     ///
     /// # Errors
     /// Returns a [`WorkloadPlanError`] describing the first bad line.
     pub fn parse_toml(text: &str) -> Result<WorkloadPlan, WorkloadPlanError> {
         let mut plan = WorkloadPlan::default();
         let mut section = String::new();
+        let mut seen_sections: std::collections::BTreeSet<String> =
+            std::collections::BTreeSet::new();
+        let mut seen_keys: std::collections::BTreeSet<(String, String)> =
+            std::collections::BTreeSet::new();
         for raw in text.lines() {
             let line = match raw.find('#') {
                 Some(i) => &raw[..i],
@@ -236,14 +248,28 @@ impl WorkloadPlan {
             if line.is_empty() {
                 continue;
             }
-            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-                section = name.trim().to_owned();
+            if line.starts_with('[') {
+                // A header must be exactly `[name]` — anything trailing
+                // the `]` (or a missing one) is garbage, not a key line.
+                let name = line
+                    .strip_prefix('[')
+                    .and_then(|l| l.strip_suffix(']'))
+                    .map(str::trim)
+                    .filter(|n| !n.is_empty() && !n.contains('[') && !n.contains(']'))
+                    .ok_or_else(|| WorkloadPlanError::BadLine(line.to_owned()))?;
+                if !seen_sections.insert(name.to_owned()) {
+                    return Err(WorkloadPlanError::Duplicate(format!("[{name}]")));
+                }
+                section = name.to_owned();
                 continue;
             }
             let (key, value) = line
                 .split_once('=')
                 .map(|(k, v)| (k.trim().trim_matches('"'), v.trim().trim_matches('"')))
                 .ok_or_else(|| WorkloadPlanError::BadLine(line.to_owned()))?;
+            if !seen_keys.insert((section.clone(), key.to_owned())) {
+                return Err(WorkloadPlanError::Duplicate(key.to_owned()));
+            }
             let bad_value = || WorkloadPlanError::BadValue(value.to_owned());
             match section.as_str() {
                 "" => match key {
@@ -364,5 +390,31 @@ mod tests {
             WorkloadPlan::parse_toml("[mix]\napply=0\nundo=0\ngenerate=0\nquery=0\nsnapshot=0"),
             Err(WorkloadPlanError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_header_garbage() {
+        let e = WorkloadPlan::parse_toml("seed = 1\nseed = 2").unwrap_err();
+        assert!(matches!(&e, WorkloadPlanError::Duplicate(k) if k == "seed"));
+        assert_eq!(e.to_string(), "duplicate plan entry `seed`");
+        assert!(matches!(
+            WorkloadPlan::parse_toml("[mix]\napply = 1.0\napply = 2.0"),
+            Err(WorkloadPlanError::Duplicate(k)) if k == "apply"
+        ));
+        assert!(matches!(
+            WorkloadPlan::parse_toml("[mix]\napply = 1.0\n[mix]\nquery = 2.0"),
+            Err(WorkloadPlanError::Duplicate(k)) if k == "[mix]"
+        ));
+        // The same key name in different sections stays legal.
+        WorkloadPlan::parse_toml("[limits]\nqueue_depth = 2\n[service]\nthink_us = 9").unwrap();
+        assert!(matches!(
+            WorkloadPlan::parse_toml("[mix] junk"),
+            Err(WorkloadPlanError::BadLine(_))
+        ));
+        assert!(matches!(
+            WorkloadPlan::parse_toml("[mix]]\napply = 1.0"),
+            Err(WorkloadPlanError::BadLine(_))
+        ));
+        assert!(matches!(WorkloadPlan::parse_toml("[]"), Err(WorkloadPlanError::BadLine(_))));
     }
 }

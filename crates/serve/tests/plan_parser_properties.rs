@@ -1,0 +1,198 @@
+//! Shared property tests pinning the two hand-rolled TOML-subset
+//! parsers — `WorkloadPlan::parse_toml` (this crate) and
+//! `FaultPlan::parse_toml` (`comet-middleware`) — to one behaviour:
+//! both must reject duplicate keys, repeated section headers, and
+//! trailing garbage with *identical* error messages, and neither may
+//! ever panic, whatever bytes it is fed.
+
+use comet_middleware::{FaultPlan, FaultPlanError};
+use comet_serve::{WorkloadPlan, WorkloadPlanError};
+use proptest::prelude::*;
+
+/// A structurally valid document for each parser, built from the same
+/// skeleton: `(section, key, value)` rows where section "" means the
+/// root. Keys are drawn per parser, sections/values shared in shape.
+fn workload_doc(rows: &[(usize, usize)]) -> Vec<(String, String, String)> {
+    const SECTIONS: [(&str, &[&str]); 4] = [
+        ("", &["seed", "tenants", "clients", "requests"]),
+        ("mix", &["apply", "undo", "generate", "query", "snapshot"]),
+        ("limits", &["queue_depth", "deadline_us"]),
+        ("service", &["think_us", "jitter_us", "apply_us"]),
+    ];
+    rows.iter()
+        .map(|&(s, k)| {
+            let (section, keys) = SECTIONS[s % SECTIONS.len()];
+            (section.to_owned(), keys[k % keys.len()].to_owned(), "2".to_owned())
+        })
+        .collect()
+}
+
+fn fault_doc(rows: &[(usize, usize)]) -> Vec<(String, String, String)> {
+    const OPS: [&str; 5] = ["bus.send", "store.save", "store.load", "tx.commit", "naming.lookup"];
+    rows.iter()
+        .map(|&(s, k)| match s % 3 {
+            0 => ("".to_owned(), "seed".to_owned(), "2".to_owned()),
+            1 => ("probabilities".to_owned(), OPS[k % OPS.len()].to_owned(), "0.5".to_owned()),
+            _ => (
+                "latency".to_owned(),
+                ["probability", "spike_us"][k % 2].to_owned(),
+                "2".to_owned(),
+            ),
+        })
+        .collect()
+}
+
+/// Reorders rows the way [`render`] emits them: root keys first, then
+/// each section's rows grouped under one header in first-seen order.
+/// The duplicate oracle must look at THIS order — it is the order the
+/// parser reads, which decides *which* duplicate is reported first.
+fn document_order(rows: &[(String, String, String)]) -> Vec<(String, String, String)> {
+    let mut sections: Vec<&str> = Vec::new();
+    for (section, _, _) in rows {
+        if !sections.contains(&section.as_str()) {
+            sections.push(section);
+        }
+    }
+    // Root keys must come before any `[section]` header.
+    sections.sort_by_key(|s| !s.is_empty());
+    let mut ordered = Vec::new();
+    for open in sections {
+        ordered.extend(rows.iter().filter(|(s, _, _)| s == open).cloned());
+    }
+    ordered
+}
+
+/// Renders [`document_order`]ed rows into document text.
+fn render(ordered: &[(String, String, String)]) -> String {
+    let mut out = String::new();
+    let mut open: Option<&str> = None;
+    for (section, key, value) in ordered {
+        if open != Some(section) {
+            open = Some(section);
+            if !section.is_empty() {
+                out.push_str(&format!("[{section}]\n"));
+            }
+        }
+        out.push_str(&format!("{key} = {value}\n"));
+    }
+    out
+}
+
+/// The first (section, key) pair the parser would see twice.
+fn first_duplicate(ordered: &[(String, String, String)]) -> Option<String> {
+    let mut seen = std::collections::BTreeSet::new();
+    for (section, key, _) in ordered {
+        if !seen.insert((section.clone(), key.clone())) {
+            return Some(key.clone());
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Valid documents parse; a duplicated (section, key) pair fails in
+    /// BOTH parsers with the same message text.
+    #[test]
+    fn duplicate_keys_fail_identically(rows in prop::collection::vec((0usize..4, 0usize..5), 1..10)) {
+        let wl_rows = document_order(&workload_doc(&rows));
+        let wl_text = render(&wl_rows);
+        match first_duplicate(&wl_rows) {
+            None => {
+                // Not all valid docs validate() (e.g. queue_depth drawn
+                // as 2 is fine; all values are 2/0.5 so they do).
+                prop_assert!(WorkloadPlan::parse_toml(&wl_text).is_ok(), "{wl_text}");
+            }
+            Some(key) => {
+                let err = WorkloadPlan::parse_toml(&wl_text).unwrap_err();
+                prop_assert_eq!(&err, &WorkloadPlanError::Duplicate(key.clone()), "{}", wl_text);
+                prop_assert_eq!(err.to_string(), format!("duplicate plan entry `{key}`"));
+            }
+        }
+        let f_rows = document_order(&fault_doc(&rows));
+        let f_text = render(&f_rows);
+        match first_duplicate(&f_rows) {
+            None => prop_assert!(FaultPlan::parse_toml(&f_text).is_ok(), "{f_text}"),
+            Some(key) => {
+                let err = FaultPlan::parse_toml(&f_text).unwrap_err();
+                prop_assert_eq!(&err, &FaultPlanError::Duplicate(key.clone()), "{}", f_text);
+                // The unified message: both parsers word it identically.
+                prop_assert_eq!(err.to_string(), format!("duplicate plan entry `{key}`"));
+            }
+        }
+    }
+
+    /// Repeating any section header fails in both parsers, same message.
+    #[test]
+    fn repeated_section_headers_fail_identically(section_idx in 0usize..3, key in 0usize..5) {
+        let wl_section = ["mix", "limits", "service"][section_idx];
+        let wl_keys: &[&str] = match wl_section {
+            "mix" => &["apply", "undo", "generate", "query", "snapshot"],
+            "limits" => &["queue_depth", "deadline_us"],
+            _ => &["think_us", "jitter_us", "apply_us", "undo_us", "query_us"],
+        };
+        let k = wl_keys[key % wl_keys.len()];
+        let text = format!("[{wl_section}]\n{k} = 2\n[{wl_section}]\n");
+        let err = WorkloadPlan::parse_toml(&text).unwrap_err();
+        prop_assert_eq!(err.to_string(), format!("duplicate plan entry `[{wl_section}]`"));
+
+        let f_section = ["probabilities", "latency", "schedule"][section_idx];
+        let text = format!("[{f_section}]\n[{f_section}]\n");
+        let err = FaultPlan::parse_toml(&text).unwrap_err();
+        prop_assert_eq!(err.to_string(), format!("duplicate plan entry `[{f_section}]`"));
+    }
+
+    /// Garbage around a section header is a `BadLine` in both parsers.
+    #[test]
+    fn header_garbage_fails_identically(garbage in "[a-z]{1,6}") {
+        for text in [
+            format!("[mix] {garbage}"),
+            format!("[mix]{garbage}]"),
+            "[[mix]]".to_owned(),
+            "[]".to_owned(),
+        ] {
+            let wl = WorkloadPlan::parse_toml(&text);
+            prop_assert!(
+                matches!(wl, Err(WorkloadPlanError::BadLine(_))),
+                "workload accepted `{}`: {:?}", text, wl
+            );
+            let fp = FaultPlan::parse_toml(&text);
+            prop_assert!(
+                matches!(fp, Err(FaultPlanError::BadLine(_))),
+                "faults accepted `{}`: {:?}", text, fp
+            );
+        }
+    }
+
+    /// Neither parser panics on arbitrary input — errors only.
+    #[test]
+    fn parsers_never_panic(text in "\\PC{0,200}") {
+        let _ = WorkloadPlan::parse_toml(&text);
+        let _ = FaultPlan::parse_toml(&text);
+    }
+
+    /// Line-structured fuzz: random lines assembled from plan-ish
+    /// fragments exercise deeper paths than raw unicode noise.
+    #[test]
+    fn parsers_never_panic_on_line_noise(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just("[mix]".to_owned()),
+                Just("[probabilities]".to_owned()),
+                Just("seed = 7".to_owned()),
+                Just("apply = 0.5".to_owned()),
+                Just("bus.send = 0.5".to_owned()),
+                Just("bus.send@1 = \"transient\"".to_owned()),
+                Just("# comment".to_owned()),
+                Just("".to_owned()),
+                "[ -~]{0,30}",
+            ],
+            0..12,
+        )
+    ) {
+        let text = lines.join("\n");
+        let _ = WorkloadPlan::parse_toml(&text);
+        let _ = FaultPlan::parse_toml(&text);
+    }
+}
