@@ -93,6 +93,17 @@ pub fn is_concern_tag(key: &str) -> bool {
     key.starts_with("comet.")
 }
 
+/// Stereotype pairs that must never land on the same element: marking
+/// an element with both is a critical-pair conflict no application
+/// order can repair, so interaction analysis reports `Conflicts` even
+/// when both orders weave. Each entry is `(a, b, rationale)`.
+pub const EXCLUSIVE_STEREOTYPES: &[(&str, &str, &str)] = &[(
+    STEREO_RETRYABLE,
+    STEREO_SYNCHRONIZED,
+    "retrying a lock-guarded operation amplifies lock hold times and \
+     turns transient faults into livelock",
+)];
+
 /// Intrinsic names understood by the `comet-interp` runtime. The
 /// generators emit these; the interpreter binds them to the simulated
 /// middleware.

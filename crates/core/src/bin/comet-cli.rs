@@ -13,6 +13,7 @@
 //! comet-cli run [--faults plan.toml] [--seed N] [--order O] [--transfers N] [--trace out.json]
 //! comet-cli provenance <element> --trace out.json
 //! comet-cli metrics [--json]
+//! comet-cli interactions [--json]
 //! ```
 //!
 //! Parameters are `key=value`; list-valued parameters take
@@ -38,6 +39,11 @@
 //! runtime event touched this element?". `metrics` runs the Fig. 2
 //! pipeline and prints scattering/tangling metrics for the woven
 //! program (`--json` for machine-readable output).
+//!
+//! `interactions` prints the critical-pair interaction matrix over the
+//! standard concern library — the same matrix `serve` consults at
+//! admission time; a serve run whose plan trips a `conflicts` cell
+//! prints its report and then exits non-zero.
 
 use comet::chaos::{run_banking_chaos_traced, ChaosConfig, FtOrder};
 use comet::{run_banking_serve, run_banking_serve_durable, KillPoint, MdaLifecycle, Wizard};
@@ -94,6 +100,7 @@ fn main() -> ExitCode {
         Some("repo") => cmd_repo(&args[1..]),
         Some("provenance") => cmd_provenance(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("interactions") => cmd_interactions(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{}", usage_text());
             Ok(())
@@ -127,7 +134,8 @@ fn usage_text() -> &'static str {
      [--threads N] [--trace out.json] [--json] [--data-dir DIR] [--kill tenant@N]\n  \
      comet-cli repo fsck <data-dir>\n  \
      comet-cli provenance <element> --trace out.json\n  \
-     comet-cli metrics [--json]"
+     comet-cli metrics [--json]\n  \
+     comet-cli interactions [--json]"
 }
 
 /// Runs `op` with `--threads N` governing the weaver's parallel
@@ -719,6 +727,17 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             trace.counters.len()
         );
     }
+    // Admission-gate rejections fail the run loudly: the report above
+    // shows what served, but a plan that tripped the interaction matrix
+    // is not a clean run.
+    if outcome.report.conflicts > 0 {
+        return Err(format!(
+            "{} apply request(s) rejected by the interaction admission gate \
+             (ServeError::Conflict)",
+            outcome.report.conflicts
+        )
+        .into());
+    }
     Ok(())
 }
 
@@ -822,6 +841,29 @@ fn cmd_metrics(args: &[String]) -> Result<(), CliError> {
         print!("{}", report.to_json());
     } else {
         print!("{report}");
+    }
+    Ok(())
+}
+
+/// `comet-cli interactions`: the critical-pair interaction matrix over
+/// the full standard concern library, exactly as the serving admission
+/// gate computes it (same probe PIM, same serving `Si` bindings) —
+/// every `commutes` cell is backed by the weave-both-orders oracle.
+fn cmd_interactions(args: &[String]) -> Result<(), CliError> {
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => return Err(usage_err(format!("interactions: unexpected argument `{other}`"))),
+        }
+    }
+    let steps: Vec<String> =
+        comet_concerns::standard_pairs().iter().map(|p| p.concern().to_owned()).collect();
+    let matrix = comet::serve_interaction_matrix(&steps).map_err(|e| e.to_string())?;
+    if json {
+        print!("{}", matrix.to_json());
+    } else {
+        print!("{matrix}");
     }
     Ok(())
 }

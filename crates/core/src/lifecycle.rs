@@ -12,7 +12,7 @@ use comet_repo::{
 use comet_transform::{
     ApplyReport, ConcreteTransformation, ConditionCache, ParamSet, TransformError,
 };
-use comet_workflow::{WorkflowEngine, WorkflowError, WorkflowModel};
+use comet_workflow::{WorkflowBuildError, WorkflowEngine, WorkflowError, WorkflowModel};
 use std::cell::RefCell;
 use std::fmt;
 use std::path::Path;
@@ -22,6 +22,10 @@ use std::path::Path;
 pub enum LifecycleError {
     /// The workflow forbids the concern at this point.
     Workflow(WorkflowError),
+    /// The workflow model itself is malformed (duplicate steps, a
+    /// self-constraint, a constraint naming an unplanned concern) —
+    /// rejected before an engine is built around it.
+    WorkflowModel(WorkflowBuildError),
     /// Specialization of the transformation/aspect pair failed.
     AspectGen(AspectGenError),
     /// Applying the concrete transformation failed (model unchanged).
@@ -53,6 +57,7 @@ impl fmt::Display for LifecycleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LifecycleError::Workflow(e) => write!(f, "workflow: {e}"),
+            LifecycleError::WorkflowModel(e) => write!(f, "workflow model: {e}"),
             LifecycleError::AspectGen(e) => write!(f, "specialization: {e}"),
             LifecycleError::Transform(e) => write!(f, "transformation: {e}"),
             LifecycleError::Weave(e) => write!(f, "weaving: {e}"),
@@ -70,6 +75,7 @@ impl std::error::Error for LifecycleError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             LifecycleError::Workflow(e) => Some(e),
+            LifecycleError::WorkflowModel(e) => Some(e),
             LifecycleError::AspectGen(e) => Some(e),
             LifecycleError::Transform(e) => Some(e),
             LifecycleError::Weave(e) => Some(e),
@@ -83,6 +89,12 @@ impl std::error::Error for LifecycleError {
 impl From<WorkflowError> for LifecycleError {
     fn from(e: WorkflowError) -> Self {
         LifecycleError::Workflow(e)
+    }
+}
+
+impl From<WorkflowBuildError> for LifecycleError {
+    fn from(e: WorkflowBuildError) -> Self {
+        LifecycleError::WorkflowModel(e)
     }
 }
 
@@ -238,16 +250,13 @@ impl MdaLifecycle {
     /// version.
     ///
     /// # Errors
-    /// Propagates repository failures.
+    /// Rejects malformed workflow models and propagates repository
+    /// failures.
     pub fn new(pim: Model, workflow: WorkflowModel) -> Result<Self, LifecycleError> {
+        let engine = WorkflowEngine::try_new(workflow)?;
         let mut repo = Repository::new(format!("{}-models", pim.name()));
         repo.commit(&pim, "initial PIM", None)?;
-        Ok(Self::assemble(
-            pim,
-            RepoBackend::Memory(repo),
-            WorkflowEngine::new(workflow),
-            Vec::new(),
-        ))
+        Ok(Self::assemble(pim, RepoBackend::Memory(repo), engine, Vec::new()))
     }
 
     /// Starts a lifecycle whose repository journals every operation to
@@ -257,20 +266,17 @@ impl MdaLifecycle {
     /// the last completed operation.
     ///
     /// # Errors
-    /// Fails when `dir` already holds a journal or cannot be written.
+    /// Fails when the workflow model is malformed, or when `dir`
+    /// already holds a journal or cannot be written.
     pub fn new_durable(
         pim: Model,
         workflow: WorkflowModel,
         dir: &Path,
     ) -> Result<Self, LifecycleError> {
+        let engine = WorkflowEngine::try_new(workflow)?;
         let mut repo = DurableRepository::create(dir, &format!("{}-models", pim.name()))?;
         repo.commit(&pim, "initial PIM", None)?;
-        Ok(Self::assemble(
-            pim,
-            RepoBackend::Durable(repo),
-            WorkflowEngine::new(workflow),
-            Vec::new(),
-        ))
+        Ok(Self::assemble(pim, RepoBackend::Durable(repo), engine, Vec::new()))
     }
 
     /// Rebuilds a lifecycle from the durable journal in `dir`:
@@ -295,8 +301,9 @@ impl MdaLifecycle {
     /// does not diverge.
     ///
     /// # Errors
-    /// Fails when `dir` has no journal, the journal has no visible
-    /// commit, or `resolve` does not know a journalled concern.
+    /// Fails when the workflow model is malformed, `dir` has no
+    /// journal, the journal has no visible commit, or `resolve` does
+    /// not know a journalled concern.
     pub fn recover<F>(
         dir: &Path,
         workflow: WorkflowModel,
@@ -305,6 +312,7 @@ impl MdaLifecycle {
     where
         F: Fn(&str) -> Option<(ConcernPair, ParamSet)>,
     {
+        let mut engine = WorkflowEngine::try_new(workflow)?;
         let (repo, report) = DurableRepository::open(dir)?;
         let model = match repo.head_model() {
             Some(model) => model?,
@@ -314,7 +322,6 @@ impl MdaLifecycle {
                 ))
             }
         };
-        let mut engine = WorkflowEngine::new(workflow);
         let mut applied = Vec::new();
         let steps: Vec<(String, CommitDelta)> = repo
             .log()

@@ -33,30 +33,25 @@
 use crate::chaos::{banking_bodies, executable_banking_pim};
 use crate::lifecycle::{LifecycleError, MdaLifecycle};
 use comet_aspectgen::ConcernPair;
+use comet_interaction::{build_matrix, pair_key, InteractionMatrix};
 use comet_middleware::{FaultLog, FaultPlan, Middleware, MiddlewareConfig};
 use comet_obs::Collector;
 use comet_repo::DurableRepository;
 use comet_serve::{
     fnv1a64, EngineFactory, QuerySelector, Request, ServeError, TenantEngine, WorkloadPlan,
+    WorkloadPlanError,
 };
 use comet_transform::{ParamSet, ParamValue};
 use comet_workflow::WorkflowModel;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// The serving workflow every tenant starts from, in §3 precedence
-/// order (application order = aspect precedence).
+/// The default serving workflow, in §3 precedence order (application
+/// order = aspect precedence). A workload plan's `[workflow]` section
+/// overrides it per run.
 pub const SERVE_WORKFLOW: [&str; 3] = ["distribution", "transactions", "security"];
-
-/// The serving workflow model every tenant starts from.
-fn serve_workflow() -> WorkflowModel {
-    let mut workflow = WorkflowModel::new("serve");
-    for step in SERVE_WORKFLOW {
-        workflow = workflow.step(step, true);
-    }
-    workflow
-}
 
 /// Maps a journalled concern name back to its pair and `Si` — the
 /// resolver [`MdaLifecycle::recover`] uses to regenerate the concrete
@@ -64,12 +59,17 @@ fn serve_workflow() -> WorkflowModel {
 /// the concern name, so the regenerated aspects match the pre-crash
 /// ones exactly.
 fn serve_resolver(concern: &str) -> Option<(ConcernPair, ParamSet)> {
-    comet_concerns::by_name(concern).map(|pair| (pair, serve_si(concern)))
+    comet_concerns::by_name(concern).zip(serve_si(concern))
 }
 
-/// The specialisation decisions Si for a serving-workflow concern.
-fn serve_si(concern: &str) -> ParamSet {
-    match concern {
+/// The specialisation decisions Si binding each standard concern to the
+/// executable banking PIM (`Bank.transfer` / `Bank.getBalance`), or
+/// `None` for a concern with no serving binding. The concurrency and
+/// fault-tolerance bindings deliberately meet on `Bank.getBalance`
+/// («Synchronized» × «Retryable») — the standard matrix's `Conflicts`
+/// cell, which the admission gate turns into typed rejections.
+fn serve_si(concern: &str) -> Option<ParamSet> {
+    let si = match concern {
         "distribution" => ParamSet::new()
             .with("server_class", ParamValue::from("Bank"))
             .with("node", ParamValue::from("server"))
@@ -81,9 +81,103 @@ fn serve_si(concern: &str) -> ParamSet {
             .with("methods", ParamValue::from(vec!["Bank.transfer".to_owned()]))
             .with("isolation", ParamValue::from("serializable")),
         "security" => ParamSet::new()
-            .with("protected", ParamValue::from(vec!["Bank.transfer".to_owned()]))
+            .with("protected", ParamValue::from(vec!["Bank.transfer:teller".to_owned()]))
             .with("policy", ParamValue::from("deny")),
-        other => panic!("no serving Si for concern `{other}`"),
+        "logging" => ParamSet::new()
+            .with("targets", ParamValue::from(vec!["Bank.transfer".to_owned()]))
+            .with("level", ParamValue::from("info")),
+        "concurrency" => ParamSet::new().with(
+            "methods",
+            ParamValue::from(vec!["Bank.transfer".to_owned(), "Bank.getBalance".to_owned()]),
+        ),
+        "persistence" => ParamSet::new()
+            .with("class", ParamValue::from("Bank"))
+            .with("key_attr", ParamValue::from("a1"))
+            .with("mutators", ParamValue::from(vec!["transfer".to_owned()])),
+        "faulttolerance" => ParamSet::new()
+            .with(
+                "methods",
+                ParamValue::from(vec!["Bank.transfer".to_owned(), "Bank.getBalance".to_owned()]),
+            )
+            .with("idempotent", ParamValue::from(vec!["Bank.getBalance".to_owned()])),
+        _ => return None,
+    };
+    Some(si)
+}
+
+/// Builds the interaction matrix for a serving workflow: every step's
+/// `(ConcernPair, Si)` binding is footprinted on the executable banking
+/// PIM and pairwise critical-pair analysed (with the weave-both-orders
+/// oracle backing each `Commutes` verdict). The entry point behind
+/// `comet-cli interactions`.
+///
+/// # Errors
+/// Returns a plan error when a step names an unknown concern, has no
+/// serving `Si`, or fails the probe weave.
+pub fn serve_interaction_matrix(steps: &[String]) -> Result<InteractionMatrix, ServeError> {
+    let mut bindings = Vec::new();
+    for step in steps {
+        let pair = comet_concerns::by_name(step)
+            .ok_or_else(|| ServeError::Plan(WorkloadPlanError::UnknownConcern(step.clone())))?;
+        let si = serve_si(step).ok_or_else(|| {
+            ServeError::Plan(WorkloadPlanError::BadConcern {
+                concern: step.clone(),
+                detail: "no serving Si binding".to_owned(),
+            })
+        })?;
+        bindings.push((pair, si));
+    }
+    build_matrix(&executable_banking_pim(), &banking_bodies(), &bindings).map_err(|e| {
+        ServeError::Plan(WorkloadPlanError::Invalid(format!("interaction analysis: {e}")))
+    })
+}
+
+/// The per-run serving profile, computed once by the factory and shared
+/// by every tenant session: the workflow model (with the matrix's
+/// `OrderSensitive` cells ingested as auto-derived `Before`
+/// constraints) and the conflict table the admission gate consults.
+///
+/// `Conflicts` cells deliberately do **not** become workflow
+/// constraints — a `MutuallyExclusive` constraint would make
+/// `next_apply` silently skip the clashing step, and the gate's typed
+/// rejection must stay loud.
+struct ServeProfile {
+    /// The interaction-constrained workflow every tenant starts from.
+    workflow: WorkflowModel,
+    /// `pair_key(a, b)` → evidence, one entry per `Conflicts` cell.
+    conflicts: BTreeMap<(String, String), String>,
+}
+
+/// Runs interaction analysis over `steps` and assembles the profile.
+fn serve_profile(steps: &[String]) -> Result<Arc<ServeProfile>, ServeError> {
+    let matrix = serve_interaction_matrix(steps)?;
+    let mut workflow = WorkflowModel::new("serve");
+    for step in steps {
+        workflow = workflow.step(step, true);
+    }
+    let workflow = matrix.constrain(workflow);
+    workflow.validate().map_err(|e| {
+        ServeError::Plan(WorkloadPlanError::Invalid(format!("derived workflow: {e}")))
+    })?;
+    let conflicts = matrix
+        .conflicts()
+        .into_iter()
+        .map(|(a, b, evidence)| (pair_key(&a, &b), evidence))
+        .collect();
+    Ok(Arc::new(ServeProfile { workflow, conflicts }))
+}
+
+/// The default-workflow steps as owned strings.
+fn default_steps() -> Vec<String> {
+    SERVE_WORKFLOW.iter().map(|s| (*s).to_owned()).collect()
+}
+
+/// The steps a plan asks for: its `[workflow]` section, or the default.
+fn effective_steps(plan: &WorkloadPlan) -> Vec<String> {
+    if plan.workflow.is_empty() {
+        default_steps()
+    } else {
+        plan.workflow.clone()
     }
 }
 
@@ -119,6 +213,12 @@ pub struct KillPoint {
 pub struct BankingSession {
     mda: MdaLifecycle,
     mw: Middleware<String>,
+    /// The run's shared workflow + conflict-table profile.
+    profile: Arc<ServeProfile>,
+    /// Conflicting concerns already offered once by `next_apply` — each
+    /// is surfaced exactly once (so the typed rejection lands in the
+    /// report) and skipped thereafter (so the rest of the plan serves).
+    conflict_reported: BTreeSet<String>,
     /// Middleware sim time already charged to earlier requests.
     charged_us: u64,
     /// Snapshots taken, for distinct store keys.
@@ -136,37 +236,33 @@ pub struct BankingSession {
 }
 
 impl BankingSession {
-    fn new(
-        tenant: &str,
-        seed: u64,
-        fault_plan: Option<&FaultPlan>,
-        obs: &Collector,
-        data_dir: Option<PathBuf>,
-        kill_at: Option<u64>,
-        recoveries: Arc<AtomicU64>,
-    ) -> Self {
+    fn new(factory: &BankingFactory, tenant: &str, obs: &Collector) -> Self {
+        let profile = Arc::clone(&factory.profile);
+        let data_dir = factory.data_dir.as_ref().map(|d| d.join(tenant));
+        let kill_at = factory.kill.as_ref().filter(|k| k.tenant == tenant).map(|k| k.at_request);
+        let workflow = profile.workflow.clone();
         let mut mda = match &data_dir {
-            None => MdaLifecycle::new(executable_banking_pim(), serve_workflow())
+            None => MdaLifecycle::new(executable_banking_pim(), workflow)
                 .expect("banking PIM admits the serving workflow"),
             // A journal already present means a previous run (or a
             // previous process) served this tenant: resume from it
             // instead of starting over.
             Some(dir) if DurableRepository::exists(dir) => {
-                MdaLifecycle::recover(dir, serve_workflow(), serve_resolver)
+                MdaLifecycle::recover(dir, workflow, serve_resolver)
                     .expect("journalled tenant state recovers")
                     .0
             }
-            Some(dir) => MdaLifecycle::new_durable(executable_banking_pim(), serve_workflow(), dir)
+            Some(dir) => MdaLifecycle::new_durable(executable_banking_pim(), workflow, dir)
                 .expect("tenant journal directory is writable"),
         };
         mda.set_collector(obs.clone());
         let tenant_salt = fnv1a64(tenant.as_bytes());
         let mw: Middleware<String> = Middleware::new(MiddlewareConfig {
-            seed: seed ^ tenant_salt,
+            seed: factory.seed ^ tenant_salt,
             ..MiddlewareConfig::default()
         });
         mw.attach_collector(obs.clone());
-        if let Some(plan) = fault_plan {
+        if let Some(plan) = factory.fault_plan.as_ref() {
             // Same plan, tenant-distinct draws: reseed per tenant so
             // fault streams are independent but shard-invariant.
             let mut plan = plan.clone();
@@ -176,13 +272,15 @@ impl BankingSession {
         let mut session = BankingSession {
             mda,
             mw,
+            profile,
+            conflict_reported: BTreeSet::new(),
             charged_us: 0,
             snapshots: 0,
             obs: obs.clone(),
             data_dir,
             kill_at,
             requests_seen: 0,
-            recoveries,
+            recoveries: Arc::clone(&factory.recoveries),
         };
         session.mw.bus.add_node("client");
         session.mw.bus.add_node("server");
@@ -222,13 +320,28 @@ impl BankingSession {
             .as_ref()
             .ok_or_else(|| LifecycleError::Recovery("kill points require a data dir".to_owned()))?;
         DurableRepository::simulate_torn_tail(dir)?;
-        let (mut mda, _report) = MdaLifecycle::recover(dir, serve_workflow(), serve_resolver)?;
+        let (mut mda, _report) =
+            MdaLifecycle::recover(dir, self.profile.workflow.clone(), serve_resolver)?;
         mda.set_collector(self.obs.clone());
         self.mda = mda;
         self.snapshots =
             self.mw.store.keys().iter().filter(|k| k.starts_with("model/v")).count() as u64;
         self.recoveries.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Looks `concern` up against every already-applied concern in the
+    /// profile's conflict table. Returns the clashing applied concern
+    /// and the matrix evidence — an O(applied) walk over O(1) table
+    /// lookups, the hot path of the admission gate.
+    fn conflict_with_applied(&self, concern: &str) -> Option<(String, String)> {
+        for done in self.mda.applied() {
+            let other = done.cmt.concern();
+            if let Some(evidence) = self.profile.conflicts.get(&pair_key(other, concern)) {
+                return Some((other.to_owned(), evidence.clone()));
+            }
+        }
+        None
     }
 
     fn answer(&self, selector: &QuerySelector) -> u64 {
@@ -248,6 +361,13 @@ impl TenantEngine for BankingSession {
         self.tick()?;
         match req {
             Request::ApplyConcern { concern, si } => {
+                // Critical-pair admission gate: a concern the matrix
+                // proved incompatible with one already applied is
+                // rejected here, before the platform transaction and
+                // before any model mutation.
+                if let Some((applied, evidence)) = self.conflict_with_applied(concern) {
+                    return Err(ServeError::Conflict { a: applied, b: concern.clone(), evidence });
+                }
                 let pair = comet_concerns::by_name(concern)
                     .ok_or_else(|| ServeError::engine(UnknownConcern(concern.clone())))?;
                 // The platform transaction brackets the refinement:
@@ -293,9 +413,21 @@ impl TenantEngine for BankingSession {
     }
 
     fn next_apply(&mut self) -> Option<Request> {
-        let concern = self.mda.remaining_concerns().first().map(|c| (*c).to_owned())?;
-        let si = serve_si(&concern);
-        Some(Request::ApplyConcern { concern, si })
+        let allowed: Vec<String> =
+            self.mda.workflow().allowed_next().iter().map(|c| (*c).to_owned()).collect();
+        for concern in allowed {
+            // A conflict-blocked step is offered exactly once — the
+            // gate's typed rejection must surface in the report — and
+            // skipped on every later draw so the remaining steps serve.
+            if self.conflict_with_applied(&concern).is_some()
+                && !self.conflict_reported.insert(concern.clone())
+            {
+                continue;
+            }
+            let si = serve_si(&concern).expect("planned concern has a serving Si");
+            return Some(Request::ApplyConcern { concern, si });
+        }
+        None
     }
 
     fn applied(&self) -> Vec<String> {
@@ -314,10 +446,13 @@ impl TenantEngine for BankingSession {
     }
 }
 
-/// Creates [`BankingSession`]s for the server core.
+/// Creates [`BankingSession`]s for the server core. Construction runs
+/// interaction analysis over the workflow steps once; every session
+/// shares the resulting [`ServeProfile`].
 pub struct BankingFactory {
     seed: u64,
     fault_plan: Option<FaultPlan>,
+    profile: Arc<ServeProfile>,
     data_dir: Option<PathBuf>,
     kill: Option<KillPoint>,
     recoveries: Arc<AtomicU64>,
@@ -325,15 +460,31 @@ pub struct BankingFactory {
 
 impl BankingFactory {
     /// A factory deriving per-tenant seeds from the workload seed, with
-    /// an optional fault plan installed (reseeded) per tenant.
+    /// an optional fault plan installed (reseeded) per tenant, serving
+    /// the default [`SERVE_WORKFLOW`].
     pub fn new(seed: u64, fault_plan: Option<FaultPlan>) -> Self {
-        BankingFactory {
+        Self::with_steps(seed, fault_plan, &default_steps())
+            .expect("the default serving workflow passes interaction analysis")
+    }
+
+    /// A factory serving `steps` instead of the default workflow.
+    ///
+    /// # Errors
+    /// Fails when a step names an unknown concern, has no serving `Si`,
+    /// or interaction analysis rejects the workflow.
+    pub fn with_steps(
+        seed: u64,
+        fault_plan: Option<FaultPlan>,
+        steps: &[String],
+    ) -> Result<Self, ServeError> {
+        Ok(BankingFactory {
             seed,
             fault_plan,
+            profile: serve_profile(steps)?,
             data_dir: None,
             kill: None,
             recoveries: Arc::new(AtomicU64::new(0)),
-        }
+        })
     }
 
     /// Journals every tenant's repository under `dir` (one
@@ -360,17 +511,7 @@ impl EngineFactory for BankingFactory {
     type Engine = BankingSession;
 
     fn create(&self, tenant: &str, obs: &Collector) -> BankingSession {
-        let data_dir = self.data_dir.as_ref().map(|d| d.join(tenant));
-        let kill_at = self.kill.as_ref().filter(|k| k.tenant == tenant).map(|k| k.at_request);
-        BankingSession::new(
-            tenant,
-            self.seed,
-            self.fault_plan.as_ref(),
-            obs,
-            data_dir,
-            kill_at,
-            Arc::clone(&self.recoveries),
-        )
+        BankingSession::new(self, tenant, obs)
     }
 
     fn query_pool(&self) -> Vec<QuerySelector> {
@@ -384,16 +525,19 @@ impl EngineFactory for BankingFactory {
     }
 }
 
-/// Runs the banking workload end to end: builds the factory, shards the
-/// tenants, executes, and returns the outcome. The entry point behind
-/// `comet-cli serve` and the integration tests.
+/// Runs the banking workload end to end: validates the plan's workflow
+/// steps against the concern registry, builds the factory (which runs
+/// interaction analysis once), shards the tenants, executes, and
+/// returns the outcome. The entry point behind `comet-cli serve` and
+/// the integration tests.
 pub fn run_banking_serve(
     plan: &WorkloadPlan,
     shards: usize,
     fault_plan: Option<FaultPlan>,
     traced: bool,
 ) -> Result<comet_serve::ServeOutcome, ServeError> {
-    let factory = BankingFactory::new(plan.seed, fault_plan);
+    plan.validate_concerns(|c| comet_concerns::by_name(c).is_some())?;
+    let factory = BankingFactory::with_steps(plan.seed, fault_plan, &effective_steps(plan))?;
     let core = comet_serve::ServerCore::new(plan, &factory, shards)?;
     Ok(core.run(traced))
 }
@@ -414,7 +558,9 @@ pub fn run_banking_serve_durable(
     data_dir: &Path,
     kill: Option<KillPoint>,
 ) -> Result<(comet_serve::ServeOutcome, u64), ServeError> {
-    let mut factory = BankingFactory::new(plan.seed, fault_plan).with_data_dir(data_dir);
+    plan.validate_concerns(|c| comet_concerns::by_name(c).is_some())?;
+    let mut factory = BankingFactory::with_steps(plan.seed, fault_plan, &effective_steps(plan))?
+        .with_data_dir(data_dir);
     if let Some(kill) = kill {
         factory = factory.with_kill(kill);
     }

@@ -1,0 +1,33 @@
+//! Critical-pair aspect-interaction analysis for concern-oriented
+//! model transformations.
+//!
+//! The paper's §3 workflow *orders* concerns but never asks whether two
+//! `CMT⟨Si⟩`/aspect pairs can coexist at all. This crate answers that
+//! question statically, before anything is woven:
+//!
+//! 1. [`extract_footprint`] probes each `(ConcernPair, Si)` binding —
+//!    the stereotypes/tags its CMT writes, the elements it creates, and
+//!    the join points its concrete aspect advises;
+//! 2. [`build_matrix`] runs pairwise critical-pair analysis (tag
+//!    write/write clashes, declared exclusive stereotypes, divergent or
+//!    failing weave orders) and emits a deterministic, symmetric
+//!    [`InteractionMatrix`] of [`Verdict`]s;
+//! 3. every [`Verdict::Commutes`] cell is backed by the
+//!    weave-both-orders differential oracle ([`weave_in_order`] run in
+//!    both orders, artifacts byte-compared), so static analysis errs
+//!    only toward caution — a wrong verdict can demand an unnecessary
+//!    order or reject a workable pair, never admit a clashing one.
+//!
+//! Downstream, [`InteractionMatrix::constrain`] feeds `OrderSensitive`
+//! cells into a `WorkflowModel` as auto-derived `Before` constraints,
+//! and `comet-serve`'s admission gate turns `Conflicts` cells into
+//! typed per-request rejections before any model mutation.
+
+mod footprint;
+mod matrix;
+
+pub use footprint::{extract_footprint, Footprint};
+pub use matrix::{
+    build_matrix, pair_key, weave_in_order, InteractionError, InteractionMatrix, Verdict,
+    WovenArtifacts,
+};

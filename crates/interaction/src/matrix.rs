@@ -1,0 +1,379 @@
+//! Pairwise critical-pair analysis and the resulting
+//! [`InteractionMatrix`].
+//!
+//! Verdicts follow a conservative lattice. A cell may only say
+//! [`Verdict::Commutes`] when the weave-both-orders differential oracle
+//! proves it: both application orders succeed on the probe model and
+//! produce byte-identical refined models *and* byte-identical woven
+//! programs. Static detectors (tag write/write clashes, declared
+//! exclusive stereotypes) can only push a cell toward
+//! [`Verdict::Conflicts`] — never toward `Commutes` — so the static
+//! analysis can be wrong only in the safe direction.
+
+use crate::footprint::{extract_footprint, Footprint};
+use comet_aop::Weaver;
+use comet_aspectgen::ConcernPair;
+use comet_codegen::{pretty_print, BodyProvider, FunctionalGenerator};
+use comet_model::Model;
+use comet_transform::ParamSet;
+use comet_workflow::{OrderConstraint, WorkflowModel};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Failures of footprint extraction or matrix construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InteractionError {
+    /// `Si` did not specialize the concern pair.
+    Specialize {
+        /// The concern whose specialization failed.
+        concern: String,
+        /// The specialization error, rendered.
+        detail: String,
+    },
+    /// The CMT could not be applied to the probe model on its own.
+    Probe {
+        /// The concern whose solo probe application failed.
+        concern: String,
+        /// The transformation error, rendered.
+        detail: String,
+    },
+    /// The same concern name was bound twice.
+    DuplicateConcern(String),
+}
+
+impl fmt::Display for InteractionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InteractionError::Specialize { concern, detail } => {
+                write!(f, "specializing `{concern}`: {detail}")
+            }
+            InteractionError::Probe { concern, detail } => {
+                write!(f, "probing `{concern}` on the probe model: {detail}")
+            }
+            InteractionError::DuplicateConcern(c) => {
+                write!(f, "concern `{c}` bound twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InteractionError {}
+
+/// The per-cell outcome of critical-pair analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Both application orders weave to byte-identical artifacts
+    /// (oracle-proven).
+    Commutes,
+    /// The pair interacts, but one order serves: `required_order[0]`
+    /// must be applied before `required_order[1]`.
+    OrderSensitive {
+        /// The application order that works, outermost first.
+        required_order: [String; 2],
+    },
+    /// No order is safe; the evidence names the clash.
+    Conflicts {
+        /// Human-readable description of the critical pair.
+        evidence: String,
+    },
+}
+
+impl Verdict {
+    /// Short tag used by the JSON and table renderings.
+    fn tag(&self) -> &'static str {
+        match self {
+            Verdict::Commutes => "commutes",
+            Verdict::OrderSensitive { .. } => "order-sensitive",
+            Verdict::Conflicts { .. } => "conflicts",
+        }
+    }
+}
+
+/// Both artifacts of one application order, byte-comparable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WovenArtifacts {
+    /// XMI export of the probe model refined by both CMTs in order.
+    pub model_xmi: String,
+    /// Pretty-printed woven program (aspect precedence = apply order).
+    pub woven_source: String,
+}
+
+/// One half of the differential oracle: applies `first` then `second`
+/// to a clone of the probe model, generates the functional program, and
+/// weaves both concrete aspects in that precedence order.
+///
+/// The weaver names around-advice helpers by the aspect's *index* in
+/// the weave vector (`{method}__around_{index}_{j}`), so two orders of
+/// fully disjoint aspects produce alpha-equivalent sources that differ
+/// only in those indices. The returned source canonicalizes each index
+/// back to the owning concern's name, so byte comparison tests semantic
+/// divergence (shared join points nesting differently), not the
+/// weaver's positional naming.
+///
+/// # Errors
+/// Returns the rendered failure of whichever stage refused the order —
+/// the signal the analysis turns into `OrderSensitive` or `Conflicts`.
+pub fn weave_in_order(
+    probe: &Model,
+    bodies: &BodyProvider,
+    first: &(ConcernPair, ParamSet),
+    second: &(ConcernPair, ParamSet),
+) -> Result<WovenArtifacts, String> {
+    let mut model = probe.clone();
+    let mut aspects = Vec::new();
+    let mut names = Vec::new();
+    for (pair, si) in [first, second] {
+        let (cmt, aspect) = pair
+            .specialize(si.clone())
+            .map_err(|e| format!("specializing `{}`: {e}", pair.concern()))?;
+        cmt.apply(&mut model).map_err(|e| format!("applying `{}`: {e}", pair.concern()))?;
+        aspects.push(aspect);
+        names.push(pair.concern().to_owned());
+    }
+    let program = FunctionalGenerator::new().generate(&model, bodies);
+    let woven = Weaver::new(aspects).weave(&program).map_err(|e| format!("weaving: {e}"))?;
+    let mut woven_source = pretty_print(&woven.program);
+    for (k, name) in names.iter().enumerate() {
+        woven_source =
+            woven_source.replace(&format!("__around_{k}_"), &format!("__around_{name}_"));
+    }
+    Ok(WovenArtifacts { model_xmi: comet_xmi::export_model(&model), woven_source })
+}
+
+/// Static detectors that can veto a pair regardless of weave order.
+fn static_conflict(a: &Footprint, b: &Footprint) -> Option<String> {
+    // Write/write on the same tagged value with differing payloads:
+    // whichever CMT runs last silently clobbers the other's decisions.
+    for ((element, key), va) in &a.tag_writes {
+        if let Some(vb) = b.tag_writes.get(&(element.clone(), key.clone())) {
+            if va != vb {
+                return Some(format!(
+                    "write/write on tag `{key}` of `{element}`: `{}` writes `{va}`, \
+                     `{}` writes `{vb}`",
+                    a.concern, b.concern
+                ));
+            }
+        }
+    }
+    // Declared exclusive stereotype pairs on the same element.
+    let writes = |fp: &Footprint, stereo: &str| -> BTreeSet<String> {
+        fp.stereotype_writes.iter().filter(|(_, s)| s == stereo).map(|(e, _)| e.clone()).collect()
+    };
+    for (sa, sb, why) in comet_codegen::marks::EXCLUSIVE_STEREOTYPES {
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(element) = writes(x, sa).intersection(&writes(y, sb)).next() {
+                return Some(format!(
+                    "«{sa}» ({}) and «{sb}» ({}) are mutually exclusive on `{element}`: {why}",
+                    x.concern, y.concern
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Runs the full cell analysis for one unordered pair.
+fn analyze_cell(
+    probe: &Model,
+    bodies: &BodyProvider,
+    a: &(ConcernPair, ParamSet),
+    b: &(ConcernPair, ParamSet),
+    fa: &Footprint,
+    fb: &Footprint,
+) -> Verdict {
+    if let Some(evidence) = static_conflict(fa, fb) {
+        return Verdict::Conflicts { evidence };
+    }
+    let ab = weave_in_order(probe, bodies, a, b);
+    let ba = weave_in_order(probe, bodies, b, a);
+    let (a_name, b_name) = (fa.concern.clone(), fb.concern.clone());
+    match (ab, ba) {
+        (Ok(x), Ok(y)) => {
+            if x == y {
+                Verdict::Commutes
+            } else {
+                // Both orders weave but diverge (typically shared join
+                // points nesting advice differently); the canonical
+                // binding order becomes the required one.
+                Verdict::OrderSensitive { required_order: [a_name, b_name] }
+            }
+        }
+        // Exactly one order is admissible — e.g. one concern's
+        // precondition is invalidated by the other's refinement.
+        (Ok(_), Err(_)) => Verdict::OrderSensitive { required_order: [a_name, b_name] },
+        (Err(_), Ok(_)) => Verdict::OrderSensitive { required_order: [b_name, a_name] },
+        (Err(e1), Err(e2)) => Verdict::Conflicts {
+            evidence: format!(
+                "no order admits both: `{a_name}` then `{b_name}` fails ({e1}); \
+                 `{b_name}` then `{a_name}` fails ({e2})"
+            ),
+        },
+    }
+}
+
+/// The symmetric, deterministic artifact of pairwise critical-pair
+/// analysis over a set of `(ConcernPair, Si)` bindings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InteractionMatrix {
+    /// Concern names in canonical (binding) order.
+    concerns: Vec<String>,
+    /// One verdict per unordered pair, keyed by name-sorted pair.
+    cells: BTreeMap<(String, String), Verdict>,
+}
+
+/// Name-sorted key for one unordered concern pair.
+pub fn pair_key(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_owned(), b.to_owned())
+    } else {
+        (b.to_owned(), a.to_owned())
+    }
+}
+
+impl InteractionMatrix {
+    /// Concern names in canonical (binding) order.
+    pub fn concerns(&self) -> &[String] {
+        &self.concerns
+    }
+
+    /// The verdict for an unordered pair; `None` for unknown names or
+    /// the diagonal. Symmetric by construction:
+    /// `verdict(a, b) == verdict(b, a)`.
+    pub fn verdict(&self, a: &str, b: &str) -> Option<&Verdict> {
+        self.cells.get(&pair_key(a, b))
+    }
+
+    /// Every conflicting pair as `(a, b, evidence)`, name-sorted.
+    pub fn conflicts(&self) -> Vec<(String, String, String)> {
+        self.cells
+            .iter()
+            .filter_map(|((a, b), v)| match v {
+                Verdict::Conflicts { evidence } => Some((a.clone(), b.clone(), evidence.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Every `OrderSensitive` cell's required order as before-pairs.
+    pub fn required_orders(&self) -> Vec<(String, String)> {
+        self.cells
+            .values()
+            .filter_map(|v| match v {
+                Verdict::OrderSensitive { required_order: [first, second] } => {
+                    Some((first.clone(), second.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Ingests the matrix into a workflow model: every `OrderSensitive`
+    /// cell whose two concerns are both planned becomes an auto-derived
+    /// `OrderConstraint::Before(required_order)`. `Conflicts` cells are
+    /// deliberately *not* turned into constraints — hard rejection is
+    /// the admission gate's job, and it must stay loud (a workflow
+    /// constraint would make the engine silently skip the step).
+    pub fn constrain(&self, mut workflow: WorkflowModel) -> WorkflowModel {
+        let planned: BTreeSet<String> =
+            workflow.steps().iter().map(|s| s.concern.clone()).collect();
+        for (first, second) in self.required_orders() {
+            if planned.contains(&first) && planned.contains(&second) {
+                workflow = workflow.constraint(OrderConstraint::Before(first, second));
+            }
+        }
+        workflow
+    }
+
+    /// Stable JSON rendering; cells appear in name-sorted pair order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"concerns\": [");
+        let names: Vec<String> = self.concerns.iter().map(|c| format!("\"{c}\"")).collect();
+        out.push_str(&names.join(", "));
+        out.push_str("],\n  \"cells\": [\n");
+        let last = self.cells.len().saturating_sub(1);
+        for (i, ((a, b), verdict)) in self.cells.iter().enumerate() {
+            let detail = match verdict {
+                Verdict::Commutes => String::new(),
+                Verdict::OrderSensitive { required_order: [x, y] } => {
+                    format!(", \"required_order\": [\"{x}\", \"{y}\"]")
+                }
+                Verdict::Conflicts { evidence } => {
+                    format!(", \"evidence\": \"{}\"", evidence.replace('"', "'"))
+                }
+            };
+            out.push_str(&format!(
+                "    {{\"a\": \"{a}\", \"b\": \"{b}\", \"verdict\": \"{}\"{detail}}}{}\n",
+                verdict.tag(),
+                if i == last { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl fmt::Display for InteractionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "interaction matrix over {} concern(s), {} pair(s):",
+            self.concerns.len(),
+            self.cells.len()
+        )?;
+        for ((a, b), verdict) in &self.cells {
+            match verdict {
+                Verdict::Commutes => writeln!(f, "  {a} × {b}: commutes (oracle-proven)")?,
+                Verdict::OrderSensitive { required_order: [x, y] } => {
+                    writeln!(f, "  {a} × {b}: order-sensitive ({x} before {y})")?
+                }
+                Verdict::Conflicts { evidence } => {
+                    writeln!(f, "  {a} × {b}: CONFLICT — {evidence}")?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the [`InteractionMatrix`] for `bindings` over `probe`:
+/// extracts every footprint, then analyzes each unordered pair with the
+/// static detectors and the weave-both-orders differential oracle.
+///
+/// The result is a pure function of `(probe, bodies, bindings)` — all
+/// intermediate state lives in ordered collections, so equal inputs
+/// render byte-identical matrices.
+///
+/// # Errors
+/// Fails when a binding does not specialize, cannot apply alone on the
+/// probe, or a concern name is bound twice.
+pub fn build_matrix(
+    probe: &Model,
+    bodies: &BodyProvider,
+    bindings: &[(ConcernPair, ParamSet)],
+) -> Result<InteractionMatrix, InteractionError> {
+    let mut concerns = Vec::new();
+    let mut footprints = Vec::new();
+    for (pair, si) in bindings {
+        let name = pair.concern().to_owned();
+        if concerns.contains(&name) {
+            return Err(InteractionError::DuplicateConcern(name));
+        }
+        footprints.push(extract_footprint(probe, bodies, pair, si)?);
+        concerns.push(name);
+    }
+    let mut cells = BTreeMap::new();
+    for i in 0..bindings.len() {
+        for j in (i + 1)..bindings.len() {
+            let verdict = analyze_cell(
+                probe,
+                bodies,
+                &bindings[i],
+                &bindings[j],
+                &footprints[i],
+                &footprints[j],
+            );
+            cells.insert(pair_key(&concerns[i], &concerns[j]), verdict);
+        }
+    }
+    Ok(InteractionMatrix { concerns, cells })
+}

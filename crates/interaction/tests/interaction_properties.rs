@@ -1,0 +1,152 @@
+//! Property and oracle tests for the interaction matrix.
+//!
+//! * the matrix is a pure function of its inputs (building twice gives
+//!   byte-identical artifacts) and symmetric (`verdict(a, b)` equals
+//!   `verdict(b, a)`) over arbitrary concern subsets and orders;
+//! * every `Commutes` cell over all C(7,2) = 21 standard-pair
+//!   combinations is re-validated against the weave-both-orders
+//!   differential oracle — no cell may claim commutation without
+//!   byte-identical artifacts in both orders.
+
+use comet_aspectgen::ConcernPair;
+use comet_codegen::BodyProvider;
+use comet_interaction::{build_matrix, weave_in_order, InteractionMatrix, Verdict};
+use comet_model::sample::banking_pim;
+use comet_transform::{ParamSet, ParamValue};
+use proptest::prelude::*;
+
+const CONCERNS: [&str; 7] = [
+    "distribution",
+    "transactions",
+    "security",
+    "logging",
+    "concurrency",
+    "persistence",
+    "faulttolerance",
+];
+
+/// Binds each standard concern to the sample banking PIM. The
+/// concurrency and fault-tolerance bindings meet on `Account.withdraw`
+/// («Synchronized» × «Retryable») — the deliberate `Conflicts` cell —
+/// while transactions (`Bank.transfer`) and concurrency
+/// (`Account.withdraw`) have fully disjoint footprints.
+fn binding(concern: &str) -> (ConcernPair, ParamSet) {
+    let pair = comet_concerns::by_name(concern).expect("standard concern exists");
+    let list = |items: &[&str]| {
+        ParamValue::from(items.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+    };
+    let si = match concern {
+        "distribution" => ParamSet::new()
+            .with("server_class", ParamValue::from("Bank"))
+            .with("node", ParamValue::from("server"))
+            .with("operations", list(&["transfer", "openAccount"])),
+        "transactions" => ParamSet::new().with("methods", list(&["Bank.transfer"])),
+        "security" => ParamSet::new().with("protected", list(&["Bank.transfer:teller"])),
+        "logging" => ParamSet::new().with("targets", list(&["Bank.transfer"])),
+        "concurrency" => ParamSet::new().with("methods", list(&["Account.withdraw"])),
+        "persistence" => ParamSet::new()
+            .with("class", ParamValue::from("Account"))
+            .with("key_attr", ParamValue::from("number"))
+            .with("mutators", list(&["deposit", "withdraw"])),
+        "faulttolerance" => ParamSet::new()
+            .with("methods", list(&["Bank.transfer", "Account.withdraw"]))
+            .with("idempotent", list(&["Account.withdraw"])),
+        other => panic!("no test binding for `{other}`"),
+    };
+    (pair, si)
+}
+
+fn matrix_for(names: &[&str]) -> InteractionMatrix {
+    let bindings: Vec<_> = names.iter().map(|n| binding(n)).collect();
+    build_matrix(&banking_pim(), &BodyProvider::default(), &bindings)
+        .expect("every test binding probes cleanly")
+}
+
+#[test]
+fn all_21_standard_cells_exist_and_commutes_cells_pass_the_oracle() {
+    let matrix = matrix_for(&CONCERNS);
+    let probe = banking_pim();
+    let bodies = BodyProvider::default();
+    let mut commutes = 0usize;
+    for (i, a) in CONCERNS.iter().enumerate() {
+        for b in &CONCERNS[i + 1..] {
+            let verdict = matrix.verdict(a, b).expect("every unordered pair has a cell");
+            match verdict {
+                Verdict::Commutes => {
+                    commutes += 1;
+                    let ab = weave_in_order(&probe, &bodies, &binding(a), &binding(b))
+                        .expect("Commutes implies the a-then-b order weaves");
+                    let ba = weave_in_order(&probe, &bodies, &binding(b), &binding(a))
+                        .expect("Commutes implies the b-then-a order weaves");
+                    assert_eq!(ab, ba, "`{a}` × `{b}` claims Commutes but the orders diverge");
+                }
+                Verdict::OrderSensitive { required_order: [x, y] } => {
+                    weave_in_order(&probe, &bodies, &binding(x), &binding(y))
+                        .expect("the required order must itself weave");
+                }
+                Verdict::Conflicts { .. } => {}
+            }
+        }
+    }
+    assert!(commutes >= 1, "expected at least one oracle-proven Commutes cell");
+}
+
+#[test]
+fn disjoint_footprints_commute() {
+    let matrix = matrix_for(&["transactions", "concurrency"]);
+    assert_eq!(matrix.verdict("transactions", "concurrency"), Some(&Verdict::Commutes));
+}
+
+#[test]
+fn concurrency_faulttolerance_is_a_static_conflict() {
+    let matrix = matrix_for(&CONCERNS);
+    let verdict = matrix.verdict("concurrency", "faulttolerance").expect("cell exists");
+    let Verdict::Conflicts { evidence } = verdict else {
+        panic!("expected Conflicts, got {verdict:?}");
+    };
+    assert!(
+        evidence.contains("Retryable") && evidence.contains("Synchronized"),
+        "evidence names the exclusive stereotypes: {evidence}"
+    );
+    let conflicts = matrix.conflicts();
+    assert_eq!(conflicts.len(), 1);
+    assert_eq!(
+        (conflicts[0].0.as_str(), conflicts[0].1.as_str()),
+        ("concurrency", "faulttolerance")
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Building the matrix twice over any subset in any order yields
+    /// equal values and byte-identical JSON, and lookups are symmetric.
+    #[test]
+    fn matrix_is_deterministic_and_symmetric(mask in 0u64..128, perm_seed in any::<u64>()) {
+        // Subset via the bitmask, binding order via a seeded
+        // Fisher–Yates shuffle: arbitrary concern subsets and orders,
+        // capped at 4 concerns to bound the per-case weave count.
+        let mut names: Vec<&str> = CONCERNS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, n)| *n)
+            .collect();
+        let mut rng = TestRng::new(perm_seed);
+        for i in (1..names.len()).rev() {
+            names.swap(i, rng.below((i + 1) as u64) as usize);
+        }
+        names.truncate(4);
+        let first = matrix_for(&names);
+        let second = matrix_for(&names);
+        prop_assert_eq!(&first, &second);
+        prop_assert_eq!(first.to_json(), second.to_json());
+        for a in &names {
+            for b in &names {
+                if a != b {
+                    prop_assert_eq!(first.verdict(a, b), first.verdict(b, a));
+                }
+            }
+        }
+    }
+}

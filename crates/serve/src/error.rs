@@ -42,6 +42,18 @@ pub enum ServeError {
         /// The wrapped subsystem error.
         source: EngineError,
     },
+    /// Critical-pair admission verdict: the requested concern conflicts
+    /// with one already applied to the tenant's model, so the request
+    /// is rejected before any model mutation. `a` is the applied
+    /// concern, `b` the rejected one.
+    Conflict {
+        /// The concern already applied.
+        a: String,
+        /// The concern whose application was rejected.
+        b: String,
+        /// The interaction-matrix evidence for the conflict.
+        evidence: String,
+    },
 }
 
 impl ServeError {
@@ -63,6 +75,9 @@ impl fmt::Display for ServeError {
             ServeError::UnknownTenant(t) => write!(f, "unknown tenant `{t}`"),
             ServeError::Plan(e) => write!(f, "workload plan: {e}"),
             ServeError::Engine { detail, .. } => write!(f, "engine: {detail}"),
+            ServeError::Conflict { a, b, evidence } => {
+                write!(f, "conflict: `{b}` cannot join `{a}`: {evidence}")
+            }
         }
     }
 }
@@ -74,7 +89,8 @@ impl std::error::Error for ServeError {
             ServeError::Engine { source, .. } => Some(source.as_ref()),
             ServeError::Overloaded { .. }
             | ServeError::DeadlineExceeded { .. }
-            | ServeError::UnknownTenant(_) => None,
+            | ServeError::UnknownTenant(_)
+            | ServeError::Conflict { .. } => None,
         }
     }
 }

@@ -27,6 +27,17 @@ pub enum WorkloadPlanError {
     /// (or `[section]`) as written; the message format is shared
     /// verbatim with the fault-plan parser in `comet-middleware`.
     Duplicate(String),
+    /// A `[workflow]` step named a concern no registered `ConcernPair`
+    /// provides (checked via
+    /// [`validate_concerns`](WorkloadPlan::validate_concerns)).
+    UnknownConcern(String),
+    /// A planned concern exists but its serving binding is unusable.
+    BadConcern {
+        /// The concern as named by the plan.
+        concern: String,
+        /// Why the binding cannot serve.
+        detail: String,
+    },
 }
 
 impl fmt::Display for WorkloadPlanError {
@@ -36,6 +47,12 @@ impl fmt::Display for WorkloadPlanError {
             WorkloadPlanError::BadValue(v) => write!(f, "bad numeric value `{v}`"),
             WorkloadPlanError::Invalid(why) => write!(f, "invalid plan: {why}"),
             WorkloadPlanError::Duplicate(k) => write!(f, "duplicate plan entry `{k}`"),
+            WorkloadPlanError::UnknownConcern(c) => {
+                write!(f, "workflow step names unknown concern `{c}`")
+            }
+            WorkloadPlanError::BadConcern { concern, detail } => {
+                write!(f, "workflow step `{concern}` cannot serve: {detail}")
+            }
         }
     }
 }
@@ -143,6 +160,11 @@ pub struct WorkloadPlan {
     pub limits: Limits,
     /// Simulated service costs.
     pub service: ServiceCosts,
+    /// Concern steps each tenant's workflow plans, in order. Empty
+    /// means "use the engine's default workflow"; names are validated
+    /// against the concern registry via
+    /// [`validate_concerns`](WorkloadPlan::validate_concerns).
+    pub workflow: Vec<String>,
 }
 
 impl Default for WorkloadPlan {
@@ -155,6 +177,7 @@ impl Default for WorkloadPlan {
             mix: RequestMix::default(),
             limits: Limits::default(),
             service: ServiceCosts::default(),
+            workflow: Vec::new(),
         }
     }
 }
@@ -195,6 +218,29 @@ impl WorkloadPlan {
         Ok(())
     }
 
+    /// Checks every `[workflow]` step against the concern registry.
+    ///
+    /// The substrate does not depend on `comet-concerns`, so callers
+    /// inject the registry as a predicate (`comet::run_banking_serve`
+    /// passes `|c| by_name(c).is_some()`). Rejecting unknown names here
+    /// — at plan-parse/admission time — keeps a typo from surfacing as
+    /// a per-request engine failure deep inside a serving run.
+    ///
+    /// # Errors
+    /// Returns [`WorkloadPlanError::UnknownConcern`] naming the first
+    /// step no registered `ConcernPair` provides.
+    pub fn validate_concerns(
+        &self,
+        is_known: impl Fn(&str) -> bool,
+    ) -> Result<(), WorkloadPlanError> {
+        for step in &self.workflow {
+            if !is_known(step) {
+                return Err(WorkloadPlanError::UnknownConcern(step.clone()));
+            }
+        }
+        Ok(())
+    }
+
     /// Parses the TOML-subset plan format (mirrors `FaultPlan`):
     ///
     /// ```toml
@@ -222,6 +268,9 @@ impl WorkloadPlan {
     /// generate_us = 1500
     /// query_us = 120
     /// snapshot_us = 400
+    ///
+    /// [workflow]
+    /// steps = "distribution, transactions, security"
     /// ```
     ///
     /// Unspecified keys keep their defaults; the parsed plan is
@@ -297,6 +346,19 @@ impl WorkloadPlan {
                     }
                     "deadline_us" => {
                         plan.limits.deadline_us = value.parse().map_err(|_| bad_value())?;
+                    }
+                    _ => return Err(WorkloadPlanError::BadLine(line.to_owned())),
+                },
+                "workflow" => match key {
+                    "steps" => {
+                        let mut steps: Vec<String> = Vec::new();
+                        for step in value.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                            if steps.iter().any(|s| s == step) {
+                                return Err(WorkloadPlanError::Duplicate(step.to_owned()));
+                            }
+                            steps.push(step.to_owned());
+                        }
+                        plan.workflow = steps;
                     }
                     _ => return Err(WorkloadPlanError::BadLine(line.to_owned())),
                 },
@@ -416,5 +478,32 @@ mod tests {
             Err(WorkloadPlanError::BadLine(_))
         ));
         assert!(matches!(WorkloadPlan::parse_toml("[]"), Err(WorkloadPlanError::BadLine(_))));
+    }
+
+    #[test]
+    fn parses_workflow_steps() {
+        let plan =
+            WorkloadPlan::parse_toml("[workflow]\nsteps = \"distribution, transactions,security\"")
+                .unwrap();
+        assert_eq!(plan.workflow, ["distribution", "transactions", "security"]);
+        assert!(WorkloadPlan::parse_toml("").unwrap().workflow.is_empty());
+        assert!(matches!(
+            WorkloadPlan::parse_toml("[workflow]\nsteps = \"security, security\""),
+            Err(WorkloadPlanError::Duplicate(k)) if k == "security"
+        ));
+        assert!(matches!(
+            WorkloadPlan::parse_toml("[workflow]\norder = \"security\""),
+            Err(WorkloadPlanError::BadLine(_))
+        ));
+    }
+
+    #[test]
+    fn validates_workflow_concerns_against_injected_registry() {
+        let plan =
+            WorkloadPlan::parse_toml("[workflow]\nsteps = \"security, teleportation\"").unwrap();
+        plan.validate_concerns(|_| true).unwrap();
+        let err = plan.validate_concerns(|c| c == "security").unwrap_err();
+        assert!(matches!(&err, WorkloadPlanError::UnknownConcern(c) if c == "teleportation"));
+        assert_eq!(err.to_string(), "workflow step names unknown concern `teleportation`");
     }
 }

@@ -29,6 +29,9 @@ pub struct TenantStats {
     pub deadline_dropped: u64,
     /// Requests degraded by an engine failure (injected faults etc.).
     pub failed: u64,
+    /// Apply requests rejected by the interaction admission gate
+    /// (`ServeError::Conflict`); a subset of `failed`.
+    pub conflicts: u64,
     /// Multi-request query batches executed.
     pub batches: u64,
     /// Queries answered inside those batches.
@@ -59,6 +62,8 @@ pub struct ServeReport {
     pub deadline_dropped: u64,
     /// Total engine-degraded requests.
     pub failed: u64,
+    /// Total conflict rejections (subset of `failed`).
+    pub conflicts: u64,
     /// Total multi-request query batches.
     pub batches: u64,
     /// Total queries answered in batches.
@@ -97,6 +102,7 @@ impl ServeReport {
             report.rejected += s.rejected;
             report.deadline_dropped += s.deadline_dropped;
             report.failed += s.failed;
+            report.conflicts += s.conflicts;
             report.batches += s.batches;
             report.batched_queries += s.batched_queries;
             report.makespan_us = report.makespan_us.max(s.end_us);
@@ -123,6 +129,7 @@ impl ServeReport {
         out.push_str(&format!("  \"rejected\": {},\n", self.rejected));
         out.push_str(&format!("  \"deadline_dropped\": {},\n", self.deadline_dropped));
         out.push_str(&format!("  \"failed\": {},\n", self.failed));
+        out.push_str(&format!("  \"conflicts\": {},\n", self.conflicts));
         out.push_str(&format!("  \"batches\": {},\n", self.batches));
         out.push_str(&format!("  \"batched_queries\": {},\n", self.batched_queries));
         out.push_str(&format!("  \"p50_us\": {},\n", self.p50_us));
@@ -136,7 +143,7 @@ impl ServeReport {
             out.push_str(&format!(
                 "    \"{name}\": {{\"issued\": {}, \"completed\": {}, \"ok\": {}, \
                  \"rejected\": {}, \"deadline_dropped\": {}, \"failed\": {}, \
-                 \"applied\": [{}], \"fault_records\": {}, \
+                 \"conflicts\": {}, \"applied\": [{}], \"fault_records\": {}, \
                  \"outcome_hash\": \"{:016x}\", \"end_us\": {}}}{}\n",
                 t.issued,
                 t.completed,
@@ -144,6 +151,7 @@ impl ServeReport {
                 t.rejected,
                 t.deadline_dropped,
                 t.failed,
+                t.conflicts,
                 applied.join(", "),
                 t.fault_records,
                 t.outcome_hash,
@@ -160,8 +168,15 @@ impl fmt::Display for ServeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "serve: {} issued, {} completed ({} ok, {} failed), {} rejected, {} shed",
-            self.issued, self.completed, self.ok, self.failed, self.rejected, self.deadline_dropped
+            "serve: {} issued, {} completed ({} ok, {} failed), {} rejected, {} shed, \
+             {} conflicts",
+            self.issued,
+            self.completed,
+            self.ok,
+            self.failed,
+            self.rejected,
+            self.deadline_dropped,
+            self.conflicts
         )?;
         writeln!(
             f,
@@ -176,13 +191,14 @@ impl fmt::Display for ServeReport {
         for (name, t) in &self.tenants {
             writeln!(
                 f,
-                "  {name}: {}/{} ok, {} rejected, {} shed, {} failed, {} faults, \
-                 applied [{}], hash {:016x}",
+                "  {name}: {}/{} ok, {} rejected, {} shed, {} failed ({} conflicts), \
+                 {} faults, applied [{}], hash {:016x}",
                 t.ok,
                 t.issued,
                 t.rejected,
                 t.deadline_dropped,
                 t.failed,
+                t.conflicts,
                 t.fault_records,
                 t.applied.join(", "),
                 t.outcome_hash

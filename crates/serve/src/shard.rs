@@ -357,7 +357,17 @@ impl<'a, E: TenantEngine> TenantScheduler<'a, E> {
             outs
         } else {
             let span = self.begin_request_span(&batch[0], 1);
-            let result = self.engine.execute(&batch[0].req, &self.obs).map_err(|e| e.to_string());
+            let result = match self.engine.execute(&batch[0].req, &self.obs) {
+                Ok(token) => Ok(token),
+                Err(err) => {
+                    // Count typed admission-gate rejections before the
+                    // error degrades to display text for hashing.
+                    if let ServeError::Conflict { .. } = err {
+                        self.stats.conflicts += 1;
+                    }
+                    Err(err.to_string())
+                }
+            };
             self.end_request_span(span, Some(&result));
             vec![result]
         };

@@ -88,7 +88,92 @@ impl WorkflowModel {
     pub fn steps(&self) -> &[StepDef] {
         &self.steps
     }
+
+    /// Ordering constraints in declaration order.
+    pub fn constraints(&self) -> &[OrderConstraint] {
+        &self.constraints
+    }
+
+    /// Checks the model itself for construction mistakes: duplicate
+    /// steps, self-referential constraints (`Before(a, a)` can never be
+    /// satisfied, the other kinds of `(a, a)` are vacuous), and
+    /// constraints naming concerns the plan does not contain — all of
+    /// which would otherwise sit in the model as silently-dead (or
+    /// silently-deadlocking) rules.
+    ///
+    /// # Errors
+    /// Returns the first [`WorkflowBuildError`] found.
+    pub fn validate(&self) -> Result<(), WorkflowBuildError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for step in &self.steps {
+            if !seen.insert(step.concern.as_str()) {
+                return Err(WorkflowBuildError::DuplicateStep(step.concern.clone()));
+            }
+        }
+        for constraint in &self.constraints {
+            let (kind, a, b) = match constraint {
+                OrderConstraint::Before(a, b) => ("Before", a, b),
+                OrderConstraint::Requires(a, b) => ("Requires", a, b),
+                OrderConstraint::MutuallyExclusive(a, b) => ("MutuallyExclusive", a, b),
+            };
+            if a == b {
+                return Err(WorkflowBuildError::SelfConstraint {
+                    constraint: kind.to_owned(),
+                    concern: a.clone(),
+                });
+            }
+            for concern in [a, b] {
+                if !seen.contains(concern.as_str()) {
+                    return Err(WorkflowBuildError::UnplannedConcern {
+                        constraint: kind.to_owned(),
+                        concern: concern.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
 }
+
+/// Construction mistakes in a [`WorkflowModel`], caught by
+/// [`WorkflowModel::validate`] / [`WorkflowEngine::try_new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowBuildError {
+    /// The same concern was planned as a step twice.
+    DuplicateStep(String),
+    /// A constraint names the same concern on both sides.
+    SelfConstraint {
+        /// The constraint kind (`Before`, `Requires`, ...).
+        constraint: String,
+        /// The concern named twice.
+        concern: String,
+    },
+    /// A constraint names a concern that is not a planned step.
+    UnplannedConcern {
+        /// The constraint kind.
+        constraint: String,
+        /// The unplanned concern.
+        concern: String,
+    },
+}
+
+impl fmt::Display for WorkflowBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowBuildError::DuplicateStep(c) => {
+                write!(f, "step `{c}` is planned twice")
+            }
+            WorkflowBuildError::SelfConstraint { constraint, concern } => {
+                write!(f, "{constraint} constraint names `{concern}` on both sides")
+            }
+            WorkflowBuildError::UnplannedConcern { constraint, concern } => {
+                write!(f, "{constraint} constraint names unplanned concern `{concern}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkflowBuildError {}
 
 /// Workflow enforcement failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,9 +213,22 @@ pub struct WorkflowEngine {
 }
 
 impl WorkflowEngine {
-    /// Starts an engine with nothing applied.
+    /// Starts an engine with nothing applied. The model is taken as-is;
+    /// construction-checked entry points (the MDA lifecycle and the
+    /// serving profile) go through [`WorkflowEngine::try_new`] instead.
     pub fn new(model: WorkflowModel) -> Self {
         WorkflowEngine { model, applied: Vec::new() }
+    }
+
+    /// Starts an engine after [`WorkflowModel::validate`]-ing the model,
+    /// so duplicate steps and dead or deadlocking constraints are typed
+    /// construction errors rather than latent behavior.
+    ///
+    /// # Errors
+    /// Propagates the model's first [`WorkflowBuildError`].
+    pub fn try_new(model: WorkflowModel) -> Result<Self, WorkflowBuildError> {
+        model.validate()?;
+        Ok(WorkflowEngine::new(model))
     }
 
     /// The underlying workflow model.
@@ -374,5 +472,53 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(WorkflowError::NotPlanned("x".into()).to_string().contains("not in the workflow"));
+    }
+
+    #[test]
+    fn validate_accepts_wellformed_models() {
+        fig2_model().validate().unwrap();
+        WorkflowEngine::try_new(fig2_model()).unwrap();
+        WorkflowModel::new("empty").validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_steps() {
+        let model = WorkflowModel::new("w").step("a", false).step("a", true);
+        assert_eq!(model.validate(), Err(WorkflowBuildError::DuplicateStep("a".into())));
+        assert!(WorkflowEngine::try_new(model).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_self_constraints() {
+        let model = WorkflowModel::new("w")
+            .step("a", false)
+            .constraint(OrderConstraint::Before("a".into(), "a".into()));
+        assert_eq!(
+            model.validate(),
+            Err(WorkflowBuildError::SelfConstraint {
+                constraint: "Before".into(),
+                concern: "a".into()
+            })
+        );
+        let model = WorkflowModel::new("w")
+            .step("a", false)
+            .constraint(OrderConstraint::MutuallyExclusive("a".into(), "a".into()));
+        assert!(matches!(model.validate(), Err(WorkflowBuildError::SelfConstraint { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_unplanned_constraint_concerns() {
+        let model = WorkflowModel::new("w")
+            .step("a", false)
+            .constraint(OrderConstraint::Requires("a".into(), "ghost".into()));
+        assert_eq!(
+            model.validate(),
+            Err(WorkflowBuildError::UnplannedConcern {
+                constraint: "Requires".into(),
+                concern: "ghost".into()
+            })
+        );
+        let err = model.validate().unwrap_err();
+        assert!(err.to_string().contains("unplanned concern `ghost`"));
     }
 }
