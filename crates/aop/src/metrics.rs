@@ -46,29 +46,35 @@ impl MetricsReport {
         }
     }
 
-    /// The report as a JSON document (hand-rolled, like every serializer
-    /// in the workspace), consumed by `comet-cli metrics --json` and
-    /// downstream tooling. `tangling_ratio` is emitted with fixed
+    /// The report as a JSON document rendered through the shared
+    /// `comet_obs::JsonValue` pretty writer (the same path the serving
+    /// metrics snapshots use), consumed by `comet-cli metrics --json`
+    /// and downstream tooling. `tangling_ratio` is emitted with fixed
     /// 6-decimal precision so output is byte-stable across platforms.
     pub fn to_json(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"total_methods\": {},", self.total_methods);
-        let _ = writeln!(out, "  \"tangled_methods\": {},", self.tangled_methods);
-        let _ = writeln!(out, "  \"tangling_ratio\": {:.6},", self.tangling_ratio());
-        let _ = writeln!(out, "  \"total_statements\": {},", self.total_statements);
-        out.push_str("  \"concerns\": {\n");
-        for (i, (name, m)) in self.concerns.iter().enumerate() {
-            let _ = write!(
-                out,
-                "    \"{name}\": {{\"scattered_classes\": {}, \"scattered_methods\": {}, \
-                 \"statements\": {}}}",
-                m.scattered_classes, m.scattered_methods, m.statements
-            );
-            out.push_str(if i + 1 < self.concerns.len() { ",\n" } else { "\n" });
-        }
-        out.push_str("  }\n}\n");
-        out
+        use comet_obs::JsonValue;
+        let concerns = self
+            .concerns
+            .iter()
+            .map(|(name, m)| {
+                (
+                    name.clone(),
+                    JsonValue::Obj(vec![
+                        ("scattered_classes".into(), JsonValue::Num(m.scattered_classes as f64)),
+                        ("scattered_methods".into(), JsonValue::Num(m.scattered_methods as f64)),
+                        ("statements".into(), JsonValue::Num(m.statements as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        JsonValue::Obj(vec![
+            ("total_methods".into(), JsonValue::Num(self.total_methods as f64)),
+            ("tangled_methods".into(), JsonValue::Num(self.tangled_methods as f64)),
+            ("tangling_ratio".into(), JsonValue::Fixed(self.tangling_ratio(), 6)),
+            ("total_statements".into(), JsonValue::Num(self.total_statements as f64)),
+            ("concerns".into(), JsonValue::Obj(concerns)),
+        ])
+        .to_pretty()
     }
 }
 

@@ -46,7 +46,9 @@
 //! prints its report and then exits non-zero.
 
 use comet::chaos::{run_banking_chaos_traced, ChaosConfig, FtOrder};
-use comet::{run_banking_serve, run_banking_serve_durable, KillPoint, MdaLifecycle, Wizard};
+use comet::{
+    run_banking_serve_cfg, run_banking_serve_durable_cfg, KillPoint, MdaLifecycle, Wizard,
+};
 use comet_aop::{concern_metrics, Weaver};
 use comet_aspectgen::{AspectBackend, AspectJBackend};
 use comet_codegen::{BodyProvider, FunctionalGenerator};
@@ -131,7 +133,8 @@ fn usage_text() -> &'static str {
      comet-cli run [--faults plan.toml] [--seed N] \
      [--order ft-outside-tx|tx-outside-ft] [--transfers N] [--trace out.json]\n  \
      comet-cli serve [--workload plan.toml] [--shards N] [--seed N] [--faults plan.toml] \
-     [--threads N] [--trace out.json] [--json] [--data-dir DIR] [--kill tenant@N]\n  \
+     [--threads N] [--trace out.json] [--json] [--data-dir DIR] [--kill tenant@N] \
+     [--metrics out.prom|out.json] [--slo]\n  \
      comet-cli repo fsck <data-dir>\n  \
      comet-cli provenance <element> --trace out.json\n  \
      comet-cli metrics [--json]\n  \
@@ -608,6 +611,8 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let mut data_dir: Option<String> = None;
     let mut kill: Option<KillPoint> = None;
     let mut json = false;
+    let mut metrics_path: Option<String> = None;
+    let mut slo = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -673,6 +678,16 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                 json = true;
                 i += 1;
             }
+            "--metrics" => {
+                metrics_path = Some(
+                    args.get(i + 1).ok_or_else(|| usage_err("--metrics needs a path"))?.clone(),
+                );
+                i += 2;
+            }
+            "--slo" => {
+                slo = true;
+                i += 1;
+            }
             other => return Err(usage_err(format!("serve: unexpected argument `{other}`"))),
         }
     }
@@ -696,14 +711,20 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     if kill.is_some() && data_dir.is_none() {
         return Err(usage_err("--kill requires --data-dir (recovery needs a journal)"));
     }
-    let traced = trace_path.is_some();
+    if slo && plan.slo.is_none() {
+        return Err(usage_err("--slo requires an [slo] section in the workload plan"));
+    }
+    let cfg = comet_serve::RunConfig {
+        traced: trace_path.is_some(),
+        metrics: metrics_path.is_some() || slo,
+    };
     let outcome = match &data_dir {
-        None => with_pool(threads, || run_banking_serve(&plan, shards, fault_plan, traced))?
+        None => with_pool(threads, || run_banking_serve_cfg(&plan, shards, fault_plan, &cfg))?
             .map_err(|e| e.to_string())?,
         Some(dir) => {
             let dir = std::path::PathBuf::from(dir);
             let (outcome, recoveries) = with_pool(threads, || {
-                run_banking_serve_durable(&plan, shards, fault_plan, traced, &dir, kill)
+                run_banking_serve_durable_cfg(&plan, shards, fault_plan, &cfg, &dir, kill)
             })?
             .map_err(|e| e.to_string())?;
             if recoveries > 0 {
@@ -716,6 +737,13 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         print!("{}", outcome.report.to_json());
     } else {
         print!("{}", outcome.report);
+    }
+    if let Some(path) = &metrics_path {
+        let snapshot = outcome.metrics.as_ref().expect("metrics-enabled run returns a snapshot");
+        let rendered =
+            if path.ends_with(".json") { snapshot.to_json() } else { snapshot.to_prometheus() };
+        std::fs::write(path, rendered).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote metrics to {path}");
     }
     if let Some(path) = trace_path {
         let trace = outcome.trace.expect("traced run returns a trace");
@@ -737,6 +765,17 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             outcome.report.conflicts
         )
         .into());
+    }
+    // `--slo` makes a burn-rate breach fail the run the same loud way.
+    if slo && outcome.report.slo_breached() {
+        let breached: Vec<&str> = outcome
+            .report
+            .slo
+            .iter()
+            .filter(|(_, v)| v.breached)
+            .map(|(t, _)| t.as_str())
+            .collect();
+        return Err(format!("SLO breached for tenant(s): {}", breached.join(", ")).into());
     }
     Ok(())
 }

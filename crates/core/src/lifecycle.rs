@@ -13,7 +13,7 @@ use comet_transform::{
     ApplyReport, ConcreteTransformation, ConditionCache, ParamSet, TransformError,
 };
 use comet_workflow::{WorkflowBuildError, WorkflowEngine, WorkflowError, WorkflowModel};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::path::Path;
 
@@ -243,6 +243,11 @@ pub struct MdaLifecycle {
     /// Model changes since the weave cache last saw the model; `None`
     /// means "unknown — do a full re-weave".
     dirty_since: RefCell<Option<DirtySet>>,
+    /// Weave-cache hits/misses, counted unconditionally (unlike the
+    /// `Collector` counters, which exist only when tracing is on) so
+    /// serving hosts can bridge them into metrics.
+    weave_hits: Cell<u64>,
+    weave_misses: Cell<u64>,
 }
 
 impl MdaLifecycle {
@@ -361,12 +366,27 @@ impl MdaLifecycle {
             conditions: ConditionCache::new(),
             weave_cache: RefCell::new(None),
             dirty_since: RefCell::new(Some(DirtySet::default())),
+            weave_hits: Cell::new(0),
+            weave_misses: Cell::new(0),
         }
     }
 
     /// Whether the repository journals to disk.
     pub fn is_durable(&self) -> bool {
         matches!(self.repo, RepoBackend::Durable(_))
+    }
+
+    /// Lifetime weave-cache `(hits, misses)` across every `generate`.
+    pub fn weave_cache_stats(&self) -> (u64, u64) {
+        (self.weave_hits.get(), self.weave_misses.get())
+    }
+
+    /// WAL durability barriers issued so far; 0 for in-memory repos.
+    pub fn wal_fsyncs(&self) -> u64 {
+        match &self.repo {
+            RepoBackend::Memory(_) => 0,
+            RepoBackend::Durable(d) => d.wal_fsyncs(),
+        }
     }
 
     /// Attaches a trace collector: every subsequent
@@ -612,6 +632,11 @@ impl MdaLifecycle {
         };
         // The cache now matches the current model: start a fresh delta.
         *self.dirty_since.borrow_mut() = Some(DirtySet::default());
+        if stats.hit {
+            self.weave_hits.set(self.weave_hits.get() + 1);
+        } else {
+            self.weave_misses.set(self.weave_misses.get() + 1);
+        }
         if obs.is_enabled() {
             obs.incr(if stats.hit { "weave.incremental.hit" } else { "weave.incremental.miss" }, 1);
             obs.incr("weave.incremental.rewoven", stats.rewoven as u64);

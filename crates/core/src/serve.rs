@@ -38,8 +38,8 @@ use comet_middleware::{FaultLog, FaultPlan, Middleware, MiddlewareConfig};
 use comet_obs::Collector;
 use comet_repo::DurableRepository;
 use comet_serve::{
-    fnv1a64, EngineFactory, QuerySelector, Request, ServeError, TenantEngine, WorkloadPlan,
-    WorkloadPlanError,
+    fnv1a64, EngineFactory, QuerySelector, Request, RunConfig, ServeError, TenantEngine,
+    WorkloadPlan, WorkloadPlanError,
 };
 use comet_transform::{ParamSet, ParamValue};
 use comet_workflow::WorkflowModel;
@@ -444,6 +444,15 @@ impl TenantEngine for BankingSession {
     fn fault_log(&self) -> FaultLog {
         self.mw.fault_log()
     }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        let (hits, misses) = self.mda.weave_cache_stats();
+        vec![
+            ("weave_cache_hits", hits),
+            ("weave_cache_misses", misses),
+            ("wal_fsyncs", self.mda.wal_fsyncs()),
+        ]
+    }
 }
 
 /// Creates [`BankingSession`]s for the server core. Construction runs
@@ -536,10 +545,24 @@ pub fn run_banking_serve(
     fault_plan: Option<FaultPlan>,
     traced: bool,
 ) -> Result<comet_serve::ServeOutcome, ServeError> {
+    run_banking_serve_cfg(plan, shards, fault_plan, &RunConfig { traced, metrics: false })
+}
+
+/// [`run_banking_serve`] with explicit collection switches
+/// ([`RunConfig`]): tracing and/or metrics.
+///
+/// # Errors
+/// Propagates plan validation failures from the server core.
+pub fn run_banking_serve_cfg(
+    plan: &WorkloadPlan,
+    shards: usize,
+    fault_plan: Option<FaultPlan>,
+    cfg: &RunConfig,
+) -> Result<comet_serve::ServeOutcome, ServeError> {
     plan.validate_concerns(|c| comet_concerns::by_name(c).is_some())?;
     let factory = BankingFactory::with_steps(plan.seed, fault_plan, &effective_steps(plan))?;
     let core = comet_serve::ServerCore::new(plan, &factory, shards)?;
-    Ok(core.run(traced))
+    Ok(core.run_with(cfg))
 }
 
 /// [`run_banking_serve`] with every tenant's repository journalled
@@ -558,6 +581,29 @@ pub fn run_banking_serve_durable(
     data_dir: &Path,
     kill: Option<KillPoint>,
 ) -> Result<(comet_serve::ServeOutcome, u64), ServeError> {
+    run_banking_serve_durable_cfg(
+        plan,
+        shards,
+        fault_plan,
+        &RunConfig { traced, metrics: false },
+        data_dir,
+        kill,
+    )
+}
+
+/// [`run_banking_serve_durable`] with explicit collection switches
+/// ([`RunConfig`]): tracing and/or metrics.
+///
+/// # Errors
+/// Propagates plan validation failures from the server core.
+pub fn run_banking_serve_durable_cfg(
+    plan: &WorkloadPlan,
+    shards: usize,
+    fault_plan: Option<FaultPlan>,
+    cfg: &RunConfig,
+    data_dir: &Path,
+    kill: Option<KillPoint>,
+) -> Result<(comet_serve::ServeOutcome, u64), ServeError> {
     plan.validate_concerns(|c| comet_concerns::by_name(c).is_some())?;
     let mut factory = BankingFactory::with_steps(plan.seed, fault_plan, &effective_steps(plan))?
         .with_data_dir(data_dir);
@@ -566,6 +612,6 @@ pub fn run_banking_serve_durable(
     }
     let recoveries = factory.recoveries();
     let core = comet_serve::ServerCore::new(plan, &factory, shards)?;
-    let outcome = core.run(traced);
+    let outcome = core.run_with(cfg);
     Ok((outcome, recoveries.load(Ordering::Relaxed)))
 }

@@ -388,6 +388,84 @@ fn serve_accepts_workload_and_fault_plans_and_writes_traces() {
 }
 
 #[test]
+fn serve_writes_prometheus_metrics_identically_across_shard_counts() {
+    let prom_one = temp_path("serve-1.prom");
+    let prom_four = temp_path("serve-4.prom");
+    let base = ["serve", "--seed", "7"];
+    let one = cli()
+        .args(base)
+        .args(["--shards", "1", "--metrics", prom_one.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(one.status.success(), "{}", String::from_utf8_lossy(&one.stderr));
+    assert!(String::from_utf8_lossy(&one.stdout).contains("wrote metrics to"));
+    let four = cli()
+        .args(base)
+        .args(["--shards", "4", "--metrics", prom_four.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(four.status.success(), "{}", String::from_utf8_lossy(&four.stderr));
+    let a = std::fs::read_to_string(&prom_one).unwrap();
+    let b = std::fs::read_to_string(&prom_four).unwrap();
+    assert_eq!(a, b, "Prometheus exposition must be byte-identical across shard counts");
+    assert!(a.contains("# TYPE comet_serve_requests_total counter"), "{a}");
+    assert!(a.contains("comet_serve_requests_total{"), "{a}");
+    assert!(a.contains("comet_serve_latency_us_bucket{"), "{a}");
+
+    // A .json path switches the exporter; the document parses.
+    let json_path = temp_path("serve-metrics.json");
+    let out = cli()
+        .args(base)
+        .args(["--shards", "2", "--metrics", json_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc = std::fs::read_to_string(&json_path).unwrap();
+    assert!(comet_obs::JsonValue::parse(&doc).is_ok(), "{doc}");
+    assert!(doc.contains("comet_serve_requests_total"));
+
+    for p in [prom_one, prom_four, json_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn serve_slo_gate_passes_and_fails_on_burn_rate() {
+    // --slo without an [slo] section is a usage error.
+    let out = cli().args(["serve", "--seed", "7", "--slo"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("[slo]"));
+
+    // A generous target passes and prints per-tenant verdicts.
+    let workload = temp_path("serve-slo.toml");
+    std::fs::write(
+        &workload,
+        "seed = 9\ntenants = 2\nclients = 2\nrequests = 6\n\n[slo]\ntarget_us = 10000000\n",
+    )
+    .unwrap();
+    let out =
+        cli().args(["serve", "--workload", workload.to_str().unwrap(), "--slo"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("slo t00:"), "{stdout}");
+    assert!(stdout.contains("ok"), "{stdout}");
+
+    // An impossible target breaches and exits non-zero.
+    std::fs::write(
+        &workload,
+        "seed = 9\ntenants = 2\nclients = 2\nrequests = 6\n\n[slo]\ntarget_us = 1\n",
+    )
+    .unwrap();
+    let out =
+        cli().args(["serve", "--workload", workload.to_str().unwrap(), "--slo"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("BREACH"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("SLO breached"));
+
+    let _ = std::fs::remove_file(workload);
+}
+
+#[test]
 fn errors_are_reported_with_nonzero_exit() {
     // Unknown command.
     let out = cli().arg("frobnicate").output().unwrap();

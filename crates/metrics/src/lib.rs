@@ -1,0 +1,43 @@
+//! # comet-metrics — deterministic serve-time metrics
+//!
+//! The serving stack (comet-serve) is deterministic by construction:
+//! same seed + same plan ⇒ byte-identical report and trace at any
+//! shard/thread count. This crate extends that contract to aggregate
+//! telemetry. Everything here is *exact*:
+//!
+//! * [`Histogram`] — fixed-bucket log-linear latency histograms
+//!   (16 linear sub-buckets per power of two, relative error ≤ 1/16).
+//!   No HDR-style auto-resizing, no DDSketch-style probabilistic
+//!   collapse: every observation lands in one statically determined
+//!   bucket via integer arithmetic, so bucket counts — and therefore
+//!   snapshots, percentiles and SLO verdicts — are byte-identical
+//!   across runs and shard counts.
+//! * [`MetricsRegistry`] — counters, gauges, histograms and rolling
+//!   good/bad windows behind cheap integer handles, with the same
+//!   enabled/disabled single-branch fast path as
+//!   `comet_obs::Collector`.
+//! * [`MetricsSnapshot`] — the immutable view, mergeable in
+//!   tenant-name order (merge is associative and commutative), with
+//!   three exporters: Prometheus text exposition, JSON through the
+//!   shared `comet_obs::JsonValue` writer, and a sorted text table.
+//! * [`SloPolicy`] / [`SloVerdict`] — per-tenant latency-percentile
+//!   targets and error budgets evaluated into burn rates with pure
+//!   integer math (milli-units, ppm budgets).
+//!
+//! Rolling windows are driven by the middleware `SimClock` (sim µs),
+//! not wall time, so window cell boundaries are part of the
+//! deterministic replay too.
+
+#![warn(missing_docs)]
+
+mod export;
+mod histogram;
+mod registry;
+mod slo;
+
+pub use histogram::{bucket_index, bucket_upper, Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use registry::{
+    CounterHandle, GaugeHandle, HistogramHandle, MetricKey, MetricsRegistry, MetricsSnapshot,
+    WindowHandle, WindowSnapshot,
+};
+pub use slo::{SloPolicy, SloVerdict};

@@ -160,8 +160,28 @@ impl Trace {
             }
         }
         out.events.sort_by_key(|e| e.seq);
+        // Merged per-tenant timelines must stay seq-monotone: spans in
+        // open order and events after sorting. Seq ranges of the input
+        // traces are made disjoint above, so any violation means an
+        // input trace itself was out of order (e.g. a sampling discard
+        // that rewound the logical clock).
+        debug_assert!(
+            out.spans.windows(2).all(|w| w[0].start_seq < w[1].start_seq),
+            "merged trace lost span open-order seq monotonicity"
+        );
+        debug_assert!(
+            out.events.windows(2).all(|w| w[0].seq < w[1].seq),
+            "merged trace has events sharing a logical tick"
+        );
         out
     }
+}
+
+/// A rollback point in a collector's buffers, from [`Collector::mark`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceMark {
+    spans: usize,
+    events: usize,
 }
 
 #[derive(Debug, Default)]
@@ -307,6 +327,40 @@ impl Collector {
         }
     }
 
+    /// A high-water mark of the record buffers, for speculative
+    /// recording: take a mark, record a region, then either keep it or
+    /// roll it back with [`Collector::discard_to`]. This is the trace
+    /// sampler's hook — tail-based sampling records every request's
+    /// spans and discards the region once the outcome says it is not
+    /// interesting.
+    pub fn mark(&self) -> TraceMark {
+        let Some(inner) = &self.inner else {
+            return TraceMark { spans: 0, events: 0 };
+        };
+        let g = inner.lock().expect("collector poisoned");
+        TraceMark { spans: g.spans.len(), events: g.events.len() }
+    }
+
+    /// Discards every span and event recorded since `mark` was taken.
+    /// Spans still open above the mark are popped off the open stack.
+    /// Counters and the logical seq counter are *not* rolled back: a
+    /// counter records that work happened whether or not its trace is
+    /// kept, and rewinding seq would let a later region reuse ticks and
+    /// break [`Trace::merge`]'s monotonicity contract.
+    pub fn discard_to(&self, mark: TraceMark) {
+        let Some(inner) = &self.inner else { return };
+        let mut g = inner.lock().expect("collector poisoned");
+        if mark.spans > g.spans.len() || mark.events > g.events.len() {
+            return; // stale mark from before a take(); nothing to discard
+        }
+        g.spans.truncate(mark.spans);
+        g.wall_start.truncate(mark.spans);
+        g.events.truncate(mark.events);
+        while g.open.last().is_some_and(|&id| id as usize >= mark.spans) {
+            g.open.pop();
+        }
+    }
+
     /// A clone of everything recorded so far (open spans appear with
     /// `end_seq == start_seq`).
     pub fn snapshot(&self) -> Trace {
@@ -434,6 +488,62 @@ mod tests {
         assert_eq!(merged.counters["serve.completed"], 5);
         // Merge is pure: same inputs, same order, same bytes.
         assert_eq!(merged, Trace::merge(&[a, b]));
+    }
+
+    #[test]
+    fn merge_keeps_seq_monotonicity_after_discards() {
+        // A trace whose collector discarded a sampled-out region in the
+        // middle (leaving a seq gap) must still merge cleanly — the
+        // debug assertions in merge() verify strict monotonicity.
+        let record = |drop_middle: bool| {
+            let obs = Collector::enabled();
+            let a = obs.begin_span("serve", "kept", 0);
+            obs.end_span(a, 1);
+            let mark = obs.mark();
+            let b = obs.begin_span("serve", "speculative", 2);
+            obs.event("serve", "inside", 2, Vec::new());
+            obs.end_span(b, 3);
+            if drop_middle {
+                obs.discard_to(mark);
+            }
+            let c = obs.begin_span("serve", "tail", 4);
+            obs.event("serve", "tail.event", 4, Vec::new());
+            obs.end_span(c, 5);
+            obs.take()
+        };
+        let merged = Trace::merge(&[record(true), record(false)]);
+        assert_eq!(merged.spans.len(), 5);
+        assert!(merged.spans.windows(2).all(|w| w[0].start_seq < w[1].start_seq));
+        assert!(merged.events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn discard_to_rolls_back_spans_events_and_open_stack() {
+        let obs = Collector::enabled();
+        let outer = obs.begin_span("a", "outer", 0);
+        let mark = obs.mark();
+        let inner = obs.begin_span("a", "speculative", 1);
+        obs.event("a", "e", 1, Vec::new());
+        obs.incr("work", 1);
+        obs.discard_to(mark);
+        obs.end_span(inner, 2); // stale id: must not resurrect anything
+        obs.event("a", "after", 3, Vec::new());
+        obs.end_span(outer, 4);
+        let t = obs.take();
+        assert_eq!(t.spans.len(), 1, "{t:?}");
+        assert_eq!(t.spans[0].end_us, 4);
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].name, "after");
+        assert_eq!(t.events[0].span, Some(0), "event reattaches to the surviving open span");
+        assert_eq!(t.counters["work"], 1, "counters survive a discard");
+    }
+
+    #[test]
+    fn discard_to_on_disabled_collector_is_a_no_op() {
+        let obs = Collector::disabled();
+        let mark = obs.mark();
+        obs.discard_to(mark);
+        assert!(obs.take().is_empty());
     }
 
     #[test]

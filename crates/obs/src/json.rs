@@ -17,6 +17,10 @@ pub enum JsonValue {
     Bool(bool),
     /// Any number (stored as f64; trace files only carry u64-safe ints).
     Num(f64),
+    /// A number rendered with a fixed decimal precision (e.g.
+    /// `Fixed(0.5, 6)` emits `0.500000`). Only produced by emitters —
+    /// the parser always yields [`JsonValue::Num`].
+    Fixed(f64, u8),
     /// A string (unescaped).
     Str(String),
     /// An array.
@@ -55,6 +59,94 @@ impl JsonValue {
         match self {
             JsonValue::Arr(items) => Some(items),
             _ => None,
+        }
+    }
+
+    /// Pretty-prints with 2-space indentation. Objects and arrays
+    /// whose members are all scalars (or flat arrays) render on one
+    /// line — `{"scattered_classes": 1, "statements": 3}` — while
+    /// anything nested gets one member per line. Deterministic: a
+    /// pure function of the value, shared by every report emitter.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn is_scalar(&self) -> bool {
+        !matches!(self, JsonValue::Arr(_) | JsonValue::Obj(_))
+    }
+
+    /// Small enough to render on one line.
+    fn is_flat(&self) -> bool {
+        match self {
+            JsonValue::Arr(items) => items.iter().all(JsonValue::is_scalar),
+            JsonValue::Obj(members) => {
+                members.len() <= 8
+                    && members.iter().all(|(_, v)| match v {
+                        JsonValue::Obj(_) => false,
+                        JsonValue::Arr(_) => v.is_flat(),
+                        _ => true,
+                    })
+            }
+            _ => true,
+        }
+    }
+
+    fn render(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        let pad = |out: &mut String, d: usize| {
+            for _ in 0..d {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            JsonValue::Arr(items) if !items.is_empty() && !self.is_flat() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    pad(out, depth + 1);
+                    v.render(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    v.render(out, depth);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(members) if !members.is_empty() && !self.is_flat() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    pad(out, depth + 1);
+                    let _ = write!(out, "\"{}\": ", escape(k));
+                    v.render(out, depth + 1);
+                    out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+            JsonValue::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "\"{}\": ", escape(k));
+                    v.render(out, depth);
+                }
+                out.push('}');
+            }
+            scalar => {
+                let _ = write!(out, "{scalar}");
+            }
         }
     }
 
@@ -103,6 +195,7 @@ impl fmt::Display for JsonValue {
                     write!(f, "{n}")
                 }
             }
+            JsonValue::Fixed(n, prec) => write!(f, "{:.*}", *prec as usize, n),
             JsonValue::Str(s) => write!(f, "\"{}\"", escape(s)),
             JsonValue::Arr(items) => {
                 f.write_str("[")?;
@@ -324,6 +417,40 @@ mod tests {
         for bad in ["{", "[1,", "\"open", "{\"a\" 1}", "1 2", "{'a': 1}"] {
             assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn fixed_renders_with_exact_precision() {
+        assert_eq!(JsonValue::Fixed(0.5, 6).to_string(), "0.500000");
+        assert_eq!(JsonValue::Fixed(0.0, 6).to_string(), "0.000000");
+        assert_eq!(JsonValue::Fixed(1.25, 1).to_string(), "1.2");
+    }
+
+    #[test]
+    fn pretty_inlines_flat_members_and_indents_nested_ones() {
+        let doc = JsonValue::Obj(vec![
+            ("total".into(), JsonValue::Num(2.0)),
+            ("ratio".into(), JsonValue::Fixed(0.5, 6)),
+            (
+                "concerns".into(),
+                JsonValue::Obj(vec![(
+                    "sec".into(),
+                    JsonValue::Obj(vec![
+                        ("classes".into(), JsonValue::Num(1.0)),
+                        ("statements".into(), JsonValue::Num(3.0)),
+                    ]),
+                )]),
+            ),
+            ("buckets".into(), JsonValue::Arr(vec![JsonValue::Num(1.0), JsonValue::Num(2.0)])),
+        ]);
+        let text = doc.to_pretty();
+        assert_eq!(
+            text,
+            "{\n  \"total\": 2,\n  \"ratio\": 0.500000,\n  \"concerns\": {\n    \"sec\": \
+             {\"classes\": 1, \"statements\": 3}\n  },\n  \"buckets\": [1, 2]\n}\n"
+        );
+        // Pretty output is still parseable (Fixed parses back as Num).
+        assert!(JsonValue::parse(&text).is_ok());
     }
 
     #[test]

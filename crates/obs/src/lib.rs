@@ -63,6 +63,6 @@ mod export;
 mod json;
 mod provenance;
 
-pub use collector::{Collector, Event, Span, SpanId, Trace};
-pub use json::JsonValue;
+pub use collector::{Collector, Event, Span, SpanId, Trace, TraceMark};
+pub use json::{escape as json_escape, JsonValue};
 pub use provenance::{AdviceEntry, ModelEntry, ProvenanceIndex, ProvenanceReport, RuntimeEntry};

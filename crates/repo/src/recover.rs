@@ -157,6 +157,13 @@ impl DurableRepository {
         &self.dir
     }
 
+    /// Durability barriers issued by the journal since this handle
+    /// opened — one `sync_data` per appended record. Serving hosts
+    /// bridge this into their metrics.
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.wal.fsyncs()
+    }
+
     /// Read view of the replayed repository (also available via
     /// `Deref`).
     pub fn repo(&self) -> &Repository {

@@ -388,6 +388,7 @@ pub struct Wal {
     file: File,
     path: PathBuf,
     end: u64,
+    fsyncs: u64,
 }
 
 impl Wal {
@@ -402,7 +403,7 @@ impl Wal {
         let file =
             OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
         file.set_len(end)?;
-        Ok(Wal { file, path, end })
+        Ok(Wal { file, path, end, fsyncs: 0 })
     }
 
     /// The file backing this journal.
@@ -423,8 +424,16 @@ impl Wal {
         self.file.seek(SeekFrom::Start(self.end))?;
         self.file.write_all(&frame)?;
         self.file.sync_data()?;
+        self.fsyncs += 1;
         self.end += frame.len() as u64;
         Ok(())
+    }
+
+    /// How many `sync_data` barriers this handle has issued — one per
+    /// appended record. Exposed so serving hosts can bridge durability
+    /// cost into their metrics.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
     }
 
     /// Simulates a crash cutting an append short: writes the header and

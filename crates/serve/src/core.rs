@@ -6,17 +6,33 @@ use crate::plan::WorkloadPlan;
 use crate::report::ServeReport;
 use crate::request::EngineFactory;
 use crate::shard::{run_shard, TenantOutcome};
+use comet_metrics::MetricsSnapshot;
 use comet_obs::Trace;
 use rayon::prelude::*;
 
+/// Per-run switches that are not part of the workload plan: what to
+/// collect, not what to do. Both default to off; an `[slo]` section in
+/// the plan turns metrics on regardless, since verdicts need the
+/// histograms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunConfig {
+    /// Collect per-request span trees.
+    pub traced: bool,
+    /// Collect counters/histograms/windows into a `MetricsSnapshot`.
+    pub metrics: bool,
+}
+
 /// What a run produces: the byte-comparable report, plus the merged
-/// trace when tracing was requested.
+/// trace when tracing was requested and the merged metrics snapshot
+/// when metrics were requested (or implied by an SLO policy).
 #[derive(Debug)]
 pub struct ServeOutcome {
     /// The shard-count-invariant report.
     pub report: ServeReport,
     /// Per-tenant traces merged in tenant order, if tracing was on.
     pub trace: Option<Trace>,
+    /// Per-tenant metrics merged in tenant order, if metrics were on.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// A sharded multi-tenant transformation server.
@@ -27,8 +43,8 @@ pub struct ServeOutcome {
 /// middleware state is `!Send`), and per-tenant outcomes — plain data —
 /// come back to be folded in tenant-name order. Since tenants share no
 /// state and the fold is order-canonical, the shard count is purely a
-/// parallelism knob: it changes wall time, never a byte of the report
-/// or trace.
+/// parallelism knob: it changes wall time, never a byte of the report,
+/// trace, or metrics snapshot.
 pub struct ServerCore<'a, F: EngineFactory> {
     plan: &'a WorkloadPlan,
     factory: &'a F,
@@ -54,6 +70,12 @@ impl<'a, F: EngineFactory> ServerCore<'a, F> {
     /// Runs the whole workload to quiescence; shards execute in
     /// parallel. `traced` turns on per-request span collection.
     pub fn run(&self, traced: bool) -> ServeOutcome {
+        self.run_with(&RunConfig { traced, metrics: false })
+    }
+
+    /// Runs the whole workload to quiescence with explicit collection
+    /// switches; shards execute in parallel.
+    pub fn run_with(&self, cfg: &RunConfig) -> ServeOutcome {
         let mut groups: Vec<Vec<String>> = vec![Vec::new(); self.shards];
         for tenant in self.plan.tenant_names() {
             let shard = self.shard_of(&tenant);
@@ -61,18 +83,27 @@ impl<'a, F: EngineFactory> ServerCore<'a, F> {
         }
         let per_shard: Vec<Vec<TenantOutcome>> = groups
             .par_iter()
-            .map(|tenants| run_shard(self.plan, tenants, self.factory, traced))
+            .map(|tenants| run_shard(self.plan, tenants, self.factory, cfg))
             .collect();
         let mut outcomes: Vec<TenantOutcome> = per_shard.into_iter().flatten().collect();
         // Canonical order: by tenant name, independent of grouping.
         outcomes.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         let report = ServeReport::assemble(&outcomes);
-        let trace = if traced {
+        // Fold metrics in tenant order; the snapshot merge is
+        // commutative anyway, but the canonical order keeps this
+        // honest-by-construction.
+        let mut metrics: Option<MetricsSnapshot> = None;
+        for o in &outcomes {
+            if let Some(m) = &o.metrics {
+                metrics.get_or_insert_with(MetricsSnapshot::default).merge(m);
+            }
+        }
+        let trace = if cfg.traced {
             let traces: Vec<Trace> = outcomes.into_iter().filter_map(|o| o.trace).collect();
             Some(Trace::merge(&traces))
         } else {
             None
         };
-        ServeOutcome { report, trace }
+        ServeOutcome { report, trace, metrics }
     }
 }

@@ -33,9 +33,10 @@ mod report;
 mod request;
 mod shard;
 
-pub use crate::core::{ServeOutcome, ServerCore};
+pub use crate::core::{RunConfig, ServeOutcome, ServerCore};
+pub use comet_metrics::{MetricsSnapshot, SloPolicy, SloVerdict};
 pub use error::{EngineError, ServeError};
-pub use plan::{Limits, RequestMix, ServiceCosts, WorkloadPlan, WorkloadPlanError};
+pub use plan::{Limits, RequestMix, SampleMode, ServiceCosts, WorkloadPlan, WorkloadPlanError};
 pub use report::{ServeReport, TenantStats};
 pub use request::{EngineFactory, QuerySelector, Request, TenantEngine};
 
@@ -126,6 +127,10 @@ mod tests {
 
         fn fault_log(&self) -> FaultLog {
             FaultLog::default()
+        }
+
+        fn counters(&self) -> Vec<(&'static str, u64)> {
+            vec![("mock_executions", self.executed)]
         }
     }
 
@@ -274,6 +279,165 @@ mod tests {
             let tenant = comet_obs::Trace::attr(&span.attrs, "tenant").expect("tenant attr");
             assert!(out.report.tenants.contains_key(tenant));
             assert!(comet_obs::Trace::attr(&span.attrs, "outcome").is_some());
+        }
+    }
+
+    /// Span identity for set-containment checks: everything except the
+    /// ids, which renumber when neighbouring spans are discarded.
+    type SpanKey = (String, String, u64, u64, Vec<(String, String)>);
+
+    fn span_keys(trace: &comet_obs::Trace) -> Vec<SpanKey> {
+        let mut keys: Vec<_> = trace
+            .spans
+            .iter()
+            .map(|s| (s.cat.clone(), s.name.clone(), s.start_us, s.end_us, s.attrs.clone()))
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Multiset containment: every key of `sub` appears in `sup` at
+    /// least as often.
+    fn contained_in(sub: &[SpanKey], sup: &[SpanKey]) -> bool {
+        let mut pool = sup.to_vec();
+        sub.iter().all(|k| {
+            if let Ok(i) = pool.binary_search(k) {
+                pool.remove(i);
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    #[test]
+    fn metrics_snapshot_is_shard_count_invariant() {
+        let factory = MockFactory { fail_every: 3 };
+        let mut p = plan(7);
+        p.slo = Some(SloPolicy { target_us: 400, ..SloPolicy::default() });
+        let cfg = RunConfig { traced: false, metrics: true };
+        let runs: Vec<_> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&shards| ServerCore::new(&p, &factory, shards).unwrap().run_with(&cfg))
+            .collect();
+        let first = runs[0].metrics.as_ref().expect("metrics on");
+        assert!(!first.is_empty());
+        let prom = first.to_prometheus();
+        assert!(prom.contains("comet_serve_requests_total{"), "{prom}");
+        assert!(prom.contains("comet_serve_latency_us_bucket{"), "{prom}");
+        assert!(prom.contains("comet_serve_mock_executions_total{"), "engine counters bridged");
+        for other in &runs[1..] {
+            let m = other.metrics.as_ref().expect("metrics on");
+            assert_eq!(first, m);
+            assert_eq!(prom, m.to_prometheus(), "byte-identical exposition");
+            assert_eq!(first.to_json(), m.to_json());
+            assert_eq!(runs[0].report.slo, other.report.slo, "verdicts shard-invariant");
+        }
+        assert_eq!(runs[0].report.slo.len(), p.tenants, "one verdict per tenant");
+    }
+
+    #[test]
+    fn slo_section_implies_metrics_and_breaches_report() {
+        let factory = MockFactory { fail_every: 2 };
+        let mut p = plan(7);
+        // An impossible target: every request breaches.
+        p.slo = Some(SloPolicy { target_us: 1, error_budget: 0.001, ..SloPolicy::default() });
+        let out = ServerCore::new(&p, &factory, 2).unwrap().run_with(&RunConfig::default());
+        assert!(out.metrics.is_some(), "[slo] turns metrics on even with metrics=false");
+        assert!(out.report.slo_breached(), "{}", out.report);
+        let rendered = out.report.to_string();
+        assert!(rendered.contains("BREACH"), "{rendered}");
+        assert!(out.report.to_json().contains("\"slo\""));
+        // Without a policy the report renders without any slo section.
+        let bare = ServerCore::new(&plan(7), &factory, 2).unwrap().run(false);
+        assert!(bare.report.slo.is_empty());
+        assert!(!bare.report.to_json().contains("\"slo\""));
+    }
+
+    #[test]
+    fn sampled_trace_spans_are_a_subset_of_the_full_trace() {
+        let factory = MockFactory { fail_every: 4 };
+        let mut p = plan(7);
+        let full = ServerCore::new(&p, &factory, 2).unwrap().run(true);
+        let full_keys = span_keys(full.trace.as_ref().unwrap());
+        for mode in [
+            SampleMode::Always,
+            SampleMode::Never,
+            SampleMode::PerTenantHash { rate: 0.5 },
+            SampleMode::TailOnError,
+        ] {
+            p.sampling = mode;
+            let sampled = ServerCore::new(&p, &factory, 2).unwrap().run(true);
+            let keys = span_keys(sampled.trace.as_ref().unwrap());
+            assert!(contained_in(&keys, &full_keys), "{mode:?} leaked spans");
+            assert_eq!(
+                sampled.report, full.report,
+                "sampling must never change the report ({mode:?})"
+            );
+            match mode {
+                SampleMode::Always => assert_eq!(keys.len(), full_keys.len()),
+                SampleMode::Never => assert!(keys.is_empty(), "{mode:?}: {}", keys.len()),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn tail_on_error_keeps_full_span_trees_for_failed_requests() {
+        let factory = MockFactory { fail_every: 4 };
+        let mut p = plan(7);
+        p.sampling = SampleMode::TailOnError;
+        let out = ServerCore::new(&p, &factory, 2).unwrap().run(true);
+        let trace = out.trace.as_ref().unwrap();
+        let requests: Vec<_> = trace.spans.iter().filter(|s| s.name == "serve.request").collect();
+        let errored = requests
+            .iter()
+            .filter(|s| {
+                comet_obs::Trace::attr(&s.attrs, "outcome").is_some_and(|o| o.starts_with("err"))
+            })
+            .count();
+        assert!(out.report.failed > 0);
+        assert_eq!(errored as u64, out.report.failed, "every failed request keeps its span tree");
+        // The tail sampler drops the boring batches, so the kept trace
+        // is strictly smaller than the full one.
+        let full = {
+            p.sampling = SampleMode::Always;
+            ServerCore::new(&p, &factory, 2).unwrap().run(true)
+        };
+        assert!(trace.spans.len() < full.trace.as_ref().unwrap().spans.len());
+        // And it is still shard-count invariant.
+        p.sampling = SampleMode::TailOnError;
+        let again = ServerCore::new(&p, &factory, 8).unwrap().run(true);
+        assert_eq!(out.trace, again.trace);
+    }
+
+    #[test]
+    fn per_tenant_hash_keeps_whole_tenants() {
+        let factory = MockFactory { fail_every: 0 };
+        let mut p = plan(7);
+        p.sampling = SampleMode::PerTenantHash { rate: 0.5 };
+        let out = ServerCore::new(&p, &factory, 2).unwrap().run(true);
+        let trace = out.trace.as_ref().unwrap();
+        let mut kept: Vec<&str> = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "serve.request")
+            .filter_map(|s| comet_obs::Trace::attr(&s.attrs, "tenant"))
+            .collect();
+        kept.sort_unstable();
+        kept.dedup();
+        assert!(!kept.is_empty() && kept.len() < p.tenants, "rate 0.5 splits tenants: {kept:?}");
+        // Kept tenants keep *all* their request spans.
+        for tenant in &kept {
+            let spans = trace
+                .spans
+                .iter()
+                .filter(|s| {
+                    s.name == "serve.request"
+                        && comet_obs::Trace::attr(&s.attrs, "tenant") == Some(tenant)
+                })
+                .count() as u64;
+            assert_eq!(spans, out.report.tenants[*tenant].completed);
         }
     }
 

@@ -12,6 +12,8 @@
 
 use std::fmt;
 
+use comet_metrics::SloPolicy;
+
 /// Errors from [`WorkloadPlan::parse_toml`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorkloadPlanError {
@@ -142,6 +144,32 @@ impl Default for ServiceCosts {
     }
 }
 
+/// When the scheduler keeps a request's recorded span tree.
+///
+/// Sampling is decided from plan data alone (tenant-name hash, request
+/// outcome, SLO target), never from wall clocks or global state, so
+/// the sampled trace for a given seed + plan is byte-identical at any
+/// shard count — and always a subset of the `Always` trace's spans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleMode {
+    /// Keep every request's spans (the default; full fidelity).
+    Always,
+    /// Record no per-request spans (scheduler events still fire).
+    Never,
+    /// Keep all requests of tenants whose FNV-1a name hash falls under
+    /// `rate` (0.0 ..= 1.0); whole tenants sample together so a kept
+    /// tenant's trace is complete, not request-diced.
+    PerTenantHash {
+        /// Fraction of tenants to keep.
+        rate: f64,
+    },
+    /// Tail-based sampling: keep a request's spans only when it
+    /// failed, was injected with a fault, or missed its SLO latency
+    /// target — every interesting request keeps its full span tree,
+    /// everything healthy is discarded.
+    TailOnError,
+}
+
 /// A complete, seeded workload description.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadPlan {
@@ -165,6 +193,12 @@ pub struct WorkloadPlan {
     /// against the concern registry via
     /// [`validate_concerns`](WorkloadPlan::validate_concerns).
     pub workflow: Vec<String>,
+    /// Optional SLO policy from the `[slo]` / `[slo.tenants]`
+    /// sections. When present, metrics collection is implied and the
+    /// `ServeReport` carries per-tenant `SloVerdict`s.
+    pub slo: Option<SloPolicy>,
+    /// Trace-sampling mode from the `[sampling]` section.
+    pub sampling: SampleMode,
 }
 
 impl Default for WorkloadPlan {
@@ -178,6 +212,8 @@ impl Default for WorkloadPlan {
             limits: Limits::default(),
             service: ServiceCosts::default(),
             workflow: Vec::new(),
+            slo: None,
+            sampling: SampleMode::Always,
         }
     }
 }
@@ -214,6 +250,22 @@ impl WorkloadPlan {
         let total = self.mix.total();
         if !total.is_finite() || total <= 0.0 {
             return invalid("request mix weights must sum to a positive finite value");
+        }
+        if let Some(slo) = &self.slo {
+            if !(slo.percentile > 0.0 && slo.percentile <= 100.0) {
+                return invalid("slo percentile must be in (0, 100]");
+            }
+            if !(slo.error_budget > 0.0 && slo.error_budget <= 1.0) {
+                return invalid("slo error_budget must be in (0, 1]");
+            }
+            if slo.window_us == 0 {
+                return invalid("slo window_us must be >= 1");
+            }
+        }
+        if let SampleMode::PerTenantHash { rate } = self.sampling {
+            if !(0.0..=1.0).contains(&rate) {
+                return invalid("sampling rate must be in [0, 1]");
+            }
         }
         Ok(())
     }
@@ -271,6 +323,19 @@ impl WorkloadPlan {
     ///
     /// [workflow]
     /// steps = "distribution, transactions, security"
+    ///
+    /// [slo]
+    /// percentile = 99.0
+    /// target_us = 50000
+    /// error_budget = 0.01
+    /// window_us = 1000000
+    ///
+    /// [slo.tenants]
+    /// t00 = 20000
+    ///
+    /// [sampling]
+    /// mode = "tail-on-error"   # always | never | per-tenant-hash | tail-on-error
+    /// rate = 0.0625            # per-tenant-hash keep fraction
     /// ```
     ///
     /// Unspecified keys keep their defaults; the parsed plan is
@@ -284,6 +349,9 @@ impl WorkloadPlan {
     pub fn parse_toml(text: &str) -> Result<WorkloadPlan, WorkloadPlanError> {
         let mut plan = WorkloadPlan::default();
         let mut section = String::new();
+        // `[sampling]` keys may arrive in any order; combined at the end.
+        let mut sampling_mode: Option<String> = None;
+        let mut sampling_rate: Option<f64> = None;
         let mut seen_sections: std::collections::BTreeSet<String> =
             std::collections::BTreeSet::new();
         let mut seen_keys: std::collections::BTreeSet<(String, String)> =
@@ -310,6 +378,11 @@ impl WorkloadPlan {
                     return Err(WorkloadPlanError::Duplicate(format!("[{name}]")));
                 }
                 section = name.to_owned();
+                // An `[slo]`/`[slo.tenants]` header enables the policy
+                // even when every key keeps its default.
+                if section == "slo" || section == "slo.tenants" {
+                    plan.slo.get_or_insert_with(SloPolicy::default);
+                }
                 continue;
             }
             let (key, value) = line
@@ -375,10 +448,44 @@ impl WorkloadPlan {
                         _ => return Err(WorkloadPlanError::BadLine(line.to_owned())),
                     }
                 }
+                "slo" => {
+                    let slo = plan.slo.as_mut().expect("header handler inserted policy");
+                    match key {
+                        "percentile" => slo.percentile = value.parse().map_err(|_| bad_value())?,
+                        "target_us" => slo.target_us = value.parse().map_err(|_| bad_value())?,
+                        "error_budget" => {
+                            slo.error_budget = value.parse().map_err(|_| bad_value())?;
+                        }
+                        "window_us" => slo.window_us = value.parse().map_err(|_| bad_value())?,
+                        _ => return Err(WorkloadPlanError::BadLine(line.to_owned())),
+                    }
+                }
+                // Any key is a tenant name; the value its target_us.
+                "slo.tenants" => {
+                    let slo = plan.slo.as_mut().expect("header handler inserted policy");
+                    let target: u64 = value.parse().map_err(|_| bad_value())?;
+                    slo.tenant_targets.insert(key.to_owned(), target);
+                }
+                "sampling" => match key {
+                    "mode" => sampling_mode = Some(value.to_owned()),
+                    "rate" => sampling_rate = Some(value.parse().map_err(|_| bad_value())?),
+                    _ => return Err(WorkloadPlanError::BadLine(line.to_owned())),
+                },
                 other => {
                     return Err(WorkloadPlanError::BadLine(format!("[{other}] {line}")));
                 }
             }
+        }
+        if let Some(mode) = sampling_mode {
+            plan.sampling = match mode.as_str() {
+                "always" => SampleMode::Always,
+                "never" => SampleMode::Never,
+                "per-tenant-hash" => {
+                    SampleMode::PerTenantHash { rate: sampling_rate.unwrap_or(1.0) }
+                }
+                "tail-on-error" => SampleMode::TailOnError,
+                _ => return Err(WorkloadPlanError::BadValue(mode)),
+            };
         }
         plan.validate()?;
         Ok(plan)
@@ -494,6 +601,73 @@ mod tests {
         assert!(matches!(
             WorkloadPlan::parse_toml("[workflow]\norder = \"security\""),
             Err(WorkloadPlanError::BadLine(_))
+        ));
+    }
+
+    #[test]
+    fn parses_slo_and_sampling_sections() {
+        let text = r#"
+            [slo]
+            percentile = 95.0
+            target_us = 8000
+            error_budget = 0.05
+            window_us = 20000
+
+            [slo.tenants]
+            t01 = 3000
+
+            [sampling]
+            rate = 0.25
+            mode = "per-tenant-hash"
+        "#;
+        let plan = WorkloadPlan::parse_toml(text).unwrap();
+        let slo = plan.slo.expect("policy parsed");
+        assert_eq!(slo.percentile, 95.0);
+        assert_eq!(slo.target_us, 8000);
+        assert_eq!(slo.error_budget, 0.05);
+        assert_eq!(slo.window_us, 20000);
+        assert_eq!(slo.target_for("t01"), 3000);
+        assert_eq!(slo.target_for("t00"), 8000);
+        assert_eq!(plan.sampling, SampleMode::PerTenantHash { rate: 0.25 });
+
+        // A bare [slo] header enables the default policy.
+        let bare = WorkloadPlan::parse_toml("[slo]").unwrap();
+        assert_eq!(bare.slo, Some(comet_metrics::SloPolicy::default()));
+        // No sections at all: no policy, full tracing.
+        let none = WorkloadPlan::parse_toml("").unwrap();
+        assert_eq!(none.slo, None);
+        assert_eq!(none.sampling, SampleMode::Always);
+        for mode in ["always", "never", "tail-on-error"] {
+            WorkloadPlan::parse_toml(&format!("[sampling]\nmode = \"{mode}\"")).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_bad_slo_and_sampling_values() {
+        for bad in [
+            "[slo]\npercentile = 0",
+            "[slo]\npercentile = 101",
+            "[slo]\nerror_budget = 0",
+            "[slo]\nerror_budget = 1.5",
+            "[slo]\nwindow_us = 0",
+            "[sampling]\nmode = \"per-tenant-hash\"\nrate = 1.5",
+        ] {
+            assert!(
+                matches!(WorkloadPlan::parse_toml(bad), Err(WorkloadPlanError::Invalid(_))),
+                "accepted {bad:?}"
+            );
+        }
+        assert!(matches!(
+            WorkloadPlan::parse_toml("[sampling]\nmode = \"coin-flip\""),
+            Err(WorkloadPlanError::BadValue(m)) if m == "coin-flip"
+        ));
+        assert!(matches!(
+            WorkloadPlan::parse_toml("[slo]\nbudget = 1"),
+            Err(WorkloadPlanError::BadLine(_))
+        ));
+        assert!(matches!(
+            WorkloadPlan::parse_toml("[slo.tenants]\nt00 = soon"),
+            Err(WorkloadPlanError::BadValue(_))
         ));
     }
 

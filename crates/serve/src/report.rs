@@ -11,6 +11,7 @@
 //! appears nowhere in the report.
 
 use crate::shard::TenantOutcome;
+use comet_metrics::SloVerdict;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -78,6 +79,10 @@ pub struct ServeReport {
     pub throughput_rps: f64,
     /// Per-tenant breakdown, in tenant-name order.
     pub tenants: BTreeMap<String, TenantStats>,
+    /// Per-tenant SLO verdicts, in tenant-name order; empty when the
+    /// plan declares no `[slo]` policy, which keeps the rendered report
+    /// byte-identical to pre-SLO runs.
+    pub slo: BTreeMap<String, SloVerdict>,
 }
 
 /// Nearest-rank percentile over a sorted slice; 0 when empty.
@@ -108,6 +113,9 @@ impl ServeReport {
             report.makespan_us = report.makespan_us.max(s.end_us);
             latencies.extend_from_slice(&out.latencies);
             report.tenants.insert(out.tenant.clone(), s.clone());
+            if let Some(v) = &out.slo {
+                report.slo.insert(out.tenant.clone(), v.clone());
+            }
         }
         latencies.sort_unstable();
         report.p50_us = percentile(&latencies, 50.0);
@@ -118,6 +126,11 @@ impl ServeReport {
             report.completed as f64 * 1_000_000.0 / report.makespan_us as f64
         };
         report
+    }
+
+    /// True when any tenant's SLO verdict is a breach.
+    pub fn slo_breached(&self) -> bool {
+        self.slo.values().any(|v| v.breached)
     }
 
     /// Stable JSON rendering (fixed 6-decimal floats — byte-comparable).
@@ -136,6 +149,26 @@ impl ServeReport {
         out.push_str(&format!("  \"p99_us\": {},\n", self.p99_us));
         out.push_str(&format!("  \"makespan_us\": {},\n", self.makespan_us));
         out.push_str(&format!("  \"throughput_rps\": {:.6},\n", self.throughput_rps));
+        if !self.slo.is_empty() {
+            out.push_str("  \"slo\": {\n");
+            let last = self.slo.len().saturating_sub(1);
+            for (i, (name, v)) in self.slo.iter().enumerate() {
+                out.push_str(&format!(
+                    "    \"{name}\": {{\"percentile\": {:.1}, \"observed_us\": {}, \
+                     \"target_us\": {}, \"total\": {}, \"bad\": {}, \
+                     \"max_burn_milli\": {}, \"breached\": {}}}{}\n",
+                    v.percentile,
+                    v.observed_us,
+                    v.target_us,
+                    v.total,
+                    v.bad,
+                    v.max_burn_milli,
+                    v.breached,
+                    if i == last { "" } else { "," },
+                ));
+            }
+            out.push_str("  },\n");
+        }
         out.push_str("  \"tenants\": {\n");
         let last = self.tenants.len().saturating_sub(1);
         for (i, (name, t)) in self.tenants.iter().enumerate() {
@@ -203,6 +236,9 @@ impl fmt::Display for ServeReport {
                 t.applied.join(", "),
                 t.outcome_hash
             )?;
+        }
+        for v in self.slo.values() {
+            writeln!(f, "  {v}")?;
         }
         Ok(())
     }

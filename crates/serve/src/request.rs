@@ -117,6 +117,14 @@ pub trait TenantEngine {
 
     /// The session's middleware fault log.
     fn fault_log(&self) -> comet_middleware::FaultLog;
+
+    /// Engine-internal counters to bridge into the run's metrics
+    /// snapshot, record-for-record (weave-cache hits, WAL fsyncs, …).
+    /// Each `(name, value)` becomes `comet_serve_{name}_total{tenant=}`.
+    /// The default is empty: engines opt in.
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 /// How a shard materialises tenant sessions. The factory itself must be

@@ -39,11 +39,16 @@
 //! `ServeError::Engine`) mark that one request `failed` and the loop
 //! carries on — a fault degrades a request, never a shard.
 
+use crate::core::RunConfig;
 use crate::error::ServeError;
 use crate::fnv1a64;
-use crate::plan::WorkloadPlan;
+use crate::plan::{SampleMode, WorkloadPlan};
 use crate::report::TenantStats;
 use crate::request::{EngineFactory, QuerySelector, Request, TenantEngine};
+use comet_metrics::{
+    CounterHandle, HistogramHandle, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    SloVerdict, WindowHandle,
+};
 use comet_obs::{Collector, Trace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -60,6 +65,10 @@ pub(crate) struct TenantOutcome {
     pub latencies: Vec<u64>,
     /// The tenant's trace, when tracing was requested.
     pub trace: Option<Trace>,
+    /// The tenant's metrics snapshot, when metrics were requested.
+    pub metrics: Option<MetricsSnapshot>,
+    /// The tenant's SLO verdict, when the plan carries a policy.
+    pub slo: Option<SloVerdict>,
 }
 
 /// One client of the closed loop.
@@ -82,7 +91,69 @@ struct Queued {
 /// The server's in-service batch (queries) or single request.
 struct InService {
     until: u64,
+    /// Sim time of pickup (queue-wait boundary for the whole batch).
+    started_us: u64,
     batch: Vec<Queued>,
+    /// Per-member success flags, aligned with `batch` — carried from
+    /// execution (at pickup) to completion so the SLO window can
+    /// classify each member at its completion tick.
+    oks: Vec<bool>,
+}
+
+/// The five request kinds, in [`kind_index`] order.
+const KINDS: [&str; 5] = ["apply", "undo", "generate", "query", "snapshot"];
+
+fn kind_index(req: &Request) -> usize {
+    match req {
+        Request::ApplyConcern { .. } => 0,
+        Request::UndoLast => 1,
+        Request::Generate => 2,
+        Request::Query(_) => 3,
+        Request::Snapshot => 4,
+    }
+}
+
+/// Pre-registered handles for every series the scheduler records.
+/// Registration happens once in `new()`, so the hot path is pure
+/// vector indexing (or a single branch when metrics are off).
+struct Meters {
+    requests: [CounterHandle; 5],
+    queue_wait: [HistogramHandle; 5],
+    service: [HistogramHandle; 5],
+    e2e: [HistogramHandle; 5],
+    rejections: CounterHandle,
+    sheds: CounterHandle,
+    failures: CounterHandle,
+    conflicts: CounterHandle,
+    trace_kept: CounterHandle,
+    trace_dropped: CounterHandle,
+    slo_window: WindowHandle,
+}
+
+impl Meters {
+    fn register(reg: &mut MetricsRegistry, tenant: &str, window_us: u64) -> Meters {
+        let per_kind_counter = |reg: &mut MetricsRegistry, name: &str| {
+            KINDS.map(|kind| reg.counter(name, &[("tenant", tenant), ("kind", kind)]))
+        };
+        let per_kind_hist = |reg: &mut MetricsRegistry, name: &str| {
+            KINDS.map(|kind| reg.histogram(name, &[("tenant", tenant), ("kind", kind)]))
+        };
+        let tenant_counter =
+            |reg: &mut MetricsRegistry, name: &str| reg.counter(name, &[("tenant", tenant)]);
+        Meters {
+            requests: per_kind_counter(reg, "comet_serve_requests_total"),
+            queue_wait: per_kind_hist(reg, "comet_serve_queue_wait_us"),
+            service: per_kind_hist(reg, "comet_serve_service_us"),
+            e2e: per_kind_hist(reg, "comet_serve_latency_us"),
+            rejections: tenant_counter(reg, "comet_serve_rejections_total"),
+            sheds: tenant_counter(reg, "comet_serve_deadline_sheds_total"),
+            failures: tenant_counter(reg, "comet_serve_failures_total"),
+            conflicts: tenant_counter(reg, "comet_serve_conflicts_total"),
+            trace_kept: tenant_counter(reg, "comet_serve_trace_sampled_total"),
+            trace_dropped: tenant_counter(reg, "comet_serve_trace_dropped_total"),
+            slo_window: reg.window("comet_serve_slo_requests", &[("tenant", tenant)], window_us),
+        }
+    }
 }
 
 pub(crate) struct TenantScheduler<'a, E: TenantEngine> {
@@ -101,18 +172,50 @@ pub(crate) struct TenantScheduler<'a, E: TenantEngine> {
     stats: TenantStats,
     latencies: Vec<u64>,
     hash: u64,
+    metrics: MetricsRegistry,
+    meters: Meters,
+    /// This tenant's SLO latency target (`u64::MAX` without a policy).
+    slo_target_us: u64,
+    /// Pre-decided `PerTenantHash` verdict: the whole tenant samples
+    /// together, decided from its name hash alone.
+    sample_tenant_kept: bool,
 }
 
 impl<'a, E: TenantEngine> TenantScheduler<'a, E> {
-    pub(crate) fn new<F>(plan: &'a WorkloadPlan, tenant: &str, factory: &F, traced: bool) -> Self
+    pub(crate) fn new<F>(plan: &'a WorkloadPlan, tenant: &str, factory: &F, cfg: &RunConfig) -> Self
     where
         F: EngineFactory<Engine = E>,
     {
-        let obs = if traced { Collector::enabled() } else { Collector::disabled() };
+        let obs = if cfg.traced { Collector::enabled() } else { Collector::disabled() };
         let engine = factory.create(tenant, &obs);
         let clients = (0..plan.clients)
             .map(|_| Client { next_us: 0, remaining: plan.requests, waiting: false })
             .collect();
+        // An SLO policy implies metrics: verdicts need the histograms.
+        let mut metrics = if cfg.metrics || plan.slo.is_some() {
+            MetricsRegistry::enabled()
+        } else {
+            MetricsRegistry::disabled()
+        };
+        let window_us = plan.slo.as_ref().map_or(1_000_000, |s| s.window_us);
+        let meters = Meters::register(&mut metrics, tenant, window_us);
+        let sample_tenant_kept = match plan.sampling {
+            SampleMode::PerTenantHash { rate } => {
+                // FNV-1a's high bits barely move for short, similar
+                // names ("t00".."t07" all share the same top bits), so
+                // run the hash through a 64-bit avalanche finalizer
+                // before taking the top 53 bits as a uniform draw in
+                // [0, 1) — still a pure function of the tenant name.
+                let mut h = fnv1a64(tenant.as_bytes());
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+                h ^= h >> 33;
+                ((h >> 11) as f64) < rate * (1u64 << 53) as f64
+            }
+            _ => true,
+        };
         TenantScheduler {
             plan,
             tenant: tenant.to_owned(),
@@ -128,6 +231,10 @@ impl<'a, E: TenantEngine> TenantScheduler<'a, E> {
             stats: TenantStats::default(),
             latencies: Vec::new(),
             hash: 0xcbf29ce484222325, // FNV offset basis
+            metrics,
+            meters,
+            slo_target_us: plan.slo.as_ref().map_or(u64::MAX, |s| s.target_for(tenant)),
+            sample_tenant_kept,
         }
     }
 
@@ -163,11 +270,51 @@ impl<'a, E: TenantEngine> TenantScheduler<'a, E> {
         }
         self.stats.applied = applied;
         self.stats.outcome_hash = self.hash;
+        let metrics = if self.metrics.is_enabled() {
+            // Bridge session-level counters into the registry,
+            // record-for-record: every middleware fault-log entry and
+            // every engine-exposed counter (weave-cache hits, WAL
+            // fsyncs, ...) lands in a `comet_serve_*_total` series.
+            let tenant = self.tenant.clone();
+            let faults =
+                self.metrics.counter("comet_serve_fault_injections_total", &[("tenant", &tenant)]);
+            self.metrics.add(faults, self.stats.fault_records);
+            for (name, value) in self.engine.counters() {
+                let series = format!("comet_serve_{name}_total");
+                let h = self.metrics.counter(&series, &[("tenant", &tenant)]);
+                self.metrics.add(h, value);
+            }
+            Some(self.metrics.snapshot())
+        } else {
+            None
+        };
+        let slo = match (&self.plan.slo, &metrics) {
+            (Some(policy), Some(snap)) => {
+                // The registry is per-tenant, so every latency series
+                // in it is ours: merge the per-kind end-to-end
+                // histograms into the tenant's latency distribution.
+                let mut latency = HistogramSnapshot::default();
+                for (key, h) in &snap.histograms {
+                    if key.name == "comet_serve_latency_us" {
+                        latency.merge(h);
+                    }
+                }
+                let window = snap
+                    .windows
+                    .iter()
+                    .find(|(key, _)| key.name == "comet_serve_slo_requests")
+                    .map(|(_, w)| w);
+                Some(policy.evaluate(&self.tenant, &latency, window))
+            }
+            _ => None,
+        };
         TenantOutcome {
             tenant: self.tenant,
             stats: self.stats,
             latencies: self.latencies,
             trace: if self.obs.is_enabled() { Some(self.obs.take()) } else { None },
+            metrics,
+            slo,
         }
     }
 
@@ -217,6 +364,8 @@ impl<'a, E: TenantEngine> TenantScheduler<'a, E> {
                     ("retry_after_us".into(), retry_after_us.to_string()),
                 ],
             );
+            self.metrics.add(self.meters.rejections, 1);
+            self.metrics.record_window(self.meters.slo_window, self.now, false);
             let backoff = retry_after_us + self.think_jitter();
             self.clients[client].next_us = self.now + backoff;
             return;
@@ -296,6 +445,8 @@ impl<'a, E: TenantEngine> TenantScheduler<'a, E> {
                     ("waited_us".into(), waited.to_string()),
                 ],
             );
+            self.metrics.add(self.meters.sheds, 1);
+            self.metrics.record_window(self.meters.slo_window, self.now, false);
             self.release(shed.client);
         }
         let Some(first) = self.queue.pop_front() else { return };
@@ -314,15 +465,39 @@ impl<'a, E: TenantEngine> TenantScheduler<'a, E> {
             Request::Snapshot => self.plan.service.snapshot_us,
         };
         let jitter = self.rng.gen_range(0..=self.plan.service.jitter_us);
-        let until = self.execute(&batch, base + jitter);
-        self.in_service = Some(InService { until, batch });
+        // Pickup point: the queue-wait of every batch member ends here.
+        let started_us = self.now;
+        for q in &batch {
+            self.metrics
+                .observe(self.meters.queue_wait[kind_index(&q.req)], started_us - q.enqueued_us);
+        }
+        let (until, oks) = self.execute(&batch, base + jitter);
+        self.in_service = Some(InService { until, started_us, batch, oks });
     }
 
     /// Executes the batch under `serve.request` spans and returns the
-    /// completion time. Outcomes are carried as display text — `Err`
-    /// holds the rendered `ServeError` — since the scheduler only
-    /// counts, hashes, and tags them.
-    fn execute(&mut self, batch: &[Queued], sched_cost: u64) -> u64 {
+    /// completion time plus per-member success flags. Outcomes are
+    /// carried as display text — `Err` holds the rendered `ServeError`
+    /// — since the scheduler only counts, hashes, and tags them.
+    ///
+    /// The sampling decision also lives here: the engine runs at
+    /// pickup, so by the end of this method the batch's outcome,
+    /// fault-log growth and completion latency are all known — exactly
+    /// what tail-based sampling needs to decide keep-or-discard while
+    /// the speculative span region is still the newest thing in the
+    /// collector (interleaved arrival events come later and must not
+    /// be truncated with it).
+    fn execute(&mut self, batch: &[Queued], sched_cost: u64) -> (u64, Vec<bool>) {
+        let mark = if self.obs.is_enabled() && !matches!(self.plan.sampling, SampleMode::Always) {
+            Some(self.obs.mark())
+        } else {
+            None
+        };
+        let faults_before = if matches!(self.plan.sampling, SampleMode::TailOnError) {
+            self.engine.fault_log().len()
+        } else {
+            0
+        };
         self.engine.take_service_us(); // discard pre-request drift
         let outcomes: Vec<Result<String, String>> = if let Request::Query(_) = &batch[0].req {
             let selectors: Vec<QuerySelector> = batch
@@ -364,6 +539,7 @@ impl<'a, E: TenantEngine> TenantScheduler<'a, E> {
                     // error degrades to display text for hashing.
                     if let ServeError::Conflict { .. } = err {
                         self.stats.conflicts += 1;
+                        self.metrics.add(self.meters.conflicts, 1);
                     }
                     Err(err.to_string())
                 }
@@ -381,13 +557,34 @@ impl<'a, E: TenantEngine> TenantScheduler<'a, E> {
                 }
                 Err(err) => {
                     self.stats.failed += 1;
+                    self.metrics.add(self.meters.failures, 1);
                     self.fold(
                         format!("fail:{}:{}@{}:{err}", q.req.kind(), q.client, self.now).as_bytes(),
                     );
                 }
             }
         }
-        self.now + sched_cost + self.engine.take_service_us()
+        let until = self.now + sched_cost + self.engine.take_service_us();
+        if let Some(mark) = mark {
+            let keep = match self.plan.sampling {
+                SampleMode::Always => true,
+                SampleMode::Never => false,
+                SampleMode::PerTenantHash { .. } => self.sample_tenant_kept,
+                SampleMode::TailOnError => {
+                    let any_err = outcomes.iter().any(Result::is_err);
+                    let faulted = self.engine.fault_log().len() > faults_before;
+                    let breach = batch.iter().any(|q| until - q.enqueued_us > self.slo_target_us);
+                    any_err || faulted || breach
+                }
+            };
+            if keep {
+                self.metrics.add(self.meters.trace_kept, 1);
+            } else {
+                self.obs.discard_to(mark);
+                self.metrics.add(self.meters.trace_dropped, 1);
+            }
+        }
+        (until, outcomes.iter().map(Result::is_ok).collect())
     }
 
     fn begin_request_span(&mut self, q: &Queued, batch_len: usize) -> comet_obs::SpanId {
@@ -423,9 +620,17 @@ impl<'a, E: TenantEngine> TenantScheduler<'a, E> {
     fn complete(&mut self, at: u64) {
         self.now = at;
         let done = self.in_service.take().expect("completion without service");
-        for q in &done.batch {
+        for (q, &ok) in done.batch.iter().zip(&done.oks) {
             self.stats.completed += 1;
-            self.latencies.push(at - q.enqueued_us);
+            let e2e = at - q.enqueued_us;
+            self.latencies.push(e2e);
+            let kind = kind_index(&q.req);
+            self.metrics.add(self.meters.requests[kind], 1);
+            self.metrics.observe(self.meters.service[kind], at - done.started_us);
+            self.metrics.observe(self.meters.e2e[kind], e2e);
+            // SLO accounting: a request is "good" only if it succeeded
+            // AND met the tenant's latency target.
+            self.metrics.record_window(self.meters.slo_window, at, ok && e2e <= self.slo_target_us);
             self.release(q.client);
         }
         self.obs.incr("serve.completed", done.batch.len() as u64);
@@ -447,7 +652,7 @@ pub(crate) fn run_shard<F: EngineFactory>(
     plan: &WorkloadPlan,
     tenants: &[String],
     factory: &F,
-    traced: bool,
+    cfg: &RunConfig,
 ) -> Vec<TenantOutcome> {
-    tenants.iter().map(|t| TenantScheduler::new(plan, t, factory, traced).run()).collect()
+    tenants.iter().map(|t| TenantScheduler::new(plan, t, factory, cfg).run()).collect()
 }
