@@ -32,7 +32,9 @@ fn bench(c: &mut Criterion) {
         let mut mda = comet::MdaLifecycle::new(executable_banking_pim(), workflow).expect("pim");
         mda.apply_concern(&transactions::pair(), tx_si()).expect("applies");
         let bodies = banking_bodies();
-        b.iter(|| mda.generate(black_box(&bodies)).expect("weaves"));
+        b.iter(|| {
+            mda.generate(black_box(&bodies), comet::Backend::JavaFunctional).expect("weaves")
+        });
     });
 
     group.finish();

@@ -34,12 +34,15 @@ fn bench(c: &mut Criterion) {
     group.bench_function("generate_weave_three_aspects", |b| {
         let mda = lifecycle();
         let bodies = banking_bodies();
-        b.iter(|| mda.generate(black_box(&bodies)).expect("weaves"));
+        b.iter(|| {
+            mda.generate(black_box(&bodies), comet::Backend::JavaFunctional).expect("weaves")
+        });
     });
 
     group.bench_function("transfer_throughput_three_concerns_local", |b| {
         let mda = lifecycle();
-        let system = mda.generate(&banking_bodies()).expect("weaves");
+        let system =
+            mda.generate(&banking_bodies(), comet::Backend::JavaFunctional).expect("weaves");
         let (mut interp, bank) = ready_interp(system.woven);
         b.iter(|| {
             interp
@@ -54,7 +57,8 @@ fn bench(c: &mut Criterion) {
 
     group.bench_function("transfer_throughput_remote_client", |b| {
         let mda = lifecycle();
-        let system = mda.generate(&banking_bodies()).expect("weaves");
+        let system =
+            mda.generate(&banking_bodies(), comet::Backend::JavaFunctional).expect("weaves");
         let (mut interp, bank) = ready_interp(system.woven);
         interp.middleware_mut().bus.set_current_node("client").expect("node");
         b.iter(|| {

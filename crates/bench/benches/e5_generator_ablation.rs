@@ -33,7 +33,9 @@ fn bench(c: &mut Criterion) {
     // Single-shot generation: the monolithic generator is expected to
     // win here (no weaving pass) — the trade-off the paper accepts.
     group.bench_function("single_shot_functional_plus_weave", |b| {
-        b.iter(|| mda.generate(black_box(&bodies)).expect("weaves"));
+        b.iter(|| {
+            mda.generate(black_box(&bodies), comet::Backend::JavaFunctional).expect("weaves")
+        });
     });
     group.bench_function("single_shot_monolithic", |b| {
         b.iter(|| mda.generate_monolithic(black_box(&bodies)));

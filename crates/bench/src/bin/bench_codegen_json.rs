@@ -1,0 +1,157 @@
+//! Emits `BENCH_codegen.json`: the generator-factory numbers.
+//!
+//! Workload: the E10 100-class / 6-method program woven with 8 aspects,
+//! paired with a 100-class synthetic model. For every registered
+//! backend the bench times (a) the **cold** path — a fresh [`GenCache`]
+//! rendering the artifact, which pays the canonical-XMI content hash
+//! plus the backend render, exactly what a tenant's first `Generate`
+//! pays — and (b) the **hit** path — the same render repeated at an
+//! unchanged model, which the revision memo and the content-addressed
+//! entry turn into one map lookup plus an artifact clone. Hits are
+//! asserted byte-identical to their cold renders before anything is
+//! timed, and the run gates on `hit ≥ 50× cold` for every backend.
+//!
+//! A serve steady-state sweep then runs a backend-weighted `Generate`
+//! mix over the banking engine and asserts the report and trace stay
+//! byte-identical across shard counts with `gen.cache.hit` live in the
+//! trace counters.
+//!
+//! Usage: `cargo run --release -p comet-bench --bin bench_codegen_json
+//! [output-path]` (default `BENCH_codegen.json` in the working
+//! directory).
+
+use comet::run_banking_serve;
+use comet_aop::Weaver;
+use comet_bench::{weaver_aspects, weaver_program};
+use comet_codegen::BodyProvider;
+use comet_gen::{Backend, GenCache, GenInput, GeneratorFactory};
+use comet_serve::WorkloadPlan;
+use std::hint::black_box;
+use std::time::Instant;
+
+const CLASSES: usize = 100;
+const METHODS: usize = 6;
+const ASPECTS: usize = 8;
+const WARMUP: usize = 2;
+const SAMPLES: usize = 9;
+const SHARDS: [usize; 3] = [1, 2, 4];
+const HIT_GATE: f64 = 50.0;
+
+/// Median wall-clock seconds of `SAMPLES` runs (after `WARMUP` runs).
+fn median_secs(mut run: impl FnMut()) -> f64 {
+    for _ in 0..WARMUP {
+        run();
+    }
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            run();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_codegen.json".to_owned());
+    let model = comet_model::sample::synthetic(CLASSES, 2, METHODS);
+    let bodies = BodyProvider::default();
+    let functional = weaver_program(CLASSES, METHODS);
+    let woven = Weaver::new(weaver_aspects(ASPECTS)).weave(&functional).expect("weaves").program;
+    let concerns: Vec<String> =
+        ["distribution", "transactions", "security"].map(str::to_owned).to_vec();
+    let input = GenInput {
+        model: &model,
+        functional: &functional,
+        woven: &woven,
+        concerns: &concerns,
+        bodies: &bodies,
+    };
+    let factory = GeneratorFactory::with_standard_backends();
+
+    let mut backend_rows = Vec::new();
+    let mut worst_ratio = f64::INFINITY;
+    for backend in Backend::ALL {
+        let generator = factory.get(backend).expect("standard backend registered");
+
+        // Sanity: the hit is byte-identical to the cold render.
+        let mut probe = GenCache::new();
+        let (cold_artifact, miss) = probe.render(generator, &input);
+        assert!(!miss, "fresh cache must miss");
+        let (warm_artifact, hit) = probe.render(generator, &input);
+        assert!(hit, "repeat render must hit");
+        assert_eq!(cold_artifact, warm_artifact, "{backend}: hit diverged from cold render");
+
+        eprintln!("timing {backend} cold render (content hash + render) ...");
+        let cold = median_secs(|| {
+            let mut cache = GenCache::new();
+            let (artifact, was_hit) = cache.render(generator, black_box(&input));
+            assert!(!was_hit);
+            black_box(artifact);
+        });
+
+        eprintln!("timing {backend} cache hit ...");
+        let mut cache = GenCache::new();
+        cache.render(generator, &input);
+        let hit = median_secs(|| {
+            let (artifact, was_hit) = cache.render(generator, black_box(&input));
+            assert!(was_hit);
+            black_box(artifact);
+        });
+
+        let ratio = cold / hit;
+        worst_ratio = worst_ratio.min(ratio);
+        eprintln!("  {backend}: cold {cold:.6}s, hit {hit:.6}s, ratio {ratio:.1}x");
+        backend_rows.push(format!(
+            "    {{\"backend\": \"{backend}\", \"artifact_bytes\": {}, \"cold_median_secs\": \
+             {cold:.6}, \"hit_median_secs\": {hit:.6}, \"hit_speedup\": {ratio:.3}}}",
+            cold_artifact.len()
+        ));
+    }
+
+    // Serve steady-state sweep: backend-weighted Generate traffic,
+    // reports byte-identical across shard counts, gen cache observable.
+    let mut plan = WorkloadPlan::new(7);
+    plan.mix.generate = 2.0;
+    plan.mix.generate_backends = Backend::ALL.iter().map(|b| (b.id().to_owned(), 1.0)).collect();
+    let baseline = run_banking_serve(&plan, SHARDS[0], None, true).expect("valid plan");
+    for shards in SHARDS {
+        let outcome = run_banking_serve(&plan, shards, None, true).expect("valid plan");
+        assert_eq!(baseline.report, outcome.report, "report diverged at {shards} shards");
+        assert_eq!(baseline.trace, outcome.trace, "trace diverged at {shards} shards");
+    }
+    let counters = baseline.trace.as_ref().expect("traced run").counters.clone();
+    let gen_hits = counters.get("gen.cache.hit").copied().unwrap_or(0);
+    let gen_misses = counters.get("gen.cache.miss").copied().unwrap_or(0);
+    assert!(gen_misses > 0, "serve sweep never generated");
+    assert!(gen_hits > 0, "serve steady state produced no gen cache hits");
+
+    let mut serve_medians = Vec::new();
+    for shards in SHARDS {
+        eprintln!("timing serve steady state at {shards} shard(s) ...");
+        let secs = median_secs(|| {
+            black_box(run_banking_serve(black_box(&plan), shards, None, false).expect("valid"));
+        });
+        serve_medians.push(format!("    {{\"shards\": {shards}, \"median_secs\": {secs:.6}}}"));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e14_codegen_backends\",\n  \"workload\": {{\"classes\": \
+         {CLASSES}, \"methods_per_class\": {METHODS}, \"aspects\": {ASPECTS}}},\n  \"backends\": \
+         [\n{}\n  ],\n  \"worst_hit_speedup\": {worst_ratio:.3},\n  \"serve_steady_state\": \
+         {{\n    \"plan\": \"WorkloadPlan(7), generate weight 2.0, all backends weighted \
+         1.0\",\n    \
+         \"gen_cache_counters\": {{\"hit\": {gen_hits}, \"miss\": {gen_misses}}},\n    \
+         \"report_identical_across_shards\": true,\n    \"shard_sweep\": [\n{}\n    ]\n  }}\n}}\n",
+        backend_rows.join(",\n"),
+        serve_medians.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("writable output path");
+    println!("{json}");
+    eprintln!("wrote {out_path} (worst hit speedup {worst_ratio:.1}x)");
+    assert!(
+        worst_ratio >= HIT_GATE,
+        "cache-hit speedup {worst_ratio:.1}x below the {HIT_GATE}x target"
+    );
+}

@@ -10,6 +10,7 @@
 //! comet-cli apply <model.xmi> <concern> k=v... [-o out.xmi] [--aspect-out f.aj] [--dry-run]
 //! comet-cli weave <model.xmi> <concern> k=v... [--threads N]
 //! comet-cli pipeline [--threads N] [--faults plan.toml] [--seed N] [--trace out.json]
+//! comet-cli generate [--backend ID] [-o out] [--list-backends]
 //! comet-cli run [--faults plan.toml] [--seed N] [--order O] [--transfers N] [--trace out.json]
 //! comet-cli provenance <element> --trace out.json
 //! comet-cli metrics [--json]
@@ -39,6 +40,12 @@
 //! runtime event touched this element?". `metrics` runs the Fig. 2
 //! pipeline and prints scattering/tangling metrics for the woven
 //! program (`--json` for machine-readable output).
+//!
+//! `generate` runs the Fig. 2 pipeline and renders the woven system
+//! with the named generation backend (default `java-functional`;
+//! `--list-backends` lists the registered ids). The artifact goes to
+//! stdout, or to a file with `-o` — the same content-addressed cache
+//! the serving layer uses backs repeated renders.
 //!
 //! `interactions` prints the critical-pair interaction matrix over the
 //! standard concern library — the same matrix `serve` consults at
@@ -97,6 +104,7 @@ fn main() -> ExitCode {
         Some("apply") => cmd_apply(&args[1..]),
         Some("weave") => cmd_weave(&args[1..]),
         Some("pipeline") => cmd_pipeline(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("repo") => cmd_repo(&args[1..]),
@@ -130,6 +138,7 @@ fn usage_text() -> &'static str {
      [-o out.xmi] [--aspect-out out.aj] [--dry-run]\n  \
      comet-cli weave <model.xmi> <concern> [k=v ...] [--threads N]\n  \
      comet-cli pipeline [--threads N] [--faults plan.toml] [--seed N] [--trace out.json]\n  \
+     comet-cli generate [--backend ID] [-o out] [--list-backends]\n  \
      comet-cli run [--faults plan.toml] [--seed N] \
      [--order ft-outside-tx|tx-outside-ft] [--transfers N] [--trace out.json]\n  \
      comet-cli serve [--workload plan.toml] [--shards N] [--seed N] [--faults plan.toml] \
@@ -568,8 +577,10 @@ fn cmd_pipeline(args: &[String]) -> Result<(), CliError> {
             applied.report.modified.len()
         );
     }
-    let system = with_pool(threads, || mda.generate(&BodyProvider::default()))?
-        .map_err(|e| e.to_string())?;
+    let system = with_pool(threads, || {
+        mda.generate(&BodyProvider::default(), comet::Backend::JavaFunctional)
+    })?
+    .map_err(|e| e.to_string())?;
     println!(
         "generated {} classes, wove {} aspects: {} advice applications",
         system.woven.classes.len(),
@@ -587,6 +598,60 @@ fn cmd_pipeline(args: &[String]) -> Result<(), CliError> {
         write_trace(&obs, &path)?;
     }
     chaos_outcome
+}
+
+/// `comet-cli generate`: runs the Fig. 2 pipeline and renders the
+/// woven system through the named generation backend. The factory and
+/// content-addressed cache are the same ones the serving layer drives,
+/// so the artifact printed here is byte-identical to what a serving
+/// tenant's `Generate` request produces at the same model state.
+fn cmd_generate(args: &[String]) -> Result<(), CliError> {
+    let mut backend_id: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut list = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--backend" => {
+                let id = iter.next().ok_or_else(|| usage_err("--backend needs a value"))?;
+                backend_id = Some(id.clone());
+            }
+            "-o" => {
+                let path = iter.next().ok_or_else(|| usage_err("-o needs a path"))?;
+                out = Some(path.clone());
+            }
+            "--list-backends" => list = true,
+            other => return Err(usage_err(format!("generate: unexpected argument `{other}`"))),
+        }
+    }
+    if list {
+        let factory = comet::GeneratorFactory::with_standard_backends();
+        for generator in factory.backends() {
+            println!("{:<16} {}", generator.id(), generator.describe());
+        }
+        return Ok(());
+    }
+    let id = backend_id.unwrap_or_else(|| comet_serve::DEFAULT_BACKEND.to_owned());
+    let backend = comet::Backend::parse(&id)
+        .ok_or_else(|| usage_err(format!("unknown backend `{id}` (try --list-backends)")))?;
+    let workflow = WorkflowModel::new("fig2")
+        .step("distribution", false)
+        .step("transactions", false)
+        .step("security", false);
+    let mut mda = MdaLifecycle::new(banking_pim(), workflow).map_err(|e| e.to_string())?;
+    for (name, si) in fig2_steps() {
+        let pair = comet_concerns::by_name(name).expect("standard concern exists");
+        mda.apply_concern(&pair, si).map_err(|e| e.to_string())?;
+    }
+    let system = mda.generate(&BodyProvider::default(), backend).map_err(|e| e.to_string())?;
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &system.artifact).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {} artifact ({} bytes) to {path}", backend, system.artifact.len());
+        }
+        None => print!("{}", system.artifact),
+    }
+    Ok(())
 }
 
 /// `comet-cli serve`: the sharded multi-tenant serving harness over the
@@ -874,7 +939,9 @@ fn cmd_metrics(args: &[String]) -> Result<(), CliError> {
         let pair = comet_concerns::by_name(name).expect("standard concern exists");
         mda.apply_concern(&pair, si).map_err(|e| e.to_string())?;
     }
-    let system = mda.generate(&BodyProvider::default()).map_err(|e| e.to_string())?;
+    let system = mda
+        .generate(&BodyProvider::default(), comet::Backend::JavaFunctional)
+        .map_err(|e| e.to_string())?;
     let report = concern_metrics(&system.woven, &["net", "tx", "sec", "log", "lock"]);
     if json {
         print!("{}", report.to_json());

@@ -377,7 +377,7 @@ pub fn run_banking_chaos_traced(
             _ => mda.apply_concern(&faulttolerance::pair(), ft_si(cfg))?,
         };
     }
-    let system = mda.generate(&banking_bodies())?;
+    let system = mda.generate(&banking_bodies(), comet_gen::Backend::JavaFunctional)?;
 
     let config = MiddlewareConfig { seed: cfg.seed, ..MiddlewareConfig::default() };
     let mut interp = Interp::with_config(system.woven, config);

@@ -25,7 +25,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use comet::{MdaLifecycle, Wizard};
+//! use comet::{Backend, MdaLifecycle, Wizard};
 //! use comet_codegen::BodyProvider;
 //! use comet_concerns::transactions;
 //! use comet_model::sample::banking_pim;
@@ -40,9 +40,10 @@
 //!     ParamValue::from(vec!["Bank.transfer".to_owned()]),
 //! );
 //! mda.apply_concern(&transactions::pair(), si)?;
-//! let system = mda.generate(&BodyProvider::default())?;
+//! let system = mda.generate(&BodyProvider::default(), Backend::JavaFunctional)?;
 //! assert_eq!(system.aspect_sources.len(), 1);
 //! assert!(system.woven.find_method("Bank", "transfer__functional").is_some());
+//! assert!(system.artifact.contains("transfer__functional"));
 //! # Ok(())
 //! # }
 //! ```
@@ -54,6 +55,7 @@ mod shipping;
 mod wizard;
 
 pub use chaos::{run_banking_chaos, run_banking_chaos_traced, ChaosConfig, ChaosReport, FtOrder};
+pub use comet_gen::{Backend, GenCache, GenInput, Generator, GeneratorFactory};
 pub use lifecycle::{AppliedConcern, GeneratedSystem, LifecycleError, MdaLifecycle};
 pub use serve::{
     run_banking_serve, run_banking_serve_cfg, run_banking_serve_durable,

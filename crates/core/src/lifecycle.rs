@@ -5,6 +5,7 @@ use comet_aspectgen::{AspectBackend, AspectGenError, AspectJBackend, ConcernPair
 use comet_codegen::{
     pretty_print, BodyProvider, FunctionalGenerator, MonolithicGenerator, Program,
 };
+use comet_gen::{Backend, GenCache, GenInput, GeneratorFactory};
 use comet_model::{DirtySet, Model};
 use comet_repo::{
     ColorReport, CommitDelta, CommitId, DurableRepository, RecoveryReport, RepoError, Repository,
@@ -148,6 +149,11 @@ pub struct GeneratedSystem {
     pub aspect_sources: Vec<(String, String)>,
     /// Every advice application the weaver performed.
     pub weave_trace: Vec<WovenJoinPoint>,
+    /// The backend that rendered [`GeneratedSystem::artifact`].
+    pub backend: Backend,
+    /// The backend's rendered artifact (possibly served from the
+    /// content-addressed generation cache — byte-identical either way).
+    pub artifact: String,
 }
 
 /// The repository behind a lifecycle: either the plain in-memory
@@ -248,6 +254,13 @@ pub struct MdaLifecycle {
     /// serving hosts can bridge them into metrics.
     weave_hits: Cell<u64>,
     weave_misses: Cell<u64>,
+    /// The per-lifecycle backend registry every `generate` dispatches
+    /// through — one factory per tenant in the serving stack.
+    factory: GeneratorFactory,
+    /// Content-addressed artifact cache over `(content hash, backend,
+    /// concern list)`; its own hit/miss counters feed
+    /// [`MdaLifecycle::gen_cache_stats`].
+    gen_cache: RefCell<GenCache>,
 }
 
 impl MdaLifecycle {
@@ -368,6 +381,8 @@ impl MdaLifecycle {
             dirty_since: RefCell::new(Some(DirtySet::default())),
             weave_hits: Cell::new(0),
             weave_misses: Cell::new(0),
+            factory: GeneratorFactory::with_standard_backends(),
+            gen_cache: RefCell::new(GenCache::new()),
         }
     }
 
@@ -379,6 +394,18 @@ impl MdaLifecycle {
     /// Lifetime weave-cache `(hits, misses)` across every `generate`.
     pub fn weave_cache_stats(&self) -> (u64, u64) {
         (self.weave_hits.get(), self.weave_misses.get())
+    }
+
+    /// Lifetime generation-cache `(hits, misses)` across every
+    /// `generate`, counted unconditionally like the weave-cache stats
+    /// so serving hosts can bridge them into metrics.
+    pub fn gen_cache_stats(&self) -> (u64, u64) {
+        self.gen_cache.borrow().stats()
+    }
+
+    /// The backend registry this lifecycle generates through.
+    pub fn generator_factory(&self) -> &GeneratorFactory {
+        &self.factory
     }
 
     /// WAL durability barriers issued so far; 0 for in-memory repos.
@@ -568,9 +595,13 @@ impl MdaLifecycle {
         self.model = restored;
         // The restored snapshot is a fresh model instance (its revision
         // counter restarts), so both incrementality caches are stale.
+        // The generation cache only drops its revision memo — entries
+        // are content-addressed, so the restored state re-hits the
+        // artifacts rendered before the undone step.
         self.conditions.invalidate_all();
         *self.weave_cache.borrow_mut() = None;
         *self.dirty_since.borrow_mut() = Some(DirtySet::default());
+        self.gen_cache.borrow_mut().forget_revision();
         Ok(())
     }
 
@@ -581,11 +612,20 @@ impl MdaLifecycle {
 
     /// The paper's code-generation phase: functional code generator for
     /// the functional model **plus** aspect generators for the concerns,
-    /// then weaving with precedence = transformation order.
+    /// then weaving with precedence = transformation order, then the
+    /// chosen `backend` rendering its artifact through the
+    /// content-addressed generation cache (an unchanged model is an
+    /// O(1) cache hit whose artifact is byte-identical to a cold
+    /// render; hits/misses surface as `gen.cache.hit|miss` trace
+    /// counters and via [`MdaLifecycle::gen_cache_stats`]).
     ///
     /// # Errors
     /// Propagates weaving failures.
-    pub fn generate(&self, bodies: &BodyProvider) -> Result<GeneratedSystem, LifecycleError> {
+    pub fn generate(
+        &self,
+        bodies: &BodyProvider,
+        backend: Backend,
+    ) -> Result<GeneratedSystem, LifecycleError> {
         let obs = &self.obs;
         let phase = obs.begin_span("lifecycle", "generate", 0);
         let fspan = obs.begin_span("codegen", "functional", 0);
@@ -643,13 +683,31 @@ impl MdaLifecycle {
             obs.incr("weave.incremental.total", stats.total as u64);
         }
         let rspan = obs.begin_span("codegen", "render:aspects", 0);
-        let backend = AspectJBackend::new();
+        let aspectj = AspectJBackend::new();
         let aspect_sources: Vec<(String, String)> =
-            aspects.iter().map(|a| (a.name.clone(), backend.render(a))).collect();
+            aspects.iter().map(|a| (a.name.clone(), aspectj.render(a))).collect();
         if obs.is_enabled() {
             obs.span_attr(rspan, "aspects", &aspect_sources.len().to_string());
         }
         obs.end_span(rspan, 0);
+        // Backend dispatch through the per-lifecycle factory, behind
+        // the content-addressed cache: key = (model content hash,
+        // backend id, applied concerns in precedence order).
+        let generator =
+            self.factory.get(backend).expect("standard factory registers every Backend variant");
+        let concerns: Vec<String> =
+            self.applied.iter().map(|a| a.cmt.concern().to_owned()).collect();
+        let input = GenInput {
+            model: &self.model,
+            functional: &functional,
+            woven: &result.program,
+            concerns: &concerns,
+            bodies,
+        };
+        let (artifact, cache_hit) = self.gen_cache.borrow_mut().render(generator, &input);
+        if obs.is_enabled() {
+            obs.incr(if cache_hit { "gen.cache.hit" } else { "gen.cache.miss" }, 1);
+        }
         obs.end_span(phase, 0);
         Ok(GeneratedSystem {
             functional_source: pretty_print(&functional),
@@ -657,6 +715,8 @@ impl MdaLifecycle {
             woven: result.program.clone(),
             aspect_sources,
             weave_trace: result.trace.clone(),
+            backend,
+            artifact,
         })
     }
 
@@ -741,7 +801,7 @@ mod tests {
     #[test]
     fn generate_weaves_all_aspects() {
         let mda = full_lifecycle();
-        let system = mda.generate(&BodyProvider::default()).unwrap();
+        let system = mda.generate(&BodyProvider::default(), Backend::JavaFunctional).unwrap();
         assert_eq!(system.aspect_sources.len(), 3);
         assert!(system.functional_source.contains("class Bank"));
         // transfer was advised by all three concerns.
@@ -763,7 +823,7 @@ mod tests {
         mda.apply_concern(&distribution::pair(), dist_si()).unwrap();
         mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
         mda.apply_concern(&security::pair(), sec_si()).unwrap();
-        mda.generate(&BodyProvider::default()).unwrap();
+        mda.generate(&BodyProvider::default(), Backend::JavaFunctional).unwrap();
         let trace = obs.take();
         // §3: CMT application order = aspect precedence. In the trace
         // that is the top-level span order.
@@ -793,8 +853,8 @@ mod tests {
         let mut mda = full_lifecycle();
         mda.set_collector(obs.clone());
         let bodies = BodyProvider::default();
-        let first = mda.generate(&bodies).unwrap();
-        let second = mda.generate(&bodies).unwrap();
+        let first = mda.generate(&bodies, Backend::JavaFunctional).unwrap();
+        let second = mda.generate(&bodies, Backend::JavaFunctional).unwrap();
         assert_eq!(first.woven, second.woven);
         assert_eq!(first.weave_trace, second.weave_trace);
         let trace = obs.take();
@@ -803,6 +863,43 @@ mod tests {
         // The hit re-wove nothing; only the first (cold) weave worked.
         let total = trace.counters["weave.incremental.total"];
         assert_eq!(trace.counters["weave.incremental.rewoven"], total / 2);
+    }
+
+    #[test]
+    fn repeated_generate_hits_the_gen_cache_byte_identically() {
+        let obs = comet_obs::Collector::enabled();
+        let mut mda = full_lifecycle();
+        mda.set_collector(obs.clone());
+        let bodies = BodyProvider::default();
+        let first = mda.generate(&bodies, Backend::RustSkeleton).unwrap();
+        let second = mda.generate(&bodies, Backend::RustSkeleton).unwrap();
+        assert_eq!(first.artifact, second.artifact, "hit must be byte-identical to cold render");
+        assert_eq!(second.backend, Backend::RustSkeleton);
+        assert_eq!(mda.gen_cache_stats(), (1, 1));
+        let trace = obs.take();
+        assert_eq!(trace.counters.get("gen.cache.miss"), Some(&1));
+        assert_eq!(trace.counters.get("gen.cache.hit"), Some(&1));
+        // A different backend at the same revision is its own entry.
+        mda.generate(&bodies, Backend::Report).unwrap();
+        assert_eq!(mda.gen_cache_stats(), (1, 2));
+        assert_eq!(mda.generator_factory().len(), Backend::ALL.len());
+    }
+
+    #[test]
+    fn undo_then_generate_re_hits_content_addressed_artifacts() {
+        let bodies = BodyProvider::default();
+        let mut mda = MdaLifecycle::new(banking_pim(), fig2_workflow()).unwrap();
+        mda.apply_concern(&distribution::pair(), dist_si()).unwrap();
+        let before = mda.generate(&bodies, Backend::JavaFunctional).unwrap().artifact;
+        mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
+        mda.generate(&bodies, Backend::JavaFunctional).unwrap();
+        mda.undo_last().unwrap();
+        // The restored snapshot has the original content, so the entry
+        // rendered before the undone step re-hits — byte-identically —
+        // even though the revision counter restarted.
+        let after = mda.generate(&bodies, Backend::JavaFunctional).unwrap();
+        assert_eq!(after.artifact, before);
+        assert_eq!(mda.gen_cache_stats(), (1, 2));
     }
 
     #[test]
@@ -816,16 +913,16 @@ mod tests {
         };
         let mut mda = MdaLifecycle::new(banking_pim(), fig2_workflow()).unwrap();
         mda.apply_concern(&distribution::pair(), dist_si()).unwrap();
-        assert_eq!(mda.generate(&bodies).unwrap().woven, oracle(&mda));
+        assert_eq!(mda.generate(&bodies, Backend::JavaFunctional).unwrap().woven, oracle(&mda));
         mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
-        assert_eq!(mda.generate(&bodies).unwrap().woven, oracle(&mda));
+        assert_eq!(mda.generate(&bodies, Backend::JavaFunctional).unwrap().woven, oracle(&mda));
         mda.undo_last().unwrap();
-        assert_eq!(mda.generate(&bodies).unwrap().woven, oracle(&mda));
+        assert_eq!(mda.generate(&bodies, Backend::JavaFunctional).unwrap().woven, oracle(&mda));
         mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
         mda.apply_concern(&security::pair(), sec_si()).unwrap();
-        assert_eq!(mda.generate(&bodies).unwrap().woven, oracle(&mda));
+        assert_eq!(mda.generate(&bodies, Backend::JavaFunctional).unwrap().woven, oracle(&mda));
         // And a repeat at an unchanged model is still the same bytes.
-        assert_eq!(mda.generate(&bodies).unwrap().woven, oracle(&mda));
+        assert_eq!(mda.generate(&bodies, Backend::JavaFunctional).unwrap().woven, oracle(&mda));
     }
 
     #[test]
@@ -895,7 +992,7 @@ mod tests {
         let mda = full_lifecycle();
         let bodies = BodyProvider::default();
         let mono = mda.generate_monolithic(&bodies);
-        let system = mda.generate(&bodies).unwrap();
+        let system = mda.generate(&bodies, Backend::JavaFunctional).unwrap();
         assert_ne!(mono, system.woven);
         // Both contain transactional machinery for Bank.transfer.
         let mono_src = pretty_print(&mono);

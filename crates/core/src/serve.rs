@@ -17,18 +17,21 @@
 //! |------------|--------------------------|-----------------------------|
 //! | apply      | `tx.begin`/`tx.commit`   | `apply_concern` (CMT + Si)  |
 //! | undo       | `store.load`             | `undo_last`                 |
-//! | generate   | `bus.send`               | `generate` (codegen+weave)  |
+//! | generate   | `bus.send`               | `generate` (backend render) |
 //! | query      | `naming.lookup`          | `ModelIndex` reads          |
 //! | snapshot   | `store.save`             | XMI export into the store   |
 //!
 //! Because each tenant owns a private [`MdaLifecycle`], the lifecycle's
-//! incrementality caches (dirty-set weave cache, condition cache) are
-//! **per-tenant automatically**: a steady-state tenant that repeats
-//! `Generate` at an unchanged model revision pays one cold weave and
-//! then hits the cache (`weave.incremental.hit` in the trace counters),
-//! while other tenants' edits cannot invalidate it. The cached results
-//! are byte-identical to full weaves, so shard-count invariance of
-//! reports and traces is unaffected.
+//! incrementality caches (dirty-set weave cache, condition cache, and
+//! the content-addressed generation cache behind the generator
+//! factory) are **per-tenant automatically**: a steady-state tenant
+//! that repeats `Generate` at an unchanged model revision pays one
+//! cold weave + render and then hits both caches
+//! (`weave.incremental.hit` / `gen.cache.hit` in the trace counters,
+//! `comet_serve_gen_cache_hits_total` in the metrics exposition),
+//! while other tenants' edits cannot invalidate them. The cached
+//! results are byte-identical to full weaves and cold renders, so
+//! shard-count invariance of reports and traces is unaffected.
 
 use crate::chaos::{banking_bodies, executable_banking_pim};
 use crate::lifecycle::{LifecycleError, MdaLifecycle};
@@ -383,10 +386,13 @@ impl TenantEngine for BankingSession {
                 self.mda.undo_last().map_err(ServeError::engine)?;
                 Ok("undone".to_owned())
             }
-            Request::Generate => {
+            Request::Generate { backend } => {
+                let be = comet_gen::Backend::parse(backend)
+                    .ok_or_else(|| ServeError::UnknownBackend(backend.clone()))?;
                 self.mw.bus.send("client", "server", 512).map_err(ServeError::engine)?;
-                let system = self.mda.generate(&banking_bodies()).map_err(ServeError::engine)?;
-                Ok(format!("generated:{}", system.woven.classes.len()))
+                let system =
+                    self.mda.generate(&banking_bodies(), be).map_err(ServeError::engine)?;
+                Ok(format!("generated:{backend}:{}", system.woven.classes.len()))
             }
             Request::Query(_) => unreachable!("queries are batched via execute_queries"),
             Request::Snapshot => {
@@ -447,9 +453,12 @@ impl TenantEngine for BankingSession {
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
         let (hits, misses) = self.mda.weave_cache_stats();
+        let (gen_hits, gen_misses) = self.mda.gen_cache_stats();
         vec![
             ("weave_cache_hits", hits),
             ("weave_cache_misses", misses),
+            ("gen_cache_hits", gen_hits),
+            ("gen_cache_misses", gen_misses),
             ("wal_fsyncs", self.mda.wal_fsyncs()),
         ]
     }
@@ -560,6 +569,7 @@ pub fn run_banking_serve_cfg(
     cfg: &RunConfig,
 ) -> Result<comet_serve::ServeOutcome, ServeError> {
     plan.validate_concerns(|c| comet_concerns::by_name(c).is_some())?;
+    plan.validate_backends(|b| comet_gen::Backend::parse(b).is_some())?;
     let factory = BankingFactory::with_steps(plan.seed, fault_plan, &effective_steps(plan))?;
     let core = comet_serve::ServerCore::new(plan, &factory, shards)?;
     Ok(core.run_with(cfg))
@@ -605,6 +615,7 @@ pub fn run_banking_serve_durable_cfg(
     kill: Option<KillPoint>,
 ) -> Result<(comet_serve::ServeOutcome, u64), ServeError> {
     plan.validate_concerns(|c| comet_concerns::by_name(c).is_some())?;
+    plan.validate_backends(|b| comet_gen::Backend::parse(b).is_some())?;
     let mut factory = BankingFactory::with_steps(plan.seed, fault_plan, &effective_steps(plan))?
         .with_data_dir(data_dir);
     if let Some(kill) = kill {

@@ -32,6 +32,9 @@ pub enum ServeError {
     },
     /// A request named a tenant no shard owns.
     UnknownTenant(String),
+    /// A `Generate` request named a backend the host's generator
+    /// factory does not register.
+    UnknownBackend(String),
     /// The workload plan failed to parse.
     Plan(WorkloadPlanError),
     /// The tenant's engine failed the request (a lifecycle or
@@ -73,6 +76,7 @@ impl fmt::Display for ServeError {
                 write!(f, "deadline exceeded: waited {waited_us}µs > {deadline_us}µs")
             }
             ServeError::UnknownTenant(t) => write!(f, "unknown tenant `{t}`"),
+            ServeError::UnknownBackend(b) => write!(f, "unknown backend `{b}`"),
             ServeError::Plan(e) => write!(f, "workload plan: {e}"),
             ServeError::Engine { detail, .. } => write!(f, "engine: {detail}"),
             ServeError::Conflict { a, b, evidence } => {
@@ -90,6 +94,7 @@ impl std::error::Error for ServeError {
             ServeError::Overloaded { .. }
             | ServeError::DeadlineExceeded { .. }
             | ServeError::UnknownTenant(_)
+            | ServeError::UnknownBackend(_)
             | ServeError::Conflict { .. } => None,
         }
     }

@@ -36,7 +36,9 @@ mod shard;
 pub use crate::core::{RunConfig, ServeOutcome, ServerCore};
 pub use comet_metrics::{MetricsSnapshot, SloPolicy, SloVerdict};
 pub use error::{EngineError, ServeError};
-pub use plan::{Limits, RequestMix, SampleMode, ServiceCosts, WorkloadPlan, WorkloadPlanError};
+pub use plan::{
+    Limits, RequestMix, SampleMode, ServiceCosts, WorkloadPlan, WorkloadPlanError, DEFAULT_BACKEND,
+};
 pub use report::{ServeReport, TenantStats};
 pub use request::{EngineFactory, QuerySelector, Request, TenantEngine};
 
@@ -59,7 +61,11 @@ mod tests {
     use comet_obs::Collector;
 
     /// A deliberately boring engine: counts operations, fails on
-    /// demand, applies concerns from a fixed workflow list.
+    /// demand, applies concerns from a fixed workflow list. Its
+    /// `Generate` path is real, though — requests route through a
+    /// `comet_gen::GeneratorFactory` over a tiny model, so even the
+    /// substrate-level tests exercise backend dispatch and the typed
+    /// [`ServeError::UnknownBackend`] path.
     struct MockEngine {
         workflow: Vec<String>,
         next: usize,
@@ -67,6 +73,10 @@ mod tests {
         /// Fail every Nth execute (0 = never).
         fail_every: u64,
         executed: u64,
+        factory: comet_gen::GeneratorFactory,
+        model: comet_model::Model,
+        program: comet_codegen::Program,
+        bodies: comet_codegen::BodyProvider,
     }
 
     #[derive(Debug)]
@@ -93,7 +103,21 @@ mod tests {
                     let undone = self.applied.pop().unwrap_or_default();
                     Ok(format!("undone:{undone}"))
                 }
-                Request::Generate => Ok("generated".into()),
+                Request::Generate { backend } => {
+                    let generator = self
+                        .factory
+                        .by_id(backend)
+                        .ok_or_else(|| ServeError::UnknownBackend(backend.clone()))?;
+                    let input = comet_gen::GenInput {
+                        model: &self.model,
+                        functional: &self.program,
+                        woven: &self.program,
+                        concerns: &self.applied,
+                        bodies: &self.bodies,
+                    };
+                    let artifact = generator.generate(&input);
+                    Ok(format!("generated:{backend}:{}", artifact.len()))
+                }
                 Request::Query(_) => unreachable!("queries go through execute_queries"),
                 Request::Snapshot => Ok("snapshotted".into()),
             }
@@ -142,12 +166,19 @@ mod tests {
         type Engine = MockEngine;
 
         fn create(&self, _tenant: &str, _obs: &Collector) -> MockEngine {
+            let model = comet_model::sample::banking_pim();
+            let bodies = comet_codegen::BodyProvider::default();
+            let program = comet_codegen::FunctionalGenerator::new().generate(&model, &bodies);
             MockEngine {
                 workflow: vec!["distribution".into(), "transactions".into(), "security".into()],
                 next: 0,
                 applied: Vec::new(),
                 fail_every: self.fail_every,
                 executed: 0,
+                factory: comet_gen::GeneratorFactory::with_standard_backends(),
+                model,
+                program,
+                bodies,
             }
         }
 
@@ -242,13 +273,76 @@ mod tests {
     fn queries_batch() {
         let factory = MockFactory { fail_every: 0 };
         let mut p = plan(7);
-        p.mix = RequestMix { apply: 0.0, undo: 0.0, generate: 0.0, query: 1.0, snapshot: 0.0 };
+        p.mix = RequestMix {
+            apply: 0.0,
+            undo: 0.0,
+            generate: 0.0,
+            query: 1.0,
+            snapshot: 0.0,
+            generate_backends: Vec::new(),
+        };
         p.clients = 6;
         p.service.think_us = 10;
         p.limits.queue_depth = 8;
         let out = ServerCore::new(&p, &factory, 1).unwrap().run(false);
         assert!(out.report.batches > 0, "{}", out.report);
         assert!(out.report.batched_queries >= 2 * out.report.batches);
+    }
+
+    #[test]
+    fn backend_weighted_generates_stay_shard_invariant() {
+        let factory = MockFactory { fail_every: 0 };
+        let mut p = plan(7);
+        p.mix.generate = 2.0;
+        p.mix.generate_backends = vec![
+            ("java-functional".to_owned(), 1.0),
+            ("rust-skeleton".to_owned(), 1.0),
+            ("report".to_owned(), 1.0),
+        ];
+        let runs: Vec<_> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&shards| ServerCore::new(&p, &factory, shards).unwrap().run(true))
+            .collect();
+        let first = &runs[0];
+        for other in &runs[1..] {
+            assert_eq!(first.report, other.report);
+            assert_eq!(first.trace, other.trace);
+        }
+        // The mix actually reaches the engine: request spans carry each
+        // backend's artifact length in their outcome token.
+        let trace = first.trace.as_ref().expect("traced run");
+        let outcomes: Vec<&str> = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "serve.request")
+            .filter_map(|s| comet_obs::Trace::attr(&s.attrs, "outcome"))
+            .filter(|o| o.starts_with("generated:"))
+            .collect();
+        assert!(!outcomes.is_empty());
+        for backend in ["java-functional", "rust-skeleton", "report"] {
+            assert!(
+                outcomes.iter().any(|o| o.contains(backend)),
+                "weighted draw never reached `{backend}`: {outcomes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_backend_degrades_requests_with_the_typed_error() {
+        let factory = MockFactory { fail_every: 0 };
+        let mut p = plan(7);
+        p.mix.generate = 5.0;
+        p.mix.generate_backends = vec![("cobol-copybook".to_owned(), 1.0)];
+        let out = ServerCore::new(&p, &factory, 2).unwrap().run(true);
+        assert!(out.report.failed > 0, "{}", out.report);
+        let trace = out.trace.as_ref().expect("traced run");
+        assert!(
+            trace.spans.iter().filter(|s| s.name == "serve.request").any(|s| {
+                comet_obs::Trace::attr(&s.attrs, "outcome")
+                    .is_some_and(|o| o.contains("unknown backend `cobol-copybook`"))
+            }),
+            "typed UnknownBackend must surface in outcomes"
+        );
     }
 
     #[test]

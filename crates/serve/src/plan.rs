@@ -33,6 +33,10 @@ pub enum WorkloadPlanError {
     /// provides (checked via
     /// [`validate_concerns`](WorkloadPlan::validate_concerns)).
     UnknownConcern(String),
+    /// A `[mix.generate]` entry named a backend the host's generator
+    /// factory does not register (checked via
+    /// [`validate_backends`](WorkloadPlan::validate_backends)).
+    UnknownBackend(String),
     /// A planned concern exists but its serving binding is unusable.
     BadConcern {
         /// The concern as named by the plan.
@@ -52,6 +56,9 @@ impl fmt::Display for WorkloadPlanError {
             WorkloadPlanError::UnknownConcern(c) => {
                 write!(f, "workflow step names unknown concern `{c}`")
             }
+            WorkloadPlanError::UnknownBackend(b) => {
+                write!(f, "generate mix names unknown backend `{b}`")
+            }
             WorkloadPlanError::BadConcern { concern, detail } => {
                 write!(f, "workflow step `{concern}` cannot serve: {detail}")
             }
@@ -60,6 +67,11 @@ impl fmt::Display for WorkloadPlanError {
 }
 
 impl std::error::Error for WorkloadPlanError {}
+
+/// The backend a `Generate` request targets when the plan has no
+/// `[mix.generate]` section. This is the pre-factory behaviour — the
+/// Java functional target every earlier serving plan exercised.
+pub const DEFAULT_BACKEND: &str = "java-functional";
 
 /// Relative weights of the five request kinds in the generated stream.
 ///
@@ -77,6 +89,14 @@ pub struct RequestMix {
     pub query: f64,
     /// Weight of `Snapshot` requests.
     pub snapshot: f64,
+    /// Relative weights of the generation backends a `Generate`
+    /// request targets, from the `[mix.generate]` section (key =
+    /// backend id, value = weight). Empty means every `Generate` uses
+    /// [`DEFAULT_BACKEND`] and the workload generator draws no extra
+    /// random number — existing plans keep their exact request
+    /// streams. Order is the plan's textual order, which the secondary
+    /// weighted draw walks deterministically.
+    pub generate_backends: Vec<(String, f64)>,
 }
 
 impl RequestMix {
@@ -88,7 +108,14 @@ impl RequestMix {
 
 impl Default for RequestMix {
     fn default() -> Self {
-        RequestMix { apply: 0.25, undo: 0.05, generate: 0.10, query: 0.50, snapshot: 0.10 }
+        RequestMix {
+            apply: 0.25,
+            undo: 0.05,
+            generate: 0.10,
+            query: 0.50,
+            snapshot: 0.10,
+            generate_backends: Vec::new(),
+        }
     }
 }
 
@@ -251,6 +278,12 @@ impl WorkloadPlan {
         if !total.is_finite() || total <= 0.0 {
             return invalid("request mix weights must sum to a positive finite value");
         }
+        if !self.mix.generate_backends.is_empty() {
+            let backend_total: f64 = self.mix.generate_backends.iter().map(|(_, w)| w).sum();
+            if !backend_total.is_finite() || backend_total <= 0.0 {
+                return invalid("generate backend weights must sum to a positive finite value");
+            }
+        }
         if let Some(slo) = &self.slo {
             if !(slo.percentile > 0.0 && slo.percentile <= 100.0) {
                 return invalid("slo percentile must be in (0, 100]");
@@ -293,6 +326,30 @@ impl WorkloadPlan {
         Ok(())
     }
 
+    /// Checks every `[mix.generate]` backend against the host's
+    /// generator registry — the same injected-predicate pattern as
+    /// [`validate_concerns`](WorkloadPlan::validate_concerns), and for
+    /// the same reason: the substrate does not depend on `comet-gen`,
+    /// so `comet::run_banking_serve` passes
+    /// `|b| comet_gen::Backend::parse(b).is_some()`. Rejecting a typo
+    /// here keeps it from surfacing as a per-request
+    /// `ServeError::UnknownBackend` deep inside a serving run.
+    ///
+    /// # Errors
+    /// Returns [`WorkloadPlanError::UnknownBackend`] naming the first
+    /// backend the registry does not know.
+    pub fn validate_backends(
+        &self,
+        is_known: impl Fn(&str) -> bool,
+    ) -> Result<(), WorkloadPlanError> {
+        for (backend, _) in &self.mix.generate_backends {
+            if !is_known(backend) {
+                return Err(WorkloadPlanError::UnknownBackend(backend.clone()));
+            }
+        }
+        Ok(())
+    }
+
     /// Parses the TOML-subset plan format (mirrors `FaultPlan`):
     ///
     /// ```toml
@@ -307,6 +364,10 @@ impl WorkloadPlan {
     /// generate = 0.10
     /// query = 0.50
     /// snapshot = 0.10
+    ///
+    /// [mix.generate]            # backend weights for Generate draws
+    /// java-functional = 2.0     # omit the section to pin the default
+    /// rust-skeleton = 1.0       # backend with no extra RNG draw
     ///
     /// [limits]
     /// queue_depth = 4
@@ -412,6 +473,12 @@ impl WorkloadPlan {
                         "snapshot" => plan.mix.snapshot = w,
                         _ => return Err(WorkloadPlanError::BadLine(line.to_owned())),
                     }
+                }
+                // Any key is a backend id; the value its draw weight.
+                // Duplicate ids are caught by the shared key set.
+                "mix.generate" => {
+                    let w: f64 = value.parse().map_err(|_| bad_value())?;
+                    plan.mix.generate_backends.push((key.to_owned(), w.max(0.0)));
                 }
                 "limits" => match key {
                     "queue_depth" => {
@@ -669,6 +736,56 @@ mod tests {
             WorkloadPlan::parse_toml("[slo.tenants]\nt00 = soon"),
             Err(WorkloadPlanError::BadValue(_))
         ));
+    }
+
+    #[test]
+    fn parses_generate_backend_weights() {
+        let text = r#"
+            [mix]
+            generate = 1.0
+
+            [mix.generate]
+            java-functional = 2.0
+            rust-skeleton = 1.0
+            report = -0.5          # clamped to zero, like [mix] weights
+        "#;
+        let plan = WorkloadPlan::parse_toml(text).unwrap();
+        assert_eq!(
+            plan.mix.generate_backends,
+            [
+                ("java-functional".to_owned(), 2.0),
+                ("rust-skeleton".to_owned(), 1.0),
+                ("report".to_owned(), 0.0),
+            ]
+        );
+        // No section: empty list, Generate pins DEFAULT_BACKEND.
+        assert!(WorkloadPlan::parse_toml("").unwrap().mix.generate_backends.is_empty());
+        assert_eq!(DEFAULT_BACKEND, "java-functional");
+        assert!(matches!(
+            WorkloadPlan::parse_toml("[mix.generate]\nreport = snail"),
+            Err(WorkloadPlanError::BadValue(v)) if v == "snail"
+        ));
+        let dup = "[mix.generate]\nreport = 1.0\nreport = 2.0";
+        let e = WorkloadPlan::parse_toml(dup).unwrap_err();
+        assert!(matches!(&e, WorkloadPlanError::Duplicate(k) if k == "report"));
+        assert_eq!(e.to_string(), "duplicate plan entry `report`");
+        assert!(matches!(
+            WorkloadPlan::parse_toml("[mix.generate]\nreport = 0\nrust-skeleton = 0"),
+            Err(WorkloadPlanError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn validates_generate_backends_against_injected_registry() {
+        let plan =
+            WorkloadPlan::parse_toml("[mix.generate]\njava-functional = 1.0\nquantum-foam = 1.0")
+                .unwrap();
+        plan.validate_backends(|_| true).unwrap();
+        let err = plan.validate_backends(|b| b == "java-functional").unwrap_err();
+        assert!(matches!(&err, WorkloadPlanError::UnknownBackend(b) if b == "quantum-foam"));
+        assert_eq!(err.to_string(), "generate mix names unknown backend `quantum-foam`");
+        // A plan with no [mix.generate] section always validates.
+        WorkloadPlan::default().validate_backends(|_| false).unwrap();
     }
 
     #[test]

@@ -51,8 +51,14 @@ pub enum Request {
     },
     /// Undo the most recent applied concern.
     UndoLast,
-    /// Run functional + aspect generation and weave the current model.
-    Generate,
+    /// Run functional + aspect generation, weave the current model, and
+    /// render the artifact with the named generation backend (resolved
+    /// against the host's `GeneratorFactory`; an unknown id is a typed
+    /// [`ServeError::UnknownBackend`]).
+    Generate {
+        /// Backend id, e.g. `"java-functional"` or `"rust-skeleton"`.
+        backend: String,
+    },
     /// Read-only model query; consecutive queued queries are batched.
     Query(QuerySelector),
     /// Persist an XMI snapshot of the current model via the store.
@@ -65,7 +71,7 @@ impl Request {
         match self {
             Request::ApplyConcern { .. } => "apply",
             Request::UndoLast => "undo",
-            Request::Generate => "generate",
+            Request::Generate { .. } => "generate",
             Request::Query(_) => "query",
             Request::Snapshot => "snapshot",
         }
@@ -79,7 +85,7 @@ impl fmt::Display for Request {
                 write!(f, "apply {concern}{}", si.angle_signature())
             }
             Request::UndoLast => f.write_str("undo"),
-            Request::Generate => f.write_str("generate"),
+            Request::Generate { backend } => write!(f, "generate {backend}"),
             Request::Query(sel) => write!(f, "query {sel}"),
             Request::Snapshot => f.write_str("snapshot"),
         }

@@ -42,7 +42,7 @@
 use crate::core::RunConfig;
 use crate::error::ServeError;
 use crate::fnv1a64;
-use crate::plan::{SampleMode, WorkloadPlan};
+use crate::plan::{SampleMode, WorkloadPlan, DEFAULT_BACKEND};
 use crate::report::TenantStats;
 use crate::request::{EngineFactory, QuerySelector, Request, TenantEngine};
 use comet_metrics::{
@@ -107,7 +107,7 @@ fn kind_index(req: &Request) -> usize {
     match req {
         Request::ApplyConcern { .. } => 0,
         Request::UndoLast => 1,
-        Request::Generate => 2,
+        Request::Generate { .. } => 2,
         Request::Query(_) => 3,
         Request::Snapshot => 4,
     }
@@ -403,12 +403,33 @@ impl<'a, E: TenantEngine> TenantScheduler<'a, E> {
             return Request::Query(self.draw_query());
         }
         if x < m.apply + m.undo + m.generate {
-            return Request::Generate;
+            return Request::Generate { backend: self.draw_backend() };
         }
         if x < m.apply + m.undo + m.generate + m.query {
             return Request::Query(self.draw_query());
         }
         Request::Snapshot
+    }
+
+    /// The backend a `Generate` draw targets. Without a
+    /// `[mix.generate]` section this pins [`DEFAULT_BACKEND`] and
+    /// consumes no random number, so pre-factory plans keep their
+    /// exact request streams; with one, a secondary weighted draw
+    /// walks the backends in plan order.
+    fn draw_backend(&mut self) -> String {
+        let backends = &self.plan.mix.generate_backends;
+        if backends.is_empty() {
+            return DEFAULT_BACKEND.to_owned();
+        }
+        let total: f64 = backends.iter().map(|(_, w)| w).sum();
+        let mut x = self.rng.gen::<f64>() * total;
+        for (backend, weight) in backends {
+            x -= weight;
+            if x < 0.0 {
+                return backend.clone();
+            }
+        }
+        backends.last().expect("non-empty").0.clone()
     }
 
     fn draw_query(&mut self) -> QuerySelector {
@@ -459,7 +480,7 @@ impl<'a, E: TenantEngine> TenantScheduler<'a, E> {
         let base = match &batch[0].req {
             Request::ApplyConcern { .. } => self.plan.service.apply_us,
             Request::UndoLast => self.plan.service.undo_us,
-            Request::Generate => self.plan.service.generate_us,
+            Request::Generate { .. } => self.plan.service.generate_us,
             // One pass, one service cost — that is the batching win.
             Request::Query(_) => self.plan.service.query_us,
             Request::Snapshot => self.plan.service.snapshot_us,

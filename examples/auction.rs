@@ -130,7 +130,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("applied: {:?}", mda.workflow().applied());
     println!("remaining: {:?}", mda.remaining_concerns());
 
-    let system = mda.generate(&bodies())?;
+    let system = mda.generate(&bodies(), comet::Backend::JavaFunctional)?;
     let mut interp = Interp::new(system.woven);
     for node in ["auction-node", "bidder-east", "bidder-west"] {
         interp.add_node(node);

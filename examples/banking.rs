@@ -140,7 +140,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ncolors report:\n{}", mda.colors());
 
     // ----- code level: functional codegen + aspect weaving -------------
-    let system = mda.generate(&bodies())?;
+    let system = mda.generate(&bodies(), comet::Backend::JavaFunctional)?;
     println!(
         "functional: {} stmts | woven: {} stmts | advice applications: {}",
         system.functional.statement_count(),

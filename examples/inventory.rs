@@ -85,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Code level: the lifecycle-generated aspects PLUS a hand-written
     // audit aspect restricted to the checkout control flow.
-    let system = mda.generate(&bodies())?;
+    let system = mda.generate(&bodies(), comet::Backend::JavaFunctional)?;
     let audit = Aspect::new("checkout-audit").with_advice(Advice::new(
         AdviceKind::Before,
         parse_pointcut("execution(Item.adjust) && cflow(execution(Warehouse.checkout))")?,

@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Stmt::ret(Expr::bool(true)),
     ]);
     let bodies = BodyProvider::new().provide("Account::withdraw", withdraw_body);
-    let system = mda.generate(&bodies)?;
+    let system = mda.generate(&bodies, comet::Backend::JavaFunctional)?;
     println!("\n--- generated aspect artifact ---");
     println!("{}", system.aspect_sources[0].1);
 

@@ -52,7 +52,7 @@ fn ca_implements_the_concern_at_code_level() {
     let workflow = WorkflowModel::new("e1").step("transactions", false);
     let mut mda = MdaLifecycle::new(executable_banking_pim(), workflow).unwrap();
     mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
-    let system = mda.generate(&banking_bodies()).unwrap();
+    let system = mda.generate(&banking_bodies(), comet::Backend::JavaFunctional).unwrap();
 
     // The functional program knows nothing about transactions.
     let functional_src = system.functional_source.clone();
@@ -80,7 +80,7 @@ fn without_the_aspect_the_same_crash_corrupts_state() {
     let workflow = WorkflowModel::new("e1").step("transactions", false);
     let mut mda = MdaLifecycle::new(executable_banking_pim(), workflow).unwrap();
     mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
-    let system = mda.generate(&banking_bodies()).unwrap();
+    let system = mda.generate(&banking_bodies(), comet::Backend::JavaFunctional).unwrap();
     let mut interp = Interp::new(system.functional);
     let (bank, a1, a2) = setup_bank(&mut interp);
     let _ =

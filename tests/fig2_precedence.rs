@@ -42,7 +42,7 @@ fn aspect_list_order_equals_transformation_order() {
 #[test]
 fn weave_nesting_follows_precedence() {
     let mda = full_lifecycle();
-    let system = mda.generate(&banking_bodies()).unwrap();
+    let system = mda.generate(&banking_bodies(), comet::Backend::JavaFunctional).unwrap();
     let bank = system.woven.find_class("Bank").unwrap();
     // Layer/around helper suffixes encode the aspect index: aspect 0
     // (distribution) must be the outermost wrapper of `transfer`.
@@ -67,7 +67,7 @@ fn weave_nesting_follows_precedence() {
 #[test]
 fn end_to_end_behaviour_of_the_three_concerns() {
     let mda = full_lifecycle();
-    let system = mda.generate(&banking_bodies()).unwrap();
+    let system = mda.generate(&banking_bodies(), comet::Backend::JavaFunctional).unwrap();
     let mut interp = Interp::new(system.woven);
     let (bank, a1, a2) = setup_bank(&mut interp);
     interp.call(bank.clone(), "registerRemote", vec![]).unwrap();
@@ -120,7 +120,7 @@ fn permuting_precedence_changes_observable_behaviour() {
             mda.apply_concern(&transactions::pair(), tx_si()).unwrap();
             mda.apply_concern(&security::pair(), sec_si()).unwrap();
         }
-        let system = mda.generate(&banking_bodies()).unwrap();
+        let system = mda.generate(&banking_bodies(), comet::Backend::JavaFunctional).unwrap();
         let mut interp = Interp::new(system.woven);
         let (bank, _, _) = setup_bank(&mut interp);
         // Execute on the hosting node so the distribution layer proceeds
@@ -149,7 +149,7 @@ fn runtime_call_trace_shows_the_nesting() {
     // one transfer shows the layers entered in aspect order, innermost
     // last.
     let mda = full_lifecycle();
-    let system = mda.generate(&banking_bodies()).unwrap();
+    let system = mda.generate(&banking_bodies(), comet::Backend::JavaFunctional).unwrap();
     let mut interp = Interp::new(system.woven);
     let (bank, _, _) = setup_bank(&mut interp);
     interp.middleware_mut().bus.set_current_node("server").unwrap();
@@ -186,7 +186,7 @@ fn the_weaver_honours_a_manually_permuted_aspect_list() {
     // Same aspects, reversed list, directly on the weaver: the nesting
     // flips, confirming precedence comes from list order alone.
     let mda = full_lifecycle();
-    let system_fwd = mda.generate(&banking_bodies()).unwrap();
+    let system_fwd = mda.generate(&banking_bodies(), comet::Backend::JavaFunctional).unwrap();
     let mut aspects = mda.aspects();
     aspects.reverse();
     let functional = system_fwd.functional.clone();

@@ -73,7 +73,7 @@ fn observe(program: comet_codegen::Program) -> (Value, Value, Result<Value, Stri
 fn both_generators_produce_observationally_equivalent_systems() {
     let mda = lifecycle();
     let bodies = banking_bodies();
-    let woven = mda.generate(&bodies).unwrap().woven;
+    let woven = mda.generate(&bodies, comet::Backend::JavaFunctional).unwrap().woven;
     let mono = mda.generate_monolithic(&bodies);
 
     let (a1_w, a2_w, denied_w, denials_w, rb_w) = observe(woven);
@@ -90,7 +90,7 @@ fn both_generators_produce_observationally_equivalent_systems() {
 fn woven_system_localizes_concern_code_baseline_tangles_it() {
     let mda = lifecycle();
     let bodies = banking_bodies();
-    let system = mda.generate(&bodies).unwrap();
+    let system = mda.generate(&bodies, comet::Backend::JavaFunctional).unwrap();
     let mono = mda.generate_monolithic(&bodies);
     let prefixes = &["tx", "sec", "net", "log"];
 
@@ -138,7 +138,7 @@ fn changing_one_concern_parameter_regenerates_only_that_aspect() {
                 .with("isolation", ParamValue::from(isolation)),
         )
         .unwrap();
-        let system = mda.generate(&bodies).unwrap();
+        let system = mda.generate(&bodies, comet::Backend::JavaFunctional).unwrap();
         let mono = mda.generate_monolithic(&bodies);
         (system, mono)
     };

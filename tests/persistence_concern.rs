@@ -68,7 +68,7 @@ fn drive(program: comet_codegen::Program) -> Interp {
 
 #[test]
 fn woven_persistence_saves_and_reloads() {
-    let system = lifecycle().generate(&bodies()).unwrap();
+    let system = lifecycle().generate(&bodies(), comet::Backend::JavaFunctional).unwrap();
     let interp = drive(system.woven);
     let stats = interp.middleware().store.stats();
     assert_eq!(stats.saves, 2, "one save per mutator call");
@@ -89,7 +89,7 @@ fn monolithic_baseline_is_equivalent() {
 
 #[test]
 fn functional_program_knows_nothing_about_the_store() {
-    let system = lifecycle().generate(&bodies()).unwrap();
+    let system = lifecycle().generate(&bodies(), comet::Backend::JavaFunctional).unwrap();
     assert!(!system.functional_source.contains("store."));
     let mut interp = Interp::new(system.functional);
     let item = interp.create("Item").unwrap();
@@ -103,7 +103,7 @@ fn functional_program_knows_nothing_about_the_store() {
 
 #[test]
 fn reload_miss_returns_cleanly() {
-    let system = lifecycle().generate(&bodies()).unwrap();
+    let system = lifecycle().generate(&bodies(), comet::Backend::JavaFunctional).unwrap();
     let mut interp = Interp::new(system.woven);
     let item = interp.create("Item").unwrap();
     interp.set_field(&item, "sku", Value::from("NEVER-SAVED")).unwrap();
@@ -118,7 +118,7 @@ fn reload_miss_returns_cleanly() {
 fn transactional_rollback_undoes_a_reload() {
     // store.load writes go through the transaction log: a rollback after
     // reload restores the pre-reload state.
-    let system = lifecycle().generate(&bodies()).unwrap();
+    let system = lifecycle().generate(&bodies(), comet::Backend::JavaFunctional).unwrap();
     let mut interp = Interp::new(system.woven);
     let item = interp.create("Item").unwrap();
     interp.set_field(&item, "sku", Value::from("SKU-9")).unwrap();
