@@ -31,6 +31,12 @@ impl BodyProvider {
         self.bodies.get(&format!("{class}::{method}"))
     }
 
+    /// The provided `(qualified name, body)` pairs, in name order —
+    /// deterministic, so cache layers can fingerprint a provider.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &Block)> {
+        self.bodies.iter().map(|(name, body)| (name.as_str(), body))
+    }
+
     /// Number of provided bodies.
     pub fn len(&self) -> usize {
         self.bodies.len()

@@ -257,9 +257,9 @@ pub struct MdaLifecycle {
     /// The per-lifecycle backend registry every `generate` dispatches
     /// through — one factory per tenant in the serving stack.
     factory: GeneratorFactory,
-    /// Content-addressed artifact cache over `(content hash, backend,
-    /// concern list)`; its own hit/miss counters feed
-    /// [`MdaLifecycle::gen_cache_stats`].
+    /// Content-addressed artifact cache over `(content hash, bodies
+    /// fingerprint, backend, concern list)`; its own hit/miss counters
+    /// feed [`MdaLifecycle::gen_cache_stats`].
     gen_cache: RefCell<GenCache>,
 }
 
@@ -692,7 +692,8 @@ impl MdaLifecycle {
         obs.end_span(rspan, 0);
         // Backend dispatch through the per-lifecycle factory, behind
         // the content-addressed cache: key = (model content hash,
-        // backend id, applied concerns in precedence order).
+        // bodies fingerprint, backend id, applied concerns in
+        // precedence order).
         let generator =
             self.factory.get(backend).expect("standard factory registers every Backend variant");
         let concerns: Vec<String> =

@@ -1,10 +1,12 @@
 //! The content-addressed generation cache. Artifacts are keyed by
 //! *what was generated from what*: the FNV-1a hash of the model's
-//! canonical XMI export, the backend id, and the applied-concern list
-//! in precedence order. Content addressing makes the cache immune to
-//! lying revision counters — two models with identical content share
-//! entries, and an `undo` that restores an earlier snapshot re-hits the
-//! artifact rendered before the edit.
+//! canonical XMI export, a fingerprint of the supplied method bodies
+//! (the remaining caller-controlled input a render depends on), the
+//! backend id, and the applied-concern list in precedence order.
+//! Content addressing makes the cache immune to lying revision
+//! counters — two models with identical content share entries, and an
+//! `undo` that restores an earlier snapshot re-hits the artifact
+//! rendered before the edit.
 //!
 //! Hashing the XMI export is O(model), so the hash is memoized against
 //! [`Model::revision`] — the same generation counter the incremental
@@ -13,12 +15,27 @@
 //! counters are per instance; see [`GenCache::forget_revision`].
 
 use crate::{fnv1a64, GenInput, Generator};
+use comet_codegen::BodyProvider;
 use comet_model::Model;
 use comet_xmi::export_model;
 use std::collections::BTreeMap;
+use std::fmt::Write;
 
-/// Cache key: (content hash, backend id, applied concerns in order).
-type CacheKey = (u64, String, Vec<String>);
+/// Cache key: (content hash, bodies fingerprint, backend id, applied
+/// concerns in order).
+type CacheKey = (u64, u64, String, Vec<String>);
+
+/// FNV-1a over a canonical serialization of the provider's
+/// `(qualified name, body)` pairs. The rendered artifact depends on the
+/// bodies just as much as on the model, so two providers with different
+/// bodies must never alias one cache entry.
+fn bodies_fingerprint(bodies: &BodyProvider) -> u64 {
+    let mut repr = String::new();
+    for (name, body) in bodies.entries() {
+        write!(repr, "{name}\0{body:?}\0").expect("writing to a String cannot fail");
+    }
+    fnv1a64(repr.as_bytes())
+}
 
 /// Content-addressed artifact cache with a revision-memoized content
 /// hash, so a `Generate` against an unchanged model costs one map
@@ -60,7 +77,12 @@ impl GenCache {
     /// byte-identical to the cold render that populated the entry.
     pub fn render(&mut self, generator: &dyn Generator, input: &GenInput<'_>) -> (String, bool) {
         let hash = self.content_hash(input.model);
-        let key = (hash, generator.id().to_owned(), input.concerns.to_vec());
+        let key = (
+            hash,
+            bodies_fingerprint(input.bodies),
+            generator.id().to_owned(),
+            input.concerns.to_vec(),
+        );
         if let Some(artifact) = self.entries.get(&key) {
             self.hits += 1;
             return (artifact.clone(), true);
@@ -154,6 +176,32 @@ mod tests {
         let other = input(&model, &program, &reordered, &bodies);
         let (_, hit) = cache.render(functional, &other);
         assert!(!hit, "different concern list must be a different entry");
+    }
+
+    #[test]
+    fn different_body_providers_never_alias() {
+        use comet_codegen::{Block, Expr, Stmt};
+        let model = banking_pim();
+        let concerns = vec!["distribution".to_owned()];
+        let factory = GeneratorFactory::with_standard_backends();
+        let generator = factory.get(Backend::JavaFunctional).expect("registered");
+        let mut cache = GenCache::new();
+        let bodies1 = BodyProvider::default();
+        let program1 = FunctionalGenerator::new().generate(&model, &bodies1);
+        let (cold1, hit) = cache.render(generator, &input(&model, &program1, &concerns, &bodies1));
+        assert!(!hit);
+        let bodies2 = BodyProvider::new().provide(
+            "Bank::transfer",
+            Block::of(vec![Stmt::Expr(Expr::intrinsic("audit.log", vec![Expr::str("transfer")]))]),
+        );
+        let program2 = FunctionalGenerator::new().generate(&model, &bodies2);
+        let (cold2, hit) = cache.render(generator, &input(&model, &program2, &concerns, &bodies2));
+        assert!(!hit, "same model and concerns with different bodies must be a different entry");
+        assert_ne!(cold1, cold2, "the two providers render different artifacts");
+        // Each provider re-hits its own entry, byte-identically.
+        let (warm, hit) = cache.render(generator, &input(&model, &program1, &concerns, &bodies1));
+        assert!(hit);
+        assert_eq!(warm, cold1);
     }
 
     #[test]

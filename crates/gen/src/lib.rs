@@ -15,8 +15,9 @@
 //! | `report`          | a deterministic model + concern summary (text + JSON) |
 //!
 //! On top sits [`GenCache`], a content-addressed artifact cache: key =
-//! `(fnv1a64 over the canonical XMI export, backend id, applied-concern
-//! list in precedence order)`, value = the rendered artifact bytes. The
+//! `(fnv1a64 over the canonical XMI export, fingerprint of the supplied
+//! method bodies, backend id, applied-concern list in precedence
+//! order)`, value = the rendered artifact bytes. The
 //! content hash is memoized per [`Model::revision`], so a `Generate`
 //! request against an unchanged model is an O(1) map hit whose artifact
 //! is byte-identical to a cold render — the same hashing discipline the

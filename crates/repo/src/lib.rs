@@ -54,6 +54,7 @@ pub use hash::fnv1a64;
 pub use recover::{CompactionReport, DurableRepository, FsckReport, RecoveryReport};
 pub use repo::{
     Commit, CommitDelta, CommitId, RepoError, Repository, FAULT_POINT_COMMIT, FAULT_POINT_UNDO,
+    FAULT_POINT_WAL_COMPENSATION,
 };
 pub use segment::{SegmentId, SegmentOpenReport, SegmentStore};
 pub use wal::{CheckpointCommit, CheckpointState, Wal, WalOpenReport, WalRecord};

@@ -21,7 +21,12 @@
 //! * replaying the WAL yields a repository whose branch histories,
 //!   position and tags are internally consistent;
 //! * segments unreachable from any live commit are garbage, not errors
-//!   (compaction drops them and checkpoints the live state).
+//!   (compaction drops them and checkpoints the live state);
+//! * compaction's two-file publish is itself crash-ordered: the
+//!   checkpoint WAL lands first and resolves against the old *and* the
+//!   new segment store (live snapshots keep their `(hash, ordinal)`
+//!   address), so a crash between the renames still recovers — see
+//!   [`DurableRepository::compact`].
 
 use crate::repo::{CommitDelta, CommitId, RepoError, Repository};
 use crate::segment::{SegmentId, SegmentStore};
@@ -38,6 +43,15 @@ const SEGMENTS_FILE: &str = "segments.log";
 
 fn io_err(e: std::io::Error) -> RepoError {
     RepoError::Storage(format!("io: {e}"))
+}
+
+/// Fsyncs `dir` itself so a just-performed rename is durable before any
+/// later rename can reach disk (compaction's publish ordering).
+fn sync_dir(dir: &Path) -> Result<(), RepoError> {
+    if cfg!(unix) {
+        std::fs::File::open(dir).and_then(|d| d.sync_all()).map_err(io_err)?;
+    }
+    Ok(())
 }
 
 /// What [`DurableRepository::open`] rebuilt and repaired.
@@ -136,6 +150,11 @@ pub struct DurableRepository {
     wal: Wal,
     segments: SegmentStore,
     dir: PathBuf,
+    /// Set when the journal is known to have diverged from memory (a
+    /// compensating append failed after its primary append succeeded).
+    /// Every later mutation refuses with this reason: widening the
+    /// divergence would silently corrupt the next recovery.
+    poisoned: Option<String>,
 }
 
 impl Deref for DurableRepository {
@@ -193,7 +212,13 @@ impl DurableRepository {
         let (segments, _) = SegmentStore::open(dir.join(SEGMENTS_FILE)).map_err(io_err)?;
         let mut wal = Wal::open_at(dir.join(WAL_FILE), 0).map_err(io_err)?;
         wal.append(&WalRecord::Init { name: name.to_owned() }).map_err(io_err)?;
-        Ok(DurableRepository { repo: Repository::new(name), wal, segments, dir: dir.to_owned() })
+        Ok(DurableRepository {
+            repo: Repository::new(name),
+            wal,
+            segments,
+            dir: dir.to_owned(),
+            poisoned: None,
+        })
     }
 
     /// Opens an existing durable repository, replaying the journal over
@@ -226,7 +251,7 @@ impl DurableRepository {
             segments: seg_report.segments,
             segment_truncated_bytes: seg_report.truncated_bytes,
         };
-        Ok((DurableRepository { repo, wal, segments, dir: dir.to_owned() }, report))
+        Ok((DurableRepository { repo, wal, segments, dir: dir.to_owned(), poisoned: None }, report))
     }
 
     /// [`open`](Self::open) when a journal exists, [`create`](Self::create)
@@ -276,6 +301,19 @@ impl DurableRepository {
         self.commit_inner(model, message, concern, Some(delta))
     }
 
+    /// Guard run before every mutation: once a compensating append has
+    /// failed, the on-disk journal no longer matches memory and any
+    /// further append would bake the divergence into the next recovery.
+    fn check_poisoned(&self) -> Result<(), RepoError> {
+        match &self.poisoned {
+            Some(why) => Err(RepoError::Storage(format!(
+                "durable repository poisoned ({why}); reopen the directory to recover the \
+                 journalled state"
+            ))),
+            None => Ok(()),
+        }
+    }
+
     fn commit_inner(
         &mut self,
         model: &Model,
@@ -283,6 +321,7 @@ impl DurableRepository {
         concern: Option<&str>,
         delta: Option<CommitDelta>,
     ) -> Result<CommitId, RepoError> {
+        self.check_poisoned()?;
         if self.repo.take_commit_fault() {
             return Err(RepoError::Storage("injected commit failure".to_owned()));
         }
@@ -316,6 +355,9 @@ impl DurableRepository {
 
     /// Journals and applies an undo; see [`Repository::undo`].
     pub fn undo(&mut self) -> Option<Result<Model, RepoError>> {
+        if let Err(e) = self.check_poisoned() {
+            return Some(Err(e));
+        }
         if self.repo.undo_depth() == 0 {
             return None;
         }
@@ -330,8 +372,7 @@ impl DurableRepository {
             Some(Err(e)) => {
                 // The in-memory undo did not happen; compensate the
                 // journal so replay matches memory.
-                let _ = self.wal.append(&WalRecord::Redo);
-                Some(Err(e))
+                Some(Err(self.compensate(WalRecord::Redo, "undo", e)))
             }
             None => None,
         }
@@ -339,6 +380,9 @@ impl DurableRepository {
 
     /// Journals and applies a redo; see [`Repository::redo`].
     pub fn redo(&mut self) -> Option<Result<Model, RepoError>> {
+        if let Err(e) = self.check_poisoned() {
+            return Some(Err(e));
+        }
         if self.repo.redo_depth() == 0 {
             return None;
         }
@@ -346,11 +390,34 @@ impl DurableRepository {
             return Some(Err(io_err(e)));
         }
         match self.repo.redo() {
-            Some(Err(e)) => {
-                let _ = self.wal.append(&WalRecord::Undo);
-                Some(Err(e))
-            }
+            Some(Err(e)) => Some(Err(self.compensate(WalRecord::Undo, "redo", e))),
             other => other,
+        }
+    }
+
+    /// Appends the record cancelling a just-journalled undo/redo whose
+    /// in-memory half failed. If the compensating append itself fails,
+    /// the journal has permanently diverged from memory — the handle is
+    /// poisoned (every later mutation refuses) and the combined failure
+    /// is returned instead of the bare in-memory error, so the caller
+    /// sees the divergence rather than a silently different recovery.
+    fn compensate(&mut self, record: WalRecord, op: &str, cause: RepoError) -> RepoError {
+        let fault = self.repo.take_compensation_fault();
+        let result = if fault {
+            Err(std::io::Error::other("injected compensation failure"))
+        } else {
+            self.wal.append(&record)
+        };
+        match result {
+            Ok(()) => cause,
+            Err(comp) => {
+                let why = format!(
+                    "in-memory {op} failed ({cause}) and the compensating journal append also \
+                     failed ({comp}) — the journal no longer matches memory"
+                );
+                self.poisoned = Some(why.clone());
+                RepoError::Storage(why)
+            }
         }
     }
 
@@ -360,6 +427,7 @@ impl DurableRepository {
     /// # Errors
     /// Fails when the branch exists or on I/O failure.
     pub fn branch(&mut self, name: &str) -> Result<(), RepoError> {
+        self.check_poisoned()?;
         if self.repo.branch_names().contains(&name) {
             return Err(RepoError::BranchExists(name.to_owned()));
         }
@@ -373,6 +441,7 @@ impl DurableRepository {
     /// # Errors
     /// Fails when the branch is unknown or on I/O failure.
     pub fn switch_branch(&mut self, name: &str) -> Result<(), RepoError> {
+        self.check_poisoned()?;
         if !self.repo.branch_names().contains(&name) {
             return Err(RepoError::UnknownBranch(name.to_owned()));
         }
@@ -385,6 +454,7 @@ impl DurableRepository {
     /// # Errors
     /// Fails when there is no head or on I/O failure.
     pub fn tag(&mut self, name: &str) -> Result<CommitId, RepoError> {
+        self.check_poisoned()?;
         if self.repo.head().is_none() {
             return Err(RepoError::UnknownCommit(0));
         }
@@ -397,16 +467,50 @@ impl DurableRepository {
     /// commit references (orphans from crashes between segment append
     /// and WAL append, and snapshots of garbage-collected commits).
     ///
+    /// ## Crash safety
+    ///
+    /// The rewrite is published as two renames, and a crash may land
+    /// between them, so every intermediate pairing must recover:
+    ///
+    /// * live snapshots keep their exact `(hash, ordinal)` address —
+    ///   for every hash a live commit uses, **all** of the old store's
+    ///   same-hash segments are copied in ordinal order (under an FNV
+    ///   collision this carries a dead sibling along; a later
+    ///   compaction reclaims it once the collision is gone). The
+    ///   checkpoint therefore resolves against the old store and the
+    ///   new one alike;
+    /// * the WAL (one checkpoint record) is renamed into place *first*,
+    ///   with a directory fsync ordering the two renames on disk. A
+    ///   crash before the first rename leaves the old pair; between
+    ///   them, checkpoint + old store — both replay. The reverse order
+    ///   would pair the full old history with a store the GC'd
+    ///   snapshots were dropped from, dangling those commits and
+    ///   failing every later open.
+    ///
     /// # Errors
     /// Propagates I/O failures; on error the original files are intact.
     pub fn compact(&mut self) -> Result<CompactionReport, RepoError> {
+        self.check_poisoned()?;
         let seg_tmp = self.dir.join("segments.log.compact");
         let wal_tmp = self.dir.join("wal.log.compact");
         let _ = std::fs::remove_file(&seg_tmp);
         let _ = std::fs::remove_file(&wal_tmp);
         let (mut new_segments, _) = SegmentStore::open(&seg_tmp).map_err(io_err)?;
+        let live_hashes: BTreeSet<u64> = self.repo.commits.values().map(|c| c.hash).collect();
+        for &hash in &live_hashes {
+            for ordinal in 0.. {
+                match self.segments.get(SegmentId { hash, ordinal }).map_err(io_err)? {
+                    None => break,
+                    Some(bytes) => {
+                        new_segments.append(&bytes).map_err(io_err)?;
+                    }
+                }
+            }
+        }
         let mut commits = Vec::with_capacity(self.repo.commits.len());
         for c in self.repo.commits.values() {
+            // Dedupe hit against the copy above — returns the preserved
+            // (hash, ordinal) address.
             let seg = new_segments.append(c.snapshot.as_bytes()).map_err(io_err)?;
             commits.push(CheckpointCommit {
                 id: c.id,
@@ -442,9 +546,13 @@ impl DurableRepository {
             wal_records_folded: old_wal_report.records,
         };
         drop(new_segments);
-        // Publish: rename over the originals, then reopen handles.
-        std::fs::rename(&seg_tmp, self.dir.join(SEGMENTS_FILE)).map_err(io_err)?;
+        // Publish: checkpoint first (resolves against both stores), the
+        // segment store second, a directory fsync between and after so
+        // the renames reach disk in that order.
         std::fs::rename(&wal_tmp, self.dir.join(WAL_FILE)).map_err(io_err)?;
+        sync_dir(&self.dir)?;
+        std::fs::rename(&seg_tmp, self.dir.join(SEGMENTS_FILE)).map_err(io_err)?;
+        sync_dir(&self.dir)?;
         let (segments, _) = SegmentStore::open(self.dir.join(SEGMENTS_FILE)).map_err(io_err)?;
         let (_, _, end) = Wal::read_all(&self.dir.join(WAL_FILE)).map_err(io_err)?;
         self.segments = segments;
@@ -767,6 +875,113 @@ mod tests {
         drop(dur);
         let (dur, _) = DurableRepository::open(&dir).unwrap();
         assert_eq!(dur.head_model().unwrap().unwrap(), v2);
+    }
+
+    #[test]
+    fn crash_between_compaction_renames_still_recovers() {
+        let dir = tmp("compact-crash");
+        let (v1, v2) = two_models();
+        let mut dur = DurableRepository::create(&dir, "bank").unwrap();
+        dur.commit(&v1, "initial", None).unwrap();
+        // Garbage to reclaim: the GC'd commit's segment only exists in
+        // the pre-compaction store, which is exactly what made the old
+        // segments-first publish order dangle commits on a crash.
+        dur.commit(&v2, "doomed", Some("distribution")).unwrap();
+        dur.undo().unwrap().unwrap();
+        let mut v3 = v1.clone();
+        v3.add_class(v3.root(), "Other").unwrap();
+        dur.commit(&v3, "alternative", None).unwrap();
+        let old_wal = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        let old_segments = std::fs::read(dir.join(SEGMENTS_FILE)).unwrap();
+        let before = dur.repo().clone();
+        dur.compact().unwrap();
+        let new_wal = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        let new_segments = std::fs::read(dir.join(SEGMENTS_FILE)).unwrap();
+        drop(dur);
+        // Every state a crash during the publish can leave behind:
+        // before the first rename, between the two, and after both.
+        // Each must open to the same repository and pass fsck.
+        for (label, wal, segments) in [
+            ("pre-publish", &old_wal, &old_segments),
+            ("between-renames", &new_wal, &old_segments),
+            ("complete", &new_wal, &new_segments),
+        ] {
+            let crash_dir = tmp(&format!("compact-crash-{label}"));
+            std::fs::create_dir_all(&crash_dir).unwrap();
+            std::fs::write(crash_dir.join(WAL_FILE), wal).unwrap();
+            std::fs::write(crash_dir.join(SEGMENTS_FILE), segments).unwrap();
+            let (mut dur, _) = DurableRepository::open(&crash_dir)
+                .unwrap_or_else(|e| panic!("{label}: open failed: {e}"));
+            assert_same_state(&before, dur.repo());
+            assert_eq!(dur.head_model().unwrap().unwrap(), v3, "{label}");
+            // The recovered repository keeps accepting operations.
+            dur.commit(&v2, "after-crash", None).unwrap();
+            drop(dur);
+            let report = DurableRepository::fsck(&crash_dir).unwrap();
+            assert!(report.ok(), "{label}: {report}");
+        }
+    }
+
+    #[test]
+    fn compensated_failed_undo_keeps_journal_matching_memory() {
+        let dir = tmp("compensate");
+        let (v1, v2) = two_models();
+        let mut dur = DurableRepository::create(&dir, "bank").unwrap();
+        dur.commit(&v1, "initial", None).unwrap();
+        dur.commit(&v2, "distribution", Some("distribution")).unwrap();
+        // Corrupt — in memory only — the snapshot undo would restore,
+        // so the in-memory undo fails *after* its journal record is
+        // already appended and the compensating append must cancel it.
+        let first = *dur.repo.commits.keys().next().unwrap();
+        dur.repo.commits.get_mut(&first).unwrap().snapshot = "<not xmi".to_owned();
+        let err = dur.undo().unwrap().unwrap_err();
+        assert!(matches!(err, RepoError::Corrupt(_)), "unexpected error: {err}");
+        // Compensation succeeded: the handle stays usable...
+        dur.tag("still-alive").unwrap();
+        drop(dur);
+        // ...and replay (Undo cancelled by Redo) lands on the pre-undo
+        // head, matching what memory saw.
+        let (dur, _) = DurableRepository::open(&dir).unwrap();
+        assert_eq!(dur.head_model().unwrap().unwrap(), v2);
+        assert_eq!(dur.checkout_tag("still-alive").unwrap(), v2);
+    }
+
+    #[test]
+    fn failed_compensation_poisons_the_handle() {
+        use comet_middleware::FaultHook;
+        let dir = tmp("poison");
+        let (v1, v2) = two_models();
+        let mut dur = DurableRepository::create(&dir, "bank").unwrap();
+        dur.commit(&v1, "initial", None).unwrap();
+        dur.commit(&v2, "distribution", Some("distribution")).unwrap();
+        let first = *dur.repo.commits.keys().next().unwrap();
+        dur.repo.commits.get_mut(&first).unwrap().snapshot = "<not xmi".to_owned();
+        dur.repo_mut_unjournaled().arm_fault(crate::repo::FAULT_POINT_WAL_COMPENSATION).unwrap();
+        let err = dur.undo().unwrap().unwrap_err();
+        assert!(
+            matches!(&err, RepoError::Storage(d) if d.contains("no longer matches memory")),
+            "unexpected error: {err}"
+        );
+        // The journal diverged from memory; every further mutation must
+        // refuse rather than widen the divergence.
+        let poisoned = |e: &RepoError| matches!(e, RepoError::Storage(d) if d.contains("poisoned"));
+        assert!(poisoned(&dur.commit(&v1, "x", None).unwrap_err()));
+        assert!(poisoned(&dur.undo().unwrap().unwrap_err()));
+        assert!(poisoned(&dur.redo().unwrap().unwrap_err()));
+        assert!(poisoned(&dur.branch("b").unwrap_err()));
+        assert!(poisoned(&dur.switch_branch("main").unwrap_err()));
+        assert!(poisoned(&dur.tag("t").unwrap_err()));
+        assert!(poisoned(&dur.compact().unwrap_err()));
+        // Reads still work on the poisoned handle.
+        assert_eq!(dur.len(), 2);
+        drop(dur);
+        // Reopening replays the journalled (un-compensated) undo over
+        // the intact on-disk snapshots: head steps back — the recovery
+        // honours the journal, and the divergence was surfaced, not
+        // silent.
+        let (dur, report) = DurableRepository::open(&dir).unwrap();
+        assert!(report.clean());
+        assert_eq!(dur.head_model().unwrap().unwrap(), v1);
     }
 
     #[test]

@@ -12,6 +12,10 @@ use std::fmt;
 pub const FAULT_POINT_COMMIT: &str = "repo.commit";
 /// Fault point name: the next undo fails ([`FaultHook`]).
 pub const FAULT_POINT_UNDO: &str = "repo.undo";
+/// Fault point name: the durable backend's next *compensating* journal
+/// append fails ([`FaultHook`]) — exercises the journal-divergence
+/// poisoning path in `DurableRepository`.
+pub const FAULT_POINT_WAL_COMPENSATION: &str = "repo.wal.compensation";
 
 /// Identifier of a commit within one repository.
 pub type CommitId = u64;
@@ -119,6 +123,7 @@ pub struct Repository {
     /// next commit / undo fails with [`RepoError::Storage`].
     fail_next_commit: bool,
     fail_next_undo: bool,
+    fail_next_compensation: bool,
 }
 
 impl Repository {
@@ -136,6 +141,7 @@ impl Repository {
             tags: BTreeMap::new(),
             fail_next_commit: false,
             fail_next_undo: false,
+            fail_next_compensation: false,
         }
     }
 
@@ -232,6 +238,11 @@ impl Repository {
     /// Consumes the armed one-shot undo fault, if any.
     pub(crate) fn take_undo_fault(&mut self) -> bool {
         std::mem::take(&mut self.fail_next_undo)
+    }
+
+    /// Consumes the armed one-shot compensation-append fault, if any.
+    pub(crate) fn take_compensation_fault(&mut self) -> bool {
+        std::mem::take(&mut self.fail_next_compensation)
     }
 
     /// The infallible commit core shared by the in-memory path (which
@@ -463,16 +474,20 @@ impl Repository {
 /// runtime behind [`FaultHook`]: arming [`FAULT_POINT_COMMIT`] makes
 /// the next commit fail with [`RepoError::Storage`] without touching
 /// any state; [`FAULT_POINT_UNDO`] does the same for the next undo
-/// without moving the head position.
+/// without moving the head position;
+/// [`FAULT_POINT_WAL_COMPENSATION`] fails the durable backend's next
+/// compensating journal append (the write that re-aligns the journal
+/// with memory after an in-memory undo/redo failure).
 impl FaultHook for Repository {
     fn fault_points(&self) -> Vec<&'static str> {
-        vec![FAULT_POINT_COMMIT, FAULT_POINT_UNDO]
+        vec![FAULT_POINT_COMMIT, FAULT_POINT_UNDO, FAULT_POINT_WAL_COMPENSATION]
     }
 
     fn arm_fault(&mut self, point: &str) -> Result<(), MiddlewareError> {
         match point {
             FAULT_POINT_COMMIT => self.fail_next_commit = true,
             FAULT_POINT_UNDO => self.fail_next_undo = true,
+            FAULT_POINT_WAL_COMPENSATION => self.fail_next_compensation = true,
             other => return Err(MiddlewareError::UnknownFaultPoint(other.to_owned())),
         }
         Ok(())
@@ -644,7 +659,10 @@ mod tests {
     #[test]
     fn fault_hook_arms_one_shot_failures() {
         let (mut repo, _v1, v2) = repo_with_two_versions();
-        assert_eq!(repo.fault_points(), vec![FAULT_POINT_COMMIT, FAULT_POINT_UNDO]);
+        assert_eq!(
+            repo.fault_points(),
+            vec![FAULT_POINT_COMMIT, FAULT_POINT_UNDO, FAULT_POINT_WAL_COMPENSATION]
+        );
         repo.arm_fault(FAULT_POINT_COMMIT).unwrap();
         assert!(matches!(repo.commit(&v2, "x", None), Err(RepoError::Storage(_))));
         // One-shot: the retry goes through.
